@@ -1,0 +1,520 @@
+//! The global-heap parallel runtime — the Java/OCaml(-4) stand-in.
+//!
+//! One shared heap for every task: allocation synchronizes on a global
+//! lock (the classic scalability bottleneck the hierarchical design
+//! removes), and collection is stop-the-world mark-sweep over all
+//! registered root stacks. Field accesses are atomic and barrier-free —
+//! this runtime is *safe* for entangled programs by construction, it just
+//! pays for that safety on every allocation instead of only at
+//! entanglement sites.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Values of the global runtime (same shape as the sequential one).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GValue {
+    /// Unit.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Heap object index.
+    Obj(usize),
+}
+
+impl GValue {
+    /// Integer payload or panic.
+    pub fn expect_int(self) -> i64 {
+        match self {
+            GValue::Int(n) => n,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    fn encode(self) -> u64 {
+        match self {
+            GValue::Unit => 0b10,
+            GValue::Bool(b) => 0b11 | ((b as u64) << 2),
+            GValue::Int(n) => (n as u64) << 2, // tag 00
+            GValue::Obj(i) => ((i as u64) << 2) | 0b01,
+        }
+    }
+
+    fn decode(bits: u64) -> GValue {
+        match bits & 0b11 {
+            0b00 => GValue::Int((bits as i64) >> 2),
+            0b01 => GValue::Obj((bits >> 2) as usize),
+            0b10 => GValue::Unit,
+            _ => GValue::Bool((bits >> 2) & 1 == 1),
+        }
+    }
+}
+
+struct GObj {
+    fields: Box<[AtomicU64]>,
+    raw: bool,
+    dead: AtomicBool,
+    marked: AtomicBool,
+}
+
+impl GObj {
+    fn size_bytes(&self) -> usize {
+        24 + 8 * self.fields.len()
+    }
+}
+
+/// Counters reported by the global runtime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlobalStats {
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Bytes allocated.
+    pub alloc_bytes: u64,
+    /// Stop-the-world collections.
+    pub gc_runs: u64,
+    /// Total stop-the-world pause time.
+    pub gc_pause: Duration,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+    /// Live-bytes high-water mark.
+    pub max_live_bytes: usize,
+    /// Global allocation-lock acquisitions (the contention proxy).
+    pub alloc_locks: u64,
+}
+
+#[derive(Default)]
+struct StatsCell {
+    allocs: AtomicU64,
+    alloc_bytes: AtomicU64,
+    gc_runs: AtomicU64,
+    gc_pause_ns: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    max_live_bytes: AtomicUsize,
+    alloc_locks: AtomicU64,
+}
+
+struct GlobalHeap {
+    objs: RwLock<Vec<GObj>>,
+    alloc_lock: Mutex<AllocState>,
+    roots: Mutex<Vec<Arc<Mutex<Vec<usize>>>>>,
+    stats: StatsCell,
+    gc_threshold: usize,
+    live_threads: AtomicUsize,
+    max_threads: usize,
+}
+
+#[derive(Default)]
+struct AllocState {
+    free: Vec<usize>,
+    live_bytes: usize,
+    since_gc: usize,
+}
+
+/// The global-heap runtime.
+pub struct GlobalRuntime {
+    heap: Arc<GlobalHeap>,
+}
+
+/// One task's view of the global runtime.
+pub struct GlobalMutator {
+    heap: Arc<GlobalHeap>,
+    roots: Arc<Mutex<Vec<usize>>>,
+}
+
+/// A rooted value handle; readable from descendant tasks (it carries its
+/// owning root stack).
+#[derive(Clone, Debug)]
+pub struct GHandle(GHandleRepr);
+
+#[derive(Clone, Debug)]
+enum GHandleRepr {
+    Imm(GValue),
+    Slot(Arc<Mutex<Vec<usize>>>, usize),
+}
+
+impl GlobalRuntime {
+    /// Creates a runtime collecting every `gc_threshold` allocated bytes,
+    /// with at most `max_threads` live task threads.
+    pub fn new(gc_threshold: usize, max_threads: usize) -> GlobalRuntime {
+        GlobalRuntime {
+            heap: Arc::new(GlobalHeap {
+                objs: RwLock::new(Vec::new()),
+                alloc_lock: Mutex::new(AllocState::default()),
+                roots: Mutex::new(Vec::new()),
+                stats: StatsCell::default(),
+                gc_threshold,
+                live_threads: AtomicUsize::new(1),
+                max_threads: max_threads.max(1),
+            }),
+        }
+    }
+
+    /// Runs a program against a fresh root mutator.
+    pub fn run<F>(&self, f: F) -> GValue
+    where
+        F: FnOnce(&mut GlobalMutator) -> GValue,
+    {
+        let mut m = GlobalMutator::new(Arc::clone(&self.heap));
+        let v = f(&mut m);
+        m.unregister();
+        v
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> GlobalStats {
+        let s = &self.heap.stats;
+        GlobalStats {
+            allocs: s.allocs.load(Ordering::Relaxed),
+            alloc_bytes: s.alloc_bytes.load(Ordering::Relaxed),
+            gc_runs: s.gc_runs.load(Ordering::Relaxed),
+            gc_pause: Duration::from_nanos(s.gc_pause_ns.load(Ordering::Relaxed)),
+            reclaimed_bytes: s.reclaimed_bytes.load(Ordering::Relaxed),
+            max_live_bytes: s.max_live_bytes.load(Ordering::Relaxed),
+            alloc_locks: s.alloc_locks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl GlobalMutator {
+    fn new(heap: Arc<GlobalHeap>) -> GlobalMutator {
+        let roots = Arc::new(Mutex::new(Vec::new()));
+        heap.roots.lock().push(Arc::clone(&roots));
+        GlobalMutator { heap, roots }
+    }
+
+    fn unregister(&self) {
+        let mut roots = self.heap.roots.lock();
+        if let Some(pos) = roots.iter().position(|r| Arc::ptr_eq(r, &self.roots)) {
+            roots.swap_remove(pos);
+        }
+    }
+
+    /// Roots a value; returns a handle readable from this task and its
+    /// descendants.
+    pub fn root(&mut self, v: GValue) -> GHandle {
+        match v {
+            GValue::Obj(i) => {
+                let mut r = self.roots.lock();
+                r.push(i);
+                let slot = r.len() - 1;
+                drop(r);
+                GHandle(GHandleRepr::Slot(Arc::clone(&self.roots), slot))
+            }
+            imm => GHandle(GHandleRepr::Imm(imm)),
+        }
+    }
+
+    /// Reads a rooted value.
+    pub fn get(&self, h: &GHandle) -> GValue {
+        match &h.0 {
+            GHandleRepr::Imm(v) => *v,
+            GHandleRepr::Slot(stack, i) => GValue::Obj(stack.lock()[*i]),
+        }
+    }
+
+    /// Root watermark / release, mirroring the other runtimes.
+    pub fn mark(&self) -> usize {
+        self.roots.lock().len()
+    }
+
+    /// Releases roots above the watermark.
+    pub fn release(&mut self, mark: usize) {
+        self.roots.lock().truncate(mark);
+    }
+
+    fn alloc_obj(&mut self, fields: Vec<u64>, raw: bool, temp_roots: &[GValue]) -> usize {
+        let heap = Arc::clone(&self.heap);
+        let size = 24 + 8 * fields.len();
+        // Trigger collection outside the allocation lock.
+        if heap.alloc_lock.lock().since_gc >= heap.gc_threshold {
+            self.collect(temp_roots);
+        }
+        heap.stats.alloc_locks.fetch_add(1, Ordering::Relaxed);
+        let mut state = heap.alloc_lock.lock();
+        state.live_bytes += size;
+        state.since_gc += size;
+        let live = state.live_bytes;
+        heap.stats.max_live_bytes.fetch_max(live, Ordering::Relaxed);
+        heap.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        heap.stats
+            .alloc_bytes
+            .fetch_add(size as u64, Ordering::Relaxed);
+        let obj = GObj {
+            fields: fields.into_iter().map(AtomicU64::new).collect(),
+            raw,
+            dead: AtomicBool::new(false),
+            marked: AtomicBool::new(false),
+        };
+        if let Some(i) = state.free.pop() {
+            let objs = heap.objs.read();
+            let slot = &objs[i];
+            slot.dead.store(false, Ordering::Release);
+            // Reinitialize in place: swap field storage via interior
+            // atomics is impossible for differing lengths, so free-list
+            // reuse only matches exact lengths; otherwise append.
+            if slot.fields.len() == obj.fields.len() && slot.raw == obj.raw {
+                for (dst, src) in slot.fields.iter().zip(obj.fields.iter()) {
+                    dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                return i;
+            }
+            drop(objs);
+            state.free.push(i); // put back; fall through to append
+        }
+        drop(state);
+        let mut objs = heap.objs.write();
+        objs.push(obj);
+        objs.len() - 1
+    }
+
+    /// Stop-the-world collection.
+    pub fn collect(&mut self, temp_roots: &[GValue]) {
+        let heap = Arc::clone(&self.heap);
+        let start = Instant::now();
+        // Lock order: allocation state first, then the object table —
+        // the same order the allocation path uses, so no inversion.
+        let mut state = heap.alloc_lock.lock();
+        // Stop the world: exclusive access to the object table blocks
+        // every reader/writer.
+        let objs = heap.objs.write();
+        state.since_gc = 0;
+        let mut stack: Vec<usize> = Vec::new();
+        for rs in heap.roots.lock().iter() {
+            stack.extend(rs.lock().iter().copied());
+        }
+        stack.extend(temp_roots.iter().filter_map(|v| match v {
+            GValue::Obj(i) => Some(*i),
+            _ => None,
+        }));
+        while let Some(i) = stack.pop() {
+            let o = &objs[i];
+            if o.dead.load(Ordering::Relaxed) || o.marked.swap(true, Ordering::Relaxed) {
+                continue;
+            }
+            if !o.raw {
+                for f in o.fields.iter() {
+                    if let GValue::Obj(c) = GValue::decode(f.load(Ordering::Relaxed)) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        let mut reclaimed = 0usize;
+        for (i, o) in objs.iter().enumerate() {
+            if o.dead.load(Ordering::Relaxed) {
+                continue;
+            }
+            if o.marked.swap(false, Ordering::Relaxed) {
+                continue; // live; mark cleared for next cycle
+            }
+            o.dead.store(true, Ordering::Relaxed);
+            reclaimed += o.size_bytes();
+            state.free.push(i);
+        }
+        state.live_bytes -= reclaimed;
+        heap.stats
+            .reclaimed_bytes
+            .fetch_add(reclaimed as u64, Ordering::Relaxed);
+        heap.stats.gc_runs.fetch_add(1, Ordering::Relaxed);
+        heap.stats
+            .gc_pause_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Allocates a boxed object.
+    pub fn alloc(&mut self, fields: &[GValue]) -> GValue {
+        let words = fields.iter().map(|v| v.encode()).collect();
+        GValue::Obj(self.alloc_obj(words, false, fields))
+    }
+
+    /// Allocates `len` copies of `init`.
+    pub fn alloc_n(&mut self, len: usize, init: GValue) -> GValue {
+        GValue::Obj(self.alloc_obj(vec![init.encode(); len], false, &[init]))
+    }
+
+    /// Allocates a raw zeroed array.
+    pub fn alloc_raw(&mut self, len: usize) -> GValue {
+        GValue::Obj(self.alloc_obj(vec![0; len], true, &[]))
+    }
+
+    fn with_obj<R>(&self, obj: GValue, f: impl FnOnce(&GObj) -> R) -> R {
+        let GValue::Obj(i) = obj else {
+            panic!("expected object, found {obj:?}");
+        };
+        let objs = self.heap.objs.read();
+        f(&objs[i])
+    }
+
+    /// Reads field `i`.
+    pub fn get_field(&self, obj: GValue, i: usize) -> GValue {
+        self.with_obj(obj, |o| GValue::decode(o.fields[i].load(Ordering::Acquire)))
+    }
+
+    /// Writes field `i`.
+    pub fn set_field(&self, obj: GValue, i: usize, v: GValue) {
+        self.with_obj(obj, |o| o.fields[i].store(v.encode(), Ordering::Release));
+    }
+
+    /// Compare-and-swap on field `i`.
+    pub fn cas_field(&self, obj: GValue, i: usize, expected: GValue, new: GValue) -> bool {
+        self.with_obj(obj, |o| {
+            o.fields[i]
+                .compare_exchange(
+                    expected.encode(),
+                    new.encode(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+        })
+    }
+
+    /// Object length.
+    pub fn len(&self, obj: GValue) -> usize {
+        self.with_obj(obj, |o| o.fields.len())
+    }
+
+    /// Raw word read.
+    pub fn raw_get(&self, obj: GValue, i: usize) -> u64 {
+        self.with_obj(obj, |o| o.fields[i].load(Ordering::Acquire))
+    }
+
+    /// Raw word write.
+    pub fn raw_set(&self, obj: GValue, i: usize, bits: u64) {
+        self.with_obj(obj, |o| o.fields[i].store(bits, Ordering::Release))
+    }
+
+    /// Raw word compare-and-swap.
+    pub fn raw_cas(&self, obj: GValue, i: usize, expected: u64, new: u64) -> bool {
+        self.with_obj(obj, |o| {
+            o.fields[i]
+                .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        })
+    }
+
+    /// Fork-join on the shared heap: spawns a thread for the left branch
+    /// when under the thread budget, else runs sequentially.
+    pub fn fork<A, B>(&mut self, f: A, g: B) -> (GValue, GValue)
+    where
+        A: FnOnce(&mut GlobalMutator) -> GValue + Send,
+        B: FnOnce(&mut GlobalMutator) -> GValue + Send,
+    {
+        let heap = Arc::clone(&self.heap);
+        let spawn = heap
+            .live_threads
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if n < heap.max_threads {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok();
+        if spawn {
+            let lheap = Arc::clone(&heap);
+            let out = std::thread::scope(|s| {
+                let jl = s.spawn(move || {
+                    let mut lm = GlobalMutator::new(lheap);
+                    let v = f(&mut lm);
+                    let _hold = lm.root(v);
+                    (v, lm.roots.clone())
+                });
+                let mut rm = GlobalMutator::new(Arc::clone(&heap));
+                let rv = g(&mut rm);
+                let _hold = rm.root(rv);
+                let (lv, lroots) = match jl.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                // Unregister both child root stacks now that results are
+                // owned by the parent (caller must root across allocs).
+                let mut roots = heap.roots.lock();
+                roots.retain(|r| !Arc::ptr_eq(r, &lroots) && !Arc::ptr_eq(r, &rm.roots));
+                (lv, rv)
+            });
+            heap.live_threads.fetch_sub(1, Ordering::AcqRel);
+            out
+        } else {
+            let mark = self.mark();
+            let lv = f(self);
+            let _hold = self.root(lv);
+            let rv = g(self);
+            self.release(mark);
+            (lv, rv)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let rt = GlobalRuntime::new(1 << 20, 1);
+        let v = rt.run(|m| {
+            let o = m.alloc(&[GValue::Int(1), GValue::Unit]);
+            m.set_field(o, 1, GValue::Int(2));
+            GValue::Int(m.get_field(o, 0).expect_int() + m.get_field(o, 1).expect_int())
+        });
+        assert_eq!(v, GValue::Int(3));
+    }
+
+    #[test]
+    fn stw_gc_reclaims() {
+        let rt = GlobalRuntime::new(2048, 1);
+        rt.run(|m| {
+            let keep = m.alloc(&[GValue::Int(5)]);
+            let h = m.root(keep);
+            for _ in 0..500 {
+                let _ = m.alloc(&[GValue::Int(0); 4]);
+            }
+            let k = m.get(&h);
+            assert_eq!(m.get_field(k, 0), GValue::Int(5));
+            GValue::Unit
+        });
+        let s = rt.stats();
+        assert!(s.gc_runs > 0);
+        assert!(s.reclaimed_bytes > 0);
+        assert!(s.gc_pause > Duration::ZERO);
+    }
+
+    #[test]
+    fn fork_with_threads_shares_heap() {
+        let rt = GlobalRuntime::new(1 << 20, 4);
+        let v = rt.run(|m| {
+            let cell = m.alloc(&[GValue::Int(0)]);
+            let h = m.root(cell);
+            let (a, b) = m.fork(
+                |m| {
+                    let c = m.get(&h);
+                    m.set_field(c, 0, GValue::Int(21));
+                    GValue::Int(21)
+                },
+                |_| GValue::Int(21),
+            );
+            GValue::Int(a.expect_int() + b.expect_int())
+        });
+        assert_eq!(v, GValue::Int(42));
+    }
+
+    #[test]
+    fn cas_works() {
+        let rt = GlobalRuntime::new(1 << 20, 1);
+        rt.run(|m| {
+            let o = m.alloc(&[GValue::Int(1)]);
+            assert!(m.cas_field(o, 0, GValue::Int(1), GValue::Int(2)));
+            assert!(!m.cas_field(o, 0, GValue::Int(1), GValue::Int(3)));
+            let r = m.alloc_raw(2);
+            assert!(m.raw_cas(r, 0, 0, 7));
+            assert_eq!(m.raw_get(r, 0), 7);
+            GValue::Unit
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! # mpl-baselines — comparison runtimes
+//!
+//! The stand-ins for the paper's cross-system comparison (experiment E6)
+//! and sequential-overhead baselines (E2):
+//!
+//! * [`seq`] — a **sequential** single-heap runtime with mark-sweep
+//!   collection and zero barriers: the MLton stand-in defining `T_s` and
+//!   `R_s`.
+//! * [`global`] — a **shared-heap parallel** runtime: global allocation
+//!   lock, stop-the-world collection over all task roots — the
+//!   Java/OCaml-style monolithic-GC stand-in.
+//!
+//! Native Rust implementations of individual benchmarks (the C++/Go
+//! stand-in) live next to their workloads in `mpl-bench-suite`.
+//!
+//! # Example
+//!
+//! The sequential baseline is a conventional rooted mark-sweep heap:
+//!
+//! ```
+//! use mpl_baselines::{SeqRuntime, SeqValue};
+//!
+//! let mut rt = SeqRuntime::new(64 * 1024);
+//! let pair = rt.alloc(&[SeqValue::Int(20), SeqValue::Int(22)]);
+//! let h = rt.root(pair);
+//! rt.collect(&[]); // rooted data survives
+//! let pair = rt.get(h);
+//! let sum = rt.get_field(pair, 0).expect_int() + rt.get_field(pair, 1).expect_int();
+//! assert_eq!(sum, 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod global;
+pub mod seq;
+
+pub use global::{GHandle, GValue, GlobalMutator, GlobalRuntime, GlobalStats};
+pub use seq::{SeqHandle, SeqRuntime, SeqStats, SeqValue};

@@ -1,0 +1,120 @@
+//! `fib` — the classic fork-join microbenchmark: maximal task overhead,
+//! minimal memory traffic. Purely functional, trivially disentangled.
+
+use mpl_baselines::{SeqRuntime, SeqValue};
+use mpl_runtime::{Mutator, Value};
+
+use crate::Benchmark;
+
+/// Sequential cutoff below which recursion runs inline.
+const CUTOFF: usize = 15;
+
+/// The benchmark.
+pub struct Fib;
+
+fn fib_iter(n: usize) -> i64 {
+    let (mut a, mut b) = (0i64, 1i64);
+    for _ in 0..n {
+        let c = a + b;
+        a = b;
+        b = c;
+    }
+    a
+}
+
+/// The leaf does the *actual* exponential recursion (as the sequential
+/// program would), so the parallel/sequential comparison is
+/// work-for-work.
+fn fib_rec(n: usize) -> i64 {
+    if n < 2 {
+        n as i64
+    } else {
+        fib_rec(n - 1) + fib_rec(n - 2)
+    }
+}
+
+/// Work charged for an inlined subtree: one unit per recursive call.
+fn leaf_work(n: usize) -> u64 {
+    (2 * fib_iter(n) + 1) as u64
+}
+
+fn go_mpl(m: &mut Mutator<'_>, n: usize) -> i64 {
+    if n < CUTOFF {
+        m.work(leaf_work(n));
+        return fib_rec(n);
+    }
+    let (a, b) = m.fork(
+        move |m| Value::Int(go_mpl(m, n - 1)),
+        move |m| Value::Int(go_mpl(m, n - 2)),
+    );
+    a.expect_int() + b.expect_int()
+}
+
+fn go_seq(rt: &mut SeqRuntime, n: usize) -> i64 {
+    if n < CUTOFF {
+        rt.work(leaf_work(n));
+        return fib_rec(n);
+    }
+    let (a, b) = rt.fork(
+        move |rt| SeqValue::Int(go_seq(rt, n - 1)),
+        move |rt| SeqValue::Int(go_seq(rt, n - 2)),
+    );
+    a.expect_int() + b.expect_int()
+}
+
+impl Benchmark for Fib {
+    fn name(&self) -> &'static str {
+        "fib"
+    }
+
+    fn entangled(&self) -> bool {
+        false
+    }
+
+    fn default_n(&self) -> usize {
+        28
+    }
+
+    fn small_n(&self) -> usize {
+        16
+    }
+
+    fn scaled_n(&self, pct: usize) -> usize {
+        // Cost is exponential: shave ~1 from n per 20% reduction.
+        let shave = (100usize.saturating_sub(pct)) / 20 + usize::from(pct < 100);
+        self.default_n().saturating_sub(shave).max(self.small_n())
+    }
+
+    fn run_mpl(&self, m: &mut Mutator<'_>, n: usize) -> i64 {
+        go_mpl(m, n)
+    }
+
+    fn run_seq(&self, rt: &mut SeqRuntime, n: usize) -> i64 {
+        go_seq(rt, n)
+    }
+
+    fn run_native(&self, n: usize) -> i64 {
+        fib_iter(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_runtime::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn checksums_agree() {
+        let b = Fib;
+        let n = b.small_n();
+        let native = b.run_native(n);
+        let rt = Runtime::new(RuntimeConfig::managed());
+        let mpl = rt.run(|m| Value::Int(b.run_mpl(m, n))).expect_int();
+        let mut seq = SeqRuntime::default();
+        let s = b.run_seq(&mut seq, n);
+        assert_eq!(native, 987);
+        assert_eq!(mpl, native);
+        assert_eq!(s, native);
+        assert_eq!(rt.stats().pins, 0, "fib is disentangled");
+    }
+}

@@ -1,0 +1,107 @@
+//! `integrate` — trapezoidal integration of `f(x) = x²` over `[0, n)` in
+//! fixed-point arithmetic, parallelized by recursive range splitting.
+//! Purely functional.
+
+use mpl_baselines::{SeqRuntime, SeqValue};
+use mpl_runtime::{Mutator, Value};
+
+use crate::Benchmark;
+
+const GRAIN: usize = 2048;
+const MODULUS: i64 = 1 << 40;
+
+/// The benchmark.
+pub struct Integrate;
+
+fn f(x: i64) -> i64 {
+    (x % 100_003) * (x % 100_003)
+}
+
+fn leaf(lo: usize, hi: usize) -> i64 {
+    let mut acc = 0i64;
+    for i in lo..hi {
+        let x = i as i64;
+        acc = (acc + (f(x) + f(x + 1)) / 2) % MODULUS;
+    }
+    acc
+}
+
+fn go_mpl(m: &mut Mutator<'_>, lo: usize, hi: usize) -> i64 {
+    if hi - lo <= GRAIN {
+        m.work((hi - lo) as u64);
+        return leaf(lo, hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = m.fork(
+        move |m| Value::Int(go_mpl(m, lo, mid)),
+        move |m| Value::Int(go_mpl(m, mid, hi)),
+    );
+    (a.expect_int() + b.expect_int()) % MODULUS
+}
+
+fn go_seq(rt: &mut SeqRuntime, lo: usize, hi: usize) -> i64 {
+    if hi - lo <= GRAIN {
+        rt.work((hi - lo) as u64);
+        return leaf(lo, hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = rt.fork(
+        move |rt| SeqValue::Int(go_seq(rt, lo, mid)),
+        move |rt| SeqValue::Int(go_seq(rt, mid, hi)),
+    );
+    (a.expect_int() + b.expect_int()) % MODULUS
+}
+
+impl Benchmark for Integrate {
+    fn name(&self) -> &'static str {
+        "integrate"
+    }
+
+    fn entangled(&self) -> bool {
+        false
+    }
+
+    fn default_n(&self) -> usize {
+        1 << 18
+    }
+
+    fn run_mpl(&self, m: &mut Mutator<'_>, n: usize) -> i64 {
+        go_mpl(m, 0, n)
+    }
+
+    fn run_seq(&self, rt: &mut SeqRuntime, n: usize) -> i64 {
+        go_seq(rt, 0, n)
+    }
+
+    fn run_native(&self, n: usize) -> i64 {
+        // Same splitting structure so the modular sums associate
+        // identically.
+        fn go(lo: usize, hi: usize) -> i64 {
+            if hi - lo <= GRAIN {
+                return leaf(lo, hi);
+            }
+            let mid = lo + (hi - lo) / 2;
+            (go(lo, mid) + go(mid, hi)) % MODULUS
+        }
+        go(0, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_runtime::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn checksums_agree() {
+        let b = Integrate;
+        let n = b.small_n();
+        let native = b.run_native(n);
+        let rt = Runtime::new(RuntimeConfig::managed());
+        let mpl = rt.run(|m| Value::Int(b.run_mpl(m, n))).expect_int();
+        let mut seq = SeqRuntime::default();
+        assert_eq!(mpl, native);
+        assert_eq!(b.run_seq(&mut seq, n), native);
+        assert_eq!(rt.stats().entangled_reads, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! # mpl-bench-suite — the Parallel-ML-style benchmark suite
+//!
+//! Twenty benchmarks in the mold of the paper's evaluation (PBBS-derived
+//! Parallel ML programs): thirteen **disentangled** (pure or
+//! locally-effectful fork-join) and seven **entangled** (in-place effects
+//! shared across concurrent tasks: concurrent hash tables, lock-free
+//! stacks/queues, BFS parent-claiming, concurrent memoization, account
+//! updates, concurrent union-find).
+//!
+//! Every benchmark implements [`Benchmark`]:
+//!
+//! * `run_mpl` — against the entanglement-managed runtime's [`Mutator`];
+//! * `run_seq` — the same algorithm, single-threaded, on the barrier-free
+//!   sequential baseline (`T_s` in the overhead tables);
+//! * `run_native` — plain Rust (the C++/Go stand-in and the checksum
+//!   oracle);
+//! * `run_global` — on the shared-heap stop-the-world runtime, for the
+//!   cross-runtime comparison benchmarks.
+//!
+//! All workloads are seeded and deterministic; each `run_*` returns a
+//! checksum that must agree across every implementation (verified by each
+//! module's tests and the integration suite).
+//!
+//! # Example
+//!
+//! ```
+//! use mpl_runtime::{Runtime, RuntimeConfig, Value};
+//!
+//! let fib = mpl_bench_suite::by_name("fib").unwrap();
+//! let n = fib.small_n();
+//! let rt = Runtime::new(RuntimeConfig::managed());
+//! let managed = rt.run(|m| Value::Int(fib.run_mpl(m, n)));
+//! assert_eq!(managed, Value::Int(fib.run_native(n)), "checksums agree");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mplutil;
+pub mod util;
+
+pub mod disentangled {
+    //! Disentangled benchmarks: no cross-task memory effects.
+    pub mod dmm;
+    pub mod fib;
+    pub mod grep;
+    pub mod histogram;
+    pub mod integrate;
+    pub mod mcss;
+    pub mod msort;
+    pub mod nbody;
+    pub mod nqueens;
+    pub mod primes;
+    pub mod quickhull;
+    pub mod spmv;
+    pub mod tokens;
+}
+
+pub mod entangled {
+    //! Entangled benchmarks: concurrent tasks share mutable objects.
+    pub mod accounts;
+    pub mod bfs;
+    pub mod conc_stack;
+    pub mod dedup;
+    pub mod memo;
+    pub mod msqueue;
+    pub mod unionfind;
+}
+
+use mpl_baselines::{GlobalMutator, SeqRuntime};
+use mpl_runtime::Mutator;
+
+/// A suite benchmark, runnable on every runtime with a common checksum.
+pub trait Benchmark: Sync {
+    /// Short name (table row label).
+    fn name(&self) -> &'static str;
+
+    /// True if the benchmark entangles (uses cross-task memory effects).
+    fn entangled(&self) -> bool;
+
+    /// Default problem size for the experiment tables.
+    fn default_n(&self) -> usize;
+
+    /// A smaller size for quick verification runs.
+    fn small_n(&self) -> usize {
+        (self.default_n() / 16).max(4)
+    }
+
+    /// Scales the default size to `pct` percent of full scale. Linear by
+    /// default; benchmarks whose cost is exponential in `n` (fib, memo,
+    /// nqueens) override this with a logarithmic adjustment.
+    fn scaled_n(&self, pct: usize) -> usize {
+        (self.default_n() * pct / 100).max(self.small_n().min(self.default_n()))
+    }
+
+    /// Runs on the entanglement-managed runtime; returns the checksum.
+    fn run_mpl(&self, m: &mut Mutator<'_>, n: usize) -> i64;
+
+    /// Runs on the sequential baseline; returns the checksum.
+    fn run_seq(&self, rt: &mut SeqRuntime, n: usize) -> i64;
+
+    /// Plain-Rust implementation (oracle + native comparison).
+    fn run_native(&self, n: usize) -> i64;
+
+    /// Runs on the global-heap runtime, if supported (comparison set).
+    fn run_global(&self, _m: &mut GlobalMutator, _n: usize) -> Option<i64> {
+        None
+    }
+}
+
+/// All benchmarks, disentangled first.
+pub fn all() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(disentangled::fib::Fib),
+        Box::new(disentangled::msort::Msort),
+        Box::new(disentangled::primes::Primes),
+        Box::new(disentangled::tokens::Tokens),
+        Box::new(disentangled::histogram::Histogram),
+        Box::new(disentangled::quickhull::Quickhull),
+        Box::new(disentangled::nqueens::Nqueens),
+        Box::new(disentangled::mcss::Mcss),
+        Box::new(disentangled::dmm::Dmm),
+        Box::new(disentangled::integrate::Integrate),
+        Box::new(disentangled::grep::Grep),
+        Box::new(disentangled::spmv::Spmv),
+        Box::new(disentangled::nbody::Nbody),
+        Box::new(entangled::bfs::Bfs),
+        Box::new(entangled::dedup::Dedup),
+        Box::new(entangled::conc_stack::ConcStack),
+        Box::new(entangled::accounts::Accounts),
+        Box::new(entangled::memo::Memo),
+        Box::new(entangled::msqueue::MsQueue),
+        Box::new(entangled::unionfind::UnionFind),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    all().into_iter().find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let benches = all();
+        assert_eq!(benches.len(), 20);
+        let names: std::collections::HashSet<_> = benches.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 20, "names must be unique");
+        assert_eq!(benches.iter().filter(|b| b.entangled()).count(), 7);
+        assert!(by_name("fib").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

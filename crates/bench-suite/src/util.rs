@@ -1,0 +1,132 @@
+//! Shared workload-generation helpers: deterministic seeded data so every
+//! runtime sees byte-identical inputs.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The fixed experiment seed (all generators derive from it).
+pub const SEED: u64 = 0x9e3779b97f4a7c15;
+
+/// A deterministic RNG for workload generation.
+pub fn rng(stream: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(SEED ^ stream)
+}
+
+/// `n` pseudo-random 63-bit non-negative integers.
+pub fn random_ints(n: usize, stream: u64) -> Vec<i64> {
+    let mut r = rng(stream);
+    (0..n).map(|_| r.gen_range(0..i64::MAX / 4)).collect()
+}
+
+/// `n` small signed integers in `[-50, 50]` (for MCSS-style workloads).
+pub fn random_small_ints(n: usize, stream: u64) -> Vec<i64> {
+    let mut r = rng(stream);
+    (0..n).map(|_| r.gen_range(-50..=50)).collect()
+}
+
+/// `n` pseudo-random points with integer coordinates in a disc of radius
+/// `radius`.
+pub fn random_points(n: usize, radius: i64, stream: u64) -> Vec<(i64, i64)> {
+    let mut r = rng(stream);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x = r.gen_range(-radius..=radius);
+        let y = r.gen_range(-radius..=radius);
+        if x * x + y * y <= radius * radius {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+/// Pseudo-text: lowercase words of length 1–8 separated by single spaces.
+pub fn random_text(n_bytes: usize, stream: u64) -> String {
+    let mut r = rng(stream);
+    let mut s = String::with_capacity(n_bytes);
+    while s.len() < n_bytes {
+        let len = r.gen_range(1..=8);
+        for _ in 0..len {
+            s.push((b'a' + r.gen_range(0..26u8)) as char);
+        }
+        s.push(' ');
+    }
+    s.truncate(n_bytes);
+    s
+}
+
+/// A random directed graph in CSR form: every node gets exactly `degree`
+/// out-edges (possibly with duplicates), plus edge `i -> i+1` to keep it
+/// connected from node 0.
+pub struct CsrGraph {
+    /// Offsets, length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Edge targets.
+    pub targets: Vec<u32>,
+}
+
+/// Generates the experiment graph.
+pub fn random_graph(n: usize, degree: usize, stream: u64) -> CsrGraph {
+    let mut r = rng(stream);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut targets = Vec::with_capacity(n * (degree + 1));
+    offsets.push(0u32);
+    for i in 0..n {
+        if i + 1 < n {
+            targets.push((i + 1) as u32);
+        }
+        for _ in 0..degree {
+            targets.push(r.gen_range(0..n as u64) as u32);
+        }
+        offsets.push(targets.len() as u32);
+    }
+    CsrGraph { offsets, targets }
+}
+
+/// Stream of items with duplicates for dedup workloads: values drawn from
+/// a universe of `n / 2` keys, so roughly half the stream is duplicate.
+pub fn dedup_stream(n: usize, stream: u64) -> Vec<u64> {
+    let mut r = rng(stream);
+    let universe = (n / 2).max(1) as u64;
+    (0..n).map(|_| r.gen_range(0..universe)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_ints(10, 1), random_ints(10, 1));
+        assert_ne!(random_ints(10, 1), random_ints(10, 2));
+        assert_eq!(random_text(64, 3), random_text(64, 3));
+        let g1 = random_graph(50, 3, 4);
+        let g2 = random_graph(50, 3, 4);
+        assert_eq!(g1.offsets, g2.offsets);
+        assert_eq!(g1.targets, g2.targets);
+    }
+
+    #[test]
+    fn graph_is_wellformed() {
+        let n = 100;
+        let g = random_graph(n, 4, 7);
+        assert_eq!(g.offsets.len(), n + 1);
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.targets.len());
+        for &t in &g.targets {
+            assert!((t as usize) < n);
+        }
+    }
+
+    #[test]
+    fn points_in_disc() {
+        for (x, y) in random_points(100, 1000, 5) {
+            assert!(x * x + y * y <= 1000 * 1000);
+        }
+    }
+
+    #[test]
+    fn dedup_stream_has_duplicates() {
+        let s = dedup_stream(1000, 9);
+        let uniq: std::collections::HashSet<_> = s.iter().collect();
+        assert!(uniq.len() < s.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks for the mutator barriers: the per-operation
+//! costs behind experiment E7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mpl_runtime::{GcPolicy, Runtime, RuntimeConfig, Value};
+
+fn nogc(cfg: RuntimeConfig) -> RuntimeConfig {
+    cfg.with_policy(GcPolicy::disabled())
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barriers");
+    g.sample_size(30);
+
+    g.bench_function("read_ref_local_managed", |b| {
+        let rt = Runtime::new(nogc(RuntimeConfig::managed()));
+        rt.run(|m| {
+            let r = m.alloc_ref(Value::Int(1));
+            b.iter(|| black_box(m.read_ref(r)));
+            Value::Unit
+        });
+    });
+
+    g.bench_function("read_ref_local_nobarrier", |b| {
+        let rt = Runtime::new(nogc(RuntimeConfig::no_barrier()));
+        rt.run(|m| {
+            let r = m.alloc_ref(Value::Int(1));
+            b.iter(|| black_box(m.read_ref(r)));
+            Value::Unit
+        });
+    });
+
+    g.bench_function("tuple_get", |b| {
+        let rt = Runtime::new(nogc(RuntimeConfig::managed()));
+        rt.run(|m| {
+            let t = m.alloc_tuple(&[Value::Int(1), Value::Int(2)]);
+            b.iter(|| black_box(m.tuple_get(t, 0)));
+            Value::Unit
+        });
+    });
+
+    g.bench_function("raw_get", |b| {
+        let rt = Runtime::new(nogc(RuntimeConfig::managed()));
+        rt.run(|m| {
+            let a = m.alloc_raw(8);
+            b.iter(|| black_box(m.raw_get(a, 3)));
+            Value::Unit
+        });
+    });
+
+    g.bench_function("write_ref_local", |b| {
+        let rt = Runtime::new(nogc(RuntimeConfig::managed()));
+        rt.run(|m| {
+            let r = m.alloc_ref(Value::Int(1));
+            b.iter(|| m.write_ref(r, Value::Int(2)));
+            Value::Unit
+        });
+    });
+
+    g.bench_function("read_ref_entangled_steady", |b| {
+        let rt = Runtime::new(nogc(RuntimeConfig::managed()));
+        rt.run(|m| {
+            let cell = m.alloc_ref(Value::Unit);
+            let c = m.root(cell);
+            m.fork(
+                |m| {
+                    let boxed = m.alloc_tuple(&[Value::Int(7)]);
+                    m.write_ref(m.get(&c), boxed);
+                    Value::Unit
+                },
+                |m| {
+                    let cell = m.get(&c);
+                    let _ = m.read_ref(cell); // establish the pin
+                    b.iter(|| {
+                        let cell = m.get(&c);
+                        black_box(m.read_ref(cell))
+                    });
+                    Value::Unit
+                },
+            );
+            Value::Unit
+        });
+    });
+
+    g.bench_function("alloc_tuple_2", |b| {
+        let rt = Runtime::new(RuntimeConfig::managed());
+        rt.run(|m| {
+            b.iter(|| black_box(m.alloc_tuple(&[Value::Int(1), Value::Int(2)])));
+            Value::Unit
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

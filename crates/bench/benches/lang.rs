@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the language stack: the formal-semantics
+//! interpreter vs the compiled pipeline on the managed runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpl_lang::{run_program, LangMode, Options, Schedule};
+use mpl_runtime::{Runtime, RuntimeConfig};
+
+fn bench_lang(c: &mut Criterion) {
+    for (name, src) in [
+        ("fib", mpl_lang::examples::FIB),
+        ("tree_sum", mpl_lang::examples::TREE_SUM),
+        ("array_sum", mpl_lang::examples::ARRAY_SUM),
+        ("entangle_publish", mpl_lang::examples::ENTANGLE_PUBLISH),
+    ] {
+        let mut g = c.benchmark_group(format!("lang/{name}"));
+        g.sample_size(20);
+        g.bench_function("semantics", |b| {
+            b.iter(|| {
+                run_program(
+                    src,
+                    Options {
+                        schedule: Schedule::DepthFirst,
+                        mode: LangMode::Managed,
+                        fuel: 50_000_000,
+                    },
+                )
+                .unwrap()
+            });
+        });
+        g.bench_function("compiled", |b| {
+            b.iter(|| {
+                let rt = Runtime::new(RuntimeConfig::managed());
+                mpl_compile::run_source(&rt, src, 50_000_000).unwrap()
+            });
+        });
+        g.bench_function("typecheck_only", |b| {
+            let ast = mpl_lang::parse(src).unwrap();
+            b.iter(|| mpl_compile::typecheck(&ast).unwrap());
+        });
+        g.finish();
+    }
+
+    // Futures (semantics-only): schedule cost of the strict-futures
+    // machinery vs the plain fork-join interpreter above.
+    let mut g = c.benchmark_group("lang/future_pipeline");
+    g.sample_size(20);
+    for (sname, schedule) in [
+        ("depth_first", Schedule::DepthFirst),
+        ("round_robin", Schedule::RoundRobin),
+    ] {
+        g.bench_function(sname, |b| {
+            b.iter(|| {
+                run_program(
+                    mpl_lang::examples::FUTURE_PIPELINE,
+                    Options {
+                        schedule,
+                        mode: LangMode::Managed,
+                        fuel: 1_000_000,
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lang);
+criterion_main!(benches);

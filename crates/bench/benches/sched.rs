@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the virtual-time scheduler simulation itself
+//! (how fast we can replay DAGs at various processor counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpl_runtime::{simulate, Runtime, RuntimeConfig, SimParams, Value};
+
+fn recorded_dag() -> mpl_runtime::Dag {
+    let bench = mpl_bench_suite::by_name("msort").expect("msort");
+    let rt = Runtime::new(RuntimeConfig::managed().with_dag());
+    rt.run(|m| Value::Int(bench.run_mpl(m, bench.small_n())));
+    rt.take_dag().expect("dag recorded")
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let dag = recorded_dag();
+    let mut g = c.benchmark_group("simsched");
+    g.sample_size(30);
+    for procs in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::new("msort_dag", procs), &procs, |b, &procs| {
+            b.iter(|| {
+                simulate(
+                    &dag,
+                    SimParams {
+                        procs,
+                        steal_overhead: 8,
+                        seed: 1,
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

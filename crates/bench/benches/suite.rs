@@ -1,0 +1,38 @@
+//! Criterion benchmarks over the suite: managed runtime vs the sequential
+//! baseline on representative workloads (small sizes; the experiment
+//! binaries measure full scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpl_baselines::SeqRuntime;
+use mpl_runtime::{Runtime, RuntimeConfig, Value};
+
+const SELECTED: &[&str] = &["fib", "msort", "tokens", "dedup", "conc_stack"];
+
+fn bench_suite(c: &mut Criterion) {
+    for name in SELECTED {
+        let bench = mpl_bench_suite::by_name(name).expect("known benchmark");
+        let n = bench.small_n();
+        let mut g = c.benchmark_group(format!("suite/{name}"));
+        g.sample_size(10);
+        g.bench_function("mpl", |b| {
+            b.iter(|| {
+                let rt = Runtime::new(RuntimeConfig::managed());
+                rt.run(|m| Value::Int(bench.run_mpl(m, n)))
+            });
+        });
+        g.bench_function("seq", |b| {
+            b.iter(|| {
+                let mut rt = SeqRuntime::default();
+                bench.run_seq(&mut rt, n)
+            });
+        });
+        g.bench_function("native", |b| {
+            b.iter(|| bench.run_native(n));
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! E7 — Barrier microbenchmarks: per-operation cost of the entanglement
+//! machinery (the paper's "constant-time barrier" claim), in ns/op:
+//!
+//! * local mutable read, barrier on vs off
+//! * entangled read of an already-pinned object (steady state)
+//! * the first entangled read (pin CAS + index insert)
+//! * down-pointer write (remembered-set insert)
+//! * raw-array read (never barriered)
+
+use std::time::Instant;
+
+use mpl_bench::{write_json, Table};
+use mpl_runtime::{GcPolicy, Runtime, RuntimeConfig, Value};
+use serde::Serialize;
+
+const ITERS: usize = 1_000_000;
+
+#[derive(Serialize)]
+struct Row {
+    op: String,
+    ns_per_op: f64,
+}
+
+fn bench_op(name: &str, rows: &mut Vec<Row>, table: &mut Table, mut f: impl FnMut()) {
+    // Warmup.
+    for _ in 0..1000 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+    table.row(vec![name.to_string(), format!("{ns:.1}")]);
+    rows.push(Row {
+        op: name.to_string(),
+        ns_per_op: ns,
+    });
+}
+
+fn main() {
+    println!("E7: barrier/pin microbenchmarks ({ITERS} iterations each)\n");
+    let mut table = Table::new(&["operation", "ns/op"]);
+    let mut rows = Vec::new();
+    let nogc = RuntimeConfig::managed().with_policy(GcPolicy::disabled());
+
+    // Local reads, barrier on.
+    let rt = Runtime::new(nogc);
+    rt.run(|m| {
+        let r = m.alloc_ref(Value::Int(1));
+        bench_op("read_ref local (barrier)", &mut rows, &mut table, || {
+            std::hint::black_box(m.read_ref(r));
+        });
+        let t = m.alloc_tuple(&[Value::Int(1)]);
+        bench_op("tuple_get (no barrier)", &mut rows, &mut table, || {
+            std::hint::black_box(m.tuple_get(t, 0));
+        });
+        let raw = m.alloc_raw(4);
+        bench_op("raw_get (no barrier)", &mut rows, &mut table, || {
+            std::hint::black_box(m.raw_get(raw, 0));
+        });
+        bench_op("write_ref local", &mut rows, &mut table, || {
+            m.write_ref(r, Value::Int(2));
+        });
+        Value::Unit
+    });
+
+    // Barrier off.
+    let rt = Runtime::new(RuntimeConfig::no_barrier().with_policy(GcPolicy::disabled()));
+    rt.run(|m| {
+        let r = m.alloc_ref(Value::Int(1));
+        bench_op("read_ref local (no barrier)", &mut rows, &mut table, || {
+            std::hint::black_box(m.read_ref(r));
+        });
+        Value::Unit
+    });
+
+    // Entangled steady-state read: a cell holding a sibling allocation,
+    // read repeatedly after the pin exists.
+    let rt = Runtime::new(nogc);
+    rt.run(|m| {
+        let cell = m.alloc_ref(Value::Unit);
+        let c = m.root(cell);
+        m.fork(
+            |m| {
+                let boxed = m.alloc_tuple(&[Value::Int(7)]);
+                m.write_ref(m.get(&c), boxed);
+                Value::Unit
+            },
+            |m| {
+                // First read pins; measure both the pin and steady state.
+                let cell = m.get(&c);
+                let start = Instant::now();
+                std::hint::black_box(m.read_ref(cell));
+                let first = start.elapsed().as_nanos() as f64;
+                table.row(vec!["entangled read, first (pin)".into(), format!("{first:.1}")]);
+                rows.push(Row {
+                    op: "entangled read, first (pin)".into(),
+                    ns_per_op: first,
+                });
+                bench_op("entangled read, steady", &mut rows, &mut table, || {
+                    let cell = m.get(&c);
+                    std::hint::black_box(m.read_ref(cell));
+                });
+                Value::Unit
+            },
+        );
+        Value::Unit
+    });
+
+    // Down-pointer writes (remset insert per write).
+    let rt = Runtime::new(nogc);
+    rt.run(|m| {
+        let cell = m.alloc_ref(Value::Unit);
+        let c = m.root(cell);
+        m.fork(
+            |m| {
+                let boxed = m.alloc_tuple(&[Value::Int(1)]);
+                let bh = m.root(boxed);
+                bench_op("write_ref down-pointer (remset)", &mut rows, &mut table, || {
+                    let cell = m.get(&c);
+                    let boxed = m.get(&bh);
+                    m.write_ref(cell, boxed);
+                });
+                Value::Unit
+            },
+            |_| Value::Unit,
+        );
+        Value::Unit
+    });
+
+    print!("{}", table.render());
+    write_json("e7_barrier", &rows);
+    println!("\nwrote results/e7_barrier.json");
+}

@@ -1,0 +1,73 @@
+//! E6 — Cross-runtime comparison on the shared benchmark set (the paper's
+//! "competitive with C++, Go, Java, OCaml" table):
+//!
+//! * native Rust (no GC)            — the C++/Go stand-in
+//! * managed hierarchical runtime   — this paper
+//! * global-heap stop-the-world GC  — the Java/OCaml stand-in
+
+use mpl_bench::{fmt_dur, run_global, run_mpl, run_native, scale_bench, write_json, Table};
+use mpl_runtime::RuntimeConfig;
+use serde::Serialize;
+
+const SET: &[&str] = &["msort", "primes", "tokens", "nqueens", "bfs", "dedup", "unionfind"];
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    t_native_us: u128,
+    t_mpl_us: u128,
+    t_global_us: u128,
+    mpl_vs_native: f64,
+    mpl_vs_global: f64,
+    global_gc_pause_us: u128,
+    global_alloc_locks: u64,
+}
+
+fn main() {
+    println!("E6: cross-runtime comparison (native / managed-hierarchical / global-GC)\n");
+    let mut table = Table::new(&[
+        "benchmark",
+        "native",
+        "mpl",
+        "global-gc",
+        "mpl/native",
+        "mpl/global",
+        "gc pauses",
+        "alloc locks",
+    ]);
+    let mut rows = Vec::new();
+    for name in SET {
+        let bench = mpl_bench_suite::by_name(name).expect("known benchmark");
+        let n = scale_bench(bench.as_ref());
+        let (cn, tn) = run_native(bench.as_ref(), n);
+        let mpl = run_mpl(bench.as_ref(), n, RuntimeConfig::managed());
+        let (cg, tg, gs) = run_global(bench.as_ref(), n, 1).expect("comparison set supports global");
+        assert_eq!(mpl.checksum, cn, "{name}: mpl checksum");
+        assert_eq!(cg, cn, "{name}: global checksum");
+        table.row(vec![
+            name.to_string(),
+            fmt_dur(tn),
+            fmt_dur(mpl.wall),
+            fmt_dur(tg),
+            format!("{:.1}x", mpl.wall.as_secs_f64() / tn.as_secs_f64().max(1e-9)),
+            format!("{:.2}x", mpl.wall.as_secs_f64() / tg.as_secs_f64().max(1e-9)),
+            fmt_dur(gs.gc_pause),
+            gs.alloc_locks.to_string(),
+        ]);
+        rows.push(Row {
+            name: name.to_string(),
+            t_native_us: tn.as_micros(),
+            t_mpl_us: mpl.wall.as_micros(),
+            t_global_us: tg.as_micros(),
+            mpl_vs_native: mpl.wall.as_secs_f64() / tn.as_secs_f64().max(1e-9),
+            mpl_vs_global: mpl.wall.as_secs_f64() / tg.as_secs_f64().max(1e-9),
+            global_gc_pause_us: gs.gc_pause.as_micros(),
+            global_alloc_locks: gs.alloc_locks,
+        });
+    }
+    print!("{}", table.render());
+    write_json("e6_langcmp", &rows);
+    println!("\nwrote results/e6_langcmp.json");
+    println!("\nNote: every managed-runtime allocation here is lock-free; the");
+    println!("global-GC column pays one lock acquisition per allocation.");
+}

@@ -1,0 +1,80 @@
+//! E2 — Main results table (the paper's headline claim: "MPL incurs a
+//! small time and space overhead compared to sequential runs, and scales
+//! well"). For every benchmark:
+//!
+//! * `T_s` — sequential baseline wall time (barrier-free, MLton stand-in)
+//! * `T_1` — managed runtime on one processor (wall time)
+//! * `T_1/T_s` — the overhead of hierarchical+entanglement management
+//! * `T_64` — virtual-time work-stealing simulation on 64 processors
+//! * speedup `T_1/T_64` (in work units, from the recorded DAG)
+
+use mpl_bench::{fmt_dur, run_mpl, run_seq, scale_bench, write_json, Table};
+use mpl_runtime::{simulate, RuntimeConfig, SimParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    entangled: bool,
+    n: usize,
+    t_seq_us: u128,
+    t_mpl_us: u128,
+    overhead: f64,
+    work: u64,
+    span: u64,
+    sim_t1: u64,
+    sim_t64: u64,
+    sim_speedup64: f64,
+}
+
+fn main() {
+    println!("E2: time overhead vs sequential + simulated 64-proc speedup\n");
+    let mut table = Table::new(&[
+        "benchmark", "class", "n", "T_s", "T_1", "T_1/T_s", "parallelism", "speedup@64",
+    ]);
+    let mut rows = Vec::new();
+    for bench in mpl_bench_suite::all() {
+        let n = scale_bench(bench.as_ref());
+        // Median of three runs on each side (single-core hosts are noisy).
+        let mut seq_runs: Vec<_> = (0..3).map(|_| run_seq(bench.as_ref(), n)).collect();
+        seq_runs.sort_by_key(|r| r.wall);
+        let seq = seq_runs.swap_remove(1);
+        let mut mpl_runs: Vec<_> = (0..3)
+            .map(|_| run_mpl(bench.as_ref(), n, RuntimeConfig::managed().with_dag()))
+            .collect();
+        mpl_runs.sort_by_key(|r| r.wall);
+        let mpl = mpl_runs.swap_remove(1);
+        assert_eq!(mpl.checksum, seq.checksum, "{}", bench.name());
+        let dag = mpl.dag.expect("dag recorded");
+        let t1 = simulate(&dag, SimParams { procs: 1, steal_overhead: 8, seed: 1 });
+        let t64 = simulate(&dag, SimParams { procs: 64, steal_overhead: 8, seed: 1 });
+        let overhead = mpl.wall.as_secs_f64() / seq.wall.as_secs_f64().max(1e-9);
+        let speedup = t1.time as f64 / t64.time.max(1) as f64;
+        table.row(vec![
+            bench.name().into(),
+            if bench.entangled() { "ent" } else { "dis" }.into(),
+            n.to_string(),
+            fmt_dur(seq.wall),
+            fmt_dur(mpl.wall),
+            format!("{overhead:.2}x"),
+            format!("{:.1}", dag.parallelism()),
+            format!("{speedup:.1}x"),
+        ]);
+        rows.push(Row {
+            name: bench.name().into(),
+            entangled: bench.entangled(),
+            n,
+            t_seq_us: seq.wall.as_micros(),
+            t_mpl_us: mpl.wall.as_micros(),
+            overhead,
+            work: dag.total_work(),
+            span: dag.span(),
+            sim_t1: t1.time,
+            sim_t64: t64.time,
+            sim_speedup64: speedup,
+        });
+    }
+    print!("{}", table.render());
+    write_json("e2_overhead", &rows);
+    println!("\nwrote results/e2_overhead.json");
+}

@@ -1,0 +1,56 @@
+//! E3 — Speedup curves: simulated `T_1/T_P` for P ∈ {1,2,4,8,16,32,64}
+//! over the recorded computation DAGs (the paper's scalability figure).
+
+use mpl_bench::{run_mpl, scale_bench, write_json, Table};
+use mpl_runtime::{sweep, RuntimeConfig};
+use serde::Serialize;
+
+const PROCS: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+const SELECTED: &[&str] = &[
+    "fib", "msort", "primes", "tokens", "quickhull", "nbody", "bfs", "dedup", "unionfind", "memo",
+];
+
+#[derive(Serialize)]
+struct Series {
+    name: String,
+    procs: Vec<usize>,
+    speedup: Vec<f64>,
+    steals: Vec<u64>,
+    work: u64,
+    span: u64,
+}
+
+fn main() {
+    println!("E3: simulated speedup curves (work-stealing over recorded DAGs)\n");
+    let mut header = vec!["benchmark"];
+    let proc_labels: Vec<String> = PROCS.iter().map(|p| format!("P={p}")).collect();
+    header.extend(proc_labels.iter().map(|s| s.as_str()));
+    header.push("steals@64");
+    let mut table = Table::new(&header);
+    let mut all = Vec::new();
+    for name in SELECTED {
+        let bench = mpl_bench_suite::by_name(name).expect("known benchmark");
+        let n = scale_bench(bench.as_ref());
+        let run = run_mpl(bench.as_ref(), n, RuntimeConfig::managed().with_dag());
+        let dag = run.dag.expect("dag");
+        let series = sweep(&dag, PROCS, 8, 7);
+        let t1 = series[0].1.time as f64;
+        let speedups: Vec<f64> = series.iter().map(|(_, r)| t1 / r.time.max(1) as f64).collect();
+        let steals: Vec<u64> = series.iter().map(|(_, r)| r.steals).collect();
+        let mut row = vec![name.to_string()];
+        row.extend(speedups.iter().map(|s| format!("{s:.1}x")));
+        row.push(steals.last().copied().unwrap_or(0).to_string());
+        table.row(row);
+        all.push(Series {
+            name: name.to_string(),
+            procs: PROCS.to_vec(),
+            speedup: speedups,
+            steals,
+            work: dag.total_work(),
+            span: dag.span(),
+        });
+    }
+    print!("{}", table.render());
+    write_json("e3_speedup", &all);
+    println!("\nwrote results/e3_speedup.json");
+}

@@ -1,0 +1,237 @@
+//! # mpl-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md's
+//! experiment index E1–E9). This library holds the shared measurement
+//! plumbing: running a suite benchmark on each runtime with wall-clock and
+//! counter capture, and rendering aligned tables plus JSON result files.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use mpl_baselines::{GValue, GlobalRuntime, SeqRuntime, SeqStats};
+use mpl_bench_suite::Benchmark;
+use mpl_runtime::{Dag, Runtime, RuntimeConfig, StatsSnapshot, Value};
+
+/// A measured run on the entanglement-managed runtime.
+#[derive(Debug)]
+pub struct MplRun {
+    /// Benchmark checksum (must match the oracle).
+    pub checksum: i64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Runtime counters after the run.
+    pub stats: StatsSnapshot,
+    /// Recorded DAG, when requested.
+    pub dag: Option<Dag>,
+}
+
+/// Runs a benchmark on the managed runtime under `cfg`.
+pub fn run_mpl(bench: &dyn Benchmark, n: usize, cfg: RuntimeConfig) -> MplRun {
+    let rt = Runtime::new(cfg);
+    let start = Instant::now();
+    let checksum = rt.run(|m| Value::Int(bench.run_mpl(m, n))).expect_int();
+    let wall = start.elapsed();
+    MplRun {
+        checksum,
+        wall,
+        stats: rt.stats(),
+        dag: rt.take_dag(),
+    }
+}
+
+/// A measured run on the sequential baseline.
+#[derive(Debug)]
+pub struct SeqRun {
+    /// Benchmark checksum.
+    pub checksum: i64,
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Baseline counters.
+    pub stats: SeqStats,
+}
+
+/// Runs a benchmark on the sequential baseline (MLton stand-in).
+pub fn run_seq(bench: &dyn Benchmark, n: usize) -> SeqRun {
+    let mut rt = SeqRuntime::default();
+    let start = Instant::now();
+    let checksum = bench.run_seq(&mut rt, n);
+    SeqRun {
+        checksum,
+        wall: start.elapsed(),
+        stats: rt.stats(),
+    }
+}
+
+/// Runs the native (plain Rust) implementation.
+pub fn run_native(bench: &dyn Benchmark, n: usize) -> (i64, Duration) {
+    let start = Instant::now();
+    let checksum = bench.run_native(n);
+    (checksum, start.elapsed())
+}
+
+/// Runs on the global-heap runtime, if the benchmark supports it.
+pub fn run_global(
+    bench: &dyn Benchmark,
+    n: usize,
+    threads: usize,
+) -> Option<(i64, Duration, mpl_baselines::GlobalStats)> {
+    let rt = GlobalRuntime::new(1024 * 1024, threads);
+    let start = Instant::now();
+    let checksum = rt.run(|m| match bench.run_global(m, n) {
+        Some(c) => GValue::Int(c),
+        None => GValue::Unit,
+    });
+    let wall = start.elapsed();
+    match checksum {
+        GValue::Int(c) => Some((c, wall, rt.stats())),
+        _ => None,
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.3}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Formats a byte count in adaptive units.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.2}MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// A minimal fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let mut line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(c);
+                let pad = widths[i] + 2 - c.chars().count();
+                s.push_str(&" ".repeat(pad));
+            }
+            out.push_str(s.trim_end());
+            out.push('\n');
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep);
+        for row in &self.rows {
+            line(row);
+        }
+        out
+    }
+}
+
+/// Writes experiment results as JSON under `results/`.
+pub fn write_json<T: Serialize>(experiment: &str, payload: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(payload) {
+        let _ = std::fs::write(path, json);
+    }
+}
+
+/// Scales a benchmark's default size by `MPL_SCALE`, honoring each
+/// benchmark's own scaling law (linear vs exponential cost).
+pub fn scale_bench(bench: &dyn Benchmark) -> usize {
+    match std::env::var("MPL_SCALE") {
+        Ok(s) => {
+            let pct: usize = s.parse().unwrap_or(100);
+            bench.scaled_n(pct)
+        }
+        Err(_) => bench.default_n(),
+    }
+}
+
+/// Scales problem sizes by the `MPL_SCALE` environment variable
+/// (percentage; `MPL_SCALE=25` quarters every workload). Keeps CI quick
+/// while allowing full-size runs.
+pub fn scaled(n: usize) -> usize {
+    match std::env::var("MPL_SCALE") {
+        Ok(s) => {
+            let pct: usize = s.parse().unwrap_or(100);
+            (n * pct / 100).max(4)
+        }
+        Err(_) => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("long-name"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn harness_runs_a_benchmark_everywhere() {
+        let bench = mpl_bench_suite::by_name("fib").unwrap();
+        let n = bench.small_n();
+        let (native, _) = run_native(bench.as_ref(), n);
+        let mpl = run_mpl(bench.as_ref(), n, RuntimeConfig::managed());
+        let seq = run_seq(bench.as_ref(), n);
+        assert_eq!(mpl.checksum, native);
+        assert_eq!(seq.checksum, native);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert!(fmt_bytes(2048).contains("KiB"));
+        assert!(fmt_dur(Duration::from_micros(500)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(5)).contains("ms"));
+    }
+}

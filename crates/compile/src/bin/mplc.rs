@@ -1,0 +1,307 @@
+//! `mplc` — the command-line front end to the pipeline: typecheck and run
+//! λ-par-ref programs on the entanglement-managed runtime.
+//!
+//! ```text
+//! mplc <file.mpl> [--mode managed|detect|nobarrier|auto] [--threads N]
+//!                 [--stats] [--report] [--dot] [--sim P1,P2,...] [--check]
+//!                 [--fuel N] [--interp [--schedule depth|rr|random:N]]
+//! ```
+//!
+//! `--check` stops after type checking. `--sim` records the computation
+//! DAG and reports simulated wall-clock and speedup for the given
+//! processor counts. `--stats` prints the runtime's cost-metric counters;
+//! `--report` prints the final heap-hierarchy snapshot. `--mode auto`
+//! runs the static disentanglement analysis and elides barriers when the
+//! program provably never entangles. `--interp` runs the program on the
+//! *formal semantics* instead of the compiled backend — required for the
+//! futures extension (`future`/`touch`), and useful with `--schedule` to
+//! explore entanglement under different interleavings.
+
+use std::process::ExitCode;
+
+use mpl_compile::{analyze, run_source, typecheck};
+use mpl_lang::{parse, run_expr, LangMode, Options, Schedule};
+use mpl_runtime::{simulate, Mode, Runtime, RuntimeConfig, SimParams};
+
+struct Args {
+    file: String,
+    mode: Mode,
+    auto: bool,
+    threads: usize,
+    stats: bool,
+    report: bool,
+    dot: bool,
+    interp: bool,
+    schedule: Schedule,
+    sim: Vec<usize>,
+    check_only: bool,
+    fuel: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mplc <file.mpl> [--mode managed|detect|nobarrier|auto] [--threads N] \
+         [--stats] [--report] [--sim P1,P2,...] [--check] [--fuel N] \
+         [--interp [--schedule depth|rr|random:N]]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        file: String::new(),
+        mode: Mode::Managed,
+        auto: false,
+        threads: 1,
+        stats: false,
+        report: false,
+        dot: false,
+        interp: false,
+        schedule: Schedule::DepthFirst,
+        sim: Vec::new(),
+        check_only: false,
+        fuel: 100_000_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                match it.next().as_deref() {
+                    Some("managed") => args.mode = Mode::Managed,
+                    Some("detect") => args.mode = Mode::DetectOnly,
+                    Some("nobarrier") => args.mode = Mode::NoEntanglementBarrier,
+                    Some("auto") => args.auto = true,
+                    _ => return Err(usage()),
+                }
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(usage)?
+            }
+            "--fuel" => {
+                args.fuel = it.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?
+            }
+            "--stats" => args.stats = true,
+            "--report" => args.report = true,
+            "--dot" => args.dot = true,
+            "--interp" => args.interp = true,
+            "--schedule" => {
+                args.schedule = match it.next().as_deref() {
+                    Some("depth") => Schedule::DepthFirst,
+                    Some("rr") => Schedule::RoundRobin,
+                    Some(spec) if spec.starts_with("random:") => {
+                        let seed = spec["random:".len()..]
+                            .parse()
+                            .map_err(|_| usage())?;
+                        Schedule::Random(seed)
+                    }
+                    _ => return Err(usage()),
+                }
+            }
+            "--check" => args.check_only = true,
+            "--sim" => {
+                let spec = it.next().ok_or_else(usage)?;
+                args.sim = spec
+                    .split(',')
+                    .map(|p| p.parse().map_err(|_| usage()))
+                    .collect::<Result<_, _>>()?;
+            }
+            f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
+            _ => return Err(usage()),
+        }
+    }
+    if args.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mplc: cannot read {}: {e}", args.file);
+            return ExitCode::from(1);
+        }
+    };
+
+    // Front end.
+    let ast = match parse(&src) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mplc: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let ty = match typecheck(&ast) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mplc: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("type: {ty}");
+    if args.check_only {
+        return ExitCode::SUCCESS;
+    }
+
+    // Formal-semantics backend (futures, schedule exploration).
+    if args.interp {
+        let mode = match args.mode {
+            Mode::DetectOnly => LangMode::DetectOnly,
+            _ => LangMode::Managed,
+        };
+        let opts = Options {
+            schedule: args.schedule,
+            mode,
+            fuel: args.fuel,
+        };
+        match run_expr(&ast, opts) {
+            Ok(out) => {
+                println!("value: {}", out.render());
+                if args.stats {
+                    let c = out.costs;
+                    println!("-- semantics costs --");
+                    println!("steps (work)     : {}", c.steps);
+                    println!("span             : {}", c.span);
+                    println!("allocations      : {}", c.allocs);
+                    println!("entangled reads  : {}", c.entangled_reads);
+                    println!("entangled writes : {}", c.entangled_writes);
+                    println!("pins / unpins    : {} / {}", c.pins, c.unpins);
+                    println!("max pinned       : {}", c.max_pinned);
+                    println!("max footprint    : {}", c.max_footprint);
+                    println!("forks / futures  : {} / {}", c.forks, c.futures);
+                    println!("touches          : {}", c.touches);
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("mplc: aborted: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    // Static disentanglement analysis (barrier elision).
+    let mut mode = args.mode;
+    if args.auto {
+        match analyze(&ast) {
+            Ok(v) => {
+                println!("analysis: {v}");
+                if v.is_disentangled() {
+                    mode = Mode::NoEntanglementBarrier;
+                }
+            }
+            Err(e) => {
+                eprintln!("mplc: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    // Back end.
+    let mut cfg = RuntimeConfig {
+        mode,
+        ..RuntimeConfig::managed()
+    };
+    if args.threads > 1 {
+        cfg = cfg.with_threads(args.threads);
+    }
+    if !args.sim.is_empty() {
+        cfg = cfg.with_dag();
+    }
+    let rt = Runtime::new(cfg);
+    // DetectOnly semantics abort by panicking (prior MPL kills the
+    // program); surface that as a clean diagnostic, without the default
+    // hook's backtrace noise.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_source(&rt, &src, args.fuel)
+    }));
+    std::panic::set_hook(default_hook);
+    match outcome {
+        Ok(Ok(out)) => println!("value: {}", out.rendered),
+        Ok(Err(e)) => {
+            eprintln!("mplc: runtime error: {e}");
+            return ExitCode::from(1);
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("task panicked");
+            eprintln!("mplc: aborted: {msg}");
+            return ExitCode::from(1);
+        }
+    }
+
+    if args.stats {
+        let s = rt.stats();
+        println!("-- stats --");
+        println!("allocations      : {} ({} bytes)", s.allocs, s.alloc_bytes);
+        println!("barrier reads    : {}", s.barrier_reads);
+        println!("entangled reads  : {}", s.entangled_reads);
+        println!("entangled writes : {}", s.entangled_writes);
+        println!("pins / unpins    : {} / {}", s.pins, s.unpins);
+        println!("peak pinned      : {} bytes", s.max_pinned_bytes);
+        println!("LGC runs         : {}", s.lgc_runs);
+        println!("CGC runs         : {}", s.cgc_runs);
+        if s.cgc_runs > 0 {
+            println!(
+                "CGC pauses       : total {} µs, max {} µs",
+                s.cgc_pause_ns_total / 1000,
+                s.cgc_pause_ns_max / 1000
+            );
+        }
+        println!("peak residency   : {} bytes", s.max_live_bytes);
+    }
+    if args.report {
+        println!("-- heap report --");
+        print!("{}", rt.heap_report());
+    }
+    if args.dot {
+        print!("{}", mpl_runtime::heap_dot(&rt.heap_report()));
+    }
+
+    if !args.sim.is_empty() {
+        if let Some(dag) = rt.take_dag() {
+            println!("-- simulated work-stealing schedule --");
+            println!(
+                "work {} / span {} / parallelism {:.1}",
+                dag.total_work(),
+                dag.span(),
+                dag.parallelism()
+            );
+            let t1 = simulate(
+                &dag,
+                SimParams {
+                    procs: 1,
+                    steal_overhead: 8,
+                    seed: 1,
+                },
+            )
+            .time;
+            for p in &args.sim {
+                let tp = simulate(
+                    &dag,
+                    SimParams {
+                        procs: *p,
+                        steal_overhead: 8,
+                        seed: 1,
+                    },
+                )
+                .time;
+                println!("P={p:<3} T_P={tp:<12} speedup {:.2}x", t1 as f64 / tp.max(1) as f64);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,240 @@
+//! Static disentanglement analysis.
+//!
+//! A conservative, type-guided check proving that a program can *never*
+//! entangle — under any schedule — so its barriers can be elided
+//! entirely (`Mode::NoEntanglementBarrier` becomes safe, recovering the
+//! paper's "disentangled programs pay nothing" property at compile time
+//! rather than per-access).
+//!
+//! # The argument
+//!
+//! Entanglement is a task acquiring (reading a pointer to) an object
+//! allocated by a *concurrent* task. In λ-par-ref, pointers cross a
+//! concurrency boundary only through **pre-existing mutable state**: one
+//! branch stores a pointer into a ref or array that the concurrent
+//! sibling also reaches. Immutable data (pairs, closures, results) flows
+//! only parent→child at forks and child→parent at joins — never between
+//! concurrent siblings.
+//!
+//! Therefore, if every `ref` and `array` in the program holds only
+//! *flat* values (int / bool / unit), no pointer can ever move through
+//! mutable state, no task can acquire a sibling's object, and the
+//! program is disentangled under every schedule. A program with no `par`
+//! (and no `future`) at all is trivially disentangled too.
+//!
+//! Futures add one more channel: `touch` reveals the future's *result*
+//! to arbitrary tasks, so future result types are checked for flatness
+//! exactly like mutable element types.
+//!
+//! The check is *sound but incomplete*: `entangle_publish` (a `ref` of a
+//! pair) is rejected even under schedules where the racing read happens
+//! to miss. That is the right polarity for a barrier-eliding analysis.
+
+use std::fmt;
+
+use mpl_lang::Expr;
+
+use crate::types::{typecheck_with_mutables, Type, TypeError};
+
+/// The analysis result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The program provably never entangles; barriers may be elided.
+    Disentangled(Reason),
+    /// The program *may* entangle (conservative): the listed cross-task
+    /// channels (`ref`/`array` element types, `future` result types) can
+    /// carry pointers.
+    MayEntangle(Vec<String>),
+}
+
+/// Why a program is statically disentangled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// No `par` or `future` anywhere: a sequential program cannot have
+    /// concurrent tasks.
+    Sequential,
+    /// Every cross-task channel type (`ref`/`array` elements, `future`
+    /// results) is flat (int/bool/unit), so no pointer can cross a
+    /// concurrency boundary.
+    FlatMutableState,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Disentangled(Reason::Sequential) => {
+                write!(f, "disentangled (no parallelism)")
+            }
+            Verdict::Disentangled(Reason::FlatMutableState) => {
+                write!(f, "disentangled (mutable state is pointer-free)")
+            }
+            Verdict::MayEntangle(sites) => {
+                write!(f, "may entangle (pointer-carrying cross-task channels: ")?;
+                for (i, s) in sites.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl Verdict {
+    /// True if barriers can be elided.
+    pub fn is_disentangled(&self) -> bool {
+        matches!(self, Verdict::Disentangled(_))
+    }
+}
+
+/// A type through which no heap pointer can flow.
+fn is_flat(t: &Type) -> bool {
+    matches!(t, Type::Int | Type::Bool | Type::Unit)
+}
+
+fn contains_par(e: &Expr) -> bool {
+    match e {
+        Expr::Par(_, _) | Expr::Future(_) => true,
+        Expr::Var(_) | Expr::Int(_) | Expr::Bool(_) | Expr::Unit => false,
+        Expr::Lam(_, b) | Expr::Fix(_, _, b) => contains_par(b),
+        Expr::Fst(a)
+        | Expr::Snd(a)
+        | Expr::Ref(a)
+        | Expr::Deref(a)
+        | Expr::Length(a)
+        | Expr::Touch(a) => contains_par(a),
+        Expr::App(a, b)
+        | Expr::Pair(a, b)
+        | Expr::Assign(a, b)
+        | Expr::Array(a, b)
+        | Expr::Sub(a, b)
+        | Expr::Seq(a, b)
+        | Expr::Bin(_, a, b)
+        | Expr::Let(_, a, b) => contains_par(a) || contains_par(b),
+        Expr::If(a, b, c) | Expr::Update(a, b, c) => {
+            contains_par(a) || contains_par(b) || contains_par(c)
+        }
+    }
+}
+
+/// Runs the analysis on a closed, well-typed program.
+///
+/// Returns a type error if the program does not typecheck (the analysis
+/// is type-guided).
+pub fn analyze(e: &Expr) -> Result<Verdict, TypeError> {
+    let (_, mut_elems) = typecheck_with_mutables(e)?;
+    if !contains_par(e) {
+        return Ok(Verdict::Disentangled(Reason::Sequential));
+    }
+    let offenders: Vec<String> = mut_elems
+        .iter()
+        .filter(|t| !is_flat(t))
+        .map(|t| t.to_string())
+        .collect();
+    if offenders.is_empty() {
+        Ok(Verdict::Disentangled(Reason::FlatMutableState))
+    } else {
+        Ok(Verdict::MayEntangle(offenders))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::parse;
+
+    fn verdict(src: &str) -> Verdict {
+        analyze(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pure_parallel_program_is_disentangled() {
+        let v = verdict("let p = par(1 + 2, 3 * 4) in fst p + snd p");
+        assert_eq!(v, Verdict::Disentangled(Reason::FlatMutableState));
+    }
+
+    #[test]
+    fn sequential_ref_of_pair_is_disentangled() {
+        // Pointer-holding cell, but no par: nothing is concurrent.
+        let v = verdict("let r = ref (1, 2) in fst !r");
+        assert_eq!(v, Verdict::Disentangled(Reason::Sequential));
+    }
+
+    #[test]
+    fn int_cells_across_par_are_disentangled() {
+        let v = verdict("let r = ref 0 in let p = par(r := 1, r := 2) in !r");
+        assert_eq!(v, Verdict::Disentangled(Reason::FlatMutableState));
+    }
+
+    #[test]
+    fn pointer_cell_across_par_may_entangle() {
+        let v = verdict("let r = ref (0, 0) in let p = par(r := (1, 2), fst !r) in snd p");
+        match v {
+            Verdict::MayEntangle(sites) => assert!(sites[0].contains('*')),
+            other => panic!("expected MayEntangle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_of_refs_may_entangle() {
+        let v = verdict("let a = array(4, ref 0) in let p = par(update(a, 0, ref 1), !(sub(a, 0))) in snd p");
+        assert!(!v.is_disentangled());
+    }
+
+    #[test]
+    fn flat_arrays_across_par_are_disentangled() {
+        let v = verdict(
+            "let a = array(8, 0) in let p = par(update(a, 0, 1), update(a, 1, 2)) in sub(a, 0)",
+        );
+        assert_eq!(v, Verdict::Disentangled(Reason::FlatMutableState));
+    }
+
+    #[test]
+    fn verdict_display_is_informative() {
+        let v = verdict("let r = ref (1, 2) in let p = par(!r, !r) in 0");
+        let shown = v.to_string();
+        assert!(shown.contains("may entangle"), "{shown}");
+        let v = verdict("par(1, 2)");
+        assert_eq!(v.to_string(), "disentangled (mutable state is pointer-free)");
+    }
+
+    #[test]
+    fn ill_typed_programs_error() {
+        assert!(analyze(&parse("1 + true").unwrap()).is_err());
+    }
+
+    #[test]
+    fn flat_future_results_are_disentangled() {
+        let v = verdict("let f = future (1 + 2) in touch f + 1");
+        assert_eq!(v, Verdict::Disentangled(Reason::FlatMutableState));
+    }
+
+    #[test]
+    fn pointer_future_results_may_entangle() {
+        // The touch reveals a heap pair allocated by the future task.
+        let v = verdict("let f = future (1, 2) in fst (touch f)");
+        match v {
+            Verdict::MayEntangle(sites) => assert!(sites[0].contains('*'), "{sites:?}"),
+            other => panic!("expected MayEntangle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn futures_count_as_parallelism() {
+        // No `par`, but a future still spawns a concurrent task, so the
+        // "sequential" shortcut must not fire.
+        let v = verdict("let f = future (1, 2) in 0");
+        assert!(!v.is_disentangled());
+    }
+
+    #[test]
+    fn touch_types_flow_through_inference() {
+        use crate::typecheck;
+        let t = typecheck(&parse("let f = future (1, true) in touch f").unwrap()).unwrap();
+        assert_eq!(t.to_string(), "(int * bool)");
+        let t = typecheck(&parse("future 5").unwrap()).unwrap();
+        assert_eq!(t.to_string(), "(int future)");
+    }
+}

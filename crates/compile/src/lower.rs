@@ -1,0 +1,213 @@
+//! Lowering: named surface syntax to a thread-shareable, de Bruijn-indexed
+//! core IR.
+//!
+//! The runtime executes fork branches on real threads, so compiled code
+//! must be `Send`; the surface AST uses `Rc` and names, the core IR uses
+//! `Arc` and indices. Variable lookup becomes a counted walk up the
+//! environment chain (which lives in the managed heap at run time).
+
+use std::fmt;
+use std::sync::Arc;
+
+use mpl_lang::{BinOp, Expr};
+
+/// The core IR. De Bruijn convention: `Var(0)` is the innermost binding.
+/// A `Fix` body sees `Var(0)` = the parameter and `Var(1)` = the function
+/// itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExpr {
+    /// De Bruijn variable.
+    Var(usize),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Unit literal.
+    Unit,
+    /// Abstraction (binds 1).
+    Lam(Arc<CExpr>),
+    /// Recursive abstraction (binds 2: parameter, then self).
+    Fix(Arc<CExpr>),
+    /// Application.
+    App(Arc<CExpr>, Arc<CExpr>),
+    /// Pair construction.
+    Pair(Arc<CExpr>, Arc<CExpr>),
+    /// First projection.
+    Fst(Arc<CExpr>),
+    /// Second projection.
+    Snd(Arc<CExpr>),
+    /// `let` (binds 1 in the body).
+    Let(Arc<CExpr>, Arc<CExpr>),
+    /// Conditional.
+    If(Arc<CExpr>, Arc<CExpr>, Arc<CExpr>),
+    /// Cell allocation.
+    Ref(Arc<CExpr>),
+    /// Barriered read.
+    Deref(Arc<CExpr>),
+    /// Barriered write.
+    Assign(Arc<CExpr>, Arc<CExpr>),
+    /// Fork-join.
+    Par(Arc<CExpr>, Arc<CExpr>),
+    /// Array allocation.
+    Array(Arc<CExpr>, Arc<CExpr>),
+    /// Barriered array read.
+    Sub(Arc<CExpr>, Arc<CExpr>),
+    /// Barriered array write.
+    Update(Arc<CExpr>, Arc<CExpr>, Arc<CExpr>),
+    /// Array length.
+    Length(Arc<CExpr>),
+    /// Sequencing.
+    Seq(Arc<CExpr>, Arc<CExpr>),
+    /// Primitive operation.
+    Bin(BinOp, Arc<CExpr>, Arc<CExpr>),
+}
+
+/// Lowering failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LowerError {
+    /// An unbound variable (everything else is shape-preserving).
+    Unbound(String),
+    /// A construct the compiled backend does not support.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Unbound(name) => {
+                write!(f, "unbound variable `{name}` during lowering")
+            }
+            LowerError::Unsupported(what) => write!(
+                f,
+                "{what} is a semantics-level feature (run it with the \
+                 mpl-lang interpreter); the compiled backend supports \
+                 fork-join parallelism only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a closed expression.
+pub fn lower(e: &Expr) -> Result<Arc<CExpr>, LowerError> {
+    let mut scope: Vec<String> = Vec::new();
+    go(e, &mut scope)
+}
+
+fn go(e: &Expr, scope: &mut Vec<String>) -> Result<Arc<CExpr>, LowerError> {
+    Ok(Arc::new(match e {
+        Expr::Future(_) | Expr::Touch(_) => {
+            return Err(LowerError::Unsupported("futures (`future`/`touch`)"))
+        }
+        Expr::Var(x) => {
+            let idx = scope
+                .iter()
+                .rev()
+                .position(|n| n == x)
+                .ok_or_else(|| LowerError::Unbound(x.clone()))?;
+            CExpr::Var(idx)
+        }
+        Expr::Int(n) => CExpr::Int(*n),
+        Expr::Bool(b) => CExpr::Bool(*b),
+        Expr::Unit => CExpr::Unit,
+        Expr::Lam(x, b) => {
+            scope.push(x.clone());
+            let b = go(b, scope)?;
+            scope.pop();
+            CExpr::Lam(b)
+        }
+        Expr::Fix(f, x, b) => {
+            // Body convention: Var(0) = x (innermost), Var(1) = f.
+            scope.push(f.clone());
+            scope.push(x.clone());
+            let b = go(b, scope)?;
+            scope.pop();
+            scope.pop();
+            CExpr::Fix(b)
+        }
+        Expr::App(a, b) => CExpr::App(go(a, scope)?, go(b, scope)?),
+        Expr::Pair(a, b) => CExpr::Pair(go(a, scope)?, go(b, scope)?),
+        Expr::Fst(a) => CExpr::Fst(go(a, scope)?),
+        Expr::Snd(a) => CExpr::Snd(go(a, scope)?),
+        Expr::Let(x, rhs, body) => {
+            let rhs = go(rhs, scope)?;
+            scope.push(x.clone());
+            let body = go(body, scope)?;
+            scope.pop();
+            CExpr::Let(rhs, body)
+        }
+        Expr::If(c, t, f) => CExpr::If(go(c, scope)?, go(t, scope)?, go(f, scope)?),
+        Expr::Ref(a) => CExpr::Ref(go(a, scope)?),
+        Expr::Deref(a) => CExpr::Deref(go(a, scope)?),
+        Expr::Assign(a, b) => CExpr::Assign(go(a, scope)?, go(b, scope)?),
+        Expr::Par(a, b) => CExpr::Par(go(a, scope)?, go(b, scope)?),
+        Expr::Array(n, i) => CExpr::Array(go(n, scope)?, go(i, scope)?),
+        Expr::Sub(a, i) => CExpr::Sub(go(a, scope)?, go(i, scope)?),
+        Expr::Update(a, i, v) => CExpr::Update(go(a, scope)?, go(i, scope)?, go(v, scope)?),
+        Expr::Length(a) => CExpr::Length(go(a, scope)?),
+        Expr::Seq(a, b) => CExpr::Seq(go(a, scope)?, go(b, scope)?),
+        Expr::Bin(op, a, b) => CExpr::Bin(*op, go(a, scope)?, go(b, scope)?),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::parse;
+
+    fn l(src: &str) -> Arc<CExpr> {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn indices_count_inward() {
+        // fn x => fn y => x  ==>  Lam(Lam(Var 1))
+        assert_eq!(
+            *l("fn x => fn y => x"),
+            CExpr::Lam(Arc::new(CExpr::Lam(Arc::new(CExpr::Var(1)))))
+        );
+        assert_eq!(
+            *l("fn x => fn y => y"),
+            CExpr::Lam(Arc::new(CExpr::Lam(Arc::new(CExpr::Var(0)))))
+        );
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost() {
+        // let x = 1 in let x = 2 in x  => Var(0) of the inner let
+        let e = l("let x = 1 in let x = 2 in x");
+        if let CExpr::Let(_, body) = &*e {
+            if let CExpr::Let(_, inner) = &**body {
+                assert_eq!(**inner, CExpr::Var(0));
+                return;
+            }
+        }
+        panic!("unexpected shape: {e:?}");
+    }
+
+    #[test]
+    fn fix_binds_param_then_self() {
+        let e = l("fix f x => f x");
+        if let CExpr::Fix(body) = &*e {
+            assert_eq!(
+                **body,
+                CExpr::App(Arc::new(CExpr::Var(1)), Arc::new(CExpr::Var(0)))
+            );
+        } else {
+            panic!("not a fix: {e:?}");
+        }
+    }
+
+    #[test]
+    fn unbound_variables_fail() {
+        assert!(lower(&parse("x").unwrap()).is_err());
+        assert!(lower(&parse("fn x => y").unwrap()).is_err());
+    }
+
+    #[test]
+    fn ir_is_send() {
+        fn assert_send<T: Send + Sync>() {}
+        assert_send::<Arc<CExpr>>();
+    }
+}

@@ -1,0 +1,494 @@
+//! Hindley–Milner type inference for λ-par-ref.
+//!
+//! The paper's language is typed ML; this module supplies the front-end
+//! type discipline: unification-based inference with let-generalization
+//! and the value restriction (only syntactic values generalize, which
+//! keeps `ref` sound, exactly as in Standard ML).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use mpl_lang::{BinOp, Expr};
+
+/// Types.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// Integers.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Unit.
+    Unit,
+    /// Pairs.
+    Pair(Rc<Type>, Rc<Type>),
+    /// Mutable references.
+    Ref(Rc<Type>),
+    /// Mutable arrays.
+    Array(Rc<Type>),
+    /// Functions.
+    Fn(Rc<Type>, Rc<Type>),
+    /// Futures (`future e` in the semantics-level calculus).
+    Future(Rc<Type>),
+    /// An inference variable.
+    Var(u32),
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Unit => write!(f, "unit"),
+            Type::Pair(a, b) => write!(f, "({a} * {b})"),
+            Type::Ref(t) => write!(f, "({t} ref)"),
+            Type::Array(t) => write!(f, "({t} array)"),
+            Type::Fn(a, b) => write!(f, "({a} -> {b})"),
+            Type::Future(t) => write!(f, "({t} future)"),
+            Type::Var(v) => write!(f, "'t{v}"),
+        }
+    }
+}
+
+/// A type scheme: universally quantified inference variables.
+#[derive(Clone, Debug)]
+struct Scheme {
+    vars: Vec<u32>,
+    ty: Type,
+}
+
+/// Type errors.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeError {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// The inference engine: a union-find-ish substitution map.
+struct Infer {
+    subst: HashMap<u32, Type>,
+    next: u32,
+    /// Element types of every `ref`/`array` allocation site, recorded for
+    /// the static disentanglement analysis (resolved after inference).
+    mut_elems: Vec<Type>,
+}
+
+impl Infer {
+    fn fresh(&mut self) -> Type {
+        self.next += 1;
+        Type::Var(self.next - 1)
+    }
+
+    /// Resolves the outermost variable chain.
+    fn shallow(&self, t: &Type) -> Type {
+        let mut t = t.clone();
+        while let Type::Var(v) = t {
+            match self.subst.get(&v) {
+                Some(next) => t = next.clone(),
+                None => return Type::Var(v),
+            }
+        }
+        t
+    }
+
+    /// Fully applies the substitution.
+    fn resolve(&self, t: &Type) -> Type {
+        match self.shallow(t) {
+            Type::Pair(a, b) => Type::Pair(Rc::new(self.resolve(&a)), Rc::new(self.resolve(&b))),
+            Type::Ref(a) => Type::Ref(Rc::new(self.resolve(&a))),
+            Type::Array(a) => Type::Array(Rc::new(self.resolve(&a))),
+            Type::Future(a) => Type::Future(Rc::new(self.resolve(&a))),
+            Type::Fn(a, b) => Type::Fn(Rc::new(self.resolve(&a)), Rc::new(self.resolve(&b))),
+            other => other,
+        }
+    }
+
+    fn occurs(&self, v: u32, t: &Type) -> bool {
+        match self.shallow(t) {
+            Type::Var(w) => v == w,
+            Type::Pair(a, b) | Type::Fn(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+            Type::Ref(a) | Type::Array(a) | Type::Future(a) => self.occurs(v, &a),
+            _ => false,
+        }
+    }
+
+    fn unify(&mut self, a: &Type, b: &Type) -> Result<(), TypeError> {
+        let (a, b) = (self.shallow(a), self.shallow(b));
+        match (&a, &b) {
+            (Type::Var(v), _) => {
+                if let Type::Var(w) = b {
+                    if *v == w {
+                        return Ok(());
+                    }
+                }
+                if self.occurs(*v, &b) {
+                    return Err(TypeError {
+                        msg: format!("infinite type: 't{v} = {}", self.resolve(&b)),
+                    });
+                }
+                self.subst.insert(*v, b);
+                Ok(())
+            }
+            (_, Type::Var(_)) => self.unify(&b, &a),
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Unit, Type::Unit) => Ok(()),
+            (Type::Pair(a1, a2), Type::Pair(b1, b2)) | (Type::Fn(a1, a2), Type::Fn(b1, b2)) => {
+                self.unify(a1, b1)?;
+                self.unify(a2, b2)
+            }
+            (Type::Ref(x), Type::Ref(y))
+            | (Type::Array(x), Type::Array(y))
+            | (Type::Future(x), Type::Future(y)) => self.unify(x, y),
+            _ => Err(TypeError {
+                msg: format!("cannot unify {} with {}", self.resolve(&a), self.resolve(&b)),
+            }),
+        }
+    }
+
+    fn free_vars(&self, t: &Type, out: &mut Vec<u32>) {
+        match self.shallow(t) {
+            Type::Var(v) if !out.contains(&v) => out.push(v),
+            Type::Pair(a, b) | Type::Fn(a, b) => {
+                self.free_vars(&a, out);
+                self.free_vars(&b, out);
+            }
+            Type::Ref(a) | Type::Array(a) | Type::Future(a) => self.free_vars(&a, out),
+            _ => {}
+        }
+    }
+
+    fn instantiate(&mut self, s: &Scheme) -> Type {
+        let mut map = HashMap::new();
+        for &v in &s.vars {
+            map.insert(v, self.fresh());
+        }
+        self.subst_scheme(&s.ty, &map)
+    }
+
+    fn subst_scheme(&self, t: &Type, map: &HashMap<u32, Type>) -> Type {
+        match self.shallow(t) {
+            Type::Var(v) => map.get(&v).cloned().unwrap_or(Type::Var(v)),
+            Type::Pair(a, b) => Type::Pair(
+                Rc::new(self.subst_scheme(&a, map)),
+                Rc::new(self.subst_scheme(&b, map)),
+            ),
+            Type::Fn(a, b) => Type::Fn(
+                Rc::new(self.subst_scheme(&a, map)),
+                Rc::new(self.subst_scheme(&b, map)),
+            ),
+            Type::Ref(a) => Type::Ref(Rc::new(self.subst_scheme(&a, map))),
+            Type::Array(a) => Type::Array(Rc::new(self.subst_scheme(&a, map))),
+            other => other,
+        }
+    }
+}
+
+type Env = Vec<(String, Scheme)>;
+
+fn lookup(env: &Env, x: &str) -> Option<Scheme> {
+    env.iter().rev().find(|(n, _)| n == x).map(|(_, s)| s.clone())
+}
+
+/// True for syntactic values (the value restriction: only these
+/// generalize at `let`).
+fn is_value(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::Unit
+            | Expr::Var(_)
+            | Expr::Lam(..)
+            | Expr::Fix(..)
+    ) || matches!(e, Expr::Pair(a, b) if is_value(a) && is_value(b))
+}
+
+fn infer(inf: &mut Infer, env: &mut Env, e: &Expr) -> Result<Type, TypeError> {
+    match e {
+        Expr::Int(_) => Ok(Type::Int),
+        Expr::Bool(_) => Ok(Type::Bool),
+        Expr::Unit => Ok(Type::Unit),
+        Expr::Var(x) => {
+            let s = lookup(env, x).ok_or_else(|| TypeError {
+                msg: format!("unbound variable `{x}`"),
+            })?;
+            Ok(inf.instantiate(&s))
+        }
+        Expr::Lam(x, body) => {
+            let a = inf.fresh();
+            env.push((x.clone(), Scheme { vars: vec![], ty: a.clone() }));
+            let b = infer(inf, env, body)?;
+            env.pop();
+            Ok(Type::Fn(Rc::new(a), Rc::new(b)))
+        }
+        Expr::Fix(f, x, body) => {
+            let a = inf.fresh();
+            let b = inf.fresh();
+            let fty = Type::Fn(Rc::new(a.clone()), Rc::new(b.clone()));
+            env.push((f.clone(), Scheme { vars: vec![], ty: fty.clone() }));
+            env.push((x.clone(), Scheme { vars: vec![], ty: a }));
+            let body_t = infer(inf, env, body)?;
+            env.pop();
+            env.pop();
+            inf.unify(&body_t, &b)?;
+            Ok(fty)
+        }
+        Expr::App(f, arg) => {
+            let ft = infer(inf, env, f)?;
+            let at = infer(inf, env, arg)?;
+            let r = inf.fresh();
+            inf.unify(&ft, &Type::Fn(Rc::new(at), Rc::new(r.clone())))?;
+            Ok(r)
+        }
+        Expr::Pair(a, b) => {
+            let ta = infer(inf, env, a)?;
+            let tb = infer(inf, env, b)?;
+            Ok(Type::Pair(Rc::new(ta), Rc::new(tb)))
+        }
+        Expr::Fst(p) => {
+            let tp = infer(inf, env, p)?;
+            let (a, b) = (inf.fresh(), inf.fresh());
+            inf.unify(&tp, &Type::Pair(Rc::new(a.clone()), Rc::new(b)))?;
+            Ok(a)
+        }
+        Expr::Snd(p) => {
+            let tp = infer(inf, env, p)?;
+            let (a, b) = (inf.fresh(), inf.fresh());
+            inf.unify(&tp, &Type::Pair(Rc::new(a), Rc::new(b.clone())))?;
+            Ok(b)
+        }
+        Expr::Let(x, rhs, body) => {
+            let t_rhs = infer(inf, env, rhs)?;
+            // Value restriction: generalize only syntactic values.
+            let scheme = if is_value(rhs) {
+                let mut rhs_vars = Vec::new();
+                inf.free_vars(&t_rhs, &mut rhs_vars);
+                let mut env_vars = Vec::new();
+                for (_, s) in env.iter() {
+                    inf.free_vars(&s.ty, &mut env_vars);
+                }
+                let gen: Vec<u32> = rhs_vars
+                    .into_iter()
+                    .filter(|v| !env_vars.contains(v))
+                    .collect();
+                Scheme { vars: gen, ty: t_rhs }
+            } else {
+                Scheme { vars: vec![], ty: t_rhs }
+            };
+            env.push((x.clone(), scheme));
+            let t = infer(inf, env, body)?;
+            env.pop();
+            Ok(t)
+        }
+        Expr::If(c, t, e2) => {
+            let tc = infer(inf, env, c)?;
+            inf.unify(&tc, &Type::Bool)?;
+            let tt = infer(inf, env, t)?;
+            let te = infer(inf, env, e2)?;
+            inf.unify(&tt, &te)?;
+            Ok(tt)
+        }
+        Expr::Ref(v) => {
+            let t = infer(inf, env, v)?;
+            inf.mut_elems.push(t.clone());
+            Ok(Type::Ref(Rc::new(t)))
+        }
+        Expr::Deref(r) => {
+            let t = infer(inf, env, r)?;
+            let a = inf.fresh();
+            inf.unify(&t, &Type::Ref(Rc::new(a.clone())))?;
+            Ok(a)
+        }
+        Expr::Assign(r, v) => {
+            let tr = infer(inf, env, r)?;
+            let tv = infer(inf, env, v)?;
+            inf.unify(&tr, &Type::Ref(Rc::new(tv)))?;
+            Ok(Type::Unit)
+        }
+        Expr::Par(a, b) => {
+            let ta = infer(inf, env, a)?;
+            let tb = infer(inf, env, b)?;
+            Ok(Type::Pair(Rc::new(ta), Rc::new(tb)))
+        }
+        Expr::Future(body) => {
+            let t = infer(inf, env, body)?;
+            // Future results cross a concurrency boundary: record them
+            // alongside mutable element types for the disentanglement
+            // analysis.
+            inf.mut_elems.push(t.clone());
+            Ok(Type::Future(Rc::new(t)))
+        }
+        Expr::Touch(a) => {
+            let ta = infer(inf, env, a)?;
+            let r = inf.fresh();
+            inf.unify(&ta, &Type::Future(Rc::new(r.clone())))?;
+            Ok(r)
+        }
+        Expr::Array(n, init) => {
+            let tn = infer(inf, env, n)?;
+            inf.unify(&tn, &Type::Int)?;
+            let ti = infer(inf, env, init)?;
+            inf.mut_elems.push(ti.clone());
+            Ok(Type::Array(Rc::new(ti)))
+        }
+        Expr::Sub(a, i) => {
+            let ta = infer(inf, env, a)?;
+            let ti = infer(inf, env, i)?;
+            inf.unify(&ti, &Type::Int)?;
+            let elem = inf.fresh();
+            inf.unify(&ta, &Type::Array(Rc::new(elem.clone())))?;
+            Ok(elem)
+        }
+        Expr::Update(a, i, v) => {
+            let ta = infer(inf, env, a)?;
+            let ti = infer(inf, env, i)?;
+            inf.unify(&ti, &Type::Int)?;
+            let tv = infer(inf, env, v)?;
+            inf.unify(&ta, &Type::Array(Rc::new(tv)))?;
+            Ok(Type::Unit)
+        }
+        Expr::Length(a) => {
+            let ta = infer(inf, env, a)?;
+            let elem = inf.fresh();
+            inf.unify(&ta, &Type::Array(Rc::new(elem)))?;
+            Ok(Type::Int)
+        }
+        Expr::Seq(a, b) => {
+            let _ = infer(inf, env, a)?;
+            infer(inf, env, b)
+        }
+        Expr::Bin(op, a, b) => {
+            let ta = infer(inf, env, a)?;
+            let tb = infer(inf, env, b)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    inf.unify(&ta, &Type::Int)?;
+                    inf.unify(&tb, &Type::Int)?;
+                    Ok(Type::Int)
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    inf.unify(&ta, &Type::Int)?;
+                    inf.unify(&tb, &Type::Int)?;
+                    Ok(Type::Bool)
+                }
+                BinOp::Eq => {
+                    inf.unify(&ta, &tb)?;
+                    Ok(Type::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    inf.unify(&ta, &Type::Bool)?;
+                    inf.unify(&tb, &Type::Bool)?;
+                    Ok(Type::Bool)
+                }
+            }
+        }
+    }
+}
+
+/// Infers the type of a closed program.
+pub fn typecheck(e: &Expr) -> Result<Type, TypeError> {
+    typecheck_with_mutables(e).map(|(t, _)| t)
+}
+
+/// Infers the program type and additionally returns the resolved element
+/// type of every `ref`/`array` allocation site in the program — the raw
+/// material for the static disentanglement analysis
+/// ([`crate::disentangle`]).
+pub fn typecheck_with_mutables(e: &Expr) -> Result<(Type, Vec<Type>), TypeError> {
+    let mut inf = Infer {
+        subst: HashMap::new(),
+        next: 0,
+        mut_elems: Vec::new(),
+    };
+    let mut env = Vec::new();
+    let t = infer(&mut inf, &mut env, e)?;
+    let t = inf.resolve(&t);
+    let elems: Vec<Type> = std::mem::take(&mut inf.mut_elems)
+        .iter()
+        .map(|m| inf.resolve(m))
+        .collect();
+    Ok((t, elems))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::parse;
+
+    fn ty(src: &str) -> Result<String, TypeError> {
+        typecheck(&parse(src).unwrap()).map(|t| t.to_string())
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(ty("1 + 2").unwrap(), "int");
+        assert_eq!(ty("1 < 2").unwrap(), "bool");
+        assert_eq!(ty("()").unwrap(), "unit");
+        assert_eq!(ty("(1, true)").unwrap(), "(int * bool)");
+        assert_eq!(ty("fn x => x + 1").unwrap(), "(int -> int)");
+        assert_eq!(ty("ref 3").unwrap(), "(int ref)");
+        assert_eq!(ty("let r = ref 3 in !r").unwrap(), "int");
+        assert_eq!(ty("par(1, true)").unwrap(), "(int * bool)");
+    }
+
+    #[test]
+    fn inference_flows_through_application() {
+        assert_eq!(ty("(fn f => f 1) (fn x => x + 1)").unwrap(), "int");
+        assert_eq!(
+            ty("let id = fn x => x in (id 1, id true)").unwrap(),
+            "(int * bool)",
+            "let-polymorphism"
+        );
+    }
+
+    #[test]
+    fn fix_types_recursive_functions() {
+        assert_eq!(
+            ty("fix f n => if n = 0 then 1 else n * f (n - 1)").unwrap(),
+            "(int -> int)"
+        );
+        assert_eq!(
+            ty("let fib = fix fib n => if n < 2 then n else (let p = par(fib (n - 1), fib (n - 2)) in fst p + snd p) in fib 10").unwrap(),
+            "int"
+        );
+    }
+
+    #[test]
+    fn value_restriction_blocks_unsound_refs() {
+        // `ref (fn x => x)` must NOT generalize: using it at two types is
+        // the classic unsoundness.
+        let bad = ty("let r = ref (fn x => x) in (r := (fn y => y + 1); (!r) true)");
+        assert!(bad.is_err(), "value restriction must reject: {bad:?}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(ty("1 + true").is_err());
+        assert!(ty("if 1 then 2 else 3").is_err());
+        assert!(ty("fst 3").is_err());
+        assert!(ty("x").is_err());
+        assert!(ty("!3").is_err());
+        assert!(ty("(fn x => x x)").is_err(), "occurs check");
+    }
+
+    #[test]
+    fn assignments_are_unit() {
+        assert_eq!(ty("let r = ref 0 in r := 1").unwrap(), "unit");
+        assert!(ty("let r = ref 0 in r := true").is_err());
+    }
+
+    #[test]
+    fn all_examples_typecheck() {
+        for (name, src) in mpl_lang::examples::ALL {
+            let t = ty(src);
+            assert!(t.is_ok(), "{name}: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Static disentanglement analysis vs dynamic truth.
+//!
+//! Soundness is the only hard requirement: whenever the analysis says
+//! *disentangled*, no schedule may produce a single entangled access,
+//! and running barrier-free must be observationally identical to running
+//! managed. Precision is checked against the curated examples: every
+//! deliberately-entangled program must be (correctly) rejected.
+
+use proptest::prelude::*;
+
+use mpl_compile::{analyze, run_source, Verdict};
+use mpl_lang::{parse, run_program, LangMode, Options, Schedule};
+use mpl_runtime::{Runtime, RuntimeConfig};
+
+fn verdict(src: &str) -> Verdict {
+    analyze(&parse(src).unwrap()).unwrap()
+}
+
+/// Dynamic oracle: does any of the three schedules entangle?
+fn entangles_somewhere(src: &str) -> bool {
+    [Schedule::DepthFirst, Schedule::RoundRobin, Schedule::Random(7)]
+        .into_iter()
+        .any(|schedule| {
+            let out = run_program(
+                src,
+                Options {
+                    schedule,
+                    mode: LangMode::Managed,
+                    fuel: 50_000_000,
+                },
+            )
+            .expect("managed run");
+            out.costs.entangled_reads + out.costs.entangled_writes + out.costs.pins > 0
+        })
+}
+
+#[test]
+fn analysis_is_sound_on_all_examples() {
+    for (name, src) in mpl_lang::examples::ALL {
+        let v = verdict(src);
+        if v.is_disentangled() {
+            assert!(
+                !entangles_somewhere(src),
+                "{name}: statically disentangled but dynamically entangled"
+            );
+            // Barrier elision must not change the answer.
+            let rt_m = Runtime::new(RuntimeConfig::managed());
+            let managed = run_source(&rt_m, src, 50_000_000).unwrap().rendered;
+            let rt_nb = Runtime::new(RuntimeConfig::no_barrier());
+            let nb = run_source(&rt_nb, src, 50_000_000).unwrap().rendered;
+            assert_eq!(managed, nb, "{name}: barrier elision changed the result");
+        }
+    }
+}
+
+#[test]
+fn analysis_rejects_every_deliberately_entangled_example() {
+    for (name, src) in mpl_lang::examples::ALL {
+        if mpl_lang::examples::is_entangled(name) {
+            assert!(
+                !verdict(src).is_disentangled(),
+                "{name}: the analysis must reject this program"
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_accepts_the_pure_examples() {
+    // Precision check on the curated suite: the pointer-free programs
+    // are all proven disentangled (no false negatives *here*; the
+    // analysis is allowed to be imprecise in general).
+    for name in ["fib", "tree_sum", "counter", "shared_counter", "array_sum"] {
+        let src = mpl_lang::examples::ALL
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1;
+        assert!(
+            verdict(src).is_disentangled(),
+            "{name} should be provably disentangled"
+        );
+    }
+}
+
+#[test]
+fn shipped_programs_have_expected_verdicts() {
+    let program = |name: &str| {
+        let path = format!("{}/../../programs/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap()
+    };
+    for name in ["fib.mpl", "array_sum.mpl", "msort.mpl", "nqueens.mpl", "primes.mpl"] {
+        assert!(
+            verdict(&program(name)).is_disentangled(),
+            "{name} should be provably disentangled"
+        );
+    }
+    for name in ["entangled.mpl", "histogram.mpl"] {
+        assert!(
+            !verdict(&program(name)).is_disentangled(),
+            "{name} must be rejected"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random flat-array programs are always proven disentangled, and the
+    /// proof is dynamically honored.
+    #[test]
+    fn random_flat_array_programs_prove_disentangled(
+        len in 2usize..8,
+        ops in proptest::collection::vec((0usize..8, 0i64..50), 1..8),
+    ) {
+        let body: Vec<String> = ops
+            .iter()
+            .map(|(i, v)| format!("update(a, {} mod {len}, {v})", i))
+            .collect();
+        let src = format!(
+            "let a = array({len}, 0) in let p = par(({}; 0), sub(a, 0)) in snd p",
+            body.join("; ")
+        );
+        let v = verdict(&src);
+        prop_assert!(v.is_disentangled(), "{src}: {v}");
+        prop_assert!(!entangles_somewhere(&src));
+    }
+}

@@ -1,0 +1,199 @@
+//! Runtime configuration: execution mode, processors, GC policy, work
+//! model.
+
+use mpl_gc::GcPolicy;
+use mpl_heap::StoreConfig;
+
+/// How the runtime treats entanglement — the axis of the paper's
+/// comparison experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mode {
+    /// **This paper**: entanglement is *managed*. Remote accesses pin
+    /// their targets at the LCA level; pinned objects are shielded from
+    /// the moving local collector and reclaimed by the concurrent
+    /// collector; joins unpin.
+    #[default]
+    Managed,
+    /// **Prior MPL** (ICFP 2022): entanglement is *detected* and fatal.
+    /// The same barrier runs, but a remote access panics instead of
+    /// pinning.
+    DetectOnly,
+    /// **Unsafe baseline** for barrier-cost measurement: the entanglement
+    /// read barrier is compiled away. Only sound for disentangled
+    /// programs; down-pointer write barriers (remembered sets) still run
+    /// because the hierarchical collector needs them regardless of
+    /// entanglement.
+    NoEntanglementBarrier,
+}
+
+/// Virtual work units charged per runtime operation; these weights drive
+/// the DAG the speedup simulation replays. The defaults approximate
+/// relative costs of an allocation, a barriered access, and task creation
+/// in MPL-like runtimes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkModel {
+    /// Base cost of an allocation (plus one unit per 4 fields).
+    pub alloc: u64,
+    /// Cost of a read (barriered or not).
+    pub read: u64,
+    /// Cost of a write.
+    pub write: u64,
+    /// Cost charged to the parent strand per fork.
+    pub fork: u64,
+}
+
+impl Default for WorkModel {
+    fn default() -> Self {
+        WorkModel {
+            alloc: 2,
+            read: 1,
+            write: 1,
+            fork: 8,
+        }
+    }
+}
+
+/// Complete runtime configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Entanglement treatment.
+    pub mode: Mode,
+    /// Collection thresholds.
+    pub policy: GcPolicy,
+    /// Store parameters (chunk sizing).
+    pub store: StoreConfig,
+    /// Record the computation DAG for scheduler simulation.
+    pub record_dag: bool,
+    /// Work weights for DAG recording.
+    pub work: WorkModel,
+    /// Processors for the real-thread executor; `1` (the default) selects
+    /// the deterministic depth-first executor.
+    pub threads: usize,
+    /// Enables the entanglement-candidates ("suspects") read-barrier fast
+    /// path (ICFP 2022): reads of objects that never received a
+    /// down-pointer write and are not pinned skip the remote check
+    /// entirely. Sound because every remote acquisition passes through a
+    /// suspect or pinned object. Disable for the E9 ablation.
+    pub suspects: bool,
+    /// Incremental concurrent collection: when nonzero, each CGC pause
+    /// traces at most this many objects; the cycle spans multiple
+    /// safepoints with mutators running (and SATB-logging) in between.
+    /// `0` (the default) runs each cycle to completion in one pause.
+    pub cgc_slice_objects: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            mode: Mode::Managed,
+            policy: GcPolicy::default(),
+            store: StoreConfig::default(),
+            record_dag: false,
+            work: WorkModel::default(),
+            threads: 1,
+            suspects: true,
+            cgc_slice_objects: 0,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default managed configuration.
+    pub fn managed() -> RuntimeConfig {
+        RuntimeConfig::default()
+    }
+
+    /// Prior-MPL behavior: abort on entanglement.
+    pub fn detect_only() -> RuntimeConfig {
+        RuntimeConfig {
+            mode: Mode::DetectOnly,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Unsafe no-entanglement-barrier baseline.
+    pub fn no_barrier() -> RuntimeConfig {
+        RuntimeConfig {
+            mode: Mode::NoEntanglementBarrier,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Slices concurrent collections into pauses of at most `objects`
+    /// traced objects (`0` restores single-pause cycles).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpl_runtime::{Runtime, RuntimeConfig, Value};
+    ///
+    /// let mut cfg = RuntimeConfig::managed().with_cgc_slice(256);
+    /// cfg.policy.cgc_trigger_pinned_bytes = 64 * 1024;
+    /// let rt = Runtime::new(cfg);
+    /// let v = rt.run(|m| m.alloc_ref(Value::Int(1)));
+    /// assert!(v.as_obj().is_some());
+    /// ```
+    pub fn with_cgc_slice(mut self, objects: usize) -> RuntimeConfig {
+        self.cgc_slice_objects = objects;
+        self
+    }
+
+    /// Enables DAG recording.
+    pub fn with_dag(mut self) -> RuntimeConfig {
+        self.record_dag = true;
+        self
+    }
+
+    /// Sets the real-thread executor's processor count.
+    pub fn with_threads(mut self, threads: usize) -> RuntimeConfig {
+        assert!(threads >= 1, "need at least one thread");
+        self.threads = threads;
+        self.policy = if threads > 1 {
+            GcPolicy {
+                immediate_chunk_free: false,
+                ..self.policy
+            }
+        } else {
+            self.policy
+        };
+        self
+    }
+
+    /// Replaces the GC policy (preserving thread-safety of chunk freeing).
+    pub fn with_policy(mut self, policy: GcPolicy) -> RuntimeConfig {
+        self.policy = policy;
+        if self.threads > 1 {
+            self.policy.immediate_chunk_free = false;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(RuntimeConfig::managed().mode, Mode::Managed);
+        assert_eq!(RuntimeConfig::detect_only().mode, Mode::DetectOnly);
+        assert_eq!(
+            RuntimeConfig::no_barrier().mode,
+            Mode::NoEntanglementBarrier
+        );
+    }
+
+    #[test]
+    fn threaded_config_defers_chunk_freeing() {
+        let c = RuntimeConfig::managed().with_threads(4);
+        assert!(!c.policy.immediate_chunk_free);
+        let c = c.with_policy(GcPolicy::default());
+        assert!(!c.policy.immediate_chunk_free, "preserved across policy set");
+    }
+
+    #[test]
+    fn dag_flag() {
+        assert!(RuntimeConfig::managed().with_dag().record_dag);
+        assert!(!RuntimeConfig::managed().record_dag);
+    }
+}

@@ -1,0 +1,944 @@
+//! The mutator interface: what compiled Parallel ML code would call.
+//!
+//! A [`Mutator`] is one task's view of the runtime: allocation into its
+//! own leaf heap, barriered mutable accesses (where entanglement is
+//! detected and managed), immutable reads, rooting, and `fork`.
+//!
+//! # Rooting discipline
+//!
+//! Collections run inside *allocating* calls (and, under real threads,
+//! concurrently in other tasks). Any [`Value`] held across an allocating
+//! call — including [`Mutator::fork`] — must be registered with
+//! [`Mutator::root`]; argument values of the call itself are rooted
+//! automatically. Immediates never need rooting.
+//!
+//! # Hot-path design
+//!
+//! Mutator operations are the compiled program's inner loop, so each op
+//! touches global structures as little as possible: a one-entry
+//! task-local chunk cache short-circuits the chunk registry for repeated
+//! accesses to the same object/array, the allocation fast path is a
+//! single bump in a cached chunk, and locality checks use a fused
+//! canonicalize-and-depth query against the task's heap path.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mpl_gc::collect_local;
+use mpl_heap::{Chunk, ObjKind, ObjRef, Object, RemsetEntry, Value, Word};
+use mpl_sched::{DagBuilder, StrandId};
+
+use crate::config::Mode;
+use crate::runtime::{Runtime, ShadowStack};
+
+/// Message used when `Mode::DetectOnly` encounters entanglement, matching
+/// prior MPL's fatal entanglement report.
+pub const ENTANGLEMENT_PANIC: &str =
+    "entanglement detected: task accessed an object allocated by a concurrent task";
+
+/// A rooted value handle. Immediates are stored inline; objects live in
+/// the creating task's shadow stack and survive (and track) moving
+/// collections. A handle may be read from descendant tasks (the creating
+/// task is suspended, so its stack is stable), which is how fork branches
+/// access pre-fork values.
+#[derive(Clone, Debug)]
+pub struct Handle(HandleRepr);
+
+#[derive(Clone, Debug)]
+enum HandleRepr {
+    Imm(Value),
+    Slot(ShadowStack, usize),
+}
+
+/// A watermark for bulk-releasing roots (scope exit).
+#[derive(Clone, Copy, Debug)]
+pub struct RootMark(usize);
+
+/// A resolved object location: current address plus its (cached) chunk.
+struct Located {
+    r: ObjRef,
+    chunk: Arc<Chunk>,
+}
+
+/// Per-task execution state.
+#[derive(Debug)]
+pub(crate) struct TaskCtx {
+    path: Vec<u32>,
+    shadow: ShadowStack,
+    alloc_since: usize,
+    dag: Option<Arc<DagBuilder>>,
+    strand: StrandId,
+    work: u64,
+    chunk_cache: [Option<(u32, Arc<Chunk>)>; 4],
+    alloc_cache: Option<Arc<Chunk>>,
+    pending: PendingStats,
+    /// Size-proportional collection budget: collect once `alloc_since`
+    /// exceeds `max(policy trigger, 2 × last survivors)`. Keeps total
+    /// copying linear even when joins repeatedly merge surviving data.
+    lgc_budget: usize,
+}
+
+/// Task-buffered counters, flushed to the global [`mpl_heap::StoreStats`]
+/// at safepoints (forks, joins, collections, and every ~16 KiB of
+/// allocation) so the hot path pays no global atomics.
+#[derive(Debug, Default)]
+struct PendingStats {
+    allocs: u64,
+    alloc_bytes: usize,
+    barrier_reads: u64,
+    barrier_writes: u64,
+    entangled_reads: u64,
+    entangled_writes: u64,
+}
+
+impl TaskCtx {
+    pub(crate) fn new(
+        path: Vec<u32>,
+        dag: Option<Arc<DagBuilder>>,
+        strand: StrandId,
+        rt: &Runtime,
+    ) -> TaskCtx {
+        let shadow: ShadowStack = Arc::new(Mutex::new(Vec::new()));
+        rt.register_shadow(&shadow);
+        TaskCtx {
+            path,
+            shadow,
+            alloc_since: 0,
+            dag,
+            strand,
+            work: 0,
+            chunk_cache: [None, None, None, None],
+            alloc_cache: None,
+            pending: PendingStats::default(),
+            lgc_budget: rt.config().policy.lgc_trigger_bytes,
+        }
+    }
+}
+
+/// One task's interface to the runtime.
+#[derive(Debug)]
+pub struct Mutator<'rt> {
+    rt: &'rt Runtime,
+    ctx: TaskCtx,
+}
+
+impl<'rt> Mutator<'rt> {
+    pub(crate) fn new(rt: &'rt Runtime, ctx: TaskCtx) -> Mutator<'rt> {
+        Mutator { rt, ctx }
+    }
+
+    /// The runtime this mutator belongs to.
+    pub fn runtime(&self) -> &'rt Runtime {
+        self.rt
+    }
+
+    /// The task's root-to-leaf heap path (canonical ids).
+    pub fn path(&self) -> &[u32] {
+        &self.ctx.path
+    }
+
+    /// Charges `n` units of modeled computational work to the current
+    /// strand (for DAG-based scheduling experiments).
+    pub fn work(&mut self, n: u64) {
+        self.ctx.work += n;
+    }
+
+    pub(crate) fn finish_task(&mut self) {
+        self.flush_work();
+        self.rt.unregister_shadow(&self.ctx.shadow);
+        self.ctx.dag = None;
+    }
+
+    fn flush_work(&mut self) {
+        if let Some(dag) = &self.ctx.dag {
+            if self.ctx.work > 0 {
+                dag.add_work(self.ctx.strand, self.ctx.work);
+            }
+        }
+        self.ctx.work = 0;
+        self.flush_stats();
+    }
+
+    fn flush_stats(&mut self) {
+        let p = std::mem::take(&mut self.ctx.pending);
+        if p.allocs == 0
+            && p.barrier_reads == 0
+            && p.barrier_writes == 0
+            && p.entangled_reads == 0
+            && p.entangled_writes == 0
+        {
+            return;
+        }
+        let stats = self.rt.store().stats();
+        stats.on_alloc_batch(p.allocs, p.alloc_bytes);
+        stats.on_barrier_batch(
+            p.barrier_reads,
+            p.barrier_writes,
+            p.entangled_reads,
+            p.entangled_writes,
+        );
+    }
+
+    fn leaf_heap(&self) -> u32 {
+        *self.ctx.path.last().expect("task path is never empty")
+    }
+
+    // ---- hot-path plumbing ----------------------------------------------
+
+    fn chunk(&mut self, id: u32) -> Arc<Chunk> {
+        let slot = (id & 3) as usize;
+        if let Some((cid, c)) = &self.ctx.chunk_cache[slot] {
+            if *cid == id {
+                return Arc::clone(c);
+            }
+        }
+        let c = self.rt.store().chunks().get(id);
+        self.ctx.chunk_cache[slot] = Some((id, Arc::clone(&c)));
+        c
+    }
+
+    /// Like [`Mutator::locate`], but returns only the reference and leaves
+    /// the chunk in the cache — callers borrow it with
+    /// [`Mutator::cached_chunk`], avoiding an `Arc` clone per operation.
+    fn locate_ref(&mut self, v: Value, what: &str) -> ObjRef {
+        let mut r = match v {
+            Value::Obj(r) => r,
+            other => panic!("{what} expects an object, found {other:?}"),
+        };
+        loop {
+            let slot = (r.chunk() & 3) as usize;
+            let hit = matches!(&self.ctx.chunk_cache[slot], Some((cid, _)) if *cid == r.chunk());
+            if !hit {
+                let c = self.rt.store().chunks().get(r.chunk());
+                self.ctx.chunk_cache[slot] = Some((r.chunk(), c));
+            }
+            let (_, chunk) = self.ctx.chunk_cache[slot].as_ref().unwrap();
+            match chunk.get(r.slot()).forward_ref() {
+                Some(next) => r = next,
+                None => return r,
+            }
+        }
+    }
+
+    /// Borrows the cached chunk for `r` (must have been located by
+    /// [`Mutator::locate_ref`] in the same operation, with no intervening
+    /// cache traffic).
+    fn cached_chunk(&self, r: ObjRef) -> &Chunk {
+        match &self.ctx.chunk_cache[(r.chunk() & 3) as usize] {
+            Some((cid, c)) if *cid == r.chunk() => c,
+            _ => unreachable!("cached_chunk without a preceding locate_ref"),
+        }
+    }
+
+    /// Resolves a value to its current object location, chasing
+    /// forwarding. Panics with `what` context on non-objects and dangling
+    /// references.
+    fn locate(&mut self, v: Value, what: &str) -> Located {
+        let mut r = match v {
+            Value::Obj(r) => r,
+            other => panic!("{what} expects an object, found {other:?}"),
+        };
+        loop {
+            let chunk = self.chunk(r.chunk());
+            match chunk.get(r.slot()).forward_ref() {
+                Some(next) => r = next,
+                None => return Located { r, chunk },
+            }
+        }
+    }
+
+    // ---- rooting --------------------------------------------------------
+
+    /// Roots a value; the handle stays valid across collections.
+    ///
+    /// Any object value held across an allocating call (including
+    /// [`Mutator::fork`]) must be rooted, or a local collection may move
+    /// the object out from under it. Handles are also the way to pass
+    /// parent data into fork branches: [`Mutator::get`] works from the
+    /// creating task *and* from its descendants.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpl_runtime::{Runtime, RuntimeConfig, Value};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::managed());
+    /// let v = rt.run(|m| {
+    ///     let cell = m.alloc_ref(Value::Int(5));
+    ///     let h = m.root(cell);
+    ///     m.force_lgc(&mut []); // may move the cell; the handle tracks it
+    ///     let cell = m.get(&h);
+    ///     m.read_ref(cell)
+    /// });
+    /// assert_eq!(v, Value::Int(5));
+    /// ```
+    pub fn root(&mut self, v: Value) -> Handle {
+        match v {
+            Value::Obj(r) => {
+                let mut shadow = self.ctx.shadow.lock();
+                shadow.push(r);
+                let slot = shadow.len() - 1;
+                drop(shadow);
+                Handle(HandleRepr::Slot(Arc::clone(&self.ctx.shadow), slot))
+            }
+            imm => Handle(HandleRepr::Imm(imm)),
+        }
+    }
+
+    /// Reads a rooted value (tracking any moves since rooting). Works from
+    /// the creating task and from its descendants.
+    pub fn get(&self, h: &Handle) -> Value {
+        match &h.0 {
+            HandleRepr::Imm(v) => *v,
+            HandleRepr::Slot(stack, i) => Value::Obj(stack.lock()[*i]),
+        }
+    }
+
+    /// Overwrites a rooted slot with a new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is an immediate or the new value is not an
+    /// object.
+    pub fn set_root(&mut self, h: &Handle, v: Value) {
+        match &h.0 {
+            HandleRepr::Slot(stack, i) => {
+                stack.lock()[*i] = v.expect_obj();
+            }
+            HandleRepr::Imm(_) => panic!("cannot overwrite an immediate handle"),
+        }
+    }
+
+    /// Returns a watermark capturing the current root-stack height.
+    pub fn mark(&self) -> RootMark {
+        RootMark(self.ctx.shadow.lock().len())
+    }
+
+    /// Releases every root created after `mark`.
+    pub fn release(&mut self, mark: RootMark) {
+        self.ctx.shadow.lock().truncate(mark.0);
+    }
+
+    // ---- allocation ------------------------------------------------------
+
+    fn alloc_object(&mut self, kind: ObjKind, mut fields: Vec<Value>) -> Value {
+        let wm = self.rt.config().work;
+        self.ctx.work += wm.alloc + fields.len() as u64 / 4;
+        let est = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields.len();
+        self.ctx.alloc_since += est;
+        if self.ctx.alloc_since >= self.ctx.lgc_budget {
+            self.run_lgc(&mut fields);
+        }
+        let words: Vec<Word> = fields.iter().map(|&v| Word::encode(v)).collect();
+        let mut obj = Object::new(kind, words);
+        let size = obj.size_bytes();
+        // Fast path: bump into the cached allocation chunk; counters are
+        // task-buffered and flushed at safepoints.
+        if let Some(chunk) = &self.ctx.alloc_cache {
+            match chunk.try_alloc(obj) {
+                Ok(r) => {
+                    self.ctx.pending.allocs += 1;
+                    self.ctx.pending.alloc_bytes += size;
+                    if self.ctx.pending.alloc_bytes >= 16 * 1024
+                        || self.rt.cgc_poll_requested()
+                    {
+                        self.flush_stats();
+                        self.rt.maybe_cgc();
+                    }
+                    return Value::Obj(r);
+                }
+                Err(back) => obj = back,
+            }
+        }
+        let r = self.rt.store().alloc_object(self.leaf_heap(), obj);
+        self.ctx.alloc_cache = self
+            .rt
+            .store()
+            .heaps()
+            .info(self.rt.store().heaps().find(self.leaf_heap()))
+            .alloc_chunk();
+        self.rt.maybe_cgc();
+        Value::Obj(r)
+    }
+
+    /// Allocates an immutable tuple (also used for immutable arrays).
+    pub fn alloc_tuple(&mut self, fields: &[Value]) -> Value {
+        self.alloc_object(ObjKind::Tuple, fields.to_vec())
+    }
+
+    /// Allocates a mutable cell (`ref v` in ML).
+    pub fn alloc_ref(&mut self, v: Value) -> Value {
+        self.alloc_object(ObjKind::Ref, vec![v])
+    }
+
+    /// Allocates a mutable array of `len` copies of `init`.
+    pub fn alloc_array(&mut self, len: usize, init: Value) -> Value {
+        self.alloc_object(ObjKind::MutArr, vec![init; len])
+    }
+
+    /// Allocates a mutable array from the given values.
+    pub fn alloc_array_from(&mut self, vals: &[Value]) -> Value {
+        self.alloc_object(ObjKind::MutArr, vals.to_vec())
+    }
+
+    /// Allocates a raw (unboxed, barrier-free) 64-bit word array,
+    /// zero-initialized.
+    pub fn alloc_raw(&mut self, len: usize) -> Value {
+        self.alloc_object(ObjKind::RawArr, vec![Value::Int(0); len])
+    }
+
+    /// Allocates a string as a raw array (`word0 = byte length`, bytes
+    /// packed into subsequent words).
+    pub fn alloc_str(&mut self, s: &str) -> Value {
+        let bytes = s.as_bytes();
+        let nwords = bytes.len().div_ceil(8);
+        let v = self.alloc_raw(1 + nwords);
+        let loc = self.locate(v, "string");
+        let obj = loc.chunk.get(loc.r.slot());
+        obj.store_raw(0, bytes.len() as u64);
+        for (w, chunk) in bytes.chunks(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            obj.store_raw(1 + w, u64::from_le_bytes(buf));
+        }
+        v
+    }
+
+    /// Decodes a string previously allocated with [`Mutator::alloc_str`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is not valid UTF-8 (corrupted string object).
+    pub fn read_str(&mut self, v: Value) -> String {
+        let loc = self.locate(v, "string");
+        let obj = loc.chunk.get(loc.r.slot());
+        let len = obj.load_raw(0) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for w in 0..len.div_ceil(8) {
+            let word = obj.load_raw(1 + w).to_le_bytes();
+            let take = (len - bytes.len()).min(8);
+            bytes.extend_from_slice(&word[..take]);
+        }
+        String::from_utf8(bytes).expect("corrupted string object")
+    }
+
+    /// Number of fields of the object (tuple arity, array length).
+    pub fn len(&mut self, v: Value) -> usize {
+        let r = self.locate_ref(v, "length query");
+        self.cached_chunk(r).get(r.slot()).len()
+    }
+
+    // ---- immutable reads (no barrier) ------------------------------------
+
+    /// Reads field `i` of an immutable tuple. No entanglement barrier: a
+    /// tuple's fields are fixed at allocation and can only reference older
+    /// objects, so they can never *create* entanglement.
+    pub fn tuple_get(&mut self, t: Value, i: usize) -> Value {
+        self.ctx.work += self.rt.config().work.read;
+        let r = self.locate_ref(t, "tuple read");
+        let obj = self.cached_chunk(r).get(r.slot());
+        debug_assert_eq!(obj.kind(), ObjKind::Tuple, "tuple_get on {:?}", obj.kind());
+        let v = obj.field(i);
+        self.fix_stale(v)
+    }
+
+    // ---- barriered mutable accesses ---------------------------------------
+
+    /// Dereferences a mutable cell (`!r`).
+    pub fn read_ref(&mut self, r: Value) -> Value {
+        self.mut_read(r, 0)
+    }
+
+    /// Assigns a mutable cell (`r := v`).
+    pub fn write_ref(&mut self, r: Value, v: Value) {
+        self.mut_write(r, 0, v)
+    }
+
+    /// Compare-and-swap on a mutable cell. Returns `Err(actual)` on
+    /// failure.
+    pub fn ref_cas(&mut self, r: Value, expected: Value, new: Value) -> Result<(), Value> {
+        self.mut_cas(r, 0, expected, new)
+    }
+
+    /// Reads element `i` of a mutable array.
+    pub fn arr_get(&mut self, a: Value, i: usize) -> Value {
+        self.mut_read(a, i)
+    }
+
+    /// Writes element `i` of a mutable array.
+    pub fn arr_set(&mut self, a: Value, i: usize, v: Value) {
+        self.mut_write(a, i, v)
+    }
+
+    /// Compare-and-swap on a mutable array element.
+    pub fn arr_cas(&mut self, a: Value, i: usize, expected: Value, new: Value) -> Result<(), Value> {
+        self.mut_cas(a, i, expected, new)
+    }
+
+    // ---- raw (unboxed) arrays: mutable but pointer-free, no barrier -------
+
+    /// Reads a raw 64-bit word.
+    pub fn raw_get(&mut self, a: Value, i: usize) -> u64 {
+        self.ctx.work += self.rt.config().work.read;
+        let r = self.locate_ref(a, "raw read");
+        self.cached_chunk(r).get(r.slot()).load_raw(i)
+    }
+
+    /// Writes a raw 64-bit word.
+    pub fn raw_set(&mut self, a: Value, i: usize, bits: u64) {
+        self.ctx.work += self.rt.config().work.write;
+        let r = self.locate_ref(a, "raw write");
+        self.cached_chunk(r).get(r.slot()).store_raw(i, bits);
+    }
+
+    /// Compare-and-swap on a raw word; true on success.
+    pub fn raw_cas(&mut self, a: Value, i: usize, expected: u64, new: u64) -> bool {
+        self.ctx.work += self.rt.config().work.write;
+        let r = self.locate_ref(a, "raw cas");
+        self.cached_chunk(r).get(r.slot()).cas_raw(i, expected, new).is_ok()
+    }
+
+    /// Atomic fetch-add on a raw word; returns the previous bits.
+    pub fn raw_fetch_add(&mut self, a: Value, i: usize, delta: u64) -> u64 {
+        self.ctx.work += self.rt.config().work.write;
+        let r = self.locate_ref(a, "raw fetch_add");
+        self.cached_chunk(r).get(r.slot()).fetch_add_raw(i, delta)
+    }
+
+    // ---- fork-join ---------------------------------------------------------
+
+    /// Runs `f` and `g` as parallel subtasks with fresh child heaps and
+    /// returns both results; the child heaps merge into this task's heap
+    /// at the join, unpinning every object whose entanglement ends here.
+    ///
+    /// Values captured from the parent must be passed through rooted
+    /// [`Handle`]s — a raw [`Value`] may be stale after a collection.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpl_runtime::{Runtime, RuntimeConfig, Value};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::managed());
+    /// let v = rt.run(|m| {
+    ///     let (a, b) = m.fork(|_| Value::Int(20), |_| Value::Int(22));
+    ///     match (a, b) {
+    ///         (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+    ///         _ => unreachable!(),
+    ///     }
+    /// });
+    /// assert_eq!(v, Value::Int(42));
+    /// ```
+    pub fn fork<F, G>(&mut self, f: F, g: G) -> (Value, Value)
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value + Send,
+        G: FnOnce(&mut Mutator<'_>) -> Value + Send,
+    {
+        self.ctx.work += self.rt.config().work.fork;
+        self.flush_work();
+        let parent_heap = self.leaf_heap();
+        let store = self.rt.store();
+        let (lh, rh) = store.fork_heaps(parent_heap);
+        let (ls, rs) = match &self.ctx.dag {
+            Some(dag) => dag.fork(self.ctx.strand),
+            None => (StrandId(0), StrandId(0)),
+        };
+        let mut lpath = self.ctx.path.clone();
+        lpath.push(lh);
+        let mut rpath = self.ctx.path.clone();
+        rpath.push(rh);
+        let dag = self.ctx.dag.clone();
+
+        let token = if self.rt.config().threads > 1 {
+            self.rt.tokens().try_acquire()
+        } else {
+            None
+        };
+
+        let ((lv, lend, lslot), (rv, rend, rslot)) = if token.is_some() {
+            let rt = self.rt;
+            let ldag = dag.clone();
+            std::thread::scope(|scope| {
+                let lj = scope.spawn(move || run_branch(rt, lpath, ldag, ls, f));
+                let right = run_branch(rt, rpath, dag, rs, g);
+                let left = match lj.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                (left, right)
+            })
+        } else {
+            let left = run_branch(self.rt, lpath, dag.clone(), ls, f);
+            let right = run_branch(self.rt, rpath, dag, rs, g);
+            (left, right)
+        };
+        drop(token);
+
+        let join = self.rt.store().join(parent_heap, lh, rh);
+        self.rt.unpark_result(lslot);
+        self.rt.unpark_result(rslot);
+        if let Some(dag) = &self.ctx.dag {
+            self.ctx.strand = dag.join(lend, rend);
+        }
+        if self.ctx.path.len() == 1 {
+            // Root-level join: every other task has completed, so retired
+            // chunks are unreachable by construction.
+            self.rt.graveyard().drain(self.rt.store());
+        }
+        // Merged data counts toward this task's collection debt: garbage
+        // produced inside the children must not dodge the collector just
+        // because their heaps dissolved into ours. Collecting a *merged*
+        // heap is only safe when no concurrent task can race its
+        // forwarding: always under the sequential executor, and at
+        // root-level joins (global quiescence) under real threads. Inner
+        // merged-heap collection under concurrency would need the
+        // mutator handshakes full MPL performs; we defer it to the next
+        // quiescent point instead (documented deviation, DESIGN.md §2).
+        self.ctx.alloc_since = self.ctx.alloc_since.saturating_add(join.merged_bytes);
+        let quiescent = self.rt.config().threads <= 1 || self.ctx.path.len() == 1;
+        if quiescent && self.ctx.alloc_since >= self.ctx.lgc_budget {
+            let mut lr = vec![lv, rv];
+            self.run_lgc(&mut lr);
+            return (lr[0], lr[1]);
+        }
+        // Joins are safepoints: honor any pin-driven CGC request. CGC is
+        // non-moving, but the child results must be *reachable* during
+        // its root scan, so root them for the duration.
+        if self.rt.cgc_poll_requested() {
+            let wm = self.mark();
+            let _l = self.root(lv);
+            let _r = self.root(rv);
+            self.rt.maybe_cgc();
+            self.release(wm);
+        }
+        (lv, rv)
+    }
+
+    /// Forces a local collection now (tests and experiments). `extra`
+    /// values are treated as roots and updated.
+    pub fn force_lgc(&mut self, extra: &mut [Value]) {
+        self.run_lgc(extra);
+    }
+
+    // ---- internals ----------------------------------------------------------
+
+    /// Pins an already-located object at `level`, registering it on first
+    /// pin. Avoids a registry round-trip on the (common) already-pinned
+    /// steady state.
+    /// Pins the object at `r` (which must be cache-resident from a
+    /// preceding `locate_ref`) at `level`.
+    fn pin_cached(&mut self, r: ObjRef, level: u16) -> ObjRef {
+        use mpl_heap::PinOutcome;
+        let chunk = self.cached_chunk(r);
+        let obj = chunk.get(r.slot());
+        // Steady state: already pinned at (or below) this level — a single
+        // header load, no CAS.
+        let hdr = obj.header();
+        if hdr.is_pinned() && hdr.pin_level() <= level && !hdr.is_forwarded() {
+            return r;
+        }
+        let owner = chunk.owner();
+        let size = obj.size_bytes();
+        match obj.try_pin(level) {
+            PinOutcome::AlreadyPinned { .. } => r,
+            PinOutcome::NewlyPinned => {
+                let store = self.rt.store();
+                store.heaps().register_entangled(owner, r, level);
+                self.cached_chunk(r).add_pinned(1);
+                store.stats().on_pin(size);
+                self.rt.cgc_state().satb_log(r);
+                self.rt.request_cgc_poll();
+                r
+            }
+            PinOutcome::Forwarded(next) => {
+                let (pinned, newly) = self.rt.store().pin(next, level);
+                if newly {
+                    self.rt.cgc_state().satb_log(pinned);
+                }
+                pinned
+            }
+        }
+    }
+
+    fn fix_stale(&mut self, v: Value) -> Value {
+        match v {
+            Value::Obj(_) => {
+                let loc = self.locate(v, "stale fix");
+                Value::Obj(loc.r)
+            }
+            imm => imm,
+        }
+    }
+
+    fn mut_read(&mut self, objv: Value, idx: usize) -> Value {
+        self.ctx.work += self.rt.config().work.read;
+        let src = self.locate_ref(objv, "mutable read");
+        let obj = self.cached_chunk(src).get(src.slot());
+        debug_assert!(
+            obj.kind().is_mutable_boxed(),
+            "mutable read on {:?}",
+            obj.kind()
+        );
+        let raw = obj.field(idx);
+        let hdr = obj.header();
+        let mode = self.rt.config().mode;
+        if mode == Mode::NoEntanglementBarrier {
+            return self.fix_stale(raw);
+        }
+        self.ctx.pending.barrier_reads += 1;
+        // Entanglement-candidates fast path (ICFP 2022): an object that
+        // never received a down-pointer write and is not pinned can only
+        // hold pointers up its own path — no remote check needed. Every
+        // remote acquisition necessarily flows through a suspect or
+        // pinned object, so nothing is missed.
+        if self.rt.config().suspects && !hdr.is_suspect() && !hdr.is_pinned() {
+            return raw;
+        }
+        let Value::Obj(_) = raw else { return raw };
+        let t = self.locate_ref(raw, "read target");
+        let (_, _, lca) = self
+            .rt
+            .store()
+            .heaps()
+            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+        let Some(level) = lca else {
+            // Local target: repair a stale source field if we chased
+            // forwarding (rare; re-locating the source is fine).
+            if Value::Obj(t) != raw {
+                let src = self.locate_ref(objv, "mutable read");
+                let _ = self
+                    .cached_chunk(src)
+                    .get(src.slot())
+                    .cas_field(idx, raw, Value::Obj(t));
+            }
+            return Value::Obj(t);
+        };
+        // Entangled read: the paper's central event.
+        if mode == Mode::DetectOnly {
+            panic!("{ENTANGLEMENT_PANIC}");
+        }
+        self.ctx.pending.entangled_reads += 1;
+        let pinned = self.pin_cached(t, level);
+        if Value::Obj(pinned) != raw {
+            let src = self.locate_ref(objv, "mutable read");
+            let _ = self
+                .cached_chunk(src)
+                .get(src.slot())
+                .cas_field(idx, raw, Value::Obj(pinned));
+        }
+        Value::Obj(pinned)
+    }
+
+    fn mut_write(&mut self, objv: Value, idx: usize, v: Value) {
+        let r = self.write_barrier(objv, idx, v);
+        let obj = self.cached_chunk(r).get(r.slot());
+        if self.rt.cgc_state().is_marking() {
+            if let Some(old) = obj.field_word(idx).pointer() {
+                self.rt.cgc_state().satb_log(old);
+            }
+        }
+        obj.set_field(idx, v);
+    }
+
+    fn mut_cas(&mut self, objv: Value, idx: usize, expected: Value, new: Value) -> Result<(), Value> {
+        let r = self.write_barrier(objv, idx, new);
+        let obj = self.cached_chunk(r).get(r.slot());
+        if self.rt.cgc_state().is_marking() {
+            if let Value::Obj(old) = expected {
+                self.rt.cgc_state().satb_log(old);
+            }
+        }
+        // A CAS is also a read: the observed value may expose a remote
+        // pointer on failure.
+        match obj.cas_field(idx, expected, new) {
+            Ok(()) => Ok(()),
+            Err(actual) => Err(self.observe_read(actual)),
+        }
+    }
+
+    /// The write barrier: detects entangled writes, pins pointees that
+    /// become cross-visible, and maintains the down-pointer remembered
+    /// set. Returns the resolved target, guaranteed cache-resident.
+    fn write_barrier(&mut self, objv: Value, idx: usize, v: Value) -> ObjRef {
+        self.ctx.work += self.rt.config().work.write;
+        let src = self.locate_ref(objv, "mutable write");
+        debug_assert!(
+            self.cached_chunk(src)
+                .get(src.slot())
+                .kind()
+                .is_mutable_boxed(),
+            "mutable write on immutable object"
+        );
+        let mode = self.rt.config().mode;
+        let store = self.rt.store();
+        self.ctx.pending.barrier_writes += 1;
+        // Fast exit: under managed semantics, storing an immediate cannot
+        // create entanglement (no pointer crosses), so the locality checks
+        // are skipped entirely. DetectOnly must still check (any remote
+        // write is a detected entanglement in prior MPL).
+        if mode == Mode::Managed && !matches!(v, Value::Obj(_)) {
+            return src;
+        }
+        let (o_heap, o_depth, o_lca) = store
+            .heaps()
+            .path_relation(&self.ctx.path, self.cached_chunk(src).owner());
+        let o_local = o_lca.is_none();
+        if !o_local {
+            match mode {
+                Mode::DetectOnly => panic!("{ENTANGLEMENT_PANIC}"),
+                Mode::NoEntanglementBarrier => {}
+                Mode::Managed => {
+                    self.ctx.pending.entangled_writes += 1;
+                    if let Value::Obj(_) = v {
+                        let t = self.locate_ref(v, "written value");
+                        // The written pointer becomes visible to the
+                        // remote object's owner: pin at the heaps' LCA.
+                        let t_heap = store.heaps().find(self.cached_chunk(t).owner());
+                        let level = store.heaps().lca_of(o_heap, t_heap);
+                        let _ = self.pin_cached(t, level);
+                    }
+                }
+            }
+            return self.locate_ref(objv, "mutable write");
+        }
+        if let Value::Obj(_) = v {
+            let t = self.locate_ref(v, "written value");
+            let (t_heap, t_depth, t_lca) = store
+                .heaps()
+                .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+            let t_local = t_lca.is_none();
+            if t_local {
+                if t_depth > o_depth {
+                    // Down-pointer: root for the deeper heap's collections,
+                    // and the written-to object becomes an entanglement
+                    // candidate — its reads must check. (Re-locate: the
+                    // target lookup above may have evicted the source's
+                    // cache slot.)
+                    let src = self.locate_ref(objv, "mutable write");
+                    self.cached_chunk(src).get(src.slot()).mark_suspect();
+                    store.remember(
+                        t_heap,
+                        RemsetEntry {
+                            src,
+                            field: idx as u32,
+                        },
+                    );
+                }
+            } else if mode == Mode::Managed {
+                // Storing an (already remote, hence pinned-at-acquisition)
+                // pointer: ensure its level covers this object's readers,
+                // and mark the holder a candidate.
+                self.ctx.pending.entangled_writes += 1;
+                let level = store.heaps().lca_of(o_heap, t_heap);
+                let _ = self.pin_cached(t, level);
+                let src = self.locate_ref(objv, "mutable write");
+                self.cached_chunk(src).get(src.slot()).mark_suspect();
+                return src;
+            } else if mode == Mode::DetectOnly {
+                panic!("{ENTANGLEMENT_PANIC}");
+            }
+            return self.locate_ref(objv, "mutable write");
+        }
+        src
+    }
+
+    /// Applies the read-barrier's entanglement handling to a value
+    /// observed from a failed CAS.
+    fn observe_read(&mut self, actual: Value) -> Value {
+        let mode = self.rt.config().mode;
+        if mode == Mode::NoEntanglementBarrier {
+            return self.fix_stale(actual);
+        }
+        let Value::Obj(_) = actual else { return actual };
+        let t = self.locate_ref(actual, "cas observation");
+        let (_, _, lca) = self
+            .rt
+            .store()
+            .heaps()
+            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+        let Some(level) = lca else {
+            return Value::Obj(t);
+        };
+        if mode == Mode::DetectOnly {
+            panic!("{ENTANGLEMENT_PANIC}");
+        }
+        self.ctx.pending.entangled_reads += 1;
+        Value::Obj(self.pin_cached(t, level))
+    }
+
+    fn run_lgc(&mut self, extra: &mut [Value]) {
+        self.flush_stats();
+        // A local collection moves objects and (eagerly) frees chunks; a
+        // paused incremental CGC holds object refs in its mark stack, so
+        // finish that cycle first. (Full MPL repairs the marker's state
+        // instead; serializing keeps the interaction sound here.)
+        if self.rt.config().cgc_slice_objects > 0 && self.rt.cgc_state().cycle_active() {
+            self.rt.force_cgc();
+        }
+        let heap = self.leaf_heap();
+        let mut shadow = self.ctx.shadow.lock();
+        let shadow_len = shadow.len();
+        let mut roots: Vec<ObjRef> = shadow.clone();
+        let mut extra_slots = Vec::new();
+        for (i, v) in extra.iter().enumerate() {
+            if let Value::Obj(r) = v {
+                roots.push(*r);
+                extra_slots.push(i);
+            }
+        }
+        let out = collect_local(
+            self.rt.store(),
+            heap,
+            &mut roots,
+            self.rt.graveyard(),
+            self.rt.config().policy.immediate_chunk_free,
+        );
+        shadow.copy_from_slice(&roots[..shadow_len]);
+        drop(shadow);
+        for (k, &i) in extra_slots.iter().enumerate() {
+            extra[i] = Value::Obj(roots[shadow_len + k]);
+        }
+        self.ctx.alloc_since = 0;
+        // Size-proportional budget: next collection once we allocate
+        // about as much as survived this one.
+        let survivors = (out.copied_bytes + out.retained_entangled_bytes) as usize;
+        self.ctx.lgc_budget = self
+            .rt
+            .config()
+            .policy
+            .lgc_trigger_bytes
+            .max(2 * survivors);
+        // The collection replaced the allocation chunk and may have freed
+        // cached chunks.
+        self.ctx.alloc_cache = None;
+        self.ctx.chunk_cache = [None, None, None, None];
+        // Collection work is deliberately NOT charged to the strand: in
+        // MPL, local collections are distributed across (otherwise idle)
+        // processors, so they do not serialize the computation the way
+        // charging them to the recorded mutator strand would. Wall-clock
+        // measurements (T_1) still include the full collection cost.
+        let _ = out;
+    }
+}
+
+fn run_branch<F>(
+    rt: &Runtime,
+    path: Vec<u32>,
+    dag: Option<Arc<DagBuilder>>,
+    strand: StrandId,
+    body: F,
+) -> (Value, StrandId, Option<usize>)
+where
+    F: FnOnce(&mut Mutator<'_>) -> Value,
+{
+    let ctx = TaskCtx::new(path, dag, strand, rt);
+    let mut m = Mutator::new(rt, ctx);
+    let v = body(&mut m);
+    // Park the result before dropping the task's roots so a concurrent
+    // collection between branch completion and the join still sees it.
+    let slot = rt.park_result(v);
+    let end = m.ctx.strand;
+    m.finish_task();
+    (v, end, slot)
+}

@@ -1,0 +1,272 @@
+//! The entanglement-managed runtime.
+//!
+//! A [`Runtime`] owns the store, the collectors' shared state, and the
+//! task-root registry the concurrent collector draws from. Programs run
+//! against a [`crate::mutator::Mutator`] obtained from [`Runtime::run`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mpl_gc::{CgcState, Graveyard};
+use mpl_heap::{ObjRef, StatsSnapshot, Store, Value};
+use mpl_sched::{Dag, DagBuilder, StrandId, TokenPool};
+
+use crate::config::RuntimeConfig;
+use crate::mutator::{Mutator, TaskCtx};
+
+/// A shared, updatable shadow stack of object roots for one task.
+pub(crate) type ShadowStack = Arc<Mutex<Vec<ObjRef>>>;
+
+/// The runtime: store + collectors + scheduler state.
+#[derive(Debug)]
+pub struct Runtime {
+    store: Store,
+    config: RuntimeConfig,
+    cgc_state: CgcState,
+    graveyard: Graveyard,
+    tokens: TokenPool,
+    shadows: Mutex<Vec<ShadowStack>>,
+    pending: Mutex<Vec<Option<ObjRef>>>,
+    dag: Mutex<Option<Arc<DagBuilder>>>,
+    last_dag: Mutex<Option<Dag>>,
+    cgc_gate: Mutex<()>,
+    /// Pinned footprint after the previous concurrent collection; the
+    /// next one triggers only once the footprint has doubled (amortizing
+    /// full-graph marking against entangled allocation volume).
+    cgc_baseline: std::sync::atomic::AtomicUsize,
+    cgc_poll: std::sync::atomic::AtomicBool,
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Runtime {
+        Runtime {
+            store: Store::new(config.store),
+            cgc_state: CgcState::new(),
+            graveyard: Graveyard::new(),
+            tokens: TokenPool::new(config.threads.max(1)),
+            shadows: Mutex::new(Vec::new()),
+            pending: Mutex::new(Vec::new()),
+            dag: Mutex::new(None),
+            last_dag: Mutex::new(None),
+            cgc_gate: Mutex::new(()),
+            cgc_baseline: std::sync::atomic::AtomicUsize::new(0),
+            cgc_poll: std::sync::atomic::AtomicBool::new(false),
+            config,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// A snapshot of the cost-metric counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.store.stats().snapshot()
+    }
+
+    pub(crate) fn cgc_state(&self) -> &CgcState {
+        &self.cgc_state
+    }
+
+    pub(crate) fn graveyard(&self) -> &Graveyard {
+        &self.graveyard
+    }
+
+    pub(crate) fn tokens(&self) -> &TokenPool {
+        &self.tokens
+    }
+
+    /// Runs a program to completion on this runtime and returns its result.
+    ///
+    /// The closure receives the root task's [`Mutator`]. With
+    /// `config.threads > 1`, forks inside the program may execute on real
+    /// threads; otherwise execution is deterministic depth-first.
+    pub fn run<F>(&self, f: F) -> Value
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        let root_heap = self.store.new_root_heap();
+        let dag = if self.config.record_dag {
+            let (builder, root_strand) = DagBuilder::new();
+            let arc = Arc::new(builder);
+            *self.dag.lock() = Some(Arc::clone(&arc));
+            Some((arc, root_strand))
+        } else {
+            None
+        };
+        let (dag_arc, strand) = match dag {
+            Some((a, s)) => (Some(a), s),
+            None => (None, StrandId(0)),
+        };
+        let ctx = TaskCtx::new(vec![root_heap], dag_arc, strand, self);
+        let mut m = Mutator::new(self, ctx);
+        let v = f(&mut m);
+        m.finish_task();
+        self.graveyard.drain(&self.store);
+        if let Some(builder) = self.dag.lock().take() {
+            let builder = Arc::try_unwrap(builder)
+                .expect("DAG builder still shared after all tasks joined");
+            *self.last_dag.lock() = Some(builder.finish());
+        }
+        v
+    }
+
+    /// The computation DAG recorded by the most recent `run` (if
+    /// `record_dag` was set).
+    pub fn take_dag(&self) -> Option<Dag> {
+        self.last_dag.lock().take()
+    }
+
+    // ---- task-root registry (CGC root set) -----------------------------
+
+    pub(crate) fn register_shadow(&self, s: &ShadowStack) {
+        self.shadows.lock().push(Arc::clone(s));
+    }
+
+    pub(crate) fn unregister_shadow(&self, s: &ShadowStack) {
+        let mut shadows = self.shadows.lock();
+        if let Some(pos) = shadows.iter().position(|x| Arc::ptr_eq(x, s)) {
+            shadows.swap_remove(pos);
+        }
+    }
+
+    /// Parks a branch result so the concurrent collector sees it between a
+    /// branch's completion and the parent's join. Returns a slot index.
+    pub(crate) fn park_result(&self, v: Value) -> Option<usize> {
+        let r = v.as_obj()?;
+        let mut pending = self.pending.lock();
+        if let Some(idx) = pending.iter().position(|p| p.is_none()) {
+            pending[idx] = Some(r);
+            Some(idx)
+        } else {
+            pending.push(Some(r));
+            Some(pending.len() - 1)
+        }
+    }
+
+    pub(crate) fn unpark_result(&self, idx: Option<usize>) {
+        if let Some(idx) = idx {
+            self.pending.lock()[idx] = None;
+        }
+    }
+
+    /// Assembles the concurrent collector's root set: every live task's
+    /// shadow stack plus parked branch results.
+    pub(crate) fn cgc_roots(&self) -> Vec<ObjRef> {
+        let mut roots: Vec<ObjRef> = Vec::new();
+        for s in self.shadows.lock().iter() {
+            roots.extend(s.lock().iter().copied());
+        }
+        roots.extend(self.pending.lock().iter().flatten().copied());
+        roots
+    }
+
+    /// Requests a CGC eligibility check at the caller's next safepoint.
+    ///
+    /// The pin path calls this: pinned-footprint growth happens on *reads*,
+    /// which are not safepoints (callers may hold unrooted values across
+    /// them), so the collection itself must wait for the next allocation
+    /// or fork/join.
+    pub(crate) fn request_cgc_poll(&self) {
+        self.cgc_poll
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// True if some task pinned since the last CGC eligibility check.
+    pub(crate) fn cgc_poll_requested(&self) -> bool {
+        self.cgc_poll.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Runs (or, with `cgc_slice_objects`, advances) the concurrent
+    /// collector if the pinned footprint warrants it and no other
+    /// collection is in flight.
+    pub(crate) fn maybe_cgc(&self) {
+        use std::sync::atomic::Ordering;
+        self.cgc_poll.store(false, Ordering::Relaxed);
+        let slice = self.config.cgc_slice_objects;
+
+        // An in-flight incremental cycle is advanced regardless of the
+        // trigger: the snapshot is already taken.
+        if slice > 0 && self.cgc_state.cycle_active() {
+            if let Some(_gate) = self.cgc_gate.try_lock() {
+                let start = std::time::Instant::now();
+                let done = mpl_gc::cgc_step(&self.store, &self.cgc_state, slice);
+                self.store
+                    .stats()
+                    .on_cgc_pause(start.elapsed().as_nanos() as u64);
+                if done.is_some() {
+                    self.cgc_baseline
+                        .store(self.stats().pinned_bytes, Ordering::Relaxed);
+                }
+            }
+            return;
+        }
+
+        let pinned = self.stats().pinned_bytes;
+        if !self.config.policy.should_cgc(pinned) {
+            return;
+        }
+        // Amortize: a full cycle marks the live graph, so only collect
+        // once the pinned footprint doubled since the last cycle.
+        let baseline = self.cgc_baseline.load(Ordering::Relaxed);
+        if pinned < baseline.saturating_mul(2) {
+            return;
+        }
+        if let Some(_gate) = self.cgc_gate.try_lock() {
+            let start = std::time::Instant::now();
+            if slice > 0 {
+                // Begin the sliced cycle: snapshot roots, trace one slice.
+                let roots = self.cgc_roots();
+                mpl_gc::cgc_begin(&self.store, &self.cgc_state, roots);
+                if mpl_gc::cgc_step(&self.store, &self.cgc_state, slice).is_some() {
+                    self.cgc_baseline
+                        .store(self.stats().pinned_bytes, Ordering::Relaxed);
+                }
+            } else {
+                let roots = self.cgc_roots();
+                mpl_gc::collect_entangled(&self.store, &self.cgc_state, roots);
+                self.cgc_baseline
+                    .store(self.stats().pinned_bytes, Ordering::Relaxed);
+            }
+            self.store
+                .stats()
+                .on_cgc_pause(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Validates the whole heap: panics with a report if any reachable
+    /// pointer field dangles (tests and debugging).
+    pub fn assert_heap_sound(&self) {
+        mpl_gc::assert_heap_sound(&self.store);
+    }
+
+    /// Takes a structured snapshot of the heap hierarchy (debugging and
+    /// operational visibility).
+    pub fn heap_report(&self) -> mpl_heap::StoreReport {
+        mpl_heap::report(&self.store)
+    }
+
+    /// Forces a concurrent collection (tests and experiments).
+    pub fn force_cgc(&self) {
+        let _gate = self.cgc_gate.lock();
+        let start = std::time::Instant::now();
+        if self.cgc_state.cycle_active() {
+            // Finish the in-flight sliced cycle.
+            while mpl_gc::cgc_step(&self.store, &self.cgc_state, usize::MAX).is_none() {}
+        } else {
+            let roots = self.cgc_roots();
+            mpl_gc::collect_entangled(&self.store, &self.cgc_state, roots);
+        }
+        self.store
+            .stats()
+            .on_cgc_pause(start.elapsed().as_nanos() as u64);
+    }
+}

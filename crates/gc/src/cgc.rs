@@ -1,0 +1,590 @@
+//! CGC — the concurrent, non-moving collector for entangled objects.
+//!
+//! The local collector shields pinned objects and their closure in place;
+//! reclaiming them requires knowing global reachability, which is this
+//! collector's job. It is a snapshot-at-the-beginning (SATB) mark–sweep:
+//!
+//! * **Mark** — trace from every task's roots (and any extra roots the
+//!   runtime supplies). While marking is active, mutators log overwritten
+//!   pointers and newly pinned objects into the SATB buffer, which the
+//!   marker drains to a fixpoint; this preserves everything live at the
+//!   snapshot.
+//! * **Sweep** — visit only chunks flagged *entangled* and reclaim
+//!   unmarked entangled-space objects. Disentangled data is never swept
+//!   here (and never pays): a program with no entanglement never triggers
+//!   this collector.
+//!
+//! Under the sequential executor the "concurrency" degenerates to running
+//! at safepoints, and the SATB buffer stays empty.
+//!
+//! # Incremental marking
+//!
+//! [`collect_entangled`] runs a whole cycle in one pause. For bounded
+//! pauses, the same cycle can be **sliced**: [`cgc_begin`] snapshots the
+//! roots and raises the marking flag; repeated [`cgc_step`] calls advance
+//! the trace by a bounded number of objects (mutators run between slices,
+//! logging into the SATB buffer); the final step drains the buffer to a
+//! fixpoint and sweeps. Soundness is the usual SATB argument — everything
+//! live at the snapshot is either reached from the snapshot roots or was
+//! logged when a mutator hid it — plus one observation specific to this
+//! runtime: objects can only *enter* a sweepable state (the entangled
+//! space) by being pinned, and the pin path logs them.
+
+use std::collections::HashSet;
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mpl_heap::{ObjRef, Store};
+
+/// Shared state coordinating mutators with a concurrent mark phase.
+#[derive(Debug, Default)]
+pub struct CgcState {
+    marking: AtomicBool,
+    satb: Mutex<Vec<ObjRef>>,
+    /// In-flight incremental cycle (mark stack + visited set, then the
+    /// sweep cursor).
+    work: Mutex<Option<CycleState>>,
+}
+
+/// The persisted trace of an incremental cycle.
+#[derive(Debug, Default)]
+struct MarkState {
+    stack: Vec<ObjRef>,
+    visited: HashSet<ObjRef>,
+    marked: Vec<ObjRef>,
+}
+
+/// Phase of an in-flight incremental cycle.
+#[derive(Debug)]
+enum CycleState {
+    Mark(MarkState),
+    /// Marking finished; sweeping the captured entangled-chunk list from
+    /// `cursor`, accumulating the outcome.
+    Sweep {
+        marked: Vec<ObjRef>,
+        chunks: Vec<u32>,
+        cursor: usize,
+        out: CgcOutcome,
+    },
+    /// Sweeping finished; clearing mark bits from `cursor`.
+    Epilogue {
+        marked: Vec<ObjRef>,
+        cursor: usize,
+        out: CgcOutcome,
+    },
+}
+
+impl CgcState {
+    /// Creates idle state.
+    pub fn new() -> CgcState {
+        CgcState::default()
+    }
+
+    /// True while a mark phase is active; mutators must log overwritten
+    /// pointers via [`CgcState::satb_log`].
+    pub fn is_marking(&self) -> bool {
+        self.marking.load(Ordering::Acquire)
+    }
+
+    /// Logs a pointer that must survive the current snapshot (an
+    /// overwritten field value, or a newly pinned object).
+    pub fn satb_log(&self, r: ObjRef) {
+        if self.is_marking() {
+            self.satb.lock().push(r);
+        }
+    }
+
+    fn drain_satb(&self) -> Vec<ObjRef> {
+        std::mem::take(&mut *self.satb.lock())
+    }
+
+    /// True if an incremental cycle is in flight (begun, not yet swept).
+    pub fn cycle_active(&self) -> bool {
+        self.work.lock().is_some()
+    }
+}
+
+/// Statistics from one concurrent collection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CgcOutcome {
+    /// Bytes of entangled-space objects reclaimed.
+    pub swept_bytes: u64,
+    /// Number of entangled-space objects reclaimed.
+    pub swept_objects: usize,
+    /// Entangled chunks freed outright (all contents dead).
+    pub freed_chunks: usize,
+    /// Objects visited by the mark phase.
+    pub marked_objects: usize,
+}
+
+/// Traces up to `budget` objects from the mark state. Returns the number
+/// traced (0 means the stack is empty).
+fn advance_mark(store: &Store, ms: &mut MarkState, budget: usize) -> usize {
+    let mut traced = 0;
+    while traced < budget {
+        let Some(r) = ms.stack.pop() else { break };
+        let r = store.resolve(r);
+        if !ms.visited.insert(r) {
+            continue;
+        }
+        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+            continue; // racing reclamation of a dead region
+        };
+        let Some(obj) = chunk.try_get(r.slot()) else {
+            continue;
+        };
+        if obj.header().is_dead() {
+            continue;
+        }
+        traced += 1;
+        if obj.try_mark() {
+            ms.marked.push(r);
+        }
+        if obj.kind().is_traced() {
+            for w in obj.field_words() {
+                if let Some(t) = w.pointer() {
+                    ms.stack.push(t);
+                }
+            }
+        }
+    }
+    traced
+}
+
+/// Starts an incremental cycle: snapshots the roots and raises the
+/// marking flag (mutators begin SATB logging). No-op if a cycle is
+/// already in flight.
+pub fn cgc_begin(store: &Store, state: &CgcState, roots: impl IntoIterator<Item = ObjRef>) {
+    let _ = store;
+    let mut work = state.work.lock();
+    if work.is_some() {
+        return;
+    }
+    state.marking.store(true, Ordering::Release);
+    *work = Some(CycleState::Mark(MarkState {
+        stack: roots.into_iter().collect(),
+        visited: HashSet::new(),
+        marked: Vec::new(),
+    }));
+}
+
+/// Advances the in-flight cycle by roughly `budget` units (traced objects
+/// while marking; swept chunks while sweeping). Returns the outcome when
+/// the cycle completes, `None` while work remains (or if no cycle is
+/// active).
+pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOutcome> {
+    let mut guard = state.work.lock();
+    match guard.as_mut()? {
+        CycleState::Mark(ms) => {
+            advance_mark(store, ms, budget);
+            if !ms.stack.is_empty() {
+                return None;
+            }
+            // Stack empty: drain the SATB log to a fixpoint (bounded by
+            // the same budget per call — a busy mutator keeps the cycle
+            // alive rather than extending this pause).
+            let extra = state.drain_satb();
+            if !extra.is_empty() {
+                ms.stack.extend(extra);
+                advance_mark(store, ms, budget);
+                if !ms.stack.is_empty() || !state.satb.lock().is_empty() {
+                    return None;
+                }
+            }
+            // Mark fixpoint reached. Reachability can only shrink from
+            // here (SATB covered every hide while the flag was up), so
+            // the sweep may proceed in slices with the flag down.
+            state.marking.store(false, Ordering::Release);
+            let CycleState::Mark(ms) = guard.take().expect("cycle present") else {
+                unreachable!()
+            };
+            let chunks: Vec<u32> = store
+                .chunks()
+                .live_chunks()
+                .into_iter()
+                .filter(|c| c.is_entangled())
+                .map(|c| c.id())
+                .collect();
+            let out = CgcOutcome {
+                marked_objects: ms.marked.len(),
+                ..CgcOutcome::default()
+            };
+            *guard = Some(CycleState::Sweep {
+                marked: ms.marked,
+                chunks,
+                cursor: 0,
+                out,
+            });
+            None
+        }
+        CycleState::Sweep {
+            chunks,
+            cursor,
+            out,
+            ..
+        } => {
+            let end = cursor.saturating_add(budget.max(1)).min(chunks.len());
+            for &cid in &chunks[*cursor..end] {
+                sweep_chunk(store, cid, out);
+            }
+            *cursor = end;
+            if *cursor < chunks.len() {
+                return None;
+            }
+            let Some(CycleState::Sweep { marked, out, .. }) = guard.take() else {
+                unreachable!()
+            };
+            *guard = Some(CycleState::Epilogue {
+                marked,
+                cursor: 0,
+                out,
+            });
+            None
+        }
+        CycleState::Epilogue {
+            marked,
+            cursor,
+            out: _,
+        } => {
+            let end = cursor.saturating_add(budget.max(1)).min(marked.len());
+            for r in &marked[*cursor..end] {
+                if let Some(chunk) = store.chunks().try_get(r.chunk()) {
+                    if let Some(obj) = chunk.try_get(r.slot()) {
+                        obj.clear_mark();
+                    }
+                }
+            }
+            *cursor = end;
+            if *cursor < marked.len() {
+                return None;
+            }
+            let Some(CycleState::Epilogue { out, .. }) = guard.take() else {
+                unreachable!()
+            };
+            drop(guard);
+            // Index pruning is proportional to the (usually small) pinned
+            // population; it stays in the final slice.
+            prune_entangled_indexes(store);
+            store.stats().on_cgc(out.swept_bytes);
+            Some(out)
+        }
+    }
+}
+
+/// Runs a full mark–sweep cycle over the entangled spaces.
+///
+/// `roots` must include every live task's shadow stack and any pending
+/// results; the runtime is responsible for assembling them (a brief
+/// handshake under real threads).
+pub fn collect_entangled(
+    store: &Store,
+    state: &CgcState,
+    roots: impl IntoIterator<Item = ObjRef>,
+) -> CgcOutcome {
+    // ---- mark ----------------------------------------------------------
+    state.marking.store(true, Ordering::Release);
+    let mut ms = MarkState {
+        stack: roots.into_iter().collect(),
+        visited: HashSet::new(),
+        marked: Vec::new(),
+    };
+    loop {
+        advance_mark(store, &mut ms, usize::MAX);
+        // Drain the SATB log to a fixpoint.
+        let extra = state.drain_satb();
+        if extra.is_empty() {
+            break;
+        }
+        ms.stack.extend(extra);
+    }
+    state.marking.store(false, Ordering::Release);
+    finish_cycle(store, ms)
+}
+
+/// Sweep + epilogue shared by the monolithic and incremental paths.
+fn finish_cycle(store: &Store, ms: MarkState) -> CgcOutcome {
+    let mut out = CgcOutcome {
+        marked_objects: ms.marked.len(),
+        ..CgcOutcome::default()
+    };
+    let chunk_ids: Vec<u32> = store
+        .chunks()
+        .live_chunks()
+        .into_iter()
+        .filter(|c| c.is_entangled())
+        .map(|c| c.id())
+        .collect();
+    for cid in chunk_ids {
+        sweep_chunk(store, cid, &mut out);
+    }
+    epilogue(store, ms.marked, out)
+}
+
+/// Sweeps one entangled chunk: reclaims unmarked entangled-space objects
+/// and frees the chunk outright when everything in it is dead.
+fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
+    let Some(chunk) = store.chunks().try_get(cid) else {
+        return; // freed between slices
+    };
+    let mut retainers = 0usize;
+    for (_slot, obj) in chunk.objects() {
+        let header = obj.header();
+        if header.is_dead() {
+            continue;
+        }
+        if header.is_forwarded() {
+            // The forwarding word may still be needed by stale
+            // references (the moving collector repairs what it can
+            // reach, but entangled readers resolve lazily): the chunk
+            // must survive; the owner's next local collection retires
+            // it once it proves full evacuation.
+            retainers += 1;
+            continue;
+        }
+        if header.in_entangled_space() && !header.is_marked() {
+            let size = obj.size_bytes();
+            obj.set_dead();
+            chunk.sub_live_bytes(size);
+            if header.is_pinned() {
+                chunk.add_pinned(-1);
+                store.stats().sub_pinned_bytes(size);
+            }
+            out.swept_bytes += size as u64;
+            out.swept_objects += 1;
+        } else {
+            retainers += 1;
+        }
+    }
+    if retainers == 0 && chunk.is_full() {
+        // Every object is dead (not merely moved): no reference can
+        // need this chunk again.
+        store.chunks().free(chunk.id());
+        out.freed_chunks += 1;
+    }
+}
+
+/// Clears mark bits, prunes dead index entries, records statistics.
+fn epilogue(store: &Store, marked: Vec<ObjRef>, out: CgcOutcome) -> CgcOutcome {
+    for r in marked {
+        if let Some(chunk) = store.chunks().try_get(r.chunk()) {
+            if let Some(obj) = chunk.try_get(r.slot()) {
+                obj.clear_mark();
+            }
+        }
+    }
+    prune_entangled_indexes(store);
+
+    store.stats().on_cgc(out.swept_bytes);
+    out
+}
+
+/// Drops dead entries from every heap's entangled-object index.
+fn prune_entangled_indexes(store: &Store) {
+    for id in 0..store.heaps().len() as u32 {
+        if store.heaps().find(id) != id {
+            continue; // merged away
+        }
+        let info = store.heaps().info(id);
+        let entries = info.take_entangled();
+        for r in entries {
+            let live = store
+                .chunks()
+                .try_get(r.chunk())
+                .and_then(|c| c.try_get(r.slot()).map(|o| !o.header().is_dead()))
+                .unwrap_or(false);
+            if live {
+                // Re-register through the seal-chasing path: the heap may
+                // have joined (and sealed) while we pruned.
+                store.heaps().register_entangled(id, r, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graveyard::Graveyard;
+    use crate::lgc::collect_local;
+    use mpl_heap::{ObjKind, StoreConfig, Value};
+
+    fn store() -> Store {
+        Store::new(StoreConfig { chunk_slots: 4 })
+    }
+
+    /// Builds the canonical entanglement scenario: a sibling task pins an
+    /// object in `l`, then LGC of `l` shields it in place.
+    fn entangle_one(s: &Store) -> (u32, ObjRef) {
+        let root = s.new_root_heap();
+        let (l, _r) = s.fork_heaps(root);
+        let x = s.alloc_values(l, ObjKind::Ref, &[Value::Int(11)]);
+        s.pin(x, 0);
+        let g = Graveyard::new();
+        let mut roots: [ObjRef; 0] = [];
+        collect_local(s, l, &mut roots, &g, true);
+        assert!(s.handle(x).header().in_entangled_space());
+        (l, x)
+    }
+
+    #[test]
+    fn reachable_entangled_object_survives() {
+        let s = store();
+        let (_l, x) = entangle_one(&s);
+        let state = CgcState::new();
+        let out = collect_entangled(&s, &state, vec![x]);
+        assert_eq!(out.swept_objects, 0);
+        assert!(!s.handle(x).header().is_dead());
+        assert!(!s.handle(x).header().is_marked(), "marks cleared after");
+    }
+
+    #[test]
+    fn unreachable_entangled_object_is_swept() {
+        let s = store();
+        let (_l, x) = entangle_one(&s);
+        let pinned_before = s.stats().snapshot().pinned_bytes;
+        assert!(pinned_before > 0);
+        let state = CgcState::new();
+        let out = collect_entangled(&s, &state, Vec::<ObjRef>::new());
+        assert_eq!(out.swept_objects, 1);
+        assert!(s
+            .chunks()
+            .try_get(x.chunk())
+            .map(|c| c.try_get(x.slot()).unwrap().header().is_dead())
+            .unwrap_or(true));
+        assert_eq!(s.stats().snapshot().pinned_bytes, 0);
+        assert_eq!(s.stats().snapshot().cgc_runs, 1);
+    }
+
+    #[test]
+    fn satb_log_preserves_hidden_pointer() {
+        let s = store();
+        let (_l, x) = entangle_one(&s);
+        let state = CgcState::new();
+        // Simulate a mutator hiding `x` during marking: no root mentions
+        // it, but the overwritten value is logged.
+        state.marking.store(true, Ordering::Release);
+        state.satb_log(x);
+        state.marking.store(false, Ordering::Release);
+        // The buffered entry must be honored by the next cycle.
+        let out = collect_entangled(&s, &state, Vec::<ObjRef>::new());
+        assert_eq!(out.swept_objects, 0, "SATB-logged object survives");
+        assert!(!s.handle(x).header().is_dead());
+    }
+
+    #[test]
+    fn disentangled_heap_sweeps_nothing() {
+        let s = store();
+        let h = s.new_root_heap();
+        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        let state = CgcState::new();
+        let out = collect_entangled(&s, &state, vec![a]);
+        assert_eq!(out.swept_objects, 0);
+        assert_eq!(out.swept_bytes, 0);
+        assert_eq!(out.freed_chunks, 0);
+    }
+
+    #[test]
+    fn entangled_index_pruned_after_sweep() {
+        let s = store();
+        let (l, _x) = entangle_one(&s);
+        let state = CgcState::new();
+        collect_entangled(&s, &state, Vec::<ObjRef>::new());
+        let canon = s.heaps().find(l);
+        assert_eq!(s.heaps().info(canon).entangled_len(), 0);
+    }
+
+    #[test]
+    fn incremental_cycle_matches_monolithic() {
+        let s = store();
+        let (_l, live) = entangle_one(&s);
+        let (_l2, dead) = entangle_one(&s);
+        let state = CgcState::new();
+        cgc_begin(&s, &state, vec![live]);
+        assert!(state.cycle_active());
+        assert!(state.is_marking());
+        let mut out = None;
+        let mut slices = 0;
+        while out.is_none() {
+            out = cgc_step(&s, &state, 1);
+            slices += 1;
+            assert!(slices < 100, "cycle must terminate");
+        }
+        let out = out.unwrap();
+        assert!(!state.cycle_active());
+        assert!(!state.is_marking());
+        assert_eq!(out.swept_objects, 1, "exactly the unreferenced pin");
+        assert!(!s.handle(live).header().is_dead());
+        assert!(s
+            .chunks()
+            .try_get(dead.chunk())
+            .map(|c| c.try_get(dead.slot()).unwrap().header().is_dead())
+            .unwrap_or(true));
+    }
+
+    #[test]
+    fn satb_between_slices_preserves_hidden_objects() {
+        let s = store();
+        let (_l, x) = entangle_one(&s);
+        // A second population so the trace takes more than one slice.
+        let root2 = s.new_root_heap();
+        let mut prev = s.alloc_values(root2, ObjKind::Ref, &[Value::Int(0)]);
+        for i in 0..16 {
+            prev = s.alloc_values(root2, ObjKind::Ref, &[Value::Obj(prev)]);
+            let _ = i;
+        }
+        let state = CgcState::new();
+        cgc_begin(&s, &state, vec![prev]);
+        // First slice runs...
+        assert!(cgc_step(&s, &state, 2).is_none(), "chain needs more slices");
+        // ...then a mutator "hides" x behind an overwrite, logging it.
+        state.satb_log(x);
+        let mut out = None;
+        while out.is_none() {
+            out = cgc_step(&s, &state, 4);
+        }
+        assert_eq!(out.unwrap().swept_objects, 0, "the logged pin survives");
+        assert!(!s.handle(x).header().is_dead());
+    }
+
+    #[test]
+    fn step_without_begin_is_a_noop() {
+        let s = store();
+        let state = CgcState::new();
+        assert!(cgc_step(&s, &state, 8).is_none());
+        assert!(!state.cycle_active());
+    }
+
+    #[test]
+    fn begin_is_idempotent_while_active() {
+        let s = store();
+        let (_l, x) = entangle_one(&s);
+        let state = CgcState::new();
+        cgc_begin(&s, &state, vec![x]);
+        // A second begin with *no* roots must not clobber the snapshot.
+        cgc_begin(&s, &state, Vec::<ObjRef>::new());
+        let mut out = None;
+        while out.is_none() {
+            out = cgc_step(&s, &state, 8);
+        }
+        assert_eq!(out.unwrap().swept_objects, 0, "original roots retained");
+    }
+
+    #[test]
+    fn marking_traverses_through_normal_objects() {
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, _r) = s.fork_heaps(root);
+        let x = s.alloc_values(l, ObjKind::Ref, &[Value::Int(5)]);
+        s.pin(x, 0);
+        let g = Graveyard::new();
+        let mut roots: [ObjRef; 0] = [];
+        collect_local(&s, l, &mut roots, &g, true);
+        // Root -> holder -> x: the path crosses a disentangled object.
+        let holder = s.alloc_values(root, ObjKind::Tuple, &[Value::Obj(x)]);
+        let state = CgcState::new();
+        let out = collect_entangled(&s, &state, vec![holder]);
+        assert_eq!(out.swept_objects, 0);
+        assert!(out.marked_objects >= 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Deferred chunk reclamation.
+//!
+//! Under real threads, a chunk evacuated by the local collector may still
+//! be referenced by a concurrent task that read a (soon-stale) pointer just
+//! before the collection: the stale copy's forwarding word must remain
+//! readable until every task has passed a safepoint. Evacuated chunks are
+//! therefore *retired* to the graveyard and only freed at a quiescent
+//! point. The sequential executor has no such races and frees immediately.
+
+use parking_lot::Mutex;
+
+use mpl_heap::Store;
+
+/// A set of chunks awaiting reclamation at the next quiescent point.
+#[derive(Debug, Default)]
+pub struct Graveyard {
+    pending: Mutex<Vec<u32>>,
+}
+
+impl Graveyard {
+    /// Creates an empty graveyard.
+    pub fn new() -> Graveyard {
+        Graveyard::default()
+    }
+
+    /// Retires a chunk for deferred freeing.
+    pub fn retire(&self, chunk_id: u32) {
+        self.pending.lock().push(chunk_id);
+    }
+
+    /// Number of chunks awaiting reclamation.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Frees all retired chunks. Call only at a global quiescent point
+    /// (all tasks at safepoints, e.g. a top-level join).
+    pub fn drain(&self, store: &Store) -> usize {
+        let ids = std::mem::take(&mut *self.pending.lock());
+        let n = ids.len();
+        for id in ids {
+            store.chunks().free(id);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_heap::{ObjKind, StoreConfig};
+
+    #[test]
+    fn retire_then_drain_frees() {
+        let store = Store::new(StoreConfig { chunk_slots: 2 });
+        let h = store.new_root_heap();
+        let r = store.alloc_values(h, ObjKind::Tuple, &[]);
+        let g = Graveyard::new();
+        g.retire(r.chunk());
+        assert_eq!(g.pending(), 1);
+        assert!(store.chunks().try_get(r.chunk()).is_some());
+        assert_eq!(g.drain(&store), 1);
+        assert_eq!(g.pending(), 0);
+        assert!(store.chunks().try_get(r.chunk()).is_none());
+    }
+}

@@ -1,0 +1,678 @@
+//! LGC — the local, moving collector.
+//!
+//! A task collects its own (leaf) heap at a safepoint, with **no
+//! synchronization with other tasks**: this is the property that makes the
+//! hierarchical design fast for disentangled programs. Soundness under
+//! concurrency rests on two facts:
+//!
+//! 1. Other tasks can only reference this heap's objects through the
+//!    entangled region — every remote pointer acquisition goes through a
+//!    barrier that pins its target, and everything reachable from a pinned
+//!    object is transferred to the heap's non-moving *entangled space*
+//!    before anything else is evacuated.
+//! 2. Down-pointers from ancestor heaps are recorded in the remembered
+//!    set; their sources belong to suspended ancestors, so repairing them
+//!    with a CAS cannot lose a racing update from the owner.
+//!
+//! The algorithm:
+//!
+//! * **Phase A (shield)** — compute the transitive closure of the heap's
+//!   pinned objects (through *all* fields, conservatively, because remote
+//!   readers traverse immutable edges barrier-free) and tag it
+//!   `entangled_space`: non-moving, retained, swept later by the CGC.
+//! * **Phase B (evacuate)** — Cheney-style copy of everything reachable
+//!   from the task's roots and the remembered set into fresh chunks,
+//!   leaving forwarding words behind; entangled-space objects are kept in
+//!   place and act as boundaries (their subgraph is already retained).
+//! * **Phase C (reclaim)** — from-space chunks that contain entangled
+//!   objects are retained (and flagged for the CGC); the rest are freed or
+//!   retired to the graveyard.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use mpl_heap::{Chunk, ObjHandle, ObjRef, Object, RemsetEntry, Store, Value, Word};
+
+use crate::graveyard::Graveyard;
+
+/// Statistics from one local collection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LgcOutcome {
+    /// Bytes copied to to-space.
+    pub copied_bytes: u64,
+    /// Garbage bytes reclaimed (logically freed).
+    pub reclaimed_bytes: u64,
+    /// Live bytes retained in place in the entangled space.
+    pub retained_entangled_bytes: u64,
+    /// Number of from-space chunks freed or retired.
+    pub freed_chunks: usize,
+    /// Number of from-space chunks retained for the CGC.
+    pub retained_chunks: usize,
+    /// Number of objects evacuated.
+    pub copied_objects: usize,
+}
+
+struct ToSpace<'s> {
+    store: &'s Store,
+    heap: u32,
+    chunks: Vec<Arc<Chunk>>,
+}
+
+impl<'s> ToSpace<'s> {
+    fn new(store: &'s Store, heap: u32) -> Self {
+        ToSpace {
+            store,
+            heap,
+            chunks: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, obj: Object) -> ObjRef {
+        let mut obj = obj;
+        loop {
+            if let Some(chunk) = self.chunks.last() {
+                match chunk.try_alloc(obj) {
+                    Ok(r) => return r,
+                    Err(back) => obj = back,
+                }
+            }
+            let heap = self.heap;
+            let slots = self.store.config().chunk_slots;
+            let chunk = self
+                .store
+                .chunks()
+                .register(|id| Chunk::new(id, heap, slots));
+            self.chunks.push(chunk);
+        }
+    }
+}
+
+/// Runs a local collection of `heap`.
+///
+/// `roots` is the owning task's shadow stack; entries are updated in place
+/// to the objects' new locations. `extra_roots` (e.g. a pending result
+/// value) are likewise updated.
+///
+/// # Panics
+///
+/// Panics on heap corruption (dangling references outside the collected
+/// heap's own chunks).
+pub fn collect_local(
+    store: &Store,
+    heap: u32,
+    roots: &mut [ObjRef],
+    graveyard: &Graveyard,
+    immediate_chunk_free: bool,
+) -> LgcOutcome {
+    let h = store.heaps().find(heap);
+    let info = store.heaps().info(h);
+    let from_chunks: Vec<u32> = info.chunk_ids();
+    let from_set: HashSet<u32> = from_chunks.iter().copied().collect();
+    let total_from_live: u64 = from_chunks
+        .iter()
+        .filter_map(|&c| store.chunks().try_get(c))
+        .map(|c| c.live_bytes() as u64)
+        .sum();
+
+    let in_heap = |r: ObjRef| from_set.contains(&r.chunk());
+
+    let mut out = LgcOutcome::default();
+
+    // ---- Phase A: shield the entangled region --------------------------
+    let mut entangled_closure: HashSet<ObjRef> = HashSet::new();
+    let mut retained_chunk_ids: HashSet<u32> = HashSet::new();
+    {
+        let entries = info.take_entangled();
+        let mut kept = Vec::with_capacity(entries.len());
+        let mut stack: Vec<ObjRef> = Vec::new();
+        for r in entries {
+            let Some(r) = store.try_resolve(r) else {
+                continue; // reclaimed by the concurrent collector
+            };
+            let hd = store.handle(r);
+            if hd.header().is_dead() || !hd.header().is_pinned() {
+                continue;
+            }
+            kept.push(r);
+            if in_heap(r) {
+                stack.push(r);
+            }
+        }
+        info.extend_entangled(kept);
+
+        while let Some(r) = stack.pop() {
+            if !entangled_closure.insert(r) {
+                continue;
+            }
+            let hd = store.handle(r);
+            hd.set_entangled_space();
+            retained_chunk_ids.insert(r.chunk());
+            out.retained_entangled_bytes += hd.size_bytes() as u64;
+            if hd.kind().is_traced() {
+                for w in hd.field_words() {
+                    if let Some(t) = w.pointer() {
+                        let t = store.resolve(t);
+                        if in_heap(t) && !entangled_closure.contains(&t) {
+                            let th = store.handle(t);
+                            if !th.header().is_dead() {
+                                stack.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Phase B: evacuate ---------------------------------------------
+    let phase = std::cell::Cell::new("init");
+    let mut tospace = ToSpace::new(store, h);
+    // Map from old location to new location for objects we copied.
+    let mut forwarded: HashMap<ObjRef, ObjRef> = HashMap::new();
+    let mut scan_queue: Vec<ObjRef> = Vec::new();
+    // Objects pinned by a concurrent reader *after* the shield phase;
+    // their reachable closures are shielded post-scan.
+    let race_pinned: std::cell::RefCell<Vec<ObjRef>> = std::cell::RefCell::new(Vec::new());
+
+    let forward_one = |store: &Store,
+                           tospace: &mut ToSpace<'_>,
+                           scan_queue: &mut Vec<ObjRef>,
+                           forwarded: &mut HashMap<ObjRef, ObjRef>,
+                           out: &mut LgcOutcome,
+                           entangled_closure: &mut HashSet<ObjRef>,
+                           retained_chunk_ids: &mut HashSet<u32>,
+                           r: ObjRef|
+     -> ObjRef {
+        let r = match store.try_resolve(r) {
+            Some(r) => r,
+            None => panic!(
+                "forward_one[{}]: unresolvable {r} (chunk {} freed) while collecting heap {h}",
+                phase.get(),
+                r.chunk()
+            ),
+        };
+        if !from_set.contains(&r.chunk()) {
+            return r; // foreign pointer: not collected now
+        }
+        if let Some(&nr) = forwarded.get(&r) {
+            return nr;
+        }
+        let hd = store.handle(r);
+        let header = hd.header();
+        // Shielding is per-collection: only THIS cycle's pin closure is
+        // non-moving. A stale `entangled_space` bit from an earlier cycle
+        // (whose pin has since been released at a join) must not exempt
+        // an object from evacuation — its chunk is about to be freed.
+        if entangled_closure.contains(&r) {
+            return r; // shielded: non-moving
+        }
+        if let Some(f) = hd.forward_ref() {
+            return f;
+        }
+        if header.is_dead() {
+            // A reachable-but-swept object is a collector bug; dump
+            // everything we know before dying (debug builds only).
+            debug_assert!(
+                false,
+                "traced a dead object {r}: kind {:?} len {} suspect {} entspace {} chunk(owner {} entangled {} pinned_count {})",
+                header.kind(),
+                hd.obj().len(),
+                header.is_suspect(),
+                header.in_entangled_space(),
+                hd.chunk().owner(),
+                hd.chunk().is_entangled(),
+                hd.chunk().pinned_count(),
+            );
+        }
+        // Copy the payload and claim the original. The suspect bit is
+        // part of the object's identity for the read barrier and must
+        // survive the move.
+        let snapshot: Vec<Word> = hd.field_words().collect();
+        let size = hd.size_bytes();
+        let copy = Object::new(header.kind(), snapshot);
+        if header.is_suspect() {
+            copy.mark_suspect();
+        }
+        let nr = tospace.alloc(copy);
+        match hd.obj().try_forward(nr) {
+            Ok(()) => {
+                forwarded.insert(r, nr);
+                out.copied_bytes += size as u64;
+                out.copied_objects += 1;
+                scan_queue.push(nr);
+                nr
+            }
+            Err(hdr) if hdr.is_forwarded() => {
+                // Another collector claimed it first (cannot happen for a
+                // task-owned heap, but be defensive): abandon our copy.
+                abandon_copy(store, nr);
+                hd.forward_ref().expect("forwarded header without fwd ref")
+            }
+            Err(_pinned) => {
+                // A remote reader pinned the object between our shield
+                // phase and now: it just became entangled. Keep it in
+                // place, abandon the copy, and remember to shield its
+                // reachable closure once the scan settles (the reader may
+                // traverse its fields barrier-free).
+                abandon_copy(store, nr);
+                hd.set_entangled_space();
+                entangled_closure.insert(r);
+                retained_chunk_ids.insert(r.chunk());
+                out.retained_entangled_bytes += size as u64;
+                race_pinned.borrow_mut().push(r);
+                r
+            }
+        }
+    };
+
+    // Roots.
+    phase.set("roots");
+    for root in roots.iter_mut() {
+        *root = forward_one(
+            store,
+            &mut tospace,
+            &mut scan_queue,
+            &mut forwarded,
+            &mut out,
+            &mut entangled_closure,
+            &mut retained_chunk_ids,
+            *root,
+        );
+    }
+
+    // Remembered set: down-pointers from ancestor heaps are roots, and the
+    // source fields must be repaired after the move.
+    phase.set("remset");
+    let remset = info.take_remset();
+    let mut kept_remset: Vec<RemsetEntry> = Vec::new();
+    for entry in remset {
+        let Some(_chunk) = store.chunks().try_get(entry.src.chunk()) else {
+            continue; // source chunk reclaimed: entry is stale
+        };
+        let src = store.resolve(entry.src);
+        if from_set.contains(&src.chunk()) {
+            // The source merged into this very heap; the pointer is now
+            // internal and ordinary tracing covers it.
+            continue;
+        }
+        let src_h: ObjHandle = store.handle(src);
+        if src_h.header().is_dead() {
+            continue;
+        }
+        let idx = entry.field as usize;
+        if idx >= src_h.len() {
+            continue;
+        }
+        loop {
+            let old_word = src_h.field_word(idx);
+            let Some(t) = old_word.pointer() else { break };
+            // The raw target decides membership: a target already
+            // evacuated through another path must still have its source
+            // field repaired to the forwarded location, or the field
+            // dangles once from-space chunks are freed.
+            if !from_set.contains(&t.chunk()) {
+                break; // points outside this heap: entry is stale
+            }
+            let nt = forward_one(
+                store,
+                &mut tospace,
+                &mut scan_queue,
+                &mut forwarded,
+                &mut out,
+                &mut entangled_closure,
+                &mut retained_chunk_ids,
+                t,
+            );
+            if nt == t {
+                // Shielded in place (entangled space): still a live
+                // down-pointer into this heap.
+                kept_remset.push(RemsetEntry { src, field: entry.field });
+                break;
+            }
+            match src_h
+                .obj()
+                .cas_field(idx, old_word.decode(), Value::Obj(nt))
+            {
+                Ok(()) => {
+                    kept_remset.push(RemsetEntry { src, field: entry.field });
+                    break;
+                }
+                Err(_) => continue, // concurrent write: re-read and retry
+            }
+        }
+    }
+    info.extend_remset(kept_remset);
+
+    // Transitive scan of evacuated objects.
+    phase.set("scan");
+    while let Some(nr) = scan_queue.pop() {
+        let hd = store.handle(nr);
+        if !hd.kind().is_traced() {
+            continue;
+        }
+        for i in 0..hd.len() {
+            let w = hd.field_word(i);
+            if let Some(t) = w.pointer() {
+                if store.try_resolve(t).is_none() {
+                    panic!(
+                        "scan: {nr} (kind {:?}, len {}, copied into chunk {} owner {}) field {i} -> dangling {t}",
+                        hd.kind(),
+                        hd.len(),
+                        nr.chunk(),
+                        store.chunks().get(nr.chunk()).owner(),
+                    );
+                }
+                let nt = forward_one(
+                    store,
+                    &mut tospace,
+                    &mut scan_queue,
+                    &mut forwarded,
+                    &mut out,
+                    &mut entangled_closure,
+                    &mut retained_chunk_ids,
+                    t,
+                );
+                if nt != t {
+                    hd.set_field(i, Value::Obj(nt));
+                }
+            }
+        }
+    }
+
+    // Late shield: expand the closure from objects pinned concurrently
+    // during evacuation. Members already evacuated are fine (readers
+    // resolve forwarding; from-space chunks survive until quiescence via
+    // the graveyard); members still in place must be retained and spared
+    // from dead-marking, recursively.
+    {
+        let mut stack = race_pinned.into_inner();
+        while let Some(r) = stack.pop() {
+            let hd = store.handle(r);
+            if hd.header().is_forwarded() {
+                continue; // alive in to-space; reader chases forwarding
+            }
+            if hd.kind().is_traced() {
+                for w in hd.field_words() {
+                    let Some(t) = w.pointer() else { continue };
+                    let t = store.resolve(t);
+                    if !from_set.contains(&t.chunk()) || entangled_closure.contains(&t) {
+                        continue;
+                    }
+                    let th = store.handle(t);
+                    if th.header().is_dead() || th.header().is_forwarded() {
+                        continue;
+                    }
+                    th.set_entangled_space();
+                    entangled_closure.insert(t);
+                    retained_chunk_ids.insert(t.chunk());
+                    out.retained_entangled_bytes += th.size_bytes() as u64;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    // ---- Phase C: reclaim ------------------------------------------------
+    // Forwarding-chain path compression: retained chunks keep forwarded
+    // slots alive indefinitely (entangled readers resolve lazily), so
+    // every forwarding word must point at the *final* location before the
+    // intermediate to-space chunks it may pass through are reclaimed —
+    // this or any future cycle.
+    for &cid in &from_chunks {
+        let Some(chunk) = store.chunks().try_get(cid) else {
+            continue;
+        };
+        for (_slot, obj) in chunk.objects() {
+            if let Some(first) = obj.forward_ref() {
+                let fin = store.resolve(first);
+                if fin != first {
+                    obj.compress_forward(fin);
+                }
+            }
+        }
+    }
+    for &cid in &from_chunks {
+        let Some(chunk) = store.chunks().try_get(cid) else {
+            continue;
+        };
+        if retained_chunk_ids.contains(&cid) || chunk.pinned_count() > 0 {
+            out.retained_chunks += 1;
+            chunk.set_entangled(true);
+            // Account garbage and evacuees out of the retained chunk.
+            for (slot, obj) in chunk.objects() {
+                let header = obj.header();
+                if header.is_dead() {
+                    continue;
+                }
+                if header.is_forwarded() {
+                    chunk.sub_live_bytes(obj.size_bytes());
+                } else if !entangled_closure.contains(&ObjRef::new(cid, slot))
+                    && !header.is_pinned()
+                    && !header.in_entangled_space()
+                {
+                    // Unreachable and unshielded: garbage in a retained
+                    // chunk; the CGC reclaims the slot later. Objects with
+                    // a pin (possibly acquired concurrently, after the
+                    // shield phase) or a lingering entangled-space flag
+                    // are spared — the concurrent collector decides their
+                    // fate with a proper global mark.
+                    obj.set_dead();
+                    chunk.sub_live_bytes(obj.size_bytes());
+                }
+            }
+        } else {
+            out.freed_chunks += 1;
+            if immediate_chunk_free {
+                store.chunks().free(cid);
+            } else {
+                graveyard.retire(cid);
+            }
+        }
+    }
+
+    let retained_live: u64 = retained_chunk_ids
+        .iter()
+        .filter_map(|&c| store.chunks().try_get(c))
+        .map(|c| c.live_bytes() as u64)
+        .sum();
+    out.reclaimed_bytes = total_from_live
+        .saturating_sub(out.copied_bytes)
+        .saturating_sub(retained_live);
+
+    // Install the new chunk list: to-space first (the last one is the new
+    // allocation chunk), then retained entangled chunks.
+    let mut new_chunks: Vec<u32> = tospace.chunks.iter().map(|c| c.id()).collect();
+    new_chunks.extend(from_chunks.iter().copied().filter(|c| {
+        retained_chunk_ids.contains(c)
+            || store
+                .chunks()
+                .try_get(*c)
+                .is_some_and(|ch| ch.pinned_count() > 0)
+    }));
+    info.set_chunks(new_chunks);
+    info.set_alloc_chunk(tospace.chunks.last().cloned());
+
+    store.stats().on_lgc(
+        out.copied_bytes,
+        out.reclaimed_bytes,
+        out.retained_entangled_bytes,
+    );
+    if std::env::var("MPL_DEBUG_LGC_VALIDATE").is_ok() {
+        for issue in crate::validate::dangling_fields(store) {
+            eprintln!("LGC({h}) {issue}");
+        }
+    }
+    out
+}
+
+fn abandon_copy(store: &Store, r: ObjRef) {
+    let hd = store.handle(r);
+    let size = hd.size_bytes();
+    hd.obj().set_dead();
+    hd.chunk().sub_live_bytes(size);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_heap::{ObjKind, StoreConfig};
+
+    fn store() -> Store {
+        Store::new(StoreConfig { chunk_slots: 4 })
+    }
+
+    fn lgc(store: &Store, heap: u32, roots: &mut [ObjRef]) -> LgcOutcome {
+        let g = Graveyard::new();
+        collect_local(store, heap, roots, &g, true)
+    }
+
+    #[test]
+    fn collects_garbage_keeps_roots() {
+        let s = store();
+        let h = s.new_root_heap();
+        let live = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(7)]);
+        for i in 0..20 {
+            let _garbage = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(i)]);
+        }
+        let mut roots = [live];
+        let out = lgc(&s, h, &mut roots);
+        assert!(out.reclaimed_bytes > 0);
+        assert_eq!(out.copied_objects, 1);
+        assert_eq!(s.handle(roots[0]).field(0), Value::Int(7));
+        assert!(out.freed_chunks > 0);
+    }
+
+    #[test]
+    fn preserves_object_graph_shape() {
+        let s = store();
+        let h = s.new_root_heap();
+        // pair -> (leaf_a, leaf_b); shared leaf must stay shared.
+        let leaf = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        let pair = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(leaf), Value::Obj(leaf)]);
+        let mut roots = [pair];
+        lgc(&s, h, &mut roots);
+        let p = s.handle(roots[0]);
+        let a = p.field(0).expect_obj();
+        let b = p.field(1).expect_obj();
+        assert_eq!(a, b, "sharing must be preserved");
+        assert_eq!(s.handle(a).field(0), Value::Int(1));
+    }
+
+    #[test]
+    fn cycles_survive() {
+        let s = store();
+        let h = s.new_root_heap();
+        let a = s.alloc_values(h, ObjKind::Ref, &[Value::Unit]);
+        let b = s.alloc_values(h, ObjKind::Ref, &[Value::Obj(a)]);
+        s.handle(a).set_field(0, Value::Obj(b));
+        let mut roots = [a];
+        lgc(&s, h, &mut roots);
+        let na = roots[0];
+        let nb = s.handle(na).field(0).expect_obj();
+        assert_eq!(s.handle(nb).field(0).expect_obj(), na);
+    }
+
+    #[test]
+    fn pinned_objects_do_not_move() {
+        let s = store();
+        let h = s.new_root_heap();
+        let pinned = s.alloc_values(h, ObjKind::Ref, &[Value::Int(3)]);
+        s.pin(pinned, 0);
+        let mut roots = [pinned];
+        let out = lgc(&s, h, &mut roots);
+        assert_eq!(roots[0], pinned, "pinned object must stay in place");
+        assert!(out.retained_entangled_bytes > 0);
+        assert!(out.retained_chunks >= 1);
+        assert_eq!(s.handle(pinned).field(0), Value::Int(3));
+    }
+
+    #[test]
+    fn pin_closure_is_shielded() {
+        let s = store();
+        let h = s.new_root_heap();
+        // pinned -> inner (unpinned): inner must not move either, because a
+        // remote reader can traverse the immutable edge barrier-free.
+        let inner = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(9)]);
+        let pinned = s.alloc_values(h, ObjKind::Ref, &[Value::Obj(inner)]);
+        s.pin(pinned, 0);
+        let mut roots = [pinned, inner];
+        lgc(&s, h, &mut roots);
+        assert_eq!(roots[0], pinned);
+        assert_eq!(roots[1], inner, "closure of a pin must not move");
+        assert!(s.handle(inner).header().in_entangled_space());
+    }
+
+    #[test]
+    fn remset_sources_are_repaired() {
+        let s = store();
+        let root_heap = s.new_root_heap();
+        let (l, _r) = s.fork_heaps(root_heap);
+        // A mutable cell in the root heap points down into l.
+        let cell = s.alloc_values(root_heap, ObjKind::Ref, &[Value::Unit]);
+        let deep = s.alloc_values(l, ObjKind::Tuple, &[Value::Int(5)]);
+        s.handle(cell).set_field(0, Value::Obj(deep));
+        s.remember(l, RemsetEntry { src: cell, field: 0 });
+
+        // No task root references `deep`; the remset alone must keep it
+        // alive, and the source field must be repaired to the new copy.
+        let mut roots: [ObjRef; 0] = [];
+        let out = lgc(&s, l, &mut roots);
+        assert_eq!(out.copied_objects, 1);
+        let moved = s.handle(cell).field(0).expect_obj();
+        assert_ne!(moved, deep, "object must have been evacuated");
+        assert_eq!(s.handle(moved).field(0), Value::Int(5));
+        assert_eq!(s.heaps().info(l).remset_len(), 1, "entry kept");
+    }
+
+    #[test]
+    fn rawarr_payload_not_traced() {
+        let s = store();
+        let h = s.new_root_heap();
+        // A raw array whose bits happen to look like a pointer must not be
+        // interpreted as one.
+        let raw = s.alloc(
+            h,
+            ObjKind::RawArr,
+            vec![Word::encode(Value::Obj(ObjRef::new(12345, 1)))],
+        );
+        let mut roots = [raw];
+        lgc(&s, h, &mut roots); // would panic on dangling c12345s1 if traced
+        assert!(s
+            .handle(roots[0])
+            .field_word(0)
+            .is_pointer());
+    }
+
+    #[test]
+    fn second_collection_after_unpin_moves_object() {
+        let s = store();
+        let root_heap = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root_heap);
+        let x = s.alloc_values(l, ObjKind::Ref, &[Value::Int(1)]);
+        s.pin(x, 0);
+        s.join(root_heap, l, r); // unpins (level 0 >= depth 0)
+        assert!(!s.handle(x).header().is_pinned());
+        // But the entangled_space bit was cleared by unpin, so LGC may now
+        // move it.
+        let mut roots = [x];
+        let out = lgc(&s, root_heap, &mut roots);
+        assert_eq!(out.copied_objects, 1);
+        assert_ne!(roots[0], x);
+        assert_eq!(s.handle(roots[0]).field(0), Value::Int(1));
+    }
+
+    #[test]
+    fn reclaimed_bytes_accounting_consistent() {
+        let s = store();
+        let h = s.new_root_heap();
+        let keep = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        for _ in 0..50 {
+            s.alloc_values(h, ObjKind::Tuple, &[Value::Unit]);
+        }
+        let before = s.stats().snapshot().live_bytes;
+        let mut roots = [keep];
+        let out = lgc(&s, h, &mut roots);
+        let after = s.stats().snapshot().live_bytes;
+        assert_eq!(after, before - out.reclaimed_bytes as usize);
+    }
+}

@@ -1,0 +1,62 @@
+//! # mpl-gc — the two collectors of the entanglement-managed runtime
+//!
+//! Reproduces the memory-reclamation half of *"Efficient Parallel
+//! Functional Programming with Effects"* (PLDI 2023):
+//!
+//! * [`lgc`] — the **local collector**: a moving (copying) collection of a
+//!   single task's heap, run at the owner's safepoints with no
+//!   synchronization. Pinned (entangled) objects and their reachable
+//!   closure are shielded in place, so concurrent readers are never
+//!   exposed to a moving object.
+//! * [`cgc`] — the **concurrent collector**: a snapshot-at-the-beginning
+//!   mark–sweep that reclaims *only* entangled-space objects. Disentangled
+//!   programs never trigger it.
+//! * [`policy`] — the triggers tying both to allocation volume and pinned
+//!   footprint.
+//! * [`graveyard`] — quiescence-deferred chunk reclamation for the
+//!   real-thread executor.
+//!
+//! # Example
+//!
+//! The canonical life cycle of an entangled object — pinned by a sibling,
+//! shielded in place by the owner's local collection, reclaimed by the
+//! concurrent collector once it dies:
+//!
+//! ```
+//! use mpl_gc::{collect_entangled, collect_local, CgcState, Graveyard};
+//! use mpl_heap::{ObjKind, ObjRef, Store, StoreConfig, Value};
+//!
+//! let s = Store::new(StoreConfig::default());
+//! let root = s.new_root_heap();
+//! let (left, _right) = s.fork_heaps(root);
+//!
+//! // A task on the right path acquires (and pins) the left task's cell.
+//! let cell = s.alloc_values(left, ObjKind::Ref, &[Value::Int(7)]);
+//! s.pin(cell, 0);
+//!
+//! // The owner's local collection cannot move a pinned object: it is
+//! // shielded in place, into the heap's non-moving entangled space.
+//! let graveyard = Graveyard::new();
+//! let mut roots: [ObjRef; 0] = [];
+//! collect_local(&s, left, &mut roots, &graveyard, true);
+//! assert!(s.handle(cell).header().in_entangled_space());
+//!
+//! // Once nothing references it, the concurrent mark-sweep reclaims it.
+//! let out = collect_entangled(&s, &CgcState::new(), Vec::<ObjRef>::new());
+//! assert_eq!(out.swept_objects, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cgc;
+pub mod graveyard;
+pub mod lgc;
+pub mod policy;
+pub mod validate;
+
+pub use cgc::{cgc_begin, cgc_step, collect_entangled, CgcOutcome, CgcState};
+pub use graveyard::Graveyard;
+pub use lgc::{collect_local, LgcOutcome};
+pub use policy::GcPolicy;
+pub use validate::{assert_heap_sound, dangling_fields};

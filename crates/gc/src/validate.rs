@@ -1,0 +1,81 @@
+//! Whole-heap validation: an independent checker the tests (and the
+//! `MPL_DEBUG_LGC_VALIDATE` environment flag) use to certify that no
+//! collection ever leaves a reachable dangling reference behind. This
+//! checker found a real remembered-set repair bug during development;
+//! it stays as a first-class API.
+
+use mpl_heap::Store;
+
+/// Scans every live, non-dead, traced object and reports pointer fields
+/// that cannot be resolved without touching a freed chunk. An empty
+/// result certifies the heap.
+pub fn dangling_fields(store: &Store) -> Vec<String> {
+    let mut issues = Vec::new();
+    for chunk in store.chunks().live_chunks() {
+        for (slot, obj) in chunk.objects() {
+            let header = obj.header();
+            if header.is_dead() || header.is_forwarded() || !header.kind().is_traced() {
+                continue;
+            }
+            for (i, w) in obj.field_words().enumerate() {
+                let Some(mut t) = w.pointer() else { continue };
+                loop {
+                    let Some(c) = store.chunks().try_get(t.chunk()) else {
+                        issues.push(format!(
+                            "dangling: c{}s{} field {i} -> {t} (chunk {} freed; src owner {}, entangled {})",
+                            chunk.id(),
+                            slot,
+                            t.chunk(),
+                            chunk.owner(),
+                            chunk.is_entangled(),
+                        ));
+                        break;
+                    };
+                    match c.try_get(t.slot()).and_then(|o| o.forward_ref()) {
+                        Some(next) => t = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    issues
+}
+
+/// Panics with a readable report if the heap has dangling fields.
+pub fn assert_heap_sound(store: &Store) {
+    let issues = dangling_fields(store);
+    assert!(
+        issues.is_empty(),
+        "heap validation failed:\n{}",
+        issues.join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_heap::{ObjKind, StoreConfig, Value};
+
+    #[test]
+    fn clean_heap_validates() {
+        let s = Store::new(StoreConfig::default());
+        let h = s.new_root_heap();
+        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        let _b = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(a)]);
+        assert!(dangling_fields(&s).is_empty());
+        assert_heap_sound(&s);
+    }
+
+    #[test]
+    fn detects_a_planted_dangle() {
+        let s = Store::new(StoreConfig { chunk_slots: 1 });
+        let h = s.new_root_heap();
+        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        let _holder = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(a)]);
+        s.chunks().free(a.chunk()); // simulate a buggy collection
+        let issues = dangling_fields(&s);
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0].contains("dangling"));
+    }
+}

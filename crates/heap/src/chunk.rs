@@ -1,0 +1,239 @@
+//! Chunks: fixed-capacity object pages owned by a single heap.
+//!
+//! Allocation into a chunk is a single `fetch_add` on the bump index — no
+//! locks, matching the paper's requirement that processors allocate without
+//! synchronization. A chunk belongs to exactly one heap at a time; joins
+//! transfer whole chunks to the parent heap in O(1) per chunk by updating
+//! the owner field (object contents are untouched).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::object::Object;
+use crate::value::ObjRef;
+
+/// Default number of object slots per chunk.
+pub const DEFAULT_CHUNK_SLOTS: usize = 256;
+
+/// A fixed-capacity page of object slots.
+#[derive(Debug)]
+pub struct Chunk {
+    id: u32,
+    owner: AtomicU32,
+    entangled: AtomicBool,
+    next: AtomicU32,
+    live_bytes: AtomicUsize,
+    pinned_count: AtomicU32,
+    slots: Box<[OnceLock<Object>]>,
+}
+
+impl Chunk {
+    /// Creates an empty chunk with `capacity` slots, owned by heap `owner`.
+    pub fn new(id: u32, owner: u32, capacity: usize) -> Chunk {
+        assert!(capacity > 0, "chunk capacity must be positive");
+        let slots: Vec<OnceLock<Object>> = (0..capacity).map(|_| OnceLock::new()).collect();
+        Chunk {
+            id,
+            owner: AtomicU32::new(owner),
+            entangled: AtomicBool::new(false),
+            next: AtomicU32::new(0),
+            live_bytes: AtomicUsize::new(0),
+            pinned_count: AtomicU32::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// This chunk's index in the global registry.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The raw (possibly stale; canonicalize with the heap table) id of the
+    /// owning heap.
+    pub fn owner(&self) -> u32 {
+        self.owner.load(Ordering::Acquire)
+    }
+
+    /// Reassigns the chunk to a different heap (join-time transfer).
+    pub fn set_owner(&self, heap: u32) {
+        self.owner.store(heap, Ordering::Release);
+    }
+
+    /// True if the local collector retained this chunk because it holds
+    /// pinned (entangled) objects; such chunks are swept by the concurrent
+    /// collector instead of being freed wholesale.
+    pub fn is_entangled(&self) -> bool {
+        self.entangled.load(Ordering::Acquire)
+    }
+
+    /// Flags the chunk as entangled.
+    pub fn set_entangled(&self, v: bool) {
+        self.entangled.store(v, Ordering::Release);
+    }
+
+    /// Number of slots already allocated.
+    pub fn allocated(&self) -> usize {
+        (self.next.load(Ordering::Acquire) as usize).min(self.slots.len())
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True once every slot has been handed out.
+    pub fn is_full(&self) -> bool {
+        self.allocated() == self.capacity()
+    }
+
+    /// Attempts to allocate `obj` into this chunk, returning its reference.
+    /// Returns the object back if the chunk is full.
+    pub fn try_alloc(&self, obj: Object) -> Result<ObjRef, Object> {
+        let idx = self.next.fetch_add(1, Ordering::AcqRel);
+        if (idx as usize) >= self.slots.len() {
+            // Leave `next` saturated; concurrent allocators will also fail.
+            return Err(obj);
+        }
+        let size = obj.size_bytes();
+        self.slots[idx as usize]
+            .set(obj)
+            .unwrap_or_else(|_| unreachable!("slot {idx} allocated twice"));
+        self.live_bytes.fetch_add(size, Ordering::Relaxed);
+        Ok(ObjRef::new(self.id, idx))
+    }
+
+    /// Returns the object in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never allocated — that indicates a dangling
+    /// or corrupted reference, which we want to fail loudly in this
+    /// reproduction rather than read garbage.
+    pub fn get(&self, slot: u32) -> &Object {
+        self.slots
+            .get(slot as usize)
+            .and_then(|s| s.get())
+            .unwrap_or_else(|| panic!("dangling reference c{}s{}", self.id, slot))
+    }
+
+    /// Returns the object in `slot` if it was allocated.
+    pub fn try_get(&self, slot: u32) -> Option<&Object> {
+        self.slots.get(slot as usize).and_then(|s| s.get())
+    }
+
+    /// Iterates over all allocated objects with their slot indices.
+    pub fn objects(&self) -> impl Iterator<Item = (u32, &Object)> + '_ {
+        let n = self.allocated();
+        self.slots[..n]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.get().map(|o| (i as u32, o)))
+    }
+
+    /// Current logical live bytes attributed to this chunk.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Subtracts reclaimed bytes (sweeping / evacuation accounting).
+    pub fn sub_live_bytes(&self, bytes: usize) {
+        let mut cur = self.live_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.live_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Number of pinned objects currently attributed to this chunk.
+    pub fn pinned_count(&self) -> u32 {
+        self.pinned_count.load(Ordering::Acquire)
+    }
+
+    /// Adjusts the pinned-object count by `delta`.
+    pub fn add_pinned(&self, delta: i32) {
+        if delta >= 0 {
+            self.pinned_count.fetch_add(delta as u32, Ordering::AcqRel);
+        } else {
+            self.pinned_count.fetch_sub((-delta) as u32, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ObjKind;
+    use crate::value::{Value, Word};
+
+    fn mkobj(v: i64) -> Object {
+        Object::new(ObjKind::Tuple, vec![Word::encode(Value::Int(v))])
+    }
+
+    #[test]
+    fn alloc_until_full() {
+        let c = Chunk::new(0, 0, 2);
+        let a = c.try_alloc(mkobj(1)).unwrap();
+        let b = c.try_alloc(mkobj(2)).unwrap();
+        assert_eq!(a, ObjRef::new(0, 0));
+        assert_eq!(b, ObjRef::new(0, 1));
+        assert!(c.is_full());
+        assert!(c.try_alloc(mkobj(3)).is_err());
+        assert_eq!(c.get(0).field(0), Value::Int(1));
+        assert_eq!(c.get(1).field(0), Value::Int(2));
+    }
+
+    #[test]
+    fn owner_transfer() {
+        let c = Chunk::new(5, 1, 4);
+        assert_eq!(c.owner(), 1);
+        c.set_owner(0);
+        assert_eq!(c.owner(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling reference")]
+    fn dangling_access_panics() {
+        let c = Chunk::new(0, 0, 4);
+        let _ = c.get(3);
+    }
+
+    #[test]
+    fn objects_iterates_allocated_prefix() {
+        let c = Chunk::new(0, 0, 8);
+        c.try_alloc(mkobj(10)).unwrap();
+        c.try_alloc(mkobj(20)).unwrap();
+        let vals: Vec<i64> = c
+            .objects()
+            .map(|(_, o)| o.field(0).expect_int())
+            .collect();
+        assert_eq!(vals, vec![10, 20]);
+    }
+
+    #[test]
+    fn live_bytes_accounting() {
+        let c = Chunk::new(0, 0, 4);
+        c.try_alloc(mkobj(1)).unwrap();
+        let before = c.live_bytes();
+        assert!(before > 0);
+        c.sub_live_bytes(before - 1);
+        assert_eq!(c.live_bytes(), 1);
+        c.sub_live_bytes(100);
+        assert_eq!(c.live_bytes(), 0, "saturating subtraction");
+    }
+
+    #[test]
+    fn pinned_count_adjusts() {
+        let c = Chunk::new(0, 0, 4);
+        c.add_pinned(2);
+        c.add_pinned(-1);
+        assert_eq!(c.pinned_count(), 1);
+    }
+}

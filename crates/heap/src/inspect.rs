@@ -1,0 +1,172 @@
+//! Heap introspection: structured reports over the hierarchy for
+//! debugging, examples, and operational visibility.
+
+use std::fmt;
+
+use crate::store::Store;
+
+/// A per-heap snapshot.
+#[derive(Clone, Debug)]
+pub struct HeapReport {
+    /// Canonical heap id.
+    pub id: u32,
+    /// Depth in the hierarchy.
+    pub depth: u16,
+    /// Canonical parent id (self for roots).
+    pub parent: u32,
+    /// Chunks currently attributed to the heap.
+    pub chunks: usize,
+    /// Logical live bytes across those chunks.
+    pub live_bytes: usize,
+    /// Pinned objects attributed to those chunks.
+    pub pinned: u32,
+    /// Remembered-set entries.
+    pub remset: usize,
+    /// Entangled-index entries.
+    pub entangled_index: usize,
+}
+
+/// A whole-store snapshot: one report per *canonical* (unmerged) heap.
+#[derive(Clone, Debug)]
+pub struct StoreReport {
+    /// Per-heap rows, ordered by id.
+    pub heaps: Vec<HeapReport>,
+    /// Chunks ever created.
+    pub chunks_issued: usize,
+    /// Chunks currently live.
+    pub chunks_live: usize,
+    /// Total logical live bytes.
+    pub live_bytes: usize,
+}
+
+/// Takes a snapshot of the hierarchy.
+pub fn report(store: &Store) -> StoreReport {
+    let mut heaps = Vec::new();
+    for id in 0..store.heaps().len() as u32 {
+        if store.heaps().find(id) != id {
+            continue; // merged away
+        }
+        let info = store.heaps().info(id);
+        let chunk_ids = info.chunk_ids();
+        let mut live = 0usize;
+        let mut pinned = 0u32;
+        for cid in &chunk_ids {
+            if let Some(c) = store.chunks().try_get(*cid) {
+                live += c.live_bytes();
+                pinned += c.pinned_count();
+            }
+        }
+        heaps.push(HeapReport {
+            id,
+            depth: info.depth(),
+            parent: store.heaps().parent_of(id),
+            chunks: chunk_ids.len(),
+            live_bytes: live,
+            pinned,
+            remset: info.remset_len(),
+            entangled_index: info.entangled_len(),
+        });
+    }
+    StoreReport {
+        heaps,
+        chunks_issued: store.chunks().issued(),
+        chunks_live: store.chunks().live(),
+        live_bytes: store.chunks().total_live_bytes(),
+    }
+}
+
+impl fmt::Display for StoreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "store: {} live chunks ({} issued), {} live bytes",
+            self.chunks_live, self.chunks_issued, self.live_bytes
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:<6} {:<7} {:<7} {:<10} {:<7} {:<7} {:<9}",
+            "heap", "depth", "parent", "chunks", "live", "pinned", "remset", "entangled"
+        )?;
+        for h in &self.heaps {
+            writeln!(
+                f,
+                "{:<6} {:<6} {:<7} {:<7} {:<10} {:<7} {:<7} {:<9}",
+                h.id, h.depth, h.parent, h.chunks, h.live_bytes, h.pinned, h.remset,
+                h.entangled_index
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders the hierarchy snapshot as a Graphviz `dot` digraph: one node
+/// per canonical heap (labelled with depth, live bytes, pins), one edge
+/// per parent link. Paste into `dot -Tsvg` to visualize a run.
+pub fn to_dot(rep: &StoreReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("digraph heaps {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for h in &rep.heaps {
+        let fill = if h.pinned > 0 { ", style=filled, fillcolor=\"#ffd9d9\"" } else { "" };
+        let _ = writeln!(
+            out,
+            "  h{} [label=\"heap {}\\nd={} live={}B\\npins={} ent={}\"{}];",
+            h.id, h.id, h.depth, h.live_bytes, h.pinned, h.entangled_index, fill
+        );
+    }
+    for h in &rep.heaps {
+        if h.parent != h.id {
+            let _ = writeln!(out, "  h{} -> h{};", h.parent, h.id);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ObjKind;
+    use crate::store::StoreConfig;
+    use crate::value::Value;
+
+    #[test]
+    fn report_tracks_hierarchy_shape() {
+        let s = Store::new(StoreConfig { chunk_slots: 8 });
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        s.alloc_values(root, ObjKind::Tuple, &[Value::Int(1)]);
+        let x = s.alloc_values(l, ObjKind::Ref, &[Value::Int(2)]);
+        s.pin(x, 0);
+
+        let rep = report(&s);
+        assert_eq!(rep.heaps.len(), 3);
+        let lrep = rep.heaps.iter().find(|h| h.id == l).unwrap();
+        assert_eq!(lrep.depth, 1);
+        assert_eq!(lrep.parent, root);
+        assert_eq!(lrep.pinned, 1);
+        assert_eq!(lrep.entangled_index, 1);
+        assert!(rep.live_bytes > 0);
+
+        // Joins collapse rows.
+        s.join(root, l, r);
+        let rep = report(&s);
+        assert_eq!(rep.heaps.len(), 1, "only the root remains canonical");
+        let display = rep.to_string();
+        assert!(display.contains("live chunks"));
+    }
+
+    #[test]
+    fn dot_export_shape() {
+        let s = Store::new(StoreConfig { chunk_slots: 8 });
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        let x = s.alloc_values(l, ObjKind::Ref, &[Value::Int(2)]);
+        s.pin(x, 0);
+        let dot = to_dot(&report(&s));
+        assert!(dot.starts_with("digraph heaps {"));
+        assert!(dot.contains(&format!("h{root} -> h{l};")));
+        assert!(dot.contains(&format!("h{root} -> h{r};")));
+        assert!(dot.contains("fillcolor"), "pinned heaps are highlighted");
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # mpl-heap — hierarchical heap substrate
+//!
+//! The memory substrate for a reproduction of *"Efficient Parallel
+//! Functional Programming with Effects"* (Arora, Westrick, Acar; PLDI
+//! 2023). It provides:
+//!
+//! * a tagged-word object model ([`value`], [`object`], [`header`]) with
+//!   atomic headers carrying the **pin bit** and **entanglement level**;
+//! * chunked, synchronization-free allocation ([`chunk`], [`registry`]);
+//! * the **heap hierarchy** mirroring the fork-join task tree, with O(1)
+//!   joins via a concurrent union-find, per-heap remembered sets for
+//!   down-pointers, and per-heap entangled-object indexes ([`heap`]);
+//! * the [`store::Store`] facade combining all of the above, plus the
+//!   measured cost metrics ([`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mpl_heap::{ObjKind, Store, StoreConfig, Value};
+//!
+//! let store = Store::new(StoreConfig::default());
+//! let root = store.new_root_heap();
+//! let (left, right) = store.fork_heaps(root);
+//!
+//! // The "right" task allocates a mutable cell; a task on the left path
+//! // that acquires it sees it as remote and pins it.
+//! let cell = store.alloc_values(right, ObjKind::Ref, &[Value::Int(42)]);
+//! let left_path = [root, left];
+//! assert!(!store.is_local(&left_path, cell));
+//! let level = store.entanglement_level(&left_path, cell);
+//! let (_, newly_pinned) = store.pin(cell, level);
+//! assert!(newly_pinned);
+//!
+//! // The join makes the tasks non-concurrent and unpins the object.
+//! let unpinned = store.join(root, left, right).unpinned;
+//! assert_eq!(unpinned, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chunk;
+pub mod header;
+pub mod heap;
+pub mod inspect;
+pub mod object;
+pub mod registry;
+pub mod stats;
+pub mod store;
+pub mod value;
+
+pub use chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
+pub use header::{Header, ObjKind, NO_PIN_LEVEL};
+pub use heap::{HeapInfo, HeapTable, RemsetEntry};
+pub use object::{Object, PinOutcome, OBJECT_OVERHEAD_BYTES};
+pub use inspect::{report, to_dot, HeapReport, StoreReport};
+pub use registry::ChunkRegistry;
+pub use stats::{StatsSnapshot, StoreStats};
+pub use store::{JoinOutcome, ObjHandle, Store, StoreConfig};
+pub use value::{ObjRef, Value, Word, INT_MAX, INT_MIN};

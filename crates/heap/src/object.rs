@@ -1,0 +1,449 @@
+//! Heap objects: an atomic header, a forwarding word, and atomic fields.
+//!
+//! All field accesses are individual atomic loads/stores (`Relaxed` for
+//! data, `AcqRel` around publication points), which makes the object layout
+//! safe to share between mutator threads and the collectors. Higher-level
+//! ordering (who may read what, and when) is enforced by the hierarchical
+//! heap discipline, not by this module.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::header::{Header, ObjKind, NO_PIN_LEVEL};
+use crate::value::{ObjRef, Value, Word};
+
+/// Estimated per-object overhead in bytes (header + forwarding word +
+/// field-slice bookkeeping), used for residency accounting.
+pub const OBJECT_OVERHEAD_BYTES: usize = 24;
+
+/// Outcome of a pin attempt, reported so the caller can update the
+/// entangled-object index and cost meters exactly once.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PinOutcome {
+    /// The object was not pinned before; the caller must register it.
+    NewlyPinned,
+    /// Already pinned; the level may have been lowered.
+    AlreadyPinned {
+        /// True if this attempt lowered the pin level.
+        lowered: bool,
+    },
+    /// The object has been forwarded; pin the new copy instead.
+    Forwarded(ObjRef),
+}
+
+/// A heap object.
+///
+/// Objects are allocated into chunk slots and never move in Rust-memory
+/// terms; "moving" an object means copying its payload to a fresh object
+/// and installing a forwarding reference here.
+#[derive(Debug)]
+pub struct Object {
+    header: AtomicU64,
+    fwd: AtomicU64,
+    fields: Box<[AtomicU64]>,
+}
+
+impl Object {
+    /// Allocates an object of `kind` with the given initial field words.
+    pub fn new(kind: ObjKind, fields: Vec<Word>) -> Object {
+        let fields: Vec<AtomicU64> = fields
+            .into_iter()
+            .map(|w| AtomicU64::new(w.bits()))
+            .collect();
+        Object {
+            header: AtomicU64::new(Header::new(kind).bits()),
+            fwd: AtomicU64::new(0),
+            fields: fields.into_boxed_slice(),
+        }
+    }
+
+    /// Allocates an object whose fields are all unit.
+    pub fn with_len(kind: ObjKind, len: usize) -> Object {
+        Object::new(kind, vec![Word::UNIT; len])
+    }
+
+    /// A snapshot of the current header.
+    pub fn header(&self) -> Header {
+        Header::from_bits(self.header.load(Ordering::Acquire))
+    }
+
+    /// The object's kind (immutable after allocation).
+    pub fn kind(&self) -> ObjKind {
+        self.header().kind()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the object has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Approximate size in bytes, for residency accounting.
+    pub fn size_bytes(&self) -> usize {
+        OBJECT_OVERHEAD_BYTES + 8 * self.fields.len()
+    }
+
+    /// Loads field `i` as a raw word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn field_word(&self, i: usize) -> Word {
+        Word::from_bits(self.fields[i].load(Ordering::Acquire))
+    }
+
+    /// Loads field `i` as a decoded value.
+    pub fn field(&self, i: usize) -> Value {
+        self.field_word(i).decode()
+    }
+
+    /// Stores a raw word into field `i`.
+    pub fn set_field_word(&self, i: usize, w: Word) {
+        self.fields[i].store(w.bits(), Ordering::Release);
+    }
+
+    /// Stores a value into field `i`.
+    pub fn set_field(&self, i: usize, v: Value) {
+        self.set_field_word(i, Word::encode(v));
+    }
+
+    /// Atomically replaces field `i`, returning the previous value.
+    pub fn swap_field(&self, i: usize, v: Value) -> Value {
+        let old = self.fields[i].swap(Word::encode(v).bits(), Ordering::AcqRel);
+        Word::from_bits(old).decode()
+    }
+
+    /// Atomically compares-and-swaps field `i` from `expected` to `new`.
+    /// Returns `Ok(())` on success and the actual current value on failure.
+    pub fn cas_field(&self, i: usize, expected: Value, new: Value) -> Result<(), Value> {
+        match self.fields[i].compare_exchange(
+            Word::encode(expected).bits(),
+            Word::encode(new).bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(actual) => Err(Word::from_bits(actual).decode()),
+        }
+    }
+
+    /// Atomically adds `delta` to an integer field, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not currently hold an integer.
+    pub fn fetch_add_int(&self, i: usize, delta: i64) -> i64 {
+        loop {
+            let cur = self.field(i);
+            let n = cur.expect_int() + delta;
+            if self.cas_field(i, cur, Value::Int(n)).is_ok() {
+                return n;
+            }
+        }
+    }
+
+    /// Loads field `i` as raw bits (for [`ObjKind::RawArr`] payloads,
+    /// which are opaque to the collectors).
+    pub fn load_raw(&self, i: usize) -> u64 {
+        self.fields[i].load(Ordering::Acquire)
+    }
+
+    /// Stores raw bits into field `i`.
+    pub fn store_raw(&self, i: usize, bits: u64) {
+        self.fields[i].store(bits, Ordering::Release);
+    }
+
+    /// Atomically compares-and-swaps raw bits in field `i`. Returns
+    /// `Ok(())` on success and the observed bits on failure.
+    pub fn cas_raw(&self, i: usize, expected: u64, new: u64) -> Result<(), u64> {
+        self.fields[i]
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+    }
+
+    /// Atomically adds to a raw 64-bit field, returning the previous bits.
+    pub fn fetch_add_raw(&self, i: usize, delta: u64) -> u64 {
+        self.fields[i].fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Iterates over the current field words (a racy snapshot, one atomic
+    /// load per field). Collectors use this for tracing.
+    pub fn field_words(&self) -> impl Iterator<Item = Word> + '_ {
+        self.fields
+            .iter()
+            .map(|f| Word::from_bits(f.load(Ordering::Acquire)))
+    }
+
+    // ---- pin protocol -------------------------------------------------
+
+    /// Attempts to pin the object at `level` (lowering an existing level if
+    /// already pinned). Follows forwarding: pinning a forwarded object is
+    /// redirected to its new location by the caller.
+    pub fn try_pin(&self, level: u16) -> PinOutcome {
+        debug_assert!(level != NO_PIN_LEVEL, "NO_PIN_LEVEL is a sentinel");
+        loop {
+            let cur = self.header();
+            if cur.is_forwarded() {
+                return PinOutcome::Forwarded(
+                    self.forward_ref().expect("forwarded object lacks fwd ref"),
+                );
+            }
+            let newly = !cur.is_pinned();
+            let lowered = cur.is_pinned() && level < cur.pin_level();
+            if !newly && !lowered {
+                return PinOutcome::AlreadyPinned { lowered: false };
+            }
+            let next = cur.with_pin(level).with_entangled_space();
+            if self.cas_header(cur, next) {
+                return if newly {
+                    PinOutcome::NewlyPinned
+                } else {
+                    PinOutcome::AlreadyPinned { lowered }
+                };
+            }
+        }
+    }
+
+    /// Clears the pin bit if the current pin level is `>= join_depth`
+    /// (the unpin-at-join rule). Returns true if the object was unpinned.
+    pub fn try_unpin_at_join(&self, join_depth: u16) -> bool {
+        loop {
+            let cur = self.header();
+            if !cur.is_pinned() || cur.pin_level() < join_depth {
+                return false;
+            }
+            let next = cur.without_pin().without_entangled_space();
+            if self.cas_header(cur, next) {
+                return true;
+            }
+        }
+    }
+
+    // ---- collector interface ------------------------------------------
+
+    /// Claims the object for evacuation: atomically sets the forwarded bit
+    /// and records the destination. Fails (returning the existing outcome)
+    /// if the object was concurrently pinned or already forwarded.
+    pub fn try_forward(&self, to: ObjRef) -> Result<(), Header> {
+        loop {
+            let cur = self.header();
+            if cur.is_forwarded() || cur.is_pinned() {
+                return Err(cur);
+            }
+            self.fwd
+                .store(Word::encode(Value::Obj(to)).bits(), Ordering::Release);
+            if self.cas_header(cur, cur.with_forwarded()) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Rewrites the forwarding destination (forwarding-chain path
+    /// compression: collectors point old copies directly at the final
+    /// location before intermediate chunks are reclaimed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not forwarded.
+    pub fn compress_forward(&self, to: ObjRef) {
+        assert!(self.header().is_forwarded(), "compress on unforwarded object");
+        self.fwd
+            .store(Word::encode(Value::Obj(to)).bits(), Ordering::Release);
+    }
+
+    /// The forwarding destination, if the object has been evacuated.
+    pub fn forward_ref(&self) -> Option<ObjRef> {
+        if self.header().is_forwarded() {
+            Word::from_bits(self.fwd.load(Ordering::Acquire))
+                .decode()
+                .as_obj()
+        } else {
+            None
+        }
+    }
+
+    /// Sets the concurrent-collector mark bit; returns true if this call
+    /// marked it (false if already marked).
+    pub fn try_mark(&self) -> bool {
+        loop {
+            let cur = self.header();
+            if cur.is_marked() {
+                return false;
+            }
+            if self.cas_header(cur, cur.with_mark(true)) {
+                return true;
+            }
+        }
+    }
+
+    /// Clears the mark bit (between concurrent-collection cycles).
+    pub fn clear_mark(&self) {
+        loop {
+            let cur = self.header();
+            if !cur.is_marked() {
+                return;
+            }
+            if self.cas_header(cur, cur.with_mark(false)) {
+                return;
+            }
+        }
+    }
+
+    /// Marks the object dead (swept). The slot's memory is reclaimed when
+    /// its chunk is dropped.
+    pub fn set_dead(&self) {
+        loop {
+            let cur = self.header();
+            if cur.is_dead() {
+                return;
+            }
+            if self.cas_header(cur, cur.with_dead()) {
+                return;
+            }
+        }
+    }
+
+    /// Marks the object as an entanglement suspect (it received a
+    /// down-pointer write). Sticky; preserved across evacuation.
+    pub fn mark_suspect(&self) {
+        loop {
+            let cur = self.header();
+            if cur.is_suspect() {
+                return;
+            }
+            if self.cas_header(cur, cur.with_suspect()) {
+                return;
+            }
+        }
+    }
+
+    /// Flags the object as resident in its heap's entangled (non-moving)
+    /// space without pinning it (used when the local collector transfers
+    /// the closure of a pinned object).
+    pub fn set_entangled_space(&self) {
+        loop {
+            let cur = self.header();
+            if cur.in_entangled_space() {
+                return;
+            }
+            if self.cas_header(cur, cur.with_entangled_space()) {
+                return;
+            }
+        }
+    }
+
+    fn cas_header(&self, cur: Header, next: Header) -> bool {
+        self.header
+            .compare_exchange(cur.bits(), next.bits(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(kind: ObjKind, vals: &[Value]) -> Object {
+        Object::new(kind, vals.iter().map(|&v| Word::encode(v)).collect())
+    }
+
+    #[test]
+    fn fields_roundtrip() {
+        let o = obj(ObjKind::Tuple, &[Value::Int(1), Value::Bool(true), Value::Unit]);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.field(0), Value::Int(1));
+        assert_eq!(o.field(1), Value::Bool(true));
+        assert_eq!(o.field(2), Value::Unit);
+        o.set_field(2, Value::Int(9));
+        assert_eq!(o.field(2), Value::Int(9));
+    }
+
+    #[test]
+    fn swap_and_cas() {
+        let o = obj(ObjKind::Ref, &[Value::Int(1)]);
+        assert_eq!(o.swap_field(0, Value::Int(2)), Value::Int(1));
+        assert_eq!(o.cas_field(0, Value::Int(2), Value::Int(3)), Ok(()));
+        assert_eq!(
+            o.cas_field(0, Value::Int(2), Value::Int(4)),
+            Err(Value::Int(3))
+        );
+        assert_eq!(o.fetch_add_int(0, 10), 13);
+    }
+
+    #[test]
+    fn pin_is_idempotent_and_lowers() {
+        let o = obj(ObjKind::Ref, &[Value::Unit]);
+        assert_eq!(o.try_pin(5), PinOutcome::NewlyPinned);
+        assert!(o.header().is_pinned());
+        assert!(o.header().in_entangled_space());
+        assert_eq!(o.header().pin_level(), 5);
+        assert_eq!(o.try_pin(7), PinOutcome::AlreadyPinned { lowered: false });
+        assert_eq!(o.header().pin_level(), 5);
+        assert_eq!(o.try_pin(2), PinOutcome::AlreadyPinned { lowered: true });
+        assert_eq!(o.header().pin_level(), 2);
+    }
+
+    #[test]
+    fn unpin_at_join_respects_level() {
+        let o = obj(ObjKind::Ref, &[Value::Unit]);
+        o.try_pin(3);
+        assert!(!o.try_unpin_at_join(4), "level 3 < join depth 4: keep pin");
+        assert!(o.try_unpin_at_join(3), "level 3 >= join depth 3: unpin");
+        assert!(!o.header().is_pinned());
+        assert!(!o.try_unpin_at_join(0), "already unpinned");
+    }
+
+    #[test]
+    fn forwarding_excludes_pinned() {
+        let o = obj(ObjKind::Tuple, &[Value::Unit]);
+        o.try_pin(1);
+        let err = o.try_forward(ObjRef::new(1, 1)).unwrap_err();
+        assert!(err.is_pinned());
+        assert_eq!(o.forward_ref(), None);
+    }
+
+    #[test]
+    fn forwarding_roundtrip_and_pin_redirect() {
+        let o = obj(ObjKind::Tuple, &[Value::Unit]);
+        let dst = ObjRef::new(2, 7);
+        o.try_forward(dst).unwrap();
+        assert_eq!(o.forward_ref(), Some(dst));
+        assert!(o.try_forward(ObjRef::new(3, 3)).is_err());
+        assert_eq!(o.try_pin(0), PinOutcome::Forwarded(dst));
+    }
+
+    #[test]
+    fn mark_cycle() {
+        let o = obj(ObjKind::Tuple, &[]);
+        assert!(o.try_mark());
+        assert!(!o.try_mark());
+        o.clear_mark();
+        assert!(o.try_mark());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let o = obj(ObjKind::MutArr, &[Value::Unit; 4]);
+        assert_eq!(o.size_bytes(), OBJECT_OVERHEAD_BYTES + 32);
+    }
+
+    #[test]
+    fn dead_flag_sticks() {
+        let o = obj(ObjKind::Tuple, &[]);
+        o.set_dead();
+        o.set_dead();
+        assert!(o.header().is_dead());
+    }
+
+    #[test]
+    fn field_words_iterates_snapshot() {
+        let o = obj(ObjKind::Tuple, &[Value::Int(1), Value::Obj(ObjRef::new(0, 0))]);
+        let ws: Vec<_> = o.field_words().collect();
+        assert_eq!(ws.len(), 2);
+        assert!(!ws[0].is_pointer());
+        assert!(ws[1].is_pointer());
+    }
+}

@@ -1,0 +1,136 @@
+//! The global chunk registry: an append-only table mapping chunk ids to
+//! live chunks.
+//!
+//! Chunk ids are monotonically increasing and never reused, so a freed slot
+//! (`None`) unambiguously means the chunk was reclaimed; touching it through
+//! a stale `ObjRef` panics loudly, which turns use-after-free bugs into
+//! immediate test failures.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::chunk::Chunk;
+
+/// Append-only table of all chunks ever allocated.
+#[derive(Debug, Default)]
+pub struct ChunkRegistry {
+    chunks: RwLock<Vec<Option<Arc<Chunk>>>>,
+}
+
+impl ChunkRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ChunkRegistry {
+        ChunkRegistry::default()
+    }
+
+    /// Allocates a fresh chunk id and registers the chunk built by `make`.
+    pub fn register(&self, make: impl FnOnce(u32) -> Chunk) -> Arc<Chunk> {
+        let mut table = self.chunks.write();
+        let id = u32::try_from(table.len()).expect("chunk id overflow");
+        let chunk = Arc::new(make(id));
+        table.push(Some(Arc::clone(&chunk)));
+        chunk
+    }
+
+    /// Returns the chunk with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown or the chunk has been freed (a dangling
+    /// reference).
+    pub fn get(&self, id: u32) -> Arc<Chunk> {
+        self.try_get(id)
+            .unwrap_or_else(|| panic!("access to freed or unknown chunk {id}"))
+    }
+
+    /// Returns the chunk with the given id, or `None` if freed/unknown.
+    pub fn try_get(&self, id: u32) -> Option<Arc<Chunk>> {
+        self.chunks.read().get(id as usize).cloned().flatten()
+    }
+
+    /// Frees a chunk, dropping the registry's reference. Outstanding `Arc`s
+    /// keep the memory alive until they are released; subsequent `get`
+    /// calls panic.
+    pub fn free(&self, id: u32) {
+        let mut table = self.chunks.write();
+        if let Some(slot) = table.get_mut(id as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Number of ids ever issued (including freed chunks).
+    pub fn issued(&self) -> usize {
+        self.chunks.read().len()
+    }
+
+    /// Number of chunks currently live.
+    pub fn live(&self) -> usize {
+        self.chunks.read().iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total logical live bytes across all live chunks.
+    pub fn total_live_bytes(&self) -> usize {
+        self.chunks
+            .read()
+            .iter()
+            .flatten()
+            .map(|c| c.live_bytes())
+            .sum()
+    }
+
+    /// Snapshot of all live chunks (for collector iteration).
+    pub fn live_chunks(&self) -> Vec<Arc<Chunk>> {
+        self.chunks.read().iter().flatten().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::ObjKind;
+    use crate::object::Object;
+
+    #[test]
+    fn register_and_get() {
+        let reg = ChunkRegistry::new();
+        let c0 = reg.register(|id| Chunk::new(id, 0, 4));
+        let c1 = reg.register(|id| Chunk::new(id, 0, 4));
+        assert_eq!(c0.id(), 0);
+        assert_eq!(c1.id(), 1);
+        assert_eq!(reg.get(1).id(), 1);
+        assert_eq!(reg.issued(), 2);
+        assert_eq!(reg.live(), 2);
+    }
+
+    #[test]
+    fn free_makes_access_panic() {
+        let reg = ChunkRegistry::new();
+        reg.register(|id| Chunk::new(id, 0, 4));
+        reg.free(0);
+        assert_eq!(reg.live(), 0);
+        assert!(reg.try_get(0).is_none());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.get(0)));
+        assert!(res.is_err(), "freed chunk access must panic");
+    }
+
+    #[test]
+    fn total_live_bytes_sums() {
+        let reg = ChunkRegistry::new();
+        let c = reg.register(|id| Chunk::new(id, 0, 4));
+        c.try_alloc(Object::with_len(ObjKind::Tuple, 2)).unwrap();
+        assert_eq!(reg.total_live_bytes(), c.live_bytes());
+        assert!(reg.total_live_bytes() > 0);
+    }
+
+    #[test]
+    fn live_chunks_snapshot() {
+        let reg = ChunkRegistry::new();
+        reg.register(|id| Chunk::new(id, 0, 4));
+        reg.register(|id| Chunk::new(id, 1, 4));
+        reg.free(0);
+        let live = reg.live_chunks();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id(), 1);
+    }
+}

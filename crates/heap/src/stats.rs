@@ -1,0 +1,300 @@
+//! Global memory-manager counters: the paper's cost metrics, measured.
+//!
+//! The paper defines cost metrics to reason about the time and space cost
+//! of entanglement: the number of entangled reads/writes (each incurring a
+//! constant-cost pin), the footprint of pinned objects (the space the local
+//! collector must leave in place), and the ordinary allocation/collection
+//! volumes. This module is the measured counterpart: every counter here is
+//! reported by the experiment harness.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Monotonic counters plus the live-bytes gauge.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    // Mutator-side.
+    pub(crate) allocs: AtomicU64,
+    pub(crate) alloc_bytes: AtomicU64,
+    pub(crate) barrier_reads: AtomicU64,
+    pub(crate) barrier_writes: AtomicU64,
+    pub(crate) entangled_reads: AtomicU64,
+    pub(crate) entangled_writes: AtomicU64,
+    pub(crate) pins: AtomicU64,
+    pub(crate) unpins: AtomicU64,
+    pub(crate) remset_inserts: AtomicU64,
+    // Collector-side.
+    pub(crate) lgc_runs: AtomicU64,
+    pub(crate) lgc_copied_bytes: AtomicU64,
+    pub(crate) lgc_reclaimed_bytes: AtomicU64,
+    pub(crate) lgc_entangled_retained_bytes: AtomicU64,
+    pub(crate) cgc_runs: AtomicU64,
+    pub(crate) cgc_swept_bytes: AtomicU64,
+    pub(crate) cgc_pause_ns_total: AtomicU64,
+    pub(crate) cgc_pause_ns_max: AtomicU64,
+    // Gauges.
+    pub(crate) live_bytes: AtomicUsize,
+    pub(crate) max_live_bytes: AtomicUsize,
+    pub(crate) pinned_bytes: AtomicUsize,
+    pub(crate) max_pinned_bytes: AtomicUsize,
+}
+
+/// A plain-value snapshot of [`StoreStats`]. Field names mirror the
+/// counters documented there.
+#[allow(missing_docs)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub allocs: u64,
+    pub alloc_bytes: u64,
+    pub barrier_reads: u64,
+    pub barrier_writes: u64,
+    pub entangled_reads: u64,
+    pub entangled_writes: u64,
+    pub pins: u64,
+    pub unpins: u64,
+    pub remset_inserts: u64,
+    pub lgc_runs: u64,
+    pub lgc_copied_bytes: u64,
+    pub lgc_reclaimed_bytes: u64,
+    pub lgc_entangled_retained_bytes: u64,
+    pub cgc_runs: u64,
+    pub cgc_swept_bytes: u64,
+    pub cgc_pause_ns_total: u64,
+    pub cgc_pause_ns_max: u64,
+    pub live_bytes: usize,
+    pub max_live_bytes: usize,
+    pub pinned_bytes: usize,
+    pub max_pinned_bytes: usize,
+}
+
+impl StoreStats {
+    /// Creates zeroed counters.
+    pub fn new() -> StoreStats {
+        StoreStats::default()
+    }
+
+    /// Takes a consistent-enough snapshot (individual counters are loaded
+    /// independently; exactness across counters is not required for
+    /// reporting).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
+            barrier_reads: self.barrier_reads.load(Ordering::Relaxed),
+            barrier_writes: self.barrier_writes.load(Ordering::Relaxed),
+            entangled_reads: self.entangled_reads.load(Ordering::Relaxed),
+            entangled_writes: self.entangled_writes.load(Ordering::Relaxed),
+            pins: self.pins.load(Ordering::Relaxed),
+            unpins: self.unpins.load(Ordering::Relaxed),
+            remset_inserts: self.remset_inserts.load(Ordering::Relaxed),
+            lgc_runs: self.lgc_runs.load(Ordering::Relaxed),
+            lgc_copied_bytes: self.lgc_copied_bytes.load(Ordering::Relaxed),
+            lgc_reclaimed_bytes: self.lgc_reclaimed_bytes.load(Ordering::Relaxed),
+            lgc_entangled_retained_bytes: self
+                .lgc_entangled_retained_bytes
+                .load(Ordering::Relaxed),
+            cgc_runs: self.cgc_runs.load(Ordering::Relaxed),
+            cgc_swept_bytes: self.cgc_swept_bytes.load(Ordering::Relaxed),
+            cgc_pause_ns_total: self.cgc_pause_ns_total.load(Ordering::Relaxed),
+            cgc_pause_ns_max: self.cgc_pause_ns_max.load(Ordering::Relaxed),
+            live_bytes: self.live_bytes.load(Ordering::Relaxed),
+            max_live_bytes: self.max_live_bytes.load(Ordering::Relaxed),
+            pinned_bytes: self.pinned_bytes.load(Ordering::Relaxed),
+            max_pinned_bytes: self.max_pinned_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn count(counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds to the live-bytes gauge and updates the high-water mark.
+    pub fn add_live_bytes(&self, bytes: usize) {
+        let now = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.raise_max(&self.max_live_bytes, now);
+    }
+
+    /// Subtracts from the live-bytes gauge (saturating).
+    pub fn sub_live_bytes(&self, bytes: usize) {
+        sub_saturating(&self.live_bytes, bytes);
+    }
+
+    /// Adds to the pinned-bytes gauge and updates its high-water mark.
+    pub fn add_pinned_bytes(&self, bytes: usize) {
+        let now = self.pinned_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.raise_max(&self.max_pinned_bytes, now);
+    }
+
+    /// Subtracts from the pinned-bytes gauge (saturating).
+    pub fn sub_pinned_bytes(&self, bytes: usize) {
+        sub_saturating(&self.pinned_bytes, bytes);
+    }
+
+    // ---- event recorders (used by the runtime and collector crates) ----
+
+    /// Records an allocation of `bytes`.
+    pub fn on_alloc(&self, bytes: usize) {
+        Self::count(&self.allocs, 1);
+        Self::count(&self.alloc_bytes, bytes as u64);
+        self.add_live_bytes(bytes);
+    }
+
+    /// Records a batch of allocations (task-buffered fast path).
+    pub fn on_alloc_batch(&self, allocs: u64, bytes: usize) {
+        Self::count(&self.allocs, allocs);
+        Self::count(&self.alloc_bytes, bytes as u64);
+        self.add_live_bytes(bytes);
+    }
+
+    /// Records a batch of barrier events (task-buffered fast path).
+    pub fn on_barrier_batch(
+        &self,
+        reads: u64,
+        writes: u64,
+        entangled_reads: u64,
+        entangled_writes: u64,
+    ) {
+        Self::count(&self.barrier_reads, reads);
+        Self::count(&self.barrier_writes, writes);
+        Self::count(&self.entangled_reads, entangled_reads);
+        Self::count(&self.entangled_writes, entangled_writes);
+    }
+
+    /// Records a barriered mutable read.
+    pub fn on_barrier_read(&self) {
+        Self::count(&self.barrier_reads, 1);
+    }
+
+    /// Records a barriered mutable write.
+    pub fn on_barrier_write(&self) {
+        Self::count(&self.barrier_writes, 1);
+    }
+
+    /// Records an entangled read (the read barrier found a remote object).
+    pub fn on_entangled_read(&self) {
+        Self::count(&self.entangled_reads, 1);
+    }
+
+    /// Records an entangled write (a pointer was written into a remote
+    /// object, or a remote pointer was written).
+    pub fn on_entangled_write(&self) {
+        Self::count(&self.entangled_writes, 1);
+    }
+
+    /// Records a newly pinned object of `bytes`.
+    pub fn on_pin(&self, bytes: usize) {
+        Self::count(&self.pins, 1);
+        self.add_pinned_bytes(bytes);
+    }
+
+    /// Records an unpinned object of `bytes`.
+    pub fn on_unpin(&self, bytes: usize) {
+        Self::count(&self.unpins, 1);
+        self.sub_pinned_bytes(bytes);
+    }
+
+    /// Records a remembered-set insertion.
+    pub fn on_remset_insert(&self) {
+        Self::count(&self.remset_inserts, 1);
+    }
+
+    /// Records a completed local collection.
+    pub fn on_lgc(&self, copied_bytes: u64, reclaimed_bytes: u64, retained_entangled_bytes: u64) {
+        Self::count(&self.lgc_runs, 1);
+        Self::count(&self.lgc_copied_bytes, copied_bytes);
+        Self::count(&self.lgc_reclaimed_bytes, reclaimed_bytes);
+        Self::count(&self.lgc_entangled_retained_bytes, retained_entangled_bytes);
+        self.sub_live_bytes(reclaimed_bytes as usize);
+    }
+
+    /// Records a completed concurrent collection and its pause.
+    pub fn on_cgc(&self, swept_bytes: u64) {
+        Self::count(&self.cgc_runs, 1);
+        Self::count(&self.cgc_swept_bytes, swept_bytes);
+        self.sub_live_bytes(swept_bytes as usize);
+    }
+
+    /// Records a concurrent-collection pause duration.
+    pub fn on_cgc_pause(&self, ns: u64) {
+        Self::count(&self.cgc_pause_ns_total, ns);
+        let mut cur = self.cgc_pause_ns_max.load(Ordering::Relaxed);
+        while ns > cur {
+            match self.cgc_pause_ns_max.compare_exchange_weak(
+                cur,
+                ns,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    fn raise_max(&self, max: &AtomicUsize, candidate: usize) {
+        let mut cur = max.load(Ordering::Relaxed);
+        while candidate > cur {
+            match max.compare_exchange_weak(cur, candidate, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+}
+
+fn sub_saturating(gauge: &AtomicUsize, bytes: usize) {
+    let mut cur = gauge.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_sub(bytes);
+        match gauge.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Entangled accesses (reads + writes) — the paper's primary time-cost
+    /// metric for entanglement.
+    pub fn entangled_accesses(&self) -> u64 {
+        self.entangled_reads + self.entangled_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_track_high_water() {
+        let s = StoreStats::new();
+        s.add_live_bytes(100);
+        s.add_live_bytes(50);
+        s.sub_live_bytes(120);
+        assert_eq!(s.snapshot().live_bytes, 30);
+        assert_eq!(s.snapshot().max_live_bytes, 150);
+        s.sub_live_bytes(1000);
+        assert_eq!(s.snapshot().live_bytes, 0, "saturating");
+    }
+
+    #[test]
+    fn pinned_gauge_independent() {
+        let s = StoreStats::new();
+        s.add_pinned_bytes(64);
+        s.sub_pinned_bytes(32);
+        let snap = s.snapshot();
+        assert_eq!(snap.pinned_bytes, 32);
+        assert_eq!(snap.max_pinned_bytes, 64);
+        assert_eq!(snap.live_bytes, 0);
+    }
+
+    #[test]
+    fn entangled_accesses_sums() {
+        let snap = StatsSnapshot {
+            entangled_reads: 3,
+            entangled_writes: 4,
+            ..Default::default()
+        };
+        assert_eq!(snap.entangled_accesses(), 7);
+    }
+}

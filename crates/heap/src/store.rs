@@ -1,0 +1,493 @@
+//! The store: the facade over chunks, heaps, and statistics.
+//!
+//! A [`Store`] owns the global chunk registry and heap table and provides
+//! the operations the runtime and the collectors are built from:
+//! synchronization-free allocation into a heap, object access with
+//! forwarding resolution, remoteness and LCA queries against a task's heap
+//! path, the pin protocol, and the O(1) join.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
+use crate::header::ObjKind;
+use crate::heap::{HeapTable, RemsetEntry};
+use crate::object::{Object, PinOutcome};
+use crate::registry::ChunkRegistry;
+use crate::stats::StoreStats;
+use crate::value::{ObjRef, Value, Word};
+
+/// Store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Object slots per chunk. Smaller chunks mean finer-grained
+    /// reclamation but more registry traffic (ablation experiment E9).
+    pub chunk_slots: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            chunk_slots: DEFAULT_CHUNK_SLOTS,
+        }
+    }
+}
+
+/// A resolved handle to a live object: keeps the owning chunk alive while
+/// the object is inspected.
+#[derive(Clone, Debug)]
+pub struct ObjHandle {
+    chunk: Arc<Chunk>,
+    slot: u32,
+}
+
+impl ObjHandle {
+    /// The referenced object.
+    pub fn obj(&self) -> &Object {
+        self.chunk.get(self.slot)
+    }
+
+    /// The chunk holding the object.
+    pub fn chunk(&self) -> &Arc<Chunk> {
+        &self.chunk
+    }
+
+    /// The object's location.
+    pub fn objref(&self) -> ObjRef {
+        ObjRef::new(self.chunk.id(), self.slot)
+    }
+}
+
+impl Deref for ObjHandle {
+    type Target = Object;
+
+    fn deref(&self) -> &Object {
+        self.obj()
+    }
+}
+
+/// What a join produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// Objects unpinned by the unpin-at-join rule.
+    pub unpinned: usize,
+    /// Live bytes merged from the children into the parent.
+    pub merged_bytes: usize,
+}
+
+/// The global store.
+#[derive(Debug)]
+pub struct Store {
+    chunks: ChunkRegistry,
+    heaps: HeapTable,
+    stats: StoreStats,
+    config: StoreConfig,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new(StoreConfig::default())
+    }
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Store {
+        assert!(config.chunk_slots > 0, "chunk_slots must be positive");
+        Store {
+            chunks: ChunkRegistry::new(),
+            heaps: HeapTable::new(),
+            stats: StoreStats::new(),
+            config,
+        }
+    }
+
+    /// The chunk registry.
+    pub fn chunks(&self) -> &ChunkRegistry {
+        &self.chunks
+    }
+
+    /// The heap table.
+    pub fn heaps(&self) -> &HeapTable {
+        &self.heaps
+    }
+
+    /// The global counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// The configuration the store was built with.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    // ---- allocation ---------------------------------------------------
+
+    /// Allocates an object of `kind` with `fields` into `heap` (raw or
+    /// canonical id). Lock-free on the fast path: a single bump in the
+    /// heap's current allocation chunk.
+    pub fn alloc(&self, heap: u32, kind: ObjKind, fields: Vec<Word>) -> ObjRef {
+        self.alloc_object(heap, Object::new(kind, fields))
+    }
+
+    /// Allocates a pre-built object into `heap` (the slow path behind the
+    /// mutators' cached-chunk fast path).
+    pub fn alloc_object(&self, heap: u32, mut obj: Object) -> ObjRef {
+        let heap = self.heaps.find(heap);
+        let info = self.heaps.info(heap);
+        let size = obj.size_bytes();
+        loop {
+            if let Some(chunk) = info.alloc_chunk() {
+                match chunk.try_alloc(obj) {
+                    Ok(r) => {
+                        self.stats.on_alloc(size);
+                        return r;
+                    }
+                    Err(back) => obj = back,
+                }
+            }
+            // Need a fresh chunk; size arrays that exceed the default slot
+            // count still occupy one slot (slots hold whole objects).
+            let chunk = self
+                .chunks
+                .register(|id| Chunk::new(id, heap, self.config.chunk_slots));
+            info.add_chunk(chunk.id());
+            info.set_alloc_chunk(Some(chunk));
+        }
+    }
+
+    /// Convenience: allocates with `Value` fields.
+    pub fn alloc_values(&self, heap: u32, kind: ObjKind, fields: &[Value]) -> ObjRef {
+        self.alloc(heap, kind, fields.iter().map(|&v| Word::encode(v)).collect())
+    }
+
+    // ---- access -------------------------------------------------------
+
+    /// Returns a handle to the object at `r` (without following
+    /// forwarding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling reference (freed chunk or unallocated slot).
+    pub fn handle(&self, r: ObjRef) -> ObjHandle {
+        let chunk = self.chunks.get(r.chunk());
+        // Validate eagerly so errors point at the bad reference.
+        let _ = chunk.get(r.slot());
+        ObjHandle {
+            chunk,
+            slot: r.slot(),
+        }
+    }
+
+    /// Follows forwarding pointers to the object's current location.
+    pub fn resolve(&self, mut r: ObjRef) -> ObjRef {
+        loop {
+            let h = self.handle(r);
+            match h.obj().forward_ref() {
+                Some(next) => r = next,
+                None => return r,
+            }
+        }
+    }
+
+    /// Fallible resolution for references derived from *indexes* (not the
+    /// object graph): returns `None` if the chain touches a reclaimed
+    /// chunk, which for an index entry means "the object is gone".
+    pub fn try_resolve(&self, mut r: ObjRef) -> Option<ObjRef> {
+        loop {
+            let chunk = self.chunks.try_get(r.chunk())?;
+            match chunk.try_get(r.slot())?.forward_ref() {
+                Some(next) => r = next,
+                None => return Some(r),
+            }
+        }
+    }
+
+    /// A handle to the current (forwarding-resolved) location of `r`.
+    pub fn resolved_handle(&self, r: ObjRef) -> ObjHandle {
+        self.handle(self.resolve(r))
+    }
+
+    /// The canonical heap owning the object at `r`.
+    pub fn heap_of(&self, r: ObjRef) -> u32 {
+        self.heaps.find(self.chunks.get(r.chunk()).owner())
+    }
+
+    // ---- remoteness ---------------------------------------------------
+
+    /// True if the object is on the task's root-to-leaf heap `path`
+    /// (canonical ids, indexed by depth). O(1).
+    pub fn is_local(&self, path: &[u32], r: ObjRef) -> bool {
+        let h = self.heap_of(r);
+        let d = self.heaps.info(h).depth() as usize;
+        d < path.len() && self.heaps.find(path[d]) == h
+    }
+
+    /// The entanglement level of an access from `path` to the object: the
+    /// depth of the least common ancestor heap.
+    pub fn entanglement_level(&self, path: &[u32], r: ObjRef) -> u16 {
+        let owner = self.chunks.get(r.chunk()).owner();
+        self.heaps.lca_depth_on_path(path, owner)
+    }
+
+    // ---- pin protocol --------------------------------------------------
+
+    /// Pins the object at `level`, following forwarding if the local
+    /// collector moved it first. Returns the resolved location and whether
+    /// this call created the pin.
+    pub fn pin(&self, r: ObjRef, level: u16) -> (ObjRef, bool) {
+        let mut cur = r;
+        loop {
+            let h = self.handle(cur);
+            match h.obj().try_pin(level) {
+                PinOutcome::Forwarded(next) => cur = next,
+                PinOutcome::NewlyPinned => {
+                    self.heaps
+                        .register_entangled(h.chunk().owner(), cur, level);
+                    h.chunk().add_pinned(1);
+                    self.stats.on_pin(h.obj().size_bytes());
+                    return (cur, true);
+                }
+                PinOutcome::AlreadyPinned { .. } => return (cur, false),
+            }
+        }
+    }
+
+    // ---- remembered sets ------------------------------------------------
+
+    /// Records that `entry.src[entry.field]` holds a down-pointer into
+    /// `dst_heap`.
+    pub fn remember(&self, dst_heap: u32, entry: RemsetEntry) {
+        self.heaps.remember_canonical(dst_heap, entry);
+        self.stats.on_remset_insert();
+    }
+
+    // ---- fork / join -----------------------------------------------------
+
+    /// Creates a root heap and returns its id.
+    pub fn new_root_heap(&self) -> u32 {
+        self.heaps.new_root()
+    }
+
+    /// Creates the two child heaps of a fork from `parent`.
+    pub fn fork_heaps(&self, parent: u32) -> (u32, u32) {
+        self.heaps.fork(self.heaps.find(parent))
+    }
+
+    /// Joins both children into `parent`: merges chunk lists, remembered
+    /// sets, and entangled indexes, and applies the unpin-at-join rule —
+    /// every object pinned at a level `>=` the parent's depth is unpinned,
+    /// because the tasks that entangled it are no longer concurrent.
+    ///
+    /// Returns the number of objects unpinned and the live bytes merged
+    /// in (so the resuming task can charge them toward its next local
+    /// collection — merged garbage must not dodge the collector).
+    pub fn join(&self, parent: u32, left: u32, right: u32) -> JoinOutcome {
+        let parent = self.heaps.find(parent);
+        let join_depth = self.heaps.info(parent).depth();
+        let mut unpinned = 0;
+        let mut merged_bytes: usize = 0;
+        for child in [left, right] {
+            let child = self.heaps.find(child);
+            for cid in self.heaps.info(child).chunk_ids() {
+                if let Some(c) = self.chunks.try_get(cid) {
+                    merged_bytes += c.live_bytes();
+                }
+            }
+        }
+
+        // Candidates: entries recorded at level >= the join depth, from
+        // both children and the parent's own accumulated index. Entries
+        // below the join depth cannot unpin here and are left untouched
+        // (this keeps join cost proportional to the pins that actually
+        // resolve, not to every pin in flight).
+        let mut candidates: Vec<ObjRef> = Vec::new();
+        for child in [left, right] {
+            let child = self.heaps.find(child);
+            let info = self.heaps.info(child);
+            let rems = info.take_remset();
+            // Drain-and-seal linearizes against concurrent pin
+            // registrations: anything racing this join lands on the
+            // parent's index instead of vanishing into the merged-away
+            // child's.
+            let all = info.drain_and_seal_entangled(parent);
+            self.heaps.merge_child(parent, child);
+            let pinfo = self.heaps.info(parent);
+            pinfo.extend_remset(rems);
+            for r in all {
+                let Some(r) = self.try_resolve(r) else {
+                    continue; // the concurrent collector reclaimed it
+                };
+                let hd = self.handle(r);
+                let hdr = hd.obj().header();
+                if hdr.is_dead() || !hdr.is_pinned() {
+                    continue;
+                }
+                if hdr.pin_level() >= join_depth {
+                    candidates.push(r);
+                } else {
+                    // Still entangled with something outside this join.
+                    pinfo.add_entangled(r, hdr.pin_level());
+                }
+            }
+        }
+        let pinfo = self.heaps.info(parent);
+        candidates.extend(pinfo.take_entangled_at_or_below(join_depth));
+
+        for r in candidates {
+            let Some(r) = self.try_resolve(r) else {
+                continue; // reclaimed concurrently
+            };
+            let h = self.handle(r);
+            if h.obj().header().is_dead() {
+                continue;
+            }
+            if h.obj().try_unpin_at_join(join_depth) {
+                h.chunk().add_pinned(-1);
+                self.stats.on_unpin(h.obj().size_bytes());
+                unpinned += 1;
+            } else if h.obj().header().is_pinned() {
+                // A lowered pin: re-home it at its authoritative level.
+                pinfo.add_entangled(r, h.obj().header().pin_level());
+            }
+        }
+        JoinOutcome {
+            unpinned,
+            merged_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Store {
+        Store::new(StoreConfig { chunk_slots: 4 })
+    }
+
+    #[test]
+    fn alloc_spills_to_new_chunks() {
+        let s = store();
+        let h = s.new_root_heap();
+        let refs: Vec<ObjRef> = (0..10)
+            .map(|i| s.alloc_values(h, ObjKind::Tuple, &[Value::Int(i)]))
+            .collect();
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(s.handle(*r).field(0), Value::Int(i as i64));
+            assert_eq!(s.heap_of(*r), h);
+        }
+        assert!(s.chunks().issued() >= 3, "4-slot chunks must spill");
+        assert_eq!(s.stats().snapshot().allocs, 10);
+    }
+
+    #[test]
+    fn locality_follows_the_path() {
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        let in_root = s.alloc_values(root, ObjKind::Tuple, &[]);
+        let in_l = s.alloc_values(l, ObjKind::Tuple, &[]);
+        let in_r = s.alloc_values(r, ObjKind::Tuple, &[]);
+
+        let path_l = vec![root, l];
+        assert!(s.is_local(&path_l, in_root));
+        assert!(s.is_local(&path_l, in_l));
+        assert!(!s.is_local(&path_l, in_r), "sibling allocation is remote");
+        assert_eq!(s.entanglement_level(&path_l, in_r), 0);
+    }
+
+    #[test]
+    fn join_merges_and_localizes() {
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        let in_l = s.alloc_values(l, ObjKind::Tuple, &[]);
+        let in_r = s.alloc_values(r, ObjKind::Tuple, &[]);
+        s.join(root, l, r);
+        let path = vec![root];
+        assert!(s.is_local(&path, in_l));
+        assert!(s.is_local(&path, in_r));
+        assert_eq!(s.heap_of(in_l), root);
+        assert_eq!(s.heap_of(in_r), root);
+    }
+
+    #[test]
+    fn pin_and_unpin_at_join() {
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        let in_r = s.alloc_values(r, ObjKind::Ref, &[Value::Unit]);
+        // Task on the left path reads a pointer into the right heap:
+        // entanglement at LCA depth 0.
+        let path_l = vec![root, l];
+        let level = s.entanglement_level(&path_l, in_r);
+        let (pinned_ref, newly) = s.pin(in_r, level);
+        assert!(newly);
+        assert_eq!(pinned_ref, in_r);
+        assert!(s.handle(in_r).header().is_pinned());
+        assert_eq!(s.stats().snapshot().pins, 1);
+        let (_, again) = s.pin(in_r, level);
+        assert!(!again, "second pin is idempotent");
+
+        // Join at depth 0 unpins (level 0 >= join depth 0).
+        let out = s.join(root, l, r);
+        assert_eq!(out.unpinned, 1);
+        assert!(out.merged_bytes > 0, "children contributed live bytes");
+        assert!(!s.handle(in_r).header().is_pinned());
+        assert_eq!(s.stats().snapshot().unpins, 1);
+        assert_eq!(s.stats().snapshot().pinned_bytes, 0);
+    }
+
+    #[test]
+    fn deep_pin_survives_inner_join() {
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        let (ll, lr) = s.fork_heaps(l);
+        // Object in ll entangled with the far-right task: LCA is the root.
+        let x = s.alloc_values(ll, ObjKind::Ref, &[Value::Unit]);
+        let path_r = vec![root, r];
+        let level = s.entanglement_level(&path_r, x);
+        assert_eq!(level, 0);
+        s.pin(x, level);
+
+        // Inner join at depth 1 must NOT unpin (level 0 < 1).
+        s.join(l, ll, lr);
+        assert!(s.handle(x).header().is_pinned());
+
+        // Outer join at depth 0 unpins.
+        s.join(root, l, r);
+        assert!(!s.handle(x).header().is_pinned());
+    }
+
+    #[test]
+    fn remember_canonicalizes_heap() {
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, r) = s.fork_heaps(root);
+        s.join(root, l, r);
+        // Remember against the merged id: lands on the canonical heap.
+        s.remember(
+            l,
+            RemsetEntry {
+                src: ObjRef::new(0, 0),
+                field: 0,
+            },
+        );
+        assert_eq!(s.heaps().info(root).remset_len(), 1);
+        assert_eq!(s.stats().snapshot().remset_inserts, 1);
+    }
+
+    #[test]
+    fn resolve_follows_forwarding() {
+        let s = store();
+        let h = s.new_root_heap();
+        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        let b = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(2)]);
+        s.handle(a).obj().try_forward(b).unwrap();
+        assert_eq!(s.resolve(a), b);
+        assert_eq!(s.resolved_handle(a).field(0), Value::Int(2));
+    }
+}

@@ -1,0 +1,318 @@
+//! Runtime values and their tagged machine-word encoding.
+//!
+//! Every field of a heap object is stored as a single 64-bit [`Word`].
+//! The low two bits carry the tag:
+//!
+//! | tag  | payload                                  |
+//! |------|------------------------------------------|
+//! | `00` | small integer, 62-bit two's complement   |
+//! | `01` | object reference: 31-bit chunk, 31-bit slot |
+//! | `10` | unit                                     |
+//! | `11` | boolean (bit 2)                          |
+//!
+//! The API-level type is [`Value`]; [`Word`] is the storage form. Keeping
+//! the encoding in one module lets the collectors scan fields without
+//! knowing anything about object kinds: a word either is or is not a
+//! pointer.
+
+use std::fmt;
+
+/// A reference to a heap object: an index into the global chunk registry
+/// plus a slot within that chunk.
+///
+/// `ObjRef` is a *location*, not a stable identity: the local collector may
+/// move an object, leaving a forwarding entry at the old location. Code that
+/// holds an `ObjRef` across a safepoint must re-resolve it (see
+/// `Store::resolve`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef {
+    chunk: u32,
+    slot: u32,
+}
+
+impl ObjRef {
+    /// Maximum representable chunk or slot index (31 bits).
+    pub const MAX_INDEX: u32 = (1 << 31) - 1;
+
+    /// Creates a reference to `slot` within `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index exceeds [`ObjRef::MAX_INDEX`]; the tagged
+    /// encoding reserves two bits of the word for the tag.
+    pub fn new(chunk: u32, slot: u32) -> Self {
+        assert!(
+            chunk <= Self::MAX_INDEX && slot <= Self::MAX_INDEX,
+            "object reference index out of encodable range"
+        );
+        ObjRef { chunk, slot }
+    }
+
+    /// The chunk index.
+    pub fn chunk(self) -> u32 {
+        self.chunk
+    }
+
+    /// The slot index within the chunk.
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+impl fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}s{}", self.chunk, self.slot)
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An immediate or boxed runtime value.
+///
+/// This is the type mutators see. Integers are limited to 62 bits so the
+/// whole value fits in one tagged word; larger payloads (strings, floats,
+/// records) live behind an [`ObjRef`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// The unit value.
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 62-bit signed integer.
+    Int(i64),
+    /// A reference to a heap object.
+    Obj(ObjRef),
+}
+
+impl Value {
+    /// Returns the object reference if this is a pointer value.
+    pub fn as_obj(self) -> Option<ObjRef> {
+        match self {
+            Value::Obj(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is an integer value.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a boolean value.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Unwraps an integer, panicking with a helpful message otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::Int`].
+    pub fn expect_int(self) -> i64 {
+        self.as_int()
+            .unwrap_or_else(|| panic!("expected integer value, found {self:?}"))
+    }
+
+    /// Unwraps an object reference, panicking with a helpful message otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::Obj`].
+    pub fn expect_obj(self) -> ObjRef {
+        self.as_obj()
+            .unwrap_or_else(|| panic!("expected object reference, found {self:?}"))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(r: ObjRef) -> Self {
+        Value::Obj(r)
+    }
+}
+
+/// Range of integers representable as an immediate [`Value::Int`].
+pub const INT_MIN: i64 = -(1 << 61);
+/// See [`INT_MIN`].
+pub const INT_MAX: i64 = (1 << 61) - 1;
+
+const TAG_MASK: u64 = 0b11;
+const TAG_INT: u64 = 0b00;
+const TAG_OBJ: u64 = 0b01;
+const TAG_UNIT: u64 = 0b10;
+const TAG_BOOL: u64 = 0b11;
+
+/// The tagged 64-bit storage encoding of a [`Value`].
+///
+/// `Word` is what actually sits in object fields (as an `AtomicU64`
+/// payload). The zero word decodes to `Int(0)`, which makes freshly
+/// zero-initialized memory a valid field image.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word(u64);
+
+impl Word {
+    /// The unit word, also used to initialize fields before first write.
+    pub const UNIT: Word = Word(TAG_UNIT);
+
+    /// Encodes a value into its word form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an integer falls outside `[INT_MIN, INT_MAX]`.
+    pub fn encode(v: Value) -> Word {
+        match v {
+            Value::Unit => Word(TAG_UNIT),
+            Value::Bool(b) => Word(TAG_BOOL | ((b as u64) << 2)),
+            Value::Int(i) => {
+                assert!(
+                    (INT_MIN..=INT_MAX).contains(&i),
+                    "integer {i} outside 62-bit immediate range"
+                );
+                Word(((i as u64) << 2) | TAG_INT)
+            }
+            Value::Obj(r) => {
+                Word(((r.chunk() as u64) << 33) | ((r.slot() as u64) << 2) | TAG_OBJ)
+            }
+        }
+    }
+
+    /// Decodes the word back into a value.
+    pub fn decode(self) -> Value {
+        match self.0 & TAG_MASK {
+            TAG_INT => Value::Int((self.0 as i64) >> 2),
+            TAG_OBJ => {
+                let slot = ((self.0 >> 2) & (ObjRef::MAX_INDEX as u64)) as u32;
+                let chunk = (self.0 >> 33) as u32;
+                Value::Obj(ObjRef::new(chunk, slot))
+            }
+            TAG_UNIT => Value::Unit,
+            _ => Value::Bool((self.0 >> 2) & 1 == 1),
+        }
+    }
+
+    /// True if the word encodes an object reference (a pointer).
+    pub fn is_pointer(self) -> bool {
+        self.0 & TAG_MASK == TAG_OBJ
+    }
+
+    /// Returns the pointer payload without fully decoding, if present.
+    pub fn pointer(self) -> Option<ObjRef> {
+        if self.is_pointer() {
+            match self.decode() {
+                Value::Obj(r) => Some(r),
+                _ => unreachable!("pointer tag decoded to non-object"),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// The raw 64-bit representation, for atomic storage.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a word from raw bits previously produced by [`Word::bits`].
+    pub fn from_bits(bits: u64) -> Word {
+        Word(bits)
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:?})", self.decode())
+    }
+}
+
+impl From<Value> for Word {
+    fn from(v: Value) -> Self {
+        Word::encode(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        for i in [0i64, 1, -1, 42, -42, INT_MIN, INT_MAX, 123_456_789] {
+            assert_eq!(Word::encode(Value::Int(i)).decode(), Value::Int(i));
+        }
+    }
+
+    #[test]
+    fn obj_roundtrip() {
+        for (c, s) in [(0u32, 0u32), (1, 2), (ObjRef::MAX_INDEX, ObjRef::MAX_INDEX)] {
+            let r = ObjRef::new(c, s);
+            let w = Word::encode(Value::Obj(r));
+            assert!(w.is_pointer());
+            assert_eq!(w.decode(), Value::Obj(r));
+            assert_eq!(w.pointer(), Some(r));
+        }
+    }
+
+    #[test]
+    fn unit_and_bool_roundtrip() {
+        assert_eq!(Word::encode(Value::Unit).decode(), Value::Unit);
+        assert_eq!(Word::encode(Value::Bool(true)).decode(), Value::Bool(true));
+        assert_eq!(Word::encode(Value::Bool(false)).decode(), Value::Bool(false));
+        assert!(!Word::encode(Value::Unit).is_pointer());
+        assert!(!Word::encode(Value::Bool(true)).is_pointer());
+    }
+
+    #[test]
+    fn zero_word_is_int_zero() {
+        assert_eq!(Word::from_bits(0).decode(), Value::Int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit immediate range")]
+    fn out_of_range_int_panics() {
+        let _ = Word::encode(Value::Int(i64::MAX));
+    }
+
+    #[test]
+    fn non_pointers_have_no_pointer_payload() {
+        assert_eq!(Word::encode(Value::Int(7)).pointer(), None);
+        assert_eq!(Word::UNIT.pointer(), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_obj(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        let r = ObjRef::new(1, 1);
+        assert_eq!(Value::Obj(r).as_obj(), Some(r));
+        assert_eq!(Value::Obj(r).expect_obj(), r);
+        assert_eq!(Value::Int(9).expect_int(), 9);
+    }
+
+    #[test]
+    fn objref_display() {
+        assert_eq!(format!("{}", ObjRef::new(3, 17)), "c3s17");
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for the heap substrate: value encoding, hierarchy
+//! queries against naive oracles, and pin-level algebra.
+
+use proptest::prelude::*;
+
+use mpl_heap::{HeapTable, ObjRef, Value, Word, INT_MAX, INT_MIN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every in-range integer survives the tagged-word roundtrip.
+    #[test]
+    fn int_word_roundtrip(i in INT_MIN..=INT_MAX) {
+        prop_assert_eq!(Word::encode(Value::Int(i)).decode(), Value::Int(i));
+    }
+
+    /// Every (chunk, slot) pair survives the roundtrip and registers as a
+    /// pointer.
+    #[test]
+    fn obj_word_roundtrip(c in 0u32..=ObjRef::MAX_INDEX, s in 0u32..=ObjRef::MAX_INDEX) {
+        let r = ObjRef::new(c, s);
+        let w = Word::encode(Value::Obj(r));
+        prop_assert!(w.is_pointer());
+        prop_assert_eq!(w.decode(), Value::Obj(r));
+    }
+}
+
+/// A random fork/join script over the heap table, mirrored by a naive
+/// tree with explicit parent links.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Fork the leaf identified by (index into the live-leaf list mod len).
+    Fork(usize),
+    /// Join the most recently forked unjoined pair.
+    Join,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![(0usize..8).prop_map(Op::Fork), Just(Op::Join)],
+        1..40,
+    )
+}
+
+/// Naive oracle mirroring forks/joins with plain parent vectors.
+#[derive(Default)]
+struct Oracle {
+    parent: Vec<usize>,
+    depth: Vec<u16>,
+    merged: Vec<usize>,
+}
+
+impl Oracle {
+    fn find(&self, mut i: usize) -> usize {
+        while self.merged[i] != i {
+            i = self.merged[i];
+        }
+        i
+    }
+
+    fn on_path(&self, anc: usize, mut node: usize) -> bool {
+        let anc = self.find(anc);
+        node = self.find(node);
+        loop {
+            if node == anc {
+                return true;
+            }
+            let p = self.find(self.parent[node]);
+            if p == node {
+                return false;
+            }
+            node = p;
+        }
+    }
+
+    fn lca_depth(&self, a: usize, b: usize) -> u16 {
+        let mut a = self.find(a);
+        let mut b = self.find(b);
+        while a != b {
+            if self.depth[a] >= self.depth[b] {
+                a = self.find(self.parent[a]);
+            } else {
+                b = self.find(self.parent[b]);
+            }
+        }
+        self.depth[a]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The heap table agrees with the naive oracle on canonicalization,
+    /// path membership, and LCA depth across arbitrary fork/join scripts.
+    #[test]
+    fn hierarchy_matches_oracle(script in ops()) {
+        let table = HeapTable::new();
+        let root = table.new_root();
+        let mut oracle = Oracle {
+            parent: vec![root as usize],
+            depth: vec![0],
+            merged: vec![root as usize],
+        };
+        // Live leaves + stack of unjoined forks (parent, l, r).
+        let mut leaves: Vec<u32> = vec![root];
+        let mut forks: Vec<(u32, u32, u32)> = Vec::new();
+
+        for op in script {
+            match op {
+                Op::Fork(k) => {
+                    let leaf = leaves[k % leaves.len()];
+                    let (l, r) = table.fork(leaf);
+                    oracle.parent.push(leaf as usize);
+                    oracle.parent.push(leaf as usize);
+                    let d = oracle.depth[oracle.find(leaf as usize)] + 1;
+                    oracle.depth.push(d);
+                    oracle.depth.push(d);
+                    oracle.merged.push(l as usize);
+                    oracle.merged.push(r as usize);
+                    leaves.retain(|&x| x != leaf);
+                    leaves.push(l);
+                    leaves.push(r);
+                    forks.push((leaf, l, r));
+                }
+                Op::Join => {
+                    // Join the innermost fork whose children are leaves.
+                    let pos = forks.iter().rposition(|&(_, l, r)| {
+                        leaves.contains(&l) && leaves.contains(&r)
+                    });
+                    if let Some(pos) = pos {
+                        let (p, l, r) = forks.remove(pos);
+                        table.merge_child(p, l);
+                        table.merge_child(p, r);
+                        oracle.merged[l as usize] = p as usize;
+                        oracle.merged[r as usize] = p as usize;
+                        leaves.retain(|&x| x != l && x != r);
+                        leaves.push(p);
+                    }
+                }
+            }
+        }
+
+        let n = oracle.parent.len();
+        for i in 0..n as u32 {
+            prop_assert_eq!(table.find(i) as usize, oracle.find(i as usize), "find({})", i);
+            let (canon, depth) = table.canonical_and_depth(i);
+            prop_assert_eq!(canon as usize, oracle.find(i as usize));
+            prop_assert_eq!(depth, oracle.depth[oracle.find(i as usize)]);
+            for j in 0..n as u32 {
+                prop_assert_eq!(
+                    table.is_ancestor(i, j),
+                    oracle.on_path(i as usize, j as usize),
+                    "is_ancestor({}, {})", i, j
+                );
+                prop_assert_eq!(
+                    table.lca_of(i, j),
+                    oracle.lca_depth(i as usize, j as usize),
+                    "lca({}, {})", i, j
+                );
+            }
+        }
+
+        // Path-relation agrees with membership + lca for every live leaf.
+        for &leaf in &leaves {
+            // Build the leaf's root path from the oracle.
+            let mut path = Vec::new();
+            let mut cur = oracle.find(leaf as usize);
+            loop {
+                path.push(cur as u32);
+                let p = oracle.find(oracle.parent[cur]);
+                if p == cur {
+                    break;
+                }
+                cur = p;
+            }
+            path.reverse();
+            for h in 0..n as u32 {
+                let (_, _, lca) = table.path_relation(&path, h);
+                let local = oracle.on_path(h as usize, leaf as usize);
+                prop_assert_eq!(lca.is_none(), local, "relation({}, leaf {})", h, leaf);
+                if let Some(d) = lca {
+                    prop_assert_eq!(d, oracle.lca_depth(h as usize, leaf as usize));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Tokenizer for the λ-par-ref concrete syntax.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// A keyword (`fn`, `fix`, `let`, `in`, `if`, ...).
+    Kw(&'static str),
+    /// A symbolic token (`=>`, `:=`, `(`, ...).
+    Sym(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Kw(s) | Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "fn", "fix", "let", "in", "if", "then", "else", "ref", "fst", "snd", "par", "true", "false",
+    "div", "mod", "andalso", "orelse", "array", "sub", "update", "length", "future", "touch",
+];
+
+/// Tokenizes a source string. Comments run from `#` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '~' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            // ML-style negative literals with `~`.
+            let neg = c == '~';
+            if neg {
+                i += 1;
+            }
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i].parse().map_err(|_| LexError {
+                pos: start,
+                msg: "integer literal out of range".into(),
+            })?;
+            out.push(Token::Int(if neg { -n } else { n }));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            match KEYWORDS.iter().find(|&&k| k == word) {
+                Some(&k) => out.push(Token::Kw(k)),
+                None => out.push(Token::Ident(word.to_string())),
+            }
+            continue;
+        }
+        // Symbols, longest first.
+        let rest = &src[i..];
+        let sym = [
+            "=>", ":=", "<=", ">=", "<>", "(", ")", ",", ";", "!", "=", "<", ">", "+", "-", "*",
+        ]
+        .iter()
+        .find(|&&s| rest.starts_with(s));
+        match sym {
+            Some(&s) => {
+                out.push(Token::Sym(s));
+                i += s.len();
+            }
+            None => {
+                return Err(LexError {
+                    pos: i,
+                    msg: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_program() {
+        let toks = lex("let x = ref 1 in !x + 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Kw("let"),
+                Token::Ident("x".into()),
+                Token::Sym("="),
+                Token::Kw("ref"),
+                Token::Int(1),
+                Token::Kw("in"),
+                Token::Sym("!"),
+                Token::Ident("x".into()),
+                Token::Sym("+"),
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrows_and_assign() {
+        let toks = lex("fn x => x := 1").unwrap();
+        assert!(toks.contains(&Token::Sym("=>")));
+        assert!(toks.contains(&Token::Sym(":=")));
+    }
+
+    #[test]
+    fn negative_literals_use_tilde() {
+        assert_eq!(lex("~42").unwrap(), vec![Token::Int(-42)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("1 # a comment\n 2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Int(2)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("1 @ 2").is_err());
+    }
+
+    #[test]
+    fn primes_in_identifiers() {
+        let toks = lex("x' y''").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("x'".into()), Token::Ident("y''".into())]
+        );
+    }
+}

@@ -1,0 +1,645 @@
+//! The per-task abstract machine: a CEK-style small-step evaluator whose
+//! heap accesses implement the paper's entanglement semantics.
+//!
+//! Each task in the configuration owns one `Machine`. The interpreter
+//! ([`crate::interp`]) drives machines one step at a time under a chosen
+//! schedule; `par` surfaces as a [`StepEvent::Fork`] that the interpreter
+//! turns into two child tasks.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::store::{LangStore, Stored};
+use crate::syntax::{BinOp, Expr};
+use crate::tasktree::{TaskId, TaskTree};
+use crate::value::{Env, Val};
+
+/// Dynamic errors of the calculus.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LangError {
+    /// Unbound variable.
+    Unbound(String),
+    /// Ill-typed operation (e.g. applying an integer).
+    Type(String),
+    /// Division or modulus by zero.
+    DivZero,
+    /// Array index out of bounds.
+    Bounds,
+    /// Entanglement under `DetectOnly` semantics (prior MPL aborts here).
+    Entangled,
+    /// Global step budget exhausted.
+    Fuel,
+    /// Every remaining task is blocked on a `touch` (cyclic futures).
+    Deadlock,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            LangError::Type(m) => write!(f, "type error: {m}"),
+            LangError::DivZero => write!(f, "division by zero"),
+            LangError::Deadlock => {
+                write!(f, "deadlock: all remaining tasks are blocked on touch")
+            }
+            LangError::Bounds => write!(f, "array index out of bounds"),
+            LangError::Entangled => write!(f, "entanglement detected (DetectOnly semantics)"),
+            LangError::Fuel => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Whether entanglement is managed (pinned) or fatal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LangMode {
+    /// Manage entanglement by pinning (this paper).
+    #[default]
+    Managed,
+    /// Abort on entanglement (prior MPL).
+    DetectOnly,
+}
+
+/// Cost metrics accumulated by the semantics — the formal counterpart of
+/// the runtime's `mpl_heap::StatsSnapshot`-style counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Costs {
+    /// Total small steps (work `W`).
+    pub steps: u64,
+    /// Critical-path steps (span `S`).
+    pub span: u64,
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Barriered reads (`!`).
+    pub derefs: u64,
+    /// Barriered writes (`:=`).
+    pub assigns: u64,
+    /// Reads that returned a remote pointer.
+    pub entangled_reads: u64,
+    /// Writes involving a remote object.
+    pub entangled_writes: u64,
+    /// Pin events (first pins only).
+    pub pins: u64,
+    /// Unpin events (joins).
+    pub unpins: u64,
+    /// High-water mark of simultaneously pinned objects.
+    pub max_pinned: u64,
+    /// High-water mark of the entanglement footprint (objects reachable
+    /// from pinned objects) — the paper's space-cost bound.
+    pub max_footprint: u64,
+    /// Number of `par` expressions executed.
+    pub forks: u64,
+    /// Number of futures spawned.
+    pub futures: u64,
+    /// Number of touches performed.
+    pub touches: u64,
+}
+
+/// One machine step's externally visible outcome.
+#[derive(Clone, Debug)]
+pub enum StepEvent {
+    /// Keep stepping.
+    Continue,
+    /// The task finished with a value.
+    Done(Val),
+    /// The task hit `par(e1, e2)`: the interpreter must fork.
+    Fork(Rc<Expr>, Rc<Expr>, Env),
+    /// The task hit `future e`: the interpreter must spawn a future task
+    /// and resume this machine with its handle.
+    SpawnFuture(Rc<Expr>, Env),
+    /// The task touched the future with this interpreter index; the
+    /// interpreter delivers the result (or parks the task).
+    Touch(usize),
+}
+
+/// Continuation frames.
+#[derive(Clone, Debug)]
+enum Frame {
+    AppFun(Rc<Expr>, Env),
+    AppArg(Val),
+    PairL(Rc<Expr>, Env),
+    PairR(Val),
+    FstF,
+    SndF,
+    LetF(String, Rc<Expr>, Env),
+    IfF(Rc<Expr>, Rc<Expr>, Env),
+    RefF,
+    DerefF,
+    AssignL(Rc<Expr>, Env),
+    AssignR(Val),
+    SeqF(Rc<Expr>, Env),
+    ArrLen(Rc<Expr>, Env),
+    ArrInit(Val),
+    SubArr(Rc<Expr>, Env),
+    SubIdx(Val),
+    UpdArr(Rc<Expr>, Rc<Expr>, Env),
+    UpdIdx(Val, Rc<Expr>, Env),
+    UpdVal(Val, Val),
+    LengthF,
+    TouchF,
+    BinL(BinOp, Rc<Expr>, Env),
+    BinR(BinOp, Val),
+    AndF(Rc<Expr>, Env),
+    OrF(Rc<Expr>, Env),
+}
+
+/// Control: evaluating an expression or returning a value.
+#[derive(Clone, Debug)]
+enum Ctrl {
+    Eval(Rc<Expr>, Env),
+    Ret(Val),
+}
+
+/// A task's machine state.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    ctrl: Ctrl,
+    stack: Vec<Frame>,
+}
+
+impl Machine {
+    /// A machine about to evaluate `e` in `env`.
+    pub fn new(e: Rc<Expr>, env: Env) -> Machine {
+        Machine {
+            ctrl: Ctrl::Eval(e, env),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Resumes the machine with a value (after a join delivers the pair).
+    pub fn resume_with(&mut self, v: Val) {
+        self.ctrl = Ctrl::Ret(v);
+    }
+
+    /// Performs one small step on behalf of `task`.
+    pub fn step(
+        &mut self,
+        task: TaskId,
+        store: &mut LangStore,
+        tree: &mut TaskTree,
+        mode: LangMode,
+        costs: &mut Costs,
+    ) -> Result<StepEvent, LangError> {
+        costs.steps += 1;
+        let ctrl = std::mem::replace(&mut self.ctrl, Ctrl::Ret(Val::Unit));
+        match ctrl {
+            Ctrl::Eval(e, env) => self.eval_step(e, env, task, store, costs),
+            Ctrl::Ret(v) => self.ret_step(v, task, store, tree, mode, costs),
+        }
+    }
+
+    fn eval_step(
+        &mut self,
+        e: Rc<Expr>,
+        env: Env,
+        task: TaskId,
+        store: &mut LangStore,
+        costs: &mut Costs,
+    ) -> Result<StepEvent, LangError> {
+        match &*e {
+            Expr::Var(x) => {
+                let v = env.lookup(x).ok_or_else(|| LangError::Unbound(x.clone()))?;
+                self.ctrl = Ctrl::Ret(v);
+            }
+            Expr::Int(n) => self.ctrl = Ctrl::Ret(Val::Int(*n)),
+            Expr::Bool(b) => self.ctrl = Ctrl::Ret(Val::Bool(*b)),
+            Expr::Unit => self.ctrl = Ctrl::Ret(Val::Unit),
+            Expr::Lam(x, b) => {
+                costs.allocs += 1;
+                let l = store.alloc(Stored::Closure(env, x.clone(), Rc::clone(b)), task);
+                self.ctrl = Ctrl::Ret(Val::Loc(l));
+            }
+            Expr::Fix(f, x, b) => {
+                costs.allocs += 1;
+                let l = store.alloc(
+                    Stored::FixClosure(env, f.clone(), x.clone(), Rc::clone(b)),
+                    task,
+                );
+                self.ctrl = Ctrl::Ret(Val::Loc(l));
+            }
+            Expr::App(a, b) => {
+                self.stack.push(Frame::AppFun(Rc::clone(b), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Pair(a, b) => {
+                self.stack.push(Frame::PairL(Rc::clone(b), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Fst(a) => {
+                self.stack.push(Frame::FstF);
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Snd(a) => {
+                self.stack.push(Frame::SndF);
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Let(x, a, b) => {
+                self.stack
+                    .push(Frame::LetF(x.clone(), Rc::clone(b), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::If(c, t, f) => {
+                self.stack
+                    .push(Frame::IfF(Rc::clone(t), Rc::clone(f), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(c), env);
+            }
+            Expr::Ref(a) => {
+                self.stack.push(Frame::RefF);
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Deref(a) => {
+                self.stack.push(Frame::DerefF);
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Assign(a, b) => {
+                self.stack.push(Frame::AssignL(Rc::clone(b), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Seq(a, b) => {
+                self.stack.push(Frame::SeqF(Rc::clone(b), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Par(a, b) => {
+                costs.forks += 1;
+                return Ok(StepEvent::Fork(Rc::clone(a), Rc::clone(b), env));
+            }
+            Expr::Future(body) => {
+                costs.futures += 1;
+                return Ok(StepEvent::SpawnFuture(Rc::clone(body), env));
+            }
+            Expr::Touch(a) => {
+                self.stack.push(Frame::TouchF);
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Array(n, init) => {
+                self.stack.push(Frame::ArrLen(Rc::clone(init), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(n), env);
+            }
+            Expr::Sub(a, i) => {
+                self.stack.push(Frame::SubArr(Rc::clone(i), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Update(a, i, v) => {
+                self.stack
+                    .push(Frame::UpdArr(Rc::clone(i), Rc::clone(v), env.clone()));
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Length(a) => {
+                self.stack.push(Frame::LengthF);
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+            Expr::Bin(op, a, b) => {
+                match op {
+                    BinOp::And => self.stack.push(Frame::AndF(Rc::clone(b), env.clone())),
+                    BinOp::Or => self.stack.push(Frame::OrF(Rc::clone(b), env.clone())),
+                    _ => self
+                        .stack
+                        .push(Frame::BinL(*op, Rc::clone(b), env.clone())),
+                }
+                self.ctrl = Ctrl::Eval(Rc::clone(a), env);
+            }
+        }
+        Ok(StepEvent::Continue)
+    }
+
+    fn ret_step(
+        &mut self,
+        v: Val,
+        task: TaskId,
+        store: &mut LangStore,
+        tree: &mut TaskTree,
+        mode: LangMode,
+        costs: &mut Costs,
+    ) -> Result<StepEvent, LangError> {
+        let Some(frame) = self.stack.pop() else {
+            return Ok(StepEvent::Done(v));
+        };
+        match frame {
+            Frame::AppFun(arg, env) => {
+                self.stack.push(Frame::AppArg(v));
+                self.ctrl = Ctrl::Eval(arg, env);
+            }
+            Frame::AppArg(fv) => {
+                let Val::Loc(fl) = fv else {
+                    return Err(LangError::Type(format!("cannot apply {fv}")));
+                };
+                // Closure reads are immutable: no barrier, per the paper.
+                match store.get(fl).stored.clone() {
+                    Stored::Closure(cenv, x, body) => {
+                        self.ctrl = Ctrl::Eval(body, cenv.bind(x, v));
+                    }
+                    Stored::FixClosure(cenv, f, x, body) => {
+                        self.ctrl = Ctrl::Eval(body, cenv.bind(f, fv).bind(x, v));
+                    }
+                    other => {
+                        return Err(LangError::Type(format!(
+                            "cannot apply non-function {other:?}"
+                        )))
+                    }
+                }
+            }
+            Frame::PairL(b, env) => {
+                self.stack.push(Frame::PairR(v));
+                self.ctrl = Ctrl::Eval(b, env);
+            }
+            Frame::PairR(a) => {
+                costs.allocs += 1;
+                let l = store.alloc(Stored::Pair(a, v), task);
+                self.ctrl = Ctrl::Ret(Val::Loc(l));
+            }
+            Frame::FstF | Frame::SndF => {
+                let first = matches!(frame, Frame::FstF);
+                let Val::Loc(l) = v else {
+                    return Err(LangError::Type(format!("projection from {v}")));
+                };
+                match &store.get(l).stored {
+                    Stored::Pair(a, b) => {
+                        self.ctrl = Ctrl::Ret(if first { *a } else { *b });
+                    }
+                    other => {
+                        return Err(LangError::Type(format!(
+                            "projection from non-pair {other:?}"
+                        )))
+                    }
+                }
+            }
+            Frame::LetF(x, b, env) => {
+                self.ctrl = Ctrl::Eval(b, env.bind(x, v));
+            }
+            Frame::IfF(t, f, env) => match v {
+                Val::Bool(true) => self.ctrl = Ctrl::Eval(t, env),
+                Val::Bool(false) => self.ctrl = Ctrl::Eval(f, env),
+                other => return Err(LangError::Type(format!("if on {other}"))),
+            },
+            Frame::RefF => {
+                costs.allocs += 1;
+                let l = store.alloc(Stored::Cell(v), task);
+                self.ctrl = Ctrl::Ret(Val::Loc(l));
+            }
+            Frame::DerefF => {
+                let Val::Loc(l) = v else {
+                    return Err(LangError::Type(format!("deref of {v}")));
+                };
+                let Stored::Cell(contents) = store.get(l).stored else {
+                    return Err(LangError::Type("deref of non-cell".into()));
+                };
+                costs.derefs += 1;
+                // The read barrier: a revealed remote pointer is an
+                // entangled read.
+                if let Val::Loc(t) = contents {
+                    let owner = store.get(t).owner;
+                    if !tree.is_on_path(owner, task) {
+                        if mode == LangMode::DetectOnly {
+                            return Err(LangError::Entangled);
+                        }
+                        costs.entangled_reads += 1;
+                        let level = tree.lca_depth(task, owner);
+                        pin(store, t, level, costs);
+                    }
+                }
+                self.ctrl = Ctrl::Ret(contents);
+            }
+            Frame::AssignL(b, env) => {
+                self.stack.push(Frame::AssignR(v));
+                self.ctrl = Ctrl::Eval(b, env);
+            }
+            Frame::AssignR(target) => {
+                let Val::Loc(l) = target else {
+                    return Err(LangError::Type(format!("assignment to {target}")));
+                };
+                if !matches!(store.get(l).stored, Stored::Cell(_)) {
+                    return Err(LangError::Type("assignment to non-cell".into()));
+                }
+                costs.assigns += 1;
+                let cell_owner = store.get(l).owner;
+                let cell_local = tree.is_on_path(cell_owner, task);
+                // The write barrier.
+                if !cell_local {
+                    if mode == LangMode::DetectOnly {
+                        return Err(LangError::Entangled);
+                    }
+                    costs.entangled_writes += 1;
+                    if let Val::Loc(t) = v {
+                        let level = tree.lca_depth(cell_owner, store.get(t).owner);
+                        pin(store, t, level, costs);
+                    }
+                } else if let Val::Loc(t) = v {
+                    let t_owner = store.get(t).owner;
+                    if !tree.is_on_path(t_owner, task) {
+                        // Storing an already-remote pointer locally.
+                        costs.entangled_writes += 1;
+                        let level = tree.lca_depth(cell_owner, t_owner);
+                        pin(store, t, level, costs);
+                    }
+                }
+                if let Stored::Cell(c) = &mut store.get_mut(l).stored {
+                    *c = v;
+                }
+                self.ctrl = Ctrl::Ret(Val::Unit);
+            }
+            Frame::SeqF(b, env) => {
+                self.ctrl = Ctrl::Eval(b, env);
+            }
+            Frame::ArrLen(init, env) => {
+                self.stack.push(Frame::ArrInit(v));
+                self.ctrl = Ctrl::Eval(init, env);
+            }
+            Frame::ArrInit(nv) => {
+                let n = nv
+                    .as_int()
+                    .ok_or_else(|| LangError::Type(format!("array length {nv}")))?;
+                if n < 0 {
+                    return Err(LangError::Bounds);
+                }
+                costs.allocs += 1;
+                let l = store.alloc(Stored::Arr(vec![v; n as usize]), task);
+                self.ctrl = Ctrl::Ret(Val::Loc(l));
+            }
+            Frame::SubArr(i, env) => {
+                self.stack.push(Frame::SubIdx(v));
+                self.ctrl = Ctrl::Eval(i, env);
+            }
+            Frame::SubIdx(av) => {
+                let Val::Loc(l) = av else {
+                    return Err(LangError::Type(format!("sub on {av}")));
+                };
+                let idx = v
+                    .as_int()
+                    .ok_or_else(|| LangError::Type(format!("index {v}")))?;
+                let Stored::Arr(vs) = &store.get(l).stored else {
+                    return Err(LangError::Type("sub on non-array".into()));
+                };
+                let elem = *vs
+                    .get(usize::try_from(idx).map_err(|_| LangError::Bounds)?)
+                    .ok_or(LangError::Bounds)?;
+                costs.derefs += 1;
+                // The read barrier, identical to cell dereference.
+                if let Val::Loc(t) = elem {
+                    let owner = store.get(t).owner;
+                    if !tree.is_on_path(owner, task) {
+                        if mode == LangMode::DetectOnly {
+                            return Err(LangError::Entangled);
+                        }
+                        costs.entangled_reads += 1;
+                        let level = tree.lca_depth(task, owner);
+                        pin(store, t, level, costs);
+                    }
+                }
+                self.ctrl = Ctrl::Ret(elem);
+            }
+            Frame::UpdArr(i, val, env) => {
+                self.stack.push(Frame::UpdIdx(v, val, env.clone()));
+                self.ctrl = Ctrl::Eval(i, env);
+            }
+            Frame::UpdIdx(av, val, env) => {
+                self.stack.push(Frame::UpdVal(av, v));
+                self.ctrl = Ctrl::Eval(val, env);
+            }
+            Frame::UpdVal(av, iv) => {
+                let Val::Loc(l) = av else {
+                    return Err(LangError::Type(format!("update on {av}")));
+                };
+                let idx = iv
+                    .as_int()
+                    .ok_or_else(|| LangError::Type(format!("index {iv}")))?;
+                let idx = usize::try_from(idx).map_err(|_| LangError::Bounds)?;
+                {
+                    let Stored::Arr(vs) = &store.get(l).stored else {
+                        return Err(LangError::Type("update on non-array".into()));
+                    };
+                    if idx >= vs.len() {
+                        return Err(LangError::Bounds);
+                    }
+                }
+                costs.assigns += 1;
+                // The write barrier, identical to cell assignment.
+                let arr_owner = store.get(l).owner;
+                let arr_local = tree.is_on_path(arr_owner, task);
+                if !arr_local {
+                    if mode == LangMode::DetectOnly {
+                        return Err(LangError::Entangled);
+                    }
+                    costs.entangled_writes += 1;
+                    if let Val::Loc(t) = v {
+                        let level = tree.lca_depth(arr_owner, store.get(t).owner);
+                        pin(store, t, level, costs);
+                    }
+                } else if let Val::Loc(t) = v {
+                    let t_owner = store.get(t).owner;
+                    if !tree.is_on_path(t_owner, task) {
+                        costs.entangled_writes += 1;
+                        let level = tree.lca_depth(arr_owner, t_owner);
+                        pin(store, t, level, costs);
+                    }
+                }
+                if let Stored::Arr(vs) = &mut store.get_mut(l).stored {
+                    vs[idx] = v;
+                }
+                self.ctrl = Ctrl::Ret(Val::Unit);
+            }
+            Frame::LengthF => {
+                let Val::Loc(l) = v else {
+                    return Err(LangError::Type(format!("length of {v}")));
+                };
+                let Stored::Arr(vs) = &store.get(l).stored else {
+                    return Err(LangError::Type("length of non-array".into()));
+                };
+                self.ctrl = Ctrl::Ret(Val::Int(vs.len() as i64));
+            }
+            Frame::TouchF => {
+                let Val::Fut(i) = v else {
+                    return Err(LangError::Type(format!("touch of {v}")));
+                };
+                costs.touches += 1;
+                return Ok(StepEvent::Touch(i));
+            }
+            Frame::BinL(op, b, env) => {
+                self.stack.push(Frame::BinR(op, v));
+                self.ctrl = Ctrl::Eval(b, env);
+            }
+            Frame::BinR(op, a) => {
+                self.ctrl = Ctrl::Ret(prim(op, a, v)?);
+            }
+            Frame::AndF(b, env) => match v {
+                Val::Bool(true) => self.ctrl = Ctrl::Eval(b, env),
+                Val::Bool(false) => self.ctrl = Ctrl::Ret(Val::Bool(false)),
+                other => return Err(LangError::Type(format!("andalso on {other}"))),
+            },
+            Frame::OrF(b, env) => match v {
+                Val::Bool(false) => self.ctrl = Ctrl::Eval(b, env),
+                Val::Bool(true) => self.ctrl = Ctrl::Ret(Val::Bool(true)),
+                other => return Err(LangError::Type(format!("orelse on {other}"))),
+            },
+        }
+        Ok(StepEvent::Continue)
+    }
+}
+
+/// Pins `t` at `level`, updating the pin-count and footprint gauges.
+pub(crate) fn pin(store: &mut LangStore, t: crate::value::Loc, level: u16, costs: &mut Costs) {
+    if store.pin(t, level) {
+        costs.pins += 1;
+        let pinned_now = store.pinned_locs().len() as u64;
+        costs.max_pinned = costs.max_pinned.max(pinned_now);
+        costs.max_footprint = costs
+            .max_footprint
+            .max(store.entanglement_footprint() as u64);
+    }
+}
+
+fn prim(op: BinOp, a: Val, b: Val) -> Result<Val, LangError> {
+    use BinOp::*;
+    let ints = |a: Val, b: Val| -> Result<(i64, i64), LangError> {
+        match (a, b) {
+            (Val::Int(x), Val::Int(y)) => Ok((x, y)),
+            _ => Err(LangError::Type(format!("{op} on {a} and {b}"))),
+        }
+    };
+    Ok(match op {
+        Add => {
+            let (x, y) = ints(a, b)?;
+            Val::Int(x.wrapping_add(y))
+        }
+        Sub => {
+            let (x, y) = ints(a, b)?;
+            Val::Int(x.wrapping_sub(y))
+        }
+        Mul => {
+            let (x, y) = ints(a, b)?;
+            Val::Int(x.wrapping_mul(y))
+        }
+        Div => {
+            let (x, y) = ints(a, b)?;
+            if y == 0 {
+                return Err(LangError::DivZero);
+            }
+            Val::Int(x.div_euclid(y))
+        }
+        Mod => {
+            let (x, y) = ints(a, b)?;
+            if y == 0 {
+                return Err(LangError::DivZero);
+            }
+            Val::Int(x.rem_euclid(y))
+        }
+        Lt => {
+            let (x, y) = ints(a, b)?;
+            Val::Bool(x < y)
+        }
+        Le => {
+            let (x, y) = ints(a, b)?;
+            Val::Bool(x <= y)
+        }
+        Gt => {
+            let (x, y) = ints(a, b)?;
+            Val::Bool(x > y)
+        }
+        Ge => {
+            let (x, y) = ints(a, b)?;
+            Val::Bool(x >= y)
+        }
+        Eq => Val::Bool(a == b),
+        And | Or => unreachable!("short-circuit ops handled by frames"),
+    })
+}

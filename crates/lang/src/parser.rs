@@ -1,0 +1,458 @@
+//! Recursive-descent parser for λ-par-ref.
+//!
+//! Precedence, loosest to tightest:
+//!
+//! 1. `;` (right-assoc sequencing)
+//! 2. `:=` (non-assoc assignment)
+//! 3. `orelse` / `andalso`
+//! 4. comparisons `< <= = <> > >=` (non-assoc)
+//! 5. `+ -` (left)
+//! 6. `* div mod` (left)
+//! 7. application (left)
+//! 8. atoms, prefix `! ref fst snd length`,
+//!    `fn`/`fix`/`let`/`if`/`par`/`array`/`sub`/`update`
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::lexer::{lex, LexError, Token};
+use crate::syntax::{BinOp, Expr};
+
+/// A parse error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { msg: e.to_string() }
+    }
+}
+
+/// Parses a complete program.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err(format!("trailing input at token {:?}", p.peek())));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek() == Some(&Token::Sym(match_sym(s))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: &str) -> bool {
+        if let Some(Token::Kw(kk)) = self.peek() {
+            if *kk == k {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: &str) -> Result<(), ParseError> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{k}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // e ::= seq
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.seq()
+    }
+
+    fn seq(&mut self) -> Result<Expr, ParseError> {
+        let a = self.assign()?;
+        if self.eat_sym(";") {
+            let b = self.seq()?;
+            Ok(Expr::Seq(Rc::new(a), Rc::new(b)))
+        } else {
+            Ok(a)
+        }
+    }
+
+    fn assign(&mut self) -> Result<Expr, ParseError> {
+        let a = self.logic()?;
+        if self.eat_sym(":=") {
+            let b = self.logic()?;
+            Ok(Expr::Assign(Rc::new(a), Rc::new(b)))
+        } else {
+            Ok(a)
+        }
+    }
+
+    fn logic(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.cmp()?;
+        loop {
+            if self.eat_kw("andalso") {
+                let b = self.cmp()?;
+                a = Expr::Bin(BinOp::And, Rc::new(a), Rc::new(b));
+            } else if self.eat_kw("orelse") {
+                let b = self.cmp()?;
+                a = Expr::Bin(BinOp::Or, Rc::new(a), Rc::new(b));
+            } else {
+                return Ok(a);
+            }
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ParseError> {
+        let a = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Sym("<")) => Some(BinOp::Lt),
+            Some(Token::Sym("<=")) => Some(BinOp::Le),
+            Some(Token::Sym("=")) => Some(BinOp::Eq),
+            Some(Token::Sym(">")) => Some(BinOp::Gt),
+            Some(Token::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let b = self.additive()?;
+            Ok(Expr::Bin(op, Rc::new(a), Rc::new(b)))
+        } else {
+            Ok(a)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.multiplicative()?;
+        loop {
+            if self.eat_sym("+") {
+                let b = self.multiplicative()?;
+                a = Expr::Bin(BinOp::Add, Rc::new(a), Rc::new(b));
+            } else if self.eat_sym("-") {
+                let b = self.multiplicative()?;
+                a = Expr::Bin(BinOp::Sub, Rc::new(a), Rc::new(b));
+            } else {
+                return Ok(a);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.application()?;
+        loop {
+            if self.eat_sym("*") {
+                let b = self.application()?;
+                a = Expr::Bin(BinOp::Mul, Rc::new(a), Rc::new(b));
+            } else if self.eat_kw("div") {
+                let b = self.application()?;
+                a = Expr::Bin(BinOp::Div, Rc::new(a), Rc::new(b));
+            } else if self.eat_kw("mod") {
+                let b = self.application()?;
+                a = Expr::Bin(BinOp::Mod, Rc::new(a), Rc::new(b));
+            } else {
+                return Ok(a);
+            }
+        }
+    }
+
+    fn application(&mut self) -> Result<Expr, ParseError> {
+        let mut a = self.prefix()?;
+        while self.starts_atom() {
+            let b = self.prefix()?;
+            a = Expr::App(Rc::new(a), Rc::new(b));
+        }
+        Ok(a)
+    }
+
+    fn starts_atom(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Int(_))
+                | Some(Token::Ident(_))
+                | Some(Token::Sym("("))
+                | Some(Token::Sym("!"))
+                | Some(Token::Kw("true"))
+                | Some(Token::Kw("false"))
+                | Some(Token::Kw("ref"))
+                | Some(Token::Kw("fst"))
+                | Some(Token::Kw("snd"))
+                | Some(Token::Kw("length"))
+                | Some(Token::Kw("array"))
+                | Some(Token::Kw("sub"))
+                | Some(Token::Kw("update"))
+        )
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym("!") {
+            let e = self.prefix()?;
+            return Ok(Expr::Deref(Rc::new(e)));
+        }
+        if self.eat_kw("ref") {
+            let e = self.prefix()?;
+            return Ok(Expr::Ref(Rc::new(e)));
+        }
+        if self.eat_kw("fst") {
+            let e = self.prefix()?;
+            return Ok(Expr::Fst(Rc::new(e)));
+        }
+        if self.eat_kw("snd") {
+            let e = self.prefix()?;
+            return Ok(Expr::Snd(Rc::new(e)));
+        }
+        if self.eat_kw("length") {
+            let e = self.prefix()?;
+            return Ok(Expr::Length(Rc::new(e)));
+        }
+        if self.eat_kw("future") {
+            let e = self.prefix()?;
+            return Ok(Expr::Future(Rc::new(e)));
+        }
+        if self.eat_kw("touch") {
+            let e = self.prefix()?;
+            return Ok(Expr::Touch(Rc::new(e)));
+        }
+        self.atom()
+    }
+
+    /// Parses `kw(e1, ..., en)` argument lists.
+    fn call_args(&mut self, n: usize) -> Result<Vec<Expr>, ParseError> {
+        self.expect_sym("(")?;
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            if k > 0 {
+                self.expect_sym(",")?;
+            }
+            out.push(self.expr()?);
+        }
+        self.expect_sym(")")?;
+        Ok(out)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Int(n))
+            }
+            Some(Token::Ident(x)) => {
+                self.pos += 1;
+                Ok(Expr::Var(x))
+            }
+            Some(Token::Kw("true")) => {
+                self.pos += 1;
+                Ok(Expr::Bool(true))
+            }
+            Some(Token::Kw("false")) => {
+                self.pos += 1;
+                Ok(Expr::Bool(false))
+            }
+            Some(Token::Kw("fn")) => {
+                self.pos += 1;
+                let x = self.ident()?;
+                self.expect_sym("=>")?;
+                let b = self.expr()?;
+                Ok(Expr::Lam(x, Rc::new(b)))
+            }
+            Some(Token::Kw("fix")) => {
+                self.pos += 1;
+                let f = self.ident()?;
+                let x = self.ident()?;
+                self.expect_sym("=>")?;
+                let b = self.expr()?;
+                Ok(Expr::Fix(f, x, Rc::new(b)))
+            }
+            Some(Token::Kw("let")) => {
+                self.pos += 1;
+                let x = self.ident()?;
+                self.expect_sym("=")?;
+                let a = self.expr()?;
+                self.expect_kw("in")?;
+                let b = self.expr()?;
+                Ok(Expr::Let(x, Rc::new(a), Rc::new(b)))
+            }
+            Some(Token::Kw("if")) => {
+                self.pos += 1;
+                let c = self.expr()?;
+                self.expect_kw("then")?;
+                let t = self.expr()?;
+                self.expect_kw("else")?;
+                let e = self.expr()?;
+                Ok(Expr::If(Rc::new(c), Rc::new(t), Rc::new(e)))
+            }
+            Some(Token::Kw("par")) => {
+                self.pos += 1;
+                let mut args = self.call_args(2)?;
+                let b = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                Ok(Expr::Par(Rc::new(a), Rc::new(b)))
+            }
+            Some(Token::Kw("array")) => {
+                self.pos += 1;
+                let mut args = self.call_args(2)?;
+                let i = args.pop().unwrap();
+                let n = args.pop().unwrap();
+                Ok(Expr::Array(Rc::new(n), Rc::new(i)))
+            }
+            Some(Token::Kw("sub")) => {
+                self.pos += 1;
+                let mut args = self.call_args(2)?;
+                let i = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                Ok(Expr::Sub(Rc::new(a), Rc::new(i)))
+            }
+            Some(Token::Kw("update")) => {
+                self.pos += 1;
+                let mut args = self.call_args(3)?;
+                let v = args.pop().unwrap();
+                let i = args.pop().unwrap();
+                let a = args.pop().unwrap();
+                Ok(Expr::Update(Rc::new(a), Rc::new(i), Rc::new(v)))
+            }
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                if self.eat_sym(")") {
+                    return Ok(Expr::Unit);
+                }
+                let a = self.expr()?;
+                if self.eat_sym(",") {
+                    let b = self.expr()?;
+                    self.expect_sym(")")?;
+                    Ok(Expr::Pair(Rc::new(a), Rc::new(b)))
+                } else {
+                    self.expect_sym(")")?;
+                    Ok(a)
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn match_sym(s: &str) -> &'static str {
+    [
+        "=>", ":=", "<=", ">=", "<>", "(", ")", ",", ";", "!", "=", "<", ">", "+", "-", "*",
+    ]
+    .iter()
+    .find(|&&k| k == s)
+    .copied()
+    .unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Expr {
+        parse(src).unwrap_or_else(|e| panic!("{e} in {src:?}"))
+    }
+
+    #[test]
+    fn precedence_arith() {
+        assert_eq!(p("1 + 2 * 3").to_string(), "(1 + (2 * 3))");
+        assert_eq!(p("(1 + 2) * 3").to_string(), "((1 + 2) * 3)");
+    }
+
+    #[test]
+    fn application_binds_tighter_than_ops() {
+        assert_eq!(p("f 1 + g 2").to_string(), "((f 1) + (g 2))");
+        assert_eq!(p("f g x").to_string(), "((f g) x)");
+    }
+
+    #[test]
+    fn let_if_fn() {
+        assert_eq!(
+            p("let x = 1 in if x < 2 then x else 0").to_string(),
+            "(let x = 1 in (if (x < 2) then x else 0))"
+        );
+        assert_eq!(p("fn x => x + 1").to_string(), "(fn x => (x + 1))");
+        assert_eq!(p("fix f n => f (n - 1)").to_string(), "(fix f n => (f (n - 1)))");
+    }
+
+    #[test]
+    fn refs_and_assignment() {
+        assert_eq!(
+            p("let r = ref 0 in r := !r + 1; !r").to_string(),
+            "(let r = (ref 0) in ((r := ((!r) + 1)); (!r)))"
+        );
+    }
+
+    #[test]
+    fn pairs_and_projections() {
+        assert_eq!(p("fst (1, 2) + snd (3, 4)").to_string(), "((fst (1, 2)) + (snd (3, 4)))");
+    }
+
+    #[test]
+    fn par_is_parsed() {
+        assert_eq!(p("par(1 + 1, 2 * 2)").to_string(), "par((1 + 1), (2 * 2))");
+    }
+
+    #[test]
+    fn unit_and_parens() {
+        assert_eq!(p("()").to_string(), "()");
+        assert_eq!(p("(1)").to_string(), "1");
+    }
+
+    #[test]
+    fn trailing_input_is_an_error() {
+        assert!(parse("1 2 )").is_err());
+        assert!(parse("let x = in x").is_err());
+    }
+
+    #[test]
+    fn seq_is_right_assoc_and_loosest() {
+        assert_eq!(p("1; 2; 3").to_string(), "(1; (2; 3))");
+        assert_eq!(p("r := 1; 2").to_string(), "((r := 1); 2)");
+    }
+}

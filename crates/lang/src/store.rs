@@ -1,0 +1,235 @@
+//! The language-level store: heap objects tagged with their allocating
+//! task, pin state, and entanglement level — a direct transcription of the
+//! paper's object-granularity formulation.
+
+use std::rc::Rc;
+
+use crate::syntax::Expr;
+use crate::tasktree::TaskId;
+use crate::value::{Env, Loc, Val};
+
+/// Heap object payloads.
+#[derive(Clone, Debug)]
+pub enum Stored {
+    /// An immutable pair.
+    Pair(Val, Val),
+    /// A (non-recursive) closure.
+    Closure(Env, String, Rc<Expr>),
+    /// A recursive closure (`fix f x => e`).
+    FixClosure(Env, String, String, Rc<Expr>),
+    /// A mutable reference cell.
+    Cell(Val),
+    /// A mutable array — like cells, a source of entanglement.
+    Arr(Vec<Val>),
+}
+
+impl Stored {
+    /// Values directly referenced by this object (traced edges).
+    pub fn children(&self) -> Vec<Val> {
+        match self {
+            Stored::Pair(a, b) => vec![*a, *b],
+            Stored::Closure(env, _, _) => env.values(),
+            Stored::FixClosure(env, _, _, _) => env.values(),
+            Stored::Cell(v) => vec![*v],
+            Stored::Arr(vs) => vs.clone(),
+        }
+    }
+
+    /// True for mutable objects (reads are barriered).
+    pub fn is_mutable(&self) -> bool {
+        matches!(self, Stored::Cell(_) | Stored::Arr(_))
+    }
+}
+
+/// One heap object with the metadata the semantics tracks.
+#[derive(Clone, Debug)]
+pub struct LangObj {
+    /// Payload.
+    pub stored: Stored,
+    /// The task (heap) that allocated the object. Canonicalize through
+    /// the task tree after joins.
+    pub owner: TaskId,
+    /// `Some(level)` if pinned; the level is the depth of the LCA of the
+    /// entangling tasks.
+    pub pinned: Option<u16>,
+}
+
+/// The store: an append-only vector of objects (the formal semantics never
+/// reuses locations; reclamation is modeled by the runtime, not the
+/// calculus). A sorted index of pinned locations keeps join-time unpinning
+/// proportional to the number of pins, not the store size.
+#[derive(Clone, Debug, Default)]
+pub struct LangStore {
+    objs: Vec<LangObj>,
+    pinned_set: std::collections::BTreeSet<usize>,
+}
+
+impl LangStore {
+    /// An empty store.
+    pub fn new() -> LangStore {
+        LangStore::default()
+    }
+
+    /// Allocates an object owned by `owner`.
+    pub fn alloc(&mut self, stored: Stored, owner: TaskId) -> Loc {
+        self.objs.push(LangObj {
+            stored,
+            owner,
+            pinned: None,
+        });
+        Loc(self.objs.len() - 1)
+    }
+
+    /// Immutable access.
+    pub fn get(&self, l: Loc) -> &LangObj {
+        &self.objs[l.0]
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, l: Loc) -> &mut LangObj {
+        &mut self.objs[l.0]
+    }
+
+    /// Number of objects ever allocated.
+    pub fn len(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objs.is_empty()
+    }
+
+    /// Pins `l` at `level` (keeping the minimum if already pinned).
+    /// Returns true if this call created the pin.
+    pub fn pin(&mut self, l: Loc, level: u16) -> bool {
+        let obj = &mut self.objs[l.0];
+        match obj.pinned {
+            None => {
+                obj.pinned = Some(level);
+                self.pinned_set.insert(l.0);
+                true
+            }
+            Some(old) => {
+                obj.pinned = Some(old.min(level));
+                false
+            }
+        }
+    }
+
+    /// Unpins a single object; returns true if it was pinned.
+    pub fn unpin(&mut self, l: Loc) -> bool {
+        let obj = &mut self.objs[l.0];
+        let was = obj.pinned.is_some();
+        obj.pinned = None;
+        self.pinned_set.remove(&l.0);
+        was
+    }
+
+    /// Applies the unpin-at-join rule: unpins every object whose level is
+    /// `>= join_depth` **and** whose owner satisfies `in_subtree` (the
+    /// joined subtree — pins between unrelated concurrent subtrees must
+    /// survive). Returns how many were unpinned.
+    pub fn unpin_at_join_where(
+        &mut self,
+        join_depth: u16,
+        mut in_subtree: impl FnMut(TaskId) -> bool,
+    ) -> usize {
+        let candidates: Vec<usize> = self.pinned_set.iter().copied().collect();
+        let mut n = 0;
+        for i in candidates {
+            let obj = &mut self.objs[i];
+            if let Some(level) = obj.pinned {
+                if level >= join_depth && in_subtree(obj.owner) {
+                    obj.pinned = None;
+                    self.pinned_set.remove(&i);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Unpin-at-join over the whole store (tests and single-subtree
+    /// scenarios).
+    pub fn unpin_at_join(&mut self, join_depth: u16) -> usize {
+        self.unpin_at_join_where(join_depth, |_| true)
+    }
+
+    /// Currently pinned locations (sorted).
+    pub fn pinned_locs(&self) -> Vec<Loc> {
+        self.pinned_set.iter().map(|&i| Loc(i)).collect()
+    }
+
+    /// The **entanglement footprint**: every object reachable from a
+    /// pinned object — the paper's bound on the space cost of
+    /// entanglement (what the moving collector must leave in place).
+    pub fn entanglement_footprint(&self) -> usize {
+        let mut seen = vec![false; self.objs.len()];
+        let mut stack: Vec<Loc> = self.pinned_locs();
+        let mut count = 0;
+        while let Some(l) = stack.pop() {
+            if seen[l.0] {
+                continue;
+            }
+            seen[l.0] = true;
+            count += 1;
+            for v in self.objs[l.0].stored.children() {
+                if let Val::Loc(c) = v {
+                    if !seen[c.0] {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut s = LangStore::new();
+        let l = s.alloc(Stored::Cell(Val::Int(1)), TaskId(0));
+        assert!(matches!(s.get(l).stored, Stored::Cell(Val::Int(1))));
+        assert_eq!(s.get(l).owner, TaskId(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn pin_keeps_minimum_level() {
+        let mut s = LangStore::new();
+        let l = s.alloc(Stored::Cell(Val::Unit), TaskId(0));
+        assert!(s.pin(l, 4));
+        assert!(!s.pin(l, 7));
+        assert_eq!(s.get(l).pinned, Some(4));
+        assert!(!s.pin(l, 2));
+        assert_eq!(s.get(l).pinned, Some(2));
+    }
+
+    #[test]
+    fn unpin_at_join_filters_by_level() {
+        let mut s = LangStore::new();
+        let a = s.alloc(Stored::Cell(Val::Unit), TaskId(0));
+        let b = s.alloc(Stored::Cell(Val::Unit), TaskId(0));
+        s.pin(a, 0);
+        s.pin(b, 3);
+        assert_eq!(s.unpin_at_join(2), 1, "only level >= 2 unpins");
+        assert_eq!(s.get(a).pinned, Some(0));
+        assert_eq!(s.get(b).pinned, None);
+    }
+
+    #[test]
+    fn footprint_is_reachable_closure() {
+        let mut s = LangStore::new();
+        let inner = s.alloc(Stored::Pair(Val::Int(1), Val::Int(2)), TaskId(0));
+        let mid = s.alloc(Stored::Pair(Val::Loc(inner), Val::Unit), TaskId(0));
+        let cell = s.alloc(Stored::Cell(Val::Loc(mid)), TaskId(0));
+        let _unrelated = s.alloc(Stored::Cell(Val::Int(9)), TaskId(0));
+        s.pin(cell, 0);
+        assert_eq!(s.entanglement_footprint(), 3, "cell -> mid -> inner");
+    }
+}

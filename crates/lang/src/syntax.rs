@@ -1,0 +1,197 @@
+//! Abstract syntax of λ-par-ref, the paper's core calculus: a call-by-value
+//! lambda calculus with pairs, recursion, mutable references, and
+//! fork-join parallelism (`par`).
+//!
+//! Concrete syntax (parsed by [`crate::parser`]):
+//!
+//! ```text
+//! e ::= x | n | true | false | ()
+//!     | fn x => e            (abstraction)
+//!     | fix f x => e         (recursive abstraction)
+//!     | e1 e2                (application, left-assoc)
+//!     | (e1, e2)             (pair)  | fst e | snd e
+//!     | let x = e1 in e2
+//!     | if e1 then e2 else e3
+//!     | ref e | !e | e1 := e2
+//!     | par(e1, e2)          (fork-join; evaluates to a pair)
+//!     | array(e_n, e_init)   (mutable array allocation)
+//!     | sub(e_a, e_i)        (barriered array read)
+//!     | update(e_a, e_i, e_v)(barriered array write; unit)
+//!     | length e             (array length)
+//!     | e1 ; e2              (sequencing)
+//!     | e1 op e2             (op ∈ + - * div mod < <= = > >= andalso orelse)
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division (`div`).
+    Div,
+    /// Remainder (`mod`).
+    Mod,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Equality (integers, booleans, unit).
+    Eq,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Short-circuit conjunction.
+    And,
+    /// Short-circuit disjunction.
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "andalso",
+            BinOp::Or => "orelse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions. Shared subterms use `Rc` so closures can capture bodies
+/// cheaply.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Variable reference.
+    Var(String),
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Unit literal.
+    Unit,
+    /// `fn x => e`.
+    Lam(String, Rc<Expr>),
+    /// `fix f x => e` — `f` is bound to the closure itself in `e`.
+    Fix(String, String, Rc<Expr>),
+    /// Application.
+    App(Rc<Expr>, Rc<Expr>),
+    /// Pair construction (heap-allocating).
+    Pair(Rc<Expr>, Rc<Expr>),
+    /// First projection.
+    Fst(Rc<Expr>),
+    /// Second projection.
+    Snd(Rc<Expr>),
+    /// `let x = e1 in e2`.
+    Let(String, Rc<Expr>, Rc<Expr>),
+    /// Conditional.
+    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// `ref e` — allocates a mutable cell.
+    Ref(Rc<Expr>),
+    /// `!e` — dereference (the barriered read of the paper).
+    Deref(Rc<Expr>),
+    /// `e1 := e2` — assignment (the barriered write).
+    Assign(Rc<Expr>, Rc<Expr>),
+    /// `par(e1, e2)` — evaluate both in parallel subtasks; yields a pair.
+    Par(Rc<Expr>, Rc<Expr>),
+    /// `array(n, init)` — allocates a mutable array of `n` copies of
+    /// `init`.
+    Array(Rc<Expr>, Rc<Expr>),
+    /// `sub(a, i)` — barriered array read.
+    Sub(Rc<Expr>, Rc<Expr>),
+    /// `update(a, i, v)` — barriered array write; evaluates to unit.
+    Update(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// `length a` — array length.
+    Length(Rc<Expr>),
+    /// `future e` — spawns `e` as a *future* task: the spawner keeps
+    /// running and receives a first-class handle; `touch` waits for (and
+    /// reads) the result. Futures are **strict**: a task completes only
+    /// after every future it spawned has completed (region-bounded),
+    /// which keeps the unpin-at-join theory intact.
+    Future(Rc<Expr>),
+    /// `touch e` — waits for the future `e` and yields its result (a
+    /// barriered read: a revealed remote pointer is an entangled read).
+    Touch(Rc<Expr>),
+    /// Sequencing (`e1 ; e2`), sugar for `let _ = e1 in e2`.
+    Seq(Rc<Expr>, Rc<Expr>),
+    /// Primitive binary operation.
+    Bin(BinOp, Rc<Expr>, Rc<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor wrapping in `Rc`.
+    pub fn rc(self) -> Rc<Expr> {
+        Rc::new(self)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(x) => write!(f, "{x}"),
+            // ML-style negative literals: `~5` (a bare `-` is the binary
+            // operator, so `-5` would not re-parse).
+            Expr::Int(n) if *n < 0 => write!(f, "~{}", n.unsigned_abs()),
+            Expr::Int(n) => write!(f, "{n}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Unit => write!(f, "()"),
+            Expr::Lam(x, b) => write!(f, "(fn {x} => {b})"),
+            Expr::Fix(g, x, b) => write!(f, "(fix {g} {x} => {b})"),
+            Expr::App(a, b) => write!(f, "({a} {b})"),
+            Expr::Pair(a, b) => write!(f, "({a}, {b})"),
+            Expr::Fst(e) => write!(f, "(fst {e})"),
+            Expr::Snd(e) => write!(f, "(snd {e})"),
+            Expr::Let(x, a, b) => write!(f, "(let {x} = {a} in {b})"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Expr::Ref(e) => write!(f, "(ref {e})"),
+            Expr::Deref(e) => write!(f, "(!{e})"),
+            Expr::Assign(a, b) => write!(f, "({a} := {b})"),
+            Expr::Par(a, b) => write!(f, "par({a}, {b})"),
+            Expr::Array(n, i) => write!(f, "array({n}, {i})"),
+            Expr::Sub(a, i) => write!(f, "sub({a}, {i})"),
+            Expr::Update(a, i, v) => write!(f, "update({a}, {i}, {v})"),
+            Expr::Length(a) => write!(f, "(length {a})"),
+            Expr::Future(e) => write!(f, "(future {e})"),
+            Expr::Touch(e) => write!(f, "(touch {e})"),
+            Expr::Seq(a, b) => write!(f, "({a}; {b})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_structure() {
+        let e = Expr::Let(
+            "x".into(),
+            Expr::Int(1).rc(),
+            Expr::Bin(BinOp::Add, Expr::Var("x".into()).rc(), Expr::Int(2).rc()).rc(),
+        );
+        assert_eq!(e.to_string(), "(let x = 1 in (x + 2))");
+    }
+
+    #[test]
+    fn par_displays() {
+        let e = Expr::Par(Expr::Int(1).rc(), Expr::Int(2).rc());
+        assert_eq!(e.to_string(), "par(1, 2)");
+    }
+}

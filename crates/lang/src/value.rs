@@ -1,0 +1,147 @@
+//! Runtime values and environments of the calculus.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A heap location in the language-level store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Loc(pub usize);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// Values: immediates or heap locations. Pairs, closures, and ref cells
+/// are all heap objects, so entanglement is defined uniformly at object
+/// granularity as in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Val {
+    /// Unit.
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Heap object.
+    Loc(Loc),
+    /// A future handle (interpreter task index). Handles are immediates:
+    /// copying one is free; only `touch` reads through it.
+    Fut(usize),
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Unit => write!(f, "()"),
+            Val::Bool(b) => write!(f, "{b}"),
+            // ML-style negatives, matching the expression syntax.
+            Val::Int(n) if *n < 0 => write!(f, "~{}", n.unsigned_abs()),
+            Val::Int(n) => write!(f, "{n}"),
+            Val::Loc(l) => write!(f, "{l}"),
+            Val::Fut(i) => write!(f, "<future #{i}>"),
+        }
+    }
+}
+
+impl Val {
+    /// The integer payload, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The location payload, if any.
+    pub fn as_loc(self) -> Option<Loc> {
+        match self {
+            Val::Loc(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The future-handle payload, if any.
+    pub fn as_fut(self) -> Option<usize> {
+        match self {
+            Val::Fut(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// A persistent environment (immutable linked list, cheap to capture in
+/// closures).
+#[derive(Clone, Default, Debug, PartialEq)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+#[derive(Debug, PartialEq)]
+struct EnvNode {
+    name: String,
+    val: Val,
+    next: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Extends the environment with a binding.
+    pub fn bind(&self, name: impl Into<String>, val: Val) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            name: name.into(),
+            val,
+            next: self.clone(),
+        })))
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, name: &str) -> Option<Val> {
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            if node.name == name {
+                return Some(node.val);
+            }
+            cur = &node.next.0;
+        }
+        None
+    }
+
+    /// Iterates over all bound values (for root-set computation).
+    pub fn values(&self) -> Vec<Val> {
+        let mut out = Vec::new();
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            out.push(node.val);
+            cur = &node.next.0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup_shadowing() {
+        let e = Env::empty().bind("x", Val::Int(1)).bind("y", Val::Int(2));
+        assert_eq!(e.lookup("x"), Some(Val::Int(1)));
+        assert_eq!(e.lookup("y"), Some(Val::Int(2)));
+        assert_eq!(e.lookup("z"), None);
+        let e2 = e.bind("x", Val::Int(9));
+        assert_eq!(e2.lookup("x"), Some(Val::Int(9)));
+        assert_eq!(e.lookup("x"), Some(Val::Int(1)), "persistence");
+    }
+
+    #[test]
+    fn values_collects_all() {
+        let e = Env::empty().bind("a", Val::Loc(Loc(3))).bind("b", Val::Int(1));
+        let vs = e.values();
+        assert!(vs.contains(&Val::Loc(Loc(3))));
+        assert_eq!(vs.len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the calculus: schedule-independence of pure
+//! programs, conservation of the entanglement invariants, and parser
+//! robustness over generated terms.
+
+use proptest::prelude::*;
+
+use mpl_lang::{parse, run_expr, BinOp, Expr, LangMode, Options, Schedule, Val};
+
+/// Generates closed, terminating, *pure* expressions (no refs): integer
+/// arithmetic, pairs, conditionals, and `par`.
+fn pure_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::Int),
+        any::<bool>().prop_map(Expr::Bool),
+        Just(Expr::Unit),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = pure_expr(depth - 1);
+    prop_oneof![
+        2 => leaf,
+        2 => (sub.clone(), sub.clone(), prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)])
+            .prop_map(|(a, b, op)| Expr::Bin(op, a.rc(), b.rc())),
+        1 => (pure_int(depth - 1), sub.clone(), sub.clone())
+            .prop_map(|(c, t, e)| Expr::If(
+                Expr::Bin(BinOp::Lt, c.rc(), Expr::Int(0).rc()).rc(),
+                t.rc(),
+                e.rc(),
+            )),
+        2 => (sub.clone(), sub.clone()).prop_map(|(a, b)| {
+            // par evaluates both and projects the sum if both are ints;
+            // keep it simple: build the pair and take fst.
+            Expr::Fst(Expr::Par(a.rc(), b.rc()).rc())
+        }),
+        1 => (sub.clone(), sub).prop_map(|(a, b)| Expr::Snd(Expr::Pair(a.rc(), b.rc()).rc())),
+    ]
+    .boxed()
+}
+
+/// Pure integer-valued expressions (for conditions).
+fn pure_int(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = (-100i64..100).prop_map(Expr::Int);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = pure_int(depth - 1);
+    prop_oneof![
+        2 => leaf,
+        1 => (sub.clone(), sub).prop_map(|(a, b)| Expr::Bin(BinOp::Add, a.rc(), b.rc())),
+    ]
+    .boxed()
+}
+
+fn run_with(e: &Expr, schedule: Schedule) -> Result<mpl_lang::Outcome, mpl_lang::LangError> {
+    run_expr(
+        e,
+        Options {
+            schedule,
+            mode: LangMode::Managed,
+            fuel: 2_000_000,
+        },
+    )
+}
+
+/// Deep value comparison through the store (locations differ between
+/// runs; structure must not).
+fn render(out: &mpl_lang::Outcome) -> String {
+    out.render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pure programs are deterministic across schedules, never entangle,
+    /// and do the same amount of work in any order.
+    #[test]
+    fn pure_programs_are_schedule_independent(e in pure_expr(5)) {
+        let df = run_with(&e, Schedule::DepthFirst);
+        let rr = run_with(&e, Schedule::RoundRobin);
+        let rand = run_with(&e, Schedule::Random(17));
+        match (df, rr, rand) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                prop_assert_eq!(render(&a), render(&b));
+                prop_assert_eq!(render(&a), render(&c));
+                prop_assert_eq!(a.costs.steps, b.costs.steps);
+                prop_assert_eq!(a.costs.steps, c.costs.steps);
+                prop_assert_eq!(a.costs.pins, 0);
+                prop_assert_eq!(a.costs.entangled_reads, 0);
+                prop_assert!(a.costs.span <= a.costs.steps);
+            }
+            (Err(_), Err(_), Err(_)) => {
+                // Ill-typed programs fail everywhere, but *which* branch
+                // errors first is legitimately schedule-dependent.
+            }
+            other => prop_assert!(false, "divergent outcomes: {other:?}"),
+        }
+    }
+
+    /// Managed and DetectOnly agree completely on pure programs.
+    #[test]
+    fn detect_only_is_transparent_for_pure_programs(e in pure_expr(4)) {
+        let managed = run_with(&e, Schedule::DepthFirst);
+        let detect = run_expr(
+            &e,
+            Options {
+                schedule: Schedule::DepthFirst,
+                mode: LangMode::DetectOnly,
+                fuel: 2_000_000,
+            },
+        );
+        match (managed, detect) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(render(&a), render(&b)),
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a}"), format!("{b}")),
+            other => prop_assert!(false, "modes diverged on a pure program: {other:?}"),
+        }
+    }
+
+    /// Printing and re-parsing an expression is the identity (the
+    /// pretty-printer emits valid, fully parenthesized concrete syntax).
+    #[test]
+    fn pretty_print_parses_back(e in pure_expr(4)) {
+        let text = e.to_string();
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "failed to re-parse {text:?}: {back:?}");
+        prop_assert_eq!(back.unwrap().to_string(), text);
+    }
+}
+
+// Programs with a shared counter: results vary with schedule, but the
+// invariants (no leftover pins, footprint bound) always hold.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn effectful_programs_keep_invariants(seed in 0u64..500, incs in 1i64..4) {
+        let src = format!(
+            "let c = ref (0, 0) in let p = par((c := ({incs}, {incs}); 0), fst !c + snd !c) in snd p"
+        );
+        let out = mpl_lang::run_program(
+            &src,
+            Options {
+                schedule: Schedule::Random(seed),
+                mode: LangMode::Managed,
+                fuel: 1_000_000,
+            },
+        ).expect("runs");
+        // The two projections are separate barriered reads, so the read
+        // task may observe the write between them: 0, incs, or 2*incs.
+        let v = out.result;
+        prop_assert!(
+            v == Val::Int(0) || v == Val::Int(incs) || v == Val::Int(2 * incs),
+            "{v:?}"
+        );
+        prop_assert!(out.store.pinned_locs().is_empty());
+        prop_assert!(out.costs.max_footprint >= out.costs.max_pinned);
+        prop_assert_eq!(out.costs.pins, out.costs.unpins);
+    }
+}

@@ -1,0 +1,225 @@
+//! Recording the fork-join computation DAG.
+//!
+//! The runtime records each task's sequential *strands* (maximal runs of
+//! instructions between fork/join points) together with their measured
+//! work (operation counts). The resulting series-parallel DAG is the input
+//! to the virtual-time scheduler simulation ([`crate::simsched`]), which
+//! reproduces the paper's speedup experiments on hosts without many cores:
+//! `T_P` is computed by replaying the measured work under P-processor work
+//! stealing rather than by wall-clock timing.
+
+use parking_lot::Mutex;
+
+/// Identifies one strand (DAG node).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StrandId(pub usize);
+
+#[derive(Debug, Default, Clone)]
+struct Node {
+    work: u64,
+    succs: Vec<usize>,
+    preds: usize,
+}
+
+/// A concurrent builder for the computation DAG.
+///
+/// Thread-safe: the real-thread executor appends from multiple workers.
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    nodes: Mutex<Vec<Node>>,
+}
+
+impl DagBuilder {
+    /// Creates a builder with a single root strand.
+    pub fn new() -> (DagBuilder, StrandId) {
+        let b = DagBuilder {
+            nodes: Mutex::new(vec![Node::default()]),
+        };
+        (b, StrandId(0))
+    }
+
+    /// Adds `work` units to a strand.
+    pub fn add_work(&self, s: StrandId, work: u64) {
+        self.nodes.lock()[s.0].work += work;
+    }
+
+    /// Ends strand `cur` at a fork; returns the two child strands.
+    pub fn fork(&self, cur: StrandId) -> (StrandId, StrandId) {
+        let mut nodes = self.nodes.lock();
+        let l = nodes.len();
+        let r = l + 1;
+        nodes.push(Node {
+            preds: 1,
+            ..Node::default()
+        });
+        nodes.push(Node {
+            preds: 1,
+            ..Node::default()
+        });
+        nodes[cur.0].succs.push(l);
+        nodes[cur.0].succs.push(r);
+        (StrandId(l), StrandId(r))
+    }
+
+    /// Joins the final strands of the two children; returns the
+    /// continuation strand.
+    pub fn join(&self, left_end: StrandId, right_end: StrandId) -> StrandId {
+        let mut nodes = self.nodes.lock();
+        let j = nodes.len();
+        nodes.push(Node {
+            preds: 2,
+            ..Node::default()
+        });
+        nodes[left_end.0].succs.push(j);
+        nodes[right_end.0].succs.push(j);
+        StrandId(j)
+    }
+
+    /// Number of strands recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// True if no strand has been recorded (never: the root exists).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Freezes the builder into an immutable DAG.
+    pub fn finish(self) -> Dag {
+        let nodes = self.nodes.into_inner();
+        Dag { nodes }
+    }
+}
+
+/// An immutable fork-join computation DAG with per-strand work.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    nodes: Vec<Node>,
+}
+
+impl Dag {
+    /// Number of strands.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG has no strands.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total work `W`: the sum of all strand weights.
+    pub fn total_work(&self) -> u64 {
+        self.nodes.iter().map(|n| n.work).sum()
+    }
+
+    /// Span `S` (critical-path work): the heaviest root-to-sink path.
+    ///
+    /// Strand ids are topologically ordered by construction (edges only
+    /// point to later-created nodes), so a single forward pass suffices.
+    pub fn span(&self) -> u64 {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut dist = vec![0u64; self.nodes.len()];
+        let mut best = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let d = dist[i] + n.work;
+            best = best.max(d);
+            for &s in &n.succs {
+                dist[s] = dist[s].max(d);
+            }
+        }
+        best
+    }
+
+    /// Average parallelism `W / S`.
+    pub fn parallelism(&self) -> f64 {
+        let s = self.span();
+        if s == 0 {
+            return 1.0;
+        }
+        self.total_work() as f64 / s as f64
+    }
+
+    pub(crate) fn work_of(&self, i: usize) -> u64 {
+        self.nodes[i].work
+    }
+
+    pub(crate) fn succs_of(&self, i: usize) -> &[usize] {
+        &self.nodes[i].succs
+    }
+
+    pub(crate) fn preds_of(&self, i: usize) -> usize {
+        self.nodes[i].preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds: root(10) -> fork -> l(30), r(20) -> join(5).
+    fn diamond() -> Dag {
+        let (b, root) = DagBuilder::new();
+        b.add_work(root, 10);
+        let (l, r) = b.fork(root);
+        b.add_work(l, 30);
+        b.add_work(r, 20);
+        let j = b.join(l, r);
+        b.add_work(j, 5);
+        b.finish()
+    }
+
+    #[test]
+    fn work_and_span_of_diamond() {
+        let d = diamond();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.total_work(), 65);
+        assert_eq!(d.span(), 45, "10 + max(30,20) + 5");
+        assert!((d.parallelism() - 65.0 / 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_forks() {
+        let (b, root) = DagBuilder::new();
+        b.add_work(root, 1);
+        let (l, r) = b.fork(root);
+        // Left forks again.
+        let (ll, lr) = b.fork(l);
+        b.add_work(ll, 7);
+        b.add_work(lr, 3);
+        let lj = b.join(ll, lr);
+        b.add_work(lj, 1);
+        b.add_work(r, 4);
+        let j = b.join(lj, r);
+        b.add_work(j, 2);
+        let d = b.finish();
+        assert_eq!(d.total_work(), 18);
+        assert_eq!(d.span(), 1 + 7 + 1 + 2);
+    }
+
+    #[test]
+    fn empty_work_dag() {
+        let (b, _root) = DagBuilder::new();
+        let d = b.finish();
+        assert_eq!(d.total_work(), 0);
+        assert_eq!(d.span(), 0);
+        assert_eq!(d.parallelism(), 1.0);
+    }
+
+    #[test]
+    fn sequential_chain_has_span_equal_work() {
+        let (b, root) = DagBuilder::new();
+        b.add_work(root, 5);
+        let (l, r) = b.fork(root);
+        b.add_work(l, 5);
+        b.add_work(r, 0);
+        let j = b.join(l, r);
+        b.add_work(j, 5);
+        let d = b.finish();
+        assert_eq!(d.total_work(), 15);
+        assert_eq!(d.span(), 15);
+    }
+}

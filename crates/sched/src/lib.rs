@@ -1,0 +1,45 @@
+//! # mpl-sched — fork-join scheduling infrastructure
+//!
+//! Three pieces used by the entanglement-managed runtime:
+//!
+//! * [`dag`] — records the fork-join computation DAG with measured
+//!   per-strand work;
+//! * [`simsched`] — replays a recorded DAG under P-processor randomized
+//!   work stealing in virtual time (the basis of the speedup experiments
+//!   on hosts without many physical cores);
+//! * [`tokens`] — a parallelism token pool bounding the real-thread
+//!   executor's branch threads.
+//!
+//! # Example
+//!
+//! Record a two-way fork with uneven work and replay it on 1 and 2
+//! simulated processors:
+//!
+//! ```
+//! use mpl_sched::{simulate, DagBuilder, SimParams};
+//!
+//! let (builder, start) = DagBuilder::new();
+//! builder.add_work(start, 10);
+//! let (l, r) = builder.fork(start);
+//! builder.add_work(l, 100);
+//! builder.add_work(r, 100);
+//! let joined = builder.join(l, r);
+//! builder.add_work(joined, 10);
+//! let dag = builder.finish();
+//!
+//! let t1 = simulate(&dag, SimParams { procs: 1, steal_overhead: 0, seed: 1 });
+//! let t2 = simulate(&dag, SimParams { procs: 2, steal_overhead: 0, seed: 1 });
+//! assert_eq!(t1.time, 220);
+//! assert_eq!(t2.time, 120, "the two branches overlap");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dag;
+pub mod simsched;
+pub mod tokens;
+
+pub use dag::{Dag, DagBuilder, StrandId};
+pub use simsched::{simulate, sweep, SimParams, SimResult};
+pub use tokens::{Token, TokenPool};

@@ -1,0 +1,119 @@
+//! A parallelism token pool for the real-thread executor.
+//!
+//! The real-thread executor realizes `fork(f, g)` by spawning a scoped
+//! thread for one branch when a parallelism token is available and running
+//! sequentially otherwise. The pool bounds the number of live branch
+//! threads to the configured processor count, which is the structured
+//! (help-first) degenerate case of work stealing — adequate for validating
+//! the runtime's concurrent protocols; scheduling *performance* is modeled
+//! by [`crate::simsched`] instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counting pool of parallelism tokens.
+#[derive(Debug)]
+pub struct TokenPool {
+    available: AtomicUsize,
+    capacity: usize,
+}
+
+/// RAII guard for one acquired token.
+#[derive(Debug)]
+pub struct Token<'p> {
+    pool: &'p TokenPool,
+}
+
+impl TokenPool {
+    /// Creates a pool for `procs` processors (`procs - 1` fork tokens;
+    /// the calling thread is the first processor).
+    pub fn new(procs: usize) -> TokenPool {
+        assert!(procs > 0, "need at least one processor");
+        TokenPool {
+            available: AtomicUsize::new(procs - 1),
+            capacity: procs - 1,
+        }
+    }
+
+    /// Attempts to take a token without blocking.
+    pub fn try_acquire(&self) -> Option<Token<'_>> {
+        let mut cur = self.available.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Token { pool: self }),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Relaxed)
+    }
+
+    /// Total token capacity (`procs - 1`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Drop for Token<'_> {
+    fn drop(&mut self) {
+        self.pool.available.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_and_release() {
+        let pool = TokenPool::new(3);
+        assert_eq!(pool.capacity(), 2);
+        let a = pool.try_acquire().unwrap();
+        let b = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none());
+        drop(a);
+        let c = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none());
+        drop(b);
+        drop(c);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn single_proc_pool_never_grants() {
+        let pool = TokenPool::new(1);
+        assert!(pool.try_acquire().is_none());
+    }
+
+    #[test]
+    fn concurrent_acquire_is_bounded() {
+        let pool = TokenPool::new(4);
+        let max_seen = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        if let Some(_t) = pool.try_acquire() {
+                            let n = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            max_seen.fetch_max(n, Ordering::SeqCst);
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(max_seen.load(Ordering::SeqCst) <= 3);
+        assert_eq!(pool.available(), 3);
+    }
+}

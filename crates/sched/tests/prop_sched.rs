@@ -1,0 +1,123 @@
+//! Property tests for the scheduler: random series-parallel DAGs must
+//! respect the classic work/span laws under the virtual-time simulation.
+
+use proptest::prelude::*;
+
+use mpl_sched::{simulate, Dag, DagBuilder, SimParams, StrandId};
+
+/// A random series-parallel computation: a recursive shape with work
+/// sprinkled on every strand.
+#[derive(Clone, Debug)]
+enum Shape {
+    Leaf(u64),
+    Fork(Box<Shape>, Box<Shape>, u64, u64),
+}
+
+fn shape(depth: u32) -> BoxedStrategy<Shape> {
+    let leaf = (0u64..200).prop_map(Shape::Leaf);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        3 => leaf,
+        2 => (shape(depth - 1), shape(depth - 1), 0u64..50, 0u64..50)
+            .prop_map(|(l, r, pre, post)| Shape::Fork(Box::new(l), Box::new(r), pre, post)),
+    ]
+    .boxed()
+}
+
+fn realize(b: &DagBuilder, cur: StrandId, s: &Shape) -> StrandId {
+    match s {
+        Shape::Leaf(w) => {
+            b.add_work(cur, *w);
+            cur
+        }
+        Shape::Fork(l, r, pre, post) => {
+            b.add_work(cur, *pre);
+            let (ls, rs) = b.fork(cur);
+            let le = realize(b, ls, l);
+            let re = realize(b, rs, r);
+            let j = b.join(le, re);
+            b.add_work(j, *post);
+            j
+        }
+    }
+}
+
+fn build(s: &Shape) -> Dag {
+    let (b, root) = DagBuilder::new();
+    realize(&b, root, s);
+    b.finish()
+}
+
+/// Oracle work/span straight off the shape.
+fn oracle(s: &Shape) -> (u64, u64) {
+    match s {
+        Shape::Leaf(w) => (*w, *w),
+        Shape::Fork(l, r, pre, post) => {
+            let (lw, ls) = oracle(l);
+            let (rw, rs) = oracle(r);
+            (pre + lw + rw + post, pre + ls.max(rs) + post)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Work and span computed by the DAG match the structural oracle.
+    #[test]
+    fn work_and_span_match_oracle(s in shape(5)) {
+        let dag = build(&s);
+        let (w, sp) = oracle(&s);
+        prop_assert_eq!(dag.total_work(), w);
+        prop_assert_eq!(dag.span(), sp);
+    }
+
+    /// The simulation respects the work and span laws:
+    /// `T_1 = W`, `T_P >= W/P`, `T_P >= S`, and the greedy upper bound
+    /// with steal overhead `T_P <= W/P + c·(S + overhead·depth)` holds
+    /// with generous slack.
+    #[test]
+    fn simulation_respects_laws(s in shape(5), procs in 1usize..16, seed in 0u64..1000) {
+        let dag = build(&s);
+        let w = dag.total_work();
+        let span = dag.span();
+        let params = SimParams { procs, steal_overhead: 4, seed };
+        let r = simulate(&dag, params);
+        prop_assert_eq!(r.executed, dag.len());
+        if procs == 1 {
+            prop_assert_eq!(r.time, w, "one processor executes exactly the work");
+            prop_assert_eq!(r.steals, 0);
+        }
+        prop_assert!(r.time >= w.div_ceil(procs as u64), "work law");
+        prop_assert!(r.time >= span, "span law");
+        // Steal overhead can add at most `overhead` per executed strand.
+        let upper = w / procs as u64 + span + 4 * dag.len() as u64 + 1;
+        prop_assert!(r.time <= upper, "greedy bound: {} > {}", r.time, upper);
+    }
+
+    /// Determinism: identical parameters give identical schedules.
+    #[test]
+    fn simulation_is_deterministic(s in shape(4), procs in 1usize..8, seed in 0u64..100) {
+        let dag = build(&s);
+        let params = SimParams { procs, steal_overhead: 8, seed };
+        prop_assert_eq!(simulate(&dag, params), simulate(&dag, params));
+    }
+
+    /// More processors never increase the no-overhead completion time.
+    #[test]
+    fn scaling_is_monotone_without_overhead(s in shape(4), seed in 0u64..100) {
+        let dag = build(&s);
+        let mut last = u64::MAX;
+        for procs in [1usize, 2, 4, 8, 16] {
+            let r = simulate(&dag, SimParams { procs, steal_overhead: 0, seed });
+            prop_assert!(
+                r.time <= last,
+                "P={} took {} > previous {}",
+                procs, r.time, last
+            );
+            last = r.time;
+        }
+    }
+}

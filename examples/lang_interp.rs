@@ -1,0 +1,52 @@
+//! The formal core calculus, executable: parse a λ-par-ref program, run it
+//! under different schedules, and print the paper's cost metrics —
+//! including how entanglement varies with the schedule.
+//!
+//! Run with: `cargo run --example lang_interp`
+//! Or pass a program: `cargo run --example lang_interp -- 'par(1+1, 2*2)'`
+
+use mpl_lang::{examples, run_program, LangMode, Options, Schedule};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let programs: Vec<(String, String)> = match arg {
+        Some(src) => vec![("<cmdline>".to_string(), src)],
+        None => examples::ALL
+            .iter()
+            .map(|(n, s)| (n.to_string(), s.to_string()))
+            .collect(),
+    };
+
+    for (name, src) in programs {
+        println!("== {name} ==");
+        for (sname, schedule) in [
+            ("depth-first", Schedule::DepthFirst),
+            ("round-robin", Schedule::RoundRobin),
+            ("random(3)", Schedule::Random(3)),
+        ] {
+            match run_program(
+                &src,
+                Options {
+                    schedule,
+                    mode: LangMode::Managed,
+                    fuel: 10_000_000,
+                },
+            ) {
+                Ok(out) => {
+                    let c = out.costs;
+                    println!(
+                        "  {sname:<12} => {:<12} work={} span={} ent.reads={} pins={} footprint={}",
+                        out.render(),
+                        c.steps,
+                        c.span,
+                        c.entangled_reads,
+                        c.pins,
+                        c.max_footprint
+                    );
+                }
+                Err(e) => println!("  {sname:<12} => error: {e}"),
+            }
+        }
+        println!();
+    }
+}

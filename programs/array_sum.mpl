@@ -1,0 +1,22 @@
+# Fill an array in parallel (down-path writes are local effects), then
+# reduce it in parallel.
+let a = array(256, 0) in
+let fill = fix fill range =>
+  let lo = fst range in
+  let hi = snd range in
+  if hi - lo = 1 then (update(a, lo, lo * lo); 0)
+  else
+    let mid = (lo + hi) div 2 in
+    let p = par(fill (lo, mid), fill (mid, hi)) in 0
+in
+let sum = fix sum range =>
+  let lo = fst range in
+  let hi = snd range in
+  if hi - lo = 1 then sub(a, lo)
+  else
+    let mid = (lo + hi) div 2 in
+    let p = par(sum (lo, mid), sum (mid, hi)) in
+    fst p + snd p
+in
+let q = fill (0, length a) in
+sum (0, length a)

@@ -1,0 +1,9 @@
+# Entanglement: the left task publishes a freshly allocated pair through a
+# shared cell; the right task consumes it concurrently. Prior MPL
+# (--mode detect) aborts here; managed mode pins and releases at the join.
+let cell = ref (0, 0) in
+let p = par(
+  (cell := (6, 7); 0),
+  (fst !cell) * (snd !cell)
+) in
+snd p

@@ -1,0 +1,7 @@
+# Parallel Fibonacci: purely functional fork-join.
+let fib = fix fib n =>
+  if n < 2 then n
+  else
+    let p = par(fib (n - 1), fib (n - 2)) in
+    fst p + snd p
+in fib 20

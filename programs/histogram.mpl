@@ -1,0 +1,35 @@
+# Histogram whose counter cells are *allocated by a concurrent sibling*:
+# the left branch replaces every bucket with a freshly allocated ref
+# while the right branch (concurrent under the calculus semantics) bumps
+# whatever cells it finds. Under the deterministic depth-first schedule
+# the refresh lands first, so every bump hits a sibling-allocated cell —
+# entangled reads that the managed runtime pins and the prior-MPL
+# semantics (--mode detect) rejects.
+let buckets = array(8, ref 0) in
+let init = fix init i =>
+  if i = 8 then 0
+  else (update(buckets, i, ref 0); init (i + 1))
+in
+let seed = init 0 in
+let refresh = fix refresh i =>
+  if i = 8 then 0
+  else (update(buckets, i, ref 0); refresh (i + 1))
+in
+let bump = fn k =>
+  let cell = sub(buckets, k) in
+  cell := !cell + 1
+in
+let count = fix count range =>
+  let lo = fst range in
+  let hi = snd range in
+  if hi - lo = 1 then (bump (lo mod 8); 0)
+  else
+    let mid = (lo + hi) div 2 in
+    let p = par(count (lo, mid), count (mid, hi)) in 0
+in
+let go = par(refresh 0, count (0, 64)) in
+let total = fix total i =>
+  if i = 8 then 0
+  else !(sub(buckets, i)) + total (i + 1)
+in
+total 0

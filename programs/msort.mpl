@@ -1,0 +1,73 @@
+# Parallel merge sort over arrays, entirely in the calculus.
+# Builds a pseudo-random array, sorts [lo, hi) ranges by parallel
+# divide-and-conquer with an auxiliary buffer, verifies sortedness, and
+# returns (sorted_ok, checksum).
+let n = 256 in
+let a = array(n, 0) in
+let buf = array(n, 0) in
+# xorshift-ish seeded fill
+let fill = fix fill i =>
+  if i = n then 0
+  else (update(a, i, (i * 1103515245 + 12345) mod 1000); fill (i + 1))
+in
+let copyrange = fix copyrange r =>
+  let lo = fst r in
+  let hi = snd r in
+  if lo = hi then 0
+  else (update(a, lo, sub(buf, lo)); copyrange (lo + 1, hi))
+in
+let merge = fix merge st =>
+  # st = ((i, j), (k, (mid, hi)))
+  let i = fst (fst st) in
+  let j = snd (fst st) in
+  let k = fst (snd st) in
+  let mid = fst (snd (snd st)) in
+  let hi = snd (snd (snd st)) in
+  if k = hi then 0
+  else if i < mid andalso (j = hi orelse sub(a, i) <= sub(a, j)) then
+    (update(buf, k, sub(a, i)); merge ((i + 1, j), (k + 1, (mid, hi))))
+  else
+    (update(buf, k, sub(a, j)); merge ((i, j + 1), (k + 1, (mid, hi))))
+in
+let isort = fix isort r =>
+  # insertion sort for small ranges: r = (lo, hi)
+  let lo = fst r in
+  let hi = snd r in
+  let ins = fix ins i =>
+    if i + 1 > hi - 1 then 0
+    else
+      let shift = fix shift j =>
+        if j = lo then 0
+        else if sub(a, j - 1) > sub(a, j) then
+          let t = sub(a, j - 1) in
+          (update(a, j - 1, sub(a, j)); update(a, j, t); shift (j - 1))
+        else 0
+      in
+      (shift (i + 1); ins (i + 1))
+  in
+  if hi - lo < 2 then 0 else ins lo
+in
+let msort = fix msort r =>
+  let lo = fst r in
+  let hi = snd r in
+  if hi - lo < 17 then isort (lo, hi)
+  else
+    let mid = (lo + hi) div 2 in
+    let p = par(msort (lo, mid), msort (mid, hi)) in
+    (merge ((lo, mid), (lo, (mid, hi))); copyrange (lo, hi))
+in
+let check = fix check i =>
+  if i + 1 = n then 1
+  else if sub(a, i) <= sub(a, i + 1) then check (i + 1)
+  else 0
+in
+let sum = fix sum st =>
+  # accumulator-passing (tail-recursive): st = (i, acc)
+  let i = fst st in
+  let acc = snd st in
+  if i = n then acc
+  else sum (i + 1, (acc + sub(a, i) * ((i mod 7) + 1)) mod 1000000007)
+in
+let q = fill 0 in
+let s = msort (0, n) in
+(check 0, sum (0, 0))

@@ -1,0 +1,58 @@
+# N-queens solution count; the board is an array (board[r] = column of the
+# queen in row r). Parallel branches copy the board (persistent-style),
+# deeper rows search sequentially in place.
+let n = 8 in
+let abs = fn x => if x < 0 then 0 - x else x in
+let mkboard = fn u => array(n, ~1) in
+let copyboard = fn b =>
+  let nb = array(n, ~1) in
+  let go = fix go i =>
+    if i = n then nb
+    else (update(nb, i, sub(b, i)); go (i + 1))
+  in go 0
+in
+let safe = fn b => fn st =>
+  # st = (row, col): check rows 0..row against placement (row, col)
+  let row = fst st in
+  let col = snd st in
+  let go = fix go r =>
+    if r = row then true
+    else
+      let c = sub(b, r) in
+      if c = col then false
+      else if abs (c - col) = abs (r - row) then false
+      else go (r + 1)
+  in go 0
+in
+let solve = fix solve st =>
+  # st = (row, board)
+  let row = fst st in
+  let b = snd st in
+  if row = n then 1
+  else if row < 2 then
+    # parallel over candidate columns, each branch on a fresh board copy
+    let half = fix half r =>
+      let lo = fst r in
+      let hi = snd r in
+      if hi - lo = 1 then
+        (if safe b (row, lo)
+         then (let nb = copyboard b in (update(nb, row, lo); solve (row + 1, nb)))
+         else 0)
+      else
+        let mid = (lo + hi) div 2 in
+        let p = par(half (lo, mid), half (mid, hi)) in
+        fst p + snd p
+    in half (0, n)
+  else
+    let try = fix try col =>
+      if col = n then 0
+      else
+        (if safe b (row, col)
+         then (update(b, row, col);
+               let r = solve (row + 1, b) in
+               (update(b, row, ~1); r))
+         else 0)
+        + try (col + 1)
+    in try 0
+in
+solve (0, mkboard ())

@@ -1,0 +1,11 @@
+# A futures pipeline (semantics-level extension): stages communicate by
+# touch; each stage starts as soon as its input is ready. Run it with
+#   mplc programs/pipeline.mpl --interp --stats
+# (the compiled backend is fork-join only and rejects future/touch).
+let source = future (
+  let gen = fix gen i => if i = 10 then 0 else i * i + gen (i + 1) in
+  gen 0
+) in
+let square_sum = future (touch source * 2) in
+let final = future (touch square_sum + 15) in
+touch final

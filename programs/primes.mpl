@@ -1,0 +1,24 @@
+# Count primes below n by parallel divide-and-conquer over candidates.
+# Each leaf trial-divides; the fork tree reduces the counts. Purely
+# functional (disentangled): runs identically under --mode detect.
+let n = 1000 in
+let isprime = fix isprime p =>
+  # p = (candidate, divisor)
+  let c = fst p in
+  let d = snd p in
+  if c < 2 then 0
+  else if d * d > c then 1
+  else if c mod d = 0 then 0
+  else isprime (c, d + 1)
+in
+let count = fix count range =>
+  let lo = fst range in
+  let hi = snd range in
+  if hi - lo = 0 then 0
+  else if hi - lo = 1 then isprime (lo, 2)
+  else
+    let mid = (lo + hi) div 2 in
+    let p = par(count (lo, mid), count (mid, hi)) in
+    fst p + snd p
+in
+count (0, n)

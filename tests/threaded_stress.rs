@@ -1,0 +1,147 @@
+//! Concurrency stress: repeated real-thread runs of the entangled suite,
+//! hammering the pin/seal/join, SATB, and graveyard protocols. These
+//! tests exist to make races like "pin registered concurrently with a
+//! join lands on a merged-away index" (found and fixed during
+//! development) stay fixed.
+
+use mpl_runtime::{GcPolicy, Runtime, RuntimeConfig, StoreConfig, Value};
+
+fn threaded_pressure(threads: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        policy: GcPolicy {
+            lgc_trigger_bytes: 16 * 1024,
+            cgc_trigger_pinned_bytes: 32 * 1024,
+            immediate_chunk_free: false,
+        },
+        store: StoreConfig { chunk_slots: 32 },
+        ..RuntimeConfig::managed()
+    }
+    .with_threads(threads)
+}
+
+#[test]
+fn entangled_suite_under_threads_and_gc_pressure() {
+    for round in 0..5 {
+        for name in ["dedup", "conc_stack", "accounts", "msqueue", "bfs", "memo"] {
+            let bench = mpl_bench_suite::by_name(name).unwrap();
+            let n = bench.small_n() / 2 + round; // vary sizes slightly
+            let rt = Runtime::new(threaded_pressure(4));
+            let got = rt.run(|m| Value::Int(bench.run_mpl(m, n)));
+            assert_eq!(
+                got,
+                Value::Int(bench.run_native(n)),
+                "{name} round {round}"
+            );
+            let s = rt.stats();
+            assert_eq!(s.pinned_bytes, 0, "{name} round {round}: leaked pins: {s:?}");
+        }
+    }
+}
+
+#[test]
+fn entangled_suite_under_threads_with_sliced_cgc() {
+    // Incremental cycles interleave with running mutators on real
+    // threads: the SATB protocol (plus the LGC force-finish rule) must
+    // keep every checksum and the pin accounting intact.
+    for round in 0..3 {
+        for name in ["dedup", "msqueue", "unionfind", "accounts"] {
+            let bench = mpl_bench_suite::by_name(name).unwrap();
+            let n = bench.small_n() / 2 + round;
+            let rt = Runtime::new(threaded_pressure(4).with_cgc_slice(32));
+            let got = rt.run(|m| Value::Int(bench.run_mpl(m, n)));
+            assert_eq!(
+                got,
+                Value::Int(bench.run_native(n)),
+                "{name} round {round}"
+            );
+            let s = rt.stats();
+            assert_eq!(s.pinned_bytes, 0, "{name} round {round}: leaked pins: {s:?}");
+            rt.assert_heap_sound();
+        }
+    }
+}
+
+#[test]
+fn racy_publish_read_loops_never_leak_pins() {
+    // A tight cross-task publish/consume loop: the reader's pins race the
+    // writer's collections and the final joins.
+    for seed in 0..8 {
+        let rt = Runtime::new(threaded_pressure(3));
+        rt.run(|m| {
+            let cell = m.alloc_ref(Value::Unit);
+            let c = m.root(cell);
+            m.fork(
+                |m| {
+                    for i in 0..400 {
+                        let boxed = m.alloc_tuple(&[Value::Int(i + seed)]);
+                        m.write_ref(m.get(&c), boxed);
+                    }
+                    Value::Unit
+                },
+                |m| {
+                    let mut acc = 0i64;
+                    for _ in 0..400 {
+                        if let v @ Value::Obj(_) = m.read_ref(m.get(&c)) {
+                            acc += m.tuple_get(v, 0).expect_int();
+                        }
+                    }
+                    Value::Int(acc)
+                },
+            );
+            Value::Unit
+        });
+        assert_eq!(rt.stats().pinned_bytes, 0, "seed {seed}");
+        rt.force_cgc();
+        assert_eq!(rt.stats().pinned_bytes, 0, "seed {seed} after CGC");
+    }
+}
+
+#[test]
+fn deep_fork_trees_with_cross_subtree_entanglement() {
+    // Cousin-level entanglement under threads: pins must survive inner
+    // joins and resolve at the LCA join, every time.
+    fn go(m: &mut mpl_runtime::Mutator<'_>, cell: &mpl_runtime::Handle, depth: usize) -> i64 {
+        if depth == 0 {
+            // Publish and read.
+            let boxed = m.alloc_tuple(&[Value::Int(depth as i64 + 1)]);
+            m.write_ref(m.get(cell), boxed);
+            match m.read_ref(m.get(cell)) {
+                v @ Value::Obj(_) => m.tuple_get(v, 0).expect_int(),
+                _ => 0,
+            }
+        } else {
+            let (a, b) = m.fork(
+                |m| Value::Int(go(m, cell, depth - 1)),
+                |m| Value::Int(go(m, cell, depth - 1)),
+            );
+            a.expect_int() + b.expect_int()
+        }
+    }
+    for _ in 0..10 {
+        let rt = Runtime::new(threaded_pressure(4));
+        rt.run(|m| {
+            let cell = m.alloc_ref(Value::Unit);
+            let c = m.root(cell);
+            let total = go(m, &c, 5);
+            assert!(total >= 1, "every leaf read something or its own write");
+            Value::Unit
+        });
+        assert_eq!(rt.stats().pinned_bytes, 0);
+    }
+}
+
+#[test]
+fn compiled_calculus_under_threads() {
+    // The compiled pipeline on the real-thread executor, including the
+    // entangled examples.
+    for _ in 0..5 {
+        for (name, src) in mpl_lang::examples::ALL {
+            let rt = Runtime::new(RuntimeConfig::managed().with_threads(3));
+            let out = mpl_compile::run_source(&rt, src, 50_000_000)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Effectful programs may be racy in value; invariants are not.
+            let _ = out;
+            assert_eq!(rt.stats().pinned_bytes, 0, "{name}: pins resolve");
+        }
+    }
+}

@@ -16,8 +16,14 @@ const MODULUS: i64 = 1 << 40;
 pub struct Dmm;
 
 fn inputs(n: usize) -> (Vec<i64>, Vec<i64>) {
-    let a: Vec<i64> = util::random_ints(n * n, 51).iter().map(|x| x % 997).collect();
-    let b: Vec<i64> = util::random_ints(n * n, 52).iter().map(|x| x % 997).collect();
+    let a: Vec<i64> = util::random_ints(n * n, 51)
+        .iter()
+        .map(|x| x % 997)
+        .collect();
+    let b: Vec<i64> = util::random_ints(n * n, 52)
+        .iter()
+        .map(|x| x % 997)
+        .collect();
     (a, b)
 }
 

@@ -15,7 +15,10 @@ const BUCKETS: usize = 256;
 pub struct Histogram;
 
 fn values(n: usize) -> Vec<u8> {
-    util::random_ints(n, 41).into_iter().map(|x| x as u8).collect()
+    util::random_ints(n, 41)
+        .into_iter()
+        .map(|x| x as u8)
+        .collect()
 }
 
 fn checksum_hist(counts: impl Iterator<Item = i64>) -> i64 {

@@ -6,7 +6,7 @@
 //! is a *local* down-path effect, not entanglement. Part of the
 //! comparison set.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime, SeqValue};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime, SeqValue};
 use mpl_runtime::{Mutator, Value};
 
 use crate::util;
@@ -67,7 +67,13 @@ fn sort_mpl(m: &mut Mutator<'_>, arr: Value, lo: usize, hi: usize) -> Value {
 }
 
 /// Binary search: first index in `arr[lo..hi)` whose value is `>= key`.
-fn lower_bound_mpl(m: &mut Mutator<'_>, arr: Value, mut lo: usize, mut hi: usize, key: i64) -> usize {
+fn lower_bound_mpl(
+    m: &mut Mutator<'_>,
+    arr: Value,
+    mut lo: usize,
+    mut hi: usize,
+    key: i64,
+) -> usize {
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         if (m.raw_get(arr, mid) as i64) < key {

@@ -56,14 +56,7 @@ fn accel_checksum(px: &[i64], py: &[i64], lo: usize, hi: usize) -> i64 {
 
 // ---- mpl -----------------------------------------------------------------
 
-fn go_mpl(
-    m: &mut Mutator<'_>,
-    hx: &Handle,
-    hy: &Handle,
-    n: usize,
-    lo: usize,
-    hi: usize,
-) -> i64 {
+fn go_mpl(m: &mut Mutator<'_>, hx: &Handle, hy: &Handle, n: usize, lo: usize, hi: usize) -> i64 {
     if hi - lo <= GRAIN {
         m.work(((hi - lo) * n) as u64);
         let px = m.get(hx);

@@ -2,7 +2,7 @@
 //! parallelism with list-allocated board paths (GC churn without any
 //! shared mutation). Part of the cross-runtime comparison set.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime, SeqValue};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime, SeqValue};
 use mpl_runtime::{Mutator, Value};
 
 use crate::Benchmark;
@@ -118,7 +118,11 @@ fn solve_seq(rt: &mut SeqRuntime, st: State, board: SeqValue) -> i64 {
     let keep = rt.root(board);
     for bit in st.candidates() {
         let b = rt.get(keep);
-        let b = if matches!(board, SeqValue::Obj(_)) { b } else { board };
+        let b = if matches!(board, SeqValue::Obj(_)) {
+            b
+        } else {
+            board
+        };
         let board2 = rt.alloc(&[SeqValue::Int(bit as i64), b]);
         total += solve_seq(rt, st.place(bit), board2);
     }

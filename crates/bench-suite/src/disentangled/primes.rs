@@ -2,7 +2,7 @@
 //! up to `√n` are computed sequentially, then segments are sieved in
 //! parallel, each into a task-local bitset. Part of the comparison set.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime};
 use mpl_runtime::{Mutator, Value};
 
 use crate::Benchmark;
@@ -45,9 +45,7 @@ fn sieve_segment(base: &[usize], lo: usize, hi: usize) -> i64 {
             q += p;
         }
     }
-    (lo..hi)
-        .filter(|&i| i >= 2 && !composite[i - lo])
-        .count() as i64
+    (lo..hi).filter(|&i| i >= 2 && !composite[i - lo]).count() as i64
 }
 
 // ---- mpl -----------------------------------------------------------------

@@ -65,9 +65,7 @@ fn native_quickhull(points: &[(i64, i64)]) -> i64 {
         }
         match best {
             None => 1, // segment a-b contributes vertex a
-            Some(c) => {
-                rec(points, &left, a, c) + rec(points, &left, c, b)
-            }
+            Some(c) => rec(points, &left, a, c) + rec(points, &left, c, b),
         }
     }
     if points.len() < 2 {
@@ -143,7 +141,13 @@ fn scan_mpl(
 
 /// Parallel fill of a subset array from collected indices (writes into an
 /// ancestor-allocated array: local down-path effects).
-fn fill_sub_mpl(m: &mut Mutator<'_>, hs: &mpl_runtime::Handle, ids: &[usize], lo: usize, hi: usize) {
+fn fill_sub_mpl(
+    m: &mut Mutator<'_>,
+    hs: &mpl_runtime::Handle,
+    ids: &[usize],
+    lo: usize,
+    hi: usize,
+) {
     if hi - lo <= 4 * GRAIN {
         m.work((hi - lo) as u64);
         let sub = m.get(hs);
@@ -165,14 +169,7 @@ fn fill_sub_mpl(m: &mut Mutator<'_>, hs: &mpl_runtime::Handle, ids: &[usize], lo
     );
 }
 
-fn hull_mpl(
-    m: &mut Mutator<'_>,
-    xs: Value,
-    ys: Value,
-    idx: Value,
-    a: usize,
-    b: usize,
-) -> i64 {
+fn hull_mpl(m: &mut Mutator<'_>, xs: Value, ys: Value, idx: Value, a: usize, b: usize) -> i64 {
     let len = m.len(idx);
     let pa = point_mpl(m, xs, ys, a);
     let pb = point_mpl(m, xs, ys, b);

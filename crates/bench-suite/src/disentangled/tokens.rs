@@ -2,7 +2,7 @@
 //! parallelized over byte ranges with boundary-aware counting. The text
 //! lives in a heap string (raw array). Part of the comparison set.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime, SeqValue};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime, SeqValue};
 use mpl_runtime::{Mutator, Value};
 
 use crate::util;
@@ -34,7 +34,11 @@ fn go_mpl(m: &mut Mutator<'_>, s: Value, lo: usize, hi: usize) -> i64 {
         let mut count = 0;
         for i in lo..hi {
             let c = byte_at_mpl(m, s, i);
-            let prev = if i == 0 { b' ' } else { byte_at_mpl(m, s, i - 1) };
+            let prev = if i == 0 {
+                b' '
+            } else {
+                byte_at_mpl(m, s, i - 1)
+            };
             if c != b' ' && prev == b' ' {
                 count += 1;
             }
@@ -69,7 +73,11 @@ fn go_seq(rt: &mut SeqRuntime, s: SeqValue, lo: usize, hi: usize) -> i64 {
         let mut count = 0;
         for i in lo..hi {
             let c = byte_at_seq(rt, s, i);
-            let prev = if i == 0 { b' ' } else { byte_at_seq(rt, s, i - 1) };
+            let prev = if i == 0 {
+                b' '
+            } else {
+                byte_at_seq(rt, s, i - 1)
+            };
             if c != b' ' && prev == b' ' {
                 count += 1;
             }

@@ -4,7 +4,7 @@
 //! contended vertex (the paper's motivating graph-algorithm pattern).
 //! Part of the comparison set.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime, SeqValue};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime, SeqValue};
 use mpl_runtime::{Handle, Mutator, Value};
 
 use crate::util::{self, CsrGraph};

@@ -3,7 +3,7 @@
 //! other's freshly allocated nodes* while walking chains: the archetypal
 //! entangled workload. Part of the comparison set.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime, SeqValue};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime, SeqValue};
 use mpl_runtime::{Mutator, Value};
 
 use crate::util;

@@ -7,7 +7,7 @@
 //! the defining entangled access pattern. The component count is
 //! schedule-independent even though the union trees are not.
 
-use mpl_baselines::{GlobalMutator, GValue, SeqRuntime, SeqValue};
+use mpl_baselines::{GValue, GlobalMutator, SeqRuntime, SeqValue};
 use mpl_runtime::{Handle, Mutator, Value};
 
 use crate::util;

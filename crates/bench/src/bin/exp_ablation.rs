@@ -132,10 +132,16 @@ fn main() {
         cfg.policy.cgc_trigger_pinned_bytes = 64 * 1024;
         let run = run_mpl(uf.as_ref(), un, cfg);
         t5.row(vec![
-            if slice == 0 { "monolithic".into() } else { slice.to_string() },
+            if slice == 0 {
+                "monolithic".into()
+            } else {
+                slice.to_string()
+            },
             fmt_dur(run.wall),
             run.stats.cgc_runs.to_string(),
-            fmt_dur(std::time::Duration::from_nanos(run.stats.cgc_pause_ns_total)),
+            fmt_dur(std::time::Duration::from_nanos(
+                run.stats.cgc_pause_ns_total,
+            )),
             fmt_dur(std::time::Duration::from_nanos(run.stats.cgc_pause_ns_max)),
         ]);
         rows.push(Row {

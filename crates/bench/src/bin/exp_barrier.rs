@@ -93,7 +93,10 @@ fn main() {
                 let start = Instant::now();
                 std::hint::black_box(m.read_ref(cell));
                 let first = start.elapsed().as_nanos() as f64;
-                table.row(vec!["entangled read, first (pin)".into(), format!("{first:.1}")]);
+                table.row(vec![
+                    "entangled read, first (pin)".into(),
+                    format!("{first:.1}"),
+                ]);
                 rows.push(Row {
                     op: "entangled read, first (pin)".into(),
                     ns_per_op: first,
@@ -117,11 +120,16 @@ fn main() {
             |m| {
                 let boxed = m.alloc_tuple(&[Value::Int(1)]);
                 let bh = m.root(boxed);
-                bench_op("write_ref down-pointer (remset)", &mut rows, &mut table, || {
-                    let cell = m.get(&c);
-                    let boxed = m.get(&bh);
-                    m.write_ref(cell, boxed);
-                });
+                bench_op(
+                    "write_ref down-pointer (remset)",
+                    &mut rows,
+                    &mut table,
+                    || {
+                        let cell = m.get(&c);
+                        let boxed = m.get(&bh);
+                        m.write_ref(cell, boxed);
+                    },
+                );
                 Value::Unit
             },
             |_| Value::Unit,

@@ -29,7 +29,14 @@ struct Row {
 fn main() {
     println!("E8: formal cost metrics (λ-par-ref semantics) and bound checks\n");
     let mut table = Table::new(&[
-        "program", "schedule", "work", "span", "ent.reads", "pins", "max pinned", "footprint",
+        "program",
+        "schedule",
+        "work",
+        "span",
+        "ent.reads",
+        "pins",
+        "max pinned",
+        "footprint",
     ]);
     let mut rows = Vec::new();
     let schedules: &[(&str, Schedule)] = &[

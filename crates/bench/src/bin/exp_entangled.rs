@@ -85,9 +85,7 @@ fn main() {
             bench.name().into(),
             if bench.entangled() { "ent" } else { "dis" }.into(),
             fmt_dur(managed.wall),
-            t_detect
-                .map(fmt_dur)
-                .unwrap_or_else(|| "aborts".into()),
+            t_detect.map(fmt_dur).unwrap_or_else(|| "aborts".into()),
             t_nb.map(fmt_dur).unwrap_or_else(|| "unsound".into()),
             ovh.map(|o| format!("{:+.1}%", o * 100.0))
                 .unwrap_or_else(|| "-".into()),
@@ -120,10 +118,16 @@ fn main() {
         });
         // Invariants the paper proves, checked on every run:
         if !bench.entangled() {
-            assert_eq!(managed.stats.pins, 0, "{}: disentangled never pins", bench.name());
+            assert_eq!(
+                managed.stats.pins,
+                0,
+                "{}: disentangled never pins",
+                bench.name()
+            );
         }
         assert_eq!(
-            managed.stats.pinned_bytes, 0,
+            managed.stats.pinned_bytes,
+            0,
             "{}: all pins resolve by program end",
             bench.name()
         );
@@ -163,10 +167,16 @@ fn main() {
             pause.row(vec![
                 name.into(),
                 threads.to_string(),
-                if slice == 0 { "-".into() } else { slice.to_string() },
+                if slice == 0 {
+                    "-".into()
+                } else {
+                    slice.to_string()
+                },
                 out.stats.cgc_runs.to_string(),
                 fmt_bytes(out.stats.cgc_swept_bytes as usize),
-                fmt_dur(std::time::Duration::from_nanos(out.stats.cgc_pause_ns_total)),
+                fmt_dur(std::time::Duration::from_nanos(
+                    out.stats.cgc_pause_ns_total,
+                )),
                 fmt_dur(std::time::Duration::from_nanos(out.stats.cgc_pause_ns_max)),
                 fmt_bytes(out.stats.max_pinned_bytes),
             ]);

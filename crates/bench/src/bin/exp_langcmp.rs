@@ -9,7 +9,15 @@ use mpl_bench::{fmt_dur, run_global, run_mpl, run_native, scale_bench, write_jso
 use mpl_runtime::RuntimeConfig;
 use serde::Serialize;
 
-const SET: &[&str] = &["msort", "primes", "tokens", "nqueens", "bfs", "dedup", "unionfind"];
+const SET: &[&str] = &[
+    "msort",
+    "primes",
+    "tokens",
+    "nqueens",
+    "bfs",
+    "dedup",
+    "unionfind",
+];
 
 #[derive(Serialize)]
 struct Row {
@@ -41,7 +49,8 @@ fn main() {
         let n = scale_bench(bench.as_ref());
         let (cn, tn) = run_native(bench.as_ref(), n);
         let mpl = run_mpl(bench.as_ref(), n, RuntimeConfig::managed());
-        let (cg, tg, gs) = run_global(bench.as_ref(), n, 1).expect("comparison set supports global");
+        let (cg, tg, gs) =
+            run_global(bench.as_ref(), n, 1).expect("comparison set supports global");
         assert_eq!(mpl.checksum, cn, "{name}: mpl checksum");
         assert_eq!(cg, cn, "{name}: global checksum");
         table.row(vec![
@@ -49,8 +58,14 @@ fn main() {
             fmt_dur(tn),
             fmt_dur(mpl.wall),
             fmt_dur(tg),
-            format!("{:.1}x", mpl.wall.as_secs_f64() / tn.as_secs_f64().max(1e-9)),
-            format!("{:.2}x", mpl.wall.as_secs_f64() / tg.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                mpl.wall.as_secs_f64() / tn.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.2}x",
+                mpl.wall.as_secs_f64() / tg.as_secs_f64().max(1e-9)
+            ),
             fmt_dur(gs.gc_pause),
             gs.alloc_locks.to_string(),
         ]);

@@ -25,12 +25,23 @@ struct Row {
     sim_t1: u64,
     sim_t64: u64,
     sim_speedup64: f64,
+    sched_pushes: u64,
+    sched_steals: u64,
+    sched_sequentialized: u64,
+    sched_parks: u64,
 }
 
 fn main() {
     println!("E2: time overhead vs sequential + simulated 64-proc speedup\n");
     let mut table = Table::new(&[
-        "benchmark", "class", "n", "T_s", "T_1", "T_1/T_s", "parallelism", "speedup@64",
+        "benchmark",
+        "class",
+        "n",
+        "T_s",
+        "T_1",
+        "T_1/T_s",
+        "parallelism",
+        "speedup@64",
     ]);
     let mut rows = Vec::new();
     for bench in mpl_bench_suite::all() {
@@ -46,8 +57,22 @@ fn main() {
         let mpl = mpl_runs.swap_remove(1);
         assert_eq!(mpl.checksum, seq.checksum, "{}", bench.name());
         let dag = mpl.dag.expect("dag recorded");
-        let t1 = simulate(&dag, SimParams { procs: 1, steal_overhead: 8, seed: 1 });
-        let t64 = simulate(&dag, SimParams { procs: 64, steal_overhead: 8, seed: 1 });
+        let t1 = simulate(
+            &dag,
+            SimParams {
+                procs: 1,
+                steal_overhead: 8,
+                seed: 1,
+            },
+        );
+        let t64 = simulate(
+            &dag,
+            SimParams {
+                procs: 64,
+                steal_overhead: 8,
+                seed: 1,
+            },
+        );
         let overhead = mpl.wall.as_secs_f64() / seq.wall.as_secs_f64().max(1e-9);
         let speedup = t1.time as f64 / t64.time.max(1) as f64;
         table.row(vec![
@@ -72,6 +97,10 @@ fn main() {
             sim_t1: t1.time,
             sim_t64: t64.time,
             sim_speedup64: speedup,
+            sched_pushes: mpl.stats.sched_pushes,
+            sched_steals: mpl.stats.sched_steals,
+            sched_sequentialized: mpl.stats.sched_sequentialized,
+            sched_parks: mpl.stats.sched_parks,
         });
     }
     print!("{}", table.render());

@@ -20,7 +20,14 @@ struct Row {
 fn main() {
     println!("E4: max residency and pinned footprint\n");
     let mut table = Table::new(&[
-        "benchmark", "class", "R_s", "R_1", "R_1/R_s", "R_3thr", "peak pinned", "pinned/R_1",
+        "benchmark",
+        "class",
+        "R_s",
+        "R_1",
+        "R_1/R_s",
+        "R_3thr",
+        "peak pinned",
+        "pinned/R_1",
     ]);
     // Equal collection aggressiveness on both runtimes.
     let policy = GcPolicy {
@@ -53,7 +60,11 @@ fn main() {
             if bench.entangled() { "ent" } else { "dis" }.into(),
             fmt_bytes(r_s),
             fmt_bytes(r_1),
-            if tiny { "-".into() } else { format!("{blowup:.2}x") },
+            if tiny {
+                "-".into()
+            } else {
+                format!("{blowup:.2}x")
+            },
             fmt_bytes(thr.stats.max_live_bytes),
             fmt_bytes(mpl.stats.max_pinned_bytes),
             format!("{:.1}%", share * 100.0),

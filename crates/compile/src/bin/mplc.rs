@@ -65,24 +65,17 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--mode" => {
-                match it.next().as_deref() {
-                    Some("managed") => args.mode = Mode::Managed,
-                    Some("detect") => args.mode = Mode::DetectOnly,
-                    Some("nobarrier") => args.mode = Mode::NoEntanglementBarrier,
-                    Some("auto") => args.auto = true,
-                    _ => return Err(usage()),
-                }
-            }
+            "--mode" => match it.next().as_deref() {
+                Some("managed") => args.mode = Mode::Managed,
+                Some("detect") => args.mode = Mode::DetectOnly,
+                Some("nobarrier") => args.mode = Mode::NoEntanglementBarrier,
+                Some("auto") => args.auto = true,
+                _ => return Err(usage()),
+            },
             "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(usage)?
+                args.threads = it.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?
             }
-            "--fuel" => {
-                args.fuel = it.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?
-            }
+            "--fuel" => args.fuel = it.next().and_then(|s| s.parse().ok()).ok_or_else(usage)?,
             "--stats" => args.stats = true,
             "--report" => args.report = true,
             "--dot" => args.dot = true,
@@ -92,9 +85,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                     Some("depth") => Schedule::DepthFirst,
                     Some("rr") => Schedule::RoundRobin,
                     Some(spec) if spec.starts_with("random:") => {
-                        let seed = spec["random:".len()..]
-                            .parse()
-                            .map_err(|_| usage())?;
+                        let seed = spec["random:".len()..].parse().map_err(|_| usage())?;
                         Schedule::Random(seed)
                     }
                     _ => return Err(usage()),
@@ -299,7 +290,10 @@ fn main() -> ExitCode {
                     },
                 )
                 .time;
-                println!("P={p:<3} T_P={tp:<12} speedup {:.2}x", t1 as f64 / tp.max(1) as f64);
+                println!(
+                    "P={p:<3} T_P={tp:<12} speedup {:.2}x",
+                    t1 as f64 / tp.max(1) as f64
+                );
             }
         }
     }

@@ -179,7 +179,9 @@ mod tests {
 
     #[test]
     fn array_of_refs_may_entangle() {
-        let v = verdict("let a = array(4, ref 0) in let p = par(update(a, 0, ref 1), !(sub(a, 0))) in snd p");
+        let v = verdict(
+            "let a = array(4, ref 0) in let p = par(update(a, 0, ref 1), !(sub(a, 0))) in snd p",
+        );
         assert!(!v.is_disentangled());
     }
 
@@ -197,7 +199,10 @@ mod tests {
         let shown = v.to_string();
         assert!(shown.contains("may entangle"), "{shown}");
         let v = verdict("par(1, 2)");
-        assert_eq!(v.to_string(), "disentangled (mutable state is pointer-free)");
+        assert_eq!(
+            v.to_string(),
+            "disentangled (mutable state is pointer-free)"
+        );
     }
 
     #[test]

@@ -127,238 +127,238 @@ pub fn eval(
         cx.spend()?;
         let cur = Arc::clone(&e);
         match &*cur {
-        CExpr::Var(i) => return Ok(env_lookup(m, env, *i)),
-        CExpr::Int(n) => return Ok(Value::Int(*n)),
-        CExpr::Bool(b) => return Ok(Value::Bool(*b)),
-        CExpr::Unit => return Ok(Value::Unit),
-        CExpr::Lam(body) => {
-            let id = cx.intern(body, false);
-            return Ok(m.alloc_tuple(&[Value::Int((id * 2) as i64), env]));
-        }
-        CExpr::Fix(body) => {
-            let id = cx.intern(body, true);
-            return Ok(m.alloc_tuple(&[Value::Int((id * 2 + 1) as i64), env]));
-        }
-        CExpr::App(f, a) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let fv = eval(m, cx, f, env)?;
-            let hf = m.root(fv);
-            let env2 = m.get(&henv);
-            let av = eval(m, cx, a, env2)?;
-            let fv = m.get(&hf);
-            let tag = m.tuple_get(fv, 0).expect_int() as usize;
-            let fenv = m.tuple_get(fv, 1);
-            let (body, is_fix) = cx.entry(tag / 2);
-            debug_assert_eq!(is_fix, tag % 2 == 1);
-            // Call environment: [x, (f,)? closure-env].
-            let ha = m.root(av);
-            let call_env = if is_fix {
-                let hfe = m.root(fenv);
-                let fv2 = m.get(&hf);
-                let fe = m.get(&hfe);
-                let with_self = env_bind(m, fe, fv2);
-                let a2 = m.get(&ha);
-                env_bind(m, with_self, a2)
-            } else {
-                let hfe = m.root(fenv);
-                let fe = m.get(&hfe);
-                let a2 = m.get(&ha);
-                env_bind(m, fe, a2)
-            };
-            m.release(mark);
-            e = body;
-            env = call_env;
-        }
-        CExpr::Pair(a, b) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let va = eval(m, cx, a, env)?;
-            let ha = m.root(va);
-            let env2 = m.get(&henv);
-            let vb = eval(m, cx, b, env2)?;
-            let va = m.get(&ha);
-            let p = m.alloc_tuple(&[va, vb]);
-            m.release(mark);
-            return Ok(p);
-        }
-        CExpr::Fst(a) => {
-            let v = eval(m, cx, a, env)?;
-            return Ok(m.tuple_get(v, 0));
-        }
-        CExpr::Snd(a) => {
-            let v = eval(m, cx, a, env)?;
-            return Ok(m.tuple_get(v, 1));
-        }
-        CExpr::Let(rhs, body) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let v = eval(m, cx, rhs, env)?;
-            let env2 = m.get(&henv);
-            let env3 = env_bind(m, env2, v);
-            m.release(mark);
-            e = Arc::clone(body);
-            env = env3;
-        }
-        CExpr::If(c, t, f) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let cv = eval(m, cx, c, env)?;
-            let env2 = m.get(&henv);
-            m.release(mark);
-            match cv {
-                Value::Bool(true) => e = Arc::clone(t),
-                Value::Bool(false) => e = Arc::clone(f),
-                other => unreachable!("typechecked condition was {other:?}"),
+            CExpr::Var(i) => return Ok(env_lookup(m, env, *i)),
+            CExpr::Int(n) => return Ok(Value::Int(*n)),
+            CExpr::Bool(b) => return Ok(Value::Bool(*b)),
+            CExpr::Unit => return Ok(Value::Unit),
+            CExpr::Lam(body) => {
+                let id = cx.intern(body, false);
+                return Ok(m.alloc_tuple(&[Value::Int((id * 2) as i64), env]));
             }
-            env = env2;
-        }
-        CExpr::Ref(a) => {
-            let v = eval(m, cx, a, env)?;
-            return Ok(m.alloc_ref(v));
-        }
-        CExpr::Deref(a) => {
-            let r = eval(m, cx, a, env)?;
-            // The real read barrier: remote pointees pin here.
-            return Ok(m.read_ref(r));
-        }
-        CExpr::Assign(a, b) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let r = eval(m, cx, a, env)?;
-            let hr = m.root(r);
-            let env2 = m.get(&henv);
-            let v = eval(m, cx, b, env2)?;
-            let r = m.get(&hr);
-            // The real write barrier: remsets and entangled-write pins.
-            m.write_ref(r, v);
-            m.release(mark);
-            return Ok(Value::Unit);
-        }
-        CExpr::Par(a, b) => {
-            let (a, b) = (Arc::clone(a), Arc::clone(b));
-            let mark = m.mark();
-            let henv = m.root(env);
-            let err: Mutex<Option<EvalError>> = Mutex::new(None);
-            let (va, vb) = m.fork(
-                |m| {
-                    let env = m.get(&henv);
-                    match eval(m, cx, &a, env) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            *err.lock() = Some(e);
-                            Value::Unit
-                        }
-                    }
-                },
-                |m| {
-                    let env = m.get(&henv);
-                    match eval(m, cx, &b, env) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            *err.lock() = Some(e);
-                            Value::Unit
-                        }
-                    }
-                },
-            );
-            if let Some(e) = err.lock().take() {
-                return Err(e);
+            CExpr::Fix(body) => {
+                let id = cx.intern(body, true);
+                return Ok(m.alloc_tuple(&[Value::Int((id * 2 + 1) as i64), env]));
             }
-            let ha = m.root(va);
-            let hb = m.root(vb);
-            let (va, vb) = (m.get(&ha), m.get(&hb));
-            let p = m.alloc_tuple(&[va, vb]);
-            m.release(mark);
-            return Ok(p);
-        }
-        CExpr::Seq(a, b) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let _ = eval(m, cx, a, env)?;
-            let env2 = m.get(&henv);
-            m.release(mark);
-            e = Arc::clone(b);
-            env = env2;
-        }
-        CExpr::Array(n, init) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let nv = eval(m, cx, n, env)?;
-            let env2 = m.get(&henv);
-            let iv = eval(m, cx, init, env2)?;
-            let len = nv.expect_int();
-            if len < 0 {
-                return Err(EvalError::Bounds);
+            CExpr::App(f, a) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let fv = eval(m, cx, f, env)?;
+                let hf = m.root(fv);
+                let env2 = m.get(&henv);
+                let av = eval(m, cx, a, env2)?;
+                let fv = m.get(&hf);
+                let tag = m.tuple_get(fv, 0).expect_int() as usize;
+                let fenv = m.tuple_get(fv, 1);
+                let (body, is_fix) = cx.entry(tag / 2);
+                debug_assert_eq!(is_fix, tag % 2 == 1);
+                // Call environment: [x, (f,)? closure-env].
+                let ha = m.root(av);
+                let call_env = if is_fix {
+                    let hfe = m.root(fenv);
+                    let fv2 = m.get(&hf);
+                    let fe = m.get(&hfe);
+                    let with_self = env_bind(m, fe, fv2);
+                    let a2 = m.get(&ha);
+                    env_bind(m, with_self, a2)
+                } else {
+                    let hfe = m.root(fenv);
+                    let fe = m.get(&hfe);
+                    let a2 = m.get(&ha);
+                    env_bind(m, fe, a2)
+                };
+                m.release(mark);
+                e = body;
+                env = call_env;
             }
-            let arr = m.alloc_array(len as usize, iv);
-            m.release(mark);
-            return Ok(arr);
-        }
-        CExpr::Sub(a, i) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let av = eval(m, cx, a, env)?;
-            let ha = m.root(av);
-            let env2 = m.get(&henv);
-            let iv = eval(m, cx, i, env2)?;
-            let av = m.get(&ha);
-            m.release(mark);
-            let idx = iv.expect_int();
-            if idx < 0 || idx as usize >= m.len(av) {
-                return Err(EvalError::Bounds);
-            }
-            // The real array read barrier.
-            return Ok(m.arr_get(av, idx as usize));
-        }
-        CExpr::Update(a, i, v) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            let av = eval(m, cx, a, env)?;
-            let ha = m.root(av);
-            let env2 = m.get(&henv);
-            let iv = eval(m, cx, i, env2)?;
-            let hi = m.root(iv);
-            let env3 = m.get(&henv);
-            let vv = eval(m, cx, v, env3)?;
-            let (av, iv) = (m.get(&ha), m.get(&hi));
-            let idx = iv.expect_int();
-            if idx < 0 || idx as usize >= m.len(av) {
-                return Err(EvalError::Bounds);
-            }
-            // The real array write barrier.
-            m.arr_set(av, idx as usize, vv);
-            m.release(mark);
-            return Ok(Value::Unit);
-        }
-        CExpr::Length(a) => {
-            let av = eval(m, cx, a, env)?;
-            return Ok(Value::Int(m.len(av) as i64));
-        }
-        CExpr::Bin(op, a, b) => {
-            let mark = m.mark();
-            let henv = m.root(env);
-            // Short-circuit operators evaluate lazily.
-            if matches!(op, BinOp::And | BinOp::Or) {
+            CExpr::Pair(a, b) => {
+                let mark = m.mark();
+                let henv = m.root(env);
                 let va = eval(m, cx, a, env)?;
+                let ha = m.root(va);
+                let env2 = m.get(&henv);
+                let vb = eval(m, cx, b, env2)?;
+                let va = m.get(&ha);
+                let p = m.alloc_tuple(&[va, vb]);
+                m.release(mark);
+                return Ok(p);
+            }
+            CExpr::Fst(a) => {
+                let v = eval(m, cx, a, env)?;
+                return Ok(m.tuple_get(v, 0));
+            }
+            CExpr::Snd(a) => {
+                let v = eval(m, cx, a, env)?;
+                return Ok(m.tuple_get(v, 1));
+            }
+            CExpr::Let(rhs, body) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let v = eval(m, cx, rhs, env)?;
+                let env2 = m.get(&henv);
+                let env3 = env_bind(m, env2, v);
+                m.release(mark);
+                e = Arc::clone(body);
+                env = env3;
+            }
+            CExpr::If(c, t, f) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let cv = eval(m, cx, c, env)?;
                 let env2 = m.get(&henv);
                 m.release(mark);
-                match (op, va) {
-                    (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
-                    (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
-                    _ => {
-                        e = Arc::clone(b);
-                        env = env2;
-                        continue;
+                match cv {
+                    Value::Bool(true) => e = Arc::clone(t),
+                    Value::Bool(false) => e = Arc::clone(f),
+                    other => unreachable!("typechecked condition was {other:?}"),
+                }
+                env = env2;
+            }
+            CExpr::Ref(a) => {
+                let v = eval(m, cx, a, env)?;
+                return Ok(m.alloc_ref(v));
+            }
+            CExpr::Deref(a) => {
+                let r = eval(m, cx, a, env)?;
+                // The real read barrier: remote pointees pin here.
+                return Ok(m.read_ref(r));
+            }
+            CExpr::Assign(a, b) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let r = eval(m, cx, a, env)?;
+                let hr = m.root(r);
+                let env2 = m.get(&henv);
+                let v = eval(m, cx, b, env2)?;
+                let r = m.get(&hr);
+                // The real write barrier: remsets and entangled-write pins.
+                m.write_ref(r, v);
+                m.release(mark);
+                return Ok(Value::Unit);
+            }
+            CExpr::Par(a, b) => {
+                let (a, b) = (Arc::clone(a), Arc::clone(b));
+                let mark = m.mark();
+                let henv = m.root(env);
+                let err: Mutex<Option<EvalError>> = Mutex::new(None);
+                let (va, vb) = m.fork(
+                    |m| {
+                        let env = m.get(&henv);
+                        match eval(m, cx, &a, env) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                *err.lock() = Some(e);
+                                Value::Unit
+                            }
+                        }
+                    },
+                    |m| {
+                        let env = m.get(&henv);
+                        match eval(m, cx, &b, env) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                *err.lock() = Some(e);
+                                Value::Unit
+                            }
+                        }
+                    },
+                );
+                if let Some(e) = err.lock().take() {
+                    return Err(e);
+                }
+                let ha = m.root(va);
+                let hb = m.root(vb);
+                let (va, vb) = (m.get(&ha), m.get(&hb));
+                let p = m.alloc_tuple(&[va, vb]);
+                m.release(mark);
+                return Ok(p);
+            }
+            CExpr::Seq(a, b) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let _ = eval(m, cx, a, env)?;
+                let env2 = m.get(&henv);
+                m.release(mark);
+                e = Arc::clone(b);
+                env = env2;
+            }
+            CExpr::Array(n, init) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let nv = eval(m, cx, n, env)?;
+                let env2 = m.get(&henv);
+                let iv = eval(m, cx, init, env2)?;
+                let len = nv.expect_int();
+                if len < 0 {
+                    return Err(EvalError::Bounds);
+                }
+                let arr = m.alloc_array(len as usize, iv);
+                m.release(mark);
+                return Ok(arr);
+            }
+            CExpr::Sub(a, i) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let av = eval(m, cx, a, env)?;
+                let ha = m.root(av);
+                let env2 = m.get(&henv);
+                let iv = eval(m, cx, i, env2)?;
+                let av = m.get(&ha);
+                m.release(mark);
+                let idx = iv.expect_int();
+                if idx < 0 || idx as usize >= m.len(av) {
+                    return Err(EvalError::Bounds);
+                }
+                // The real array read barrier.
+                return Ok(m.arr_get(av, idx as usize));
+            }
+            CExpr::Update(a, i, v) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                let av = eval(m, cx, a, env)?;
+                let ha = m.root(av);
+                let env2 = m.get(&henv);
+                let iv = eval(m, cx, i, env2)?;
+                let hi = m.root(iv);
+                let env3 = m.get(&henv);
+                let vv = eval(m, cx, v, env3)?;
+                let (av, iv) = (m.get(&ha), m.get(&hi));
+                let idx = iv.expect_int();
+                if idx < 0 || idx as usize >= m.len(av) {
+                    return Err(EvalError::Bounds);
+                }
+                // The real array write barrier.
+                m.arr_set(av, idx as usize, vv);
+                m.release(mark);
+                return Ok(Value::Unit);
+            }
+            CExpr::Length(a) => {
+                let av = eval(m, cx, a, env)?;
+                return Ok(Value::Int(m.len(av) as i64));
+            }
+            CExpr::Bin(op, a, b) => {
+                let mark = m.mark();
+                let henv = m.root(env);
+                // Short-circuit operators evaluate lazily.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let va = eval(m, cx, a, env)?;
+                    let env2 = m.get(&henv);
+                    m.release(mark);
+                    match (op, va) {
+                        (BinOp::And, Value::Bool(false)) => return Ok(Value::Bool(false)),
+                        (BinOp::Or, Value::Bool(true)) => return Ok(Value::Bool(true)),
+                        _ => {
+                            e = Arc::clone(b);
+                            env = env2;
+                            continue;
+                        }
                     }
                 }
+                let va = eval(m, cx, a, env)?;
+                let env2 = m.get(&henv);
+                let vb = eval(m, cx, b, env2)?;
+                m.release(mark);
+                return prim(*op, va, vb);
             }
-            let va = eval(m, cx, a, env)?;
-            let env2 = m.get(&henv);
-            let vb = eval(m, cx, b, env2)?;
-            m.release(mark);
-            return prim(*op, va, vb);
-        }
         }
     }
 }

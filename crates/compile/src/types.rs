@@ -147,7 +147,11 @@ impl Infer {
             | (Type::Array(x), Type::Array(y))
             | (Type::Future(x), Type::Future(y)) => self.unify(x, y),
             _ => Err(TypeError {
-                msg: format!("cannot unify {} with {}", self.resolve(&a), self.resolve(&b)),
+                msg: format!(
+                    "cannot unify {} with {}",
+                    self.resolve(&a),
+                    self.resolve(&b)
+                ),
             }),
         }
     }
@@ -193,7 +197,10 @@ impl Infer {
 type Env = Vec<(String, Scheme)>;
 
 fn lookup(env: &Env, x: &str) -> Option<Scheme> {
-    env.iter().rev().find(|(n, _)| n == x).map(|(_, s)| s.clone())
+    env.iter()
+        .rev()
+        .find(|(n, _)| n == x)
+        .map(|(_, s)| s.clone())
 }
 
 /// True for syntactic values (the value restriction: only these
@@ -201,12 +208,7 @@ fn lookup(env: &Env, x: &str) -> Option<Scheme> {
 fn is_value(e: &Expr) -> bool {
     matches!(
         e,
-        Expr::Int(_)
-            | Expr::Bool(_)
-            | Expr::Unit
-            | Expr::Var(_)
-            | Expr::Lam(..)
-            | Expr::Fix(..)
+        Expr::Int(_) | Expr::Bool(_) | Expr::Unit | Expr::Var(_) | Expr::Lam(..) | Expr::Fix(..)
     ) || matches!(e, Expr::Pair(a, b) if is_value(a) && is_value(b))
 }
 
@@ -223,7 +225,13 @@ fn infer(inf: &mut Infer, env: &mut Env, e: &Expr) -> Result<Type, TypeError> {
         }
         Expr::Lam(x, body) => {
             let a = inf.fresh();
-            env.push((x.clone(), Scheme { vars: vec![], ty: a.clone() }));
+            env.push((
+                x.clone(),
+                Scheme {
+                    vars: vec![],
+                    ty: a.clone(),
+                },
+            ));
             let b = infer(inf, env, body)?;
             env.pop();
             Ok(Type::Fn(Rc::new(a), Rc::new(b)))
@@ -232,8 +240,20 @@ fn infer(inf: &mut Infer, env: &mut Env, e: &Expr) -> Result<Type, TypeError> {
             let a = inf.fresh();
             let b = inf.fresh();
             let fty = Type::Fn(Rc::new(a.clone()), Rc::new(b.clone()));
-            env.push((f.clone(), Scheme { vars: vec![], ty: fty.clone() }));
-            env.push((x.clone(), Scheme { vars: vec![], ty: a }));
+            env.push((
+                f.clone(),
+                Scheme {
+                    vars: vec![],
+                    ty: fty.clone(),
+                },
+            ));
+            env.push((
+                x.clone(),
+                Scheme {
+                    vars: vec![],
+                    ty: a,
+                },
+            ));
             let body_t = infer(inf, env, body)?;
             env.pop();
             env.pop();
@@ -278,9 +298,15 @@ fn infer(inf: &mut Infer, env: &mut Env, e: &Expr) -> Result<Type, TypeError> {
                     .into_iter()
                     .filter(|v| !env_vars.contains(v))
                     .collect();
-                Scheme { vars: gen, ty: t_rhs }
+                Scheme {
+                    vars: gen,
+                    ty: t_rhs,
+                }
             } else {
-                Scheme { vars: vec![], ty: t_rhs }
+                Scheme {
+                    vars: vec![],
+                    ty: t_rhs,
+                }
             };
             env.push((x.clone(), scheme));
             let t = infer(inf, env, body)?;

@@ -58,10 +58,7 @@ fn entanglement_counts_agree() {
             "{name}: entangled reads (semantics {} vs runtime {})",
             sem.costs.entangled_reads, stats.entangled_reads
         );
-        assert_eq!(
-            stats.pins, sem.costs.pins,
-            "{name}: pin counts must match"
-        );
+        assert_eq!(stats.pins, sem.costs.pins, "{name}: pin counts must match");
     }
 }
 
@@ -130,9 +127,7 @@ fn array_prog(len: usize, ops: usize) -> impl Strategy<Value = String> {
     ];
     proptest::collection::vec(op, 1..ops).prop_map(move |ops| {
         let body = ops.join("; ");
-        format!(
-            "let a = array({len}, 1) in let q = ref 0 in ({body}); !q + sub(a, 0) + length a"
-        )
+        format!("let a = array({len}, 1) in let q = ref 0 in ({body}); !q + sub(a, 0) + length a")
     })
 }
 

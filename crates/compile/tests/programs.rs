@@ -139,7 +139,11 @@ fn pipeline_program_runs_on_the_semantics() {
     use mpl_lang::{run_program, LangMode, Options, Schedule};
     let src = program("pipeline.mpl");
     mpl_compile::typecheck(&mpl_lang::parse(&src).unwrap()).unwrap();
-    for schedule in [Schedule::DepthFirst, Schedule::RoundRobin, Schedule::Random(3)] {
+    for schedule in [
+        Schedule::DepthFirst,
+        Schedule::RoundRobin,
+        Schedule::Random(3),
+    ] {
         let out = run_program(
             &src,
             Options {
@@ -180,11 +184,15 @@ fn future_programs_typecheck_but_are_semantics_only() {
         fuel: 1_000_000,
     };
     assert_eq!(
-        run_program(mpl_lang::examples::FUTURE_PIPELINE, o).unwrap().render(),
+        run_program(mpl_lang::examples::FUTURE_PIPELINE, o)
+            .unwrap()
+            .render(),
         "32"
     );
     assert_eq!(
-        run_program(mpl_lang::examples::FUTURE_PUBLISH, o).unwrap().render(),
+        run_program(mpl_lang::examples::FUTURE_PUBLISH, o)
+            .unwrap()
+            .render(),
         "1"
     );
 }

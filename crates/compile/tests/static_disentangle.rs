@@ -18,20 +18,24 @@ fn verdict(src: &str) -> Verdict {
 
 /// Dynamic oracle: does any of the three schedules entangle?
 fn entangles_somewhere(src: &str) -> bool {
-    [Schedule::DepthFirst, Schedule::RoundRobin, Schedule::Random(7)]
-        .into_iter()
-        .any(|schedule| {
-            let out = run_program(
-                src,
-                Options {
-                    schedule,
-                    mode: LangMode::Managed,
-                    fuel: 50_000_000,
-                },
-            )
-            .expect("managed run");
-            out.costs.entangled_reads + out.costs.entangled_writes + out.costs.pins > 0
-        })
+    [
+        Schedule::DepthFirst,
+        Schedule::RoundRobin,
+        Schedule::Random(7),
+    ]
+    .into_iter()
+    .any(|schedule| {
+        let out = run_program(
+            src,
+            Options {
+                schedule,
+                mode: LangMode::Managed,
+                fuel: 50_000_000,
+            },
+        )
+        .expect("managed run");
+        out.costs.entangled_reads + out.costs.entangled_writes + out.costs.pins > 0
+    })
 }
 
 #[test]
@@ -89,7 +93,13 @@ fn shipped_programs_have_expected_verdicts() {
         let path = format!("{}/../../programs/{name}", env!("CARGO_MANIFEST_DIR"));
         std::fs::read_to_string(&path).unwrap()
     };
-    for name in ["fib.mpl", "array_sum.mpl", "msort.mpl", "nqueens.mpl", "primes.mpl"] {
+    for name in [
+        "fib.mpl",
+        "array_sum.mpl",
+        "msort.mpl",
+        "nqueens.mpl",
+        "primes.mpl",
+    ] {
         assert!(
             verdict(&program(name)).is_disentangled(),
             "{name} should be provably disentangled"

@@ -3,6 +3,7 @@
 
 use mpl_gc::GcPolicy;
 use mpl_heap::StoreConfig;
+use mpl_sched::SchedMode;
 
 /// How the runtime treats entanglement — the axis of the paper's
 /// comparison experiments.
@@ -69,6 +70,10 @@ pub struct RuntimeConfig {
     /// Processors for the real-thread executor; `1` (the default) selects
     /// the deterministic depth-first executor.
     pub threads: usize,
+    /// Which real-thread execution strategy `fork` uses when
+    /// `threads > 1`: the persistent work-stealing pool (the default) or
+    /// the legacy thread-per-fork scoped executor.
+    pub sched: SchedMode,
     /// Enables the entanglement-candidates ("suspects") read-barrier fast
     /// path (ICFP 2022): reads of objects that never received a
     /// down-pointer write and are not pinned skip the remote check
@@ -91,6 +96,7 @@ impl Default for RuntimeConfig {
             record_dag: false,
             work: WorkModel::default(),
             threads: 1,
+            sched: SchedMode::default(),
             suspects: true,
             cgc_slice_objects: 0,
         }
@@ -144,9 +150,39 @@ impl RuntimeConfig {
         self
     }
 
-    /// Sets the real-thread executor's processor count.
-    pub fn with_threads(mut self, threads: usize) -> RuntimeConfig {
+    /// Sets the real-thread executor's processor count, clamped to the
+    /// host's available parallelism (with a warning on stderr) — silent
+    /// oversubscription only adds context-switch overhead for the
+    /// persistent worker pool. Use [`RuntimeConfig::with_threads_exact`]
+    /// to deliberately oversubscribe (protocol stress tests).
+    pub fn with_threads(self, threads: usize) -> RuntimeConfig {
         assert!(threads >= 1, "need at least one thread");
+        let max = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(threads);
+        let clamped = if threads > max {
+            eprintln!(
+                "mpl-runtime: requested {threads} threads but the host reports \
+                 {max} available; clamping to {max} (use with_threads_exact to \
+                 oversubscribe deliberately)"
+            );
+            max
+        } else {
+            threads
+        };
+        self.set_threads(clamped)
+    }
+
+    /// Sets the processor count exactly as given, without clamping to
+    /// host parallelism. Oversubscription is functionally correct (the
+    /// concurrent protocols are exercised harder, which is exactly what
+    /// the stress tests want) but wasteful for performance runs.
+    pub fn with_threads_exact(self, threads: usize) -> RuntimeConfig {
+        assert!(threads >= 1, "need at least one thread");
+        self.set_threads(threads)
+    }
+
+    fn set_threads(mut self, threads: usize) -> RuntimeConfig {
         self.threads = threads;
         self.policy = if threads > 1 {
             GcPolicy {
@@ -156,6 +192,12 @@ impl RuntimeConfig {
         } else {
             self.policy
         };
+        self
+    }
+
+    /// Selects the real-thread execution strategy.
+    pub fn with_sched(mut self, sched: SchedMode) -> RuntimeConfig {
+        self.sched = sched;
         self
     }
 
@@ -185,10 +227,34 @@ mod tests {
 
     #[test]
     fn threaded_config_defers_chunk_freeing() {
-        let c = RuntimeConfig::managed().with_threads(4);
+        let c = RuntimeConfig::managed().with_threads_exact(4);
+        assert_eq!(c.threads, 4);
         assert!(!c.policy.immediate_chunk_free);
         let c = c.with_policy(GcPolicy::default());
-        assert!(!c.policy.immediate_chunk_free, "preserved across policy set");
+        assert!(
+            !c.policy.immediate_chunk_free,
+            "preserved across policy set"
+        );
+    }
+
+    #[test]
+    fn with_threads_clamps_to_host_parallelism() {
+        let max = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap();
+        let c = RuntimeConfig::managed().with_threads(max * 4);
+        assert_eq!(c.threads, max, "oversubscription is clamped");
+        let c = RuntimeConfig::managed().with_threads(1);
+        assert_eq!(c.threads, 1, "in-range requests pass through");
+        let c = RuntimeConfig::managed().with_threads_exact(max * 4);
+        assert_eq!(c.threads, max * 4, "exact setter never clamps");
+    }
+
+    #[test]
+    fn sched_mode_defaults_to_work_stealing() {
+        assert_eq!(RuntimeConfig::managed().sched, SchedMode::WorkStealing);
+        let c = RuntimeConfig::managed().with_sched(SchedMode::ScopedThreads);
+        assert_eq!(c.sched, SchedMode::ScopedThreads);
     }
 
     #[test]

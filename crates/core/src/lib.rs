@@ -62,4 +62,4 @@ pub use runtime::Runtime;
 // Re-export the value types users interact with.
 pub use mpl_gc::GcPolicy;
 pub use mpl_heap::{to_dot as heap_dot, ObjKind, ObjRef, StatsSnapshot, StoreConfig, Value};
-pub use mpl_sched::{simulate, sweep, Dag, SimParams, SimResult};
+pub use mpl_sched::{simulate, sweep, Dag, SchedMode, SchedSnapshot, SimParams, SimResult};

@@ -340,9 +340,7 @@ impl<'rt> Mutator<'rt> {
                 Ok(r) => {
                     self.ctx.pending.allocs += 1;
                     self.ctx.pending.alloc_bytes += size;
-                    if self.ctx.pending.alloc_bytes >= 16 * 1024
-                        || self.rt.cgc_poll_requested()
-                    {
+                    if self.ctx.pending.alloc_bytes >= 16 * 1024 || self.rt.cgc_poll_requested() {
                         self.flush_stats();
                         self.rt.maybe_cgc();
                     }
@@ -472,7 +470,13 @@ impl<'rt> Mutator<'rt> {
     }
 
     /// Compare-and-swap on a mutable array element.
-    pub fn arr_cas(&mut self, a: Value, i: usize, expected: Value, new: Value) -> Result<(), Value> {
+    pub fn arr_cas(
+        &mut self,
+        a: Value,
+        i: usize,
+        expected: Value,
+        new: Value,
+    ) -> Result<(), Value> {
         self.mut_cas(a, i, expected, new)
     }
 
@@ -496,7 +500,10 @@ impl<'rt> Mutator<'rt> {
     pub fn raw_cas(&mut self, a: Value, i: usize, expected: u64, new: u64) -> bool {
         self.ctx.work += self.rt.config().work.write;
         let r = self.locate_ref(a, "raw cas");
-        self.cached_chunk(r).get(r.slot()).cas_raw(i, expected, new).is_ok()
+        self.cached_chunk(r)
+            .get(r.slot())
+            .cas_raw(i, expected, new)
+            .is_ok()
     }
 
     /// Atomic fetch-add on a raw word; returns the previous bits.
@@ -550,30 +557,54 @@ impl<'rt> Mutator<'rt> {
         rpath.push(rh);
         let dag = self.ctx.dag.clone();
 
-        let token = if self.rt.config().threads > 1 {
-            self.rt.tokens().try_acquire()
-        } else {
-            None
-        };
-
-        let ((lv, lend, lslot), (rv, rend, rslot)) = if token.is_some() {
-            let rt = self.rt;
-            let ldag = dag.clone();
-            std::thread::scope(|scope| {
-                let lj = scope.spawn(move || run_branch(rt, lpath, ldag, ls, f));
-                let right = run_branch(rt, rpath, dag, rs, g);
-                let left = match lj.join() {
-                    Ok(v) => v,
-                    Err(p) => std::panic::resume_unwind(p),
+        let threads = self.rt.config().threads;
+        let sched = self.rt.config().sched;
+        let ((lv, lend, lslot), (rv, rend, rslot)) =
+            if threads > 1 && sched == mpl_sched::SchedMode::WorkStealing {
+                // Work-stealing path: offer the right branch to thieves on
+                // this worker's deque and run the left branch inline
+                // (help-first). If nobody steals it, `try_join` pops it back
+                // and runs it inline — an un-stolen fork costs two deque
+                // operations, not a thread spawn. Branch bodies rebuild
+                // their task context from the captured heap paths, so which
+                // worker executes a branch is invisible to the heap
+                // hierarchy.
+                let rt = self.rt;
+                let ldag = dag.clone();
+                let left = move || run_branch(rt, lpath, ldag, ls, f);
+                let right = move || run_branch(rt, rpath, dag, rs, g);
+                match mpl_sched::try_join(left, right) {
+                    Ok(pair) => pair,
+                    // Not on a pool worker (e.g. a second concurrent `run`
+                    // that lost the driver slot): run sequentially.
+                    Err((left, right)) => (left(), right()),
+                }
+            } else {
+                let token = if threads > 1 && sched == mpl_sched::SchedMode::ScopedThreads {
+                    self.rt.tokens().try_acquire()
+                } else {
+                    None
                 };
-                (left, right)
-            })
-        } else {
-            let left = run_branch(self.rt, lpath, dag.clone(), ls, f);
-            let right = run_branch(self.rt, rpath, dag, rs, g);
-            (left, right)
-        };
-        drop(token);
+                let pair = if token.is_some() {
+                    let rt = self.rt;
+                    let ldag = dag.clone();
+                    std::thread::scope(|scope| {
+                        let lj = scope.spawn(move || run_branch(rt, lpath, ldag, ls, f));
+                        let right = run_branch(rt, rpath, dag, rs, g);
+                        let left = match lj.join() {
+                            Ok(v) => v,
+                            Err(p) => std::panic::resume_unwind(p),
+                        };
+                        (left, right)
+                    })
+                } else {
+                    let left = run_branch(self.rt, lpath, dag.clone(), ls, f);
+                    let right = run_branch(self.rt, rpath, dag, rs, g);
+                    (left, right)
+                };
+                drop(token);
+                pair
+            };
 
         let join = self.rt.store().join(parent_heap, lh, rh);
         self.rt.unpark_result(lslot);
@@ -741,7 +772,13 @@ impl<'rt> Mutator<'rt> {
         obj.set_field(idx, v);
     }
 
-    fn mut_cas(&mut self, objv: Value, idx: usize, expected: Value, new: Value) -> Result<(), Value> {
+    fn mut_cas(
+        &mut self,
+        objv: Value,
+        idx: usize,
+        expected: Value,
+        new: Value,
+    ) -> Result<(), Value> {
         let r = self.write_barrier(objv, idx, new);
         let obj = self.cached_chunk(r).get(r.slot());
         if self.rt.cgc_state().is_marking() {
@@ -903,12 +940,7 @@ impl<'rt> Mutator<'rt> {
         // Size-proportional budget: next collection once we allocate
         // about as much as survived this one.
         let survivors = (out.copied_bytes + out.retained_entangled_bytes) as usize;
-        self.ctx.lgc_budget = self
-            .rt
-            .config()
-            .policy
-            .lgc_trigger_bytes
-            .max(2 * survivors);
+        self.ctx.lgc_budget = self.rt.config().policy.lgc_trigger_bytes.max(2 * survivors);
         // The collection replaced the allocation chunk and may have freed
         // cached chunks.
         self.ctx.alloc_cache = None;

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 
 use mpl_gc::{CgcState, Graveyard};
 use mpl_heap::{ObjRef, StatsSnapshot, Store, Value};
-use mpl_sched::{Dag, DagBuilder, StrandId, TokenPool};
+use mpl_sched::{Dag, DagBuilder, Executor, SchedMode, SchedSnapshot, StrandId, TokenPool};
 
 use crate::config::RuntimeConfig;
 use crate::mutator::{Mutator, TaskCtx};
@@ -36,11 +36,20 @@ pub struct Runtime {
     /// full-graph marking against entangled allocation volume).
     cgc_baseline: std::sync::atomic::AtomicUsize,
     cgc_poll: std::sync::atomic::AtomicBool,
+    /// The persistent work-stealing pool; present iff `threads > 1` and
+    /// `sched == SchedMode::WorkStealing`. Workers live as long as the
+    /// runtime and are re-used across `run` calls.
+    executor: Option<Executor>,
 }
 
 impl Runtime {
     /// Creates a runtime with the given configuration.
     pub fn new(config: RuntimeConfig) -> Runtime {
+        let executor = if config.threads > 1 && config.sched == SchedMode::WorkStealing {
+            Some(Executor::new(config.threads))
+        } else {
+            None
+        };
         Runtime {
             store: Store::new(config.store),
             cgc_state: CgcState::new(),
@@ -53,6 +62,7 @@ impl Runtime {
             cgc_gate: Mutex::new(()),
             cgc_baseline: std::sync::atomic::AtomicUsize::new(0),
             cgc_poll: std::sync::atomic::AtomicBool::new(false),
+            executor,
             config,
         }
     }
@@ -67,9 +77,28 @@ impl Runtime {
         &self.config
     }
 
-    /// A snapshot of the cost-metric counters.
+    /// A snapshot of the cost-metric counters, with the scheduler's
+    /// counters overlaid when the work-stealing executor is active.
     pub fn stats(&self) -> StatsSnapshot {
-        self.store.stats().snapshot()
+        let mut s = self.store.stats().snapshot();
+        if let Some(e) = &self.executor {
+            let sched = e.stats();
+            s.sched_pushes = sched.pushes;
+            s.sched_steals = sched.steals;
+            s.sched_sequentialized = sched.sequentialized;
+            s.sched_parks = sched.parks;
+            s.sched_unparks = sched.unparks;
+        }
+        s
+    }
+
+    /// A snapshot of the work-stealing scheduler's counters (zeros when
+    /// the pool is not active).
+    pub fn sched_stats(&self) -> SchedSnapshot {
+        self.executor
+            .as_ref()
+            .map(Executor::stats)
+            .unwrap_or_default()
     }
 
     pub(crate) fn cgc_state(&self) -> &CgcState {
@@ -93,6 +122,12 @@ impl Runtime {
     where
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
+        // Install this thread as the pool's driver (worker 0) so forks
+        // push onto a deque instead of spawning threads. If another
+        // thread is mid-`run` and holds the slot, forks from this call
+        // fall back to inline sequential execution — correct, just not
+        // parallel.
+        let _driver = self.executor.as_ref().and_then(Executor::install_driver);
         let root_heap = self.store.new_root_heap();
         let dag = if self.config.record_dag {
             let (builder, root_strand) = DagBuilder::new();
@@ -112,8 +147,8 @@ impl Runtime {
         m.finish_task();
         self.graveyard.drain(&self.store);
         if let Some(builder) = self.dag.lock().take() {
-            let builder = Arc::try_unwrap(builder)
-                .expect("DAG builder still shared after all tasks joined");
+            let builder =
+                Arc::try_unwrap(builder).expect("DAG builder still shared after all tasks joined");
             *self.last_dag.lock() = Some(builder.finish());
         }
         v

@@ -1,9 +1,7 @@
 //! Behavioral tests for the entanglement-managed runtime: barriers,
 //! pinning, unpin-at-join, collector interaction, modes, and executors.
 
-use mpl_runtime::{
-    GcPolicy, Runtime, RuntimeConfig, SimParams, StoreConfig, Value,
-};
+use mpl_runtime::{GcPolicy, Runtime, RuntimeConfig, SimParams, StoreConfig, Value};
 
 fn tiny_gc() -> GcPolicy {
     GcPolicy {

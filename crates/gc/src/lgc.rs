@@ -175,13 +175,13 @@ pub fn collect_local(
     let race_pinned: std::cell::RefCell<Vec<ObjRef>> = std::cell::RefCell::new(Vec::new());
 
     let forward_one = |store: &Store,
-                           tospace: &mut ToSpace<'_>,
-                           scan_queue: &mut Vec<ObjRef>,
-                           forwarded: &mut HashMap<ObjRef, ObjRef>,
-                           out: &mut LgcOutcome,
-                           entangled_closure: &mut HashSet<ObjRef>,
-                           retained_chunk_ids: &mut HashSet<u32>,
-                           r: ObjRef|
+                       tospace: &mut ToSpace<'_>,
+                       scan_queue: &mut Vec<ObjRef>,
+                       forwarded: &mut HashMap<ObjRef, ObjRef>,
+                       out: &mut LgcOutcome,
+                       entangled_closure: &mut HashSet<ObjRef>,
+                       retained_chunk_ids: &mut HashSet<u32>,
+                       r: ObjRef|
      -> ObjRef {
         let r = match store.try_resolve(r) {
             Some(r) => r,
@@ -326,7 +326,10 @@ pub fn collect_local(
             if nt == t {
                 // Shielded in place (entangled space): still a live
                 // down-pointer into this heap.
-                kept_remset.push(RemsetEntry { src, field: entry.field });
+                kept_remset.push(RemsetEntry {
+                    src,
+                    field: entry.field,
+                });
                 break;
             }
             match src_h
@@ -334,7 +337,10 @@ pub fn collect_local(
                 .cas_field(idx, old_word.decode(), Value::Obj(nt))
             {
                 Ok(()) => {
-                    kept_remset.push(RemsetEntry { src, field: entry.field });
+                    kept_remset.push(RemsetEntry {
+                        src,
+                        field: entry.field,
+                    });
                     break;
                 }
                 Err(_) => continue, // concurrent write: re-read and retry
@@ -611,7 +617,13 @@ mod tests {
         let cell = s.alloc_values(root_heap, ObjKind::Ref, &[Value::Unit]);
         let deep = s.alloc_values(l, ObjKind::Tuple, &[Value::Int(5)]);
         s.handle(cell).set_field(0, Value::Obj(deep));
-        s.remember(l, RemsetEntry { src: cell, field: 0 });
+        s.remember(
+            l,
+            RemsetEntry {
+                src: cell,
+                field: 0,
+            },
+        );
 
         // No task root references `deep`; the remset alone must keep it
         // alive, and the source field must be repaired to the new copy.
@@ -637,10 +649,7 @@ mod tests {
         );
         let mut roots = [raw];
         lgc(&s, h, &mut roots); // would panic on dangling c12345s1 if traced
-        assert!(s
-            .handle(roots[0])
-            .field_word(0)
-            .is_pointer());
+        assert!(s.handle(roots[0]).field_word(0).is_pointer());
     }
 
     #[test]

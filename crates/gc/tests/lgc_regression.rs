@@ -19,7 +19,13 @@ fn remset_repairs_target_already_evacuated_via_roots() {
     let cell = s.alloc_values(root_heap, ObjKind::Ref, &[Value::Unit]);
     let x = s.alloc_values(l, ObjKind::Tuple, &[Value::Int(5)]);
     s.handle(cell).set_field(0, Value::Obj(x));
-    s.remember(l, RemsetEntry { src: cell, field: 0 });
+    s.remember(
+        l,
+        RemsetEntry {
+            src: cell,
+            field: 0,
+        },
+    );
 
     let g = Graveyard::new();
     let mut roots = [x]; // root processed before the remembered set
@@ -58,7 +64,13 @@ fn repeated_collections_with_bucket_rewrites() {
         let head = s.handle(table).field(b);
         let node = s.alloc_values(l, ObjKind::Tuple, &[Value::Int(round as i64), head]);
         s.handle(table).set_field(b, Value::Obj(node));
-        s.remember(l, RemsetEntry { src: table, field: b as u32 });
+        s.remember(
+            l,
+            RemsetEntry {
+                src: table,
+                field: b as u32,
+            },
+        );
         nodes.push(node);
 
         // Garbage + collect with the newest node also rooted.

@@ -20,10 +20,7 @@ struct GraphSpec {
 fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
     (2..max_nodes)
         .prop_flat_map(|n| {
-            let edges = proptest::collection::vec(
-                proptest::collection::vec(0..n, 0..4),
-                n,
-            );
+            let edges = proptest::collection::vec(proptest::collection::vec(0..n, 0..4), n);
             let roots = proptest::collection::vec(0..n, 1..6);
             let pins = proptest::collection::vec(0..n, 0..4);
             (Just(n), edges, roots, pins)

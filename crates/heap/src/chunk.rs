@@ -162,7 +162,8 @@ impl Chunk {
         if delta >= 0 {
             self.pinned_count.fetch_add(delta as u32, Ordering::AcqRel);
         } else {
-            self.pinned_count.fetch_sub((-delta) as u32, Ordering::AcqRel);
+            self.pinned_count
+                .fetch_sub((-delta) as u32, Ordering::AcqRel);
         }
     }
 }
@@ -210,10 +211,7 @@ mod tests {
         let c = Chunk::new(0, 0, 8);
         c.try_alloc(mkobj(10)).unwrap();
         c.try_alloc(mkobj(20)).unwrap();
-        let vals: Vec<i64> = c
-            .objects()
-            .map(|(_, o)| o.field(0).expect_int())
-            .collect();
+        let vals: Vec<i64> = c.objects().map(|(_, o)| o.field(0).expect_int()).collect();
         assert_eq!(vals, vec![10, 20]);
     }
 

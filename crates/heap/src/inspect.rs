@@ -91,7 +91,13 @@ impl fmt::Display for StoreReport {
             writeln!(
                 f,
                 "{:<6} {:<6} {:<7} {:<7} {:<10} {:<7} {:<7} {:<9}",
-                h.id, h.depth, h.parent, h.chunks, h.live_bytes, h.pinned, h.remset,
+                h.id,
+                h.depth,
+                h.parent,
+                h.chunks,
+                h.live_bytes,
+                h.pinned,
+                h.remset,
                 h.entangled_index
             )?;
         }
@@ -104,9 +110,15 @@ impl fmt::Display for StoreReport {
 /// per parent link. Paste into `dot -Tsvg` to visualize a run.
 pub fn to_dot(rep: &StoreReport) -> String {
     use std::fmt::Write as _;
-    let mut out = String::from("digraph heaps {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph heaps {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for h in &rep.heaps {
-        let fill = if h.pinned > 0 { ", style=filled, fillcolor=\"#ffd9d9\"" } else { "" };
+        let fill = if h.pinned > 0 {
+            ", style=filled, fillcolor=\"#ffd9d9\""
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  h{} [label=\"heap {}\\nd={} live={}B\\npins={} ent={}\"{}];",

@@ -52,8 +52,8 @@ pub mod value;
 pub use chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
 pub use header::{Header, ObjKind, NO_PIN_LEVEL};
 pub use heap::{HeapInfo, HeapTable, RemsetEntry};
-pub use object::{Object, PinOutcome, OBJECT_OVERHEAD_BYTES};
 pub use inspect::{report, to_dot, HeapReport, StoreReport};
+pub use object::{Object, PinOutcome, OBJECT_OVERHEAD_BYTES};
 pub use registry::ChunkRegistry;
 pub use stats::{StatsSnapshot, StoreStats};
 pub use store::{JoinOutcome, ObjHandle, Store, StoreConfig};

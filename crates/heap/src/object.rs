@@ -249,7 +249,10 @@ impl Object {
     ///
     /// Panics if the object is not forwarded.
     pub fn compress_forward(&self, to: ObjRef) {
-        assert!(self.header().is_forwarded(), "compress on unforwarded object");
+        assert!(
+            self.header().is_forwarded(),
+            "compress on unforwarded object"
+        );
         self.fwd
             .store(Word::encode(Value::Obj(to)).bits(), Ordering::Release);
     }
@@ -352,7 +355,10 @@ mod tests {
 
     #[test]
     fn fields_roundtrip() {
-        let o = obj(ObjKind::Tuple, &[Value::Int(1), Value::Bool(true), Value::Unit]);
+        let o = obj(
+            ObjKind::Tuple,
+            &[Value::Int(1), Value::Bool(true), Value::Unit],
+        );
         assert_eq!(o.len(), 3);
         assert_eq!(o.field(0), Value::Int(1));
         assert_eq!(o.field(1), Value::Bool(true));
@@ -440,7 +446,10 @@ mod tests {
 
     #[test]
     fn field_words_iterates_snapshot() {
-        let o = obj(ObjKind::Tuple, &[Value::Int(1), Value::Obj(ObjRef::new(0, 0))]);
+        let o = obj(
+            ObjKind::Tuple,
+            &[Value::Int(1), Value::Obj(ObjRef::new(0, 0))],
+        );
         let ws: Vec<_> = o.field_words().collect();
         assert_eq!(ws.len(), 2);
         assert!(!ws[0].is_pointer());

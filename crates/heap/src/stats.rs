@@ -64,6 +64,15 @@ pub struct StatsSnapshot {
     pub max_live_bytes: usize,
     pub pinned_bytes: usize,
     pub max_pinned_bytes: usize,
+    // Scheduler counters. The store itself never sets these (scheduling
+    // is not a memory-manager concern); the runtime overlays them from
+    // the work-stealing executor so experiment harnesses get one
+    // combined snapshot. Zero when the pool is inactive.
+    pub sched_pushes: u64,
+    pub sched_steals: u64,
+    pub sched_sequentialized: u64,
+    pub sched_parks: u64,
+    pub sched_unparks: u64,
 }
 
 impl StoreStats {
@@ -89,9 +98,7 @@ impl StoreStats {
             lgc_runs: self.lgc_runs.load(Ordering::Relaxed),
             lgc_copied_bytes: self.lgc_copied_bytes.load(Ordering::Relaxed),
             lgc_reclaimed_bytes: self.lgc_reclaimed_bytes.load(Ordering::Relaxed),
-            lgc_entangled_retained_bytes: self
-                .lgc_entangled_retained_bytes
-                .load(Ordering::Relaxed),
+            lgc_entangled_retained_bytes: self.lgc_entangled_retained_bytes.load(Ordering::Relaxed),
             cgc_runs: self.cgc_runs.load(Ordering::Relaxed),
             cgc_swept_bytes: self.cgc_swept_bytes.load(Ordering::Relaxed),
             cgc_pause_ns_total: self.cgc_pause_ns_total.load(Ordering::Relaxed),
@@ -100,6 +107,9 @@ impl StoreStats {
             max_live_bytes: self.max_live_bytes.load(Ordering::Relaxed),
             pinned_bytes: self.pinned_bytes.load(Ordering::Relaxed),
             max_pinned_bytes: self.max_pinned_bytes.load(Ordering::Relaxed),
+            // Scheduler counters live outside the store; the runtime
+            // overlays them (see the field comments on StatsSnapshot).
+            ..StatsSnapshot::default()
         }
     }
 
@@ -233,8 +243,7 @@ impl StoreStats {
     fn raise_max(&self, max: &AtomicUsize, candidate: usize) {
         let mut cur = max.load(Ordering::Relaxed);
         while candidate > cur {
-            match max.compare_exchange_weak(cur, candidate, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match max.compare_exchange_weak(cur, candidate, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => break,
                 Err(c) => cur = c,
             }

@@ -159,7 +159,11 @@ impl Store {
 
     /// Convenience: allocates with `Value` fields.
     pub fn alloc_values(&self, heap: u32, kind: ObjKind, fields: &[Value]) -> ObjRef {
-        self.alloc(heap, kind, fields.iter().map(|&v| Word::encode(v)).collect())
+        self.alloc(
+            heap,
+            kind,
+            fields.iter().map(|&v| Word::encode(v)).collect(),
+        )
     }
 
     // ---- access -------------------------------------------------------
@@ -243,8 +247,7 @@ impl Store {
             match h.obj().try_pin(level) {
                 PinOutcome::Forwarded(next) => cur = next,
                 PinOutcome::NewlyPinned => {
-                    self.heaps
-                        .register_entangled(h.chunk().owner(), cur, level);
+                    self.heaps.register_entangled(h.chunk().owner(), cur, level);
                     h.chunk().add_pinned(1);
                     self.stats.on_pin(h.obj().size_bytes());
                     return (cur, true);

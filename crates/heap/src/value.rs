@@ -192,9 +192,7 @@ impl Word {
                 );
                 Word(((i as u64) << 2) | TAG_INT)
             }
-            Value::Obj(r) => {
-                Word(((r.chunk() as u64) << 33) | ((r.slot() as u64) << 2) | TAG_OBJ)
-            }
+            Value::Obj(r) => Word(((r.chunk() as u64) << 33) | ((r.slot() as u64) << 2) | TAG_OBJ),
         }
     }
 
@@ -278,7 +276,10 @@ mod tests {
     fn unit_and_bool_roundtrip() {
         assert_eq!(Word::encode(Value::Unit).decode(), Value::Unit);
         assert_eq!(Word::encode(Value::Bool(true)).decode(), Value::Bool(true));
-        assert_eq!(Word::encode(Value::Bool(false)).decode(), Value::Bool(false));
+        assert_eq!(
+            Word::encode(Value::Bool(false)).decode(),
+            Value::Bool(false)
+        );
         assert!(!Word::encode(Value::Unit).is_pointer());
         assert!(!Word::encode(Value::Bool(true)).is_pointer());
     }

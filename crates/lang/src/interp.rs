@@ -111,7 +111,10 @@ enum TState {
         right: usize,
     },
     /// Parked on `touch` of an unfinished future.
-    WaitFut { machine: Machine, fut: usize },
+    WaitFut {
+        machine: Machine,
+        fut: usize,
+    },
     /// The machine finished, but spawned futures are still running —
     /// strict futures: completion is deferred until they are done.
     Draining(Val),
@@ -281,7 +284,9 @@ pub fn run_expr(e: &Expr, opts: Options) -> Result<Outcome, LangError> {
                 }
             }
             StepEvent::Done(v) => {
-                complete(pick, v, &mut tasks, &mut tree, &mut store, opts.mode, &mut costs)?;
+                complete(
+                    pick, v, &mut tasks, &mut tree, &mut store, opts.mode, &mut costs,
+                )?;
             }
         }
     }
@@ -414,8 +419,7 @@ fn try_join(
     tree.join(ptid, lt, rt);
     // After `tree.join`, the children canonicalize to the parent, so
     // "owner in joined subtree" is "parent on owner's root path".
-    let unpinned =
-        store.unpin_at_join_where(join_depth, |owner| tree.is_on_path(ptid, owner));
+    let unpinned = store.unpin_at_join_where(join_depth, |owner| tree.is_on_path(ptid, owner));
     costs.unpins += unpinned as u64;
 
     // The parent resumes with the result pair, allocated in its heap.

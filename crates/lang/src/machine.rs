@@ -293,9 +293,7 @@ impl Machine {
                 match op {
                     BinOp::And => self.stack.push(Frame::AndF(Rc::clone(b), env.clone())),
                     BinOp::Or => self.stack.push(Frame::OrF(Rc::clone(b), env.clone())),
-                    _ => self
-                        .stack
-                        .push(Frame::BinL(*op, Rc::clone(b), env.clone())),
+                    _ => self.stack.push(Frame::BinL(*op, Rc::clone(b), env.clone())),
                 }
                 self.ctrl = Ctrl::Eval(Rc::clone(a), env);
             }

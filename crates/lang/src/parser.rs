@@ -417,7 +417,10 @@ mod tests {
             "(let x = 1 in (if (x < 2) then x else 0))"
         );
         assert_eq!(p("fn x => x + 1").to_string(), "(fn x => (x + 1))");
-        assert_eq!(p("fix f n => f (n - 1)").to_string(), "(fix f n => (f (n - 1)))");
+        assert_eq!(
+            p("fix f n => f (n - 1)").to_string(),
+            "(fix f n => (f (n - 1)))"
+        );
     }
 
     #[test]
@@ -430,7 +433,10 @@ mod tests {
 
     #[test]
     fn pairs_and_projections() {
-        assert_eq!(p("fst (1, 2) + snd (3, 4)").to_string(), "((fst (1, 2)) + (snd (3, 4)))");
+        assert_eq!(
+            p("fst (1, 2) + snd (3, 4)").to_string(),
+            "((fst (1, 2)) + (snd (3, 4)))"
+        );
     }
 
     #[test]

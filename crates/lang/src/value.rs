@@ -139,7 +139,9 @@ mod tests {
 
     #[test]
     fn values_collects_all() {
-        let e = Env::empty().bind("a", Val::Loc(Loc(3))).bind("b", Val::Int(1));
+        let e = Env::empty()
+            .bind("a", Val::Loc(Loc(3)))
+            .bind("b", Val::Int(1));
         let vs = e.values();
         assert!(vs.contains(&Val::Loc(Loc(3))));
         assert_eq!(vs.len(), 2);

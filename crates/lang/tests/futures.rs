@@ -133,7 +133,10 @@ fn local_touch_of_a_flat_future_never_entangles() {
 fn touching_the_creators_own_future_after_absorb_is_local() {
     // The creator touches its own (completed, absorbed) future: the
     // result was absorbed into the creator's heap, so the read is local.
-    let out = run("let f = future (3, 4) in fst (touch f) + snd (touch f)", Schedule::DepthFirst);
+    let out = run(
+        "let f = future (3, 4) in fst (touch f) + snd (touch f)",
+        Schedule::DepthFirst,
+    );
     assert_eq!(out.render(), "7");
     assert_eq!(out.costs.entangled_reads, 0, "absorbed results are local");
     assert_eq!(out.costs.touches, 2);

@@ -105,7 +105,10 @@ fn entangled_publish_is_managed() {
     assert!(out.costs.entangled_reads >= 1);
     assert_eq!(out.costs.pins, 1, "one object (the pair) gets pinned");
     assert_eq!(out.costs.unpins, 1, "the join unpins it");
-    assert!(out.store.pinned_locs().is_empty(), "no pins survive the run");
+    assert!(
+        out.store.pinned_locs().is_empty(),
+        "no pins survive the run"
+    );
 }
 
 #[test]

@@ -7,8 +7,13 @@
 //! * [`simsched`] — replays a recorded DAG under P-processor randomized
 //!   work stealing in virtual time (the basis of the speedup experiments
 //!   on hosts without many physical cores);
-//! * [`tokens`] — a parallelism token pool bounding the real-thread
-//!   executor's branch threads.
+//! * [`executor`] / [`worker`] — the real work-stealing executor: a
+//!   persistent worker pool with per-worker deques, randomized victim
+//!   selection, and a help-first fork-join protocol
+//!   ([`SchedMode::WorkStealing`]);
+//! * [`tokens`] — a parallelism token pool bounding the legacy
+//!   thread-per-fork executor's branch threads
+//!   ([`SchedMode::ScopedThreads`]).
 //!
 //! # Example
 //!
@@ -37,9 +42,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dag;
+pub mod executor;
 pub mod simsched;
 pub mod tokens;
+pub mod worker;
 
 pub use dag::{Dag, DagBuilder, StrandId};
+pub use executor::{Executor, SchedMode, SchedSnapshot, SchedStats};
 pub use simsched::{simulate, sweep, SimParams, SimResult};
 pub use tokens::{Token, TokenPool};
+pub use worker::{on_worker_thread, try_join, DriverGuard, WorkerCtx};

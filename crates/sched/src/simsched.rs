@@ -160,7 +160,12 @@ pub fn simulate(dag: &Dag, params: SimParams) -> SimResult {
 
 /// Convenience: `T_P` for each processor count in `procs`, with shared
 /// parameters otherwise.
-pub fn sweep(dag: &Dag, procs: &[usize], steal_overhead: u64, seed: u64) -> Vec<(usize, SimResult)> {
+pub fn sweep(
+    dag: &Dag,
+    procs: &[usize],
+    steal_overhead: u64,
+    seed: u64,
+) -> Vec<(usize, SimResult)> {
     procs
         .iter()
         .map(|&p| {
@@ -188,7 +193,12 @@ mod tests {
     /// carries `leaf_work`.
     fn fork_tree(depth: usize, leaf_work: u64) -> Dag {
         let (b, root) = DagBuilder::new();
-        fn go(b: &DagBuilder, cur: crate::dag::StrandId, depth: usize, w: u64) -> crate::dag::StrandId {
+        fn go(
+            b: &DagBuilder,
+            cur: crate::dag::StrandId,
+            depth: usize,
+            w: u64,
+        ) -> crate::dag::StrandId {
             if depth == 0 {
                 b.add_work(cur, w);
                 return cur;

@@ -41,10 +41,17 @@ impl TokenPool {
             if cur == 0 {
                 return None;
             }
+            // Success needs Acquire to pair with the Release in
+            // `Token::drop`: a thread that re-acquires a just-released
+            // token must observe everything the releasing branch thread
+            // wrote. Release semantics on the acquire side would order
+            // nothing useful (the acquirer has published nothing yet),
+            // and the failure load feeds only the retry, so Relaxed is
+            // enough there.
             match self.available.compare_exchange_weak(
                 cur,
                 cur - 1,
-                Ordering::AcqRel,
+                Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return Some(Token { pool: self }),
@@ -66,7 +73,9 @@ impl TokenPool {
 
 impl Drop for Token<'_> {
     fn drop(&mut self) {
-        self.pool.available.fetch_add(1, Ordering::AcqRel);
+        // Release pairs with the Acquire in `try_acquire`: publishes the
+        // finished branch's writes to whoever takes this token next.
+        self.pool.available.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -93,6 +102,59 @@ mod tests {
     fn single_proc_pool_never_grants() {
         let pool = TokenPool::new(1);
         assert!(pool.try_acquire().is_none());
+    }
+
+    #[test]
+    fn exhaustion_release_round_trip() {
+        // Drain the pool completely, release everything, and verify full
+        // capacity returns — repeatedly, so a lost or duplicated token
+        // from a broken CAS loop would accumulate and show.
+        let pool = TokenPool::new(5);
+        for round in 0..100 {
+            let mut held = Vec::new();
+            while let Some(t) = pool.try_acquire() {
+                held.push(t);
+            }
+            assert_eq!(held.len(), 4, "round {round}: full capacity acquirable");
+            assert_eq!(pool.available(), 0, "round {round}: exhausted");
+            assert!(
+                pool.try_acquire().is_none(),
+                "round {round}: none past zero"
+            );
+            drop(held);
+            assert_eq!(pool.available(), 4, "round {round}: all returned");
+        }
+    }
+
+    #[test]
+    fn release_publishes_branch_writes() {
+        // The acquire/release pairing on the token counter must carry a
+        // happens-before edge: writes made while holding the (single)
+        // token must be visible to the next holder. With capacity 1 the
+        // token is a mutex, so a relaxed read-modify-write sequence under
+        // it loses no increments iff the edge exists.
+        let pool = TokenPool::new(2); // capacity 1: true mutual exclusion
+        let data = AtomicUsize::new(0);
+        let acquisitions = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..2000 {
+                        if let Some(_t) = pool.try_acquire() {
+                            let seen = data.load(Ordering::Relaxed);
+                            data.store(seen + 1, Ordering::Relaxed);
+                            acquisitions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            data.load(Ordering::Relaxed),
+            acquisitions.load(Ordering::Relaxed),
+            "every token-protected increment must be visible to the next holder"
+        );
+        assert_eq!(pool.available(), 1);
     }
 
     #[test]

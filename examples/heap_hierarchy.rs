@@ -16,7 +16,10 @@ fn main() {
     // The left task allocates a record; the right task acquires it.
     let record = store.alloc_values(left, ObjKind::Ref, &[Value::Int(99)]);
     let right_path = [root, right];
-    println!("record {record} local to right task? {}", store.is_local(&right_path, record));
+    println!(
+        "record {record} local to right task? {}",
+        store.is_local(&right_path, record)
+    );
     let level = store.entanglement_level(&right_path, record);
     let (pinned, newly) = store.pin(record, level);
     println!("pinned {pinned} at level {level} (newly: {newly})");
@@ -29,7 +32,11 @@ fn main() {
         "LGC(left): copied={}B reclaimed={}B retained-entangled={}B",
         out.copied_bytes, out.reclaimed_bytes, out.retained_entangled_bytes
     );
-    assert_eq!(store.handle(record).field(0), Value::Int(99), "shielded in place");
+    assert_eq!(
+        store.handle(record).field(0),
+        Value::Int(99),
+        "shielded in place"
+    );
 
     // Nothing actually references the record (the "right task" dropped
     // it): the concurrent collector reclaims the entangled space even

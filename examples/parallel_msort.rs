@@ -28,9 +28,28 @@ fn main() {
     println!("  span        : {} units", dag.span());
     println!("  parallelism : {:.1}", dag.parallelism());
     println!("\nsimulated work-stealing speedup:");
-    let t1 = simulate(&dag, SimParams { procs: 1, steal_overhead: 8, seed: 1 }).time;
+    let t1 = simulate(
+        &dag,
+        SimParams {
+            procs: 1,
+            steal_overhead: 8,
+            seed: 1,
+        },
+    )
+    .time;
     for p in [1usize, 2, 4, 8, 16, 32, 64] {
-        let tp = simulate(&dag, SimParams { procs: p, steal_overhead: 8, seed: 1 }).time;
-        println!("  P={p:<3} T_P={tp:<12} speedup {:.2}x", t1 as f64 / tp as f64);
+        let tp = simulate(
+            &dag,
+            SimParams {
+                procs: p,
+                steal_overhead: 8,
+                seed: 1,
+            },
+        )
+        .time;
+        println!(
+            "  P={p:<3} T_P={tp:<12} speedup {:.2}x",
+            t1 as f64 / tp as f64
+        );
     }
 }

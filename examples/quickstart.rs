@@ -47,6 +47,9 @@ fn main() {
     println!("entangled reads: {}", stats.entangled_reads);
     println!("objects pinned:  {}", stats.pins);
     println!("unpinned at join:{}", stats.unpins);
-    println!("pinned bytes now: {} (joins release everything)", stats.pinned_bytes);
+    println!(
+        "pinned bytes now: {} (joins release everything)",
+        stats.pinned_bytes
+    );
     assert_eq!(result, Value::Int(42));
 }

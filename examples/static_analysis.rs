@@ -71,7 +71,11 @@ fn main() {
             let rt2 = Runtime::new(RuntimeConfig::managed());
             let check = run_source(&rt2, src, 10_000_000).expect("run");
             assert_eq!(out.rendered, check.rendered);
-            assert_eq!(rt2.stats().entangled_reads, 0, "the proof holds at run time");
+            assert_eq!(
+                rt2.stats().entangled_reads,
+                0,
+                "the proof holds at run time"
+            );
         }
     }
     println!("every barrier-free execution matched its managed twin.");

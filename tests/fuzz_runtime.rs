@@ -157,10 +157,8 @@ fn interpret(
             Op::Fork(l, r) => {
                 // Children inherit the parent environment (handles are
                 // readable from descendants) plus their own extensions.
-                let le: Mutex<Vec<(mpl_runtime::Handle, usize)>> =
-                    Mutex::new(env.clone());
-                let re: Mutex<Vec<(mpl_runtime::Handle, usize)>> =
-                    Mutex::new(env.clone());
+                let le: Mutex<Vec<(mpl_runtime::Handle, usize)>> = Mutex::new(env.clone());
+                let re: Mutex<Vec<(mpl_runtime::Handle, usize)>> = Mutex::new(env.clone());
                 m.fork(
                     |m| {
                         let mut env = le.lock().unwrap();
@@ -194,7 +192,11 @@ fn run_fuzz(ops: &[Op], cfg: RuntimeConfig, check_values: bool) {
         interpret(m, ops, &mut env, &model, &shared_arr, check_values);
         Value::Unit
     });
-    assert_eq!(rt.stats().pinned_bytes, 0, "all pins resolve at the root join");
+    assert_eq!(
+        rt.stats().pinned_bytes,
+        0,
+        "all pins resolve at the root join"
+    );
     rt.assert_heap_sound();
 }
 

@@ -84,7 +84,10 @@ fn unpin_at_join_depth_agrees() {
     let out = lang_df(mpl_lang::examples::ENTANGLE_DEEP);
     assert_eq!(out.result, Val::Int(42));
     assert!(out.costs.pins >= 1);
-    assert!(out.store.pinned_locs().is_empty(), "all released by the end");
+    assert!(
+        out.store.pinned_locs().is_empty(),
+        "all released by the end"
+    );
 
     let rt = Runtime::new(RuntimeConfig::managed());
     rt.run(|m| {

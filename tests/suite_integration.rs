@@ -173,12 +173,14 @@ fn suspects_optimization_preserves_entanglement_accounting() {
         assert_eq!(on.0, off.0, "{}: checksum", bench.name());
         assert_eq!(on.1.pins, off.1.pins, "{}: pins", bench.name());
         assert_eq!(
-            on.1.entangled_reads, off.1.entangled_reads,
+            on.1.entangled_reads,
+            off.1.entangled_reads,
             "{}: entangled reads",
             bench.name()
         );
         assert_eq!(
-            on.1.entangled_writes, off.1.entangled_writes,
+            on.1.entangled_writes,
+            off.1.entangled_writes,
             "{}: entangled writes",
             bench.name()
         );

@@ -1,0 +1,259 @@
+//! Offline stand-in for `crossbeam-deque`: the `Worker`/`Stealer`/
+//! `Injector` API over a mutex-protected ring buffer.
+//!
+//! The real crate implements the Chase–Lev lock-free deque; this stand-in
+//! keeps the exact API (so the executor's code is drop-in compatible with
+//! the real crate on a networked host) but uses a `Mutex<VecDeque>` per
+//! queue. Critical sections are a few pointer moves, so contention is
+//! short; on the ≤8-worker pools this repository targets the difference
+//! is latency, not correctness. Owner operations (`push`/`pop`) act on
+//! the back of the deque (LIFO), steals take from the front (FIFO) —
+//! the same discipline as Chase–Lev, which is what preserves the
+//! help-first fork-join order the hierarchical heap relies on.
+
+// Vendored API-compatible stub: exempt from workspace lint gates.
+#![allow(clippy::all)]
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The owner's endpoint of a work-stealing deque.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A thief's endpoint of a [`Worker`]'s deque. Cloneable and shareable.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A global FIFO injection queue.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker deque (owner pops its most recent push).
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a FIFO worker queue (owner pops its oldest push).
+    pub fn new_fifo() -> Worker<T> {
+        // The stand-in keeps one implementation; `pop` order is LIFO.
+        // The executor only uses `new_lifo`.
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a stealer endpoint for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        self.lock().push_back(task);
+    }
+
+    /// Pops from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// True if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of tasks observed in the deque.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the opposite end of the owner's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(p) => match p.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    /// True if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injection queue.
+    pub fn new() -> Injector<T> {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    /// Steals one task (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Worker { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Stealer { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Injector { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1), "thief takes oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes newest");
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.pop().is_none());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal().success(), Some('a'));
+        assert_eq!(inj.steal().success(), Some('b'));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_never_duplicate() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let seen = Mutex::new(HashSet::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let seen = &seen;
+                scope.spawn(move || {
+                    while let Steal::Success(v) = s.steal() {
+                        assert!(seen.lock().unwrap().insert(v), "duplicate steal of {v}");
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for `crossbeam-utils` (the subset this workspace
+//! uses): [`CachePadded`] and a `Backoff` helper for spin loops.
+
+// Vendored API-compatible stub: exempt from workspace lint gates.
+#![allow(clippy::all)]
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes to avoid false sharing between
+/// adjacent hot atomics.
+#[derive(Default, Debug, Clone, Copy)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Exponential backoff for spin loops (API-compatible subset of
+/// `crossbeam_utils::Backoff`; like the real crate, methods take
+/// `&self` via an interior `Cell`).
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Creates a fresh backoff.
+    pub fn new() -> Backoff {
+        Backoff {
+            step: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets to the initial (spinning) state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off with spin hints only (for lock-free retry loops).
+    pub fn spin(&self) {
+        let step = self.step.get();
+        for _ in 0..1u32 << step.min(Self::SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if step <= Self::SPIN_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Backs off, escalating from spinning to yielding the thread.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= Self::YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// True once backoff has escalated past spinning: the caller should
+    /// park instead of continuing to burn CPU.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > Self::YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_derefs() {
+        let c = CachePadded::new(5u64);
+        assert_eq!(*c, 5);
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn backoff_completes() {
+        let b = Backoff::new();
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

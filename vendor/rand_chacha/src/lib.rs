@@ -1,0 +1,62 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] here is *not* the ChaCha stream cipher: it is a
+//! deterministic counter-mode generator built on SplitMix64 finalization,
+//! with the same construction API (`seed_from_u64`) and trait surface the
+//! workspace uses. All consumers treat it as an opaque seeded PRNG for
+//! workload generation and scheduler randomization, so the change of
+//! stream is behavior-preserving as long as every run uses this same
+//! vendored generator.
+
+// Vendored API-compatible stub: exempt from workspace lint gates.
+#![allow(clippy::all)]
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seeded generator standing in for ChaCha8.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    state: u64,
+    counter: u64,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Two finalization rounds separate nearby seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ChaCha8Rng {
+            state: z ^ (z >> 31),
+            counter: 0,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        let mut z = self
+            .state
+            .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+        assert!(a.gen_range(0..10) < 10);
+    }
+}

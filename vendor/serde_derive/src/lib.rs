@@ -1,0 +1,127 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the only shape the workspace
+//! uses: non-generic structs with named fields. The expansion calls the
+//! vendored serde's `Serialize::write_json` field by field. No `syn`/
+//! `quote` (unavailable offline): the input item is parsed directly from
+//! the token stream, which is straightforward for this restricted shape.
+
+// Vendored API-compatible stub: exempt from workspace lint gates.
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored JSON flavor) for a named-field
+/// struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility before the `struct` keyword.
+    let mut name = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".into()),
+                }
+                i += 2;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("vendored serde_derive supports only structs".into());
+            }
+            _ => i += 1,
+        }
+    }
+    let name = name.ok_or_else(|| "expected a struct item".to_string())?;
+
+    // Find the brace-delimited field group; anything else (generics,
+    // where-clauses, tuple structs) is outside this stand-in's scope.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("vendored serde_derive does not support generics".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("vendored serde_derive does not support tuple/unit structs".into());
+            }
+            Some(_) => i += 1,
+            None => return Err("expected struct body".into()),
+        }
+    };
+
+    let fields = field_names(body)?;
+    if fields.is_empty() {
+        return Err("vendored serde_derive: struct has no named fields".into());
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n  fn write_json(&self, out: &mut String) {{\n    out.push('{{');\n"
+    ));
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            out.push_str("    out.push(',');\n");
+        }
+        out.push_str(&format!(
+            "    out.push_str(\"\\\"{f}\\\":\");\n    ::serde::Serialize::write_json(&self.{f}, out);\n"
+        ));
+    }
+    out.push_str("    out.push('}');\n  }\n}\n");
+    out.parse()
+        .map_err(|e| format!("derive expansion failed to parse: {e:?}"))
+}
+
+/// Extracts field names from a named-field struct body: for each
+/// top-level comma-separated chunk, the identifier immediately before the
+/// first top-level `:` (skipping attributes and visibility).
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut flush = |chunk: &mut Vec<TokenTree>| -> Result<(), String> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut j = 0;
+        // Skip `#[...]` attributes and `pub` / `pub(...)` visibility.
+        loop {
+            match chunk.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    j += 1;
+                    if matches!(chunk.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match (chunk.get(j), chunk.get(j + 1)) {
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                fields.push(id.to_string());
+                chunk.clear();
+                Ok(())
+            }
+            _ => Err("vendored serde_derive: expected `name: Type` field".into()),
+        }
+    };
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => flush(&mut current)?,
+            _ => current.push(tt),
+        }
+    }
+    flush(&mut current)?;
+    Ok(fields)
+}

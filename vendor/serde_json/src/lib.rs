@@ -1,0 +1,93 @@
+//! Offline stand-in for `serde_json`: `to_string` / `to_string_pretty`
+//! over the vendored serde's direct-to-JSON [`serde::Serialize`].
+
+// Vendored API-compatible stub: exempt from workspace lint gates.
+#![allow(clippy::all)]
+use std::fmt;
+
+/// Serialization error (the vendored pipeline is infallible; this exists
+/// for API compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to an indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(indent(&to_string(value)?))
+}
+
+/// Minimal JSON re-indenter (assumes valid input from [`to_string`]).
+fn indent(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if in_str {
+            out.push(c);
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_nests() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let compact = super::to_string(&v).unwrap();
+        assert_eq!(compact, "[[1,2],[3]]");
+        let pretty = super::to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+    }
+}

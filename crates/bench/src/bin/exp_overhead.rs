@@ -29,6 +29,10 @@ struct Row {
     sched_steals: u64,
     sched_sequentialized: u64,
     sched_parks: u64,
+    audit_runs: u64,
+    audit_events: u64,
+    audit_ring_overflows: u64,
+    lgc_dead_traced: u64,
 }
 
 fn main() {
@@ -101,6 +105,13 @@ fn main() {
             sched_steals: mpl.stats.sched_steals,
             sched_sequentialized: mpl.stats.sched_sequentialized,
             sched_parks: mpl.stats.sched_parks,
+            // Audit layer off by default: runs/events stay zero here,
+            // demonstrating the compiled-in-but-disabled configuration;
+            // `lgc_dead_traced` is the always-on corruption detector.
+            audit_runs: mpl.stats.audit_runs,
+            audit_events: mpl.stats.audit_events,
+            audit_ring_overflows: mpl.stats.audit_ring_overflows,
+            lgc_dead_traced: mpl.stats.lgc_dead_traced,
         });
     }
     print!("{}", table.render());

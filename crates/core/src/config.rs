@@ -85,6 +85,12 @@ pub struct RuntimeConfig {
     /// safepoints with mutators running (and SATB-logging) in between.
     /// `0` (the default) runs each cycle to completion in one pause.
     pub cgc_slice_objects: usize,
+    /// Enables GC phase-boundary audits and entanglement-event tracing
+    /// (`mpl-gc`'s audit layer) for this runtime's lifetime — the
+    /// programmatic equivalent of setting `MPL_DEBUG_LGC_VALIDATE`.
+    /// Expensive (whole-store scans at collection phase boundaries);
+    /// meant for stress tests and debugging, not production runs.
+    pub audit: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -99,6 +105,7 @@ impl Default for RuntimeConfig {
             sched: SchedMode::default(),
             suspects: true,
             cgc_slice_objects: 0,
+            audit: false,
         }
     }
 }
@@ -147,6 +154,13 @@ impl RuntimeConfig {
     /// Enables DAG recording.
     pub fn with_dag(mut self) -> RuntimeConfig {
         self.record_dag = true;
+        self
+    }
+
+    /// Enables GC phase-boundary audits and event tracing (see
+    /// [`RuntimeConfig::audit`]).
+    pub fn with_audit(mut self) -> RuntimeConfig {
+        self.audit = true;
         self
     }
 

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mpl_gc::collect_local;
+use mpl_heap::events::{self, EventKind};
 use mpl_heap::{Chunk, ObjKind, ObjRef, Object, RemsetEntry, Value, Word};
 use mpl_sched::{DagBuilder, StrandId};
 
@@ -77,6 +78,14 @@ pub(crate) struct TaskCtx {
     /// exceeds `max(policy trigger, 2 × last survivors)`. Keeps total
     /// copying linear even when joins repeatedly merge surviving data.
     lgc_budget: usize,
+    /// Whether this task has ever acquired a remote (entangled) pointer.
+    /// Every first acquisition flows through `pin_cached`, which sets
+    /// this; once set, allocations scan their pointer fields and pin any
+    /// remote target (the allocation barrier), because a raw remote
+    /// pointer stored into a fresh local object creates a cross-heap
+    /// edge no other barrier ever sees. Disentangled tasks never set it
+    /// and keep the one-branch allocation fast path.
+    saw_remote: bool,
 }
 
 /// Task-buffered counters, flushed to the global [`mpl_heap::StoreStats`]
@@ -112,6 +121,7 @@ impl TaskCtx {
             alloc_cache: None,
             pending: PendingStats::default(),
             lgc_budget: rt.config().policy.lgc_trigger_bytes,
+            saw_remote: false,
         }
     }
 }
@@ -327,6 +337,12 @@ impl<'rt> Mutator<'rt> {
         self.ctx.work += wm.alloc + fields.len() as u64 / 4;
         let est = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields.len();
         self.ctx.alloc_since += est;
+        // Allocation barrier: only tasks that have already acquired a
+        // remote pointer (`saw_remote`) can be holding one to store, so
+        // disentangled tasks pay exactly this one predictable branch.
+        if self.ctx.saw_remote && self.rt.config().mode == Mode::Managed {
+            self.alloc_pin_remote(&mut fields);
+        }
         if self.ctx.alloc_since >= self.ctx.lgc_budget {
             self.run_lgc(&mut fields);
         }
@@ -661,6 +677,11 @@ impl<'rt> Mutator<'rt> {
     /// preceding `locate_ref`) at `level`.
     fn pin_cached(&mut self, r: ObjRef, level: u16) -> ObjRef {
         use mpl_heap::PinOutcome;
+        // Every remote acquisition funnels through here (read barrier,
+        // write barrier, observe, allocation barrier): from now on this
+        // task may hold raw remote pointers, so its allocations must be
+        // scanned (see `alloc_pin_remote`).
+        self.ctx.saw_remote = true;
         let chunk = self.cached_chunk(r);
         let obj = chunk.get(r.slot());
         // Steady state: already pinned at (or below) this level — a single
@@ -678,6 +699,7 @@ impl<'rt> Mutator<'rt> {
                 store.heaps().register_entangled(owner, r, level);
                 self.cached_chunk(r).add_pinned(1);
                 store.stats().on_pin(size);
+                events::emit_obj(EventKind::Pin, r, u32::from(level));
                 self.rt.cgc_state().satb_log(r);
                 self.rt.request_cgc_poll();
                 r
@@ -688,6 +710,32 @@ impl<'rt> Mutator<'rt> {
                     self.rt.cgc_state().satb_log(pinned);
                 }
                 pinned
+            }
+        }
+    }
+
+    /// The allocation barrier (entangled tasks only): a task holding raw
+    /// remote pointers may store one into an object it is allocating,
+    /// creating a cross-heap edge that neither the read/write barriers
+    /// nor the remembered set ever see — the target's heap could then
+    /// dead-mark it while this edge still reaches it (the historical
+    /// "traced a dead object" race). Pinning each remote pointee at the
+    /// heaps' LCA records the edge exactly as the write barrier records
+    /// a remote store; the pin resolves at that join like any other.
+    fn alloc_pin_remote(&mut self, fields: &mut [Value]) {
+        for slot in fields.iter_mut() {
+            let raw = *slot;
+            let Value::Obj(_) = raw else { continue };
+            let t = self.locate_ref(raw, "allocation barrier");
+            let owner = self.cached_chunk(t).owner();
+            let (_, _, lca) = self.rt.store().heaps().path_relation(&self.ctx.path, owner);
+            if let Some(level) = lca {
+                self.ctx.pending.entangled_writes += 1;
+                let pinned = self.pin_cached(t, level);
+                events::emit_obj(EventKind::AllocPin, pinned, u32::from(level));
+                *slot = Value::Obj(pinned);
+            } else if Value::Obj(t) != raw {
+                *slot = Value::Obj(t); // chased forwarding: keep the fresh location
             }
         }
     }

@@ -45,6 +45,12 @@ pub struct Runtime {
 impl Runtime {
     /// Creates a runtime with the given configuration.
     pub fn new(config: RuntimeConfig) -> Runtime {
+        if config.audit {
+            mpl_gc::audit::enable(); // balanced by Drop
+        }
+        // Give each pool worker its own event ring. Registered before the
+        // pool exists so the first worker to start is already covered.
+        mpl_sched::set_worker_start_hook(mpl_gc::audit::register_worker);
         let executor = if config.threads > 1 && config.sched == SchedMode::WorkStealing {
             Some(Executor::new(config.threads))
         } else {
@@ -78,7 +84,8 @@ impl Runtime {
     }
 
     /// A snapshot of the cost-metric counters, with the scheduler's
-    /// counters overlaid when the work-stealing executor is active.
+    /// counters overlaid when the work-stealing executor is active and
+    /// the (process-global) GC audit counters overlaid always.
     pub fn stats(&self) -> StatsSnapshot {
         let mut s = self.store.stats().snapshot();
         if let Some(e) = &self.executor {
@@ -89,6 +96,11 @@ impl Runtime {
             s.sched_parks = sched.parks;
             s.sched_unparks = sched.unparks;
         }
+        let audit = mpl_gc::audit::counters();
+        s.audit_runs = audit.audits_run;
+        s.audit_objects_checked = audit.objects_checked;
+        s.audit_events = audit.events_recorded;
+        s.audit_ring_overflows = audit.ring_overflows;
         s
     }
 
@@ -303,5 +315,16 @@ impl Runtime {
         self.store
             .stats()
             .on_cgc_pause(start.elapsed().as_nanos() as u64);
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if self.config.audit {
+            // Balance the `enable` in `Runtime::new`: auditing is
+            // refcounted process-wide so concurrently-live audited
+            // runtimes (the parallel test harness) compose.
+            mpl_gc::audit::disable();
+        }
     }
 }

@@ -35,6 +35,7 @@ use std::collections::HashSet;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use mpl_heap::events::{self, EventKind, DEAD_BY_CGC};
 use mpl_heap::{ObjRef, Store};
 
 /// Shared state coordinating mutators with a concurrent mark phase.
@@ -328,7 +329,7 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
         return; // freed between slices
     };
     let mut retainers = 0usize;
-    for (_slot, obj) in chunk.objects() {
+    for (slot, obj) in chunk.objects() {
         let header = obj.header();
         if header.is_dead() {
             continue;
@@ -342,14 +343,19 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
             retainers += 1;
             continue;
         }
-        if header.in_entangled_space() && !header.is_marked() {
+        // `try_kill_swept` re-verifies entangled-space/unmarked/unmoved on
+        // its CAS and returns the *atomic* pre-kill header — the earlier
+        // `header` load above may be stale by now (e.g. a pin landed in
+        // between), and settling pin accounting from a stale header
+        // drifted the pinned-bytes gauge.
+        if let Some(killed) = obj.try_kill_swept() {
             let size = obj.size_bytes();
-            obj.set_dead();
             chunk.sub_live_bytes(size);
-            if header.is_pinned() {
+            if killed.is_pinned() {
                 chunk.add_pinned(-1);
                 store.stats().sub_pinned_bytes(size);
             }
+            events::emit(EventKind::DeadMark, cid, slot, DEAD_BY_CGC);
             out.swept_bytes += size as u64;
             out.swept_objects += 1;
         } else {
@@ -376,6 +382,7 @@ fn epilogue(store: &Store, marked: Vec<ObjRef>, out: CgcOutcome) -> CgcOutcome {
     prune_entangled_indexes(store);
 
     store.stats().on_cgc(out.swept_bytes);
+    crate::audit::audit_phase(store, "cgc/sweep", 0, None);
     out
 }
 

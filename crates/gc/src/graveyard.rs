@@ -9,6 +9,7 @@
 
 use parking_lot::Mutex;
 
+use mpl_heap::events::{self, EventKind};
 use mpl_heap::Store;
 
 /// A set of chunks awaiting reclamation at the next quiescent point.
@@ -25,6 +26,7 @@ impl Graveyard {
 
     /// Retires a chunk for deferred freeing.
     pub fn retire(&self, chunk_id: u32) {
+        events::emit(EventKind::ChunkRetire, chunk_id, 0, 0);
         self.pending.lock().push(chunk_id);
     }
 
@@ -40,6 +42,11 @@ impl Graveyard {
         let n = ids.len();
         for id in ids {
             store.chunks().free(id);
+        }
+        if n > 0 {
+            // The reap is itself a reclamation phase: with auditing on,
+            // certify no live field was left pointing into a freed chunk.
+            crate::audit::audit_phase(store, "graveyard/reap", 0, None);
         }
         n
     }

@@ -18,8 +18,12 @@
 //!
 //! * **Phase A (shield)** — compute the transitive closure of the heap's
 //!   pinned objects (through *all* fields, conservatively, because remote
-//!   readers traverse immutable edges barrier-free) and tag it
-//!   `entangled_space`: non-moving, retained, swept later by the CGC.
+//!   readers traverse immutable edges barrier-free, and **through foreign
+//!   heaps**: a sibling that read a pointer out of a pinned object's
+//!   closure may have stored it in an object of its own heap, so a path
+//!   from a pinned root can hop across the boundary and come back) and
+//!   tag its in-heap members `entangled_space`: non-moving, retained,
+//!   swept later by the CGC.
 //! * **Phase B (evacuate)** — Cheney-style copy of everything reachable
 //!   from the task's roots and the remembered set into fresh chunks,
 //!   leaving forwarding words behind; entangled-space objects are kept in
@@ -31,6 +35,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use mpl_heap::events::{self, EventKind, DEAD_BY_ABANDON, DEAD_BY_LGC};
 use mpl_heap::{Chunk, ObjHandle, ObjRef, Object, RemsetEntry, Store, Value, Word};
 
 use crate::graveyard::Graveyard;
@@ -125,6 +130,15 @@ pub fn collect_local(
         let entries = info.take_entangled();
         let mut kept = Vec::with_capacity(entries.len());
         let mut stack: Vec<ObjRef> = Vec::new();
+        // The closure traversal must pass THROUGH foreign objects: a
+        // sibling that read a pointer out of a pinned object's immutable
+        // closure may have stored it in an object of its own heap, so a
+        // path from a pinned root can hop across the heap boundary and
+        // come back. Stopping at the boundary left such comeback objects
+        // unshielded. Foreign objects are traversed (tracked in
+        // `foreign_seen`) but never tagged or retained; only in-heap
+        // members join the closure.
+        let mut foreign_seen: HashSet<ObjRef> = HashSet::new();
         for r in entries {
             let Some(r) = store.try_resolve(r) else {
                 continue; // reclaimed by the concurrent collector
@@ -139,30 +153,18 @@ pub fn collect_local(
             }
         }
         info.extend_entangled(kept);
-
-        while let Some(r) = stack.pop() {
-            if !entangled_closure.insert(r) {
-                continue;
-            }
-            let hd = store.handle(r);
-            hd.set_entangled_space();
-            retained_chunk_ids.insert(r.chunk());
-            out.retained_entangled_bytes += hd.size_bytes() as u64;
-            if hd.kind().is_traced() {
-                for w in hd.field_words() {
-                    if let Some(t) = w.pointer() {
-                        let t = store.resolve(t);
-                        if in_heap(t) && !entangled_closure.contains(&t) {
-                            let th = store.handle(t);
-                            if !th.header().is_dead() {
-                                stack.push(t);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        shield_sweep(
+            store,
+            h,
+            &from_set,
+            &mut stack,
+            &mut entangled_closure,
+            &mut foreign_seen,
+            &mut retained_chunk_ids,
+            &mut out,
+        );
     }
+    crate::audit::audit_phase(store, "lgc/shield", h, Some(&entangled_closure));
 
     // ---- Phase B: evacuate ---------------------------------------------
     let phase = std::cell::Cell::new("init");
@@ -210,11 +212,15 @@ pub fn collect_local(
             return f;
         }
         if header.is_dead() {
-            // A reachable-but-swept object is a collector bug; dump
-            // everything we know before dying (debug builds only).
-            debug_assert!(
-                false,
-                "traced a dead object {r}: kind {:?} len {} suspect {} entspace {} chunk(owner {} entangled {} pinned_count {})",
+            // A reachable-but-swept object is a collector bug. Count it
+            // unconditionally — release builds compile out the assertion
+            // below but still surface the corruption through the
+            // `lgc_dead_traced` stat — then log the full context, dump
+            // the event trace, and die in debug builds.
+            store.stats().on_dead_traced();
+            eprintln!(
+                "mpl-gc ERROR: LGC({h})[{}] traced a dead object {r}: kind {:?} len {} suspect {} entspace {} chunk(owner {} entangled {} pinned_count {})",
+                phase.get(),
                 header.kind(),
                 hd.obj().len(),
                 header.is_suspect(),
@@ -223,6 +229,8 @@ pub fn collect_local(
                 hd.chunk().is_entangled(),
                 hd.chunk().pinned_count(),
             );
+            crate::audit::dump_events();
+            debug_assert!(false, "traced a dead object {r} (details on stderr)");
         }
         // Copy the payload and claim the original. The suspect bit is
         // part of the object's identity for the read barrier and must
@@ -256,6 +264,7 @@ pub fn collect_local(
                 // traverse its fields barrier-free).
                 abandon_copy(store, nr);
                 hd.set_entangled_space();
+                events::emit_obj(EventKind::Entangle, r, h);
                 entangled_closure.insert(r);
                 retained_chunk_ids.insert(r.chunk());
                 out.retained_entangled_bytes += size as u64;
@@ -337,6 +346,7 @@ pub fn collect_local(
                 .cas_field(idx, old_word.decode(), Value::Obj(nt))
             {
                 Ok(()) => {
+                    events::emit_obj(EventKind::RemsetRepair, src, entry.field);
                     kept_remset.push(RemsetEntry {
                         src,
                         field: entry.field,
@@ -391,32 +401,117 @@ pub fn collect_local(
     // the graveyard); members still in place must be retained and spared
     // from dead-marking, recursively.
     {
+        // Like Phase A, the late shield crosses heap boundaries: the
+        // racing reader may already have stashed pointers to this heap's
+        // objects inside objects of its own heap.
+        let mut foreign_seen: HashSet<ObjRef> = HashSet::new();
         let mut stack = race_pinned.into_inner();
         while let Some(r) = stack.pop() {
-            let hd = store.handle(r);
-            if hd.header().is_forwarded() {
+            let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+                continue;
+            };
+            let Some(obj) = chunk.try_get(r.slot()) else {
+                continue;
+            };
+            if obj.header().is_forwarded() {
                 continue; // alive in to-space; reader chases forwarding
             }
-            if hd.kind().is_traced() {
-                for w in hd.field_words() {
-                    let Some(t) = w.pointer() else { continue };
-                    let t = store.resolve(t);
-                    if !from_set.contains(&t.chunk()) || entangled_closure.contains(&t) {
-                        continue;
-                    }
-                    let th = store.handle(t);
-                    if th.header().is_dead() || th.header().is_forwarded() {
-                        continue;
-                    }
-                    th.set_entangled_space();
+            if !obj.header().kind().is_traced() {
+                continue;
+            }
+            for w in obj.field_words() {
+                let Some(t) = w.pointer() else { continue };
+                let Some(t) = store.try_resolve(t) else {
+                    continue;
+                };
+                let local = from_set.contains(&t.chunk());
+                if local && entangled_closure.contains(&t) {
+                    continue;
+                }
+                if !local && !foreign_seen.insert(t) {
+                    continue;
+                }
+                let Some(tch) = store.chunks().try_get(t.chunk()) else {
+                    continue;
+                };
+                let Some(tobj) = tch.try_get(t.slot()) else {
+                    continue;
+                };
+                if tobj.header().is_dead() || tobj.header().is_forwarded() {
+                    continue;
+                }
+                if local {
+                    tobj.set_entangled_space();
+                    events::emit_obj(EventKind::Entangle, t, h);
                     entangled_closure.insert(t);
                     retained_chunk_ids.insert(t.chunk());
-                    out.retained_entangled_bytes += th.size_bytes() as u64;
-                    stack.push(t);
+                    out.retained_entangled_bytes += tobj.size_bytes() as u64;
+                } else {
+                    events::emit_obj(EventKind::ShieldCross, t, r.chunk());
                 }
+                stack.push(t);
             }
         }
     }
+    // Registry re-take: a pin can land at ANY point during the collection
+    // — a sibling's acquisition barrier fires on objects this collection
+    // may never trace (e.g. a former bucket head now reachable only
+    // through the sibling's own object after it CAS'd a shared slot).
+    // The `race_pinned` late shield above only covers pins the evacuation
+    // happened to trace; a pin on an untraced object would be spared
+    // individually by `try_kill`'s CAS, but its *referents* would be
+    // dead-marked while the reader can still walk to them.
+    //
+    // Soundness of draining again: every cross-heap acquisition pins and
+    // registers its target *before* the reference escapes to the remote
+    // task (read barrier, write barrier, and allocation barrier all pin
+    // first), so any object a reader can possibly hold by the time Phase
+    // C's kills run is registered with this heap's index by the time this
+    // loop's final drain observes it empty of news. The object-level pin
+    // CAS in `try_kill` covers the residual window for freshly pinned
+    // objects themselves, and such objects' referents are necessarily
+    // already in the closure (their reference escaped through an earlier
+    // registered pin).
+    {
+        let mut foreign_seen: HashSet<ObjRef> = HashSet::new();
+        loop {
+            let entries = info.take_entangled();
+            if entries.is_empty() {
+                break;
+            }
+            let mut kept = Vec::with_capacity(entries.len());
+            let mut stack: Vec<ObjRef> = Vec::new();
+            for r in entries {
+                let Some(r) = store.try_resolve(r) else {
+                    continue;
+                };
+                let hd = store.handle(r);
+                if hd.header().is_dead() || !hd.header().is_pinned() {
+                    continue;
+                }
+                kept.push(r);
+                if in_heap(r) && !entangled_closure.contains(&r) {
+                    stack.push(r);
+                }
+            }
+            let progress = !stack.is_empty();
+            shield_sweep(
+                store,
+                h,
+                &from_set,
+                &mut stack,
+                &mut entangled_closure,
+                &mut foreign_seen,
+                &mut retained_chunk_ids,
+                &mut out,
+            );
+            info.extend_entangled(kept);
+            if !progress {
+                break;
+            }
+        }
+    }
+    crate::audit::audit_phase(store, "lgc/evacuate", h, Some(&entangled_closure));
 
     // ---- Phase C: reclaim ------------------------------------------------
     // Forwarding-chain path compression: retained chunks keep forwarded
@@ -452,18 +547,19 @@ pub fn collect_local(
                 }
                 if header.is_forwarded() {
                     chunk.sub_live_bytes(obj.size_bytes());
-                } else if !entangled_closure.contains(&ObjRef::new(cid, slot))
-                    && !header.is_pinned()
-                    && !header.in_entangled_space()
-                {
+                } else if !entangled_closure.contains(&ObjRef::new(cid, slot)) {
                     // Unreachable and unshielded: garbage in a retained
                     // chunk; the CGC reclaims the slot later. Objects with
                     // a pin (possibly acquired concurrently, after the
                     // shield phase) or a lingering entangled-space flag
                     // are spared — the concurrent collector decides their
-                    // fate with a proper global mark.
-                    obj.set_dead();
-                    chunk.sub_live_bytes(obj.size_bytes());
+                    // fate with a proper global mark. `try_kill` re-checks
+                    // those conditions on its CAS, so a pin landing after
+                    // this loop's header load cannot be overrun.
+                    if obj.try_kill().is_some() {
+                        events::emit(EventKind::DeadMark, cid, slot, DEAD_BY_LGC);
+                        chunk.sub_live_bytes(obj.size_bytes());
+                    }
                 }
             }
         } else {
@@ -503,18 +599,92 @@ pub fn collect_local(
         out.reclaimed_bytes,
         out.retained_entangled_bytes,
     );
-    if std::env::var("MPL_DEBUG_LGC_VALIDATE").is_ok() {
-        for issue in crate::validate::dangling_fields(store) {
-            eprintln!("LGC({h}) {issue}");
+    // Phase-boundary audit (formerly an ad-hoc MPL_DEBUG_LGC_VALIDATE
+    // dangling-field scan printed to stderr): the reclaim-class audit
+    // re-validates the shield, cross-checks reachability against dead
+    // marks, scans for dangling fields, and fails loudly with the event
+    // trace if anything is off. Enabled by the same environment flag or
+    // `RuntimeConfig::with_audit`.
+    crate::audit::audit_phase(store, "lgc/reclaim", h, Some(&entangled_closure));
+    out
+}
+
+/// Expands `entangled_closure` with everything reachable from `stack`,
+/// crossing heap boundaries in both directions: foreign objects are
+/// traversed (tracked in `foreign_seen`) but never tagged or retained;
+/// in-heap members (chunks in `from_set`) are tagged entangled-space,
+/// their chunks retained, and their retained bytes accounted.
+#[allow(clippy::too_many_arguments)]
+fn shield_sweep(
+    store: &Store,
+    h: u32,
+    from_set: &HashSet<u32>,
+    stack: &mut Vec<ObjRef>,
+    entangled_closure: &mut HashSet<ObjRef>,
+    foreign_seen: &mut HashSet<ObjRef>,
+    retained_chunk_ids: &mut HashSet<u32>,
+    out: &mut LgcOutcome,
+) {
+    while let Some(r) = stack.pop() {
+        let local = from_set.contains(&r.chunk());
+        if local {
+            if !entangled_closure.insert(r) {
+                continue;
+            }
+        } else if !foreign_seen.insert(r) {
+            continue;
+        }
+        // Foreign chunks can be swept (and freed) by a concurrent
+        // collection elsewhere; read them defensively.
+        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+            continue;
+        };
+        let Some(obj) = chunk.try_get(r.slot()) else {
+            continue;
+        };
+        if local {
+            obj.set_entangled_space();
+            events::emit_obj(EventKind::Entangle, r, h);
+            retained_chunk_ids.insert(r.chunk());
+            out.retained_entangled_bytes += obj.size_bytes() as u64;
+        }
+        if !obj.header().kind().is_traced() {
+            continue;
+        }
+        for w in obj.field_words() {
+            let Some(t) = w.pointer() else { continue };
+            let Some(t) = store.try_resolve(t) else {
+                continue;
+            };
+            let t_local = from_set.contains(&t.chunk());
+            let seen = if t_local {
+                entangled_closure.contains(&t)
+            } else {
+                foreign_seen.contains(&t)
+            };
+            if seen {
+                continue;
+            }
+            let dead = store
+                .chunks()
+                .try_get(t.chunk())
+                .and_then(|c| c.try_get(t.slot()).map(|o| o.header().is_dead()));
+            if dead != Some(false) {
+                continue;
+            }
+            if t_local != local {
+                events::emit_obj(EventKind::ShieldCross, t, r.chunk());
+            }
+            stack.push(t);
         }
     }
-    out
 }
 
 fn abandon_copy(store: &Store, r: ObjRef) {
     let hd = store.handle(r);
     let size = hd.size_bytes();
     hd.obj().set_dead();
+    events::emit_obj(EventKind::DeadMark, r, DEAD_BY_ABANDON);
     hd.chunk().sub_live_bytes(size);
 }
 

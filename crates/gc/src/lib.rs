@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod cgc;
 pub mod graveyard;
 pub mod lgc;
 pub mod policy;
 pub mod validate;
 
+pub use audit::{audit_phase, check_dead_reachability, check_shield_closure, AuditCounters};
 pub use cgc::{cgc_begin, cgc_step, collect_entangled, CgcOutcome, CgcState};
 pub use graveyard::Graveyard;
 pub use lgc::{collect_local, LgcOutcome};

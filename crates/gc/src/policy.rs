@@ -5,6 +5,11 @@
 //! it never synchronizes with other tasks — while the concurrent collector
 //! (CGC) is driven by the footprint of pinned (entangled) objects, so a
 //! fully disentangled program never runs it at all.
+//!
+//! Diagnostics are deliberately *not* part of the policy: phase-boundary
+//! auditing and event tracing (the [`crate::audit`] layer) are enabled
+//! per-process via `MPL_DEBUG_LGC_VALIDATE` or `RuntimeConfig::with_audit`
+//! and run at the end of whatever collections these triggers schedule.
 
 /// Tunable collection thresholds (ablation experiment E9 sweeps these).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use mpl_gc::{collect_entangled, collect_local, CgcState, Graveyard};
-use mpl_heap::{ObjKind, ObjRef, Store, StoreConfig, Value};
+use mpl_heap::{ObjKind, ObjRef, RemsetEntry, Store, StoreConfig, Value};
 
 /// Specification of a random heap graph: `edges[i]` lists the children of
 /// object `i` among objects with smaller index (guaranteeing a DAG for
@@ -37,8 +37,9 @@ fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
         })
 }
 
-/// Builds the graph in a fresh child heap; returns (store, heap, objects).
-fn build(spec: &GraphSpec) -> (Store, u32, Vec<ObjRef>) {
+/// Builds the graph in a fresh child heap; returns (store, root heap,
+/// child heap, objects).
+fn build(spec: &GraphSpec) -> (Store, u32, u32, Vec<ObjRef>) {
     let s = Store::new(StoreConfig { chunk_slots: 8 });
     let root_heap = s.new_root_heap();
     let (l, _r) = s.fork_heaps(root_heap);
@@ -50,7 +51,7 @@ fn build(spec: &GraphSpec) -> (Store, u32, Vec<ObjRef>) {
         // Interleave garbage to spread objects over chunks.
         s.alloc_values(l, ObjKind::Tuple, &[Value::Unit]);
     }
-    (s, l, objs)
+    (s, root_heap, l, objs)
 }
 
 /// Oracle: payloads of all objects reachable from `starts`.
@@ -97,7 +98,7 @@ proptest! {
     /// subset, and pin set.
     #[test]
     fn lgc_preserves_reachability(spec in graph_spec(24)) {
-        let (s, l, objs) = build(&spec);
+        let (s, _root, l, objs) = build(&spec);
         for &p in &spec.pins {
             s.pin(objs[p], 0);
         }
@@ -116,7 +117,7 @@ proptest! {
     /// original addresses across a collection.
     #[test]
     fn lgc_never_moves_pin_closures(spec in graph_spec(24)) {
-        let (s, l, objs) = build(&spec);
+        let (s, _root, l, objs) = build(&spec);
         for &p in &spec.pins {
             s.pin(objs[p], 0);
         }
@@ -136,7 +137,7 @@ proptest! {
     /// and leaves the graph identical (idempotence).
     #[test]
     fn lgc_is_idempotent(spec in graph_spec(16)) {
-        let (s, l, objs) = build(&spec);
+        let (s, _root, l, objs) = build(&spec);
         let mut roots: Vec<ObjRef> = spec.roots.iter().map(|&i| objs[i]).collect();
         let g = Graveyard::new();
         collect_local(&s, l, &mut roots, &g, true);
@@ -157,7 +158,7 @@ proptest! {
     /// reachable pinned objects survive, unreachable ones die.
     #[test]
     fn cgc_sweeps_only_unreachable_entangled(spec in graph_spec(20)) {
-        let (s, l, objs) = build(&spec);
+        let (s, _root, l, objs) = build(&spec);
         for &p in &spec.pins {
             s.pin(objs[p], 0);
         }
@@ -193,4 +194,128 @@ proptest! {
             walk(&s, r);
         }
     }
+}
+
+// ---- pin / dead-mark / remset interleavings under the phase audit ------
+
+/// One step of a randomized mutator/collector interleaving.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Pin object `i % n` at level 0 (registers it entangled).
+    Pin(usize),
+    /// Record an ancestor down-pointer to object `i % n` in the child
+    /// heap's remembered set.
+    Remset(usize),
+    /// Allocate unreachable junk in the child heap (dead-mark fodder for
+    /// the next collection's reclaim phase).
+    Garbage,
+    /// Run a local collection of the child heap (performs the actual
+    /// dead-marking; each phase boundary is audited).
+    Collect,
+}
+
+fn op_seq() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..32).prop_map(Op::Pin),
+            (0usize..32).prop_map(Op::Remset),
+            Just(Op::Garbage),
+            Just(Op::Collect),
+        ],
+        1..16,
+    )
+}
+
+/// Enables the audit layer for the test body, releasing it even if the
+/// case fails (the enablement is a process-global refcount).
+struct AuditGuard;
+impl AuditGuard {
+    fn new() -> Self {
+        mpl_gc::audit::enable();
+        AuditGuard
+    }
+}
+impl Drop for AuditGuard {
+    fn drop(&mut self) {
+        mpl_gc::audit::disable();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of pins, remembered-set inserts, garbage
+    /// allocation, and local collections keeps the audited invariants:
+    /// collections dead-mark only unreachable objects (checked at the
+    /// marking site by the phase-boundary audit inside `collect_local`),
+    /// no live field dangles, and root reachability matches the oracle
+    /// throughout.
+    #[test]
+    fn audited_pin_deadmark_remset_interleavings(
+        spec in graph_spec(16),
+        ops in op_seq(),
+    ) {
+        let _audit = AuditGuard::new();
+        let (s, root_heap, l, objs) = build(&spec);
+        let mut roots: Vec<ObjRef> = spec.roots.iter().map(|&i| objs[i]).collect();
+        let g = Graveyard::new();
+        let alive = |r: ObjRef| {
+            let r = s.try_resolve(r)?;
+            let chunk = s.chunks().try_get(r.chunk())?;
+            let dead = chunk.try_get(r.slot())?.header().is_dead();
+            (!dead).then_some(r)
+        };
+        for op in ops {
+            match op {
+                Op::Pin(i) => {
+                    if let Some(r) = alive(objs[i % objs.len()]) {
+                        s.pin(r, 0);
+                    }
+                }
+                Op::Remset(i) => {
+                    if let Some(r) = alive(objs[i % objs.len()]) {
+                        let cell = s.alloc_values(root_heap, ObjKind::Ref, &[Value::Obj(r)]);
+                        s.remember(l, RemsetEntry { src: cell, field: 0 });
+                    }
+                }
+                Op::Garbage => {
+                    for _ in 0..4 {
+                        s.alloc_values(l, ObjKind::Tuple, &[Value::Unit]);
+                    }
+                }
+                Op::Collect => {
+                    collect_local(&s, l, &mut roots, &g, true);
+                }
+            }
+        }
+        collect_local(&s, l, &mut roots, &g, true);
+
+        // The audits inside collect_local already checked each phase; a
+        // final explicit sweep re-confirms the end state.
+        let dead = mpl_gc::check_dead_reachability(&s);
+        prop_assert!(dead.is_empty(), "{dead:?}");
+        let dangling = mpl_gc::dangling_fields(&s);
+        prop_assert!(dangling.is_empty(), "{dangling:?}");
+        for (k, &ri) in spec.roots.iter().enumerate() {
+            let expect = reachable_payloads(&spec, &[ri]);
+            prop_assert_eq!(walk(&s, roots[k]), expect);
+        }
+    }
+}
+
+/// A forced reclaim-phase mis-mark (the historical LGC dead-object race,
+/// minus the race) is caught by the phase-boundary audit at the marking
+/// site — not cycles later when some trace walks into the corpse.
+#[test]
+#[should_panic(expected = "dead-reachable")]
+fn forced_reclaim_mismark_fails_the_phase_audit() {
+    let _audit = AuditGuard::new();
+    let s = Store::new(StoreConfig { chunk_slots: 8 });
+    let h = s.new_root_heap();
+    let victim = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(7)]);
+    let holder = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(victim)]);
+    s.pin(holder, 0);
+    // Simulate a buggy Phase C killing a reachable object.
+    s.handle(victim).obj().set_dead();
+    mpl_gc::audit_phase(&s, "lgc/reclaim", h, None);
 }

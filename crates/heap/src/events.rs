@@ -1,0 +1,182 @@
+//! Structured entanglement/GC event hooks.
+//!
+//! The collectors, the store, and the runtime's barriers announce
+//! *events* — pin, unpin, remembered-set traffic, dead-marks, shield
+//! tagging and boundary crossings, chunk retire/free — through this
+//! module. When tracing is off (the default) an emission is a single
+//! relaxed atomic load and a predicted-not-taken branch, so the
+//! disentangled fast path keeps the paper's near-zero-cost discipline.
+//! When tracing is on, events flow to an installed *sink*; the sink (a
+//! lock-free per-worker ring buffer that can reconstruct the exact
+//! interleaving behind a GC audit failure) lives in `mpl-gc`'s `audit`
+//! module. This module only defines the contract, keeping the heap
+//! crate free of collector dependencies.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::value::ObjRef;
+
+/// `aux` value for [`EventKind::DeadMark`]: killed by the local
+/// collector's reclaim phase.
+pub const DEAD_BY_LGC: u32 = 0;
+/// `aux` value for [`EventKind::DeadMark`]: swept by the entanglement
+/// (full-heap) collector.
+pub const DEAD_BY_CGC: u32 = 1;
+/// `aux` value for [`EventKind::DeadMark`]: an abandoned evacuation copy
+/// (never published, killed by the copying collector's unwind path).
+pub const DEAD_BY_ABANDON: u32 = 2;
+
+/// What happened. Each variant documents how the generic `chunk`/`slot`
+/// (the subject object, when there is one) and `aux` fields are used.
+#[repr(u8)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An object was newly pinned (`aux` = pin level).
+    Pin = 0,
+    /// An object was unpinned at a join (`aux` = join depth).
+    Unpin = 1,
+    /// A remembered-set entry was recorded (`chunk`/`slot` name the
+    /// *source* object, `aux` = field index).
+    RemsetInsert = 2,
+    /// A remembered-set source field was repaired after an evacuation
+    /// (`chunk`/`slot` name the source object, `aux` = field index).
+    RemsetRepair = 3,
+    /// An object was dead-marked (`aux` = one of [`DEAD_BY_LGC`],
+    /// [`DEAD_BY_CGC`], [`DEAD_BY_ABANDON`]).
+    DeadMark = 4,
+    /// The shield closure tagged an object into its heap's entangled
+    /// space (`aux` = the collecting heap's id).
+    Entangle = 5,
+    /// The shield closure traversed *through* a foreign object — a
+    /// cross-heap hop on a path from a pinned root (`chunk`/`slot` name
+    /// the foreign object, `aux` = the chunk the edge came from).
+    ShieldCross = 6,
+    /// A chunk was freed (`chunk` = its id, `aux` = its last owner).
+    ChunkFree = 7,
+    /// A chunk was retired to the graveyard (`chunk` = its id).
+    ChunkRetire = 8,
+    /// The allocation barrier pinned a remote pointee of a freshly
+    /// allocated object (`aux` = pin level).
+    AllocPin = 9,
+}
+
+impl EventKind {
+    /// Short stable name, used by the audit layer's dump format.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Pin => "pin",
+            EventKind::Unpin => "unpin",
+            EventKind::RemsetInsert => "remset-insert",
+            EventKind::RemsetRepair => "remset-repair",
+            EventKind::DeadMark => "dead-mark",
+            EventKind::Entangle => "entangle",
+            EventKind::ShieldCross => "shield-cross",
+            EventKind::ChunkFree => "chunk-free",
+            EventKind::ChunkRetire => "chunk-retire",
+            EventKind::AllocPin => "alloc-pin",
+        }
+    }
+
+    /// Decodes the `repr(u8)` discriminant (ring slots store raw bits).
+    pub fn from_bits(bits: u8) -> Option<EventKind> {
+        Some(match bits {
+            0 => EventKind::Pin,
+            1 => EventKind::Unpin,
+            2 => EventKind::RemsetInsert,
+            3 => EventKind::RemsetRepair,
+            4 => EventKind::DeadMark,
+            5 => EventKind::Entangle,
+            6 => EventKind::ShieldCross,
+            7 => EventKind::ChunkFree,
+            8 => EventKind::ChunkRetire,
+            9 => EventKind::AllocPin,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event. Sequence numbers are assigned by the sink.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Chunk id of the subject (or the chunk itself for chunk events).
+    pub chunk: u32,
+    /// Slot of the subject within its chunk (0 for chunk events).
+    pub slot: u32,
+    /// Kind-specific extra word (see [`EventKind`]).
+    pub aux: u32,
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static SINK: OnceLock<fn(Event)> = OnceLock::new();
+
+/// Turns event emission on or off. Off is the default; emission sites
+/// pay one relaxed load either way.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Release);
+}
+
+/// Whether events are currently being recorded.
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Installs the process-wide event sink. First caller wins; later calls
+/// are ignored (the audit layer installs exactly one).
+pub fn install_sink(sink: fn(Event)) {
+    let _ = SINK.set(sink);
+}
+
+/// Emits one event if tracing is enabled and a sink is installed.
+#[inline]
+pub fn emit(kind: EventKind, chunk: u32, slot: u32, aux: u32) {
+    if !TRACING.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Some(sink) = SINK.get() {
+        sink(Event {
+            kind,
+            chunk,
+            slot,
+            aux,
+        });
+    }
+}
+
+/// Emits one event about an object reference.
+#[inline]
+pub fn emit_obj(kind: EventKind, r: ObjRef, aux: u32) {
+    emit(kind, r.chunk(), r.slot(), aux);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip_through_bits() {
+        for k in [
+            EventKind::Pin,
+            EventKind::Unpin,
+            EventKind::RemsetInsert,
+            EventKind::RemsetRepair,
+            EventKind::DeadMark,
+            EventKind::Entangle,
+            EventKind::ShieldCross,
+            EventKind::ChunkFree,
+            EventKind::ChunkRetire,
+            EventKind::AllocPin,
+        ] {
+            assert_eq!(EventKind::from_bits(k as u8), Some(k), "{}", k.name());
+        }
+        assert_eq!(EventKind::from_bits(200), None);
+    }
+
+    #[test]
+    fn emission_without_sink_is_a_no_op() {
+        // Tracing defaults off; even toggled on, a missing sink is fine.
+        emit(EventKind::Pin, 1, 2, 3);
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod chunk;
+pub mod events;
 pub mod header;
 pub mod heap;
 pub mod inspect;
@@ -50,6 +51,7 @@ pub mod store;
 pub mod value;
 
 pub use chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
+pub use events::{Event, EventKind};
 pub use header::{Header, ObjKind, NO_PIN_LEVEL};
 pub use heap::{HeapInfo, HeapTable, RemsetEntry};
 pub use inspect::{report, to_dot, HeapReport, StoreReport};

@@ -309,6 +309,45 @@ impl Object {
         }
     }
 
+    /// Atomically dead-marks the object **iff** it is still plain local
+    /// garbage: not pinned, not in an entangled space, not forwarded, not
+    /// already dead. The eligibility conditions are re-verified on every
+    /// CAS attempt, so a pin (or shield tag) landing between a caller's
+    /// header inspection and the kill can never be lost — closing the
+    /// load-then-[`set_dead`](Object::set_dead) window the local
+    /// collector's reclaim phase used to have. Returns the header that
+    /// was killed, or `None` if the object was no longer eligible.
+    pub fn try_kill(&self) -> Option<Header> {
+        loop {
+            let cur = self.header();
+            if cur.is_dead() || cur.is_pinned() || cur.is_forwarded() || cur.in_entangled_space() {
+                return None;
+            }
+            if self.cas_header(cur, cur.with_dead()) {
+                return Some(cur);
+            }
+        }
+    }
+
+    /// Atomically dead-marks the object **iff** it is sweepable by the
+    /// entanglement collector: resident in an entangled space, unmarked,
+    /// not forwarded, not already dead (pinned is fine — an unmarked
+    /// pinned object is garbage whose pin owner joined away). Returns the
+    /// header that was killed so the caller can settle pin accounting
+    /// from the *atomic* pre-kill state rather than a stale earlier load,
+    /// or `None` if the object must be retained.
+    pub fn try_kill_swept(&self) -> Option<Header> {
+        loop {
+            let cur = self.header();
+            if cur.is_dead() || cur.is_forwarded() || cur.is_marked() || !cur.in_entangled_space() {
+                return None;
+            }
+            if self.cas_header(cur, cur.with_dead()) {
+                return Some(cur);
+            }
+        }
+    }
+
     /// Marks the object as an entanglement suspect (it received a
     /// down-pointer write). Sticky; preserved across evacuation.
     pub fn mark_suspect(&self) {

@@ -55,7 +55,9 @@ impl ChunkRegistry {
     pub fn free(&self, id: u32) {
         let mut table = self.chunks.write();
         if let Some(slot) = table.get_mut(id as usize) {
-            *slot = None;
+            if let Some(chunk) = slot.take() {
+                crate::events::emit(crate::events::EventKind::ChunkFree, id, 0, chunk.owner());
+            }
         }
     }
 

@@ -31,6 +31,10 @@ pub struct StoreStats {
     pub(crate) cgc_swept_bytes: AtomicU64,
     pub(crate) cgc_pause_ns_total: AtomicU64,
     pub(crate) cgc_pause_ns_max: AtomicU64,
+    // Corruption canary: a trace reached a dead-marked object. Always-on
+    // (release builds included) because the matching debug assertion
+    // vanishes under `--release`; any nonzero value is a collector bug.
+    pub(crate) lgc_dead_traced: AtomicU64,
     // Gauges.
     pub(crate) live_bytes: AtomicUsize,
     pub(crate) max_live_bytes: AtomicUsize,
@@ -60,6 +64,10 @@ pub struct StatsSnapshot {
     pub cgc_swept_bytes: u64,
     pub cgc_pause_ns_total: u64,
     pub cgc_pause_ns_max: u64,
+    /// Corruption canary: traces that reached a dead-marked object.
+    /// Counted in every build profile; any nonzero value is a collector
+    /// soundness bug (see `mpl-gc`'s audit layer).
+    pub lgc_dead_traced: u64,
     pub live_bytes: usize,
     pub max_live_bytes: usize,
     pub pinned_bytes: usize,
@@ -73,6 +81,13 @@ pub struct StatsSnapshot {
     pub sched_sequentialized: u64,
     pub sched_parks: u64,
     pub sched_unparks: u64,
+    // GC audit counters. Like the scheduler counters, these live outside
+    // the store (in `mpl-gc`'s audit layer, which is process-global) and
+    // are overlaid by the runtime. Zero when auditing was never enabled.
+    pub audit_runs: u64,
+    pub audit_objects_checked: u64,
+    pub audit_events: u64,
+    pub audit_ring_overflows: u64,
 }
 
 impl StoreStats {
@@ -103,6 +118,7 @@ impl StoreStats {
             cgc_swept_bytes: self.cgc_swept_bytes.load(Ordering::Relaxed),
             cgc_pause_ns_total: self.cgc_pause_ns_total.load(Ordering::Relaxed),
             cgc_pause_ns_max: self.cgc_pause_ns_max.load(Ordering::Relaxed),
+            lgc_dead_traced: self.lgc_dead_traced.load(Ordering::Relaxed),
             live_bytes: self.live_bytes.load(Ordering::Relaxed),
             max_live_bytes: self.max_live_bytes.load(Ordering::Relaxed),
             pinned_bytes: self.pinned_bytes.load(Ordering::Relaxed),
@@ -205,6 +221,14 @@ impl StoreStats {
     /// Records a remembered-set insertion.
     pub fn on_remset_insert(&self) {
         Self::count(&self.remset_inserts, 1);
+    }
+
+    /// Records that a trace reached a dead-marked object — heap
+    /// corruption. Always counted, so release builds surface the bug in
+    /// [`StatsSnapshot::lgc_dead_traced`] even though the debug
+    /// assertion is compiled out.
+    pub fn on_dead_traced(&self) {
+        Self::count(&self.lgc_dead_traced, 1);
     }
 
     /// Records a completed local collection.

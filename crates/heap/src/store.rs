@@ -10,6 +10,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
+use crate::events::{self, EventKind};
 use crate::header::ObjKind;
 use crate::heap::{HeapTable, RemsetEntry};
 use crate::object::{Object, PinOutcome};
@@ -250,6 +251,7 @@ impl Store {
                     self.heaps.register_entangled(h.chunk().owner(), cur, level);
                     h.chunk().add_pinned(1);
                     self.stats.on_pin(h.obj().size_bytes());
+                    events::emit_obj(EventKind::Pin, cur, u32::from(level));
                     return (cur, true);
                 }
                 PinOutcome::AlreadyPinned { .. } => return (cur, false),
@@ -264,6 +266,7 @@ impl Store {
     pub fn remember(&self, dst_heap: u32, entry: RemsetEntry) {
         self.heaps.remember_canonical(dst_heap, entry);
         self.stats.on_remset_insert();
+        events::emit_obj(EventKind::RemsetInsert, entry.src, entry.field);
     }
 
     // ---- fork / join -----------------------------------------------------
@@ -349,6 +352,7 @@ impl Store {
             if h.obj().try_unpin_at_join(join_depth) {
                 h.chunk().add_pinned(-1);
                 self.stats.on_unpin(h.obj().size_bytes());
+                events::emit_obj(EventKind::Unpin, r, u32::from(join_depth));
                 unpinned += 1;
             } else if h.obj().header().is_pinned() {
                 // A lowered pin: re-home it at its authoritative level.

@@ -178,9 +178,9 @@ fn entangled_suite_work_stealing_worker_sweep() {
 fn scoped_threads_mode_still_agrees() {
     // The legacy thread-per-fork executor stays available behind
     // SchedMode::ScopedThreads and must produce identical results.
-    // Sizes match the rest of the suite (small_n / 2): full small_n
-    // trips a pre-existing debug-only LGC race — see the ignored
-    // repro below and ROADMAP.md "Open items".
+    // Sizes match the rest of the suite (small_n / 2); full small_n is
+    // exercised by `lgc_dead_object_race_repro` below, the regression
+    // test for the once-notorious LGC dead-object race.
     for name in ["dedup", "msqueue", "accounts"] {
         let bench = mpl_bench_suite::by_name(name).unwrap();
         let n = bench.small_n() / 2;
@@ -197,17 +197,45 @@ fn scoped_threads_mode_still_agrees() {
 }
 
 #[test]
-#[ignore = "repro for a pre-existing LGC race (seed bug, both sched modes): \
-            dedup at full small_n under 4 threads trips lgc.rs's \
-            `traced a dead object` debug assertion in roughly 2 of 3 debug \
-            runs. Tracked in ROADMAP.md under Open items."]
 fn lgc_dead_object_race_repro() {
+    // Regression test for the LGC dead-object race (formerly #[ignore]d:
+    // dedup at full small_n under 4 scoped threads killed the referents
+    // of objects pinned mid-collection in roughly 2 of 3 debug runs).
+    // The fix is the registry re-take fixpoint before Phase C's kills
+    // (lgc.rs); `lgc_dead_traced` is the always-on detector and must
+    // stay zero.
     for round in 0..5 {
         let bench = mpl_bench_suite::by_name("dedup").unwrap();
         let n = bench.small_n();
         let rt = Runtime::new(threaded_pressure(4).with_sched(SchedMode::ScopedThreads));
         let got = rt.run(|m| Value::Int(bench.run_mpl(m, n)));
         assert_eq!(got, Value::Int(bench.run_native(n)), "round {round}");
+        let s = rt.stats();
+        assert_eq!(
+            s.lgc_dead_traced, 0,
+            "round {round}: LGC traced a dead object: {s:?}"
+        );
+        assert_eq!(s.pinned_bytes, 0, "round {round}: leaked pins");
+    }
+}
+
+#[test]
+fn entangled_suite_with_phase_audits() {
+    // The GC phase-audit layer (`RuntimeConfig::with_audit`) rides along
+    // with the entangled suite under real threads: every LGC phase
+    // boundary, CGC sweep, and graveyard reap re-validates the shield,
+    // cross-checks reachability against dead marks, and scans for
+    // dangling fields — panicking with the event trace on any violation.
+    for name in ["dedup", "msqueue", "bfs", "accounts"] {
+        let bench = mpl_bench_suite::by_name(name).unwrap();
+        let n = bench.small_n() / 2;
+        let rt = Runtime::new(threaded_pressure(4).with_audit());
+        let got = rt.run(|m| Value::Int(bench.run_mpl(m, n)));
+        assert_eq!(got, Value::Int(bench.run_native(n)), "{name}");
+        let s = rt.stats();
+        assert_eq!(s.pinned_bytes, 0, "{name}: leaked pins: {s:?}");
+        assert!(s.audit_runs > 0, "{name}: audits must actually run: {s:?}");
+        assert_eq!(s.lgc_dead_traced, 0, "{name}: dead object traced: {s:?}");
     }
 }
 

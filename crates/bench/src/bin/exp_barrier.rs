@@ -6,11 +6,16 @@
 //! * the first entangled read (pin CAS + index insert)
 //! * down-pointer write (remembered-set insert)
 //! * raw-array read (never barriered)
+//!
+//! Each row also reports how the timed iterations split across the
+//! barrier's tiers (`fast`/`slow` — see `mpl-runtime`'s barrier module):
+//! the disentangled ops must report **zero** slow-tier entries, which is
+//! the measurable form of "no lock acquisitions, no Arc clones".
 
 use std::time::Instant;
 
 use mpl_bench::{write_json, Table};
-use mpl_runtime::{GcPolicy, Runtime, RuntimeConfig, Value};
+use mpl_runtime::{GcPolicy, Mutator, Runtime, RuntimeConfig, Value};
 use serde::Serialize;
 
 const ITERS: usize = 1_000_000;
@@ -19,28 +24,60 @@ const ITERS: usize = 1_000_000;
 struct Row {
     op: String,
     ns_per_op: f64,
+    /// Fast-tier barrier entries (reads + writes) during the timed loop.
+    fast_ops: u64,
+    /// Slow-tier barrier entries during the timed loop.
+    slow_ops: u64,
 }
 
-fn bench_op(name: &str, rows: &mut Vec<Row>, table: &mut Table, mut f: impl FnMut()) {
+fn tiers(m: &mut Mutator<'_>) -> (u64, u64) {
+    m.sync_stats();
+    let s = m.runtime().stats();
+    (
+        s.barrier_read_fast + s.barrier_write_fast,
+        s.barrier_read_slow + s.barrier_write_slow,
+    )
+}
+
+fn push_row(rows: &mut Vec<Row>, table: &mut Table, op: &str, ns: f64, fast: u64, slow: u64) {
+    table.row(vec![
+        op.to_string(),
+        format!("{ns:.1}"),
+        fast.to_string(),
+        slow.to_string(),
+    ]);
+    rows.push(Row {
+        op: op.to_string(),
+        ns_per_op: ns,
+        fast_ops: fast,
+        slow_ops: slow,
+    });
+}
+
+fn bench_op(
+    name: &str,
+    rows: &mut Vec<Row>,
+    table: &mut Table,
+    m: &mut Mutator<'_>,
+    mut f: impl FnMut(&mut Mutator<'_>),
+) {
     // Warmup.
     for _ in 0..1000 {
-        f();
+        f(m);
     }
+    let (fast0, slow0) = tiers(m);
     let start = Instant::now();
     for _ in 0..ITERS {
-        f();
+        f(m);
     }
     let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
-    table.row(vec![name.to_string(), format!("{ns:.1}")]);
-    rows.push(Row {
-        op: name.to_string(),
-        ns_per_op: ns,
-    });
+    let (fast1, slow1) = tiers(m);
+    push_row(rows, table, name, ns, fast1 - fast0, slow1 - slow0);
 }
 
 fn main() {
     println!("E7: barrier/pin microbenchmarks ({ITERS} iterations each)\n");
-    let mut table = Table::new(&["operation", "ns/op"]);
+    let mut table = Table::new(&["operation", "ns/op", "fast", "slow"]);
     let mut rows = Vec::new();
     let nogc = RuntimeConfig::managed().with_policy(GcPolicy::disabled());
 
@@ -48,18 +85,18 @@ fn main() {
     let rt = Runtime::new(nogc);
     rt.run(|m| {
         let r = m.alloc_ref(Value::Int(1));
-        bench_op("read_ref local (barrier)", &mut rows, &mut table, || {
+        bench_op("read_ref local (barrier)", &mut rows, &mut table, m, |m| {
             std::hint::black_box(m.read_ref(r));
         });
         let t = m.alloc_tuple(&[Value::Int(1)]);
-        bench_op("tuple_get (no barrier)", &mut rows, &mut table, || {
+        bench_op("tuple_get (no barrier)", &mut rows, &mut table, m, |m| {
             std::hint::black_box(m.tuple_get(t, 0));
         });
         let raw = m.alloc_raw(4);
-        bench_op("raw_get (no barrier)", &mut rows, &mut table, || {
+        bench_op("raw_get (no barrier)", &mut rows, &mut table, m, |m| {
             std::hint::black_box(m.raw_get(raw, 0));
         });
-        bench_op("write_ref local", &mut rows, &mut table, || {
+        bench_op("write_ref local", &mut rows, &mut table, m, |m| {
             m.write_ref(r, Value::Int(2));
         });
         Value::Unit
@@ -69,9 +106,15 @@ fn main() {
     let rt = Runtime::new(RuntimeConfig::no_barrier().with_policy(GcPolicy::disabled()));
     rt.run(|m| {
         let r = m.alloc_ref(Value::Int(1));
-        bench_op("read_ref local (no barrier)", &mut rows, &mut table, || {
-            std::hint::black_box(m.read_ref(r));
-        });
+        bench_op(
+            "read_ref local (no barrier)",
+            &mut rows,
+            &mut table,
+            m,
+            |m| {
+                std::hint::black_box(m.read_ref(r));
+            },
+        );
         Value::Unit
     });
 
@@ -90,18 +133,20 @@ fn main() {
             |m| {
                 // First read pins; measure both the pin and steady state.
                 let cell = m.get(&c);
+                let (fast0, slow0) = tiers(m);
                 let start = Instant::now();
                 std::hint::black_box(m.read_ref(cell));
                 let first = start.elapsed().as_nanos() as f64;
-                table.row(vec![
-                    "entangled read, first (pin)".into(),
-                    format!("{first:.1}"),
-                ]);
-                rows.push(Row {
-                    op: "entangled read, first (pin)".into(),
-                    ns_per_op: first,
-                });
-                bench_op("entangled read, steady", &mut rows, &mut table, || {
+                let (fast1, slow1) = tiers(m);
+                push_row(
+                    &mut rows,
+                    &mut table,
+                    "entangled read, first (pin)",
+                    first,
+                    fast1 - fast0,
+                    slow1 - slow0,
+                );
+                bench_op("entangled read, steady", &mut rows, &mut table, m, |m| {
                     let cell = m.get(&c);
                     std::hint::black_box(m.read_ref(cell));
                 });
@@ -124,7 +169,8 @@ fn main() {
                     "write_ref down-pointer (remset)",
                     &mut rows,
                     &mut table,
-                    || {
+                    m,
+                    |m| {
                         let cell = m.get(&c);
                         let boxed = m.get(&bh);
                         m.write_ref(cell, boxed);

@@ -1,0 +1,371 @@
+//! The entanglement barrier layer: read/write/CAS barriers with an
+//! explicit fast-path/slow-path tier split, the pin protocol, and
+//! down-pointer remembered-set maintenance.
+//!
+//! # Tier split
+//!
+//! Every barriered access is classified into exactly one of two tiers,
+//! counted separately in [`mpl_heap::StatsSnapshot`]:
+//!
+//! * **Fast tier** (`barrier_read_fast` / `barrier_write_fast`): the
+//!   access completed using only the object header and the task-local
+//!   chunk cache — **zero lock acquisitions, zero `Arc` clones, zero
+//!   heap-table queries**. The read fast path is the paper's
+//!   entanglement-candidates check: a header-bit test (`SUSPECT` /
+//!   `PINNED`) on an object already resident in the chunk cache. The
+//!   write fast paths are (1) storing an immediate under managed
+//!   semantics, and (2) a pointer store where source and target both
+//!   provably live in this task's own leaf heap (chunk-owner identity —
+//!   heap ids are globally unique and a leaf stays canonical while its
+//!   task runs), which can neither create entanglement nor a
+//!   down-pointer.
+//!
+//! * **Slow tier** (`barrier_read_slow` / `barrier_write_slow`): the
+//!   full machinery — locate the target, query the heap table for the
+//!   path relation / LCA, pin, buffer remembered-set entries. The slow
+//!   tier is semantically complete on its own; the fast tier is purely
+//!   an elision. [`crate::RuntimeConfig::force_slow_path`] disables
+//!   every fast-tier exit so a property test can check the two tiers
+//!   agree.
+//!
+//! Remembered-set entries are not published directly: the write barrier
+//! hands them to [`Mutator::buffer_remset`] (task-private, deduplicated),
+//! and batches flush at the task's safepoints — see
+//! `Mutator::flush_remset` in `crate::mutator` for the flush points and
+//! soundness argument.
+
+use mpl_heap::events::{self, EventKind};
+use mpl_heap::{ObjRef, RemsetEntry, Value};
+
+use crate::config::Mode;
+use crate::mutator::{Mutator, ENTANGLEMENT_PANIC};
+
+impl Mutator<'_> {
+    /// Re-resolves a possibly stale (forwarded) object value.
+    pub(crate) fn fix_stale(&mut self, v: Value) -> Value {
+        match v {
+            Value::Obj(_) => Value::Obj(self.locate_ref(v, "stale fix")),
+            imm => imm,
+        }
+    }
+
+    /// Pins the object at `r` (which must be cache-resident from a
+    /// preceding `locate_ref`) at `level`, registering it on first pin.
+    /// Avoids a registry round-trip on the (common) already-pinned
+    /// steady state.
+    pub(crate) fn pin_cached(&mut self, r: ObjRef, level: u16) -> ObjRef {
+        use mpl_heap::PinOutcome;
+        // Every remote acquisition funnels through here (read barrier,
+        // write barrier, observe, allocation barrier): from now on this
+        // task may hold raw remote pointers, so its allocations must be
+        // scanned (see `alloc_pin_remote`).
+        self.ctx.saw_remote = true;
+        let chunk = self.cached_chunk(r);
+        let obj = chunk.get(r.slot());
+        // Steady state: already pinned at (or below) this level — a single
+        // header load, no CAS.
+        let hdr = obj.header();
+        if hdr.is_pinned() && hdr.pin_level() <= level && !hdr.is_forwarded() {
+            return r;
+        }
+        let owner = chunk.owner();
+        let size = obj.size_bytes();
+        match obj.try_pin(level) {
+            PinOutcome::AlreadyPinned { .. } => r,
+            PinOutcome::NewlyPinned => {
+                let store = self.rt.store();
+                store.heaps().register_entangled(owner, r, level);
+                self.cached_chunk(r).add_pinned(1);
+                store.stats().on_pin(size);
+                events::emit_obj(EventKind::Pin, r, u32::from(level));
+                self.rt.cgc_state().satb_log(r);
+                self.rt.request_cgc_poll();
+                r
+            }
+            PinOutcome::Forwarded(next) => {
+                let (pinned, newly) = self.rt.store().pin(next, level);
+                if newly {
+                    self.rt.cgc_state().satb_log(pinned);
+                }
+                pinned
+            }
+        }
+    }
+
+    /// The allocation barrier (entangled tasks only): a task holding raw
+    /// remote pointers may store one into an object it is allocating,
+    /// creating a cross-heap edge that neither the read/write barriers
+    /// nor the remembered set ever see — the target's heap could then
+    /// dead-mark it while this edge still reaches it (the historical
+    /// "traced a dead object" race). Pinning each remote pointee at the
+    /// heaps' LCA records the edge exactly as the write barrier records
+    /// a remote store; the pin resolves at that join like any other.
+    pub(crate) fn alloc_pin_remote(&mut self, fields: &mut [Value]) {
+        for slot in fields.iter_mut() {
+            let raw = *slot;
+            let Value::Obj(_) = raw else { continue };
+            let t = self.locate_ref(raw, "allocation barrier");
+            let owner = self.cached_chunk(t).owner();
+            let (_, _, lca) = self.rt.store().heaps().path_relation(&self.ctx.path, owner);
+            if let Some(level) = lca {
+                self.ctx.pending.entangled_writes += 1;
+                let pinned = self.pin_cached(t, level);
+                events::emit_obj(EventKind::AllocPin, pinned, u32::from(level));
+                *slot = Value::Obj(pinned);
+            } else if Value::Obj(t) != raw {
+                *slot = Value::Obj(t); // chased forwarding: keep the fresh location
+            }
+        }
+    }
+
+    pub(crate) fn mut_read(&mut self, objv: Value, idx: usize) -> Value {
+        self.ctx.work += self.rt.config().work.read;
+        let src = self.locate_ref(objv, "mutable read");
+        let obj = self.cached_chunk(src).get(src.slot());
+        debug_assert!(
+            obj.kind().is_mutable_boxed(),
+            "mutable read on {:?}",
+            obj.kind()
+        );
+        let raw = obj.field(idx);
+        let hdr = obj.header();
+        let cfg = self.rt.config();
+        if cfg.mode == Mode::NoEntanglementBarrier {
+            return self.fix_stale(raw);
+        }
+        self.ctx.pending.barrier_reads += 1;
+        // FAST TIER, entanglement-candidates check (ICFP 2022): an object
+        // that never received a down-pointer write and is not pinned can
+        // only hold pointers up its own path — no remote check needed.
+        // Every remote acquisition necessarily flows through a suspect or
+        // pinned object, so nothing is missed. Two header-bit tests on
+        // the already-loaded header; no table, no lock, no Arc clone.
+        if !cfg.force_slow_path && cfg.suspects && !hdr.is_suspect() && !hdr.is_pinned() {
+            self.ctx.pending.read_fast += 1;
+            return raw;
+        }
+        // An immediate loaded from a suspect/pinned object still never
+        // touches the heap table: fast tier by construction. (Under
+        // `force_slow_path` it counts as slow so the diagnostic mode
+        // reports zero fast-tier entries.)
+        let Value::Obj(_) = raw else {
+            if cfg.force_slow_path {
+                self.ctx.pending.read_slow += 1;
+            } else {
+                self.ctx.pending.read_fast += 1;
+            }
+            return raw;
+        };
+        // SLOW TIER: locate the target and query the heap table.
+        self.ctx.pending.read_slow += 1;
+        let t = self.locate_ref(raw, "read target");
+        let (_, _, lca) = self
+            .rt
+            .store()
+            .heaps()
+            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+        let Some(level) = lca else {
+            // Local target: repair a stale source field if we chased
+            // forwarding (rare; re-locating the source is fine).
+            if Value::Obj(t) != raw {
+                let src = self.locate_ref(objv, "mutable read");
+                let _ = self
+                    .cached_chunk(src)
+                    .get(src.slot())
+                    .cas_field(idx, raw, Value::Obj(t));
+            }
+            return Value::Obj(t);
+        };
+        // Entangled read: the paper's central event.
+        if cfg.mode == Mode::DetectOnly {
+            panic!("{ENTANGLEMENT_PANIC}");
+        }
+        self.ctx.pending.entangled_reads += 1;
+        let pinned = self.pin_cached(t, level);
+        if Value::Obj(pinned) != raw {
+            let src = self.locate_ref(objv, "mutable read");
+            let _ = self
+                .cached_chunk(src)
+                .get(src.slot())
+                .cas_field(idx, raw, Value::Obj(pinned));
+        }
+        Value::Obj(pinned)
+    }
+
+    pub(crate) fn mut_write(&mut self, objv: Value, idx: usize, v: Value) {
+        let r = self.write_barrier(objv, idx, v);
+        let obj = self.cached_chunk(r).get(r.slot());
+        if self.rt.cgc_state().is_marking() {
+            if let Some(old) = obj.field_word(idx).pointer() {
+                self.rt.cgc_state().satb_log(old);
+            }
+        }
+        obj.set_field(idx, v);
+    }
+
+    pub(crate) fn mut_cas(
+        &mut self,
+        objv: Value,
+        idx: usize,
+        expected: Value,
+        new: Value,
+    ) -> Result<(), Value> {
+        let r = self.write_barrier(objv, idx, new);
+        let obj = self.cached_chunk(r).get(r.slot());
+        if self.rt.cgc_state().is_marking() {
+            if let Value::Obj(old) = expected {
+                self.rt.cgc_state().satb_log(old);
+            }
+        }
+        // A CAS is also a read: the observed value may expose a remote
+        // pointer on failure.
+        match obj.cas_field(idx, expected, new) {
+            Ok(()) => Ok(()),
+            Err(actual) => Err(self.observe_read(actual)),
+        }
+    }
+
+    /// The write barrier: detects entangled writes, pins pointees that
+    /// become cross-visible, and maintains the down-pointer remembered
+    /// set. Returns the resolved target, guaranteed cache-resident.
+    fn write_barrier(&mut self, objv: Value, idx: usize, v: Value) -> ObjRef {
+        self.ctx.work += self.rt.config().work.write;
+        let src = self.locate_ref(objv, "mutable write");
+        debug_assert!(
+            self.cached_chunk(src)
+                .get(src.slot())
+                .kind()
+                .is_mutable_boxed(),
+            "mutable write on immutable object"
+        );
+        let cfg = self.rt.config();
+        let mode = cfg.mode;
+        let store = self.rt.store();
+        self.ctx.pending.barrier_writes += 1;
+        // FAST TIER exit 1: under managed semantics, storing an immediate
+        // cannot create entanglement (no pointer crosses), so the
+        // locality checks are skipped entirely. DetectOnly must still
+        // check (any remote write is a detected entanglement in prior
+        // MPL).
+        if !cfg.force_slow_path && mode == Mode::Managed && !matches!(v, Value::Obj(_)) {
+            self.ctx.pending.write_fast += 1;
+            return src;
+        }
+        // FAST TIER exit 2: a pointer store where source and target both
+        // live in this task's own leaf heap. Chunk owner ids are written
+        // once at chunk allocation and heap ids are never reused, so
+        // `owner == leaf` proves leaf-heap residency without touching the
+        // heap table; equal depths mean no down-pointer and locality
+        // means no entanglement, in every mode. (Forwarding never leaves
+        // a heap, so the check holds even for a stale target ref — and
+        // the slow tier stores the caller's `v` unresolved in the local
+        // case too.) The target's chunk is only *peeked* in the cache,
+        // never installed: installing could evict the source's slot,
+        // which callers need resident. A peek miss falls to the slow
+        // tier — the registry lookup it would need is exactly what
+        // distinguishes the tiers.
+        if !cfg.force_slow_path && matches!(v, Value::Obj(_)) {
+            let leaf = self.leaf_heap();
+            if let Value::Obj(t) = v {
+                if self.cached_chunk(src).owner() == leaf {
+                    if let Some((cid, c)) = &self.ctx.chunk_cache[(t.chunk() & 3) as usize] {
+                        if *cid == t.chunk() && c.owner() == leaf {
+                            self.ctx.pending.write_fast += 1;
+                            return src;
+                        }
+                    }
+                }
+            }
+        }
+        // SLOW TIER: full locate + path-relation machinery. (Re-locate
+        // the source: fast-exit-2 probing may have evicted it.)
+        self.ctx.pending.write_slow += 1;
+        let src = self.locate_ref(objv, "mutable write");
+        let (o_heap, o_depth, o_lca) = store
+            .heaps()
+            .path_relation(&self.ctx.path, self.cached_chunk(src).owner());
+        let o_local = o_lca.is_none();
+        if !o_local {
+            match mode {
+                Mode::DetectOnly => panic!("{ENTANGLEMENT_PANIC}"),
+                Mode::NoEntanglementBarrier => {}
+                Mode::Managed => {
+                    self.ctx.pending.entangled_writes += 1;
+                    if let Value::Obj(_) = v {
+                        let t = self.locate_ref(v, "written value");
+                        // The written pointer becomes visible to the
+                        // remote object's owner: pin at the heaps' LCA.
+                        let t_heap = store.heaps().find(self.cached_chunk(t).owner());
+                        let level = store.heaps().lca_of(o_heap, t_heap);
+                        let _ = self.pin_cached(t, level);
+                    }
+                }
+            }
+            return self.locate_ref(objv, "mutable write");
+        }
+        if let Value::Obj(_) = v {
+            let t = self.locate_ref(v, "written value");
+            let (t_heap, t_depth, t_lca) = store
+                .heaps()
+                .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+            let t_local = t_lca.is_none();
+            if t_local {
+                if t_depth > o_depth {
+                    // Down-pointer: root for the deeper heap's collections,
+                    // and the written-to object becomes an entanglement
+                    // candidate — its reads must check. (Re-locate: the
+                    // target lookup above may have evicted the source's
+                    // cache slot.) The entry goes to the task-private
+                    // buffer, published at the next safepoint flush.
+                    let src = self.locate_ref(objv, "mutable write");
+                    self.cached_chunk(src).get(src.slot()).mark_suspect();
+                    self.buffer_remset(
+                        t_heap,
+                        RemsetEntry {
+                            src,
+                            field: idx as u32,
+                        },
+                    );
+                }
+            } else if mode == Mode::Managed {
+                // Storing an (already remote, hence pinned-at-acquisition)
+                // pointer: ensure its level covers this object's readers,
+                // and mark the holder a candidate.
+                self.ctx.pending.entangled_writes += 1;
+                let level = store.heaps().lca_of(o_heap, t_heap);
+                let _ = self.pin_cached(t, level);
+                let src = self.locate_ref(objv, "mutable write");
+                self.cached_chunk(src).get(src.slot()).mark_suspect();
+                return src;
+            } else if mode == Mode::DetectOnly {
+                panic!("{ENTANGLEMENT_PANIC}");
+            }
+            return self.locate_ref(objv, "mutable write");
+        }
+        src
+    }
+
+    /// Applies the read-barrier's entanglement handling to a value
+    /// observed from a failed CAS.
+    fn observe_read(&mut self, actual: Value) -> Value {
+        let mode = self.rt.config().mode;
+        if mode == Mode::NoEntanglementBarrier {
+            return self.fix_stale(actual);
+        }
+        let Value::Obj(_) = actual else { return actual };
+        let t = self.locate_ref(actual, "cas observation");
+        let (_, _, lca) = self
+            .rt
+            .store()
+            .heaps()
+            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+        let Some(level) = lca else {
+            return Value::Obj(t);
+        };
+        if mode == Mode::DetectOnly {
+            panic!("{ENTANGLEMENT_PANIC}");
+        }
+        self.ctx.pending.entangled_reads += 1;
+        Value::Obj(self.pin_cached(t, level))
+    }
+}

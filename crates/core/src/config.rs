@@ -80,6 +80,13 @@ pub struct RuntimeConfig {
     /// entirely. Sound because every remote acquisition passes through a
     /// suspect or pinned object. Disable for the E9 ablation.
     pub suspects: bool,
+    /// Forces every barriered access onto the slow tier (full
+    /// locate/LCA machinery), bypassing the fast-tier exits in
+    /// `crates/core/src/barrier.rs`. The slow tier is semantically
+    /// complete on its own, so results must be identical with or
+    /// without it — which is exactly what the tier-agreement proptest
+    /// checks. Diagnostic/testing knob; never faster.
+    pub force_slow_path: bool,
     /// Incremental concurrent collection: when nonzero, each CGC pause
     /// traces at most this many objects; the cycle spans multiple
     /// safepoints with mutators running (and SATB-logging) in between.
@@ -104,6 +111,7 @@ impl Default for RuntimeConfig {
             threads: 1,
             sched: SchedMode::default(),
             suspects: true,
+            force_slow_path: false,
             cgc_slice_objects: 0,
             audit: false,
         }
@@ -161,6 +169,13 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::audit`]).
     pub fn with_audit(mut self) -> RuntimeConfig {
         self.audit = true;
+        self
+    }
+
+    /// Forces every barriered access onto the slow tier (see
+    /// [`RuntimeConfig::force_slow_path`]).
+    pub fn with_force_slow_path(mut self) -> RuntimeConfig {
+        self.force_slow_path = true;
         self
     }
 

@@ -51,8 +51,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod barrier;
 pub mod config;
 pub mod mutator;
+mod roots;
 pub mod runtime;
 
 pub use config::{Mode, RuntimeConfig, WorkModel};

@@ -2,7 +2,9 @@
 //!
 //! A [`Mutator`] is one task's view of the runtime: allocation into its
 //! own leaf heap, barriered mutable accesses (where entanglement is
-//! detected and managed), immutable reads, rooting, and `fork`.
+//! detected and managed), immutable reads, rooting, and `fork`. The
+//! barrier tier split itself (fast path vs slow path) lives in
+//! `crate::barrier`; the lock-free root stack lives in `crate::roots`.
 //!
 //! # Rooting discipline
 //!
@@ -15,41 +17,49 @@
 //! # Hot-path design
 //!
 //! Mutator operations are the compiled program's inner loop, so each op
-//! touches global structures as little as possible: a one-entry
+//! touches global structures as little as possible: a four-entry
 //! task-local chunk cache short-circuits the chunk registry for repeated
 //! accesses to the same object/array, the allocation fast path is a
-//! single bump in a cached chunk, and locality checks use a fused
-//! canonicalize-and-depth query against the task's heap path.
+//! single bump in a cached chunk, and rooting is a push onto the task's
+//! private lock-free [`crate::roots::RootStack`]. Down-pointer
+//! remembered-set entries are buffered task-locally (with per-object
+//! dedup) and published in batches at safepoints — see
+//! [`Mutator::flush_remset`] for the flush points and the soundness
+//! argument.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use mpl_gc::collect_local;
-use mpl_heap::events::{self, EventKind};
 use mpl_heap::{Chunk, ObjKind, ObjRef, Object, RemsetEntry, Value, Word};
 use mpl_sched::{DagBuilder, StrandId};
 
 use crate::config::Mode;
-use crate::runtime::{Runtime, ShadowStack};
+use crate::roots::RootStack;
+use crate::runtime::Runtime;
 
 /// Message used when `Mode::DetectOnly` encounters entanglement, matching
 /// prior MPL's fatal entanglement report.
 pub const ENTANGLEMENT_PANIC: &str =
     "entanglement detected: task accessed an object allocated by a concurrent task";
 
+/// Buffered remembered-set entries are published once the buffer reaches
+/// this size, bounding the memory a write-heavy task can defer.
+const REMSET_BUFFER_CAP: usize = 256;
+
 /// A rooted value handle. Immediates are stored inline; objects live in
-/// the creating task's shadow stack and survive (and track) moving
-/// collections. A handle may be read from descendant tasks (the creating
-/// task is suspended, so its stack is stable), which is how fork branches
-/// access pre-fork values.
+/// the creating task's lock-free root stack and survive (and track)
+/// moving collections. A handle may be read from descendant tasks (the
+/// creating task is suspended, so its stack is stable), which is how
+/// fork branches access pre-fork values. Dereferencing is a single
+/// atomic slot load — no lock, no `Arc` clone.
 #[derive(Clone, Debug)]
 pub struct Handle(HandleRepr);
 
 #[derive(Clone, Debug)]
 enum HandleRepr {
     Imm(Value),
-    Slot(ShadowStack, usize),
+    Slot(Arc<RootStack>, usize),
 }
 
 /// A watermark for bulk-releasing roots (scope exit).
@@ -65,19 +75,19 @@ struct Located {
 /// Per-task execution state.
 #[derive(Debug)]
 pub(crate) struct TaskCtx {
-    path: Vec<u32>,
-    shadow: ShadowStack,
-    alloc_since: usize,
-    dag: Option<Arc<DagBuilder>>,
-    strand: StrandId,
-    work: u64,
-    chunk_cache: [Option<(u32, Arc<Chunk>)>; 4],
-    alloc_cache: Option<Arc<Chunk>>,
-    pending: PendingStats,
+    pub(crate) path: Vec<u32>,
+    pub(crate) roots: Arc<RootStack>,
+    pub(crate) alloc_since: usize,
+    pub(crate) dag: Option<Arc<DagBuilder>>,
+    pub(crate) strand: StrandId,
+    pub(crate) work: u64,
+    pub(crate) chunk_cache: [Option<(u32, Arc<Chunk>)>; 4],
+    pub(crate) alloc_cache: Option<Arc<Chunk>>,
+    pub(crate) pending: PendingStats,
     /// Size-proportional collection budget: collect once `alloc_since`
     /// exceeds `max(policy trigger, 2 × last survivors)`. Keeps total
     /// copying linear even when joins repeatedly merge surviving data.
-    lgc_budget: usize,
+    pub(crate) lgc_budget: usize,
     /// Whether this task has ever acquired a remote (entangled) pointer.
     /// Every first acquisition flows through `pin_cached`, which sets
     /// this; once set, allocations scan their pointer fields and pin any
@@ -85,20 +95,53 @@ pub(crate) struct TaskCtx {
     /// pointer stored into a fresh local object creates a cross-heap
     /// edge no other barrier ever sees. Disentangled tasks never set it
     /// and keep the one-branch allocation fast path.
-    saw_remote: bool,
+    pub(crate) saw_remote: bool,
+    /// Mutator-private remembered-set write buffer: down-pointer entries
+    /// recorded by the write barrier, published in batches by
+    /// [`Mutator::flush_remset`]. Entries only ever target heaps on this
+    /// task's own path, which is why deferring publication to the
+    /// task's own safepoints is sound (see `flush_remset`).
+    pub(crate) remset_buf: Vec<(u32, RemsetEntry)>,
+    /// Per-object dedup for the buffer: (dst heap, src, field) triples
+    /// already buffered since the last flush. Cleared at every flush —
+    /// a collection may drop a published entry (source died), so a
+    /// later re-write of the same field must be able to re-insert it.
+    pub(crate) remset_seen: HashSet<(u32, ObjRef, u32)>,
 }
 
 /// Task-buffered counters, flushed to the global [`mpl_heap::StoreStats`]
 /// at safepoints (forks, joins, collections, and every ~16 KiB of
 /// allocation) so the hot path pays no global atomics.
 #[derive(Debug, Default)]
-struct PendingStats {
-    allocs: u64,
-    alloc_bytes: usize,
-    barrier_reads: u64,
-    barrier_writes: u64,
-    entangled_reads: u64,
-    entangled_writes: u64,
+pub(crate) struct PendingStats {
+    pub(crate) allocs: u64,
+    pub(crate) alloc_bytes: usize,
+    pub(crate) barrier_reads: u64,
+    pub(crate) barrier_writes: u64,
+    pub(crate) read_fast: u64,
+    pub(crate) read_slow: u64,
+    pub(crate) write_fast: u64,
+    pub(crate) write_slow: u64,
+    pub(crate) entangled_reads: u64,
+    pub(crate) entangled_writes: u64,
+    pub(crate) remset_buffered: u64,
+    pub(crate) remset_dedup_hits: u64,
+}
+
+impl PendingStats {
+    fn is_empty(&self) -> bool {
+        self.allocs == 0
+            && self.barrier_reads == 0
+            && self.barrier_writes == 0
+            && self.read_fast == 0
+            && self.read_slow == 0
+            && self.write_fast == 0
+            && self.write_slow == 0
+            && self.entangled_reads == 0
+            && self.entangled_writes == 0
+            && self.remset_buffered == 0
+            && self.remset_dedup_hits == 0
+    }
 }
 
 impl TaskCtx {
@@ -108,11 +151,11 @@ impl TaskCtx {
         strand: StrandId,
         rt: &Runtime,
     ) -> TaskCtx {
-        let shadow: ShadowStack = Arc::new(Mutex::new(Vec::new()));
-        rt.register_shadow(&shadow);
+        let roots = Arc::new(RootStack::new());
+        rt.register_roots(&roots);
         TaskCtx {
             path,
-            shadow,
+            roots,
             alloc_since: 0,
             dag,
             strand,
@@ -122,6 +165,8 @@ impl TaskCtx {
             pending: PendingStats::default(),
             lgc_budget: rt.config().policy.lgc_trigger_bytes,
             saw_remote: false,
+            remset_buf: Vec::new(),
+            remset_seen: HashSet::new(),
         }
     }
 }
@@ -129,8 +174,8 @@ impl TaskCtx {
 /// One task's interface to the runtime.
 #[derive(Debug)]
 pub struct Mutator<'rt> {
-    rt: &'rt Runtime,
-    ctx: TaskCtx,
+    pub(crate) rt: &'rt Runtime,
+    pub(crate) ctx: TaskCtx,
 }
 
 impl<'rt> Mutator<'rt> {
@@ -154,9 +199,18 @@ impl<'rt> Mutator<'rt> {
         self.ctx.work += n;
     }
 
+    /// Publishes the task-buffered counters to the global
+    /// [`mpl_heap::StoreStats`] now, instead of at the next safepoint.
+    /// Experiment harnesses call this before sampling
+    /// [`Runtime::stats`] so per-tier deltas are exact.
+    pub fn sync_stats(&mut self) {
+        self.flush_stats();
+    }
+
     pub(crate) fn finish_task(&mut self) {
         self.flush_work();
-        self.rt.unregister_shadow(&self.ctx.shadow);
+        self.flush_remset();
+        self.rt.unregister_roots(&self.ctx.roots);
         self.ctx.dag = None;
     }
 
@@ -170,14 +224,9 @@ impl<'rt> Mutator<'rt> {
         self.flush_stats();
     }
 
-    fn flush_stats(&mut self) {
+    pub(crate) fn flush_stats(&mut self) {
         let p = std::mem::take(&mut self.ctx.pending);
-        if p.allocs == 0
-            && p.barrier_reads == 0
-            && p.barrier_writes == 0
-            && p.entangled_reads == 0
-            && p.entangled_writes == 0
-        {
+        if p.is_empty() {
             return;
         }
         let stats = self.rt.store().stats();
@@ -188,9 +237,82 @@ impl<'rt> Mutator<'rt> {
             p.entangled_reads,
             p.entangled_writes,
         );
+        stats.on_barrier_tiers(p.read_fast, p.read_slow, p.write_fast, p.write_slow);
+        stats.on_remset_buffer_batch(p.remset_buffered, p.remset_dedup_hits);
     }
 
-    fn leaf_heap(&self) -> u32 {
+    // ---- remembered-set write buffer ------------------------------------
+
+    /// Buffers a down-pointer remembered-set entry targeting `dst_heap`
+    /// (a heap on this task's own path), deduplicating repeated writes
+    /// of the same field. Publication happens at the next flush point.
+    pub(crate) fn buffer_remset(&mut self, dst_heap: u32, entry: RemsetEntry) {
+        if self
+            .ctx
+            .remset_seen
+            .insert((dst_heap, entry.src, entry.field))
+        {
+            self.ctx.remset_buf.push((dst_heap, entry));
+            self.ctx.pending.remset_buffered += 1;
+            if self.ctx.remset_buf.len() >= REMSET_BUFFER_CAP {
+                self.flush_remset();
+            }
+        } else {
+            self.ctx.pending.remset_dedup_hits += 1;
+        }
+    }
+
+    /// Publishes the buffered remembered-set entries into their owning
+    /// heaps (batched per destination: one heap-table acquisition and
+    /// one remset lock per destination heap, instead of one of each per
+    /// down-pointer write).
+    ///
+    /// # Flush points, and why they suffice
+    ///
+    /// The write barrier only buffers an entry when both the source and
+    /// the (deeper) target are **local** to this task, so every buffered
+    /// entry targets a heap on this task's own root-to-leaf path. The
+    /// collector that consumes a heap's remembered set is the LGC of
+    /// that heap, which can only be run by the task whose path ends
+    /// there — and the tasks owning this task's ancestor heaps are
+    /// suspended at their forks for as long as this task runs.
+    /// Therefore it suffices to flush:
+    ///
+    /// * before this task's **own local collection** ([`Mutator::run_lgc`]);
+    /// * at this task's **join points** (in [`Mutator::fork`], once both
+    ///   branches have merged back);
+    /// * when the task **finishes or is dropped** (including panic
+    ///   unwinding) — after which an ancestor may resume and collect a
+    ///   heap that buffered entries pointed into;
+    /// * on **capacity** ([`REMSET_BUFFER_CAP`]), which only bounds
+    ///   memory — publishing early is always sound.
+    ///
+    /// The dedup set is cleared here: a collection rebuilds remembered
+    /// sets keeping only still-valid entries, so a field written again
+    /// after a flush must be re-insertable.
+    pub(crate) fn flush_remset(&mut self) {
+        if self.ctx.remset_buf.is_empty() {
+            self.ctx.remset_seen.clear();
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.ctx.remset_buf);
+        self.ctx.remset_seen.clear();
+        // Group by destination heap so each heap's lock is taken once.
+        buf.sort_unstable_by_key(|(dst, _)| *dst);
+        let store = self.rt.store();
+        let mut start = 0;
+        while start < buf.len() {
+            let dst = buf[start].0;
+            let end = start + buf[start..].iter().take_while(|(d, _)| *d == dst).count();
+            let entries: Vec<RemsetEntry> = buf[start..end].iter().map(|(_, e)| *e).collect();
+            store.remember_batch(dst, &entries);
+            start = end;
+        }
+        buf.clear();
+        self.ctx.remset_buf = buf;
+    }
+
+    pub(crate) fn leaf_heap(&self) -> u32 {
         *self.ctx.path.last().expect("task path is never empty")
     }
 
@@ -211,7 +333,7 @@ impl<'rt> Mutator<'rt> {
     /// Like [`Mutator::locate`], but returns only the reference and leaves
     /// the chunk in the cache — callers borrow it with
     /// [`Mutator::cached_chunk`], avoiding an `Arc` clone per operation.
-    fn locate_ref(&mut self, v: Value, what: &str) -> ObjRef {
+    pub(crate) fn locate_ref(&mut self, v: Value, what: &str) -> ObjRef {
         let mut r = match v {
             Value::Obj(r) => r,
             other => panic!("{what} expects an object, found {other:?}"),
@@ -234,7 +356,7 @@ impl<'rt> Mutator<'rt> {
     /// Borrows the cached chunk for `r` (must have been located by
     /// [`Mutator::locate_ref`] in the same operation, with no intervening
     /// cache traffic).
-    fn cached_chunk(&self, r: ObjRef) -> &Chunk {
+    pub(crate) fn cached_chunk(&self, r: ObjRef) -> &Chunk {
         match &self.ctx.chunk_cache[(r.chunk() & 3) as usize] {
             Some((cid, c)) if *cid == r.chunk() => c,
             _ => unreachable!("cached_chunk without a preceding locate_ref"),
@@ -268,6 +390,10 @@ impl<'rt> Mutator<'rt> {
     /// parent data into fork branches: [`Mutator::get`] works from the
     /// creating task *and* from its descendants.
     ///
+    /// Rooting is lock-free: a push onto the task's private
+    /// [`crate::roots::RootStack`], published to collectors by a single
+    /// release store.
+    ///
     /// # Example
     ///
     /// ```
@@ -286,22 +412,20 @@ impl<'rt> Mutator<'rt> {
     pub fn root(&mut self, v: Value) -> Handle {
         match v {
             Value::Obj(r) => {
-                let mut shadow = self.ctx.shadow.lock();
-                shadow.push(r);
-                let slot = shadow.len() - 1;
-                drop(shadow);
-                Handle(HandleRepr::Slot(Arc::clone(&self.ctx.shadow), slot))
+                let slot = self.ctx.roots.push(r);
+                Handle(HandleRepr::Slot(Arc::clone(&self.ctx.roots), slot))
             }
             imm => Handle(HandleRepr::Imm(imm)),
         }
     }
 
     /// Reads a rooted value (tracking any moves since rooting). Works from
-    /// the creating task and from its descendants.
+    /// the creating task and from its descendants; a single atomic slot
+    /// load either way.
     pub fn get(&self, h: &Handle) -> Value {
         match &h.0 {
             HandleRepr::Imm(v) => *v,
-            HandleRepr::Slot(stack, i) => Value::Obj(stack.lock()[*i]),
+            HandleRepr::Slot(stack, i) => Value::Obj(stack.get(*i)),
         }
     }
 
@@ -314,7 +438,7 @@ impl<'rt> Mutator<'rt> {
     pub fn set_root(&mut self, h: &Handle, v: Value) {
         match &h.0 {
             HandleRepr::Slot(stack, i) => {
-                stack.lock()[*i] = v.expect_obj();
+                stack.set(*i, v.expect_obj());
             }
             HandleRepr::Imm(_) => panic!("cannot overwrite an immediate handle"),
         }
@@ -322,21 +446,18 @@ impl<'rt> Mutator<'rt> {
 
     /// Returns a watermark capturing the current root-stack height.
     pub fn mark(&self) -> RootMark {
-        RootMark(self.ctx.shadow.lock().len())
+        RootMark(self.ctx.roots.len())
     }
 
     /// Releases every root created after `mark`.
     pub fn release(&mut self, mark: RootMark) {
-        self.ctx.shadow.lock().truncate(mark.0);
+        self.ctx.roots.truncate(mark.0);
     }
 
     // ---- allocation ------------------------------------------------------
 
     fn alloc_object(&mut self, kind: ObjKind, mut fields: Vec<Value>) -> Value {
-        let wm = self.rt.config().work;
-        self.ctx.work += wm.alloc + fields.len() as u64 / 4;
-        let est = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields.len();
-        self.ctx.alloc_since += est;
+        self.charge_alloc(fields.len());
         // Allocation barrier: only tasks that have already acquired a
         // remote pointer (`saw_remote`) can be holding one to store, so
         // disentangled tasks pay exactly this one predictable branch.
@@ -347,10 +468,22 @@ impl<'rt> Mutator<'rt> {
             self.run_lgc(&mut fields);
         }
         let words: Vec<Word> = fields.iter().map(|&v| Word::encode(v)).collect();
+        Value::Obj(self.alloc_words(kind, words))
+    }
+
+    fn charge_alloc(&mut self, fields: usize) {
+        let wm = self.rt.config().work;
+        self.ctx.work += wm.alloc + fields as u64 / 4;
+        self.ctx.alloc_since += mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields;
+    }
+
+    /// The shared tail of every allocation: bump the pre-encoded words
+    /// into the cached allocation chunk, falling back to the store when
+    /// the chunk is full. Counters are task-buffered and flushed at
+    /// safepoints.
+    fn alloc_words(&mut self, kind: ObjKind, words: Vec<Word>) -> ObjRef {
         let mut obj = Object::new(kind, words);
         let size = obj.size_bytes();
-        // Fast path: bump into the cached allocation chunk; counters are
-        // task-buffered and flushed at safepoints.
         if let Some(chunk) = &self.ctx.alloc_cache {
             match chunk.try_alloc(obj) {
                 Ok(r) => {
@@ -360,7 +493,7 @@ impl<'rt> Mutator<'rt> {
                         self.flush_stats();
                         self.rt.maybe_cgc();
                     }
-                    return Value::Obj(r);
+                    return r;
                 }
                 Err(back) => obj = back,
             }
@@ -373,7 +506,7 @@ impl<'rt> Mutator<'rt> {
             .info(self.rt.store().heaps().find(self.leaf_heap()))
             .alloc_chunk();
         self.rt.maybe_cgc();
-        Value::Obj(r)
+        r
     }
 
     /// Allocates an immutable tuple (also used for immutable arrays).
@@ -398,8 +531,18 @@ impl<'rt> Mutator<'rt> {
 
     /// Allocates a raw (unboxed, barrier-free) 64-bit word array,
     /// zero-initialized.
+    ///
+    /// The payload is written as true zero **raw words** — not encoded
+    /// `Value`s — so `raw_get` reads back `0` regardless of the tagged
+    /// word encoding, and no per-element encode runs. Raw arrays hold no
+    /// pointers, so the allocation barrier and collection-root scan that
+    /// `alloc_tuple`/`alloc_array` perform are skipped entirely.
     pub fn alloc_raw(&mut self, len: usize) -> Value {
-        self.alloc_object(ObjKind::RawArr, vec![Value::Int(0); len])
+        self.charge_alloc(len);
+        if self.ctx.alloc_since >= self.ctx.lgc_budget {
+            self.run_lgc(&mut []);
+        }
+        Value::Obj(self.alloc_words(ObjKind::RawArr, vec![Word::from_bits(0); len]))
     }
 
     /// Allocates a string as a raw array (`word0 = byte length`, bytes
@@ -425,9 +568,11 @@ impl<'rt> Mutator<'rt> {
     ///
     /// Panics if the payload is not valid UTF-8 (corrupted string object).
     pub fn read_str(&mut self, v: Value) -> String {
+        self.ctx.work += self.rt.config().work.read;
         let loc = self.locate(v, "string");
         let obj = loc.chunk.get(loc.r.slot());
         let len = obj.load_raw(0) as usize;
+        self.ctx.work += (len as u64) / 8;
         let mut bytes = Vec::with_capacity(len);
         for w in 0..len.div_ceil(8) {
             let word = obj.load_raw(1 + w).to_le_bytes();
@@ -439,6 +584,7 @@ impl<'rt> Mutator<'rt> {
 
     /// Number of fields of the object (tuple arity, array length).
     pub fn len(&mut self, v: Value) -> usize {
+        self.ctx.work += self.rt.config().work.read;
         let r = self.locate_ref(v, "length query");
         self.cached_chunk(r).get(r.slot()).len()
     }
@@ -458,6 +604,9 @@ impl<'rt> Mutator<'rt> {
     }
 
     // ---- barriered mutable accesses ---------------------------------------
+    //
+    // The barrier implementations (fast/slow tier split, pin protocol,
+    // remembered-set maintenance) live in `crate::barrier`.
 
     /// Dereferences a mutable cell (`!r`).
     pub fn read_ref(&mut self, r: Value) -> Value {
@@ -560,6 +709,9 @@ impl<'rt> Mutator<'rt> {
     {
         self.ctx.work += self.rt.config().work.fork;
         self.flush_work();
+        // Publish buffered remembered-set entries before suspending:
+        // forks and joins are this task's natural safepoints.
+        self.flush_remset();
         let parent_heap = self.leaf_heap();
         let store = self.rt.store();
         let (lh, rh) = store.fork_heaps(parent_heap);
@@ -670,290 +822,12 @@ impl<'rt> Mutator<'rt> {
 
     // ---- internals ----------------------------------------------------------
 
-    /// Pins an already-located object at `level`, registering it on first
-    /// pin. Avoids a registry round-trip on the (common) already-pinned
-    /// steady state.
-    /// Pins the object at `r` (which must be cache-resident from a
-    /// preceding `locate_ref`) at `level`.
-    fn pin_cached(&mut self, r: ObjRef, level: u16) -> ObjRef {
-        use mpl_heap::PinOutcome;
-        // Every remote acquisition funnels through here (read barrier,
-        // write barrier, observe, allocation barrier): from now on this
-        // task may hold raw remote pointers, so its allocations must be
-        // scanned (see `alloc_pin_remote`).
-        self.ctx.saw_remote = true;
-        let chunk = self.cached_chunk(r);
-        let obj = chunk.get(r.slot());
-        // Steady state: already pinned at (or below) this level — a single
-        // header load, no CAS.
-        let hdr = obj.header();
-        if hdr.is_pinned() && hdr.pin_level() <= level && !hdr.is_forwarded() {
-            return r;
-        }
-        let owner = chunk.owner();
-        let size = obj.size_bytes();
-        match obj.try_pin(level) {
-            PinOutcome::AlreadyPinned { .. } => r,
-            PinOutcome::NewlyPinned => {
-                let store = self.rt.store();
-                store.heaps().register_entangled(owner, r, level);
-                self.cached_chunk(r).add_pinned(1);
-                store.stats().on_pin(size);
-                events::emit_obj(EventKind::Pin, r, u32::from(level));
-                self.rt.cgc_state().satb_log(r);
-                self.rt.request_cgc_poll();
-                r
-            }
-            PinOutcome::Forwarded(next) => {
-                let (pinned, newly) = self.rt.store().pin(next, level);
-                if newly {
-                    self.rt.cgc_state().satb_log(pinned);
-                }
-                pinned
-            }
-        }
-    }
-
-    /// The allocation barrier (entangled tasks only): a task holding raw
-    /// remote pointers may store one into an object it is allocating,
-    /// creating a cross-heap edge that neither the read/write barriers
-    /// nor the remembered set ever see — the target's heap could then
-    /// dead-mark it while this edge still reaches it (the historical
-    /// "traced a dead object" race). Pinning each remote pointee at the
-    /// heaps' LCA records the edge exactly as the write barrier records
-    /// a remote store; the pin resolves at that join like any other.
-    fn alloc_pin_remote(&mut self, fields: &mut [Value]) {
-        for slot in fields.iter_mut() {
-            let raw = *slot;
-            let Value::Obj(_) = raw else { continue };
-            let t = self.locate_ref(raw, "allocation barrier");
-            let owner = self.cached_chunk(t).owner();
-            let (_, _, lca) = self.rt.store().heaps().path_relation(&self.ctx.path, owner);
-            if let Some(level) = lca {
-                self.ctx.pending.entangled_writes += 1;
-                let pinned = self.pin_cached(t, level);
-                events::emit_obj(EventKind::AllocPin, pinned, u32::from(level));
-                *slot = Value::Obj(pinned);
-            } else if Value::Obj(t) != raw {
-                *slot = Value::Obj(t); // chased forwarding: keep the fresh location
-            }
-        }
-    }
-
-    fn fix_stale(&mut self, v: Value) -> Value {
-        match v {
-            Value::Obj(_) => {
-                let loc = self.locate(v, "stale fix");
-                Value::Obj(loc.r)
-            }
-            imm => imm,
-        }
-    }
-
-    fn mut_read(&mut self, objv: Value, idx: usize) -> Value {
-        self.ctx.work += self.rt.config().work.read;
-        let src = self.locate_ref(objv, "mutable read");
-        let obj = self.cached_chunk(src).get(src.slot());
-        debug_assert!(
-            obj.kind().is_mutable_boxed(),
-            "mutable read on {:?}",
-            obj.kind()
-        );
-        let raw = obj.field(idx);
-        let hdr = obj.header();
-        let mode = self.rt.config().mode;
-        if mode == Mode::NoEntanglementBarrier {
-            return self.fix_stale(raw);
-        }
-        self.ctx.pending.barrier_reads += 1;
-        // Entanglement-candidates fast path (ICFP 2022): an object that
-        // never received a down-pointer write and is not pinned can only
-        // hold pointers up its own path — no remote check needed. Every
-        // remote acquisition necessarily flows through a suspect or
-        // pinned object, so nothing is missed.
-        if self.rt.config().suspects && !hdr.is_suspect() && !hdr.is_pinned() {
-            return raw;
-        }
-        let Value::Obj(_) = raw else { return raw };
-        let t = self.locate_ref(raw, "read target");
-        let (_, _, lca) = self
-            .rt
-            .store()
-            .heaps()
-            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
-        let Some(level) = lca else {
-            // Local target: repair a stale source field if we chased
-            // forwarding (rare; re-locating the source is fine).
-            if Value::Obj(t) != raw {
-                let src = self.locate_ref(objv, "mutable read");
-                let _ = self
-                    .cached_chunk(src)
-                    .get(src.slot())
-                    .cas_field(idx, raw, Value::Obj(t));
-            }
-            return Value::Obj(t);
-        };
-        // Entangled read: the paper's central event.
-        if mode == Mode::DetectOnly {
-            panic!("{ENTANGLEMENT_PANIC}");
-        }
-        self.ctx.pending.entangled_reads += 1;
-        let pinned = self.pin_cached(t, level);
-        if Value::Obj(pinned) != raw {
-            let src = self.locate_ref(objv, "mutable read");
-            let _ = self
-                .cached_chunk(src)
-                .get(src.slot())
-                .cas_field(idx, raw, Value::Obj(pinned));
-        }
-        Value::Obj(pinned)
-    }
-
-    fn mut_write(&mut self, objv: Value, idx: usize, v: Value) {
-        let r = self.write_barrier(objv, idx, v);
-        let obj = self.cached_chunk(r).get(r.slot());
-        if self.rt.cgc_state().is_marking() {
-            if let Some(old) = obj.field_word(idx).pointer() {
-                self.rt.cgc_state().satb_log(old);
-            }
-        }
-        obj.set_field(idx, v);
-    }
-
-    fn mut_cas(
-        &mut self,
-        objv: Value,
-        idx: usize,
-        expected: Value,
-        new: Value,
-    ) -> Result<(), Value> {
-        let r = self.write_barrier(objv, idx, new);
-        let obj = self.cached_chunk(r).get(r.slot());
-        if self.rt.cgc_state().is_marking() {
-            if let Value::Obj(old) = expected {
-                self.rt.cgc_state().satb_log(old);
-            }
-        }
-        // A CAS is also a read: the observed value may expose a remote
-        // pointer on failure.
-        match obj.cas_field(idx, expected, new) {
-            Ok(()) => Ok(()),
-            Err(actual) => Err(self.observe_read(actual)),
-        }
-    }
-
-    /// The write barrier: detects entangled writes, pins pointees that
-    /// become cross-visible, and maintains the down-pointer remembered
-    /// set. Returns the resolved target, guaranteed cache-resident.
-    fn write_barrier(&mut self, objv: Value, idx: usize, v: Value) -> ObjRef {
-        self.ctx.work += self.rt.config().work.write;
-        let src = self.locate_ref(objv, "mutable write");
-        debug_assert!(
-            self.cached_chunk(src)
-                .get(src.slot())
-                .kind()
-                .is_mutable_boxed(),
-            "mutable write on immutable object"
-        );
-        let mode = self.rt.config().mode;
-        let store = self.rt.store();
-        self.ctx.pending.barrier_writes += 1;
-        // Fast exit: under managed semantics, storing an immediate cannot
-        // create entanglement (no pointer crosses), so the locality checks
-        // are skipped entirely. DetectOnly must still check (any remote
-        // write is a detected entanglement in prior MPL).
-        if mode == Mode::Managed && !matches!(v, Value::Obj(_)) {
-            return src;
-        }
-        let (o_heap, o_depth, o_lca) = store
-            .heaps()
-            .path_relation(&self.ctx.path, self.cached_chunk(src).owner());
-        let o_local = o_lca.is_none();
-        if !o_local {
-            match mode {
-                Mode::DetectOnly => panic!("{ENTANGLEMENT_PANIC}"),
-                Mode::NoEntanglementBarrier => {}
-                Mode::Managed => {
-                    self.ctx.pending.entangled_writes += 1;
-                    if let Value::Obj(_) = v {
-                        let t = self.locate_ref(v, "written value");
-                        // The written pointer becomes visible to the
-                        // remote object's owner: pin at the heaps' LCA.
-                        let t_heap = store.heaps().find(self.cached_chunk(t).owner());
-                        let level = store.heaps().lca_of(o_heap, t_heap);
-                        let _ = self.pin_cached(t, level);
-                    }
-                }
-            }
-            return self.locate_ref(objv, "mutable write");
-        }
-        if let Value::Obj(_) = v {
-            let t = self.locate_ref(v, "written value");
-            let (t_heap, t_depth, t_lca) = store
-                .heaps()
-                .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
-            let t_local = t_lca.is_none();
-            if t_local {
-                if t_depth > o_depth {
-                    // Down-pointer: root for the deeper heap's collections,
-                    // and the written-to object becomes an entanglement
-                    // candidate — its reads must check. (Re-locate: the
-                    // target lookup above may have evicted the source's
-                    // cache slot.)
-                    let src = self.locate_ref(objv, "mutable write");
-                    self.cached_chunk(src).get(src.slot()).mark_suspect();
-                    store.remember(
-                        t_heap,
-                        RemsetEntry {
-                            src,
-                            field: idx as u32,
-                        },
-                    );
-                }
-            } else if mode == Mode::Managed {
-                // Storing an (already remote, hence pinned-at-acquisition)
-                // pointer: ensure its level covers this object's readers,
-                // and mark the holder a candidate.
-                self.ctx.pending.entangled_writes += 1;
-                let level = store.heaps().lca_of(o_heap, t_heap);
-                let _ = self.pin_cached(t, level);
-                let src = self.locate_ref(objv, "mutable write");
-                self.cached_chunk(src).get(src.slot()).mark_suspect();
-                return src;
-            } else if mode == Mode::DetectOnly {
-                panic!("{ENTANGLEMENT_PANIC}");
-            }
-            return self.locate_ref(objv, "mutable write");
-        }
-        src
-    }
-
-    /// Applies the read-barrier's entanglement handling to a value
-    /// observed from a failed CAS.
-    fn observe_read(&mut self, actual: Value) -> Value {
-        let mode = self.rt.config().mode;
-        if mode == Mode::NoEntanglementBarrier {
-            return self.fix_stale(actual);
-        }
-        let Value::Obj(_) = actual else { return actual };
-        let t = self.locate_ref(actual, "cas observation");
-        let (_, _, lca) = self
-            .rt
-            .store()
-            .heaps()
-            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
-        let Some(level) = lca else {
-            return Value::Obj(t);
-        };
-        if mode == Mode::DetectOnly {
-            panic!("{ENTANGLEMENT_PANIC}");
-        }
-        self.ctx.pending.entangled_reads += 1;
-        Value::Obj(self.pin_cached(t, level))
-    }
-
-    fn run_lgc(&mut self, extra: &mut [Value]) {
+    pub(crate) fn run_lgc(&mut self, extra: &mut [Value]) {
         self.flush_stats();
+        // The buffered remembered-set entries targeting this task's own
+        // heaps become collection roots: publish them first (the GC
+        // handshake flush point).
+        self.flush_remset();
         // A local collection moves objects and (eagerly) frees chunks; a
         // paused incremental CGC holds object refs in its mark stack, so
         // finish that cycle first. (Full MPL repairs the marker's state
@@ -962,9 +836,15 @@ impl<'rt> Mutator<'rt> {
             self.rt.force_cgc();
         }
         let heap = self.leaf_heap();
-        let mut shadow = self.ctx.shadow.lock();
-        let shadow_len = shadow.len();
-        let mut roots: Vec<ObjRef> = shadow.clone();
+        // Snapshot this task's root stack (owner read: nobody else
+        // pushes), collect, then write the updated locations back with
+        // atomic slot stores. A concurrent CGC root scan may interleave
+        // and read a pre-collection reference; that is sound — the old
+        // location forwards to the new one, and retired fromspace chunks
+        // outlive the cycle (the graveyard drains only at quiescence).
+        let nroots = self.ctx.roots.len();
+        let mut roots: Vec<ObjRef> = Vec::with_capacity(nroots + extra.len());
+        self.ctx.roots.extend_snapshot(&mut roots);
         let mut extra_slots = Vec::new();
         for (i, v) in extra.iter().enumerate() {
             if let Value::Obj(r) = v {
@@ -979,10 +859,11 @@ impl<'rt> Mutator<'rt> {
             self.rt.graveyard(),
             self.rt.config().policy.immediate_chunk_free,
         );
-        shadow.copy_from_slice(&roots[..shadow_len]);
-        drop(shadow);
+        for (i, r) in roots[..nroots].iter().enumerate() {
+            self.ctx.roots.set(i, *r);
+        }
         for (k, &i) in extra_slots.iter().enumerate() {
-            extra[i] = Value::Obj(roots[shadow_len + k]);
+            extra[i] = Value::Obj(roots[nroots + k]);
         }
         self.ctx.alloc_since = 0;
         // Size-proportional budget: next collection once we allocate
@@ -999,6 +880,18 @@ impl<'rt> Mutator<'rt> {
         // charging them to the recorded mutator strand would. Wall-clock
         // measurements (T_1) still include the full collection cost.
         let _ = out;
+    }
+}
+
+impl Drop for Mutator<'_> {
+    /// Flushes buffered state and deregisters the root stack even when
+    /// the task body panics (e.g. a `DetectOnly` entanglement abort that
+    /// a test harness catches): buffered remembered-set entries must
+    /// reach their heaps before any ancestor resumes and collects, and a
+    /// leaked registry entry would keep dead roots alive for the
+    /// concurrent collector forever. Idempotent after `finish_task`.
+    fn drop(&mut self) {
+        self.finish_task();
     }
 }
 

@@ -14,9 +14,7 @@ use mpl_sched::{Dag, DagBuilder, Executor, SchedMode, SchedSnapshot, StrandId, T
 
 use crate::config::RuntimeConfig;
 use crate::mutator::{Mutator, TaskCtx};
-
-/// A shared, updatable shadow stack of object roots for one task.
-pub(crate) type ShadowStack = Arc<Mutex<Vec<ObjRef>>>;
+use crate::roots::RootStack;
 
 /// The runtime: store + collectors + scheduler state.
 #[derive(Debug)]
@@ -26,7 +24,11 @@ pub struct Runtime {
     cgc_state: CgcState,
     graveyard: Graveyard,
     tokens: TokenPool,
-    shadows: Mutex<Vec<ShadowStack>>,
+    /// Registry of live tasks' root stacks. The mutex guards only the
+    /// registry vector (register/unregister at task start/finish); the
+    /// stacks themselves are lock-free and read in place by the
+    /// concurrent collector's root scan.
+    roots: Mutex<Vec<Arc<RootStack>>>,
     pending: Mutex<Vec<Option<ObjRef>>>,
     dag: Mutex<Option<Arc<DagBuilder>>>,
     last_dag: Mutex<Option<Dag>>,
@@ -51,6 +53,9 @@ impl Runtime {
         // Give each pool worker its own event ring. Registered before the
         // pool exists so the first worker to start is already covered.
         mpl_sched::set_worker_start_hook(mpl_gc::audit::register_worker);
+        // Task-boundary markers in the event rings: lets an audit dump
+        // reconstruct which jobs surrounded a failure.
+        mpl_sched::set_job_finish_hook(mpl_gc::audit::note_job_boundary);
         let executor = if config.threads > 1 && config.sched == SchedMode::WorkStealing {
             Some(Executor::new(config.threads))
         } else {
@@ -61,7 +66,7 @@ impl Runtime {
             cgc_state: CgcState::new(),
             graveyard: Graveyard::new(),
             tokens: TokenPool::new(config.threads.max(1)),
-            shadows: Mutex::new(Vec::new()),
+            roots: Mutex::new(Vec::new()),
             pending: Mutex::new(Vec::new()),
             dag: Mutex::new(None),
             last_dag: Mutex::new(None),
@@ -174,14 +179,14 @@ impl Runtime {
 
     // ---- task-root registry (CGC root set) -----------------------------
 
-    pub(crate) fn register_shadow(&self, s: &ShadowStack) {
-        self.shadows.lock().push(Arc::clone(s));
+    pub(crate) fn register_roots(&self, s: &Arc<RootStack>) {
+        self.roots.lock().push(Arc::clone(s));
     }
 
-    pub(crate) fn unregister_shadow(&self, s: &ShadowStack) {
-        let mut shadows = self.shadows.lock();
-        if let Some(pos) = shadows.iter().position(|x| Arc::ptr_eq(x, s)) {
-            shadows.swap_remove(pos);
+    pub(crate) fn unregister_roots(&self, s: &Arc<RootStack>) {
+        let mut roots = self.roots.lock();
+        if let Some(pos) = roots.iter().position(|x| Arc::ptr_eq(x, s)) {
+            roots.swap_remove(pos);
         }
     }
 
@@ -206,11 +211,20 @@ impl Runtime {
     }
 
     /// Assembles the concurrent collector's root set: every live task's
-    /// shadow stack plus parked branch results.
+    /// root stack plus parked branch results.
+    ///
+    /// Lock-free with respect to the mutators: each stack is snapshot by
+    /// atomic slot reads ([`RootStack::extend_snapshot`]) while its owner
+    /// keeps pushing — only the small registry mutex is held. The old
+    /// per-stack locks never provided a cross-task atomic snapshot
+    /// either (stacks were locked one at a time), so nothing weakens:
+    /// SATB logging covers values that move between stacks during the
+    /// scan, and a stale beyond-`len` slot resolves safely because
+    /// retired chunks are graveyard-held until quiescence.
     pub(crate) fn cgc_roots(&self) -> Vec<ObjRef> {
         let mut roots: Vec<ObjRef> = Vec::new();
-        for s in self.shadows.lock().iter() {
-            roots.extend(s.lock().iter().copied());
+        for s in self.roots.lock().iter() {
+            s.extend_snapshot(&mut roots);
         }
         roots.extend(self.pending.lock().iter().flatten().copied());
         roots

@@ -153,6 +153,57 @@ proptest! {
         }
     }
 
+    /// Tier agreement: the barrier's fast-tier exits (suspects check,
+    /// immediate-store exit, same-leaf pointer-store exit) are pure
+    /// elisions of the slow tier. Running the same mutation trace with
+    /// the fast tiers enabled and with `force_slow_path` (every access
+    /// through the full locate/LCA machinery) must produce identical
+    /// results and identical final heap contents.
+    #[test]
+    fn fast_and_forced_slow_tiers_agree(p in prog(4)) {
+        let run_with = |cfg: RuntimeConfig| {
+            let rt = Runtime::new(cfg);
+            let out = rt.run(|m| {
+                let table = m.alloc_array(NCELLS, Value::Unit);
+                let h = m.root(table);
+                for c in 0..NCELLS {
+                    let zero = m.alloc_tuple(&[Value::Int(0)]);
+                    let table = m.get(&h);
+                    m.arr_set(table, c, zero);
+                }
+                let acc = run_prog(m, &h, &p);
+                // Fold the final heap contents (every cell's boxed int)
+                // into the digest so the comparison covers state, not
+                // just the accumulated result.
+                let mut digest = acc;
+                for c in 0..NCELLS {
+                    let table = m.get(&h);
+                    let boxed = m.arr_get(table, c);
+                    let v = m.tuple_get(boxed, 0).expect_int();
+                    digest = digest.wrapping_mul(31).wrapping_add(v);
+                }
+                m.sync_stats();
+                let s = m.runtime().stats();
+                assert_eq!(
+                    s.barrier_read_fast + s.barrier_read_slow,
+                    s.barrier_reads,
+                    "every counted read lands in exactly one tier"
+                );
+                assert_eq!(
+                    s.barrier_write_fast + s.barrier_write_slow,
+                    s.barrier_writes,
+                    "every counted write lands in exactly one tier"
+                );
+                Value::Int(digest)
+            });
+            (out, rt.stats().barrier_write_fast + rt.stats().barrier_read_fast)
+        };
+        let (fast_out, _) = run_with(RuntimeConfig::managed());
+        let (slow_out, slow_count) = run_with(RuntimeConfig::managed().with_force_slow_path());
+        prop_assert_eq!(fast_out, slow_out, "results and final heap contents agree across tiers");
+        prop_assert_eq!(slow_count, 0, "force_slow_path leaves no fast-tier entries");
+    }
+
     /// The same programs agree between the sequential executor and the
     /// real-thread executor whenever they are race-free by construction
     /// (no cell is written in one branch of a fork and accessed in the

@@ -299,6 +299,145 @@ fn raw_arrays_support_atomics() {
 }
 
 #[test]
+fn alloc_raw_is_zero_initialized() {
+    let rt = Runtime::new(RuntimeConfig::managed());
+    rt.run(|m| {
+        for len in [1, 4, 64, 1000] {
+            let a = m.alloc_raw(len);
+            for i in 0..len {
+                assert_eq!(
+                    m.raw_get(a, i),
+                    0,
+                    "slot {i} of a fresh {len}-word raw array"
+                );
+            }
+        }
+        Value::Unit
+    });
+}
+
+#[test]
+fn disentangled_work_takes_zero_slow_path_entries() {
+    // The tier-split contract: non-suspect reads and immediate stores
+    // complete on the fast tier every single time — no lock, no Arc
+    // clone, no heap-table query.
+    let rt = Runtime::new(RuntimeConfig::managed());
+    rt.run(|m| {
+        let cell = m.alloc_ref(Value::Int(0));
+        let arr = m.alloc_array(16, Value::Int(1));
+        for i in 0..200 {
+            m.write_ref(cell, Value::Int(i)); // immediate store: fast
+            let _ = m.read_ref(cell); // non-suspect read: fast
+            m.arr_set(arr, (i as usize) % 16, Value::Int(i)); // immediate store: fast
+            let _ = m.arr_get(arr, (i as usize) % 16); // non-suspect read: fast
+        }
+        Value::Unit
+    });
+    let s = rt.stats();
+    assert_eq!(s.barrier_read_slow, 0, "disentangled reads never go slow");
+    assert_eq!(s.barrier_write_slow, 0, "immediate stores never go slow");
+    assert!(s.barrier_read_fast >= 400, "fast reads counted: {s:?}");
+    assert!(s.barrier_write_fast >= 400, "fast writes counted: {s:?}");
+}
+
+#[test]
+fn same_leaf_pointer_stores_are_predominantly_fast_tier() {
+    // Pointer stores within one leaf heap take the chunk-owner fast exit
+    // whenever the target's chunk is already in the task's cache; only
+    // cache misses (fresh chunks) fall to the slow tier.
+    let rt = Runtime::new(RuntimeConfig::managed());
+    rt.run(|m| {
+        let arr = m.alloc_array(16, Value::Unit);
+        let mut boxed = m.alloc_tuple(&[Value::Int(0)]);
+        for i in 0..200 {
+            m.arr_set(arr, (i as usize) % 16, boxed);
+            let b = m.arr_get(arr, (i as usize) % 16);
+            let _ = m.tuple_get(b, 0);
+            boxed = m.alloc_tuple(&[Value::Int(i)]);
+        }
+        Value::Unit
+    });
+    let s = rt.stats();
+    assert!(
+        s.barrier_write_fast > s.barrier_write_slow,
+        "same-leaf pointer stores mostly fast: {s:?}"
+    );
+    assert_eq!(s.barrier_read_slow, 0, "reads all fast: {s:?}");
+}
+
+#[test]
+fn entangling_program_counts_slow_path_tiers() {
+    let rt = Runtime::new(RuntimeConfig::managed());
+    entangling_program(&rt);
+    let s = rt.stats();
+    assert!(
+        s.barrier_read_slow >= 1,
+        "the entangled read must be slow-tier: {s:?}"
+    );
+    assert!(
+        s.barrier_write_slow >= 1,
+        "the down-pointer write must be slow-tier: {s:?}"
+    );
+}
+
+#[test]
+fn force_slow_path_disables_fast_tier() {
+    let rt = Runtime::new(RuntimeConfig::managed().with_force_slow_path());
+    let v = rt.run(|m| {
+        let cell = m.alloc_ref(Value::Int(0));
+        for i in 0..50 {
+            m.write_ref(cell, Value::Int(i));
+            let _ = m.read_ref(cell);
+        }
+        m.read_ref(cell)
+    });
+    assert_eq!(v, Value::Int(49));
+    let s = rt.stats();
+    assert_eq!(s.barrier_write_fast, 0, "no fast writes when forced slow");
+    assert!(s.barrier_write_slow >= 50);
+    assert!(s.barrier_read_slow >= 50);
+}
+
+/// `len` and `read_str` are accessors without an entanglement barrier,
+/// but they are still reads: they must charge the work model like
+/// `tuple_get`/`raw_get` so DAG-based speedup simulations see them.
+#[test]
+fn len_and_read_str_charge_work() {
+    let work_of = |f: fn(&mut mpl_runtime::Mutator<'_>) -> Value| {
+        let rt = Runtime::new(RuntimeConfig::managed().with_dag());
+        rt.run(f);
+        rt.take_dag().expect("dag recorded").total_work()
+    };
+    let base = work_of(|m| {
+        let _ = m.alloc_str("hello world");
+        Value::Unit
+    });
+    let with_len = work_of(|m| {
+        let s = m.alloc_str("hello world");
+        for _ in 0..10 {
+            let _ = m.len(s);
+        }
+        Value::Unit
+    });
+    let with_read = work_of(|m| {
+        let s = m.alloc_str("hello world");
+        for _ in 0..10 {
+            let _ = m.read_str(s);
+        }
+        Value::Unit
+    });
+    let read_cost = RuntimeConfig::managed().work.read;
+    assert!(
+        with_len >= base + 10 * read_cost,
+        "len must charge work: base={base}, with_len={with_len}"
+    );
+    assert!(
+        with_read >= base + 10 * read_cost,
+        "read_str must charge work: base={base}, with_read={with_read}"
+    );
+}
+
+#[test]
 fn strings_roundtrip() {
     let rt = Runtime::new(RuntimeConfig::managed());
     rt.run(|m| {

@@ -102,6 +102,14 @@ pub fn register_worker(index: usize) {
     RING_ID.with(|c| c.set(index % RINGS));
 }
 
+/// Records a task-boundary marker in the calling worker's event ring.
+/// The scheduler calls this from its job-finish hook; the markers let a
+/// ring dump show which task interleavings surrounded a failure. A
+/// no-op (one relaxed load) unless tracing is active.
+pub fn note_job_boundary(index: usize) {
+    events::emit(EventKind::TaskBoundary, 0, 0, index as u32);
+}
+
 /// The event sink installed into [`mpl_heap::events`].
 fn record(ev: Event) {
     let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;

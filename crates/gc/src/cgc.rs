@@ -5,7 +5,12 @@
 //! collector's job. It is a snapshot-at-the-beginning (SATB) mark–sweep:
 //!
 //! * **Mark** — trace from every task's roots (and any extra roots the
-//!   runtime supplies). While marking is active, mutators log overwritten
+//!   runtime supplies). Root assembly is **lock-free**: each task
+//!   publishes its roots in an atomic segmented stack (`mpl-runtime`'s
+//!   `RootStack`) that the marker snapshots without stopping the owner;
+//!   a stale-prefix read only over-approximates the root set, and any
+//!   pointer published after the snapshot is covered by SATB logging.
+//!   While marking is active, mutators log overwritten
 //!   pointers and newly pinned objects into the SATB buffer, which the
 //!   marker drains to a fixpoint; this preserves everything live at the
 //!   snapshot.

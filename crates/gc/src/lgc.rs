@@ -12,7 +12,13 @@
 //!    before anything else is evacuated.
 //! 2. Down-pointers from ancestor heaps are recorded in the remembered
 //!    set; their sources belong to suspended ancestors, so repairing them
-//!    with a CAS cannot lose a racing update from the owner.
+//!    with a CAS cannot lose a racing update from the owner. Mutators
+//!    buffer these records privately and flush them at fork/join/GC
+//!    safepoints (see `mpl-runtime`'s mutator module); a task flushes its
+//!    own buffer before collecting, and entries destined for a heap only
+//!    ever come from tasks below it — which are joined (flushed) before
+//!    the heap's owner runs again — so the remembered set a collection
+//!    reads here is always complete for the collected heap.
 //!
 //! The algorithm:
 //!

@@ -59,6 +59,13 @@ pub enum EventKind {
     /// The allocation barrier pinned a remote pointee of a freshly
     /// allocated object (`aux` = pin level).
     AllocPin = 9,
+    /// A mutator-private remembered-set buffer was flushed into a heap
+    /// (`chunk` = the destination heap id, `aux` = entries published).
+    RemsetFlush = 10,
+    /// A scheduler worker finished executing a job (`aux` = the worker's
+    /// pool index). Task-boundary markers let event-ring dumps
+    /// reconstruct which task interleavings surround a GC failure.
+    TaskBoundary = 11,
 }
 
 impl EventKind {
@@ -75,6 +82,8 @@ impl EventKind {
             EventKind::ChunkFree => "chunk-free",
             EventKind::ChunkRetire => "chunk-retire",
             EventKind::AllocPin => "alloc-pin",
+            EventKind::RemsetFlush => "remset-flush",
+            EventKind::TaskBoundary => "task-boundary",
         }
     }
 
@@ -91,6 +100,8 @@ impl EventKind {
             7 => EventKind::ChunkFree,
             8 => EventKind::ChunkRetire,
             9 => EventKind::AllocPin,
+            10 => EventKind::RemsetFlush,
+            11 => EventKind::TaskBoundary,
             _ => return None,
         })
     }
@@ -168,6 +179,8 @@ mod tests {
             EventKind::ChunkFree,
             EventKind::ChunkRetire,
             EventKind::AllocPin,
+            EventKind::RemsetFlush,
+            EventKind::TaskBoundary,
         ] {
             assert_eq!(EventKind::from_bits(k as u8), Some(k), "{}", k.name());
         }

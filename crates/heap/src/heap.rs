@@ -341,6 +341,28 @@ impl HeapTable {
         table[cur as usize].remset.lock().push(entry);
     }
 
+    /// Canonicalizes `dst` and records a whole batch of remembered-set
+    /// entries on it under a single table acquisition and a single
+    /// remset lock — the publication path for mutator-private
+    /// remembered-set buffers, which amortizes the per-entry
+    /// synchronization the old central-mutex design paid on every
+    /// down-pointer write.
+    pub fn remember_canonical_batch(&self, dst: u32, entries: &[RemsetEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        let table = self.heaps.read();
+        let mut cur = dst;
+        loop {
+            let next = table[cur as usize].merged_into.load(Ordering::Acquire);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        table[cur as usize].remset.lock().extend_from_slice(entries);
+    }
+
     /// Merges `child` into `parent`: unions the ids and splices the chunk
     /// list. Remembered-set and entangled-list handling is done by the
     /// caller (it needs object access for the unpin-at-join rule).

@@ -17,11 +17,22 @@ pub struct StoreStats {
     pub(crate) alloc_bytes: AtomicU64,
     pub(crate) barrier_reads: AtomicU64,
     pub(crate) barrier_writes: AtomicU64,
+    // Barrier tier split: "fast" completions never touched the heap
+    // table, a lock, or an `Arc` clone; "slow" entries ran the full
+    // locate/LCA machinery (and possibly pinned or remembered).
+    pub(crate) barrier_read_fast: AtomicU64,
+    pub(crate) barrier_read_slow: AtomicU64,
+    pub(crate) barrier_write_fast: AtomicU64,
+    pub(crate) barrier_write_slow: AtomicU64,
     pub(crate) entangled_reads: AtomicU64,
     pub(crate) entangled_writes: AtomicU64,
     pub(crate) pins: AtomicU64,
     pub(crate) unpins: AtomicU64,
     pub(crate) remset_inserts: AtomicU64,
+    // Mutator-private remembered-set write buffers.
+    pub(crate) remset_buffered: AtomicU64,
+    pub(crate) remset_dedup_hits: AtomicU64,
+    pub(crate) remset_flushes: AtomicU64,
     // Collector-side.
     pub(crate) lgc_runs: AtomicU64,
     pub(crate) lgc_copied_bytes: AtomicU64,
@@ -51,11 +62,33 @@ pub struct StatsSnapshot {
     pub alloc_bytes: u64,
     pub barrier_reads: u64,
     pub barrier_writes: u64,
+    /// Mutable reads completed on the barrier's fast tier: no lock, no
+    /// heap-table acquisition, no `Arc` clone (the suspects header check
+    /// passed, or the loaded value was an immediate).
+    pub barrier_read_fast: u64,
+    /// Mutable reads that entered the slow tier (locate + LCA, possibly
+    /// pin).
+    pub barrier_read_slow: u64,
+    /// Mutable writes completed on the fast tier (immediate store, or a
+    /// pointer store whose source and target are both in the task's own
+    /// leaf heap — provably not a down-pointer, no table acquisition).
+    pub barrier_write_fast: u64,
+    /// Mutable writes that entered the slow tier (locality/LCA checks,
+    /// possibly pin + remembered-set insert).
+    pub barrier_write_slow: u64,
     pub entangled_reads: u64,
     pub entangled_writes: u64,
     pub pins: u64,
     pub unpins: u64,
     pub remset_inserts: u64,
+    /// Down-pointer entries recorded into a mutator-private remembered-set
+    /// buffer (deduplicated; published to the owning heap at flush).
+    pub remset_buffered: u64,
+    /// Buffered remembered-set inserts suppressed by per-object dedup.
+    pub remset_dedup_hits: u64,
+    /// Remembered-set buffer flushes (join, GC handshake, mutator drop,
+    /// capacity).
+    pub remset_flushes: u64,
     pub lgc_runs: u64,
     pub lgc_copied_bytes: u64,
     pub lgc_reclaimed_bytes: u64,
@@ -105,11 +138,18 @@ impl StoreStats {
             alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
             barrier_reads: self.barrier_reads.load(Ordering::Relaxed),
             barrier_writes: self.barrier_writes.load(Ordering::Relaxed),
+            barrier_read_fast: self.barrier_read_fast.load(Ordering::Relaxed),
+            barrier_read_slow: self.barrier_read_slow.load(Ordering::Relaxed),
+            barrier_write_fast: self.barrier_write_fast.load(Ordering::Relaxed),
+            barrier_write_slow: self.barrier_write_slow.load(Ordering::Relaxed),
             entangled_reads: self.entangled_reads.load(Ordering::Relaxed),
             entangled_writes: self.entangled_writes.load(Ordering::Relaxed),
             pins: self.pins.load(Ordering::Relaxed),
             unpins: self.unpins.load(Ordering::Relaxed),
             remset_inserts: self.remset_inserts.load(Ordering::Relaxed),
+            remset_buffered: self.remset_buffered.load(Ordering::Relaxed),
+            remset_dedup_hits: self.remset_dedup_hits.load(Ordering::Relaxed),
+            remset_flushes: self.remset_flushes.load(Ordering::Relaxed),
             lgc_runs: self.lgc_runs.load(Ordering::Relaxed),
             lgc_copied_bytes: self.lgc_copied_bytes.load(Ordering::Relaxed),
             lgc_reclaimed_bytes: self.lgc_reclaimed_bytes.load(Ordering::Relaxed),
@@ -183,6 +223,34 @@ impl StoreStats {
         Self::count(&self.barrier_writes, writes);
         Self::count(&self.entangled_reads, entangled_reads);
         Self::count(&self.entangled_writes, entangled_writes);
+    }
+
+    /// Records a batch of per-tier barrier completions (task-buffered
+    /// fast path). See the tier definitions on [`StatsSnapshot`].
+    pub fn on_barrier_tiers(
+        &self,
+        read_fast: u64,
+        read_slow: u64,
+        write_fast: u64,
+        write_slow: u64,
+    ) {
+        Self::count(&self.barrier_read_fast, read_fast);
+        Self::count(&self.barrier_read_slow, read_slow);
+        Self::count(&self.barrier_write_fast, write_fast);
+        Self::count(&self.barrier_write_slow, write_slow);
+    }
+
+    /// Records a batch of mutator-private remembered-set buffer events.
+    pub fn on_remset_buffer_batch(&self, buffered: u64, dedup_hits: u64) {
+        Self::count(&self.remset_buffered, buffered);
+        Self::count(&self.remset_dedup_hits, dedup_hits);
+    }
+
+    /// Records a remembered-set buffer flush that published `entries`
+    /// entries into heap remembered sets.
+    pub fn on_remset_flush(&self, entries: u64) {
+        Self::count(&self.remset_flushes, 1);
+        Self::count(&self.remset_inserts, entries);
     }
 
     /// Records a barriered mutable read.

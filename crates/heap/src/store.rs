@@ -269,6 +269,29 @@ impl Store {
         events::emit_obj(EventKind::RemsetInsert, entry.src, entry.field);
     }
 
+    /// Publishes a batch of remembered-set entries into `dst_heap` (one
+    /// table acquisition, one remset lock). This is the flush path for
+    /// mutator-private remembered-set buffers; `remember` remains the
+    /// unbuffered single-entry path.
+    pub fn remember_batch(&self, dst_heap: u32, entries: &[RemsetEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        self.heaps.remember_canonical_batch(dst_heap, entries);
+        self.stats.on_remset_flush(entries.len() as u64);
+        if events::tracing_enabled() {
+            for e in entries {
+                events::emit_obj(EventKind::RemsetInsert, e.src, e.field);
+            }
+            events::emit(
+                EventKind::RemsetFlush,
+                self.heaps.find(dst_heap),
+                0,
+                entries.len() as u32,
+            );
+        }
+    }
+
     // ---- fork / join -----------------------------------------------------
 
     /// Creates a root heap and returns its id.

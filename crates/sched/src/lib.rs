@@ -51,4 +51,6 @@ pub use dag::{Dag, DagBuilder, StrandId};
 pub use executor::{Executor, SchedMode, SchedSnapshot, SchedStats};
 pub use simsched::{simulate, sweep, SimParams, SimResult};
 pub use tokens::{Token, TokenPool};
-pub use worker::{on_worker_thread, set_worker_start_hook, try_join, DriverGuard, WorkerCtx};
+pub use worker::{
+    on_worker_thread, set_job_finish_hook, set_worker_start_hook, try_join, DriverGuard, WorkerCtx,
+};

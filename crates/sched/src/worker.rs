@@ -279,6 +279,7 @@ impl WorkerCtx {
                 // Safety: taken from a deque exactly once; pusher still
                 // blocked in its own join.
                 unsafe { job.execute() };
+                run_job_finish_hook(self.index);
                 if popped_b {
                     break;
                 }
@@ -289,6 +290,7 @@ impl WorkerCtx {
             if let Some(job) = self.steal_job() {
                 // Safety: as above.
                 unsafe { job.execute() };
+                run_job_finish_hook(self.index);
                 backoff.reset();
                 continue;
             }
@@ -358,6 +360,27 @@ fn run_worker_start_hook(index: usize) {
     }
 }
 
+/// Hook invoked with the worker's pool index after each job the worker
+/// finishes executing (both jobs run from `WorkerCtx::join`'s help loop
+/// and jobs run from the background worker loop). The runtime uses it to
+/// mark task boundaries in diagnostic traces — job completion is a
+/// natural safepoint — without this crate depending on any of it. First
+/// [`set_job_finish_hook`] wins; later calls are ignored.
+static JOB_FINISH_HOOK: OnceLock<fn(usize)> = OnceLock::new();
+
+/// Installs the process-wide job-finish hook (see [`JOB_FINISH_HOOK`]).
+/// Idempotent for the same function; a second, different hook is
+/// ignored.
+pub fn set_job_finish_hook(hook: fn(usize)) {
+    let _ = JOB_FINISH_HOOK.set(hook);
+}
+
+fn run_job_finish_hook(index: usize) {
+    if let Some(hook) = JOB_FINISH_HOOK.get() {
+        hook(index);
+    }
+}
+
 /// Restores the previous TLS pointer on drop.
 struct TlsGuard {
     prev: *const WorkerCtx,
@@ -417,6 +440,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, index: usize, deque: Deque<JobRef
             // Safety: taken from a deque exactly once; pusher is blocked
             // in its join until our execute sets the latch.
             unsafe { job.execute() };
+            run_job_finish_hook(index);
             backoff.reset();
             continue;
         }

@@ -240,6 +240,79 @@ fn entangled_suite_with_phase_audits() {
 }
 
 #[test]
+fn buffered_remsets_flush_at_joins_under_audit() {
+    // Down-pointer remembered-set entries are buffered task-privately
+    // and published at safepoints (forks, joins, collections, task
+    // drop). This drives deep fork trees whose children write
+    // down-pointers into ancestor cells and then churn enough that the
+    // *parent's* post-join collections depend on entries the children
+    // buffered — all under 4 real threads with the full audit layer
+    // (the `MPL_DEBUG_LGC_VALIDATE` checks) watching every phase
+    // boundary.
+    fn go(m: &mut mpl_runtime::Mutator<'_>, cell: &mpl_runtime::Handle, depth: usize) -> i64 {
+        if depth == 0 {
+            let mut acc = 0;
+            for i in 0..40 {
+                // Down-pointer: child-allocated tuple into the ancestor
+                // cell (buffered remset entry), then churn to force
+                // local collections that must see the entry.
+                let boxed = m.alloc_tuple(&[Value::Int(i)]);
+                m.write_ref(m.get(cell), boxed);
+                for _ in 0..20 {
+                    let _ = m.alloc_tuple(&[Value::Int(0), Value::Unit]);
+                }
+                if let v @ Value::Obj(_) = m.read_ref(m.get(cell)) {
+                    acc += m.tuple_get(v, 0).expect_int();
+                }
+            }
+            acc
+        } else {
+            let (a, b) = m.fork(
+                |m| Value::Int(go(m, cell, depth - 1)),
+                |m| Value::Int(go(m, cell, depth - 1)),
+            );
+            // Post-join churn in the parent: its collections now cover
+            // the merged child data, whose remset entries must have been
+            // flushed by the children's task-finish safepoints.
+            for _ in 0..50 {
+                let _ = m.alloc_tuple(&[Value::Int(1), Value::Unit]);
+            }
+            a.expect_int() + b.expect_int()
+        }
+    }
+    for round in 0..10 {
+        let cfg = RuntimeConfig {
+            policy: GcPolicy {
+                lgc_trigger_bytes: 2048,
+                cgc_trigger_pinned_bytes: 16 * 1024,
+                immediate_chunk_free: false,
+            },
+            store: StoreConfig { chunk_slots: 16 },
+            ..RuntimeConfig::managed()
+        }
+        .with_threads_exact(4)
+        .with_audit();
+        let rt = Runtime::new(cfg);
+        rt.run(|m| {
+            let cell = m.alloc_ref(Value::Unit);
+            let c = m.root(cell);
+            let total = go(m, &c, 3);
+            assert!(total > 0, "round {round}: leaves observed writes");
+            Value::Unit
+        });
+        let s = rt.stats();
+        assert_eq!(s.lgc_dead_traced, 0, "round {round}: dead traced: {s:?}");
+        assert_eq!(s.pinned_bytes, 0, "round {round}: leaked pins: {s:?}");
+        assert!(
+            s.remset_flushes > 0,
+            "round {round}: buffers flushed: {s:?}"
+        );
+        assert!(s.audit_runs > 0, "round {round}: audits ran: {s:?}");
+        rt.assert_heap_sound();
+    }
+}
+
+#[test]
 fn work_stealing_runtime_is_reusable_across_runs() {
     // One pool, many runs: the driver slot must hand back cleanly and the
     // workers must stay healthy across program boundaries.

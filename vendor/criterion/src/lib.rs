@@ -2,8 +2,8 @@
 //!
 //! Provides the macro and type surface the workspace's benches use
 //! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
-//! `bench_function`, `bench_with_input`, `Bencher::iter`, `black_box`,
-//! `BenchmarkId`). Instead of criterion's statistical machinery it runs
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `Bencher::iter_with_setup`, `black_box`, `BenchmarkId`). Instead of criterion's statistical machinery it runs
 //! each benchmark for a fixed sample count, reports mean ns/iter on
 //! stdout, and performs no regression analysis — enough to execute
 //! `cargo bench` offline and eyeball relative numbers.
@@ -123,6 +123,25 @@ impl Bencher {
             black_box(f());
         }
         self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; only the
+    /// routine is timed, matching criterion's `iter_with_setup`.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warmup, then timed samples (setup excluded from timing).
+        black_box(routine(setup()));
+        let mut total_ns = 0u128;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.mean_ns = total_ns as f64 / self.samples as f64;
     }
 }
 

@@ -18,6 +18,8 @@ struct Row {
     lgc_runs: u64,
     cgc_runs: u64,
     max_pinned: usize,
+    lgc_pause_ns_total: u64,
+    lgc_pause_ns_max: u64,
 }
 
 fn main() {
@@ -49,13 +51,24 @@ fn main() {
             lgc_runs: run.stats.lgc_runs,
             cgc_runs: run.stats.cgc_runs,
             max_pinned: run.stats.max_pinned_bytes,
+            lgc_pause_ns_total: run.stats.lgc_pause_ns_total,
+            lgc_pause_ns_max: run.stats.lgc_pause_ns_max,
         });
     }
     println!("chunk-size sweep (msort, n={n}):");
     print!("{}", t1.render());
 
-    // LGC trigger sweep on msort.
-    let mut t2 = Table::new(&["LGC trigger", "wall", "R_1", "LGC runs"]);
+    // LGC trigger sweep on msort. The pause columns make the trigger's
+    // pause/residency trade explicit: smaller triggers collect more often
+    // but each pause covers a smaller heap.
+    let mut t2 = Table::new(&[
+        "LGC trigger",
+        "wall",
+        "R_1",
+        "LGC runs",
+        "total LGC pause",
+        "max LGC pause",
+    ]);
     for trigger in [64 * 1024usize, 256 * 1024, 1024 * 1024] {
         let cfg = RuntimeConfig::managed().with_policy(GcPolicy {
             lgc_trigger_bytes: trigger,
@@ -67,6 +80,10 @@ fn main() {
             fmt_dur(run.wall),
             fmt_bytes(run.stats.max_live_bytes),
             run.stats.lgc_runs.to_string(),
+            fmt_dur(std::time::Duration::from_nanos(
+                run.stats.lgc_pause_ns_total,
+            )),
+            fmt_dur(std::time::Duration::from_nanos(run.stats.lgc_pause_ns_max)),
         ]);
         rows.push(Row {
             ablation: "lgc_trigger".into(),
@@ -77,6 +94,8 @@ fn main() {
             lgc_runs: run.stats.lgc_runs,
             cgc_runs: run.stats.cgc_runs,
             max_pinned: run.stats.max_pinned_bytes,
+            lgc_pause_ns_total: run.stats.lgc_pause_ns_total,
+            lgc_pause_ns_max: run.stats.lgc_pause_ns_max,
         });
     }
     println!("\nLGC-trigger sweep (msort, n={n}):");
@@ -112,6 +131,8 @@ fn main() {
             lgc_runs: run.stats.lgc_runs,
             cgc_runs: run.stats.cgc_runs,
             max_pinned: run.stats.max_pinned_bytes,
+            lgc_pause_ns_total: run.stats.lgc_pause_ns_total,
+            lgc_pause_ns_max: run.stats.lgc_pause_ns_max,
         });
     }
     println!("\nCGC-trigger sweep (dedup, n={dn}):");
@@ -153,6 +174,8 @@ fn main() {
             lgc_runs: run.stats.lgc_runs,
             cgc_runs: run.stats.cgc_runs,
             max_pinned: run.stats.max_pinned_bytes,
+            lgc_pause_ns_total: run.stats.lgc_pause_ns_total,
+            lgc_pause_ns_max: run.stats.lgc_pause_ns_max,
         });
     }
     println!("\nCGC incremental-slicing sweep (unionfind, n={un}, trigger=64KiB):");
@@ -185,6 +208,8 @@ fn main() {
                 lgc_runs: run.stats.lgc_runs,
                 cgc_runs: run.stats.cgc_runs,
                 max_pinned: run.stats.max_pinned_bytes,
+                lgc_pause_ns_total: run.stats.lgc_pause_ns_total,
+                lgc_pause_ns_max: run.stats.lgc_pause_ns_max,
             });
         }
     }

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use mpl_bench::{write_json, Table};
-use mpl_runtime::{GcPolicy, Mutator, Runtime, RuntimeConfig, Value};
+use mpl_runtime::{GcPolicy, Mutator, Runtime, RuntimeConfig, StatsSnapshot, Value};
 use serde::Serialize;
 
 const ITERS: usize = 1_000_000;
@@ -30,12 +30,17 @@ struct Row {
     slow_ops: u64,
 }
 
-fn tiers(m: &mut Mutator<'_>) -> (u64, u64) {
+fn snapshot(m: &mut Mutator<'_>) -> StatsSnapshot {
     m.sync_stats();
-    let s = m.runtime().stats();
+    m.runtime().stats()
+}
+
+/// Barrier-tier entries (fast, slow) between two snapshots.
+fn tier_delta(after: &StatsSnapshot, before: &StatsSnapshot) -> (u64, u64) {
+    let d = after.delta(before);
     (
-        s.barrier_read_fast + s.barrier_write_fast,
-        s.barrier_read_slow + s.barrier_write_slow,
+        d.barrier_read_fast + d.barrier_write_fast,
+        d.barrier_read_slow + d.barrier_write_slow,
     )
 }
 
@@ -65,14 +70,14 @@ fn bench_op(
     for _ in 0..1000 {
         f(m);
     }
-    let (fast0, slow0) = tiers(m);
+    let before = snapshot(m);
     let start = Instant::now();
     for _ in 0..ITERS {
         f(m);
     }
     let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
-    let (fast1, slow1) = tiers(m);
-    push_row(rows, table, name, ns, fast1 - fast0, slow1 - slow0);
+    let (fast, slow) = tier_delta(&snapshot(m), &before);
+    push_row(rows, table, name, ns, fast, slow);
 }
 
 fn main() {
@@ -133,18 +138,18 @@ fn main() {
             |m| {
                 // First read pins; measure both the pin and steady state.
                 let cell = m.get(&c);
-                let (fast0, slow0) = tiers(m);
+                let before = snapshot(m);
                 let start = Instant::now();
                 std::hint::black_box(m.read_ref(cell));
                 let first = start.elapsed().as_nanos() as f64;
-                let (fast1, slow1) = tiers(m);
+                let (fast, slow) = tier_delta(&snapshot(m), &before);
                 push_row(
                     &mut rows,
                     &mut table,
                     "entangled read, first (pin)",
                     first,
-                    fast1 - fast0,
-                    slow1 - slow0,
+                    fast,
+                    slow,
                 );
                 bench_op("entangled read, steady", &mut rows, &mut table, m, |m| {
                     let cell = m.get(&c);

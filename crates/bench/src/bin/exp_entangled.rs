@@ -23,6 +23,8 @@ struct Row {
     pins: u64,
     unpins: u64,
     max_pinned_bytes: usize,
+    lgc_pause_ns_total: u64,
+    lgc_pause_ns_max: u64,
     detect_only_aborts: bool,
 }
 
@@ -40,6 +42,7 @@ fn main() {
         "unpins",
         "peak pinned",
         "CGC runs",
+        "max LGC pause",
         "max CGC pause",
         "prior MPL",
     ]);
@@ -95,6 +98,9 @@ fn main() {
             fmt_bytes(managed.stats.max_pinned_bytes),
             managed.stats.cgc_runs.to_string(),
             fmt_dur(std::time::Duration::from_nanos(
+                managed.stats.lgc_pause_ns_max,
+            )),
+            fmt_dur(std::time::Duration::from_nanos(
                 managed.stats.cgc_pause_ns_max,
             )),
             if bench.entangled() {
@@ -114,6 +120,8 @@ fn main() {
             pins: managed.stats.pins,
             unpins: managed.stats.unpins,
             max_pinned_bytes: managed.stats.max_pinned_bytes,
+            lgc_pause_ns_total: managed.stats.lgc_pause_ns_total,
+            lgc_pause_ns_max: managed.stats.lgc_pause_ns_max,
             detect_only_aborts: aborts,
         });
         // Invariants the paper proves, checked on every run:

@@ -98,6 +98,14 @@ pub struct RuntimeConfig {
     /// Expensive (whole-store scans at collection phase boundaries);
     /// meant for stress tests and debugging, not production runs.
     pub audit: bool,
+    /// Enables runtime telemetry (`mpl-obs`) for this runtime's
+    /// lifetime: pause/latency histograms, per-worker span timelines,
+    /// and the periodic sampler thread behind
+    /// [`Runtime::telemetry_report`](crate::Runtime::telemetry_report).
+    /// Unlike audits this is cheap enough for production-style runs
+    /// (lock-free recording at instrumented sites); when disabled every
+    /// emission site costs one relaxed load and a predicted branch.
+    pub telemetry: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -114,6 +122,7 @@ impl Default for RuntimeConfig {
             force_slow_path: false,
             cgc_slice_objects: 0,
             audit: false,
+            telemetry: false,
         }
     }
 }
@@ -169,6 +178,25 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::audit`]).
     pub fn with_audit(mut self) -> RuntimeConfig {
         self.audit = true;
+        self
+    }
+
+    /// Enables runtime telemetry collection and the periodic sampler
+    /// thread (see [`RuntimeConfig::telemetry`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpl_runtime::{Runtime, RuntimeConfig, Value};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::managed().with_telemetry());
+    /// rt.run(|m| m.alloc_ref(Value::Int(1)));
+    /// let report = rt.telemetry_report();
+    /// assert!(report.chrome_trace.starts_with("{\"traceEvents\":["));
+    /// assert!(report.prometheus.contains("# TYPE mpl_lgc_pause_seconds histogram"));
+    /// ```
+    pub fn with_telemetry(mut self) -> RuntimeConfig {
+        self.telemetry = true;
         self
     }
 
@@ -290,5 +318,11 @@ mod tests {
     fn dag_flag() {
         assert!(RuntimeConfig::managed().with_dag().record_dag);
         assert!(!RuntimeConfig::managed().record_dag);
+    }
+
+    #[test]
+    fn telemetry_flag() {
+        assert!(RuntimeConfig::managed().with_telemetry().telemetry);
+        assert!(!RuntimeConfig::managed().telemetry);
     }
 }

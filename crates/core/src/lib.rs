@@ -59,7 +59,7 @@ pub mod runtime;
 
 pub use config::{Mode, RuntimeConfig, WorkModel};
 pub use mutator::{Handle, Mutator, RootMark, ENTANGLEMENT_PANIC};
-pub use runtime::Runtime;
+pub use runtime::{Runtime, TelemetryReport};
 
 // Re-export the value types users interact with.
 pub use mpl_gc::GcPolicy;

@@ -295,6 +295,7 @@ impl<'rt> Mutator<'rt> {
             self.ctx.remset_seen.clear();
             return;
         }
+        let _span = mpl_obs::span_guard(mpl_obs::Metric::RemsetFlush);
         let mut buf = std::mem::take(&mut self.ctx.remset_buf);
         self.ctx.remset_seen.clear();
         // Group by destination heap so each heap's lock is taken once.

@@ -5,6 +5,7 @@
 //! against a [`crate::mutator::Mutator`] obtained from [`Runtime::run`].
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -15,6 +16,22 @@ use mpl_sched::{Dag, DagBuilder, Executor, SchedMode, SchedSnapshot, StrandId, T
 use crate::config::RuntimeConfig;
 use crate::mutator::{Mutator, TaskCtx};
 use crate::roots::RootStack;
+
+/// How often the telemetry sampler thread ticks. Short enough that even
+/// sub-second benchmark runs collect a useful gauge series.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Both exporter documents produced by [`Runtime::telemetry_report`].
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// `chrome://tracing`-loadable trace-event JSON: one track per
+    /// worker with GC-phase/scheduler/remset spans, plus counter tracks
+    /// from the sampler.
+    pub chrome_trace: String,
+    /// Prometheus text-exposition document: runtime counters and gauges
+    /// plus the pause/latency histograms.
+    pub prometheus: String,
+}
 
 /// The runtime: store + collectors + scheduler state.
 #[derive(Debug)]
@@ -38,10 +55,16 @@ pub struct Runtime {
     /// full-graph marking against entangled allocation volume).
     cgc_baseline: std::sync::atomic::AtomicUsize,
     cgc_poll: std::sync::atomic::AtomicBool,
+    /// The telemetry sampler thread (present iff `config.telemetry`).
+    /// Declared before `executor` so it stops (and drops its executor
+    /// handle) before the pool is torn down.
+    sampler: Option<mpl_obs::Sampler>,
     /// The persistent work-stealing pool; present iff `threads > 1` and
     /// `sched == SchedMode::WorkStealing`. Workers live as long as the
-    /// runtime and are re-used across `run` calls.
-    executor: Option<Executor>,
+    /// runtime and are re-used across `run` calls. Shared (`Arc`) so the
+    /// sampler thread can read scheduler counters without borrowing the
+    /// runtime.
+    executor: Option<Arc<Executor>>,
 }
 
 impl Runtime {
@@ -50,6 +73,12 @@ impl Runtime {
         if config.audit {
             mpl_gc::audit::enable(); // balanced by Drop
         }
+        // Process-wide telemetry opt-in via MPL_TELEMETRY, then the
+        // per-runtime refcounted switch (balanced by Drop).
+        mpl_obs::init_from_env();
+        if config.telemetry {
+            mpl_obs::enable();
+        }
         // Give each pool worker its own event ring. Registered before the
         // pool exists so the first worker to start is already covered.
         mpl_sched::set_worker_start_hook(mpl_gc::audit::register_worker);
@@ -57,12 +86,16 @@ impl Runtime {
         // reconstruct which jobs surrounded a failure.
         mpl_sched::set_job_finish_hook(mpl_gc::audit::note_job_boundary);
         let executor = if config.threads > 1 && config.sched == SchedMode::WorkStealing {
-            Some(Executor::new(config.threads))
+            Some(Arc::new(Executor::new(config.threads)))
         } else {
             None
         };
+        let store = Store::new(config.store);
+        let sampler = config
+            .telemetry
+            .then(|| spawn_sampler(&store, executor.clone(), config.threads.max(1)));
         Runtime {
-            store: Store::new(config.store),
+            store,
             cgc_state: CgcState::new(),
             graveyard: Graveyard::new(),
             tokens: TokenPool::new(config.threads.max(1)),
@@ -73,6 +106,7 @@ impl Runtime {
             cgc_gate: Mutex::new(()),
             cgc_baseline: std::sync::atomic::AtomicUsize::new(0),
             cgc_poll: std::sync::atomic::AtomicBool::new(false),
+            sampler,
             executor,
             config,
         }
@@ -113,7 +147,7 @@ impl Runtime {
     /// the pool is not active).
     pub fn sched_stats(&self) -> SchedSnapshot {
         self.executor
-            .as_ref()
+            .as_deref()
             .map(Executor::stats)
             .unwrap_or_default()
     }
@@ -144,7 +178,7 @@ impl Runtime {
         // thread is mid-`run` and holds the slot, forks from this call
         // fall back to inline sequential execution — correct, just not
         // parallel.
-        let _driver = self.executor.as_ref().and_then(Executor::install_driver);
+        let _driver = self.executor.as_deref().and_then(Executor::install_driver);
         let root_heap = self.store.new_root_heap();
         let dag = if self.config.record_dag {
             let (builder, root_strand) = DagBuilder::new();
@@ -259,10 +293,13 @@ impl Runtime {
         if slice > 0 && self.cgc_state.cycle_active() {
             if let Some(_gate) = self.cgc_gate.try_lock() {
                 let start = std::time::Instant::now();
+                let span = mpl_obs::span_start();
                 let done = mpl_gc::cgc_step(&self.store, &self.cgc_state, slice);
                 self.store
                     .stats()
                     .on_cgc_pause(start.elapsed().as_nanos() as u64);
+                // `on_cgc_pause` fed the histogram; timeline entry only.
+                mpl_obs::span_only(mpl_obs::Metric::CgcPause, span);
                 if done.is_some() {
                     self.cgc_baseline
                         .store(self.stats().pinned_bytes, Ordering::Relaxed);
@@ -283,6 +320,7 @@ impl Runtime {
         }
         if let Some(_gate) = self.cgc_gate.try_lock() {
             let start = std::time::Instant::now();
+            let span = mpl_obs::span_start();
             if slice > 0 {
                 // Begin the sliced cycle: snapshot roots, trace one slice.
                 let roots = self.cgc_roots();
@@ -300,6 +338,7 @@ impl Runtime {
             self.store
                 .stats()
                 .on_cgc_pause(start.elapsed().as_nanos() as u64);
+            mpl_obs::span_only(mpl_obs::Metric::CgcPause, span);
         }
     }
 
@@ -319,6 +358,7 @@ impl Runtime {
     pub fn force_cgc(&self) {
         let _gate = self.cgc_gate.lock();
         let start = std::time::Instant::now();
+        let span = mpl_obs::span_start();
         if self.cgc_state.cycle_active() {
             // Finish the in-flight sliced cycle.
             while mpl_gc::cgc_step(&self.store, &self.cgc_state, usize::MAX).is_none() {}
@@ -329,11 +369,223 @@ impl Runtime {
         self.store
             .stats()
             .on_cgc_pause(start.elapsed().as_nanos() as u64);
+        mpl_obs::span_only(mpl_obs::Metric::CgcPause, span);
     }
+
+    /// The sampler's retained gauge history (empty unless
+    /// [`RuntimeConfig::telemetry`] is set).
+    pub fn telemetry_samples(&self) -> Vec<mpl_obs::Sample> {
+        self.sampler
+            .as_ref()
+            .map(mpl_obs::Sampler::samples)
+            .unwrap_or_default()
+    }
+
+    /// Renders both telemetry exporter documents: the Chrome trace-event
+    /// JSON timeline (spans + sampler counter tracks) and the Prometheus
+    /// text-format document (runtime counters/gauges + pause/latency
+    /// histograms). Histograms and spans are process-global — under
+    /// multiple concurrently-telemetered runtimes the report covers all
+    /// of them; counters and sampler gauges are this runtime's own.
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        let samples = self.telemetry_samples();
+        let spans = mpl_obs::snapshot_spans();
+        TelemetryReport {
+            chrome_trace: mpl_obs::chrome_trace(&spans, &samples),
+            prometheus: build_prometheus(&self.stats(), samples.last()),
+        }
+    }
+}
+
+/// Spawns the telemetry sampler: every tick diffs the runtime counters
+/// (`StatsSnapshot::delta`) into allocation rates and combines the
+/// scheduler's park counter with [`mpl_sched::PARK_INTERVAL`] into a
+/// worker-utilization estimate (time not spent parked).
+fn spawn_sampler(
+    store: &Store,
+    executor: Option<Arc<Executor>>,
+    threads: usize,
+) -> mpl_obs::Sampler {
+    let stats = store.stats_shared();
+    let mut prev = stats.snapshot();
+    let mut prev_parks = executor.as_deref().map(|e| e.stats().parks).unwrap_or(0);
+    mpl_obs::Sampler::spawn(SAMPLE_INTERVAL, move |dt| {
+        let cur = stats.snapshot();
+        let d = cur.delta(&prev);
+        prev = cur;
+        let parks = executor.as_deref().map(|e| e.stats().parks).unwrap_or(0);
+        let parked_intervals = parks.saturating_sub(prev_parks);
+        prev_parks = parks;
+        let secs = dt.as_secs_f64().max(1e-9);
+        // Parks are fixed-length sleeps, so parked time ≈ count × interval;
+        // utilization is the busy remainder across the pool. With no pool
+        // (sequential execution) the single mutator thread counts as busy.
+        let parked_secs = parked_intervals as f64 * mpl_sched::PARK_INTERVAL.as_secs_f64();
+        let utilization = (1.0 - parked_secs / (threads as f64 * secs)).clamp(0.0, 1.0);
+        mpl_obs::Sample {
+            t_ns: mpl_obs::now_ns(),
+            alloc_bytes_per_s: d.alloc_bytes as f64 / secs,
+            allocs_per_s: d.allocs as f64 / secs,
+            live_bytes: d.live_bytes as u64,
+            pinned_bytes: d.pinned_bytes as u64,
+            worker_utilization: utilization,
+        }
+    })
+}
+
+/// Assembles the Prometheus document: every `StatsSnapshot` counter and
+/// gauge under the `mpl_` prefix, the duration histograms from the
+/// telemetry registry, and the latest sampler rates.
+fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) -> String {
+    let mut w = mpl_obs::PromWriter::new();
+    for (name, help, v) in [
+        ("mpl_allocs_total", "Objects allocated", s.allocs),
+        ("mpl_alloc_bytes_total", "Bytes allocated", s.alloc_bytes),
+        (
+            "mpl_barrier_reads_total",
+            "Barriered mutable reads",
+            s.barrier_reads,
+        ),
+        (
+            "mpl_barrier_writes_total",
+            "Barriered mutable writes",
+            s.barrier_writes,
+        ),
+        (
+            "mpl_barrier_read_fast_total",
+            "Reads completed on the fast tier",
+            s.barrier_read_fast,
+        ),
+        (
+            "mpl_barrier_read_slow_total",
+            "Reads that entered the slow tier",
+            s.barrier_read_slow,
+        ),
+        (
+            "mpl_barrier_write_fast_total",
+            "Writes completed on the fast tier",
+            s.barrier_write_fast,
+        ),
+        (
+            "mpl_barrier_write_slow_total",
+            "Writes that entered the slow tier",
+            s.barrier_write_slow,
+        ),
+        (
+            "mpl_entangled_reads_total",
+            "Entangled reads (remote objects pinned)",
+            s.entangled_reads,
+        ),
+        (
+            "mpl_entangled_writes_total",
+            "Entangled writes",
+            s.entangled_writes,
+        ),
+        ("mpl_pins_total", "Objects pinned", s.pins),
+        ("mpl_unpins_total", "Objects unpinned", s.unpins),
+        (
+            "mpl_remset_inserts_total",
+            "Remembered-set insertions",
+            s.remset_inserts,
+        ),
+        (
+            "mpl_remset_flushes_total",
+            "Remembered-set buffer flushes",
+            s.remset_flushes,
+        ),
+        ("mpl_lgc_runs_total", "Local collections", s.lgc_runs),
+        (
+            "mpl_lgc_copied_bytes_total",
+            "Bytes evacuated by local collections",
+            s.lgc_copied_bytes,
+        ),
+        (
+            "mpl_lgc_reclaimed_bytes_total",
+            "Bytes reclaimed by local collections",
+            s.lgc_reclaimed_bytes,
+        ),
+        ("mpl_cgc_runs_total", "Concurrent collections", s.cgc_runs),
+        (
+            "mpl_cgc_swept_bytes_total",
+            "Bytes swept by concurrent collections",
+            s.cgc_swept_bytes,
+        ),
+        (
+            "mpl_lgc_dead_traced_total",
+            "Corruption canary: traces reaching dead objects",
+            s.lgc_dead_traced,
+        ),
+        (
+            "mpl_sched_pushes_total",
+            "Jobs pushed to worker deques",
+            s.sched_pushes,
+        ),
+        (
+            "mpl_sched_steals_total",
+            "Successful steals",
+            s.sched_steals,
+        ),
+        (
+            "mpl_sched_sequentialized_total",
+            "Forks resolved inline (popped back)",
+            s.sched_sequentialized,
+        ),
+        (
+            "mpl_sched_parks_total",
+            "Worker park intervals",
+            s.sched_parks,
+        ),
+    ] {
+        w.counter(name, help, v);
+    }
+    w.gauge("mpl_live_bytes", "Live bytes", s.live_bytes as f64);
+    w.gauge(
+        "mpl_max_live_bytes",
+        "Live-bytes high-water mark",
+        s.max_live_bytes as f64,
+    );
+    w.gauge(
+        "mpl_pinned_bytes",
+        "Pinned (entangled) bytes",
+        s.pinned_bytes as f64,
+    );
+    w.gauge(
+        "mpl_max_pinned_bytes",
+        "Pinned-bytes high-water mark",
+        s.max_pinned_bytes as f64,
+    );
+    if let Some(sample) = last_sample {
+        w.gauge(
+            "mpl_alloc_bytes_per_second",
+            "Allocation rate over the last sampler interval",
+            sample.alloc_bytes_per_s,
+        );
+        w.gauge(
+            "mpl_worker_utilization",
+            "Estimated fraction of worker time spent running jobs",
+            sample.worker_utilization,
+        );
+    }
+    for (metric, snap) in mpl_obs::metric_snapshots() {
+        w.histogram_ns_as_seconds(
+            &format!("mpl_{}_seconds", metric.name()),
+            metric.help(),
+            &snap,
+        );
+    }
+    w.finish()
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        if let Some(sampler) = &mut self.sampler {
+            sampler.stop();
+        }
+        if self.config.telemetry {
+            // Balance the `enable` in `Runtime::new` (refcounted
+            // process-wide, like auditing).
+            mpl_obs::disable();
+        }
         if self.config.audit {
             // Balance the `enable` in `Runtime::new`: auditing is
             // refcounted process-wide so concurrently-live audited

@@ -181,6 +181,13 @@ pub fn cgc_begin(store: &Store, state: &CgcState, roots: impl IntoIterator<Item 
 /// active).
 pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOutcome> {
     let mut guard = state.work.lock();
+    // One telemetry span per slice, tagged by the phase the slice works
+    // on (sweep and epilogue share the sweep metric, mirroring
+    // `finish_cycle` on the monolithic path).
+    let _span = mpl_obs::span_guard(match guard.as_ref()? {
+        CycleState::Mark(_) => mpl_obs::Metric::CgcMark,
+        _ => mpl_obs::Metric::CgcSweep,
+    });
     match guard.as_mut()? {
         CycleState::Mark(ms) => {
             advance_mark(store, ms, budget);
@@ -289,6 +296,7 @@ pub fn collect_entangled(
     roots: impl IntoIterator<Item = ObjRef>,
 ) -> CgcOutcome {
     // ---- mark ----------------------------------------------------------
+    let span_mark = mpl_obs::span_start();
     state.marking.store(true, Ordering::Release);
     let mut ms = MarkState {
         stack: roots.into_iter().collect(),
@@ -305,6 +313,8 @@ pub fn collect_entangled(
         ms.stack.extend(extra);
     }
     state.marking.store(false, Ordering::Release);
+    mpl_obs::span_close(mpl_obs::Metric::CgcMark, span_mark);
+    let _span_sweep = mpl_obs::span_guard(mpl_obs::Metric::CgcSweep);
     finish_cycle(store, ms)
 }
 

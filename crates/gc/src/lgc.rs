@@ -115,6 +115,15 @@ pub fn collect_local(
     graveyard: &Graveyard,
     immediate_chunk_free: bool,
 ) -> LgcOutcome {
+    // The whole call is the stop-the-task pause: timed here (not at call
+    // sites) so allocation-triggered and forced collections are equally
+    // covered. Phase spans are telemetry-gated; the pause counter is
+    // always on (two clock reads per collection, noise next to the
+    // collection itself).
+    let pause_begin = std::time::Instant::now();
+    let span_pause = mpl_obs::span_start();
+    let span_phase = mpl_obs::span_start();
+
     let h = store.heaps().find(heap);
     let info = store.heaps().info(h);
     let from_chunks: Vec<u32> = info.chunk_ids();
@@ -171,6 +180,8 @@ pub fn collect_local(
         );
     }
     crate::audit::audit_phase(store, "lgc/shield", h, Some(&entangled_closure));
+    mpl_obs::span_close(mpl_obs::Metric::LgcShield, span_phase);
+    let span_phase = mpl_obs::span_start();
 
     // ---- Phase B: evacuate ---------------------------------------------
     let phase = std::cell::Cell::new("init");
@@ -518,6 +529,8 @@ pub fn collect_local(
         }
     }
     crate::audit::audit_phase(store, "lgc/evacuate", h, Some(&entangled_closure));
+    mpl_obs::span_close(mpl_obs::Metric::LgcEvacuate, span_phase);
+    let span_phase = mpl_obs::span_start();
 
     // ---- Phase C: reclaim ------------------------------------------------
     // Forwarding-chain path compression: retained chunks keep forwarded
@@ -612,6 +625,13 @@ pub fn collect_local(
     // trace if anything is off. Enabled by the same environment flag or
     // `RuntimeConfig::with_audit`.
     crate::audit::audit_phase(store, "lgc/reclaim", h, Some(&entangled_closure));
+    mpl_obs::span_close(mpl_obs::Metric::LgcReclaim, span_phase);
+    store
+        .stats()
+        .on_lgc_pause(pause_begin.elapsed().as_nanos() as u64);
+    // `on_lgc_pause` already fed the pause histogram; record the timeline
+    // span only.
+    mpl_obs::span_only(mpl_obs::Metric::LgcPause, span_pause);
     out
 }
 

@@ -38,6 +38,8 @@ pub struct StoreStats {
     pub(crate) lgc_copied_bytes: AtomicU64,
     pub(crate) lgc_reclaimed_bytes: AtomicU64,
     pub(crate) lgc_entangled_retained_bytes: AtomicU64,
+    pub(crate) lgc_pause_ns_total: AtomicU64,
+    pub(crate) lgc_pause_ns_max: AtomicU64,
     pub(crate) cgc_runs: AtomicU64,
     pub(crate) cgc_swept_bytes: AtomicU64,
     pub(crate) cgc_pause_ns_total: AtomicU64,
@@ -93,6 +95,13 @@ pub struct StatsSnapshot {
     pub lgc_copied_bytes: u64,
     pub lgc_reclaimed_bytes: u64,
     pub lgc_entangled_retained_bytes: u64,
+    /// Total stop-the-task time spent in local collections. Unlike CGC
+    /// pauses (timed by the runtime around the collector call), LGC
+    /// pauses are timed inside `collect_local` itself, so every caller —
+    /// allocation-triggered or forced — is covered.
+    pub lgc_pause_ns_total: u64,
+    /// Longest single local-collection pause.
+    pub lgc_pause_ns_max: u64,
     pub cgc_runs: u64,
     pub cgc_swept_bytes: u64,
     pub cgc_pause_ns_total: u64,
@@ -154,6 +163,8 @@ impl StoreStats {
             lgc_copied_bytes: self.lgc_copied_bytes.load(Ordering::Relaxed),
             lgc_reclaimed_bytes: self.lgc_reclaimed_bytes.load(Ordering::Relaxed),
             lgc_entangled_retained_bytes: self.lgc_entangled_retained_bytes.load(Ordering::Relaxed),
+            lgc_pause_ns_total: self.lgc_pause_ns_total.load(Ordering::Relaxed),
+            lgc_pause_ns_max: self.lgc_pause_ns_max.load(Ordering::Relaxed),
             cgc_runs: self.cgc_runs.load(Ordering::Relaxed),
             cgc_swept_bytes: self.cgc_swept_bytes.load(Ordering::Relaxed),
             cgc_pause_ns_total: self.cgc_pause_ns_total.load(Ordering::Relaxed),
@@ -315,21 +326,21 @@ impl StoreStats {
         self.sub_live_bytes(swept_bytes as usize);
     }
 
-    /// Records a concurrent-collection pause duration.
+    /// Records a concurrent-collection pause duration. Also feeds the
+    /// telemetry pause histogram (a no-op unless telemetry is enabled).
     pub fn on_cgc_pause(&self, ns: u64) {
         Self::count(&self.cgc_pause_ns_total, ns);
-        let mut cur = self.cgc_pause_ns_max.load(Ordering::Relaxed);
-        while ns > cur {
-            match self.cgc_pause_ns_max.compare_exchange_weak(
-                cur,
-                ns,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(c) => cur = c,
-            }
-        }
+        raise_max_u64(&self.cgc_pause_ns_max, ns);
+        mpl_obs::record_duration(mpl_obs::Metric::CgcPause, ns);
+    }
+
+    /// Records a local-collection pause duration (the whole
+    /// `collect_local` stop-the-task window). Also feeds the telemetry
+    /// pause histogram (a no-op unless telemetry is enabled).
+    pub fn on_lgc_pause(&self, ns: u64) {
+        Self::count(&self.lgc_pause_ns_total, ns);
+        raise_max_u64(&self.lgc_pause_ns_max, ns);
+        mpl_obs::record_duration(mpl_obs::Metric::LgcPause, ns);
     }
 
     fn raise_max(&self, max: &AtomicUsize, candidate: usize) {
@@ -339,6 +350,16 @@ impl StoreStats {
                 Ok(_) => break,
                 Err(c) => cur = c,
             }
+        }
+    }
+}
+
+fn raise_max_u64(max: &AtomicU64, candidate: u64) {
+    let mut cur = max.load(Ordering::Relaxed);
+    while candidate > cur {
+        match max.compare_exchange_weak(cur, candidate, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(c) => cur = c,
         }
     }
 }
@@ -359,6 +380,61 @@ impl StatsSnapshot {
     /// metric for entanglement.
     pub fn entangled_accesses(&self) -> u64 {
         self.entangled_reads + self.entangled_writes
+    }
+
+    /// The per-interval view between an `earlier` snapshot and this one:
+    /// monotonic counters are subtracted (saturating, so reset counters or
+    /// snapshot skew never underflow), gauges and high-water marks
+    /// (`live_bytes`/`pinned_bytes`, their maxima, and the pause maxima)
+    /// keep this snapshot's value. Used by the telemetry sampler and the
+    /// bench harnesses instead of hand-rolled field subtraction.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let d = |a: u64, b: u64| a.saturating_sub(b);
+        StatsSnapshot {
+            allocs: d(self.allocs, earlier.allocs),
+            alloc_bytes: d(self.alloc_bytes, earlier.alloc_bytes),
+            barrier_reads: d(self.barrier_reads, earlier.barrier_reads),
+            barrier_writes: d(self.barrier_writes, earlier.barrier_writes),
+            barrier_read_fast: d(self.barrier_read_fast, earlier.barrier_read_fast),
+            barrier_read_slow: d(self.barrier_read_slow, earlier.barrier_read_slow),
+            barrier_write_fast: d(self.barrier_write_fast, earlier.barrier_write_fast),
+            barrier_write_slow: d(self.barrier_write_slow, earlier.barrier_write_slow),
+            entangled_reads: d(self.entangled_reads, earlier.entangled_reads),
+            entangled_writes: d(self.entangled_writes, earlier.entangled_writes),
+            pins: d(self.pins, earlier.pins),
+            unpins: d(self.unpins, earlier.unpins),
+            remset_inserts: d(self.remset_inserts, earlier.remset_inserts),
+            remset_buffered: d(self.remset_buffered, earlier.remset_buffered),
+            remset_dedup_hits: d(self.remset_dedup_hits, earlier.remset_dedup_hits),
+            remset_flushes: d(self.remset_flushes, earlier.remset_flushes),
+            lgc_runs: d(self.lgc_runs, earlier.lgc_runs),
+            lgc_copied_bytes: d(self.lgc_copied_bytes, earlier.lgc_copied_bytes),
+            lgc_reclaimed_bytes: d(self.lgc_reclaimed_bytes, earlier.lgc_reclaimed_bytes),
+            lgc_entangled_retained_bytes: d(
+                self.lgc_entangled_retained_bytes,
+                earlier.lgc_entangled_retained_bytes,
+            ),
+            lgc_pause_ns_total: d(self.lgc_pause_ns_total, earlier.lgc_pause_ns_total),
+            lgc_pause_ns_max: self.lgc_pause_ns_max,
+            cgc_runs: d(self.cgc_runs, earlier.cgc_runs),
+            cgc_swept_bytes: d(self.cgc_swept_bytes, earlier.cgc_swept_bytes),
+            cgc_pause_ns_total: d(self.cgc_pause_ns_total, earlier.cgc_pause_ns_total),
+            cgc_pause_ns_max: self.cgc_pause_ns_max,
+            lgc_dead_traced: d(self.lgc_dead_traced, earlier.lgc_dead_traced),
+            live_bytes: self.live_bytes,
+            max_live_bytes: self.max_live_bytes,
+            pinned_bytes: self.pinned_bytes,
+            max_pinned_bytes: self.max_pinned_bytes,
+            sched_pushes: d(self.sched_pushes, earlier.sched_pushes),
+            sched_steals: d(self.sched_steals, earlier.sched_steals),
+            sched_sequentialized: d(self.sched_sequentialized, earlier.sched_sequentialized),
+            sched_parks: d(self.sched_parks, earlier.sched_parks),
+            sched_unparks: d(self.sched_unparks, earlier.sched_unparks),
+            audit_runs: d(self.audit_runs, earlier.audit_runs),
+            audit_objects_checked: d(self.audit_objects_checked, earlier.audit_objects_checked),
+            audit_events: d(self.audit_events, earlier.audit_events),
+            audit_ring_overflows: d(self.audit_ring_overflows, earlier.audit_ring_overflows),
+        }
     }
 }
 
@@ -387,6 +463,40 @@ mod tests {
         assert_eq!(snap.pinned_bytes, 32);
         assert_eq!(snap.max_pinned_bytes, 64);
         assert_eq!(snap.live_bytes, 0);
+    }
+
+    #[test]
+    fn lgc_pause_tracks_total_and_max() {
+        let s = StoreStats::new();
+        s.on_lgc_pause(100);
+        s.on_lgc_pause(700);
+        s.on_lgc_pause(50);
+        let snap = s.snapshot();
+        assert_eq!(snap.lgc_pause_ns_total, 850);
+        assert_eq!(snap.lgc_pause_ns_max, 700);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let s = StoreStats::new();
+        s.on_alloc(100);
+        s.on_lgc_pause(500);
+        let t0 = s.snapshot();
+        s.on_alloc(60);
+        s.on_pin(8);
+        let t1 = s.snapshot();
+        let d = t1.delta(&t0);
+        assert_eq!(d.allocs, 1);
+        assert_eq!(d.alloc_bytes, 60);
+        assert_eq!(d.pins, 1);
+        assert_eq!(d.lgc_pause_ns_total, 0);
+        // Gauges keep the later snapshot's value.
+        assert_eq!(d.live_bytes, t1.live_bytes);
+        assert_eq!(d.max_live_bytes, t1.max_live_bytes);
+        assert_eq!(d.pinned_bytes, 8);
+        assert_eq!(d.lgc_pause_ns_max, 500);
+        // Skewed inputs saturate instead of underflowing.
+        assert_eq!(t0.delta(&t1).allocs, 0);
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub struct JoinOutcome {
 pub struct Store {
     chunks: ChunkRegistry,
     heaps: HeapTable,
-    stats: StoreStats,
+    // Shared so long-lived observers (the telemetry sampler thread) can
+    // hold the counters without borrowing the store.
+    stats: Arc<StoreStats>,
     config: StoreConfig,
 }
 
@@ -98,7 +100,7 @@ impl Store {
         Store {
             chunks: ChunkRegistry::new(),
             heaps: HeapTable::new(),
-            stats: StoreStats::new(),
+            stats: Arc::new(StoreStats::new()),
             config,
         }
     }
@@ -116,6 +118,12 @@ impl Store {
     /// The global counters.
     pub fn stats(&self) -> &StoreStats {
         &self.stats
+    }
+
+    /// A shared handle to the counters, for observers (e.g. the telemetry
+    /// sampler thread) that outlive any one borrow of the store.
+    pub fn stats_shared(&self) -> Arc<StoreStats> {
+        Arc::clone(&self.stats)
     }
 
     /// The configuration the store was built with.

@@ -1,0 +1,167 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the [trace-event format] consumed by `chrome://tracing` and
+//! Perfetto: one `"ph":"B"`/`"ph":"E"` duration-event pair per recorded
+//! span (timestamps in microseconds, one track per worker id) plus
+//! `"ph":"C"` counter events for sampler gauges and `"ph":"M"` metadata
+//! events naming the tracks. The JSON is built by hand — the vendored
+//! serde_json stub is serialize-only and the event shape is fixed, so a
+//! string builder is both smaller and dependency-free.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::sampler::Sample;
+use crate::span::SpanRecord;
+
+const PID: u32 = 1;
+
+/// Comma-separating event-array builder.
+struct Emitter {
+    out: String,
+    first: bool,
+}
+
+impl Emitter {
+    fn event(&mut self, name: &str, cat: &str, ph: char, ts_ns: u64, tid: u32, args: Option<&str>) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        let ts = ts_ns as f64 / 1000.0;
+        let _ = write!(
+            self.out,
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts:.3},\"pid\":{PID},\"tid\":{tid}"
+        );
+        if let Some(args) = args {
+            let _ = write!(self.out, ",\"args\":{args}");
+        }
+        self.out.push('}');
+    }
+}
+
+/// Render spans and sampler history as a `chrome://tracing`-loadable JSON
+/// document (`{"traceEvents":[...]}`).
+///
+/// Spans are grouped per worker track; within a track they are emitted as
+/// properly nested `B`/`E` pairs (a span closing before the next one opens
+/// is closed first), which is what the viewer's per-thread stack expects.
+/// Sampler gauges become counter tracks on tid 0.
+pub fn chrome_trace(spans: &[SpanRecord], samples: &[Sample]) -> String {
+    let mut em = Emitter {
+        out: String::with_capacity(64 + spans.len() * 160 + samples.len() * 360),
+        first: true,
+    };
+    em.out.push_str("{\"traceEvents\":[");
+
+    // Group spans by worker track.
+    let mut tracks: BTreeMap<u32, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        tracks.entry(s.worker).or_default().push(s);
+    }
+
+    for (&tid, track) in &mut tracks {
+        let name_args = format!("{{\"name\":\"worker-{tid}\"}}");
+        em.event("thread_name", "__metadata", 'M', 0, tid, Some(&name_args));
+        // Outer-first order: by start ascending, longer span first on ties.
+        track.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.end_ns.cmp(&a.end_ns))
+                .then(a.seq.cmp(&b.seq))
+        });
+        // Sweep with an open-span stack so every B gets its E at the right
+        // depth (innermost spans close first).
+        let mut stack: Vec<&SpanRecord> = Vec::new();
+        for s in track.iter() {
+            while let Some(&open) = stack.last() {
+                if open.end_ns <= s.start_ns {
+                    em.event(
+                        open.kind.name(),
+                        open.kind.category(),
+                        'E',
+                        open.end_ns,
+                        tid,
+                        None,
+                    );
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            em.event(s.kind.name(), s.kind.category(), 'B', s.start_ns, tid, None);
+            stack.push(s);
+        }
+        while let Some(open) = stack.pop() {
+            em.event(
+                open.kind.name(),
+                open.kind.category(),
+                'E',
+                open.end_ns,
+                tid,
+                None,
+            );
+        }
+    }
+
+    for s in samples {
+        for (name, value) in [
+            ("alloc_rate_mib_s", s.alloc_bytes_per_s / (1024.0 * 1024.0)),
+            ("live_bytes", s.live_bytes as f64),
+            ("pinned_bytes", s.pinned_bytes as f64),
+            ("worker_utilization", s.worker_utilization),
+        ] {
+            let v = if value.is_finite() { value } else { 0.0 };
+            let args = format!("{{\"value\":{v:.3}}}");
+            em.event(name, "sampler", 'C', s.t_ns, 0, Some(&args));
+        }
+    }
+
+    em.out.push_str("]}");
+    em.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+
+    fn span(seq: u64, kind: Metric, worker: u32, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            seq,
+            kind,
+            worker,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn nested_spans_emit_balanced_pairs_in_stack_order() {
+        // pause [100, 900] containing shield [120, 300] and evacuate
+        // [310, 700], plus a disjoint later span [1000, 1100].
+        let spans = vec![
+            span(4, Metric::LgcPause, 2, 100, 900),
+            span(1, Metric::LgcShield, 2, 120, 300),
+            span(2, Metric::LgcEvacuate, 2, 310, 700),
+            span(5, Metric::SchedRun, 2, 1000, 1100),
+        ];
+        let json = chrome_trace(&spans, &[]);
+        let b = json.matches("\"ph\":\"B\"").count();
+        let e = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, 4);
+        assert_eq!(e, 4);
+        // The pause must open before the shield and close after evacuate.
+        let pause_b = json
+            .find("\"name\":\"lgc_pause\",\"cat\":\"gc.lgc\",\"ph\":\"B\"")
+            .unwrap();
+        let shield_b = json
+            .find("\"name\":\"lgc_shield\",\"cat\":\"gc.lgc\",\"ph\":\"B\"")
+            .unwrap();
+        assert!(pause_b < shield_b);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+    }
+}

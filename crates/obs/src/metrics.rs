@@ -1,0 +1,194 @@
+//! The fixed registry of process-global duration histograms.
+//!
+//! Every instrumented duration in the runtime is one [`Metric`] variant
+//! with a dedicated [`Histogram`] in a `static` array — recording is an
+//! index into that array, no locks and no allocation. Workers record
+//! directly into the shared histograms (they are lock-free), so "merge
+//! across workers" is inherent; [`HistSnapshot::merge`] additionally lets
+//! reports combine metrics or time windows.
+
+use crate::hist::{HistSnapshot, Histogram};
+use crate::{enabled, now_ns};
+
+/// Every duration the runtime instruments. The discriminant indexes the
+/// global histogram registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Whole local-collection (LGC) stop-the-task pause.
+    LgcPause = 0,
+    /// Whole entangled-collection (CGC) pause (monolithic or one slice).
+    CgcPause,
+    /// LGC Phase A: shield — mark the shield closure.
+    LgcShield,
+    /// LGC Phase B: evacuate — copy live objects and fix references.
+    LgcEvacuate,
+    /// LGC Phase C: reclaim — return dead chunks.
+    LgcReclaim,
+    /// CGC mark phase (SATB trace over the entangled space).
+    CgcMark,
+    /// CGC sweep + epilogue.
+    CgcSweep,
+    /// Slow-tier barrier entry (read or write): locate/LCA/pin/remset work.
+    BarrierSlow,
+    /// Successful steal: from first probe to a job in hand.
+    SchedSteal,
+    /// One job execution on a worker.
+    SchedRun,
+    /// One park interval on an idle worker.
+    SchedPark,
+    /// One buffered remset flush (grouped publish to ancestor heaps).
+    RemsetFlush,
+}
+
+/// Number of [`Metric`] variants.
+pub const METRIC_COUNT: usize = 12;
+
+/// All metrics, in discriminant order.
+pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
+    Metric::LgcPause,
+    Metric::CgcPause,
+    Metric::LgcShield,
+    Metric::LgcEvacuate,
+    Metric::LgcReclaim,
+    Metric::CgcMark,
+    Metric::CgcSweep,
+    Metric::BarrierSlow,
+    Metric::SchedSteal,
+    Metric::SchedRun,
+    Metric::SchedPark,
+    Metric::RemsetFlush,
+];
+
+impl Metric {
+    /// Stable snake_case name (used for Prometheus metric names and Chrome
+    /// trace event names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::LgcPause => "lgc_pause",
+            Metric::CgcPause => "cgc_pause",
+            Metric::LgcShield => "lgc_shield",
+            Metric::LgcEvacuate => "lgc_evacuate",
+            Metric::LgcReclaim => "lgc_reclaim",
+            Metric::CgcMark => "cgc_mark",
+            Metric::CgcSweep => "cgc_sweep",
+            Metric::BarrierSlow => "barrier_slow",
+            Metric::SchedSteal => "sched_steal",
+            Metric::SchedRun => "sched_run",
+            Metric::SchedPark => "sched_park",
+            Metric::RemsetFlush => "remset_flush",
+        }
+    }
+
+    /// One-line description (Prometheus `# HELP`).
+    pub fn help(self) -> &'static str {
+        match self {
+            Metric::LgcPause => "Local collection stop-the-task pause",
+            Metric::CgcPause => "Entangled collection pause (monolithic or slice)",
+            Metric::LgcShield => "LGC phase A (shield) duration",
+            Metric::LgcEvacuate => "LGC phase B (evacuate) duration",
+            Metric::LgcReclaim => "LGC phase C (reclaim) duration",
+            Metric::CgcMark => "CGC mark phase duration",
+            Metric::CgcSweep => "CGC sweep+epilogue duration",
+            Metric::BarrierSlow => "Slow-tier barrier entry latency",
+            Metric::SchedSteal => "Successful steal latency",
+            Metric::SchedRun => "Job run time on a worker",
+            Metric::SchedPark => "Idle worker park interval",
+            Metric::RemsetFlush => "Buffered remset flush duration",
+        }
+    }
+
+    /// Chrome-trace category for the subsystem this metric belongs to.
+    pub fn category(self) -> &'static str {
+        match self {
+            Metric::LgcPause | Metric::LgcShield | Metric::LgcEvacuate | Metric::LgcReclaim => {
+                "gc.lgc"
+            }
+            Metric::CgcPause | Metric::CgcMark | Metric::CgcSweep => "gc.cgc",
+            Metric::BarrierSlow | Metric::RemsetFlush => "barrier",
+            Metric::SchedSteal | Metric::SchedRun | Metric::SchedPark => "sched",
+        }
+    }
+
+    /// Reconstruct a metric from its discriminant (span ring decode).
+    pub(crate) fn from_index(i: usize) -> Option<Metric> {
+        ALL_METRICS.get(i).copied()
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_HIST: Histogram = Histogram::new();
+static REGISTRY: [Histogram; METRIC_COUNT] = [EMPTY_HIST; METRIC_COUNT];
+
+/// The global histogram for a metric. Callers may `record` on it directly;
+/// prefer [`record_duration`] which applies the enabled gate.
+pub fn histogram(metric: Metric) -> &'static Histogram {
+    &REGISTRY[metric as usize]
+}
+
+/// Record a duration (nanoseconds) into a metric's histogram. When
+/// telemetry is disabled this is one relaxed load and a predicted branch.
+#[inline]
+pub fn record_duration(metric: Metric, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    REGISTRY[metric as usize].record(ns);
+}
+
+/// Snapshot every metric's histogram (empty ones included, in
+/// discriminant order).
+pub fn metric_snapshots() -> Vec<(Metric, HistSnapshot)> {
+    ALL_METRICS
+        .iter()
+        .map(|&m| (m, histogram(m).snapshot()))
+        .collect()
+}
+
+/// Zero every histogram (bench-harness use, e.g. between suite phases).
+pub fn reset_metrics() {
+    for m in ALL_METRICS {
+        histogram(m).reset();
+    }
+}
+
+/// RAII duration recorder: captures a start timestamp if telemetry is on
+/// and records into `metric` on drop. Used where a timed section has many
+/// exit points (e.g. the slow-tier barrier).
+pub struct Timer {
+    metric: Metric,
+    start: Option<u64>,
+}
+
+/// Start a [`Timer`] for `metric`. Disabled cost: one relaxed load.
+#[inline]
+pub fn timer(metric: Metric) -> Timer {
+    Timer {
+        metric,
+        start: enabled().then(now_ns),
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            record_duration(self.metric, now_ns().saturating_sub(start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::HashSet::new();
+        for m in ALL_METRICS {
+            assert!(seen.insert(m.name()), "duplicate name {}", m.name());
+            assert!(m.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert_eq!(Metric::from_index(m as usize), Some(m));
+        }
+        assert_eq!(Metric::from_index(METRIC_COUNT), None);
+    }
+}

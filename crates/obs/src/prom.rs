@@ -1,0 +1,120 @@
+//! Prometheus text-exposition exporter.
+//!
+//! Writes the [text format] a Prometheus scraper (or `promtool check
+//! metrics`) accepts: `# HELP`/`# TYPE` headers, `counter` and `gauge`
+//! samples, and `histogram` families with cumulative `le` buckets plus
+//! `+Inf`, `_sum` and `_count`. Durations recorded in nanoseconds are
+//! exported in seconds per Prometheus base-unit convention.
+//!
+//! [text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_bound, HistSnapshot, BUCKETS};
+
+/// Incremental writer for one exposition document.
+#[derive(Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    // Trim trailing zeros but keep at least one digit after a point.
+    let s = format!("{v:.9}");
+    if s.contains('.') {
+        let t = s.trim_end_matches('0');
+        let t = t.strip_suffix('.').unwrap_or(t);
+        t.to_string()
+    } else {
+        s
+    }
+}
+
+impl PromWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A monotonic counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {}", format_f64(value));
+    }
+
+    /// A histogram family from a snapshot of nanosecond durations,
+    /// exported in seconds. `name` should end in `_seconds`. Empty
+    /// buckets between populated ones are skipped (cumulative values stay
+    /// monotone, which is all the format requires); `+Inf`, `_sum` and
+    /// `_count` are always present.
+    pub fn histogram_ns_as_seconds(&mut self, name: &str, help: &str, snap: &HistSnapshot) {
+        self.header(name, help, "histogram");
+        let mut cum = 0u64;
+        for i in 0..BUCKETS - 1 {
+            cum += snap.buckets[i];
+            if snap.buckets[i] == 0 {
+                continue;
+            }
+            let le = bucket_bound(i) as f64 / 1e9;
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{}\"}} {cum}", format_f64(le));
+        }
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(self.out, "{name}_sum {}", format_f64(snap.sum as f64 / 1e9));
+        let _ = writeln!(self.out, "{name}_count {}", snap.count);
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let h = Histogram::new();
+        for v in [10u64, 1_000, 1_000, 2_000_000] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.histogram_ns_as_seconds("mpl_test_seconds", "test", &h.snapshot());
+        let doc = w.finish();
+        assert!(doc.contains("# TYPE mpl_test_seconds histogram"));
+        assert!(doc.contains("mpl_test_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(doc.contains("mpl_test_seconds_count 4"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in doc.lines() {
+            if let Some(rest) = line.strip_prefix("mpl_test_seconds_bucket") {
+                let v: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "non-monotone bucket line: {line}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn format_f64_is_plain_decimal() {
+        assert_eq!(format_f64(0.000000001), "0.000000001");
+        assert_eq!(format_f64(1.5), "1.5");
+        assert_eq!(format_f64(3.0), "3");
+        assert_eq!(format_f64(f64::NAN), "0");
+    }
+}

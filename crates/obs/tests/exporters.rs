@@ -1,0 +1,342 @@
+//! Golden tests for the exporters: the Chrome trace must be valid JSON
+//! with matched begin/end pairs per worker track, and the Prometheus
+//! document must follow the text exposition format.
+//!
+//! The vendored serde_json stub is serialize-only, so JSON validity is
+//! checked with the small recursive-descent parser below.
+
+use mpl_obs::{chrome_trace, Metric, PromWriter, Sample, SpanRecord};
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (validation + value tree), enough for trace output.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.i))
+        }
+    }
+
+    fn parse(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.parse()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.s.get(self.i) {
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.s.get(self.i).ok_or("bad escape")?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        _ => return Err(format!("unsupported escape at byte {}", self.i)),
+                    });
+                }
+                _ => out.push(b as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.ws();
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or(format!("bad number at byte {start}"))
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.parse()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing bytes at {}", p.i));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+fn span(seq: u64, kind: Metric, worker: u32, start: u64, end: u64) -> SpanRecord {
+    SpanRecord {
+        seq,
+        kind,
+        worker,
+        start_ns: start,
+        end_ns: end,
+    }
+}
+
+/// Golden test: the Chrome export is valid JSON, every `B` has a matching
+/// `E` with the same name on the same track in proper stack order, and
+/// sampler gauges show up as counter events.
+#[test]
+fn chrome_trace_is_valid_json_with_matched_pairs() {
+    let spans = vec![
+        // Worker 0: an LGC pause containing its three phases.
+        span(1, Metric::LgcShield, 0, 1_200, 3_000),
+        span(2, Metric::LgcEvacuate, 0, 3_100, 7_000),
+        span(3, Metric::LgcReclaim, 0, 7_050, 8_000),
+        span(4, Metric::LgcPause, 0, 1_000, 8_500),
+        // Worker 1: scheduler activity, disjoint spans.
+        span(5, Metric::SchedSteal, 1, 500, 900),
+        span(6, Metric::SchedRun, 1, 950, 40_000),
+        span(7, Metric::RemsetFlush, 1, 10_000, 11_000),
+    ];
+    let samples = vec![
+        Sample {
+            t_ns: 5_000,
+            alloc_bytes_per_s: 1e6,
+            live_bytes: 4096,
+            ..Sample::default()
+        },
+        Sample {
+            t_ns: 15_000,
+            alloc_bytes_per_s: 2e6,
+            live_bytes: 8192,
+            ..Sample::default()
+        },
+    ];
+    let doc = chrome_trace(&spans, &samples);
+    let root = parse_json(&doc).expect("chrome trace must be valid JSON");
+
+    let events = match root.get("traceEvents") {
+        Some(Json::Arr(evs)) => evs,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    // 7 spans * 2 + 2 samples * 4 counters + 2 thread_name metadata.
+    assert_eq!(events.len(), 7 * 2 + 2 * 4 + 2);
+
+    // Per-track stack check: B pushes, E must match the top of stack.
+    use std::collections::HashMap;
+    let mut stacks: HashMap<i64, Vec<String>> = HashMap::new();
+    let mut b_count = 0;
+    let mut e_count = 0;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("tid") as i64;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("name")
+            .to_string();
+        assert!(
+            ev.get("ts").and_then(Json::as_f64).is_some(),
+            "ts must be numeric"
+        );
+        match ph {
+            "B" => {
+                b_count += 1;
+                stacks.entry(tid).or_default().push(name);
+            }
+            "E" => {
+                e_count += 1;
+                let top = stacks.get_mut(&tid).and_then(Vec::pop);
+                assert_eq!(
+                    top.as_deref(),
+                    Some(name.as_str()),
+                    "E event must close the innermost open span on tid {tid}"
+                );
+            }
+            "C" => {
+                assert!(ev.get("args").and_then(|a| a.get("value")).is_some());
+            }
+            "M" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(b_count, 7);
+    assert_eq!(e_count, 7);
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+}
+
+/// The Prometheus document follows the exposition format: every
+/// non-comment line is `name[{labels}] value`, histogram buckets are
+/// cumulative and capped by `+Inf`, and `_count` matches.
+#[test]
+fn prometheus_document_is_well_formed() {
+    let h = mpl_obs::Histogram::new();
+    for v in [350u64, 1_700, 1_800, 90_000, 2_000_000_000] {
+        h.record(v);
+    }
+    let mut w = PromWriter::new();
+    w.counter("mpl_allocs_total", "Objects allocated", 12345);
+    w.gauge("mpl_live_bytes", "Live bytes", 65536.0);
+    w.histogram_ns_as_seconds("mpl_lgc_pause_seconds", "LGC pause", &h.snapshot());
+    let doc = w.finish();
+
+    let mut inf_seen = false;
+    let mut last_cum = 0u64;
+    for line in doc.lines() {
+        if line.is_empty() || line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .expect("sample line must be `series value`");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        if let Some(rest) = series.strip_prefix("mpl_lgc_pause_seconds_bucket") {
+            let cum: u64 = value.parse().unwrap();
+            assert!(cum >= last_cum, "bucket counts must be cumulative: {line}");
+            last_cum = cum;
+            if rest.contains("+Inf") {
+                inf_seen = true;
+                assert_eq!(cum, 5);
+            }
+        }
+    }
+    assert!(inf_seen, "histogram must end with a +Inf bucket");
+    assert!(doc.contains("mpl_lgc_pause_seconds_count 5\n"));
+    assert!(doc.contains("# TYPE mpl_lgc_pause_seconds histogram"));
+    assert!(doc.contains("# TYPE mpl_allocs_total counter"));
+    assert!(doc.contains("# TYPE mpl_live_bytes gauge"));
+}

@@ -1,0 +1,80 @@
+//! Property tests for the log-bucketed histogram: bucket monotonicity,
+//! merge associativity/commutativity, and percentile bounds.
+
+use mpl_obs::{bucket_bound, bucket_index, HistSnapshot, Histogram};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn snap_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// bucket_index is monotone non-decreasing and each value lies within
+    /// its bucket's [lower, upper] range.
+    #[test]
+    fn bucket_monotone_and_bounding(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        for v in [lo, hi] {
+            let i = bucket_index(v);
+            prop_assert!(v <= bucket_bound(i), "v={v} above bound of bucket {i}");
+            if i > 0 {
+                prop_assert!(v > bucket_bound(i - 1),
+                    "v={v} not above previous bucket bound {}", bucket_bound(i - 1));
+            }
+        }
+    }
+
+    /// Merging snapshots is associative and commutative, and merging
+    /// equals recording the concatenation.
+    #[test]
+    fn merge_assoc_commutative(
+        xs in vec(0u64..1u64 << 48, 0..40),
+        ys in vec(0u64..1u64 << 48, 0..40),
+        zs in vec(0u64..1u64 << 48, 0..40),
+    ) {
+        let (sx, sy, sz) = (snap_of(&xs), snap_of(&ys), snap_of(&zs));
+        prop_assert_eq!(sx.merge(&sy), sy.merge(&sx));
+        prop_assert_eq!(sx.merge(&sy).merge(&sz), sx.merge(&sy.merge(&sz)));
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(sx.merge(&sy).merge(&sz), snap_of(&all));
+    }
+
+    /// Percentiles are ordered (p50 <= p90 <= p99 <= max), every
+    /// percentile upper-bounds the true rank value, and the error is
+    /// within one power-of-two bucket.
+    #[test]
+    fn percentile_bounds(mut xs in vec(0u64..1u64 << 40, 1..60)) {
+        let s = snap_of(&xs);
+        xs.sort_unstable();
+        let true_max = *xs.last().unwrap();
+        prop_assert_eq!(s.max, true_max);
+        prop_assert!(s.p50() <= s.p90());
+        prop_assert!(s.p90() <= s.p99());
+        prop_assert!(s.p99() <= s.max);
+        prop_assert_eq!(s.percentile(1.0), true_max);
+        for q in [0.5f64, 0.9, 0.99] {
+            let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let true_val = xs[rank - 1];
+            let reported = s.percentile(q);
+            // Upper bound on the true value, within its 2x bucket.
+            prop_assert!(reported >= true_val,
+                "q={q}: reported {reported} < true {true_val}");
+            prop_assert!(reported <= bucket_bound(bucket_index(true_val)),
+                "q={q}: reported {reported} beyond bucket of true {true_val}");
+        }
+    }
+
+    /// Count and sum are exact.
+    #[test]
+    fn count_sum_exact(xs in vec(0u64..1u64 << 32, 0..50)) {
+        let s = snap_of(&xs);
+        prop_assert_eq!(s.count, xs.len() as u64);
+        prop_assert_eq!(s.sum, xs.iter().sum::<u64>());
+    }
+}

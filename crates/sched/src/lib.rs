@@ -53,4 +53,5 @@ pub use simsched::{simulate, sweep, SimParams, SimResult};
 pub use tokens::{Token, TokenPool};
 pub use worker::{
     on_worker_thread, set_job_finish_hook, set_worker_start_hook, try_join, DriverGuard, WorkerCtx,
+    PARK_INTERVAL,
 };

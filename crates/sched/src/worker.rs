@@ -30,8 +30,9 @@ use crate::executor::{Executor, Shared};
 /// How long an idle worker sleeps between work re-checks once its
 /// exponential backoff is exhausted. Short enough that a missed wakeup
 /// (the push/park race window) costs microseconds, long enough that a
-/// quiescent pool burns no meaningful CPU.
-const PARK_INTERVAL: Duration = Duration::from_micros(100);
+/// quiescent pool burns no meaningful CPU. Public so the telemetry
+/// sampler can convert park counts into an idle-time estimate.
+pub const PARK_INTERVAL: Duration = Duration::from_micros(100);
 
 // ---- jobs ----------------------------------------------------------------
 
@@ -204,10 +205,15 @@ impl WorkerCtx {
     }
 
     fn steal_job(&self) -> Option<JobRef> {
+        // Steal latency (first probe to job-in-hand) is only recorded for
+        // *successful* steals; a sweep that comes up empty is idleness,
+        // accounted by the park span instead.
+        let span = mpl_obs::span_start();
         loop {
             match self.shared.injector.steal() {
                 Steal::Success(job) => {
                     self.shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    mpl_obs::span_close(mpl_obs::Metric::SchedSteal, span);
                     return Some(job);
                 }
                 Steal::Empty => break,
@@ -228,6 +234,7 @@ impl WorkerCtx {
                 match self.shared.stealers[victim].steal() {
                     Steal::Success(job) => {
                         self.shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                        mpl_obs::span_close(mpl_obs::Metric::SchedSteal, span);
                         return Some(job);
                     }
                     Steal::Empty => break,
@@ -278,7 +285,9 @@ impl WorkerCtx {
                 }
                 // Safety: taken from a deque exactly once; pusher still
                 // blocked in its own join.
+                let span = mpl_obs::span_start();
                 unsafe { job.execute() };
+                mpl_obs::span_close(mpl_obs::Metric::SchedRun, span);
                 run_job_finish_hook(self.index);
                 if popped_b {
                     break;
@@ -289,14 +298,18 @@ impl WorkerCtx {
             // `b` was stolen: help rather than spin.
             if let Some(job) = self.steal_job() {
                 // Safety: as above.
+                let span = mpl_obs::span_start();
                 unsafe { job.execute() };
+                mpl_obs::span_close(mpl_obs::Metric::SchedRun, span);
                 run_job_finish_hook(self.index);
                 backoff.reset();
                 continue;
             }
             if backoff.is_completed() {
                 self.shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+                let span = mpl_obs::span_start();
                 thread::park_timeout(PARK_INTERVAL);
+                mpl_obs::span_close(mpl_obs::Metric::SchedPark, span);
             } else {
                 backoff.snooze();
             }
@@ -355,6 +368,11 @@ pub fn set_worker_start_hook(hook: fn(usize)) {
 }
 
 fn run_worker_start_hook(index: usize) {
+    // Telemetry worker registration is invoked directly (not via the
+    // OnceLock hook, which the runtime already claims for the GC audit
+    // layer's per-worker rings): pin this worker's spans to its own
+    // timeline track.
+    mpl_obs::register_worker(index);
     if let Some(hook) = WORKER_START_HOOK.get() {
         hook(index);
     }
@@ -439,7 +457,9 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, index: usize, deque: Deque<JobRef
         if let Some(job) = ctx.find_job() {
             // Safety: taken from a deque exactly once; pusher is blocked
             // in its join until our execute sets the latch.
+            let span = mpl_obs::span_start();
             unsafe { job.execute() };
+            mpl_obs::span_close(mpl_obs::Metric::SchedRun, span);
             run_job_finish_hook(index);
             backoff.reset();
             continue;
@@ -450,7 +470,9 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, index: usize, deque: Deque<JobRef
         if backoff.is_completed() {
             ctx.shared.sleepers.lock().push(thread::current());
             ctx.shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            let span = mpl_obs::span_start();
             thread::park_timeout(PARK_INTERVAL);
+            mpl_obs::span_close(mpl_obs::Metric::SchedPark, span);
             let me = thread::current().id();
             ctx.shared.sleepers.lock().retain(|t| t.id() != me);
         } else {

@@ -32,7 +32,10 @@ fn main() {
     let n = scaled(msort.default_n()) / 2;
     for slots in [64usize, 256, 1024] {
         let cfg = RuntimeConfig {
-            store: StoreConfig { chunk_slots: slots },
+            store: StoreConfig {
+                chunk_slots: slots,
+                ..Default::default()
+            },
             ..RuntimeConfig::managed()
         };
         let run = run_mpl(msort.as_ref(), n, cfg);

@@ -1,0 +1,334 @@
+//! E11 — Chaos: deterministic fault injection and memory-pressure
+//! backpressure, and what the machinery costs when idle.
+//!
+//! Three measurements:
+//!
+//! * **Disabled cost** — the disentangled suite with (a) no failpoints
+//!   and no heap limit (the baseline every other experiment measures),
+//!   (b) a heap limit set far above the live footprint (the budget check
+//!   runs on every allocation slow path, never binds), and (c) a
+//!   failpoint plan armed at a never-firing threshold (every wired site
+//!   takes the registry-scan path). (a)↔(b) must be within noise —
+//!   claim-5 discipline for the pressure machinery; (c) prices an armed
+//!   process.
+//! * **Seeded chaos sweeps** — both suite classes under seeded random
+//!   delay/yield schedules with phase audits on: checksums must match
+//!   the native oracle, with zero corruption-canary traces, zero audit
+//!   failures, and zero leaked pins. The same seed re-runs the same
+//!   schedule (see the determinism proptest), so any failure here is
+//!   reproducible from its printed seed.
+//! * **Pressure ladder** — an over-budget run demonstrating the
+//!   LGC→CGC→fail escalation and the recoverable `AllocError`, and a
+//!   fitting run demonstrating forced-collection survival.
+//!
+//! `--smoke` runs single repetitions and the small problem sizes.
+
+use std::time::Duration;
+
+use mpl_bench::{fmt_dur, run_mpl, scale_bench, write_json, Table};
+use mpl_runtime::{FailAction, FailPlan, FailWhen, Runtime, RuntimeConfig, Value};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CostRow {
+    name: String,
+    t_off_us: u128,
+    t_limit_us: u128,
+    t_armed_us: u128,
+    limit_overhead: f64,
+    armed_overhead: f64,
+}
+
+#[derive(Serialize)]
+struct ChaosRow {
+    suite: String,
+    seed: u64,
+    benchmarks: usize,
+    failpoint_fires: u64,
+    lgc_dead_traced: u64,
+    audit_failures: u64,
+}
+
+#[derive(Serialize)]
+struct E11 {
+    smoke: bool,
+    reps: usize,
+    cost: Vec<CostRow>,
+    median_limit_overhead: f64,
+    median_armed_overhead: f64,
+    chaos: Vec<ChaosRow>,
+    pressure_gc_forced: u64,
+    pressure_alloc_retries: u64,
+    pressure_error: String,
+}
+
+fn median(xs: &mut [Duration]) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// A plan armed at every wired GC/sched site but thresholded so it never
+/// fires: prices the registry-scan path, not the faults.
+fn armed_idle_plan() -> FailPlan {
+    let never = FailWhen::Nth(u64::MAX);
+    FailPlan::new(0)
+        .with("heap/alloc", FailAction::Yield, never)
+        .with("heap/chunk_map", FailAction::Yield, never)
+        .with("alloc/words", FailAction::Yield, never)
+        .with("lgc/shield", FailAction::Yield, never)
+        .with("lgc/evacuate", FailAction::Yield, never)
+        .with("lgc/reclaim", FailAction::Yield, never)
+        .with("sched/steal", FailAction::Yield, never)
+        .with("sched/park", FailAction::Yield, never)
+}
+
+/// A seeded benign-fault schedule: delay/yield frequencies are drawn
+/// from the seed, so each seed is a distinct (but reproducible) chaos
+/// schedule.
+fn chaos_plan(seed: u64) -> FailPlan {
+    let k = |salt: u64| 2 + (seed.wrapping_mul(0x9e37_79b9).wrapping_add(salt) % 6);
+    FailPlan::new(seed)
+        .with(
+            "lgc/shield",
+            FailAction::Delay(40_000),
+            FailWhen::OneIn(k(1)),
+        )
+        .with("lgc/evacuate", FailAction::Yield, FailWhen::OneIn(k(2)))
+        .with(
+            "lgc/retake",
+            FailAction::Delay(15_000),
+            FailWhen::OneIn(k(3)),
+        )
+        .with("cgc/mark", FailAction::Delay(25_000), FailWhen::OneIn(k(4)))
+        .with("cgc/sweep", FailAction::Yield, FailWhen::OneIn(k(5)))
+        .with(
+            "barrier/read_slow",
+            FailAction::Delay(4_000),
+            FailWhen::OneIn(k(6)),
+        )
+        .with("sched/steal", FailAction::Yield, FailWhen::OneIn(k(7)))
+}
+
+fn chaos_config(seed: u64, entangled: bool) -> RuntimeConfig {
+    // `_exact`: chaos wants real interleavings even on small CI hosts.
+    let mut cfg = RuntimeConfig::managed()
+        .with_threads_exact(4)
+        .with_audit()
+        .with_failpoints(chaos_plan(seed))
+        .with_gc_watchdog(Duration::from_secs(30));
+    if entangled {
+        // Make the concurrent collector actually run at suite scale.
+        cfg.policy.cgc_trigger_pinned_bytes = 64 * 1024;
+    }
+    cfg
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 5 };
+    println!(
+        "E11: chaos — fault injection, memory pressure, disabled cost{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // ------------------------------------------------------------------
+    // 1. Disabled cost: off vs heap-limit-set vs armed-idle, interleaved.
+    // ------------------------------------------------------------------
+    let mut cost_table =
+        Table::new(&["benchmark", "T off", "T limit", "T armed", "limit", "armed"]);
+    let mut cost_rows = Vec::new();
+    let (mut limit_ovh, mut armed_ovh) = (Vec::new(), Vec::new());
+    for bench in mpl_bench_suite::all() {
+        if bench.entangled() {
+            continue;
+        }
+        let n = scale_bench(bench.as_ref());
+        let (mut off, mut lim, mut armed) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..reps {
+            let a = run_mpl(bench.as_ref(), n, RuntimeConfig::managed());
+            let b = run_mpl(
+                bench.as_ref(),
+                n,
+                // Far above any suite benchmark's live footprint.
+                RuntimeConfig::managed().with_heap_limit(8 << 30),
+            );
+            let c = run_mpl(
+                bench.as_ref(),
+                n,
+                RuntimeConfig::managed().with_failpoints(armed_idle_plan()),
+            );
+            assert_eq!(a.checksum, b.checksum, "{}", bench.name());
+            assert_eq!(a.checksum, c.checksum, "{}", bench.name());
+            assert_eq!(
+                b.stats.alloc_failures,
+                0,
+                "{}: limit never binds",
+                bench.name()
+            );
+            off.push(a.wall);
+            lim.push(b.wall);
+            armed.push(c.wall);
+        }
+        let (t_off, t_lim, t_armed) = (median(&mut off), median(&mut lim), median(&mut armed));
+        let lo = t_lim.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+        let ao = t_armed.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+        limit_ovh.push(lo);
+        armed_ovh.push(ao);
+        cost_table.row(vec![
+            bench.name().into(),
+            fmt_dur(t_off),
+            fmt_dur(t_lim),
+            fmt_dur(t_armed),
+            format!("{:+.1}%", lo * 100.0),
+            format!("{:+.1}%", ao * 100.0),
+        ]);
+        cost_rows.push(CostRow {
+            name: bench.name().into(),
+            t_off_us: t_off.as_micros(),
+            t_limit_us: t_lim.as_micros(),
+            t_armed_us: t_armed.as_micros(),
+            limit_overhead: lo,
+            armed_overhead: ao,
+        });
+    }
+    limit_ovh.sort_by(f64::total_cmp);
+    armed_ovh.sort_by(f64::total_cmp);
+    let median_limit_overhead = limit_ovh[limit_ovh.len() / 2];
+    let median_armed_overhead = armed_ovh[armed_ovh.len() / 2];
+    println!("disabled-mode cost (disentangled suite, median of {reps} interleaved reps):");
+    print!("{}", cost_table.render());
+    println!(
+        "suite median: heap-limit {:+.1}%, armed-idle failpoints {:+.1}%\n",
+        median_limit_overhead * 100.0,
+        median_armed_overhead * 100.0
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Seeded chaos sweeps, audits on. Fixed seeds 1..=3, plus one
+    //    from the low bits of the clock, printed for reproduction.
+    // ------------------------------------------------------------------
+    let wild = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_micros() as u64)
+        .unwrap_or(4);
+    let seeds: &[u64] = if smoke { &[1, wild] } else { &[1, 2, 3, wild] };
+    let mut chaos_table = Table::new(&[
+        "suite",
+        "seed",
+        "benchmarks",
+        "fires",
+        "dead",
+        "audit fails",
+    ]);
+    let mut chaos_rows = Vec::new();
+    for &(suite, entangled) in &[("disentangled", false), ("entangled", true)] {
+        for &seed in seeds {
+            let audit_before = mpl_gc::audit::counters();
+            let fires_before = mpl_fail::fires();
+            let mut benchmarks = 0usize;
+            let mut dead = 0u64;
+            for bench in mpl_bench_suite::all() {
+                if bench.entangled() != entangled {
+                    continue;
+                }
+                let n = if smoke {
+                    bench.small_n()
+                } else {
+                    bench.small_n().max(bench.default_n() / 8)
+                };
+                let out = run_mpl(bench.as_ref(), n, chaos_config(seed, entangled));
+                assert_eq!(
+                    out.checksum,
+                    bench.run_native(n),
+                    "{} seed {seed}: checksum under chaos",
+                    bench.name()
+                );
+                assert_eq!(
+                    out.stats.pinned_bytes,
+                    0,
+                    "{} seed {seed}: leaked pins",
+                    bench.name()
+                );
+                dead += out.stats.lgc_dead_traced;
+                benchmarks += 1;
+            }
+            let audit = mpl_gc::audit::counters();
+            let audit_failures = audit.failures - audit_before.failures;
+            let fires = mpl_fail::fires() - fires_before;
+            assert_eq!(dead, 0, "seed {seed}: corruption canary");
+            assert_eq!(audit_failures, 0, "seed {seed}: phase audits");
+            chaos_table.row(vec![
+                suite.into(),
+                seed.to_string(),
+                benchmarks.to_string(),
+                fires.to_string(),
+                dead.to_string(),
+                audit_failures.to_string(),
+            ]);
+            chaos_rows.push(ChaosRow {
+                suite: suite.into(),
+                seed,
+                benchmarks,
+                failpoint_fires: fires,
+                lgc_dead_traced: dead,
+                audit_failures,
+            });
+        }
+    }
+    println!("seeded chaos sweeps (audits on; seed {wild} drawn from the clock):");
+    print!("{}", chaos_table.render());
+
+    // ------------------------------------------------------------------
+    // 3. The pressure ladder: an over-budget run fails recoverably, a
+    //    fitting run survives its forced collections.
+    // ------------------------------------------------------------------
+    let rt = Runtime::new(RuntimeConfig::managed().with_heap_limit(128 * 1024));
+    // The AllocError below is the point; keep its panic report off stderr.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = rt
+        .try_run(|m| {
+            let mut list = m.alloc_tuple(&[Value::Unit]);
+            let mut h = m.root(list);
+            loop {
+                list = m.alloc_tuple(&[Value::Int(1), m.get(&h)]);
+                h = m.root(list);
+            }
+        })
+        .expect_err("an unbounded retained allocation must exhaust the budget");
+    std::panic::set_hook(hook);
+    let s = rt.stats();
+    println!(
+        "\npressure ladder (128 KiB budget): {err}\n  gc_forced_by_pressure={} alloc_retries={} alloc_failures={}",
+        s.gc_forced_by_pressure, s.alloc_retries, s.alloc_failures
+    );
+    assert!(s.gc_forced_by_pressure >= 2, "LGC then CGC forced");
+    assert_eq!(s.alloc_failures, 1);
+    drop(rt);
+    // And the recoverability acceptance: a fresh runtime passes a
+    // benchmark right after the failure.
+    let bench = mpl_bench_suite::by_name("msort").expect("known benchmark");
+    let n = bench.small_n();
+    let fresh = run_mpl(bench.as_ref(), n, RuntimeConfig::managed());
+    assert_eq!(
+        fresh.checksum,
+        bench.run_native(n),
+        "fresh runtime after AllocError"
+    );
+
+    write_json(
+        "e11_chaos",
+        &E11 {
+            smoke,
+            reps,
+            cost: cost_rows,
+            median_limit_overhead,
+            median_armed_overhead,
+            chaos: chaos_rows,
+            pressure_gc_forced: s.gc_forced_by_pressure,
+            pressure_alloc_retries: s.alloc_retries,
+            pressure_error: err.to_string(),
+        },
+    );
+    println!("wrote results/e11_chaos.json");
+}

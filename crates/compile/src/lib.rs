@@ -237,7 +237,10 @@ mod tests {
                 cgc_trigger_pinned_bytes: 8192,
                 immediate_chunk_free: true,
             },
-            store: mpl_runtime::StoreConfig { chunk_slots: 8 },
+            store: mpl_runtime::StoreConfig {
+                chunk_slots: 8,
+                ..Default::default()
+            },
             ..RuntimeConfig::managed()
         };
         let rt = Runtime::new(cfg);

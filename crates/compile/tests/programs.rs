@@ -21,7 +21,10 @@ fn configs() -> Vec<(&'static str, RuntimeConfig)> {
                     cgc_trigger_pinned_bytes: 16 * 1024,
                     immediate_chunk_free: true,
                 },
-                store: StoreConfig { chunk_slots: 16 },
+                store: StoreConfig {
+                    chunk_slots: 16,
+                    ..Default::default()
+                },
                 ..RuntimeConfig::managed()
             },
         ),
@@ -95,7 +98,10 @@ fn histogram_program_entangles() {
                 cgc_trigger_pinned_bytes: 16 * 1024,
                 immediate_chunk_free: true,
             },
-            store: StoreConfig { chunk_slots: 16 },
+            store: StoreConfig {
+                chunk_slots: 16,
+                ..Default::default()
+            },
             ..RuntimeConfig::managed()
         },
     ] {

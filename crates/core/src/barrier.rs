@@ -158,6 +158,7 @@ impl Mutator<'_> {
         };
         // SLOW TIER: locate the target and query the heap table.
         self.ctx.pending.read_slow += 1;
+        mpl_fail::hit_hard("barrier/read_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);
         let t = self.locate_ref(raw, "read target");
         let (_, _, lca) = self
@@ -281,6 +282,7 @@ impl Mutator<'_> {
         // SLOW TIER: full locate + path-relation machinery. (Re-locate
         // the source: fast-exit-2 probing may have evicted it.)
         self.ctx.pending.write_slow += 1;
+        mpl_fail::hit_hard("barrier/write_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);
         let src = self.locate_ref(objv, "mutable write");
         let (o_heap, o_depth, o_lca) = store

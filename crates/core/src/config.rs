@@ -1,6 +1,7 @@
 //! Runtime configuration: execution mode, processors, GC policy, work
 //! model.
 
+use mpl_fail::FailPlan;
 use mpl_gc::GcPolicy;
 use mpl_heap::StoreConfig;
 use mpl_sched::SchedMode;
@@ -106,6 +107,19 @@ pub struct RuntimeConfig {
     /// (lock-free recording at instrumented sites); when disabled every
     /// emission site costs one relaxed load and a predicted branch.
     pub telemetry: bool,
+    /// Deterministic failpoints to arm for this runtime's lifetime
+    /// (`mpl-fail`). Armed in [`Runtime::new`](crate::Runtime::new),
+    /// disarmed on drop; an empty plan (the default) never touches the
+    /// process-global registry, so disarmed sites keep their one-relaxed-
+    /// load cost. The `MPL_FAILPOINTS` environment variable arms sites
+    /// process-wide instead.
+    pub failpoints: FailPlan,
+    /// GC-phase stall deadline in nanoseconds for the watchdog thread;
+    /// `0` (the default) spawns no watchdog. When a collector phase stays
+    /// open past the deadline the watchdog flags it on stderr and dumps
+    /// the audit event rings plus the telemetry report — the chaos
+    /// harness's answer to "a fault injection wedged a collection".
+    pub gc_stall_deadline_ns: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -123,6 +137,8 @@ impl Default for RuntimeConfig {
             cgc_slice_objects: 0,
             audit: false,
             telemetry: false,
+            failpoints: FailPlan::default(),
+            gc_stall_deadline_ns: 0,
         }
     }
 }
@@ -204,6 +220,53 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::force_slow_path`]).
     pub fn with_force_slow_path(mut self) -> RuntimeConfig {
         self.force_slow_path = true;
+        self
+    }
+
+    /// Sets a soft heap budget in bytes (`0` = unlimited). Allocation
+    /// under pressure forces a local collection, then a concurrent
+    /// collection, then retries; if the budget is still exhausted the
+    /// allocation surfaces a recoverable [`AllocError`](crate::AllocError)
+    /// that unwinds the task through the ordinary fork/join panic
+    /// propagation path — catch it with
+    /// [`Runtime::try_run`](crate::Runtime::try_run).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpl_runtime::{Runtime, RuntimeConfig, Value};
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::managed().with_heap_limit(2 * 1024 * 1024));
+    /// let v = rt.try_run(|m| m.alloc_ref(Value::Int(1))).expect("fits");
+    /// assert!(v.as_obj().is_some());
+    /// ```
+    pub fn with_heap_limit(mut self, bytes: usize) -> RuntimeConfig {
+        self.store.heap_limit = bytes;
+        self
+    }
+
+    /// Arms deterministic failpoints for this runtime's lifetime (see
+    /// [`RuntimeConfig::failpoints`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpl_fail::{FailAction, FailPlan, FailWhen};
+    /// use mpl_runtime::{Runtime, RuntimeConfig, Value};
+    ///
+    /// let plan = FailPlan::new(42).with("sched/steal", FailAction::Yield, FailWhen::OneIn(4));
+    /// let rt = Runtime::new(RuntimeConfig::managed().with_failpoints(plan));
+    /// rt.run(|m| m.alloc_ref(Value::Int(1)));
+    /// ```
+    pub fn with_failpoints(mut self, plan: FailPlan) -> RuntimeConfig {
+        self.failpoints = plan;
+        self
+    }
+
+    /// Spawns a GC-stall watchdog with the given deadline (see
+    /// [`RuntimeConfig::gc_stall_deadline_ns`]).
+    pub fn with_gc_watchdog(mut self, deadline: std::time::Duration) -> RuntimeConfig {
+        self.gc_stall_deadline_ns = deadline.as_nanos() as u64;
         self
     }
 
@@ -324,5 +387,29 @@ mod tests {
     fn telemetry_flag() {
         assert!(RuntimeConfig::managed().with_telemetry().telemetry);
         assert!(!RuntimeConfig::managed().telemetry);
+    }
+
+    #[test]
+    fn heap_limit_flows_into_the_store_config() {
+        assert_eq!(RuntimeConfig::managed().store.heap_limit, 0, "unlimited");
+        let c = RuntimeConfig::managed().with_heap_limit(1 << 20);
+        assert_eq!(c.store.heap_limit, 1 << 20);
+    }
+
+    #[test]
+    fn failpoint_plan_rides_the_copy_config() {
+        use mpl_fail::{FailAction, FailWhen};
+        let plan = FailPlan::new(9).with("lgc/shield", FailAction::Yield, FailWhen::Nth(1));
+        let c = RuntimeConfig::managed().with_failpoints(plan);
+        let copied = c; // RuntimeConfig stays Copy with the plan aboard
+        assert_eq!(copied.failpoints, plan);
+        assert!(RuntimeConfig::managed().failpoints.is_empty());
+    }
+
+    #[test]
+    fn watchdog_deadline() {
+        let c = RuntimeConfig::managed().with_gc_watchdog(std::time::Duration::from_millis(50));
+        assert_eq!(c.gc_stall_deadline_ns, 50_000_000);
+        assert_eq!(RuntimeConfig::managed().gc_stall_deadline_ns, 0);
     }
 }

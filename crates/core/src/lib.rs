@@ -58,8 +58,12 @@ mod roots;
 pub mod runtime;
 
 pub use config::{Mode, RuntimeConfig, WorkModel};
-pub use mutator::{Handle, Mutator, RootMark, ENTANGLEMENT_PANIC};
+pub use mutator::{AllocError, Handle, Mutator, RootMark, ENTANGLEMENT_PANIC};
 pub use runtime::{Runtime, TelemetryReport};
+
+// Re-export the fault-injection plan types so harnesses configure
+// failpoints without naming the leaf crate.
+pub use mpl_fail::{FailAction, FailPlan, FailWhen, Failpoint};
 
 // Re-export the value types users interact with.
 pub use mpl_gc::GcPolicy;

@@ -43,6 +43,47 @@ use crate::runtime::Runtime;
 pub const ENTANGLEMENT_PANIC: &str =
     "entanglement detected: task accessed an object allocated by a concurrent task";
 
+/// An allocation rejected by the heap budget
+/// ([`crate::RuntimeConfig::with_heap_limit`]) after both collectors ran
+/// and the live footprint still exceeded the limit — or injected by the
+/// `alloc/words` failpoint.
+///
+/// The error unwinds out of the allocating call as a panic payload and
+/// rides the fork/join propagation path (each join re-raises a branch
+/// panic after its sibling parks), so every ancestor task's [`Mutator`]
+/// drops and deregisters normally. [`crate::Runtime::try_run`] catches it
+/// at the top and returns it as a value; the runtime stays usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes the failing allocation requested.
+    pub requested: usize,
+    /// The configured heap budget (0 when the failure was injected by a
+    /// failpoint rather than the budget).
+    pub limit: usize,
+    /// Live bytes observed after the final forced collection.
+    pub live_bytes: usize,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.limit == 0 {
+            write!(
+                f,
+                "allocation of {} bytes failed (injected)",
+                self.requested
+            )
+        } else {
+            write!(
+                f,
+                "allocation of {} bytes exceeds heap limit ({} live of {} budget) after forced collection",
+                self.requested, self.live_bytes, self.limit
+            )
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
 /// Buffered remembered-set entries are published once the buffer reaches
 /// this size, bounding the memory a write-heavy task can defer.
 const REMSET_BUFFER_CAP: usize = 256;
@@ -465,6 +506,8 @@ impl<'rt> Mutator<'rt> {
         if self.ctx.saw_remote && self.rt.config().mode == Mode::Managed {
             self.alloc_pin_remote(&mut fields);
         }
+        let size = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields.len();
+        self.ensure_heap_budget(size, &mut fields);
         if self.ctx.alloc_since >= self.ctx.lgc_budget {
             self.run_lgc(&mut fields);
         }
@@ -498,6 +541,14 @@ impl<'rt> Mutator<'rt> {
                 }
                 Err(back) => obj = back,
             }
+        }
+        if mpl_fail::hit("alloc/words").is_err() {
+            self.rt.store().stats().on_alloc_failure();
+            std::panic::panic_any(AllocError {
+                requested: size,
+                limit: 0,
+                live_bytes: self.rt.store().stats().snapshot().live_bytes,
+            });
         }
         let r = self.rt.store().alloc_object(self.leaf_heap(), obj);
         self.ctx.alloc_cache = self
@@ -540,6 +591,7 @@ impl<'rt> Mutator<'rt> {
     /// `alloc_tuple`/`alloc_array` perform are skipped entirely.
     pub fn alloc_raw(&mut self, len: usize) -> Value {
         self.charge_alloc(len);
+        self.ensure_heap_budget(mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * len, &mut []);
         if self.ctx.alloc_since >= self.ctx.lgc_budget {
             self.run_lgc(&mut []);
         }
@@ -822,6 +874,53 @@ impl<'rt> Mutator<'rt> {
     }
 
     // ---- internals ----------------------------------------------------------
+
+    /// The memory-pressure escalation ladder, run before each allocation
+    /// when a heap budget is configured: flush the gauge and re-check,
+    /// then force a local collection (with `extra` as updated roots),
+    /// then a full concurrent cycle, retrying the budget check after
+    /// each. If the live footprint still exceeds the budget, the
+    /// allocation fails with a recoverable [`AllocError`] raised as a
+    /// panic payload. Raising here is sound: both collectors have fully
+    /// completed and released their locks before the raise, the pending
+    /// object has not been written anywhere, and the unwinding task's
+    /// [`Mutator`] drop flushes its buffers and deregisters its roots.
+    ///
+    /// Called before field encoding, where the not-yet-allocated pointer
+    /// fields can still ride through the moving collection as roots —
+    /// after encoding they would go stale.
+    fn ensure_heap_budget(&mut self, size: usize, extra: &mut [Value]) {
+        let rt = self.rt;
+        if !rt.store().over_limit(size) {
+            return;
+        }
+        // The gauge lags task-buffered stats; make it current before
+        // paying for a collection.
+        self.flush_stats();
+        if !rt.store().over_limit(size) {
+            return;
+        }
+        let stats = rt.store().stats();
+        stats.on_gc_forced_by_pressure();
+        self.run_lgc(extra);
+        stats.on_alloc_retry();
+        if !rt.store().over_limit(size) {
+            return;
+        }
+        stats.on_gc_forced_by_pressure();
+        rt.force_cgc();
+        stats.on_alloc_retry();
+        if !rt.store().over_limit(size) {
+            return;
+        }
+        stats.on_alloc_failure();
+        let live = rt.store().stats().snapshot().live_bytes;
+        std::panic::panic_any(AllocError {
+            requested: size,
+            limit: rt.store().config().heap_limit,
+            live_bytes: live,
+        });
+    }
 
     pub(crate) fn run_lgc(&mut self, extra: &mut [Value]) {
         self.flush_stats();

@@ -59,6 +59,12 @@ pub struct Runtime {
     /// Declared before `executor` so it stops (and drops its executor
     /// handle) before the pool is torn down.
     sampler: Option<mpl_obs::Sampler>,
+    /// Registry token for this runtime's failpoint plan (present iff the
+    /// plan is non-empty); the slots are removed on drop.
+    failpoint_owner: Option<u64>,
+    /// The GC stall watchdog thread (present iff
+    /// `config.gc_stall_deadline_ns > 0`).
+    watchdog: Option<Watchdog>,
     /// The persistent work-stealing pool; present iff `threads > 1` and
     /// `sched == SchedMode::WorkStealing`. Workers live as long as the
     /// runtime and are re-used across `run` calls. Shared (`Arc`) so the
@@ -79,6 +85,13 @@ impl Runtime {
         if config.telemetry {
             mpl_obs::enable();
         }
+        // Process-wide fault-injection opt-in via MPL_FAILPOINTS, then
+        // this runtime's own plan (uninstalled by Drop). An empty plan
+        // never touches the registry, so the disabled cost stays one
+        // relaxed load per site.
+        mpl_fail::init_from_env();
+        let failpoint_owner =
+            (!config.failpoints.is_empty()).then(|| mpl_fail::install(&config.failpoints));
         // Give each pool worker its own event ring. Registered before the
         // pool exists so the first worker to start is already covered.
         mpl_sched::set_worker_start_hook(mpl_gc::audit::register_worker);
@@ -94,6 +107,7 @@ impl Runtime {
         let sampler = config
             .telemetry
             .then(|| spawn_sampler(&store, executor.clone(), config.threads.max(1)));
+        let watchdog = (config.gc_stall_deadline_ns > 0).then(|| spawn_watchdog(&store, config));
         Runtime {
             store,
             cgc_state: CgcState::new(),
@@ -107,6 +121,8 @@ impl Runtime {
             cgc_baseline: std::sync::atomic::AtomicUsize::new(0),
             cgc_poll: std::sync::atomic::AtomicBool::new(false),
             sampler,
+            failpoint_owner,
+            watchdog,
             executor,
             config,
         }
@@ -140,6 +156,7 @@ impl Runtime {
         s.audit_objects_checked = audit.objects_checked;
         s.audit_events = audit.events_recorded;
         s.audit_ring_overflows = audit.ring_overflows;
+        s.failpoint_fires = mpl_fail::fires();
         s
     }
 
@@ -203,6 +220,30 @@ impl Runtime {
             *self.last_dag.lock() = Some(builder.finish());
         }
         v
+    }
+
+    /// Like [`Runtime::run`], but catches an [`AllocError`] unwinding out
+    /// of the program — a heap-budget rejection
+    /// ([`RuntimeConfig::with_heap_limit`]) or an injected `alloc/words`
+    /// failure — and returns it as a value. Every other panic payload is
+    /// re-raised unchanged.
+    ///
+    /// The runtime remains fully usable after an `Err`: the failing
+    /// task's [`Mutator`] drop already flushed its buffers and removed
+    /// its root-stack registration, and joins re-raise the error only
+    /// after the sibling branch parks, so no worker or registry entry
+    /// leaks.
+    pub fn try_run<F>(&self, f: F) -> Result<Value, crate::mutator::AllocError>
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(f))) {
+            Ok(v) => Ok(v),
+            Err(payload) => match payload.downcast::<crate::mutator::AllocError>() {
+                Ok(e) => Err(*e),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
     }
 
     /// The computation DAG recorded by the most recent `run` (if
@@ -397,6 +438,69 @@ impl Runtime {
     }
 }
 
+/// The GC stall watchdog thread: polls the process-global GC phase clock
+/// ([`mpl_gc::stall`]) and, when a phase has been in flight longer than
+/// the configured deadline, flags it on stderr and dumps the audit event
+/// rings plus a Prometheus counter snapshot — the post-mortem a hung
+/// chaos run would otherwise take to the grave.
+#[derive(Debug)]
+struct Watchdog {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn stop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
+    let deadline_ns = config.gc_stall_deadline_ns;
+    let stats = store.stats_shared();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    // Poll a few times per deadline; clamp so a tiny deadline doesn't
+    // spin and a huge one still notices `stop` promptly.
+    let tick = Duration::from_nanos((deadline_ns / 4).clamp(1_000_000, 100_000_000));
+    let handle = std::thread::Builder::new()
+        .name("mpl-gc-watchdog".into())
+        .spawn(move || {
+            // Re-arm only after the flagged phase completes, so one stall
+            // produces one report instead of one per tick.
+            let mut flagged = false;
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                match mpl_gc::stall::current() {
+                    Some((phase, age_ns)) if age_ns > deadline_ns => {
+                        if !flagged {
+                            flagged = true;
+                            eprintln!(
+                                "mpl-gc-watchdog: phase '{phase}' in flight for {:.3}s \
+                                 (deadline {:.3}s); dumping audit rings + telemetry",
+                                age_ns as f64 / 1e9,
+                                deadline_ns as f64 / 1e9,
+                            );
+                            mpl_gc::audit::dump_events();
+                            let mut snap = stats.snapshot();
+                            snap.failpoint_fires = mpl_fail::fires();
+                            eprintln!("{}", build_prometheus(&snap, None));
+                        }
+                    }
+                    _ => flagged = false,
+                }
+            }
+        })
+        .expect("spawn mpl-gc-watchdog");
+    Watchdog {
+        stop,
+        handle: Some(handle),
+    }
+}
+
 /// Spawns the telemetry sampler: every tick diffs the runtime counters
 /// (`StatsSnapshot::delta`) into allocation rates and combines the
 /// scheduler's park counter with [`mpl_sched::PARK_INTERVAL`] into a
@@ -535,6 +639,26 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
             "Worker park intervals",
             s.sched_parks,
         ),
+        (
+            "mpl_gc_forced_by_pressure_total",
+            "Collections forced by the heap budget",
+            s.gc_forced_by_pressure,
+        ),
+        (
+            "mpl_alloc_retries_total",
+            "Allocation retries after a forced collection",
+            s.alloc_retries,
+        ),
+        (
+            "mpl_alloc_failures_total",
+            "Allocations rejected (budget exhausted or injected)",
+            s.alloc_failures,
+        ),
+        (
+            "mpl_failpoint_fires_total",
+            "Fault-injection failpoint fires (process-global)",
+            s.failpoint_fires,
+        ),
     ] {
         w.counter(name, help, v);
     }
@@ -578,6 +702,14 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        if let Some(watchdog) = &mut self.watchdog {
+            watchdog.stop();
+        }
+        if let Some(owner) = self.failpoint_owner {
+            // Remove this runtime's slots; env-installed failpoints (a
+            // different owner) stay armed for the process lifetime.
+            mpl_fail::uninstall(owner);
+        }
         if let Some(sampler) = &mut self.sampler {
             sampler.stop();
         }

@@ -118,7 +118,10 @@ fn configs() -> Vec<(&'static str, RuntimeConfig)> {
                     cgc_trigger_pinned_bytes: 2048,
                     immediate_chunk_free: true,
                 },
-                store: StoreConfig { chunk_slots: 8 },
+                store: StoreConfig {
+                    chunk_slots: 8,
+                    ..Default::default()
+                },
                 ..RuntimeConfig::managed()
             },
         ),

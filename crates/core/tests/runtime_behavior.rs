@@ -147,7 +147,10 @@ fn disentangled_programs_never_pin() {
 fn lgc_triggers_and_preserves_data() {
     let cfg = RuntimeConfig {
         policy: tiny_gc(),
-        store: StoreConfig { chunk_slots: 16 },
+        store: StoreConfig {
+            chunk_slots: 16,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     };
     let rt = Runtime::new(cfg);
@@ -189,7 +192,10 @@ fn cgc_reclaims_dropped_entangled_objects() {
             cgc_trigger_pinned_bytes: usize::MAX, // manual only
             immediate_chunk_free: true,
         },
-        store: StoreConfig { chunk_slots: 8 },
+        store: StoreConfig {
+            chunk_slots: 8,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     };
     let rt = Runtime::new(cfg);
@@ -230,7 +236,10 @@ fn handles_track_moving_objects() {
             lgc_trigger_bytes: 512,
             ..tiny_gc()
         },
-        store: StoreConfig { chunk_slots: 8 },
+        store: StoreConfig {
+            chunk_slots: 8,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     };
     let rt = Runtime::new(cfg);
@@ -255,7 +264,10 @@ fn down_pointer_remset_keeps_child_data_alive() {
             lgc_trigger_bytes: 512,
             ..tiny_gc()
         },
-        store: StoreConfig { chunk_slots: 8 },
+        store: StoreConfig {
+            chunk_slots: 8,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     };
     let rt = Runtime::new(cfg);

@@ -127,6 +127,7 @@ pub struct CgcOutcome {
 /// Traces up to `budget` objects from the mark state. Returns the number
 /// traced (0 means the stack is empty).
 fn advance_mark(store: &Store, ms: &mut MarkState, budget: usize) -> usize {
+    mpl_fail::hit_hard("cgc/mark");
     let mut traced = 0;
     while traced < budget {
         let Some(r) = ms.stack.pop() else { break };
@@ -187,6 +188,10 @@ pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOut
     let _span = mpl_obs::span_guard(match guard.as_ref()? {
         CycleState::Mark(_) => mpl_obs::Metric::CgcMark,
         _ => mpl_obs::Metric::CgcSweep,
+    });
+    let _stall = crate::stall::guard(match guard.as_ref()? {
+        CycleState::Mark(_) => crate::stall::CGC_MARK,
+        _ => crate::stall::CGC_SWEEP,
     });
     match guard.as_mut()? {
         CycleState::Mark(ms) => {
@@ -297,6 +302,7 @@ pub fn collect_entangled(
 ) -> CgcOutcome {
     // ---- mark ----------------------------------------------------------
     let span_mark = mpl_obs::span_start();
+    let stall_mark = crate::stall::enter(crate::stall::CGC_MARK);
     state.marking.store(true, Ordering::Release);
     let mut ms = MarkState {
         stack: roots.into_iter().collect(),
@@ -314,7 +320,9 @@ pub fn collect_entangled(
     }
     state.marking.store(false, Ordering::Release);
     mpl_obs::span_close(mpl_obs::Metric::CgcMark, span_mark);
+    crate::stall::exit(stall_mark);
     let _span_sweep = mpl_obs::span_guard(mpl_obs::Metric::CgcSweep);
+    let _stall_sweep = crate::stall::guard(crate::stall::CGC_SWEEP);
     finish_cycle(store, ms)
 }
 
@@ -340,6 +348,7 @@ fn finish_cycle(store: &Store, ms: MarkState) -> CgcOutcome {
 /// Sweeps one entangled chunk: reclaims unmarked entangled-space objects
 /// and frees the chunk outright when everything in it is dead.
 fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
+    mpl_fail::hit_hard("cgc/sweep");
     let Some(chunk) = store.chunks().try_get(cid) else {
         return; // freed between slices
     };
@@ -432,7 +441,10 @@ mod tests {
     use mpl_heap::{ObjKind, StoreConfig, Value};
 
     fn store() -> Store {
-        Store::new(StoreConfig { chunk_slots: 4 })
+        Store::new(StoreConfig {
+            chunk_slots: 4,
+            ..Default::default()
+        })
     }
 
     /// Builds the canonical entanglement scenario: a sibling task pins an

@@ -38,6 +38,7 @@ impl Graveyard {
     /// Frees all retired chunks. Call only at a global quiescent point
     /// (all tasks at safepoints, e.g. a top-level join).
     pub fn drain(&self, store: &Store) -> usize {
+        let _stall = crate::stall::guard(crate::stall::GRAVEYARD);
         let ids = std::mem::take(&mut *self.pending.lock());
         let n = ids.len();
         for id in ids {
@@ -59,7 +60,10 @@ mod tests {
 
     #[test]
     fn retire_then_drain_frees() {
-        let store = Store::new(StoreConfig { chunk_slots: 2 });
+        let store = Store::new(StoreConfig {
+            chunk_slots: 2,
+            ..Default::default()
+        });
         let h = store.new_root_heap();
         let r = store.alloc_values(h, ObjKind::Tuple, &[]);
         let g = Graveyard::new();

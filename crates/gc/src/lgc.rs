@@ -139,6 +139,7 @@ pub fn collect_local(
     let mut out = LgcOutcome::default();
 
     // ---- Phase A: shield the entangled region --------------------------
+    let mut stall = crate::stall::enter(crate::stall::LGC_SHIELD);
     let mut entangled_closure: HashSet<ObjRef> = HashSet::new();
     let mut retained_chunk_ids: HashSet<u32> = HashSet::new();
     {
@@ -179,9 +180,12 @@ pub fn collect_local(
             &mut out,
         );
     }
+    mpl_fail::hit_hard("lgc/shield");
     crate::audit::audit_phase(store, "lgc/shield", h, Some(&entangled_closure));
     mpl_obs::span_close(mpl_obs::Metric::LgcShield, span_phase);
     let span_phase = mpl_obs::span_start();
+    crate::stall::exit(stall);
+    stall = crate::stall::enter(crate::stall::LGC_EVACUATE);
 
     // ---- Phase B: evacuate ---------------------------------------------
     let phase = std::cell::Cell::new("init");
@@ -492,6 +496,7 @@ pub fn collect_local(
     {
         let mut foreign_seen: HashSet<ObjRef> = HashSet::new();
         loop {
+            mpl_fail::hit_hard("lgc/retake");
             let entries = info.take_entangled();
             if entries.is_empty() {
                 break;
@@ -528,9 +533,12 @@ pub fn collect_local(
             }
         }
     }
+    mpl_fail::hit_hard("lgc/evacuate");
     crate::audit::audit_phase(store, "lgc/evacuate", h, Some(&entangled_closure));
     mpl_obs::span_close(mpl_obs::Metric::LgcEvacuate, span_phase);
     let span_phase = mpl_obs::span_start();
+    crate::stall::exit(stall);
+    stall = crate::stall::enter(crate::stall::LGC_RECLAIM);
 
     // ---- Phase C: reclaim ------------------------------------------------
     // Forwarding-chain path compression: retained chunks keep forwarded
@@ -624,8 +632,10 @@ pub fn collect_local(
     // marks, scans for dangling fields, and fails loudly with the event
     // trace if anything is off. Enabled by the same environment flag or
     // `RuntimeConfig::with_audit`.
+    mpl_fail::hit_hard("lgc/reclaim");
     crate::audit::audit_phase(store, "lgc/reclaim", h, Some(&entangled_closure));
     mpl_obs::span_close(mpl_obs::Metric::LgcReclaim, span_phase);
+    crate::stall::exit(stall);
     store
         .stats()
         .on_lgc_pause(pause_begin.elapsed().as_nanos() as u64);
@@ -720,7 +730,10 @@ mod tests {
     use mpl_heap::{ObjKind, StoreConfig};
 
     fn store() -> Store {
-        Store::new(StoreConfig { chunk_slots: 4 })
+        Store::new(StoreConfig {
+            chunk_slots: 4,
+            ..Default::default()
+        })
     }
 
     fn lgc(store: &Store, heap: u32, roots: &mut [ObjRef]) -> LgcOutcome {

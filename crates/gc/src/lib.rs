@@ -54,6 +54,7 @@ pub mod cgc;
 pub mod graveyard;
 pub mod lgc;
 pub mod policy;
+pub mod stall;
 pub mod validate;
 
 pub use audit::{audit_phase, check_dead_reachability, check_shield_closure, AuditCounters};

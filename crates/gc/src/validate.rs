@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn detects_a_planted_dangle() {
-        let s = Store::new(StoreConfig { chunk_slots: 1 });
+        let s = Store::new(StoreConfig {
+            chunk_slots: 1,
+            ..Default::default()
+        });
         let h = s.new_root_heap();
         let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
         let _holder = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(a)]);

@@ -10,7 +10,10 @@ use mpl_heap::{ObjKind, ObjRef, RemsetEntry, Store, StoreConfig, Value};
 /// dangling once from-space chunks were freed.)
 #[test]
 fn remset_repairs_target_already_evacuated_via_roots() {
-    let s = Store::new(StoreConfig { chunk_slots: 4 });
+    let s = Store::new(StoreConfig {
+        chunk_slots: 4,
+        ..Default::default()
+    });
     let root_heap = s.new_root_heap();
     let (l, _r) = s.fork_heaps(root_heap);
 
@@ -51,7 +54,10 @@ fn remset_repairs_target_already_evacuated_via_roots() {
 /// dangling field (the full pattern from the dedup benchmark).
 #[test]
 fn repeated_collections_with_bucket_rewrites() {
-    let s = Store::new(StoreConfig { chunk_slots: 4 });
+    let s = Store::new(StoreConfig {
+        chunk_slots: 4,
+        ..Default::default()
+    });
     let root_heap = s.new_root_heap();
     let (l, _r) = s.fork_heaps(root_heap);
     let table = s.alloc_values(root_heap, ObjKind::MutArr, &[Value::Unit; 8]);

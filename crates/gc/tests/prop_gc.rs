@@ -40,7 +40,10 @@ fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
 /// Builds the graph in a fresh child heap; returns (store, root heap,
 /// child heap, objects).
 fn build(spec: &GraphSpec) -> (Store, u32, u32, Vec<ObjRef>) {
-    let s = Store::new(StoreConfig { chunk_slots: 8 });
+    let s = Store::new(StoreConfig {
+        chunk_slots: 8,
+        ..Default::default()
+    });
     let root_heap = s.new_root_heap();
     let (l, _r) = s.fork_heaps(root_heap);
     let mut objs = Vec::with_capacity(spec.edges.len());
@@ -310,7 +313,10 @@ proptest! {
 #[should_panic(expected = "dead-reachable")]
 fn forced_reclaim_mismark_fails_the_phase_audit() {
     let _audit = AuditGuard::new();
-    let s = Store::new(StoreConfig { chunk_slots: 8 });
+    let s = Store::new(StoreConfig {
+        chunk_slots: 8,
+        ..Default::default()
+    });
     let h = s.new_root_heap();
     let victim = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(7)]);
     let holder = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(victim)]);

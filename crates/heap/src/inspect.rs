@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn report_tracks_hierarchy_shape() {
-        let s = Store::new(StoreConfig { chunk_slots: 8 });
+        let s = Store::new(StoreConfig {
+            chunk_slots: 8,
+            ..Default::default()
+        });
         let root = s.new_root_heap();
         let (l, r) = s.fork_heaps(root);
         s.alloc_values(root, ObjKind::Tuple, &[Value::Int(1)]);
@@ -169,7 +172,10 @@ mod tests {
 
     #[test]
     fn dot_export_shape() {
-        let s = Store::new(StoreConfig { chunk_slots: 8 });
+        let s = Store::new(StoreConfig {
+            chunk_slots: 8,
+            ..Default::default()
+        });
         let root = s.new_root_heap();
         let (l, r) = s.fork_heaps(root);
         let x = s.alloc_values(l, ObjKind::Ref, &[Value::Int(2)]);

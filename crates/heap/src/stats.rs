@@ -48,6 +48,10 @@ pub struct StoreStats {
     // (release builds included) because the matching debug assertion
     // vanishes under `--release`; any nonzero value is a collector bug.
     pub(crate) lgc_dead_traced: AtomicU64,
+    // Memory-pressure path (heap limit set and approached).
+    pub(crate) gc_forced_by_pressure: AtomicU64,
+    pub(crate) alloc_retries: AtomicU64,
+    pub(crate) alloc_failures: AtomicU64,
     // Gauges.
     pub(crate) live_bytes: AtomicUsize,
     pub(crate) max_live_bytes: AtomicUsize,
@@ -110,6 +114,14 @@ pub struct StatsSnapshot {
     /// Counted in every build profile; any nonzero value is a collector
     /// soundness bug (see `mpl-gc`'s audit layer).
     pub lgc_dead_traced: u64,
+    /// Collections forced because an allocation found the heap limit
+    /// (`RuntimeConfig::with_heap_limit`) exhausted.
+    pub gc_forced_by_pressure: u64,
+    /// Allocation attempts retried after a pressure-forced collection.
+    pub alloc_retries: u64,
+    /// Allocations that still exceeded the heap limit after every forced
+    /// collection and surfaced a recoverable `AllocError`.
+    pub alloc_failures: u64,
     pub live_bytes: usize,
     pub max_live_bytes: usize,
     pub pinned_bytes: usize,
@@ -130,6 +142,10 @@ pub struct StatsSnapshot {
     pub audit_objects_checked: u64,
     pub audit_events: u64,
     pub audit_ring_overflows: u64,
+    /// Failpoint fires. Like the audit counters this is process-global
+    /// (it lives in `mpl-fail`) and overlaid by the runtime; zero when no
+    /// failpoints were ever armed.
+    pub failpoint_fires: u64,
 }
 
 impl StoreStats {
@@ -170,6 +186,9 @@ impl StoreStats {
             cgc_pause_ns_total: self.cgc_pause_ns_total.load(Ordering::Relaxed),
             cgc_pause_ns_max: self.cgc_pause_ns_max.load(Ordering::Relaxed),
             lgc_dead_traced: self.lgc_dead_traced.load(Ordering::Relaxed),
+            gc_forced_by_pressure: self.gc_forced_by_pressure.load(Ordering::Relaxed),
+            alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
+            alloc_failures: self.alloc_failures.load(Ordering::Relaxed),
             live_bytes: self.live_bytes.load(Ordering::Relaxed),
             max_live_bytes: self.max_live_bytes.load(Ordering::Relaxed),
             pinned_bytes: self.pinned_bytes.load(Ordering::Relaxed),
@@ -310,6 +329,22 @@ impl StoreStats {
         Self::count(&self.lgc_dead_traced, 1);
     }
 
+    /// Records a collection forced by heap-limit pressure.
+    pub fn on_gc_forced_by_pressure(&self) {
+        Self::count(&self.gc_forced_by_pressure, 1);
+    }
+
+    /// Records an allocation retried after a pressure-forced collection.
+    pub fn on_alloc_retry(&self) {
+        Self::count(&self.alloc_retries, 1);
+    }
+
+    /// Records an allocation that exceeded the heap limit even after
+    /// forced collections and surfaced a recoverable error.
+    pub fn on_alloc_failure(&self) {
+        Self::count(&self.alloc_failures, 1);
+    }
+
     /// Records a completed local collection.
     pub fn on_lgc(&self, copied_bytes: u64, reclaimed_bytes: u64, retained_entangled_bytes: u64) {
         Self::count(&self.lgc_runs, 1);
@@ -421,6 +456,9 @@ impl StatsSnapshot {
             cgc_pause_ns_total: d(self.cgc_pause_ns_total, earlier.cgc_pause_ns_total),
             cgc_pause_ns_max: self.cgc_pause_ns_max,
             lgc_dead_traced: d(self.lgc_dead_traced, earlier.lgc_dead_traced),
+            gc_forced_by_pressure: d(self.gc_forced_by_pressure, earlier.gc_forced_by_pressure),
+            alloc_retries: d(self.alloc_retries, earlier.alloc_retries),
+            alloc_failures: d(self.alloc_failures, earlier.alloc_failures),
             live_bytes: self.live_bytes,
             max_live_bytes: self.max_live_bytes,
             pinned_bytes: self.pinned_bytes,
@@ -434,6 +472,7 @@ impl StatsSnapshot {
             audit_objects_checked: d(self.audit_objects_checked, earlier.audit_objects_checked),
             audit_events: d(self.audit_events, earlier.audit_events),
             audit_ring_overflows: d(self.audit_ring_overflows, earlier.audit_ring_overflows),
+            failpoint_fires: d(self.failpoint_fires, earlier.failpoint_fires),
         }
     }
 }

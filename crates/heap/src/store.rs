@@ -24,12 +24,18 @@ pub struct StoreConfig {
     /// Object slots per chunk. Smaller chunks mean finer-grained
     /// reclamation but more registry traffic (ablation experiment E9).
     pub chunk_slots: usize,
+    /// Soft heap budget in bytes; `0` means unlimited. The store only
+    /// *reports* pressure ([`Store::over_limit`]) — enforcement (forcing
+    /// collections, surfacing a recoverable error) is the runtime's job,
+    /// because only the runtime can run the collectors.
+    pub heap_limit: usize,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
             chunk_slots: DEFAULT_CHUNK_SLOTS,
+            heap_limit: 0,
         }
     }
 }
@@ -143,6 +149,7 @@ impl Store {
     /// Allocates a pre-built object into `heap` (the slow path behind the
     /// mutators' cached-chunk fast path).
     pub fn alloc_object(&self, heap: u32, mut obj: Object) -> ObjRef {
+        mpl_fail::hit_hard("heap/alloc");
         let heap = self.heaps.find(heap);
         let info = self.heaps.info(heap);
         let size = obj.size_bytes();
@@ -158,12 +165,22 @@ impl Store {
             }
             // Need a fresh chunk; size arrays that exceed the default slot
             // count still occupy one slot (slots hold whole objects).
+            mpl_fail::hit_hard("heap/chunk_map");
             let chunk = self
                 .chunks
                 .register(|id| Chunk::new(id, heap, self.config.chunk_slots));
             info.add_chunk(chunk.id());
             info.set_alloc_chunk(Some(chunk));
         }
+    }
+
+    /// True when a heap limit is configured and an allocation of `extra`
+    /// bytes would push the live-bytes gauge past it. Best-effort: the
+    /// gauge is updated by batched mutator flushes, so enforcement
+    /// granularity is a stats-flush window, not a single allocation.
+    pub fn over_limit(&self, extra: usize) -> bool {
+        self.config.heap_limit != 0
+            && self.stats.snapshot().live_bytes.saturating_add(extra) > self.config.heap_limit
     }
 
     /// Convenience: allocates with `Value` fields.
@@ -402,7 +419,10 @@ mod tests {
     use super::*;
 
     fn store() -> Store {
-        Store::new(StoreConfig { chunk_slots: 4 })
+        Store::new(StoreConfig {
+            chunk_slots: 4,
+            ..Default::default()
+        })
     }
 
     #[test]

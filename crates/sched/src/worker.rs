@@ -205,6 +205,7 @@ impl WorkerCtx {
     }
 
     fn steal_job(&self) -> Option<JobRef> {
+        mpl_fail::hit_hard("sched/steal");
         // Steal latency (first probe to job-in-hand) is only recorded for
         // *successful* steals; a sweep that comes up empty is idleness,
         // accounted by the park span instead.
@@ -306,6 +307,7 @@ impl WorkerCtx {
                 continue;
             }
             if backoff.is_completed() {
+                mpl_fail::hit_hard("sched/park");
                 self.shared.stats.parks.fetch_add(1, Ordering::Relaxed);
                 let span = mpl_obs::span_start();
                 thread::park_timeout(PARK_INTERVAL);
@@ -468,6 +470,7 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, index: usize, deque: Deque<JobRef
             break;
         }
         if backoff.is_completed() {
+            mpl_fail::hit_hard("sched/park");
             ctx.shared.sleepers.lock().push(thread::current());
             ctx.shared.stats.parks.fetch_add(1, Ordering::Relaxed);
             let span = mpl_obs::span_start();

@@ -8,7 +8,10 @@ use mpl_gc::{collect_entangled, collect_local, CgcState, Graveyard};
 use mpl_heap::{ObjKind, ObjRef, Store, StoreConfig, Value};
 
 fn main() {
-    let store = Store::new(StoreConfig { chunk_slots: 8 });
+    let store = Store::new(StoreConfig {
+        chunk_slots: 8,
+        ..Default::default()
+    });
     let root = store.new_root_heap();
     let (left, right) = store.fork_heaps(root);
     println!("hierarchy: root={root} -> left={left}, right={right}");

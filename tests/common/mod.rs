@@ -1,0 +1,18 @@
+//! Helpers shared by the failure-injection and chaos integration tests.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` with panic output silenced (these panics are the point).
+/// Serialized: the panic hook is process-global, and the test harness
+/// runs tests in parallel.
+pub fn quietly<T>(f: impl FnOnce() -> T) -> std::thread::Result<T> {
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(hook);
+    out
+}

@@ -8,23 +8,12 @@
 //! sequential executor even the *same* store stays structurally sound
 //! enough to inspect.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mpl_runtime::{Runtime, RuntimeConfig, Value};
 
-/// Runs `f` with panic output silenced (these panics are the point).
-/// Serialized: the panic hook is process-global, and the test harness
-/// runs tests in parallel.
-fn quietly<T>(f: impl FnOnce() -> T) -> std::thread::Result<T> {
-    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-    let _guard = HOOK_LOCK.lock().unwrap();
-    let hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let out = catch_unwind(AssertUnwindSafe(f));
-    std::panic::set_hook(hook);
-    out
-}
+mod common;
+use common::quietly;
 
 #[test]
 fn panic_in_left_branch_propagates() {
@@ -169,4 +158,60 @@ fn sequential_store_remains_inspectable_after_a_panic() {
     // The pinned object was never unpinned (its join never happened) —
     // that is the documented consequence of unwinding past a join.
     assert!(stats.pins >= 1);
+}
+
+#[test]
+fn pool_survives_a_task_panic_and_accepts_new_runs() {
+    // Regression: a panic unwinding through the persistent work-stealing
+    // pool must not leave any worker permanently parked or wedge the
+    // driver slot. The *same* runtime (same pool) must accept further
+    // `run` calls and still execute forks in parallel.
+    let rt = Runtime::new(RuntimeConfig::managed().with_threads(4));
+    for round in 0..3 {
+        let out = quietly(|| {
+            rt.run(|m| {
+                m.fork(
+                    |m| {
+                        let mut v = Value::Int(0);
+                        for i in 0..500 {
+                            v = m.alloc_ref(Value::Int(i));
+                        }
+                        v
+                    },
+                    |_| panic!("injected (pool round)"),
+                );
+                Value::Unit
+            })
+        });
+        assert!(out.is_err(), "round {round}: the panic must escape");
+        // The pool is immediately reusable: a real fork tree completes
+        // and produces the right answer.
+        let v = rt.run(|m| {
+            fn sum(m: &mut mpl_runtime::Mutator<'_>, depth: u32) -> i64 {
+                if depth == 0 {
+                    return 1;
+                }
+                let (a, b) = m.fork(
+                    |m| Value::Int(sum(m, depth - 1)),
+                    |m| Value::Int(sum(m, depth - 1)),
+                );
+                match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => x + y,
+                    _ => unreachable!(),
+                }
+            }
+            Value::Int(sum(m, 5))
+        });
+        assert_eq!(v, Value::Int(32), "round {round}: pool must still compute");
+    }
+    // And a *fresh* runtime (new pool) also works.
+    let rt2 = Runtime::new(RuntimeConfig::managed().with_threads(4));
+    let v = rt2.run(|m| {
+        let (a, b) = m.fork(|_| Value::Int(20), |_| Value::Int(22));
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            _ => unreachable!(),
+        }
+    });
+    assert_eq!(v, Value::Int(42));
 }

@@ -207,7 +207,10 @@ fn pressure() -> RuntimeConfig {
             cgc_trigger_pinned_bytes: 4 * 1024,
             immediate_chunk_free: true,
         },
-        store: StoreConfig { chunk_slots: 8 },
+        store: StoreConfig {
+            chunk_slots: 8,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     }
 }

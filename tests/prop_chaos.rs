@@ -1,0 +1,121 @@
+//! Property tests for the fault-injection and memory-pressure machinery.
+//!
+//! Two properties the chaos harness leans on:
+//!
+//! 1. **Schedule determinism** — a failpoint's fire decision is a pure
+//!    function of `(seed, site, hit#)`, so the *set* of firing hits is
+//!    identical across runs and thread counts (only arrival order may
+//!    differ). Without this, a chaos failure would not reproduce from
+//!    its seed.
+//! 2. **Heap-limit monotonicity** — if a program fits in budget `B`, it
+//!    fits in every budget `≥ B`. Without this, "raise the limit" would
+//!    not be a meaningful operator response to an `AllocError`.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use mpl_fail::{decides, FailAction, FailPlan, FailWhen};
+use mpl_runtime::{Runtime, RuntimeConfig, Value};
+
+/// The failpoint registry and fire log are process-global; serialize.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+const SITE: &str = "prop/site";
+
+/// Drives `hits` total hits of [`SITE`] across `threads` threads and
+/// returns the sorted hit numbers that fired.
+fn drive(plan: &FailPlan, hits: u64, threads: u64) -> Vec<u64> {
+    let owner = mpl_fail::install(plan);
+    let _ = mpl_fail::take_fire_log(); // drain leftovers
+    let per = hits / threads;
+    let rem = hits % threads;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let n = per + u64::from(t < rem);
+            s.spawn(move || {
+                for _ in 0..n {
+                    let _ = mpl_fail::hit(SITE);
+                }
+            });
+        }
+    });
+    let mut fired: Vec<u64> = mpl_fail::take_fire_log()
+        .into_iter()
+        .filter(|r| r.site == SITE)
+        .map(|r| r.hit)
+        .collect();
+    mpl_fail::uninstall(owner);
+    fired.sort_unstable();
+    fired
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn failpoint_fire_schedule_is_deterministic(
+        seed in 0u64..10_000,
+        k in 1u64..9,
+        hits in 1u64..300,
+    ) {
+        let _guard = REGISTRY_LOCK.lock().unwrap();
+        let when = FailWhen::OneIn(k);
+        let plan = FailPlan::new(seed).with(SITE, FailAction::Yield, when);
+        // The pure decision function is the reference schedule.
+        let expected: Vec<u64> = (1..=hits).filter(|&h| decides(seed, SITE, when, h)).collect();
+        // One thread, twice: identical.
+        prop_assert_eq!(&drive(&plan, hits, 1), &expected);
+        prop_assert_eq!(&drive(&plan, hits, 1), &expected);
+        // Four threads, same total hit count: the same set of hit
+        // numbers fires, regardless of which thread lands on each.
+        prop_assert_eq!(&drive(&plan, hits, 4), &expected);
+    }
+
+    #[test]
+    fn nth_failpoint_fires_exactly_once_at_n(
+        seed in 0u64..1000,
+        n in 1u64..50,
+        extra in 0u64..100,
+    ) {
+        let _guard = REGISTRY_LOCK.lock().unwrap();
+        let plan = FailPlan::new(seed).with(SITE, FailAction::Yield, FailWhen::Nth(n));
+        let fired = drive(&plan, n + extra, 1);
+        prop_assert_eq!(fired, vec![n]);
+    }
+
+    #[test]
+    fn heap_limit_is_monotonic(retain in 1usize..48, junk in 0usize..64) {
+        let _guard = REGISTRY_LOCK.lock().unwrap();
+        // A deterministic sequential program: retain `retain` rooted
+        // tuples, churn `junk` immediately-dead ones.
+        let run = |budget: usize| -> bool {
+            let rt = Runtime::new(RuntimeConfig::managed().with_heap_limit(budget));
+            rt.try_run(|m| {
+                for i in 0..retain {
+                    let t = m.alloc_tuple(&[Value::Int(i as i64), Value::Int(0)]);
+                    let _h = m.root(t);
+                }
+                for i in 0..junk {
+                    let _ = m.alloc_tuple(&[Value::Int(i as i64)]);
+                }
+                Value::Unit
+            })
+            .is_ok()
+        };
+        // Find the smallest power-of-two budget that fits.
+        let mut budget = 4 * 1024;
+        while !run(budget) {
+            budget *= 2;
+            prop_assert!(budget <= 16 * 1024 * 1024, "tiny program must fit eventually");
+        }
+        // Every larger budget also fits.
+        for factor in [2usize, 4, 16] {
+            prop_assert!(
+                run(budget * factor),
+                "fits in {budget} but not {}",
+                budget * factor
+            );
+        }
+    }
+}

@@ -15,7 +15,10 @@ fn gc_pressure() -> RuntimeConfig {
             cgc_trigger_pinned_bytes: 64 * 1024,
             immediate_chunk_free: true,
         },
-        store: StoreConfig { chunk_slots: 64 },
+        store: StoreConfig {
+            chunk_slots: 64,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     }
 }

@@ -15,7 +15,10 @@ fn threaded_pressure(threads: usize) -> RuntimeConfig {
             cgc_trigger_pinned_bytes: 32 * 1024,
             immediate_chunk_free: false,
         },
-        store: StoreConfig { chunk_slots: 32 },
+        store: StoreConfig {
+            chunk_slots: 32,
+            ..Default::default()
+        },
         ..RuntimeConfig::managed()
     }
     .with_threads_exact(threads)
@@ -287,7 +290,10 @@ fn buffered_remsets_flush_at_joins_under_audit() {
                 cgc_trigger_pinned_bytes: 16 * 1024,
                 immediate_chunk_free: false,
             },
-            store: StoreConfig { chunk_slots: 16 },
+            store: StoreConfig {
+                chunk_slots: 16,
+                ..Default::default()
+            },
             ..RuntimeConfig::managed()
         }
         .with_threads_exact(4)

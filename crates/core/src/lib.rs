@@ -59,7 +59,7 @@ pub mod runtime;
 
 pub use config::{Mode, RuntimeConfig, WorkModel};
 pub use mutator::{AllocError, Handle, Mutator, RootMark, ENTANGLEMENT_PANIC};
-pub use runtime::{Runtime, TelemetryReport};
+pub use runtime::{Runtime, TelemetryReport, TenantSession};
 
 // Re-export the fault-injection plan types so harnesses configure
 // failpoints without naming the leaf crate.
@@ -67,5 +67,8 @@ pub use mpl_fail::{FailAction, FailPlan, FailWhen, Failpoint};
 
 // Re-export the value types users interact with.
 pub use mpl_gc::GcPolicy;
-pub use mpl_heap::{to_dot as heap_dot, ObjKind, ObjRef, StatsSnapshot, StoreConfig, Value};
+pub use mpl_heap::{
+    to_dot as heap_dot, BudgetSnapshot, ObjKind, ObjRef, StatsSnapshot, StoreConfig, TenantBudget,
+    Value,
+};
 pub use mpl_sched::{simulate, sweep, Dag, SchedMode, SchedSnapshot, SimParams, SimResult};

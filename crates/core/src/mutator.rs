@@ -31,7 +31,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use mpl_gc::collect_local;
-use mpl_heap::{Chunk, ObjKind, ObjRef, Object, RemsetEntry, Value, Word};
+use mpl_heap::{Chunk, ObjKind, ObjRef, Object, RemsetEntry, TenantBudget, Value, Word};
 use mpl_sched::{DagBuilder, StrandId};
 
 use crate::config::Mode;
@@ -148,6 +148,14 @@ pub(crate) struct TaskCtx {
     /// a collection may drop a published entry (source died), so a
     /// later re-write of the same field must be able to re-insert it.
     pub(crate) remset_seen: HashSet<(u32, ObjRef, u32)>,
+    /// The tenant budget the leaf heap is accounted against (resolved
+    /// once at task setup; child heaps inherit it at fork). `None` for
+    /// unbudgeted tasks — the common case, which pays one branch.
+    pub(crate) budget: Option<Arc<TenantBudget>>,
+    /// True for a tenant-session root task: its root stack is owned (and
+    /// registered) by the session, not this task, so `finish_task` must
+    /// not deregister it.
+    pub(crate) persistent: bool,
 }
 
 /// Task-buffered counters, flushed to the global [`mpl_heap::StoreStats`]
@@ -194,6 +202,9 @@ impl TaskCtx {
     ) -> TaskCtx {
         let roots = Arc::new(RootStack::new());
         rt.register_roots(&roots);
+        let budget = rt
+            .store()
+            .budget_of(*path.last().expect("task path is never empty"));
         TaskCtx {
             path,
             roots,
@@ -208,6 +219,44 @@ impl TaskCtx {
             saw_remote: false,
             remset_buf: Vec::new(),
             remset_seen: HashSet::new(),
+            budget,
+            persistent: false,
+        }
+    }
+
+    /// A root task resuming on a persistent tenant session: reuses the
+    /// session's already-registered root stack (handles created in
+    /// earlier requests stay valid) and restores the session's carried
+    /// collection debt, so garbage accumulated across requests still
+    /// triggers the root heap's local collections.
+    pub(crate) fn resume(
+        path: Vec<u32>,
+        dag: Option<Arc<DagBuilder>>,
+        strand: StrandId,
+        rt: &Runtime,
+        roots: Arc<RootStack>,
+        alloc_since: usize,
+        lgc_budget: usize,
+    ) -> TaskCtx {
+        let budget = rt
+            .store()
+            .budget_of(*path.last().expect("task path is never empty"));
+        TaskCtx {
+            path,
+            roots,
+            alloc_since,
+            dag,
+            strand,
+            work: 0,
+            chunk_cache: [None, None, None, None],
+            alloc_cache: None,
+            pending: PendingStats::default(),
+            lgc_budget: lgc_budget.max(rt.config().policy.lgc_trigger_bytes),
+            saw_remote: false,
+            remset_buf: Vec::new(),
+            remset_seen: HashSet::new(),
+            budget,
+            persistent: true,
         }
     }
 }
@@ -251,7 +300,11 @@ impl<'rt> Mutator<'rt> {
     pub(crate) fn finish_task(&mut self) {
         self.flush_work();
         self.flush_remset();
-        self.rt.unregister_roots(&self.ctx.roots);
+        // A session root task borrows the session's persistent stack —
+        // it stays registered (a CGC root) for the session's lifetime.
+        if !self.ctx.persistent {
+            self.rt.unregister_roots(&self.ctx.roots);
+        }
         self.ctx.dag = None;
     }
 
@@ -269,6 +322,10 @@ impl<'rt> Mutator<'rt> {
         let p = std::mem::take(&mut self.ctx.pending);
         if p.is_empty() {
             return;
+        }
+        // Tenant accounting rides the same batch the global gauge uses.
+        if let Some(budget) = &self.ctx.budget {
+            budget.charge(p.alloc_bytes);
         }
         let stats = self.rt.store().stats();
         stats.on_alloc_batch(p.allocs, p.alloc_bytes);
@@ -550,6 +607,12 @@ impl<'rt> Mutator<'rt> {
                 live_bytes: self.rt.store().stats().snapshot().live_bytes,
             });
         }
+        // The store path bumps the global gauge immediately (bypassing the
+        // pending batch), so tenant accounting must follow suit here or
+        // chunk-overflowing (large) allocations escape their budget.
+        if let Some(budget) = &self.ctx.budget {
+            budget.charge(size);
+        }
         let r = self.rt.store().alloc_object(self.leaf_heap(), obj);
         self.ctx.alloc_cache = self
             .rt
@@ -827,12 +890,21 @@ impl<'rt> Mutator<'rt> {
                 pair
             };
 
+        // Cleanup precedes any re-raise: the join must merge both child
+        // heaps (sealing their entangled indexes and applying
+        // unpin-at-join) and the parked sibling result must be released
+        // even when a branch panicked — otherwise a shed request leaks
+        // pins and pending-slot roots for the runtime's lifetime.
         let join = self.rt.store().join(parent_heap, lh, rh);
         self.rt.unpark_result(lslot);
         self.rt.unpark_result(rslot);
         if let Some(dag) = &self.ctx.dag {
             self.ctx.strand = dag.join(lend, rend);
         }
+        let (lv, rv) = match (lv, rv) {
+            (Ok(l), Ok(r)) => (l, r),
+            (Err(p), _) | (_, Err(p)) => std::panic::resume_unwind(p),
+        };
         if self.ctx.path.len() == 1 {
             // Root-level join: every other task has completed, so retired
             // chunks are unreachable by construction.
@@ -889,31 +961,60 @@ impl<'rt> Mutator<'rt> {
     /// Called before field encoding, where the not-yet-allocated pointer
     /// fields can still ride through the moving collection as roots —
     /// after encoding they would go stale.
+    /// True when the global heap limit or this task's tenant budget
+    /// would be exceeded by an allocation of `size` bytes.
+    fn over_budget(&self, size: usize) -> bool {
+        self.rt.store().over_limit(size)
+            || self
+                .ctx
+                .budget
+                .as_ref()
+                .is_some_and(|b| b.would_exceed(size))
+    }
+
     fn ensure_heap_budget(&mut self, size: usize, extra: &mut [Value]) {
         let rt = self.rt;
-        if !rt.store().over_limit(size) {
+        if !self.over_budget(size) {
             return;
         }
-        // The gauge lags task-buffered stats; make it current before
+        // The gauges lag task-buffered stats; make them current before
         // paying for a collection.
         self.flush_stats();
-        if !rt.store().over_limit(size) {
+        if !self.over_budget(size) {
             return;
         }
         let stats = rt.store().stats();
+        if let Some(b) = &self.ctx.budget {
+            if b.would_exceed(size) {
+                b.on_forced_gc();
+            }
+        }
         stats.on_gc_forced_by_pressure();
         self.run_lgc(extra);
         stats.on_alloc_retry();
-        if !rt.store().over_limit(size) {
+        if !self.over_budget(size) {
             return;
         }
         stats.on_gc_forced_by_pressure();
         rt.force_cgc();
         stats.on_alloc_retry();
-        if !rt.store().over_limit(size) {
+        if !self.over_budget(size) {
             return;
         }
         stats.on_alloc_failure();
+        // Attribute the failure to the constraint still violated: the
+        // tenant budget (the serving layer's shed signal) if it is the
+        // binding one, else the global limit.
+        if let Some(b) = self.ctx.budget.clone() {
+            if b.would_exceed(size) {
+                b.on_shed();
+                std::panic::panic_any(AllocError {
+                    requested: size,
+                    limit: b.limit(),
+                    live_bytes: b.live_bytes(),
+                });
+            }
+        }
         let live = rt.store().stats().snapshot().live_bytes;
         std::panic::panic_any(AllocError {
             requested: size,
@@ -1001,16 +1102,24 @@ fn run_branch<F>(
     dag: Option<Arc<DagBuilder>>,
     strand: StrandId,
     body: F,
-) -> (Value, StrandId, Option<usize>)
+) -> (std::thread::Result<Value>, StrandId, Option<usize>)
 where
     F: FnOnce(&mut Mutator<'_>) -> Value,
 {
     let ctx = TaskCtx::new(path, dag, strand, rt);
     let mut m = Mutator::new(rt, ctx);
-    let v = body(&mut m);
+    // A panicking branch (entanglement abort, AllocError, injected
+    // fault) is caught here and re-raised by the parent's join *after*
+    // both child heaps merged and the sibling's parked result was
+    // released — the caught payload rides back as a value so the fork
+    // can run its cleanup unconditionally.
+    let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut m)));
     // Park the result before dropping the task's roots so a concurrent
     // collection between branch completion and the join still sees it.
-    let slot = rt.park_result(v);
+    let slot = match &v {
+        Ok(v) => rt.park_result(*v),
+        Err(_) => None,
+    };
     let end = m.ctx.strand;
     m.finish_task();
     (v, end, slot)

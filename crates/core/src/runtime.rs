@@ -10,7 +10,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use mpl_gc::{CgcState, Graveyard};
-use mpl_heap::{ObjRef, StatsSnapshot, Store, Value};
+use mpl_heap::{ObjRef, StatsSnapshot, Store, TenantBudget, Value};
 use mpl_sched::{Dag, DagBuilder, Executor, SchedMode, SchedSnapshot, StrandId, TokenPool};
 
 use crate::config::RuntimeConfig;
@@ -21,7 +21,7 @@ use crate::roots::RootStack;
 /// sub-second benchmark runs collect a useful gauge series.
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(25);
 
-/// Both exporter documents produced by [`Runtime::telemetry_report`].
+/// The exporter documents produced by [`Runtime::telemetry_report`].
 #[derive(Debug, Clone)]
 pub struct TelemetryReport {
     /// `chrome://tracing`-loadable trace-event JSON: one track per
@@ -31,6 +31,42 @@ pub struct TelemetryReport {
     /// Prometheus text-exposition document: runtime counters and gauges
     /// plus the pause/latency histograms.
     pub prometheus: String,
+    /// Machine-readable JSON document: the same counters and gauges,
+    /// histogram percentile summaries (p50/p90/p99/p999/max in
+    /// nanoseconds), and the sampler's gauge series — what the E12 SLO
+    /// reporter and CI assertions parse instead of scraping text.
+    pub json: String,
+}
+
+/// A persistent tenant execution context on one [`Runtime`]: a dedicated
+/// root heap (with an optional [`TenantBudget`] attached, inherited by
+/// every heap forked under it), plus a root stack that survives across
+/// [`Runtime::run_session`] calls so [`crate::mutator::Handle`]s created
+/// in one request stay valid — and stay CGC roots — in the next.
+///
+/// Collection debt (`alloc_since` / the size-proportional LGC budget) is
+/// carried across requests: garbage accumulated in the tenant's root
+/// heap over many small requests still triggers local collections, which
+/// is what keeps a minutes-long serving run's memory flat.
+#[derive(Debug)]
+pub struct TenantSession {
+    root_heap: u32,
+    roots: Arc<RootStack>,
+    budget: Option<Arc<TenantBudget>>,
+    alloc_debt: std::sync::atomic::AtomicUsize,
+    lgc_budget: std::sync::atomic::AtomicUsize,
+}
+
+impl TenantSession {
+    /// The tenant's root heap id.
+    pub fn root_heap(&self) -> u32 {
+        self.root_heap
+    }
+
+    /// The tenant's budget handle, if one was configured.
+    pub fn budget(&self) -> Option<&Arc<TenantBudget>> {
+        self.budget.as_ref()
+    }
 }
 
 /// The runtime: store + collectors + scheduler state.
@@ -190,13 +226,30 @@ impl Runtime {
     where
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
+        let root_heap = self.store.new_root_heap();
+        self.run_root(root_heap, None, f)
+    }
+
+    /// The shared body of [`Runtime::run`] and [`Runtime::run_session`]:
+    /// runs `f` as a root task on `root_heap`, with the cleanup a
+    /// panicking program needs running unconditionally — the task's
+    /// buffered remsets flush and its root-stack registration drops
+    /// (`finish_task`), the graveyard drains, and a half-built DAG
+    /// recording is discarded — before the payload is re-raised. By the
+    /// time a panic reaches here every fork inside `f` has already
+    /// joined (joins complete both branches and merge their heaps before
+    /// re-raising), so the program is quiescent and draining is safe.
+    fn run_root<F>(&self, root_heap: u32, session: Option<&TenantSession>, f: F) -> Value
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        use std::sync::atomic::Ordering;
         // Install this thread as the pool's driver (worker 0) so forks
         // push onto a deque instead of spawning threads. If another
         // thread is mid-`run` and holds the slot, forks from this call
         // fall back to inline sequential execution — correct, just not
         // parallel.
         let _driver = self.executor.as_deref().and_then(Executor::install_driver);
-        let root_heap = self.store.new_root_heap();
         let dag = if self.config.record_dag {
             let (builder, root_strand) = DagBuilder::new();
             let arc = Arc::new(builder);
@@ -209,17 +262,42 @@ impl Runtime {
             Some((a, s)) => (Some(a), s),
             None => (None, StrandId(0)),
         };
-        let ctx = TaskCtx::new(vec![root_heap], dag_arc, strand, self);
+        let ctx = match session {
+            Some(s) => TaskCtx::resume(
+                vec![root_heap],
+                dag_arc,
+                strand,
+                self,
+                Arc::clone(&s.roots),
+                s.alloc_debt.load(Ordering::Relaxed),
+                s.lgc_budget.load(Ordering::Relaxed),
+            ),
+            None => TaskCtx::new(vec![root_heap], dag_arc, strand, self),
+        };
         let mut m = Mutator::new(self, ctx);
-        let v = f(&mut m);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut m)));
+        if let Some(s) = session {
+            // Carry the collection debt into the next request on this
+            // session (even after a shed: the garbage is still there).
+            s.alloc_debt.store(m.ctx.alloc_since, Ordering::Relaxed);
+            s.lgc_budget.store(m.ctx.lgc_budget, Ordering::Relaxed);
+        }
         m.finish_task();
+        drop(m);
         self.graveyard.drain(&self.store);
         if let Some(builder) = self.dag.lock().take() {
-            let builder =
-                Arc::try_unwrap(builder).expect("DAG builder still shared after all tasks joined");
-            *self.last_dag.lock() = Some(builder.finish());
+            match Arc::try_unwrap(builder) {
+                Ok(builder) => *self.last_dag.lock() = Some(builder.finish()),
+                // A panic can leave strands un-joined; the partial
+                // recording is useless — drop it rather than poisoning
+                // the next run.
+                Err(_) => *self.last_dag.lock() = None,
+            }
         }
-        v
+        match result {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Like [`Runtime::run`], but catches an [`AllocError`] unwinding out
@@ -250,6 +328,94 @@ impl Runtime {
     /// `record_dag` was set).
     pub fn take_dag(&self) -> Option<Dag> {
         self.last_dag.lock().take()
+    }
+
+    // ---- persistent tenant sessions ------------------------------------
+
+    /// Creates a persistent tenant session: a dedicated root heap with a
+    /// [`TenantBudget`] of `budget_bytes` attached (`0` = unlimited,
+    /// accounting only), and a root stack that outlives individual
+    /// [`Runtime::run_session`] calls. The budget is inherited by every
+    /// heap forked under the session's root, so the tenant's whole
+    /// request DAGs are accounted against it.
+    pub fn new_tenant(&self, name: &str, budget_bytes: usize) -> TenantSession {
+        let root_heap = self.store.new_root_heap();
+        let budget = TenantBudget::new(name, budget_bytes);
+        self.store.set_heap_budget(root_heap, Arc::clone(&budget));
+        let roots = Arc::new(RootStack::new());
+        // Registered for the session's lifetime: objects rooted in one
+        // request stay CGC roots until `retire_session`.
+        self.register_roots(&roots);
+        TenantSession {
+            root_heap,
+            roots,
+            budget: Some(budget),
+            alloc_debt: std::sync::atomic::AtomicUsize::new(0),
+            lgc_budget: std::sync::atomic::AtomicUsize::new(self.config.policy.lgc_trigger_bytes),
+        }
+    }
+
+    /// Runs one request on a tenant session. Like [`Runtime::run`], but
+    /// the root task executes on the session's persistent root heap and
+    /// root stack: handles rooted in earlier requests resolve, objects
+    /// they reference survive collections, and the session's carried
+    /// collection debt keeps the root heap's LGC firing across requests.
+    ///
+    /// Requests on the *same* session must not run concurrently (the
+    /// root stack is single-owner); different sessions are independent.
+    pub fn run_session<F>(&self, session: &TenantSession, f: F) -> Value
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        self.run_root(session.root_heap, Some(session), f)
+    }
+
+    /// Like [`Runtime::run_session`], but catches an [`AllocError`]
+    /// (tenant budget exhausted, global limit hit, or an injected
+    /// allocation fault) and returns it as a value — the admission
+    /// control path a serving layer sheds requests on. The session
+    /// remains usable afterwards.
+    ///
+    /// [`AllocError`]: crate::mutator::AllocError
+    pub fn try_run_session<F>(
+        &self,
+        session: &TenantSession,
+        f: F,
+    ) -> Result<Value, crate::mutator::AllocError>
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_session(session, f)
+        })) {
+            Ok(v) => Ok(v),
+            Err(payload) => match payload.downcast::<crate::mutator::AllocError>() {
+                Ok(e) => Err(*e),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+
+    /// Retires a tenant session: deregisters its persistent root stack,
+    /// letting the concurrent collector reclaim everything only the
+    /// session kept alive. The session's heaps remain valid (heap ids
+    /// are never reused) but nothing roots them anymore.
+    pub fn retire_session(&self, session: &TenantSession) {
+        self.unregister_roots(&session.roots);
+    }
+
+    /// Number of root stacks currently registered with the concurrent
+    /// collector (live tasks + persistent sessions). Diagnostics: a
+    /// completed request must leave exactly the persistent sessions.
+    pub fn live_root_stacks(&self) -> usize {
+        self.roots.lock().len()
+    }
+
+    /// Number of branch results currently parked for the concurrent
+    /// collector. Diagnostics: zero between requests — a leak here keeps
+    /// dead objects alive forever.
+    pub fn parked_results(&self) -> usize {
+        self.pending.lock().iter().flatten().count()
     }
 
     // ---- task-root registry (CGC root set) -----------------------------
@@ -431,9 +597,11 @@ impl Runtime {
     pub fn telemetry_report(&self) -> TelemetryReport {
         let samples = self.telemetry_samples();
         let spans = mpl_obs::snapshot_spans();
+        let stats = self.stats();
         TelemetryReport {
             chrome_trace: mpl_obs::chrome_trace(&spans, &samples),
-            prometheus: build_prometheus(&self.stats(), samples.last()),
+            prometheus: build_prometheus(&stats, samples.last()),
+            json: build_json(&stats, &samples),
         }
     }
 }
@@ -697,6 +865,84 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
             &snap,
         );
     }
+    w.finish()
+}
+
+/// Assembles the machine-readable JSON telemetry document: counters,
+/// gauges, per-metric histogram percentile summaries (nanoseconds), and
+/// the sampler's gauge series. Consumed by the E12 SLO reporter and CI
+/// assertions (live-bytes slope, pause percentiles) instead of scraping
+/// the Prometheus text.
+fn build_json(s: &StatsSnapshot, samples: &[mpl_obs::Sample]) -> String {
+    let mut w = mpl_obs::JsonWriter::new();
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (name, v) in [
+        ("allocs", s.allocs),
+        ("alloc_bytes", s.alloc_bytes),
+        ("barrier_reads", s.barrier_reads),
+        ("barrier_writes", s.barrier_writes),
+        ("barrier_read_fast", s.barrier_read_fast),
+        ("barrier_read_slow", s.barrier_read_slow),
+        ("barrier_write_fast", s.barrier_write_fast),
+        ("barrier_write_slow", s.barrier_write_slow),
+        ("entangled_reads", s.entangled_reads),
+        ("entangled_writes", s.entangled_writes),
+        ("pins", s.pins),
+        ("unpins", s.unpins),
+        ("remset_inserts", s.remset_inserts),
+        ("remset_flushes", s.remset_flushes),
+        ("lgc_runs", s.lgc_runs),
+        ("lgc_copied_bytes", s.lgc_copied_bytes),
+        ("lgc_reclaimed_bytes", s.lgc_reclaimed_bytes),
+        ("cgc_runs", s.cgc_runs),
+        ("cgc_swept_bytes", s.cgc_swept_bytes),
+        ("lgc_dead_traced", s.lgc_dead_traced),
+        ("sched_pushes", s.sched_pushes),
+        ("sched_steals", s.sched_steals),
+        ("sched_sequentialized", s.sched_sequentialized),
+        ("sched_parks", s.sched_parks),
+        ("gc_forced_by_pressure", s.gc_forced_by_pressure),
+        ("alloc_retries", s.alloc_retries),
+        ("alloc_failures", s.alloc_failures),
+        ("failpoint_fires", s.failpoint_fires),
+        ("audit_runs", s.audit_runs),
+        ("audit_objects_checked", s.audit_objects_checked),
+    ] {
+        w.field_u64(name, v);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    w.field_u64("live_bytes", s.live_bytes as u64);
+    w.field_u64("max_live_bytes", s.max_live_bytes as u64);
+    w.field_u64("pinned_bytes", s.pinned_bytes as u64);
+    w.field_u64("max_pinned_bytes", s.max_pinned_bytes as u64);
+    w.end_object();
+    w.key("histograms_ns").begin_object();
+    for (metric, snap) in mpl_obs::metric_snapshots() {
+        w.key(metric.name()).begin_object();
+        w.field_u64("count", snap.count);
+        w.field_u64("p50", snap.percentile(0.50));
+        w.field_u64("p90", snap.percentile(0.90));
+        w.field_u64("p99", snap.percentile(0.99));
+        w.field_u64("p999", snap.percentile(0.999));
+        w.field_u64("max", snap.max);
+        w.field_f64("mean", snap.mean());
+        w.end_object();
+    }
+    w.end_object();
+    w.key("samples").begin_array();
+    for sample in samples {
+        w.begin_object();
+        w.field_u64("t_ns", sample.t_ns);
+        w.field_u64("live_bytes", sample.live_bytes);
+        w.field_u64("pinned_bytes", sample.pinned_bytes);
+        w.field_f64("alloc_bytes_per_s", sample.alloc_bytes_per_s);
+        w.field_f64("worker_utilization", sample.worker_utilization);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
     w.finish()
 }
 

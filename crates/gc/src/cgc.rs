@@ -353,6 +353,7 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
         return; // freed between slices
     };
     let mut retainers = 0usize;
+    let mut swept_here = 0usize;
     for (slot, obj) in chunk.objects() {
         let header = obj.header();
         if header.is_dead() {
@@ -382,8 +383,17 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
             events::emit(EventKind::DeadMark, cid, slot, DEAD_BY_CGC);
             out.swept_bytes += size as u64;
             out.swept_objects += 1;
+            swept_here += size;
         } else {
             retainers += 1;
+        }
+    }
+    if swept_here != 0 {
+        // Mirror the global live-bytes adjustment onto the tenant budget
+        // of the chunk's (canonical) owning heap, if any.
+        let owner = store.heaps().find(chunk.owner());
+        if let Some(budget) = store.heaps().info(owner).budget() {
+            budget.credit(swept_here);
         }
     }
     if retainers == 0 && chunk.is_full() {

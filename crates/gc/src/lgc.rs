@@ -626,6 +626,11 @@ pub fn collect_local(
         out.reclaimed_bytes,
         out.retained_entangled_bytes,
     );
+    // Mirror the global live-bytes adjustment onto the tenant budget this
+    // heap is accounted against, if any.
+    if let Some(budget) = info.budget() {
+        budget.credit(out.reclaimed_bytes as usize);
+    }
     // Phase-boundary audit (formerly an ad-hoc MPL_DEBUG_LGC_VALIDATE
     // dangling-field scan printed to stderr): the reclaim-class audit
     // re-validates the shield, cross-checks reachability against dead

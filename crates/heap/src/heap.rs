@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::budget::TenantBudget;
 use crate::chunk::Chunk;
 use crate::value::ObjRef;
 
@@ -51,6 +52,10 @@ pub struct HeapInfo {
     /// registrations redirect to the parent (see
     /// [`HeapTable::register_entangled`]).
     entangled: Mutex<EntangledIndex>,
+    /// The tenant budget this heap's live bytes are accounted against,
+    /// if any. Set on a tenant's root heap and inherited by every child
+    /// heap at fork; read only on cold paths (task setup, collections).
+    budget: Mutex<Option<Arc<TenantBudget>>>,
 }
 
 /// The per-heap entangled-object index. `sealed_into` linearizes pin
@@ -193,6 +198,18 @@ impl HeapInfo {
     pub fn entangled_len(&self) -> usize {
         self.entangled.lock().buckets.iter().map(|b| b.len()).sum()
     }
+
+    /// The tenant budget this heap is accounted against, if any.
+    pub fn budget(&self) -> Option<Arc<TenantBudget>> {
+        self.budget.lock().clone()
+    }
+
+    /// Attaches (or clears) the tenant budget for this heap. Children
+    /// created after this call inherit it; existing children are
+    /// unaffected.
+    pub fn set_budget(&self, budget: Option<Arc<TenantBudget>>) {
+        *self.budget.lock() = budget;
+    }
 }
 
 /// The table of all heaps, with union-find merging.
@@ -207,7 +224,7 @@ impl HeapTable {
         HeapTable::default()
     }
 
-    fn push(&self, parent: u32, depth: u16) -> u32 {
+    fn push(&self, parent: u32, depth: u16, budget: Option<Arc<TenantBudget>>) -> u32 {
         let mut table = self.heaps.write();
         let id = u32::try_from(table.len()).expect("heap id overflow");
         table.push(Arc::new(HeapInfo {
@@ -219,6 +236,7 @@ impl HeapTable {
             alloc_chunk: Mutex::new(None),
             remset: Mutex::new(Vec::new()),
             entangled: Mutex::new(EntangledIndex::default()),
+            budget: Mutex::new(budget),
         }));
         id
     }
@@ -226,19 +244,23 @@ impl HeapTable {
     /// Creates a root heap (depth 0, its own parent).
     pub fn new_root(&self) -> u32 {
         let id = { self.heaps.read().len() as u32 };
-        self.push(id, 0)
+        self.push(id, 0, None)
     }
 
-    /// Creates the two child heaps of a fork.
+    /// Creates the two child heaps of a fork. Both children inherit the
+    /// parent's tenant budget, so a whole tenant subtree is accounted
+    /// against one limit.
     ///
     /// # Panics
     ///
     /// Panics if `parent` is not canonical (merged heaps cannot fork).
     pub fn fork(&self, parent: u32) -> (u32, u32) {
         assert_eq!(self.find(parent), parent, "fork from a merged heap");
-        let depth = self.info(parent).depth() + 1;
-        let l = self.push(parent, depth);
-        let r = self.push(parent, depth);
+        let parent_info = self.info(parent);
+        let depth = parent_info.depth() + 1;
+        let budget = parent_info.budget();
+        let l = self.push(parent, depth, budget.clone());
+        let r = self.push(parent, depth, budget);
         (l, r)
     }
 
@@ -650,5 +672,23 @@ mod tests {
         info.add_entangled(ObjRef::new(0, 1), 0);
         assert_eq!(info.entangled_len(), 1);
         assert_eq!(info.take_entangled().len(), 1);
+    }
+
+    #[test]
+    fn fork_inherits_tenant_budget() {
+        let t = HeapTable::new();
+        let root = t.new_root();
+        assert!(t.info(root).budget().is_none(), "roots start unbudgeted");
+        let b = TenantBudget::new("tenant", 4096);
+        t.info(root).set_budget(Some(b.clone()));
+        let (l, r) = t.fork(root);
+        let (ll, lr) = t.fork(l);
+        for h in [l, r, ll, lr] {
+            let got = t.info(h).budget().expect("child inherits budget");
+            assert!(Arc::ptr_eq(&got, &b), "one shared budget per subtree");
+        }
+        // A different root stays unbudgeted.
+        let other = t.new_root();
+        assert!(t.info(other).budget().is_none());
     }
 }

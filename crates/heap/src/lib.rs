@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod chunk;
 pub mod events;
 pub mod header;
@@ -50,6 +51,7 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
+pub use budget::{BudgetSnapshot, TenantBudget};
 pub use chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
 pub use events::{Event, EventKind};
 pub use header::{Header, ObjKind, NO_PIN_LEVEL};

@@ -9,6 +9,7 @@
 use std::ops::Deref;
 use std::sync::Arc;
 
+use crate::budget::TenantBudget;
 use crate::chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
 use crate::events::{self, EventKind};
 use crate::header::ObjKind;
@@ -322,6 +323,21 @@ impl Store {
     /// Creates a root heap and returns its id.
     pub fn new_root_heap(&self) -> u32 {
         self.heaps.new_root()
+    }
+
+    /// Attaches a tenant budget to `heap` (canonicalized). Heaps forked
+    /// under it from then on inherit the budget, so the tenant's whole
+    /// subtree is accounted against one limit.
+    pub fn set_heap_budget(&self, heap: u32, budget: Arc<TenantBudget>) {
+        self.heaps
+            .info(self.heaps.find(heap))
+            .set_budget(Some(budget));
+    }
+
+    /// The tenant budget the (canonicalized) heap is accounted against,
+    /// if any.
+    pub fn budget_of(&self, heap: u32) -> Option<Arc<TenantBudget>> {
+        self.heaps.info(self.heaps.find(heap)).budget()
     }
 
     /// Creates the two child heaps of a fork from `parent`.

@@ -1,0 +1,240 @@
+//! A minimal streaming JSON writer.
+//!
+//! `mpl-obs` is a leaf crate — it cannot depend on `serde` — yet the
+//! runtime's machine-readable telemetry report and the serving layer's
+//! SLO reports need well-formed JSON that CI can parse. [`JsonWriter`]
+//! produces it with explicit begin/end calls and automatic comma
+//! placement; the writer tracks nesting so a misuse (closing more than
+//! was opened) panics in tests instead of emitting garbage.
+
+/// A push-style JSON writer. Values appended at the top level or inside
+/// arrays use the `value_*`/`begin_*` calls; inside objects use the
+/// `field_*`/`key` calls.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container: `true` once the first element has
+    /// been written (so the next element is comma-prefixed).
+    frames: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(written) = self.frames.last_mut() {
+            if *written {
+                self.out.push(',');
+            }
+            *written = true;
+        }
+    }
+
+    fn push_str_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.frames.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.frames.pop().expect("end_object with nothing open");
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.frames.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.frames.pop().expect("end_array with nothing open");
+        self.out.push(']');
+        self
+    }
+
+    /// Writes an object key; the next `value_*`/`begin_*` call is its
+    /// value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        self.push_str_escaped(k);
+        self.out.push(':');
+        // The key's comma slot is spent; the value itself must not add one.
+        if let Some(written) = self.frames.last_mut() {
+            *written = false;
+        }
+        self
+    }
+
+    /// Writes an unsigned-integer value.
+    pub fn value_u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a signed-integer value.
+    pub fn value_i64(&mut self, v: i64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value (`null` for non-finite floats, which JSON
+    /// cannot represent).
+    pub fn value_f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:.6}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn value_str(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        self.push_str_escaped(v);
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn value_bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// `"k": <u64>` in one call.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).value_u64(v)
+    }
+
+    /// `"k": <i64>` in one call.
+    pub fn field_i64(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k).value_i64(v)
+    }
+
+    /// `"k": <f64>` in one call.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).value_f64(v)
+    }
+
+    /// `"k": "<str>"` in one call.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).value_str(v)
+    }
+
+    /// `"k": <bool>` in one call.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).value_bool(v)
+    }
+
+    /// Finishes the document and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a container is still open.
+    pub fn finish(self) -> String {
+        assert!(
+            self.frames.is_empty(),
+            "unbalanced JSON writer: {} container(s) still open",
+            self.frames.len()
+        );
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_round_trips_by_eye() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "e12");
+        w.field_u64("requests", 1000);
+        w.field_f64("p99_ms", 1.5);
+        w.field_bool("ok", true);
+        w.key("rates").begin_array();
+        w.value_u64(100).value_u64(200);
+        w.end_array();
+        w.key("tenants").begin_array();
+        w.begin_object().field_str("id", "t0").end_object();
+        w.begin_object().field_str("id", "t1").end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"e12","requests":1000,"p99_ms":1.500000,"ok":true,"rates":[100,200],"tenants":[{"id":"t0"},{"id":"t1"}]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("k", "a\"b\\c\nd\te\u{1}");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"k":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a").begin_array().end_array();
+        w.key("b").begin_object().end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.value_f64(f64::NAN)
+            .value_f64(f64::INFINITY)
+            .value_f64(1.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,1.000000]");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_finish_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.finish();
+    }
+}

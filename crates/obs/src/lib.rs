@@ -34,14 +34,21 @@
 //! variable force-enables collection for a whole process.
 
 pub mod chrome;
+pub mod family;
 pub mod hist;
+pub mod json;
 pub mod metrics;
 pub mod prom;
 pub mod sampler;
 pub mod span;
 
 pub use chrome::chrome_trace;
+pub use family::{
+    family_counter, family_counter_add, family_counters, family_histogram, family_snapshots,
+    reset_families,
+};
 pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, BUCKETS};
+pub use json::JsonWriter;
 pub use metrics::{
     histogram, metric_snapshots, record_duration, reset_metrics, timer, Metric, Timer, METRIC_COUNT,
 };

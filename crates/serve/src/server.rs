@@ -1,0 +1,298 @@
+//! The open-loop dispatcher: admission control, shed/retry, SLO capture.
+
+use std::time::{Duration, Instant};
+
+use mpl_heap::Value;
+use mpl_runtime::Runtime;
+
+use crate::report::{live_slope, GcReport, ServerReport, TenantReport};
+use crate::tenant::{Tenant, TenantSpec};
+use crate::traffic::{schedule, schedule_digest, TrafficConfig};
+use crate::workload::run_request;
+
+/// Failpoint site on the admission path: an injected `Error` here sheds
+/// the request before it touches the runtime (simulating an upstream
+/// admission-control fault).
+pub const FP_ADMIT: &str = "serve/admit";
+/// Failpoint site on the shed path: fires as a request is being shed for
+/// budget reasons (chaos schedules use it to add delay/yield storms in
+/// exactly the moments the server is degraded).
+pub const FP_SHED: &str = "serve/shed";
+
+/// Default admission estimate: a request is admitted only if the tenant
+/// budget has at least this much headroom (after at most one maintenance
+/// collection). Coarse on purpose — admission is a gate, not a meter.
+pub const DEFAULT_ADMIT_ESTIMATE: usize = 32 * 1024;
+
+/// A multi-tenant server bound to one persistent [`Runtime`].
+pub struct Server<'rt> {
+    rt: &'rt Runtime,
+    /// Live tenants, in spec order. Arrivals are routed modulo this.
+    pub tenants: Vec<Tenant>,
+    /// Admission headroom estimate in bytes (see [`DEFAULT_ADMIT_ESTIMATE`]).
+    pub admit_estimate: usize,
+}
+
+impl<'rt> Server<'rt> {
+    /// Creates all tenants (allocating their budgeted sessions) on `rt`.
+    pub fn new(rt: &'rt Runtime, specs: Vec<TenantSpec>) -> Server<'rt> {
+        let tenants = specs.into_iter().map(|s| Tenant::create(rt, s)).collect();
+        Server {
+            rt,
+            tenants,
+            admit_estimate: DEFAULT_ADMIT_ESTIMATE,
+        }
+    }
+
+    /// Runs one open-loop traffic schedule to completion and reports.
+    ///
+    /// The dispatcher replays the precomputed schedule against real time:
+    /// it sleeps until each arrival's instant, then admits or sheds. A
+    /// request's latency is `completion − scheduled arrival`, so time a
+    /// request spends queued behind a slow predecessor counts against the
+    /// SLO (no coordinated omission). Admission control:
+    ///
+    /// 1. the `serve/admit` failpoint may shed it (injected fault);
+    /// 2. if the tenant budget lacks [`Self::admit_estimate`] headroom,
+    ///    one maintenance collection runs on the tenant's root heap and
+    ///    the check retries — still over means shed (`serve/shed` fires,
+    ///    the budget records it);
+    /// 3. admitted requests that still exhaust the budget mid-flight are
+    ///    shed by the `AllocError` backstop, leaving the session intact.
+    pub fn run(&mut self, traffic: &TrafficConfig) -> ServerReport {
+        let sched = schedule(traffic);
+        let digest = schedule_digest(&sched);
+        let offered = sched.len();
+        let stats0 = self.rt.stats();
+        let samples0 = self.rt.telemetry_samples().len();
+        let ntenants = self.tenants.len().max(1);
+        let lat0: Vec<_> = self.tenants.iter().map(|t| t.latency.snapshot()).collect();
+        // Tenant counters accumulate for the server's lifetime; the
+        // report covers this run only.
+        let counts0: Vec<[u64; 5]> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                [
+                    t.admitted,
+                    t.completed,
+                    t.shed_budget,
+                    t.shed_injected,
+                    t.maintenance_gcs,
+                ]
+            })
+            .collect();
+        let t0 = Instant::now();
+        for a in &sched {
+            // Open loop: wait out the gap to the scheduled instant.
+            let target = Duration::from_nanos(a.at_ns);
+            loop {
+                let now = t0.elapsed();
+                if now >= target {
+                    break;
+                }
+                let gap = target - now;
+                if gap > Duration::from_micros(300) {
+                    std::thread::sleep(gap - Duration::from_micros(200));
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            let tn = &mut self.tenants[a.tenant % ntenants];
+            // 1. Injected admission fault.
+            if mpl_fail::hit(FP_ADMIT).is_err() {
+                tn.shed_injected += 1;
+                continue;
+            }
+            // 2. Budget admission gate, with one collect-and-retry. A
+            //    collection that created no headroom is not repeated
+            //    until the budget reading moves (sheds allocate nothing,
+            //    so re-collecting the same retained set is futile).
+            if let Some(b) = tn.session.budget().cloned() {
+                if b.would_exceed(self.admit_estimate) {
+                    if tn.futile_at != Some(b.live_bytes()) {
+                        tn.maintenance_gcs += 1;
+                        let _ = self.rt.try_run_session(&tn.session, |m| {
+                            m.force_lgc(&mut []);
+                            Value::Unit
+                        });
+                    }
+                    if b.would_exceed(self.admit_estimate) {
+                        tn.futile_at = Some(b.live_bytes());
+                        mpl_fail::hit_hard(FP_SHED);
+                        b.on_shed();
+                        tn.shed_budget += 1;
+                        continue;
+                    }
+                    tn.futile_at = None;
+                }
+            }
+            // 3. Run it; the AllocError backstop sheds mid-flight
+            //    exhaustion without poisoning the session.
+            tn.admitted += 1;
+            let st = tn.states[a.session % tn.states.len()].clone();
+            let kind = a.kind;
+            let size = a.size * tn.spec.payload_scale;
+            let profile = tn.spec.profile;
+            match self.rt.try_run_session(&tn.session, move |m| {
+                run_request(m, &st, kind, size, profile)
+            }) {
+                Ok(_) => {
+                    tn.completed += 1;
+                    let done_ns = t0.elapsed().as_nanos() as u64;
+                    tn.latency.record(done_ns.saturating_sub(a.at_ns));
+                }
+                Err(_) => {
+                    mpl_fail::hit_hard(FP_SHED);
+                    tn.shed_budget += 1;
+                }
+            }
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let stats1 = self.rt.stats();
+        let d = stats1.delta(&stats0);
+        let wall_s = (wall_ns as f64 / 1e9).max(1e-9);
+        let mut all_samples = self.rt.telemetry_samples();
+        let samples = if samples0 <= all_samples.len() {
+            all_samples.split_off(samples0)
+        } else {
+            Vec::new()
+        };
+        let tenants = self
+            .tenants
+            .iter()
+            .zip(lat0.iter())
+            .zip(counts0.iter())
+            .map(|((t, l0), c0)| {
+                let snap = t.latency.snapshot();
+                // This run's own recordings: the family histogram is
+                // process-global, so subtract the pre-run snapshot.
+                let lat = diff_hist(&snap, l0);
+                TenantReport {
+                    name: t.spec.name.clone(),
+                    admitted: t.admitted - c0[0],
+                    completed: t.completed - c0[1],
+                    shed_budget: t.shed_budget - c0[2],
+                    shed_injected: t.shed_injected - c0[3],
+                    maintenance_gcs: t.maintenance_gcs - c0[4],
+                    p50_ns: lat.percentile(0.50),
+                    p99_ns: lat.percentile(0.99),
+                    p999_ns: lat.percentile(0.999),
+                    max_ns: lat.max,
+                    mean_ns: lat.mean(),
+                    goodput_rps: (t.completed - c0[1]) as f64 / wall_s,
+                    budget: t.session.budget().map(|b| b.snapshot()),
+                }
+            })
+            .collect::<Vec<_>>();
+        let completed_total: u64 = tenants.iter().map(|t| t.completed).sum();
+        let shed_total: u64 = tenants
+            .iter()
+            .map(|t| t.shed_budget + t.shed_injected)
+            .sum();
+        ServerReport {
+            digest,
+            wall_ns,
+            offered,
+            completed_total,
+            shed_total,
+            goodput_rps: completed_total as f64 / wall_s,
+            tenants,
+            gc: GcReport {
+                lgc_runs: d.lgc_runs,
+                cgc_runs: d.cgc_runs,
+                lgc_pause_ns: d.lgc_pause_ns_total,
+                cgc_pause_ns: d.cgc_pause_ns_total,
+                pause_overlap_pct: 100.0 * (d.lgc_pause_ns_total + d.cgc_pause_ns_total) as f64
+                    / wall_ns.max(1) as f64,
+                gc_forced_by_pressure: d.gc_forced_by_pressure,
+                alloc_failures: d.alloc_failures,
+                lgc_dead_traced: d.lgc_dead_traced,
+                pins: d.pins,
+                live_bytes: stats1.live_bytes,
+                pinned_bytes: stats1.pinned_bytes,
+            },
+            // Steady-state slope: fit on the second half of the window so
+            // startup growth (caches and feeds filling) doesn't read as a
+            // leak. The witness E12 wants is the long-run trend.
+            live_slope_bytes_per_s: live_slope(&samples[samples.len() / 2..]),
+            live_samples: samples.len(),
+        }
+    }
+
+    /// Retires every tenant session, releasing their persistent roots.
+    pub fn shutdown(self) {
+        for t in &self.tenants {
+            self.rt.retire_session(&t.session);
+        }
+    }
+}
+
+/// Bucket-wise difference of two snapshots of one (monotone) histogram:
+/// the recordings that happened between them.
+fn diff_hist(now: &mpl_obs::HistSnapshot, then: &mpl_obs::HistSnapshot) -> mpl_obs::HistSnapshot {
+    let mut out = *now;
+    out.count = now.count.saturating_sub(then.count);
+    out.sum = now.sum.saturating_sub(then.sum);
+    for (o, t) in out.buckets.iter_mut().zip(then.buckets.iter()) {
+        *o = o.saturating_sub(*t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::ArrivalProcess;
+    use crate::workload::Profile;
+    use mpl_runtime::RuntimeConfig;
+
+    #[test]
+    fn serves_all_offered_requests_when_unbudgeted() {
+        let rt = Runtime::new(RuntimeConfig::managed().with_threads_exact(2));
+        let mut srv = Server::new(
+            &rt,
+            vec![
+                TenantSpec::new("a", 0),
+                TenantSpec::new("b", 0).profile(Profile::Entangled),
+            ],
+        );
+        let rep = srv.run(&TrafficConfig {
+            requests: 120,
+            rate_hz: 20_000.0,
+            tenants: 2,
+            process: ArrivalProcess::Uniform,
+            ..TrafficConfig::default()
+        });
+        assert_eq!(rep.offered, 120);
+        assert_eq!(rep.completed_total, 120);
+        assert_eq!(rep.shed_total, 0);
+        assert!(rep.tenants.iter().all(|t| t.p99_ns > 0));
+        srv.shutdown();
+        assert_eq!(rt.live_root_stacks(), 0);
+        rt.assert_heap_sound();
+    }
+
+    #[test]
+    fn tiny_budget_sheds_but_server_survives() {
+        let rt = Runtime::new(RuntimeConfig::managed().with_threads_exact(2));
+        // 64 KiB budget + huge payloads: this tenant must shed.
+        let mut srv = Server::new(
+            &rt,
+            vec![TenantSpec::new("hog", 64 * 1024).payload_scale(64)],
+        );
+        let rep = srv.run(&TrafficConfig {
+            requests: 80,
+            rate_hz: 50_000.0,
+            ..TrafficConfig::default()
+        });
+        assert_eq!(rep.offered, 80);
+        assert!(rep.shed_total > 0, "hog tenant never shed");
+        let b = &rep.tenants[0].budget.as_ref().unwrap();
+        assert!(b.sheds > 0);
+        // The session survives shedding: runtime invariants hold.
+        srv.shutdown();
+        rt.assert_heap_sound();
+        assert_eq!(rt.parked_results(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Tenants: a budgeted session group on one persistent runtime.
+
+use std::sync::Arc;
+
+use mpl_heap::Value;
+use mpl_obs::{family_histogram, Histogram};
+use mpl_runtime::Runtime;
+use mpl_runtime::TenantSession;
+
+use crate::workload::{init_session, Profile, SessionState};
+
+/// Static description of one tenant.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Tenant name (budget label, report row, histogram label).
+    pub name: String,
+    /// Heap budget in bytes; `0` = unlimited (accounting only).
+    pub budget_bytes: usize,
+    /// How this tenant's request branches share state.
+    pub profile: Profile,
+    /// Number of persistent sessions the tenant owns.
+    pub sessions: usize,
+    /// Cache slots per session.
+    pub cache_slots: usize,
+    /// Multiplier on every request's payload size — the adversarial
+    /// tenant in E12 sets this high to blow through its budget.
+    pub payload_scale: usize,
+}
+
+impl TenantSpec {
+    /// A default spec: disentangled, 2 sessions, 64 cache slots.
+    pub fn new(name: &str, budget_bytes: usize) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            budget_bytes,
+            profile: Profile::Disentangled,
+            sessions: 2,
+            cache_slots: 64,
+            payload_scale: 1,
+        }
+    }
+
+    /// Sets the access profile.
+    pub fn profile(mut self, p: Profile) -> TenantSpec {
+        self.profile = p;
+        self
+    }
+
+    /// Sets the session count.
+    pub fn sessions(mut self, n: usize) -> TenantSpec {
+        self.sessions = n.max(1);
+        self
+    }
+
+    /// Sets the per-session cache slot count.
+    pub fn cache_slots(mut self, n: usize) -> TenantSpec {
+        self.cache_slots = n.max(2);
+        self
+    }
+
+    /// Sets the payload multiplier.
+    pub fn payload_scale(mut self, n: usize) -> TenantSpec {
+        self.payload_scale = n.max(1);
+        self
+    }
+}
+
+/// A live tenant: its runtime session (root heap + budget + persistent
+/// root stack), its session states, its latency histogram, and the
+/// dispatcher's admission counters.
+pub struct Tenant {
+    /// The spec this tenant was created from.
+    pub spec: TenantSpec,
+    /// The runtime session carrying heap, budget and roots.
+    pub session: TenantSession,
+    /// Per-session workload state, `spec.sessions` entries.
+    pub states: Vec<SessionState>,
+    /// Request latency (ns), measured from scheduled arrival to
+    /// completion. Registered in the `"serve_latency"` histogram family
+    /// under the tenant name, so exporters see it too.
+    pub latency: Arc<Histogram>,
+    /// Requests that passed admission.
+    pub admitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests shed by budget admission control or by a mid-request
+    /// budget `AllocError`.
+    pub shed_budget: u64,
+    /// Requests shed by an injected `serve/admit` failpoint.
+    pub shed_injected: u64,
+    /// Maintenance collections run when admission found the tenant over
+    /// budget (the retry-after-collection path).
+    pub maintenance_gcs: u64,
+    /// Budget live-bytes after the last maintenance collection that
+    /// failed to create headroom. While the reading is unchanged (shed
+    /// requests allocate nothing), re-collecting is provably futile and
+    /// the gate sheds without another GC.
+    pub(crate) futile_at: Option<usize>,
+}
+
+impl Tenant {
+    /// Creates the tenant on `rt`: allocates its budgeted session and
+    /// initialises all per-session state in one setup request.
+    pub fn create(rt: &Runtime, spec: TenantSpec) -> Tenant {
+        let session = rt.new_tenant(&spec.name, spec.budget_bytes);
+        let mut states = Vec::with_capacity(spec.sessions);
+        {
+            let states = &mut states;
+            let sessions = spec.sessions.max(1);
+            let slots = spec.cache_slots;
+            rt.run_session(&session, move |m| {
+                for _ in 0..sessions {
+                    states.push(init_session(m, slots));
+                }
+                Value::Unit
+            });
+        }
+        let latency = family_histogram("serve_latency", &spec.name);
+        Tenant {
+            spec,
+            session,
+            states,
+            latency,
+            admitted: 0,
+            completed: 0,
+            shed_budget: 0,
+            shed_injected: 0,
+            maintenance_gcs: 0,
+            futile_at: None,
+        }
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_budget + self.shed_injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_runtime::RuntimeConfig;
+
+    #[test]
+    fn create_roots_sessions_and_budget() {
+        let rt = Runtime::new(RuntimeConfig::managed());
+        let t = Tenant::create(&rt, TenantSpec::new("alpha", 1 << 20).sessions(3));
+        assert_eq!(t.states.len(), 3);
+        let b = t.session.budget().expect("budget attached");
+        assert_eq!(b.limit(), 1 << 20);
+        assert!(b.live_bytes() > 0, "session state must be charged");
+        rt.retire_session(&t.session);
+    }
+}

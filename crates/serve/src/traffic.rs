@@ -1,0 +1,300 @@
+//! Deterministic open-loop traffic generation.
+//!
+//! The whole schedule — arrival instants, tenant/session routing, request
+//! kinds, payload sizes — is a pure function of [`TrafficConfig`]: one
+//! SplitMix64 stream, drawn in a fixed per-arrival order, no wall clock.
+//! The dispatcher replays the schedule against real time, so two runs with
+//! the same seed offer *exactly* the same load regardless of worker count,
+//! scheduler interleaving, or how far behind the server falls. The
+//! [`schedule_digest`] hash is the cheap witness the determinism tests and
+//! the E12 report record.
+
+/// SplitMix64: the 64-bit finalizer-based PRNG (Steele et al.), used here
+/// because it is seedable, trivially portable, and has no global state.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A new stream seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The inter-arrival process of the open-loop generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential gaps, `-ln(1-U)/rate`. The bursty
+    /// case — instantaneous offered load far exceeds the mean.
+    Poisson,
+    /// Evenly spaced arrivals at exactly `1/rate`. The smooth baseline.
+    Uniform,
+}
+
+/// What a request does to its session's state (see [`crate::workload`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Fork/join read over the session cache; no retained allocation.
+    Read,
+    /// Allocate payloads and publish them into cache slots. Under the
+    /// entangled profile, siblings read each other's fresh payloads.
+    Insert,
+    /// Push nodes onto the session feed (a cons list) and walk it.
+    Feed,
+    /// Walk the feed and scan the cache; read-mostly.
+    Scan,
+}
+
+/// Relative weights of the four request kinds.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestMix {
+    /// Weight of [`RequestKind::Read`].
+    pub read: u32,
+    /// Weight of [`RequestKind::Insert`].
+    pub insert: u32,
+    /// Weight of [`RequestKind::Feed`].
+    pub feed: u32,
+    /// Weight of [`RequestKind::Scan`].
+    pub scan: u32,
+}
+
+impl Default for RequestMix {
+    /// A read-mostly service mix: 60/25/10/5.
+    fn default() -> RequestMix {
+        RequestMix {
+            read: 60,
+            insert: 25,
+            feed: 10,
+            scan: 5,
+        }
+    }
+}
+
+impl RequestMix {
+    /// Picks a kind from a raw uniform draw, by cumulative weight.
+    pub fn pick(&self, draw: u64) -> RequestKind {
+        let total = (self.read + self.insert + self.feed + self.scan).max(1) as u64;
+        let x = draw % total;
+        if x < self.read as u64 {
+            RequestKind::Read
+        } else if x < (self.read + self.insert) as u64 {
+            RequestKind::Insert
+        } else if x < (self.read + self.insert + self.feed) as u64 {
+            RequestKind::Feed
+        } else {
+            RequestKind::Scan
+        }
+    }
+}
+
+/// Everything that determines a schedule. Pure input: two equal configs
+/// produce byte-identical schedules.
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// PRNG seed for the whole schedule.
+    pub seed: u64,
+    /// Aggregate offered arrival rate, requests per second.
+    pub rate_hz: f64,
+    /// Total number of requests to offer (duration ≈ `requests / rate_hz`).
+    pub requests: usize,
+    /// Inter-arrival process.
+    pub process: ArrivalProcess,
+    /// Request-kind weights.
+    pub mix: RequestMix,
+    /// Number of tenants arrivals are routed across.
+    pub tenants: usize,
+    /// Sessions per tenant arrivals are routed across.
+    pub sessions_per_tenant: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            seed: 0x05ee_de12,
+            rate_hz: 2_000.0,
+            requests: 1_000,
+            process: ArrivalProcess::Poisson,
+            mix: RequestMix::default(),
+            tenants: 1,
+            sessions_per_tenant: 2,
+        }
+    }
+}
+
+/// One scheduled request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Scheduled arrival instant, nanoseconds from run start. Latency is
+    /// measured from *here*, not from dispatch — open-loop semantics.
+    pub at_ns: u64,
+    /// Destination tenant index (mod the server's tenant count).
+    pub tenant: usize,
+    /// Destination session index within the tenant.
+    pub session: usize,
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Payload size knob, `1..=8`; the workload scales allocation by it.
+    pub size: usize,
+}
+
+/// Generates the full arrival schedule for `cfg`. Five PRNG draws per
+/// arrival in fixed order (gap, tenant, session, kind, size), so the
+/// schedule is reproducible and extending a run only appends.
+pub fn schedule(cfg: &TrafficConfig) -> Vec<Arrival> {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let rate = if cfg.rate_hz > 0.0 { cfg.rate_hz } else { 1.0 };
+    let tenants = cfg.tenants.max(1) as u64;
+    let sessions = cfg.sessions_per_tenant.max(1) as u64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    let mut t_ns = 0u64;
+    for _ in 0..cfg.requests {
+        let gap_s = match cfg.process {
+            ArrivalProcess::Poisson => {
+                let u = rng.next_f64();
+                -(1.0 - u).ln() / rate
+            }
+            ArrivalProcess::Uniform => {
+                let _ = rng.next_f64(); // keep the draw order identical
+                1.0 / rate
+            }
+        };
+        t_ns = t_ns.saturating_add((gap_s * 1e9) as u64);
+        let tenant = (rng.next_u64() % tenants) as usize;
+        let session = (rng.next_u64() % sessions) as usize;
+        let kind = cfg.mix.pick(rng.next_u64());
+        let size = (rng.next_u64() % 8 + 1) as usize;
+        out.push(Arrival {
+            at_ns: t_ns,
+            tenant,
+            session,
+            kind,
+            size,
+        });
+    }
+    out
+}
+
+/// FNV-1a digest over every field of every arrival: a compact witness
+/// that two schedules are identical.
+pub fn schedule_digest(sched: &[Arrival]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for a in sched {
+        mix(a.at_ns);
+        mix(a.tenant as u64);
+        mix(a.session as u64);
+        mix(kind_tag(a.kind));
+        mix(a.size as u64);
+    }
+    h
+}
+
+fn kind_tag(k: RequestKind) -> u64 {
+    match k {
+        RequestKind::Read => 0,
+        RequestKind::Insert => 1,
+        RequestKind::Feed => 2,
+        RequestKind::Scan => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = TrafficConfig {
+            tenants: 3,
+            ..TrafficConfig::default()
+        };
+        let a = schedule(&cfg);
+        let b = schedule(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(schedule_digest(&a), schedule_digest(&b));
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let a = schedule(&TrafficConfig::default());
+        let b = schedule(&TrafficConfig {
+            seed: 7,
+            ..TrafficConfig::default()
+        });
+        assert_ne!(schedule_digest(&a), schedule_digest(&b));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_mean_rate_tracks_config() {
+        for process in [ArrivalProcess::Poisson, ArrivalProcess::Uniform] {
+            let cfg = TrafficConfig {
+                rate_hz: 10_000.0,
+                requests: 4_000,
+                process,
+                ..TrafficConfig::default()
+            };
+            let s = schedule(&cfg);
+            assert!(s.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+            let span_s = s.last().unwrap().at_ns as f64 / 1e9;
+            let rate = s.len() as f64 / span_s;
+            assert!(
+                (rate / cfg.rate_hz - 1.0).abs() < 0.15,
+                "{process:?}: measured {rate:.0} rps vs configured {}",
+                cfg.rate_hz
+            );
+        }
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let cfg = TrafficConfig {
+            requests: 8_000,
+            ..TrafficConfig::default()
+        };
+        let s = schedule(&cfg);
+        let reads = s.iter().filter(|a| a.kind == RequestKind::Read).count();
+        let frac = reads as f64 / s.len() as f64;
+        assert!((frac - 0.60).abs() < 0.05, "read fraction {frac:.3}");
+    }
+
+    #[test]
+    fn routing_covers_all_tenants_and_sessions() {
+        let cfg = TrafficConfig {
+            tenants: 4,
+            sessions_per_tenant: 3,
+            ..TrafficConfig::default()
+        };
+        let s = schedule(&cfg);
+        for t in 0..4 {
+            assert!(s.iter().any(|a| a.tenant == t));
+        }
+        for sess in 0..3 {
+            assert!(s.iter().any(|a| a.session == sess));
+        }
+        assert!(s.iter().all(|a| a.tenant < 4 && a.session < 3));
+        assert!(s.iter().all(|a| (1..=8).contains(&a.size)));
+    }
+}

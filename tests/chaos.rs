@@ -257,3 +257,52 @@ fn watchdog_survives_an_injected_gc_phase_stall() {
     assert_eq!(got, Value::Int(bench.run_native(n)));
     assert_eq!(rt.stats().lgc_dead_traced, 0);
 }
+
+#[test]
+fn serving_survives_admission_and_shed_chaos() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    // Seeded faults on the service layer's own sites: admission errors
+    // shed requests before they reach the runtime, and yield storms fire
+    // exactly while a request is being shed for budget reasons — the
+    // moments a degraded server is most fragile. Soundness invariants
+    // must hold regardless, and the benign tenant must keep serving.
+    use mpl_serve::{Profile, Server, TenantSpec, TrafficConfig};
+    for seed in [3u64, 17] {
+        let plan = benign_plan(seed)
+            .with("serve/admit", FailAction::Error, FailWhen::OneIn(9))
+            .with("serve/shed", FailAction::Yield, FailWhen::OneIn(2));
+        let rt = Runtime::new(chaos_config(3).with_failpoints(plan));
+        let mut srv = Server::new(
+            &rt,
+            vec![
+                TenantSpec::new("benign", 0),
+                TenantSpec::new("hot", 192 * 1024)
+                    .profile(Profile::Entangled)
+                    .payload_scale(48)
+                    .cache_slots(256),
+            ],
+        );
+        let rep = srv.run(&TrafficConfig {
+            seed,
+            requests: 240,
+            rate_hz: 100_000.0,
+            tenants: 2,
+            ..TrafficConfig::default()
+        });
+        assert!(
+            rep.tenants[0].completed > 0,
+            "seed {seed}: benign tenant starved"
+        );
+        assert!(
+            rep.shed_total > 0,
+            "seed {seed}: no sheds under admission chaos"
+        );
+        let s = rt.stats();
+        assert_eq!(s.lgc_dead_traced, 0, "seed {seed}: corruption canary");
+        assert_eq!(s.pinned_bytes, 0, "seed {seed}: leaked pins");
+        assert_eq!(rt.parked_results(), 0, "seed {seed}: parked leak");
+        srv.shutdown();
+        assert_eq!(rt.live_root_stacks(), 0, "seed {seed}: root-stack leak");
+        rt.assert_heap_sound();
+    }
+}

@@ -192,55 +192,111 @@ fn main() {
     }
     print!("{}", pause.render());
 
-    // Second addendum: deterministic reclamation at scale. The suite's
+    // Second addendum (E13): deterministic reclamation at scale, under
+    // the work-packet collector at several worker counts. The suite's
     // entangled benchmarks keep their structures reachable to the end
     // (checksums), so CGC finds nothing dead there. This scenario builds
     // the paper's reclamation case directly on the substrate: a sibling
     // pins 100k objects, the owner's local collection shields them in
     // place (entangled space), the pinner then drops half — the
-    // concurrent collector must reclaim exactly that half.
-    println!("\nCGC reclamation at scale (100k shielded objects, half dropped):");
+    // concurrent collector must reclaim exactly that half. Repeated
+    // rounds (fresh store each) yield full-cycle pause percentiles per
+    // worker count; `workers = 0` is the packetized collector driven
+    // sequentially (no executor), the single-threaded baseline.
+    println!("\nE13: CGC reclamation at scale (100k shielded objects, half dropped):");
     {
         use mpl_gc::{collect_entangled, collect_local, CgcState, Graveyard};
         use mpl_heap::{ObjKind, ObjRef, Store, StoreConfig, Value as HVal};
 
         const N: usize = 100_000;
-        let s = Store::new(StoreConfig::default());
-        let root = s.new_root_heap();
-        let (l, _r) = s.fork_heaps(root);
-        let mut objs: Vec<ObjRef> = (0..N)
-            .map(|i| s.alloc_values(l, ObjKind::Ref, &[HVal::Int(i as i64)]))
-            .collect();
-        // A task on the left path pins every object (entanglement level 0:
-        // the pinner's LCA with the owner is the root).
-        for &o in &objs {
-            s.pin(o, 0);
+        const ROUNDS: usize = 9;
+
+        #[derive(Serialize)]
+        struct E13Row {
+            workers: usize,
+            rounds: usize,
+            pause_p50_us: u128,
+            pause_p90_us: u128,
+            pause_max_us: u128,
+            packets: u64,
         }
-        // The owner's local collection shields the pinned population.
-        let g = Graveyard::new();
-        let mut no_roots: [ObjRef; 0] = [];
-        collect_local(&s, l, &mut no_roots, &g, true);
-        // The pinner drops every other object.
-        let survivors: Vec<ObjRef> = objs
-            .drain(..)
-            .enumerate()
-            .filter_map(|(i, o)| (i % 2 == 0).then_some(o))
-            .collect();
-        let state = CgcState::new();
-        let start = std::time::Instant::now();
-        let out = collect_entangled(&s, &state, survivors.iter().copied().map(|o| s.resolve(o)));
-        let pause = start.elapsed();
-        println!(
-            "  swept {} objects / {} in {} (marked {}); survivors intact: {}",
-            out.swept_objects,
-            fmt_bytes(out.swept_bytes as usize),
-            fmt_dur(pause),
-            out.marked_objects,
-            survivors
-                .iter()
-                .all(|&o| !s.resolved_handle(o).obj().header().is_dead()),
-        );
-        assert_eq!(out.swept_objects, N / 2, "exactly the dropped half");
+
+        let run_round = |state: &CgcState| -> std::time::Duration {
+            let s = Store::new(StoreConfig::default());
+            let root = s.new_root_heap();
+            let (l, _r) = s.fork_heaps(root);
+            let mut objs: Vec<ObjRef> = (0..N)
+                .map(|i| s.alloc_values(l, ObjKind::Ref, &[HVal::Int(i as i64)]))
+                .collect();
+            // A task on the left path pins every object (entanglement
+            // level 0: the pinner's LCA with the owner is the root).
+            for &o in &objs {
+                s.pin(o, 0);
+            }
+            // The owner's local collection shields the pinned population.
+            let g = Graveyard::new();
+            let mut no_roots: [ObjRef; 0] = [];
+            collect_local(&s, l, &mut no_roots, &g, true);
+            // The pinner drops every other object.
+            let survivors: Vec<ObjRef> = objs
+                .drain(..)
+                .enumerate()
+                .filter_map(|(i, o)| (i % 2 == 0).then_some(o))
+                .collect();
+            let roots: Vec<ObjRef> = survivors.iter().map(|&o| s.resolve(o)).collect();
+            let start = std::time::Instant::now();
+            // One root packet per 4k survivors, seeding the parallel
+            // tracers the way the runtime's per-task packets would.
+            let out = collect_entangled(&s, state, || {
+                roots.chunks(4096).map(|c| c.to_vec()).collect()
+            });
+            let pause = start.elapsed();
+            assert_eq!(out.swept_objects, N / 2, "exactly the dropped half");
+            assert!(
+                survivors
+                    .iter()
+                    .all(|&o| !s.resolved_handle(o).obj().header().is_dead()),
+                "survivors intact"
+            );
+            pause
+        };
+
+        let mut e13 = Table::new(&["workers", "rounds", "p50 pause", "p90 pause", "max pause"]);
+        let mut e13_rows = Vec::new();
+        for workers in [0usize, 2, 4, 8] {
+            let ex = (workers > 0).then(|| mpl_sched::Executor::new(workers));
+            let _driver = ex.as_ref().and_then(|e| e.install_driver());
+            let state = CgcState::new();
+            let mut pauses: Vec<std::time::Duration> =
+                (0..ROUNDS).map(|_| run_round(&state)).collect();
+            pauses.sort();
+            let (p50, p90, pmax) = (
+                pauses[ROUNDS / 2],
+                pauses[(ROUNDS * 9) / 10],
+                pauses[ROUNDS - 1],
+            );
+            e13.row(vec![
+                if workers == 0 {
+                    "seq".into()
+                } else {
+                    workers.to_string()
+                },
+                ROUNDS.to_string(),
+                fmt_dur(p50),
+                fmt_dur(p90),
+                fmt_dur(pmax),
+            ]);
+            e13_rows.push(E13Row {
+                workers,
+                rounds: ROUNDS,
+                pause_p50_us: p50.as_micros(),
+                pause_p90_us: p90.as_micros(),
+                pause_max_us: pmax.as_micros(),
+                packets: 0, // per-cycle packet counts live in StoreStats, not here
+            });
+        }
+        print!("{}", e13.render());
+        write_json("e13_cgc_parallel", &e13_rows);
     }
-    println!("\nwrote results/e5_entangled.json");
+    println!("\nwrote results/e5_entangled.json, results/e13_cgc_parallel.json");
 }

@@ -33,6 +33,8 @@ struct Row {
     audit_events: u64,
     audit_ring_overflows: u64,
     lgc_dead_traced: u64,
+    cgc_packets: u64,
+    cgc_packet_retries: u64,
 }
 
 fn main() {
@@ -112,6 +114,11 @@ fn main() {
             audit_events: mpl.stats.audit_events,
             audit_ring_overflows: mpl.stats.audit_ring_overflows,
             lgc_dead_traced: mpl.stats.lgc_dead_traced,
+            // Work-packet CGC accounting: zero on the disentangled suite
+            // (CGC never runs there) — recorded so regressions show up
+            // in the main results JSON.
+            cgc_packets: mpl.stats.cgc_packets,
+            cgc_packet_retries: mpl.stats.cgc_packet_retries,
         });
     }
     print!("{}", table.render());

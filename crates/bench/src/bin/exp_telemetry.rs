@@ -175,6 +175,7 @@ fn main() {
         Metric::CgcPause,
         Metric::CgcMark,
         Metric::CgcSweep,
+        Metric::CgcPacket,
     ];
 
     mpl_obs::reset_metrics();

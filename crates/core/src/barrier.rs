@@ -78,14 +78,14 @@ impl Mutator<'_> {
                 self.cached_chunk(r).add_pinned(1);
                 store.stats().on_pin(size);
                 events::emit_obj(EventKind::Pin, r, u32::from(level));
-                self.rt.cgc_state().satb_log(r);
+                self.rt.cgc_state().satb_log_shard(&self.ctx.satb, r);
                 self.rt.request_cgc_poll();
                 r
             }
             PinOutcome::Forwarded(next) => {
                 let (pinned, newly) = self.rt.store().pin(next, level);
                 if newly {
-                    self.rt.cgc_state().satb_log(pinned);
+                    self.rt.cgc_state().satb_log_shard(&self.ctx.satb, pinned);
                 }
                 pinned
             }
@@ -156,7 +156,10 @@ impl Mutator<'_> {
             }
             return raw;
         };
-        // SLOW TIER: locate the target and query the heap table.
+        // SLOW TIER: locate the target and query the heap table. Slow
+        // tiers are handshake poll points: a read-heavy entangled loop
+        // may not allocate for a long stretch.
+        self.rt.cgc_state().poll_handshake(&self.ctx.satb);
         self.ctx.pending.read_slow += 1;
         mpl_fail::hit_hard("barrier/read_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);
@@ -197,9 +200,16 @@ impl Mutator<'_> {
     pub(crate) fn mut_write(&mut self, objv: Value, idx: usize, v: Value) {
         let r = self.write_barrier(objv, idx, v);
         let obj = self.cached_chunk(r).get(r.slot());
+        // Deletion barrier: log the overwritten pointer *before* the
+        // store. `is_marking` is an Acquire load of the flag the
+        // collector raises before its snapshot handshake; a mutator that
+        // misses the flag here has not yet acked the handshake epoch, so
+        // the snapshot has not been taken and the old value is still
+        // reachable from the roots scan. See the epoch protocol in
+        // `mpl_gc::cgc`.
         if self.rt.cgc_state().is_marking() {
             if let Some(old) = obj.field_word(idx).pointer() {
-                self.rt.cgc_state().satb_log(old);
+                self.rt.cgc_state().satb_log_shard(&self.ctx.satb, old);
             }
         }
         obj.set_field(idx, v);
@@ -216,7 +226,7 @@ impl Mutator<'_> {
         let obj = self.cached_chunk(r).get(r.slot());
         if self.rt.cgc_state().is_marking() {
             if let Value::Obj(old) = expected {
-                self.rt.cgc_state().satb_log(old);
+                self.rt.cgc_state().satb_log_shard(&self.ctx.satb, old);
             }
         }
         // A CAS is also a read: the observed value may expose a remote
@@ -280,7 +290,9 @@ impl Mutator<'_> {
             }
         }
         // SLOW TIER: full locate + path-relation machinery. (Re-locate
-        // the source: fast-exit-2 probing may have evicted it.)
+        // the source: fast-exit-2 probing may have evicted it.) Also a
+        // handshake poll point, like the read slow tier.
+        self.rt.cgc_state().poll_handshake(&self.ctx.satb);
         self.ctx.pending.write_slow += 1;
         mpl_fail::hit_hard("barrier/write_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);

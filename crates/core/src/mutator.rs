@@ -107,6 +107,37 @@ enum HandleRepr {
 #[derive(Clone, Copy, Debug)]
 pub struct RootMark(usize);
 
+/// RAII collector-safe window on a task's SATB shard: while held, the
+/// concurrent collector's snapshot handshake does not wait on this task.
+/// Entered around every region where the task either blocks (fork branch
+/// suspension, the `cgc_gate` inside `force_cgc`/`maybe_cgc`) or runs for
+/// an unbounded stretch without reaching a poll point (`run_lgc`).
+///
+/// Soundness: entering flushes the shard's SATB buffer and the exit
+/// re-acks the current epoch, so a snapshot taken while this window is
+/// open sees every pre-window logged pointer; the wrapped regions perform
+/// no unlogged entangled-pointer deletions (branch bodies mutate through
+/// their *own* shards, and the collectors' own heap surgery is covered by
+/// the forwarding/graveyard arguments in `run_lgc`). Windows nest — the
+/// shard's `safe` word is a depth counter.
+struct SafeWindow<'rt> {
+    st: &'rt mpl_gc::CgcState,
+    shard: Arc<mpl_gc::SatbShard>,
+}
+
+impl<'rt> SafeWindow<'rt> {
+    fn enter(st: &'rt mpl_gc::CgcState, shard: Arc<mpl_gc::SatbShard>) -> SafeWindow<'rt> {
+        st.enter_safe(&shard);
+        SafeWindow { st, shard }
+    }
+}
+
+impl Drop for SafeWindow<'_> {
+    fn drop(&mut self) {
+        self.st.exit_safe(&self.shard);
+    }
+}
+
 /// A resolved object location: current address plus its (cached) chunk.
 struct Located {
     r: ObjRef,
@@ -156,6 +187,14 @@ pub(crate) struct TaskCtx {
     /// registered) by the session, not this task, so `finish_task` must
     /// not deregister it.
     pub(crate) persistent: bool,
+    /// This task's SATB shard: a private modbuf the barriers log into,
+    /// flushed to the collector at capacity and at safepoints, plus the
+    /// safe/ack words the collector's snapshot handshake reads. Every
+    /// registered shard must keep polling ([`CgcState::poll_handshake`]),
+    /// sit inside a safe window, or deregister — otherwise the handshake
+    /// stalls; `finish_task` deregisters unconditionally (the shard,
+    /// unlike a persistent session's root stack, is per-task state).
+    pub(crate) satb: Arc<mpl_gc::SatbShard>,
 }
 
 /// Task-buffered counters, flushed to the global [`mpl_heap::StoreStats`]
@@ -221,6 +260,7 @@ impl TaskCtx {
             remset_seen: HashSet::new(),
             budget,
             persistent: false,
+            satb: rt.cgc_state().register_shard(),
         }
     }
 
@@ -257,6 +297,7 @@ impl TaskCtx {
             remset_seen: HashSet::new(),
             budget,
             persistent: true,
+            satb: rt.cgc_state().register_shard(),
         }
     }
 }
@@ -305,6 +346,10 @@ impl<'rt> Mutator<'rt> {
         if !self.ctx.persistent {
             self.rt.unregister_roots(&self.ctx.roots);
         }
+        // The SATB shard is per-task even on persistent sessions: a
+        // registered shard that nobody polls would stall the collector's
+        // snapshot handshake forever. Deregistration drains its buffer.
+        self.rt.cgc_state().deregister_shard(&self.ctx.satb);
         self.ctx.dag = None;
     }
 
@@ -583,6 +628,11 @@ impl<'rt> Mutator<'rt> {
     /// the chunk is full. Counters are task-buffered and flushed at
     /// safepoints.
     fn alloc_words(&mut self, kind: ObjKind, words: Vec<Word>) -> ObjRef {
+        // Every allocation is a handshake poll point: two relaxed loads
+        // unless the collector is mid-snapshot. (A pure compute loop with
+        // no allocations or barriered writes can still delay a handshake
+        // — the same liveness caveat as MPL's safepoint scheme.)
+        self.rt.cgc_state().poll_handshake(&self.ctx.satb);
         let mut obj = Object::new(kind, words);
         let size = obj.size_bytes();
         if let Some(chunk) = &self.ctx.alloc_cache {
@@ -592,6 +642,10 @@ impl<'rt> Mutator<'rt> {
                     self.ctx.pending.alloc_bytes += size;
                     if self.ctx.pending.alloc_bytes >= 16 * 1024 || self.rt.cgc_poll_requested() {
                         self.flush_stats();
+                        // Safe window: if this thread wins the gate and
+                        // begins a cycle, the snapshot handshake must not
+                        // wait on this task's own shard.
+                        let _safe = self.safe_window();
                         self.rt.maybe_cgc();
                     }
                     return r;
@@ -620,7 +674,10 @@ impl<'rt> Mutator<'rt> {
             .heaps()
             .info(self.rt.store().heaps().find(self.leaf_heap()))
             .alloc_chunk();
-        self.rt.maybe_cgc();
+        {
+            let _safe = self.safe_window();
+            self.rt.maybe_cgc();
+        }
         r
     }
 
@@ -843,6 +900,11 @@ impl<'rt> Mutator<'rt> {
 
         let threads = self.rt.config().threads;
         let sched = self.rt.config().sched;
+        // The parent is suspended (or running branch bodies under their
+        // own task contexts) until the join: open a safe window so a
+        // concurrent collector's snapshot handshake does not wait on the
+        // parent's shard — a suspended task can never poll.
+        let fork_safe = self.safe_window();
         let ((lv, lend, lslot), (rv, rend, rslot)) =
             if threads > 1 && sched == mpl_sched::SchedMode::WorkStealing {
                 // Work-stealing path: offer the right branch to thieves on
@@ -890,6 +952,10 @@ impl<'rt> Mutator<'rt> {
                 pair
             };
 
+        // The join merge below mutates heap structure under this task's
+        // identity again: close the suspension window first.
+        drop(fork_safe);
+
         // Cleanup precedes any re-raise: the join must merge both child
         // heaps (sealing their entangled indexes and applying
         // unpin-at-join) and the parked sibling result must be released
@@ -933,7 +999,10 @@ impl<'rt> Mutator<'rt> {
             let wm = self.mark();
             let _l = self.root(lv);
             let _r = self.root(rv);
-            self.rt.maybe_cgc();
+            {
+                let _safe = self.safe_window();
+                self.rt.maybe_cgc();
+            }
             self.release(wm);
         }
         (lv, rv)
@@ -946,6 +1015,12 @@ impl<'rt> Mutator<'rt> {
     }
 
     // ---- internals ----------------------------------------------------------
+
+    /// Opens a collector-safe window on this task's SATB shard (see
+    /// [`SafeWindow`]); the window closes when the returned guard drops.
+    fn safe_window(&self) -> SafeWindow<'rt> {
+        SafeWindow::enter(self.rt.cgc_state(), Arc::clone(&self.ctx.satb))
+    }
 
     /// The memory-pressure escalation ladder, run before each allocation
     /// when a heap budget is configured: flush the gauge and re-check,
@@ -996,7 +1071,15 @@ impl<'rt> Mutator<'rt> {
             return;
         }
         stats.on_gc_forced_by_pressure();
-        rt.force_cgc();
+        {
+            // `force_cgc` blocks on the collection gate and then runs the
+            // snapshot handshake; without a safe window this task's own
+            // shard would stall it (or deadlock it, if another thread's
+            // handshake is already waiting on us while we wait on the
+            // gate it holds).
+            let _safe = self.safe_window();
+            rt.force_cgc();
+        }
         stats.on_alloc_retry();
         if !self.over_budget(size) {
             return;
@@ -1029,6 +1112,15 @@ impl<'rt> Mutator<'rt> {
         // heaps become collection roots: publish them first (the GC
         // handshake flush point).
         self.flush_remset();
+        // The collection can run for an unbounded stretch without
+        // reaching a poll point, and the sliced-cycle finish below blocks
+        // on the collection gate: keep the shard safe throughout. Sound
+        // for the same reason concurrent CGC marking is sound against
+        // LGC at all — entangled-space objects are never moved or freed
+        // locally, and a CGC tracer racing the move of a *local* object
+        // resolves through forwarding (retired chunks are graveyard-held
+        // until quiescence).
+        let _safe = self.safe_window();
         // A local collection moves objects and (eagerly) frees chunks; a
         // paused incremental CGC holds object refs in its mark stack, so
         // finish that cycle first. (Full MPL repairs the marker's state

@@ -21,6 +21,31 @@ use crate::roots::RootStack;
 /// sub-second benchmark runs collect a useful gauge series.
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(25);
 
+thread_local! {
+    /// True while this thread holds `cgc_gate` and is driving a
+    /// collection. A worker driving CGC packets can help-steal an
+    /// unrelated mutator job whose safepoint asks for a collection;
+    /// without this guard that nested request would block on the gate
+    /// this very thread holds.
+    static IN_GC: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII set/clear of [`IN_GC`] for the gate-holding collection bodies.
+struct InGcGuard;
+
+impl InGcGuard {
+    fn enter() -> Self {
+        IN_GC.with(|g| g.set(true));
+        InGcGuard
+    }
+}
+
+impl Drop for InGcGuard {
+    fn drop(&mut self) {
+        IN_GC.with(|g| g.set(false));
+    }
+}
+
 /// The exporter documents produced by [`Runtime::telemetry_report`].
 #[derive(Debug, Clone)]
 pub struct TelemetryReport {
@@ -451,24 +476,35 @@ impl Runtime {
         }
     }
 
-    /// Assembles the concurrent collector's root set: every live task's
-    /// root stack plus parked branch results.
+    /// The concurrent collector's root set, packetized: one `ScanRoots`
+    /// packet per registered task stack (parked branch results ride as
+    /// one more), seeding the collector's grey queue so root scanning
+    /// itself fans out across workers.
     ///
     /// Lock-free with respect to the mutators: each stack is snapshot by
     /// atomic slot reads ([`RootStack::extend_snapshot`]) while its owner
-    /// keeps pushing — only the small registry mutex is held. The old
-    /// per-stack locks never provided a cross-task atomic snapshot
-    /// either (stacks were locked one at a time), so nothing weakens:
-    /// SATB logging covers values that move between stacks during the
-    /// scan, and a stale beyond-`len` slot resolves safely because
-    /// retired chunks are graveyard-held until quiescence.
-    pub(crate) fn cgc_roots(&self) -> Vec<ObjRef> {
-        let mut roots: Vec<ObjRef> = Vec::new();
+    /// keeps pushing — only the small registry mutex is held. A stale
+    /// beyond-`len` slot resolves safely because retired chunks are
+    /// graveyard-held until quiescence. Invoked by the collector *after*
+    /// the snapshot handshake, which is what makes the per-stack
+    /// snapshots sound against a mutator moving a value between a shared
+    /// slot and its own stack at the snapshot boundary: post-handshake,
+    /// every mutator's SATB logging is observably on, so any value that
+    /// leaves a scanned location is logged.
+    pub(crate) fn cgc_root_packets(&self) -> Vec<Vec<ObjRef>> {
+        let mut packets: Vec<Vec<ObjRef>> = Vec::new();
         for s in self.roots.lock().iter() {
-            s.extend_snapshot(&mut roots);
+            let mut p = Vec::new();
+            s.extend_snapshot(&mut p);
+            if !p.is_empty() {
+                packets.push(p);
+            }
         }
-        roots.extend(self.pending.lock().iter().flatten().copied());
-        roots
+        let pending: Vec<ObjRef> = self.pending.lock().iter().flatten().copied().collect();
+        if !pending.is_empty() {
+            packets.push(pending);
+        }
+        packets
     }
 
     /// Requests a CGC eligibility check at the caller's next safepoint.
@@ -495,10 +531,19 @@ impl Runtime {
         self.cgc_poll.store(false, Ordering::Relaxed);
         let slice = self.config.cgc_slice_objects;
 
+        // The collector's trace/sweep packets run as scheduler jobs; a
+        // worker that help-steals a *mutator* job while driving packets
+        // can reach this safepoint re-entrantly. A nested collection on
+        // the same thread would self-deadlock on `cgc_gate`, so bail.
+        if IN_GC.with(|g| g.get()) {
+            return;
+        }
+
         // An in-flight incremental cycle is advanced regardless of the
         // trigger: the snapshot is already taken.
         if slice > 0 && self.cgc_state.cycle_active() {
             if let Some(_gate) = self.cgc_gate.try_lock() {
+                let _reent = InGcGuard::enter();
                 let start = std::time::Instant::now();
                 let span = mpl_obs::span_start();
                 let done = mpl_gc::cgc_step(&self.store, &self.cgc_state, slice);
@@ -526,19 +571,24 @@ impl Runtime {
             return;
         }
         if let Some(_gate) = self.cgc_gate.try_lock() {
+            let _reent = InGcGuard::enter();
+            // Trace/sweep packets fan out via `try_join`, which needs a
+            // worker context; a runtime-less caller (tests, embedders)
+            // installs itself as the pool driver for the cycle.
+            let _driver = (!mpl_sched::on_worker_thread())
+                .then(|| self.executor.as_deref().and_then(Executor::install_driver))
+                .flatten();
             let start = std::time::Instant::now();
             let span = mpl_obs::span_start();
             if slice > 0 {
-                // Begin the sliced cycle: snapshot roots, trace one slice.
-                let roots = self.cgc_roots();
-                mpl_gc::cgc_begin(&self.store, &self.cgc_state, roots);
+                // Begin the sliced cycle: handshake, then snapshot roots.
+                mpl_gc::cgc_begin(&self.store, &self.cgc_state, || self.cgc_root_packets());
                 if mpl_gc::cgc_step(&self.store, &self.cgc_state, slice).is_some() {
                     self.cgc_baseline
                         .store(self.stats().pinned_bytes, Ordering::Relaxed);
                 }
             } else {
-                let roots = self.cgc_roots();
-                mpl_gc::collect_entangled(&self.store, &self.cgc_state, roots);
+                mpl_gc::collect_entangled(&self.store, &self.cgc_state, || self.cgc_root_packets());
                 self.cgc_baseline
                     .store(self.stats().pinned_bytes, Ordering::Relaxed);
             }
@@ -563,15 +613,25 @@ impl Runtime {
 
     /// Forces a concurrent collection (tests and experiments).
     pub fn force_cgc(&self) {
+        // Re-entrant force from a help-stolen mutator job on the
+        // collecting thread: the blocking gate below would self-deadlock.
+        // The outer collection is already reclaiming; returning is the
+        // same outcome the caller would see racing any other collector.
+        if IN_GC.with(|g| g.get()) {
+            return;
+        }
         let _gate = self.cgc_gate.lock();
+        let _reent = InGcGuard::enter();
+        let _driver = (!mpl_sched::on_worker_thread())
+            .then(|| self.executor.as_deref().and_then(Executor::install_driver))
+            .flatten();
         let start = std::time::Instant::now();
         let span = mpl_obs::span_start();
         if self.cgc_state.cycle_active() {
             // Finish the in-flight sliced cycle.
             while mpl_gc::cgc_step(&self.store, &self.cgc_state, usize::MAX).is_none() {}
         } else {
-            let roots = self.cgc_roots();
-            mpl_gc::collect_entangled(&self.store, &self.cgc_state, roots);
+            mpl_gc::collect_entangled(&self.store, &self.cgc_state, || self.cgc_root_packets());
         }
         self.store
             .stats()
@@ -646,6 +706,7 @@ fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
                     Some((phase, age_ns)) if age_ns > deadline_ns => {
                         if !flagged {
                             flagged = true;
+                            mpl_gc::stall::note_report();
                             eprintln!(
                                 "mpl-gc-watchdog: phase '{phase}' in flight for {:.3}s \
                                  (deadline {:.3}s); dumping audit rings + telemetry",
@@ -781,6 +842,16 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
             "mpl_cgc_swept_bytes_total",
             "Bytes swept by concurrent collections",
             s.cgc_swept_bytes,
+        ),
+        (
+            "mpl_cgc_packets_total",
+            "CGC work packets executed on scheduler workers",
+            s.cgc_packets,
+        ),
+        (
+            "mpl_cgc_packet_retries_total",
+            "CGC packets re-enqueued after an injected or real panic",
+            s.cgc_packet_retries,
         ),
         (
             "mpl_lgc_dead_traced_total",

@@ -28,6 +28,19 @@
 //!
 //! `mpl-fail` is a leaf crate — it depends on no other workspace crate, so
 //! heap, gc, sched and core can all host sites.
+//!
+//! ## Site naming
+//!
+//! Sites are named `subsystem/seam` after the phase boundary they sit on:
+//! `lgc/shield`, `cgc/mark`, `cgc/sweep`, `alloc/words`,
+//! `barrier/read_slow`, `sched/steal`, … Concurrency-bearing seams get
+//! their own sites so chaos schedules can target exactly one unit of
+//! parallel work: `cgc/packet` fires inside a single trace/sweep work
+//! packet on whichever scheduler worker picked it up (exercising packet
+//! crash-isolation and retry), and `cgc/modbuf-flush` fires where a
+//! mutator's SATB shard buffer drains into the collector (exercising the
+//! snapshot handshake's flush ordering). Grep for `hit_hard(` / `hit(`
+//! for the authoritative list.
 
 #![warn(missing_docs)]
 

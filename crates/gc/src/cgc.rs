@@ -2,83 +2,209 @@
 //!
 //! The local collector shields pinned objects and their closure in place;
 //! reclaiming them requires knowing global reachability, which is this
-//! collector's job. It is a snapshot-at-the-beginning (SATB) mark–sweep:
+//! collector's job. It is a snapshot-at-the-beginning (SATB) mark–sweep,
+//! restructured as **work packets** scheduled on the `mpl-sched` pool:
 //!
-//! * **Mark** — trace from every task's roots (and any extra roots the
-//!   runtime supplies). Root assembly is **lock-free**: each task
-//!   publishes its roots in an atomic segmented stack (`mpl-runtime`'s
-//!   `RootStack`) that the marker snapshots without stopping the owner;
-//!   a stale-prefix read only over-approximates the root set, and any
-//!   pointer published after the snapshot is covered by SATB logging.
-//!   While marking is active, mutators log overwritten
-//!   pointers and newly pinned objects into the SATB buffer, which the
-//!   marker drains to a fixpoint; this preserves everything live at the
-//!   snapshot.
-//! * **Sweep** — visit only chunks flagged *entangled* and reclaim
-//!   unmarked entangled-space objects. Disentangled data is never swept
-//!   here (and never pays): a program with no entanglement never triggers
-//!   this collector.
+//! * **Snapshot** — [`cgc_begin`] raises the marking flag, then runs an
+//!   **epoch handshake** with every registered mutator shard, and only
+//!   then asks the runtime for root packets. The semantic snapshot
+//!   instant is the completion of the handshake: every mutator has
+//!   either acknowledged the new epoch (so its later overwrites pre-log
+//!   into a SATB buffer) or sits inside a *safe window* (fork
+//!   suspension, a GC, the allocation pressure ladder) where it performs
+//!   no unlogged hides. Because roots are assembled *after* the
+//!   handshake, a pointer a mutator moved from a shared slot into its
+//!   own root stack just before the snapshot is still visible — this
+//!   closes the check-then-act race where a mutator loading
+//!   `marking == false` as the collector raised the flag could drop an
+//!   overwritten pointer.
+//! * **Mark** — per-task root vecs become the first grey packets; worker
+//!   tracers run [`Trace` packets](self) with local mark stacks,
+//!   spilling half of an overgrown stack back to the shared grey queue
+//!   and handing packets off through `mpl_sched::try_join` binary
+//!   splits. Mark bits are a single atomic `fetch_or` (`mpl-heap`), so
+//!   racing tracers are benign. Mutators log overwritten pointers and
+//!   fresh pins into per-task **SATB shards** (modbuf-style buffers,
+//!   flushed at fork/join/capacity like the mutator remset buffers); the
+//!   collector drains shards to a fixpoint, re-handshakes, re-drains,
+//!   and only then declares mark termination.
+//! * **Sweep** — one packet per entangled chunk, each accumulating a
+//!   local [`CgcOutcome`] (including per-tenant budget credits) merged
+//!   by atomic adds. Disentangled data is never swept here (and never
+//!   pays): a program with no entanglement never triggers this
+//!   collector.
+//! * **Epilogue** — clear mark bits (packetized over chunks when a
+//!   packet panicked mid-cycle and the marked list may be incomplete),
+//!   prune entangled indexes, publish stats.
 //!
-//! Under the sequential executor the "concurrency" degenerates to running
-//! at safepoints, and the SATB buffer stays empty.
+//! Packet execution is crash-isolated: a panicking trace packet (real or
+//! injected via the `cgc/packet` failpoint) flags the cycle *dirty*, is
+//! re-enqueued (marking is idempotent), and before mark termination a
+//! **repair pass** re-scans the fields of every marked object so a
+//! packet that died between marking an object and pushing its fields
+//! cannot leave an under-traced hole.
+//!
+//! Under the sequential executor the packets degenerate to a loop on the
+//! calling thread and the SATB buffers stay empty.
 //!
 //! # Incremental marking
 //!
-//! [`collect_entangled`] runs a whole cycle in one pause. For bounded
-//! pauses, the same cycle can be **sliced**: [`cgc_begin`] snapshots the
-//! roots and raises the marking flag; repeated [`cgc_step`] calls advance
-//! the trace by a bounded number of objects (mutators run between slices,
-//! logging into the SATB buffer); the final step drains the buffer to a
-//! fixpoint and sweeps. Soundness is the usual SATB argument — everything
-//! live at the snapshot is either reached from the snapshot roots or was
+//! [`collect_entangled`] drives a whole cycle to completion. For bounded
+//! pauses, the same cycle can be **sliced**: [`cgc_begin`] snapshots and
+//! raises the flag; repeated [`cgc_step`] calls advance the current
+//! bucket by a bounded budget (mutators run between slices, logging into
+//! their shards). Soundness is the usual SATB argument — everything live
+//! at the snapshot is either reached from the snapshot roots or was
 //! logged when a mutator hid it — plus one observation specific to this
 //! runtime: objects can only *enter* a sweepable state (the entangled
 //! space) by being pinned, and the pin path logs them.
 
-use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use mpl_heap::events::{self, EventKind, DEAD_BY_CGC};
 use mpl_heap::{ObjRef, Store};
+
+/// Refs per grey packet when chunking roots, SATB drains, and repairs.
+const PACKET_REFS: usize = 128;
+/// A tracer whose local stack outgrows this spills half back to grey.
+const SPILL_LIMIT: usize = 512;
+/// Mutator shard buffers flush into the global SATB log at this size.
+const MODBUF_CAP: usize = 128;
+/// Give up re-enqueueing packets after this many panics in one cycle
+/// (a failpoint plan set to `Always` must not spin forever).
+const MAX_PACKET_PANICS: u64 = 256;
+
+const PHASE_IDLE: u8 = 0;
+const PHASE_MARK: u8 = 1;
+const PHASE_SWEEP: u8 = 2;
+const PHASE_EPILOGUE: u8 = 3;
+
+/// A per-task SATB buffer ("modbuf") plus the handshake cells the
+/// collector uses to establish the snapshot boundary.
+///
+/// Register one per mutator task via [`CgcState::register_shard`]; log
+/// through [`CgcState::satb_log_shard`]; acknowledge snapshot epochs via
+/// [`CgcState::poll_handshake`] from allocation safepoints and the
+/// slow-tier write barrier; and bracket blocking regions (fork
+/// suspension, collections, gate waits) with [`CgcState::enter_safe`] /
+/// [`CgcState::exit_safe`] so a parked task never stalls a handshake.
+#[derive(Debug, Default)]
+pub struct SatbShard {
+    buf: Mutex<Vec<ObjRef>>,
+    /// Safe-window depth: while > 0 the owner performs no unlogged
+    /// overwrites, so the collector may treat the shard as acknowledged.
+    safe: AtomicU64,
+    /// Last snapshot epoch the owner acknowledged.
+    acked: AtomicU64,
+}
 
 /// Shared state coordinating mutators with a concurrent mark phase.
 #[derive(Debug, Default)]
 pub struct CgcState {
     marking: AtomicBool,
+    /// Relaxed phase tag (`PHASE_*`); lets `cycle_active` avoid the
+    /// cycle mutex entirely (the allocation pressure ladder polls it).
+    phase: AtomicU8,
+    /// Snapshot epoch, bumped by each handshake.
+    epoch: AtomicU64,
+    /// Global SATB log: shard flush target, and the direct target for
+    /// shard-less loggers (tests, the sequential executor).
     satb: Mutex<Vec<ObjRef>>,
-    /// In-flight incremental cycle (mark stack + visited set, then the
-    /// sweep cursor).
-    work: Mutex<Option<CycleState>>,
+    shards: Mutex<Vec<Arc<SatbShard>>>,
+    /// In-flight cycle; the lock doubles as the coordinator gate.
+    cycle: Mutex<Option<Cycle>>,
+    /// A packet panicked since the last repair pass: re-scan marked
+    /// objects' fields before declaring mark termination.
+    needs_repair: AtomicBool,
+    /// A packet panicked anywhere this cycle: the marked list may be
+    /// incomplete, so the epilogue clears marks by full chunk scan.
+    dirty_cycle: AtomicBool,
+    packet_panics: AtomicU64,
+    packets: AtomicU64,
+    packet_retries: AtomicU64,
 }
 
-/// The persisted trace of an incremental cycle.
-#[derive(Debug, Default)]
-struct MarkState {
-    stack: Vec<ObjRef>,
-    visited: HashSet<ObjRef>,
-    marked: Vec<ObjRef>,
-}
-
-/// Phase of an in-flight incremental cycle.
+/// The stage an in-flight cycle is in; buckets run strictly in order
+/// roots → trace-to-fixpoint (incl. SATB drain + handshake) → sweep →
+/// epilogue.
 #[derive(Debug)]
-enum CycleState {
-    Mark(MarkState),
-    /// Marking finished; sweeping the captured entangled-chunk list from
-    /// `cursor`, accumulating the outcome.
+enum Stage {
+    Mark,
     Sweep {
-        marked: Vec<ObjRef>,
         chunks: Vec<u32>,
         cursor: usize,
-        out: CgcOutcome,
     },
-    /// Sweeping finished; clearing mark bits from `cursor`.
-    Epilogue {
+    /// Clean cycle: clear exactly the recorded marked refs.
+    EpilogueRefs {
         marked: Vec<ObjRef>,
         cursor: usize,
-        out: CgcOutcome,
     },
+    /// Dirty cycle: the marked list may be incomplete; clear every mark
+    /// in every live chunk instead.
+    EpilogueChunks {
+        chunks: Vec<u32>,
+        cursor: usize,
+    },
+}
+
+/// An in-flight cycle: the shared grey-packet queue, the marked list for
+/// the epilogue, and atomically merged outcome cells.
+#[derive(Debug)]
+struct Cycle {
+    stage: Stage,
+    grey: Mutex<Vec<Vec<ObjRef>>>,
+    marked: Mutex<Vec<ObjRef>>,
+    /// Chunks whose sweep packet panicked; re-swept before the epilogue
+    /// (kills are idempotent CAS transitions, so re-sweeping is safe).
+    resweep: Mutex<Vec<u32>>,
+    out: OutcomeCells,
+}
+
+impl Cycle {
+    fn new(root_packets: Vec<Vec<ObjRef>>) -> Cycle {
+        Cycle {
+            stage: Stage::Mark,
+            grey: Mutex::new(root_packets),
+            marked: Mutex::new(Vec::new()),
+            resweep: Mutex::new(Vec::new()),
+            out: OutcomeCells::default(),
+        }
+    }
+}
+
+/// [`CgcOutcome`] as atomic cells so sweep/trace packets can merge their
+/// local tallies without a lock.
+#[derive(Debug, Default)]
+struct OutcomeCells {
+    swept_bytes: AtomicU64,
+    swept_objects: AtomicUsize,
+    freed_chunks: AtomicUsize,
+    marked_objects: AtomicUsize,
+}
+
+impl OutcomeCells {
+    fn merge(&self, o: &CgcOutcome) {
+        self.swept_bytes.fetch_add(o.swept_bytes, Ordering::Relaxed);
+        self.swept_objects
+            .fetch_add(o.swept_objects, Ordering::Relaxed);
+        self.freed_chunks
+            .fetch_add(o.freed_chunks, Ordering::Relaxed);
+        self.marked_objects
+            .fetch_add(o.marked_objects, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> CgcOutcome {
+        CgcOutcome {
+            swept_bytes: self.swept_bytes.load(Ordering::Relaxed),
+            swept_objects: self.swept_objects.load(Ordering::Relaxed),
+            freed_chunks: self.freed_chunks.load(Ordering::Relaxed),
+            marked_objects: self.marked_objects.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl CgcState {
@@ -88,26 +214,164 @@ impl CgcState {
     }
 
     /// True while a mark phase is active; mutators must log overwritten
-    /// pointers via [`CgcState::satb_log`].
+    /// pointers via [`CgcState::satb_log`] / [`CgcState::satb_log_shard`].
+    #[inline]
     pub fn is_marking(&self) -> bool {
         self.marking.load(Ordering::Acquire)
     }
 
     /// Logs a pointer that must survive the current snapshot (an
-    /// overwritten field value, or a newly pinned object).
+    /// overwritten field value, or a newly pinned object) into the
+    /// global log. Shard-less fallback; tasks prefer
+    /// [`CgcState::satb_log_shard`].
     pub fn satb_log(&self, r: ObjRef) {
         if self.is_marking() {
             self.satb.lock().push(r);
         }
     }
 
-    fn drain_satb(&self) -> Vec<ObjRef> {
-        std::mem::take(&mut *self.satb.lock())
+    /// Logs into a per-task shard buffer, flushing to the global log at
+    /// capacity (the mutator-side `cgc/modbuf-flush` failpoint site).
+    pub fn satb_log_shard(&self, shard: &SatbShard, r: ObjRef) {
+        if !self.is_marking() {
+            return;
+        }
+        let flush = {
+            let mut buf = shard.buf.lock();
+            buf.push(r);
+            if buf.len() >= MODBUF_CAP {
+                Some(std::mem::take(&mut *buf))
+            } else {
+                None
+            }
+        };
+        if let Some(drained) = flush {
+            mpl_fail::hit_hard("cgc/modbuf-flush");
+            self.satb.lock().extend(drained);
+        }
     }
 
-    /// True if an incremental cycle is in flight (begun, not yet swept).
+    /// Flushes a shard's buffered entries into the global log
+    /// (fork/join, task finish, safepoint entry).
+    pub fn flush_shard(&self, shard: &SatbShard) {
+        let drained = std::mem::take(&mut *shard.buf.lock());
+        if !drained.is_empty() {
+            mpl_fail::hit_hard("cgc/modbuf-flush");
+            self.satb.lock().extend(drained);
+        }
+    }
+
+    /// Registers a new mutator shard, pre-acknowledged at the current
+    /// epoch (the shards-lock acquisition orders the registration
+    /// against any in-flight handshake: a handshake that misses this
+    /// shard in its list cannot be waiting on it, and the registrant
+    /// reads the epoch/flag stores made before the lock was released).
+    pub fn register_shard(&self) -> Arc<SatbShard> {
+        let mut shards = self.shards.lock();
+        let shard = Arc::new(SatbShard {
+            buf: Mutex::new(Vec::new()),
+            safe: AtomicU64::new(0),
+            acked: AtomicU64::new(self.epoch.load(Ordering::SeqCst)),
+        });
+        shards.push(Arc::clone(&shard));
+        shard
+    }
+
+    /// Deregisters a shard (task finish), draining any buffered entries
+    /// into the global log first.
+    pub fn deregister_shard(&self, shard: &Arc<SatbShard>) {
+        self.flush_shard(shard);
+        self.shards.lock().retain(|s| !Arc::ptr_eq(s, shard));
+    }
+
+    /// Cheap handshake poll for mutator safepoints (allocation slices,
+    /// the slow-tier write barrier): two relaxed loads when idle;
+    /// flush + acknowledge when a new snapshot epoch is pending.
+    #[inline]
+    pub fn poll_handshake(&self, shard: &SatbShard) {
+        let e = self.epoch.load(Ordering::Relaxed);
+        if shard.acked.load(Ordering::Relaxed) != e {
+            self.ack(shard);
+        }
+    }
+
+    #[cold]
+    fn ack(&self, shard: &SatbShard) {
+        // Flush before acknowledging so everything logged before the ack
+        // is visible to the collector's post-handshake re-drain.
+        self.flush_shard(shard);
+        let e = self.epoch.load(Ordering::SeqCst);
+        shard.acked.store(e, Ordering::SeqCst);
+    }
+
+    /// Enters a safe window: the owner guarantees no unlogged overwrites
+    /// until the matching [`CgcState::exit_safe`]. Buffered entries are
+    /// flushed first so a parked task holds no SATB entries hostage.
+    /// Windows nest (fork suspension around a collection around the
+    /// pressure ladder).
+    pub fn enter_safe(&self, shard: &SatbShard) {
+        self.flush_shard(shard);
+        shard.safe.fetch_add(1, Ordering::SeqCst);
+        self.ack(shard);
+    }
+
+    /// Leaves a safe window. The ordering here is load-bearing: the
+    /// depth decrement (SeqCst) precedes the epoch load (SeqCst)
+    /// precedes the ack store. If a concurrent handshake read this
+    /// shard as safe, this exit's decrement is SC-after that read, so
+    /// the epoch load observes the handshake's epoch and the ack plus
+    /// all later `is_marking` loads see the raised flag; if the
+    /// handshake read the shard as unsafe it waits for the ack, which
+    /// implies the same visibility. Either way no overwrite after the
+    /// window can go unlogged against the new snapshot.
+    pub fn exit_safe(&self, shard: &SatbShard) {
+        shard.safe.fetch_sub(1, Ordering::SeqCst);
+        let e = self.epoch.load(Ordering::SeqCst);
+        shard.acked.store(e, Ordering::SeqCst);
+    }
+
+    /// True if a cycle is in flight (begun, not yet finished). One
+    /// relaxed load — callers on the allocation pressure ladder poll
+    /// this on every slice and must not contend with in-flight mark
+    /// packets.
+    #[inline]
     pub fn cycle_active(&self) -> bool {
-        self.work.lock().is_some()
+        self.phase.load(Ordering::Relaxed) != PHASE_IDLE
+    }
+
+    /// Drains the global log and every shard buffer.
+    fn drain_all_satb(&self) -> Vec<ObjRef> {
+        let mut out = std::mem::take(&mut *self.satb.lock());
+        let shards: Vec<Arc<SatbShard>> = self.shards.lock().clone();
+        for s in shards {
+            out.extend(std::mem::take(&mut *s.buf.lock()));
+        }
+        out
+    }
+
+    /// Bumps the snapshot epoch and waits until every registered shard
+    /// has acknowledged it or sits in a safe window. The shard list is
+    /// re-cloned each spin so deregistration unblocks the wait. Called
+    /// at the snapshot boundary and again at mark termination.
+    fn handshake(&self) {
+        let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let _stall = crate::stall::guard(crate::stall::CGC_MARK);
+        let mut spins = 0u32;
+        loop {
+            let shards: Vec<Arc<SatbShard>> = self.shards.lock().clone();
+            let pending = shards
+                .iter()
+                .any(|s| s.safe.load(Ordering::SeqCst) == 0 && s.acked.load(Ordering::SeqCst) < e);
+            if !pending {
+                return;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 }
 
@@ -124,17 +388,57 @@ pub struct CgcOutcome {
     pub marked_objects: usize,
 }
 
-/// Traces up to `budget` objects from the mark state. Returns the number
-/// traced (0 means the stack is empty).
-fn advance_mark(store: &Store, ms: &mut MarkState, budget: usize) -> usize {
-    mpl_fail::hit_hard("cgc/mark");
-    let mut traced = 0;
-    while traced < budget {
-        let Some(r) = ms.stack.pop() else { break };
-        let r = store.resolve(r);
-        if !ms.visited.insert(r) {
-            continue;
+fn push_packets(grey: &Mutex<Vec<Vec<ObjRef>>>, refs: Vec<ObjRef>) {
+    if refs.is_empty() {
+        return;
+    }
+    let mut g = grey.lock();
+    for chunk in refs.chunks(PACKET_REFS) {
+        g.push(chunk.to_vec());
+    }
+}
+
+/// Runs `f` over every item, fanning out through recursive
+/// `try_join` binary splits when a scheduler worker context is
+/// installed; plain loop otherwise (sequential executor, unit tests).
+fn par_each<T, F>(items: Vec<T>, f: &F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if items.len() <= 1 || !mpl_sched::on_worker_thread() {
+        for it in items {
+            f(it);
         }
+        return;
+    }
+    let mut left = items;
+    let right = left.split_off(left.len() / 2);
+    match mpl_sched::try_join(|| par_each(left, f), || par_each(right, f)) {
+        Ok(_) => {}
+        Err((a, b)) => {
+            a();
+            b();
+        }
+    }
+}
+
+/// The body of one trace packet: pop refs, mark, push fields, spilling
+/// an overgrown local stack (and any budget-exhausted remainder) back to
+/// the shared grey queue.
+fn run_trace_packet(store: &Store, cycle: &Cycle, mut local: Vec<ObjRef>, remaining: &AtomicUsize) {
+    mpl_fail::hit_hard("cgc/packet");
+    let mut newly_marked: Vec<ObjRef> = Vec::new();
+    while let Some(r0) = local.pop() {
+        let charge =
+            remaining.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+        if charge.is_err() {
+            // Slice budget exhausted: hand everything back as a packet
+            // so the cycle stays alive for the next slice.
+            local.push(r0);
+            break;
+        }
+        let r = store.resolve(r0);
         let Some(chunk) = store.chunks().try_get(r.chunk()) else {
             continue; // racing reclamation of a dead region
         };
@@ -144,79 +448,251 @@ fn advance_mark(store: &Store, ms: &mut MarkState, budget: usize) -> usize {
         if obj.header().is_dead() {
             continue;
         }
-        traced += 1;
-        if obj.try_mark() {
-            ms.marked.push(r);
+        if !obj.try_mark() {
+            continue; // another tracer won this object
         }
+        newly_marked.push(r);
         if obj.kind().is_traced() {
             for w in obj.field_words() {
                 if let Some(t) = w.pointer() {
-                    ms.stack.push(t);
+                    local.push(t);
+                }
+            }
+        }
+        if local.len() >= SPILL_LIMIT {
+            let half = local.split_off(local.len() / 2);
+            cycle.grey.lock().push(half);
+        }
+    }
+    if !local.is_empty() {
+        cycle.grey.lock().push(local);
+    }
+    if !newly_marked.is_empty() {
+        cycle
+            .out
+            .marked_objects
+            .fetch_add(newly_marked.len(), Ordering::Relaxed);
+        cycle.marked.lock().extend(newly_marked);
+    }
+}
+
+/// Runs one trace packet with crash isolation: a panic (real or via the
+/// `cgc/packet` failpoint) flags the cycle dirty, schedules a repair
+/// pass, and re-enqueues a clone of the packet (marking is idempotent).
+fn trace_packet(
+    store: &Store,
+    state: &CgcState,
+    cycle: &Cycle,
+    packet: Vec<ObjRef>,
+    remaining: &AtomicUsize,
+) {
+    state.packets.fetch_add(1, Ordering::Relaxed);
+    let _span = mpl_obs::span_guard(mpl_obs::Metric::CgcPacket);
+    // Re-arm the stall clock per packet so a long parallel/sliced mark
+    // never looks like one stalled phase to the watchdog.
+    let _stall = crate::stall::guard(crate::stall::CGC_MARK);
+    let retry = packet.clone();
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        run_trace_packet(store, cycle, packet, remaining)
+    }));
+    if let Err(payload) = res {
+        state.needs_repair.store(true, Ordering::SeqCst);
+        state.dirty_cycle.store(true, Ordering::SeqCst);
+        state.packet_retries.fetch_add(1, Ordering::Relaxed);
+        if state.packet_panics.fetch_add(1, Ordering::Relaxed) >= MAX_PACKET_PANICS {
+            resume_unwind(payload);
+        }
+        cycle.grey.lock().push(retry);
+    }
+}
+
+/// Field refs of every currently marked object in every live chunk —
+/// the repair seed after a packet panic (a dead tracer may have marked
+/// an object without pushing its fields).
+fn repair_refs(store: &Store) -> Vec<ObjRef> {
+    let mut refs = Vec::new();
+    for chunk in store.chunks().live_chunks() {
+        for (_slot, obj) in chunk.objects() {
+            let h = obj.header();
+            if h.is_dead() || !h.is_marked() {
+                continue;
+            }
+            if obj.kind().is_traced() {
+                for w in obj.field_words() {
+                    if let Some(t) = w.pointer() {
+                        refs.push(t);
+                    }
                 }
             }
         }
     }
-    traced
+    refs
 }
 
-/// Starts an incremental cycle: snapshots the roots and raises the
-/// marking flag (mutators begin SATB logging). No-op if a cycle is
-/// already in flight.
-pub fn cgc_begin(store: &Store, state: &CgcState, roots: impl IntoIterator<Item = ObjRef>) {
+/// Filters a SATB drain down to refs that still need marking. An entry
+/// whose object is already marked (or dead, or reclaimed) is no new
+/// work — without this filter a mutator that keeps re-logging the same
+/// live object (every barriered overwrite of a hot field) would hold
+/// the mark fixpoint open forever. Peeks the mark bit without setting
+/// it, so the tracer's `try_mark` visited-gate still governs tracing;
+/// two overlapping drains passing the same unmarked ref is benign for
+/// the same reason two tracers racing on it is.
+fn fresh_satb(store: &Store, drained: Vec<ObjRef>) -> Vec<ObjRef> {
+    let mut fresh = Vec::new();
+    for r0 in drained {
+        let r = store.resolve(r0);
+        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+            continue;
+        };
+        let Some(obj) = chunk.try_get(r.slot()) else {
+            continue;
+        };
+        let h = obj.header();
+        if h.is_dead() || h.is_marked() {
+            continue;
+        }
+        fresh.push(r);
+    }
+    fresh
+}
+
+/// Advances marking by up to `budget` marked objects. Returns true when
+/// the mark fixpoint (grey empty, SATB drained, handshake clean, repairs
+/// done) is reached within the budget.
+fn mark_slice(store: &Store, state: &CgcState, cycle: &Cycle, budget: usize) -> bool {
+    mpl_fail::hit_hard("cgc/mark");
+    let remaining = AtomicUsize::new(budget);
+    loop {
+        let packets: Vec<Vec<ObjRef>> = std::mem::take(&mut *cycle.grey.lock());
+        if !packets.is_empty() {
+            par_each(packets, &|p: Vec<ObjRef>| {
+                trace_packet(store, state, cycle, p, &remaining)
+            });
+            if remaining.load(Ordering::Relaxed) == 0 {
+                return false; // budget spent; cycle stays in Mark
+            }
+            continue;
+        }
+        // Grey drained: pull whatever mutators logged meanwhile.
+        let logged = fresh_satb(store, state.drain_all_satb());
+        if !logged.is_empty() {
+            push_packets(&cycle.grey, logged);
+            continue;
+        }
+        // Nothing visibly pending. Termination handshake: after every
+        // mutator acknowledges (or is safe), re-drain; a late entry
+        // either lands in this re-drain or its overwrite postdates all
+        // tracing, in which case the old value was already traced.
+        state.handshake();
+        let logged = fresh_satb(store, state.drain_all_satb());
+        if !logged.is_empty() {
+            push_packets(&cycle.grey, logged);
+            continue;
+        }
+        if state.needs_repair.swap(false, Ordering::SeqCst) {
+            push_packets(&cycle.grey, repair_refs(store));
+            continue;
+        }
+        return true;
+    }
+}
+
+/// One sweep packet: one entangled chunk, tallied locally and merged
+/// atomically. A panicking packet is queued for a re-sweep (kills are
+/// idempotent CAS transitions).
+fn sweep_packet(store: &Store, state: &CgcState, cycle: &Cycle, cid: u32) {
+    state.packets.fetch_add(1, Ordering::Relaxed);
+    let _span = mpl_obs::span_guard(mpl_obs::Metric::CgcPacket);
+    let _stall = crate::stall::guard(crate::stall::CGC_SWEEP);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        mpl_fail::hit_hard("cgc/packet");
+        let mut local = CgcOutcome::default();
+        sweep_chunk(store, cid, &mut local);
+        local
+    }));
+    match res {
+        Ok(local) => cycle.out.merge(&local),
+        Err(_) => {
+            state.dirty_cycle.store(true, Ordering::SeqCst);
+            state.packet_retries.fetch_add(1, Ordering::Relaxed);
+            if state.packet_panics.fetch_add(1, Ordering::Relaxed) < MAX_PACKET_PANICS {
+                cycle.resweep.lock().push(cid);
+            }
+            // Past the cap: leave the chunk unswept (floating garbage
+            // for the next cycle) rather than spinning.
+        }
+    }
+}
+
+/// One epilogue packet: clear every mark bit in one chunk (dirty-cycle
+/// path, where the recorded marked list may be incomplete).
+fn clear_chunk_marks(store: &Store, state: &CgcState, cid: u32) {
+    state.packets.fetch_add(1, Ordering::Relaxed);
+    let _span = mpl_obs::span_guard(mpl_obs::Metric::CgcPacket);
+    let _stall = crate::stall::guard(crate::stall::CGC_SWEEP);
+    if let Some(chunk) = store.chunks().try_get(cid) {
+        for (_slot, obj) in chunk.objects() {
+            obj.clear_mark();
+        }
+    }
+}
+
+/// Starts an incremental cycle: raises the marking flag, handshakes
+/// every mutator shard (the snapshot instant), then invokes `roots` —
+/// the runtime assembles one packet per task root stack — and seeds the
+/// grey queue. No-op if a cycle is already in flight.
+///
+/// The flag-then-handshake-then-roots order is what makes the snapshot
+/// airtight: any mutator overwrite that skipped logging must have
+/// happened before its owner acknowledged the epoch, hence before the
+/// roots were read — so the overwritten value was either garbage at the
+/// snapshot or still reachable from some (post-handshake) root.
+pub fn cgc_begin<F>(store: &Store, state: &CgcState, roots: F)
+where
+    F: FnOnce() -> Vec<Vec<ObjRef>>,
+{
     let _ = store;
-    let mut work = state.work.lock();
-    if work.is_some() {
+    let mut cycle = state.cycle.lock();
+    if cycle.is_some() {
         return;
     }
-    state.marking.store(true, Ordering::Release);
-    *work = Some(CycleState::Mark(MarkState {
-        stack: roots.into_iter().collect(),
-        visited: HashSet::new(),
-        marked: Vec::new(),
-    }));
+    state.marking.store(true, Ordering::SeqCst);
+    state.handshake();
+    let packets: Vec<Vec<ObjRef>> = roots().into_iter().filter(|p| !p.is_empty()).collect();
+    state.phase.store(PHASE_MARK, Ordering::Relaxed);
+    *cycle = Some(Cycle::new(packets));
 }
 
-/// Advances the in-flight cycle by roughly `budget` units (traced objects
-/// while marking; swept chunks while sweeping). Returns the outcome when
-/// the cycle completes, `None` while work remains (or if no cycle is
-/// active).
+/// Advances the in-flight cycle by roughly `budget` units (marked
+/// objects while marking; chunks while sweeping; cleared refs or chunks
+/// in the epilogue). Returns the outcome when the cycle completes,
+/// `None` while work remains (or if no cycle is active).
 pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOutcome> {
-    let mut guard = state.work.lock();
-    // One telemetry span per slice, tagged by the phase the slice works
-    // on (sweep and epilogue share the sweep metric, mirroring
-    // `finish_cycle` on the monolithic path).
-    let _span = mpl_obs::span_guard(match guard.as_ref()? {
-        CycleState::Mark(_) => mpl_obs::Metric::CgcMark,
-        _ => mpl_obs::Metric::CgcSweep,
+    let mut guard = state.cycle.lock();
+    let cycle = guard.as_mut()?;
+    let in_mark = matches!(cycle.stage, Stage::Mark);
+    // One telemetry span + stall-clock arm per slice, tagged by the
+    // bucket the slice works on (sweep and epilogue share the sweep
+    // metric); packets nest their own spans and re-arm the clock.
+    let _span = mpl_obs::span_guard(if in_mark {
+        mpl_obs::Metric::CgcMark
+    } else {
+        mpl_obs::Metric::CgcSweep
     });
-    let _stall = crate::stall::guard(match guard.as_ref()? {
-        CycleState::Mark(_) => crate::stall::CGC_MARK,
-        _ => crate::stall::CGC_SWEEP,
+    let _stall = crate::stall::guard(if in_mark {
+        crate::stall::CGC_MARK
+    } else {
+        crate::stall::CGC_SWEEP
     });
-    match guard.as_mut()? {
-        CycleState::Mark(ms) => {
-            advance_mark(store, ms, budget);
-            if !ms.stack.is_empty() {
+    match &cycle.stage {
+        Stage::Mark => {
+            if !mark_slice(store, state, cycle, budget) {
                 return None;
-            }
-            // Stack empty: drain the SATB log to a fixpoint (bounded by
-            // the same budget per call — a busy mutator keeps the cycle
-            // alive rather than extending this pause).
-            let extra = state.drain_satb();
-            if !extra.is_empty() {
-                ms.stack.extend(extra);
-                advance_mark(store, ms, budget);
-                if !ms.stack.is_empty() || !state.satb.lock().is_empty() {
-                    return None;
-                }
             }
             // Mark fixpoint reached. Reachability can only shrink from
             // here (SATB covered every hide while the flag was up), so
-            // the sweep may proceed in slices with the flag down.
-            state.marking.store(false, Ordering::Release);
-            let CycleState::Mark(ms) = guard.take().expect("cycle present") else {
-                unreachable!()
-            };
+            // the sweep may proceed in packets with the flag down.
+            state.marking.store(false, Ordering::SeqCst);
             let chunks: Vec<u32> = store
                 .chunks()
                 .live_chunks()
@@ -224,125 +700,130 @@ pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOut
                 .filter(|c| c.is_entangled())
                 .map(|c| c.id())
                 .collect();
-            let out = CgcOutcome {
-                marked_objects: ms.marked.len(),
-                ..CgcOutcome::default()
-            };
-            *guard = Some(CycleState::Sweep {
-                marked: ms.marked,
-                chunks,
-                cursor: 0,
-                out,
-            });
+            cycle.stage = Stage::Sweep { chunks, cursor: 0 };
+            state.phase.store(PHASE_SWEEP, Ordering::Relaxed);
             None
         }
-        CycleState::Sweep {
-            chunks,
-            cursor,
-            out,
-            ..
-        } => {
-            let end = cursor.saturating_add(budget.max(1)).min(chunks.len());
-            for &cid in &chunks[*cursor..end] {
-                sweep_chunk(store, cid, out);
-            }
-            *cursor = end;
-            if *cursor < chunks.len() {
+        Stage::Sweep { .. } => {
+            let (batch, finished) = {
+                let Stage::Sweep { chunks, cursor } = &mut cycle.stage else {
+                    unreachable!()
+                };
+                let end = cursor.saturating_add(budget.max(1)).min(chunks.len());
+                let batch = chunks[*cursor..end].to_vec();
+                *cursor = end;
+                (batch, end >= chunks.len())
+            };
+            let cref: &Cycle = cycle;
+            par_each(batch, &|cid: u32| sweep_packet(store, state, cref, cid));
+            if !finished {
                 return None;
             }
-            let Some(CycleState::Sweep { marked, out, .. }) = guard.take() else {
-                unreachable!()
+            let retry: Vec<u32> = std::mem::take(&mut *cycle.resweep.lock());
+            if !retry.is_empty() {
+                cycle.stage = Stage::Sweep {
+                    chunks: retry,
+                    cursor: 0,
+                };
+                return None;
+            }
+            let marked = std::mem::take(&mut *cycle.marked.lock());
+            cycle.stage = if state.dirty_cycle.load(Ordering::SeqCst) {
+                Stage::EpilogueChunks {
+                    chunks: store
+                        .chunks()
+                        .live_chunks()
+                        .into_iter()
+                        .map(|c| c.id())
+                        .collect(),
+                    cursor: 0,
+                }
+            } else {
+                Stage::EpilogueRefs { marked, cursor: 0 }
             };
-            *guard = Some(CycleState::Epilogue {
-                marked,
-                cursor: 0,
-                out,
-            });
+            state.phase.store(PHASE_EPILOGUE, Ordering::Relaxed);
             None
         }
-        CycleState::Epilogue {
-            marked,
-            cursor,
-            out: _,
-        } => {
-            let end = cursor.saturating_add(budget.max(1)).min(marked.len());
-            for r in &marked[*cursor..end] {
-                if let Some(chunk) = store.chunks().try_get(r.chunk()) {
-                    if let Some(obj) = chunk.try_get(r.slot()) {
-                        obj.clear_mark();
+        Stage::EpilogueRefs { .. } => {
+            let finished = {
+                let Stage::EpilogueRefs { marked, cursor } = &mut cycle.stage else {
+                    unreachable!()
+                };
+                let end = cursor.saturating_add(budget.max(1)).min(marked.len());
+                for r in &marked[*cursor..end] {
+                    if let Some(chunk) = store.chunks().try_get(r.chunk()) {
+                        if let Some(obj) = chunk.try_get(r.slot()) {
+                            obj.clear_mark();
+                        }
                     }
                 }
-            }
-            *cursor = end;
-            if *cursor < marked.len() {
+                *cursor = end;
+                end >= marked.len()
+            };
+            if !finished {
                 return None;
             }
-            let Some(CycleState::Epilogue { out, .. }) = guard.take() else {
-                unreachable!()
+            Some(finish(store, state, &mut guard))
+        }
+        Stage::EpilogueChunks { .. } => {
+            let (batch, finished) = {
+                let Stage::EpilogueChunks { chunks, cursor } = &mut cycle.stage else {
+                    unreachable!()
+                };
+                let end = cursor.saturating_add(budget.max(1)).min(chunks.len());
+                let batch = chunks[*cursor..end].to_vec();
+                *cursor = end;
+                (batch, end >= chunks.len())
             };
-            drop(guard);
-            // Index pruning is proportional to the (usually small) pinned
-            // population; it stays in the final slice.
-            prune_entangled_indexes(store);
-            store.stats().on_cgc(out.swept_bytes);
-            Some(out)
+            par_each(batch, &|cid: u32| clear_chunk_marks(store, state, cid));
+            if !finished {
+                return None;
+            }
+            Some(finish(store, state, &mut guard))
         }
     }
+}
+
+/// Final slice: tear down the cycle, prune indexes, publish stats.
+fn finish(store: &Store, state: &CgcState, guard: &mut Option<Cycle>) -> CgcOutcome {
+    let cycle = guard.take().expect("cycle present");
+    let out = cycle.out.get();
+    // Index pruning is proportional to the (usually small) pinned
+    // population; it stays in the final slice.
+    prune_entangled_indexes(store);
+    store.stats().on_cgc(out.swept_bytes);
+    store.stats().on_cgc_packets(
+        state.packets.swap(0, Ordering::Relaxed),
+        state.packet_retries.swap(0, Ordering::Relaxed),
+    );
+    crate::audit::audit_phase(store, "cgc/sweep", 0, None);
+    state.needs_repair.store(false, Ordering::SeqCst);
+    state.dirty_cycle.store(false, Ordering::SeqCst);
+    state.packet_panics.store(0, Ordering::Relaxed);
+    state.phase.store(PHASE_IDLE, Ordering::Relaxed);
+    out
 }
 
 /// Runs a full mark–sweep cycle over the entangled spaces.
 ///
-/// `roots` must include every live task's shadow stack and any pending
-/// results; the runtime is responsible for assembling them (a brief
-/// handshake under real threads).
-pub fn collect_entangled(
-    store: &Store,
-    state: &CgcState,
-    roots: impl IntoIterator<Item = ObjRef>,
-) -> CgcOutcome {
-    // ---- mark ----------------------------------------------------------
-    let span_mark = mpl_obs::span_start();
-    let stall_mark = crate::stall::enter(crate::stall::CGC_MARK);
-    state.marking.store(true, Ordering::Release);
-    let mut ms = MarkState {
-        stack: roots.into_iter().collect(),
-        visited: HashSet::new(),
-        marked: Vec::new(),
-    };
+/// `roots` is invoked *after* the snapshot handshake and must return one
+/// packet per live task's root stack (plus any pending results); the
+/// runtime is responsible for assembling them. Packets fan out on the
+/// `mpl-sched` pool when the caller holds a worker context (install a
+/// driver first); otherwise the cycle runs on the calling thread.
+pub fn collect_entangled<F>(store: &Store, state: &CgcState, roots: F) -> CgcOutcome
+where
+    F: FnOnce() -> Vec<Vec<ObjRef>>,
+{
+    cgc_begin(store, state, roots);
     loop {
-        advance_mark(store, &mut ms, usize::MAX);
-        // Drain the SATB log to a fixpoint.
-        let extra = state.drain_satb();
-        if extra.is_empty() {
-            break;
+        if let Some(out) = cgc_step(store, state, usize::MAX) {
+            return out;
         }
-        ms.stack.extend(extra);
+        if !state.cycle_active() {
+            return CgcOutcome::default();
+        }
     }
-    state.marking.store(false, Ordering::Release);
-    mpl_obs::span_close(mpl_obs::Metric::CgcMark, span_mark);
-    crate::stall::exit(stall_mark);
-    let _span_sweep = mpl_obs::span_guard(mpl_obs::Metric::CgcSweep);
-    let _stall_sweep = crate::stall::guard(crate::stall::CGC_SWEEP);
-    finish_cycle(store, ms)
-}
-
-/// Sweep + epilogue shared by the monolithic and incremental paths.
-fn finish_cycle(store: &Store, ms: MarkState) -> CgcOutcome {
-    let mut out = CgcOutcome {
-        marked_objects: ms.marked.len(),
-        ..CgcOutcome::default()
-    };
-    let chunk_ids: Vec<u32> = store
-        .chunks()
-        .live_chunks()
-        .into_iter()
-        .filter(|c| c.is_entangled())
-        .map(|c| c.id())
-        .collect();
-    for cid in chunk_ids {
-        sweep_chunk(store, cid, &mut out);
-    }
-    epilogue(store, ms.marked, out)
 }
 
 /// Sweeps one entangled chunk: reclaims unmarked entangled-space objects
@@ -404,22 +885,6 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
     }
 }
 
-/// Clears mark bits, prunes dead index entries, records statistics.
-fn epilogue(store: &Store, marked: Vec<ObjRef>, out: CgcOutcome) -> CgcOutcome {
-    for r in marked {
-        if let Some(chunk) = store.chunks().try_get(r.chunk()) {
-            if let Some(obj) = chunk.try_get(r.slot()) {
-                obj.clear_mark();
-            }
-        }
-    }
-    prune_entangled_indexes(store);
-
-    store.stats().on_cgc(out.swept_bytes);
-    crate::audit::audit_phase(store, "cgc/sweep", 0, None);
-    out
-}
-
 /// Drops dead entries from every heap's entangled-object index.
 fn prune_entangled_indexes(store: &Store) {
     for id in 0..store.heaps().len() as u32 {
@@ -476,7 +941,7 @@ mod tests {
         let s = store();
         let (_l, x) = entangle_one(&s);
         let state = CgcState::new();
-        let out = collect_entangled(&s, &state, vec![x]);
+        let out = collect_entangled(&s, &state, || vec![vec![x]]);
         assert_eq!(out.swept_objects, 0);
         assert!(!s.handle(x).header().is_dead());
         assert!(!s.handle(x).header().is_marked(), "marks cleared after");
@@ -489,7 +954,7 @@ mod tests {
         let pinned_before = s.stats().snapshot().pinned_bytes;
         assert!(pinned_before > 0);
         let state = CgcState::new();
-        let out = collect_entangled(&s, &state, Vec::<ObjRef>::new());
+        let out = collect_entangled(&s, &state, Vec::new);
         assert_eq!(out.swept_objects, 1);
         assert!(s
             .chunks()
@@ -507,13 +972,61 @@ mod tests {
         let state = CgcState::new();
         // Simulate a mutator hiding `x` during marking: no root mentions
         // it, but the overwritten value is logged.
-        state.marking.store(true, Ordering::Release);
+        state.marking.store(true, Ordering::SeqCst);
         state.satb_log(x);
-        state.marking.store(false, Ordering::Release);
+        state.marking.store(false, Ordering::SeqCst);
         // The buffered entry must be honored by the next cycle.
-        let out = collect_entangled(&s, &state, Vec::<ObjRef>::new());
+        let out = collect_entangled(&s, &state, Vec::new);
         assert_eq!(out.swept_objects, 0, "SATB-logged object survives");
         assert!(!s.handle(x).header().is_dead());
+    }
+
+    #[test]
+    fn shard_log_flushes_at_capacity_and_on_demand() {
+        let s = store();
+        let (_l, x) = entangle_one(&s);
+        let state = CgcState::new();
+        let shard = state.register_shard();
+        state.marking.store(true, Ordering::SeqCst);
+        state.satb_log_shard(&shard, x);
+        assert_eq!(shard.buf.lock().len(), 1, "buffered, not yet flushed");
+        assert!(state.satb.lock().is_empty());
+        for _ in 0..MODBUF_CAP {
+            state.satb_log_shard(&shard, x);
+        }
+        assert!(
+            state.satb.lock().len() >= MODBUF_CAP,
+            "capacity flush published the buffer"
+        );
+        state.flush_shard(&shard);
+        assert!(shard.buf.lock().is_empty());
+        state.marking.store(false, Ordering::SeqCst);
+        // A registered shard that never polls would stall the snapshot
+        // handshake, exactly like a finished task: deregister (which
+        // drains) before collecting.
+        state.deregister_shard(&shard);
+        assert!(state.shards.lock().is_empty());
+        // The logged entries must be honored by the next cycle.
+        let out = collect_entangled(&s, &state, Vec::new);
+        assert_eq!(out.swept_objects, 0);
+    }
+
+    #[test]
+    fn safe_window_lets_handshake_complete() {
+        let state = CgcState::new();
+        let shard = state.register_shard();
+        // An unsafe, never-polling shard would hang the handshake; a
+        // safe window must unblock it.
+        state.enter_safe(&shard);
+        state.handshake();
+        state.exit_safe(&shard);
+        assert_eq!(shard.safe.load(Ordering::SeqCst), 0);
+        // A polling shard acknowledges the next epoch.
+        let e0 = state.epoch.load(Ordering::SeqCst);
+        state.epoch.fetch_add(1, Ordering::SeqCst);
+        state.poll_handshake(&shard);
+        assert_eq!(shard.acked.load(Ordering::SeqCst), e0 + 1);
+        state.deregister_shard(&shard);
     }
 
     #[test]
@@ -522,7 +1035,7 @@ mod tests {
         let h = s.new_root_heap();
         let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
         let state = CgcState::new();
-        let out = collect_entangled(&s, &state, vec![a]);
+        let out = collect_entangled(&s, &state, || vec![vec![a]]);
         assert_eq!(out.swept_objects, 0);
         assert_eq!(out.swept_bytes, 0);
         assert_eq!(out.freed_chunks, 0);
@@ -533,7 +1046,7 @@ mod tests {
         let s = store();
         let (l, _x) = entangle_one(&s);
         let state = CgcState::new();
-        collect_entangled(&s, &state, Vec::<ObjRef>::new());
+        collect_entangled(&s, &state, Vec::new);
         let canon = s.heaps().find(l);
         assert_eq!(s.heaps().info(canon).entangled_len(), 0);
     }
@@ -544,7 +1057,7 @@ mod tests {
         let (_l, live) = entangle_one(&s);
         let (_l2, dead) = entangle_one(&s);
         let state = CgcState::new();
-        cgc_begin(&s, &state, vec![live]);
+        cgc_begin(&s, &state, || vec![vec![live]]);
         assert!(state.cycle_active());
         assert!(state.is_marking());
         let mut out = None;
@@ -578,7 +1091,7 @@ mod tests {
             let _ = i;
         }
         let state = CgcState::new();
-        cgc_begin(&s, &state, vec![prev]);
+        cgc_begin(&s, &state, || vec![vec![prev]]);
         // First slice runs...
         assert!(cgc_step(&s, &state, 2).is_none(), "chain needs more slices");
         // ...then a mutator "hides" x behind an overwrite, logging it.
@@ -604,9 +1117,9 @@ mod tests {
         let s = store();
         let (_l, x) = entangle_one(&s);
         let state = CgcState::new();
-        cgc_begin(&s, &state, vec![x]);
+        cgc_begin(&s, &state, || vec![vec![x]]);
         // A second begin with *no* roots must not clobber the snapshot.
-        cgc_begin(&s, &state, Vec::<ObjRef>::new());
+        cgc_begin(&s, &state, Vec::new);
         let mut out = None;
         while out.is_none() {
             out = cgc_step(&s, &state, 8);
@@ -627,8 +1140,83 @@ mod tests {
         // Root -> holder -> x: the path crosses a disentangled object.
         let holder = s.alloc_values(root, ObjKind::Tuple, &[Value::Obj(x)]);
         let state = CgcState::new();
-        let out = collect_entangled(&s, &state, vec![holder]);
+        let out = collect_entangled(&s, &state, || vec![vec![holder]]);
         assert_eq!(out.swept_objects, 0);
         assert!(out.marked_objects >= 2);
+    }
+
+    #[test]
+    fn parallel_cycle_on_executor_matches_sequential() {
+        // Two identical stores: one collected under a worker context
+        // (packets fan out on the pool), one on the bare thread. The
+        // survivor sets must agree.
+        let build = |s: &Store| {
+            let (_l, live) = entangle_one(s);
+            let (_l2, dead) = entangle_one(s);
+            let root = s.new_root_heap();
+            let mut holder = s.alloc_values(root, ObjKind::Tuple, &[Value::Obj(live)]);
+            for _ in 0..64 {
+                holder = s.alloc_values(root, ObjKind::Tuple, &[Value::Obj(holder)]);
+            }
+            (live, dead, holder)
+        };
+        let s1 = store();
+        let (live1, dead1, holder1) = build(&s1);
+        let s2 = store();
+        let (live2, dead2, holder2) = build(&s2);
+
+        let state1 = CgcState::new();
+        let out1 = collect_entangled(&s1, &state1, || vec![vec![holder1]]);
+
+        let ex = mpl_sched::Executor::new(4);
+        let _driver = ex.install_driver();
+        let state2 = CgcState::new();
+        let out2 = collect_entangled(&s2, &state2, || vec![vec![holder2]]);
+
+        assert_eq!(out1.swept_objects, out2.swept_objects);
+        assert_eq!(out1.marked_objects, out2.marked_objects);
+        assert!(!s1.handle(live1).header().is_dead());
+        assert!(!s2.handle(live2).header().is_dead());
+        for (s, dead) in [(&s1, dead1), (&s2, dead2)] {
+            assert!(s
+                .chunks()
+                .try_get(dead.chunk())
+                .map(|c| c.try_get(dead.slot()).unwrap().header().is_dead())
+                .unwrap_or(true));
+        }
+        assert!(
+            s2.stats().snapshot().cgc_packets > 0,
+            "packet counter recorded"
+        );
+    }
+
+    #[test]
+    fn packet_panic_is_repaired_and_retried() {
+        // Inject one panic into the first trace packet; the cycle must
+        // still mark everything reachable and sweep only garbage.
+        let s = store();
+        let (_l, live) = entangle_one(&s);
+        let (_l2, dead) = entangle_one(&s);
+        let root = s.new_root_heap();
+        let holder = s.alloc_values(root, ObjKind::Tuple, &[Value::Obj(live)]);
+        let plan = mpl_fail::FailPlan::new(7).with(
+            "cgc/packet",
+            mpl_fail::FailAction::Panic,
+            mpl_fail::FailWhen::Nth(1),
+        );
+        let token = mpl_fail::install(&plan);
+        let state = CgcState::new();
+        let out = collect_entangled(&s, &state, || vec![vec![holder]]);
+        mpl_fail::uninstall(token);
+        assert_eq!(out.swept_objects, 1, "only the unreferenced pin");
+        assert!(!s.handle(live).header().is_dead());
+        assert!(s
+            .chunks()
+            .try_get(dead.chunk())
+            .map(|c| c.try_get(dead.slot()).unwrap().header().is_dead())
+            .unwrap_or(true));
+        // Dirty cycle: marks still fully cleared (chunk-scan epilogue).
+        assert!(!s.handle(live).header().is_marked());
+        assert!(s.stats().snapshot().cgc_packet_retries >= 1);
     }
 }

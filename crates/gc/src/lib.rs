@@ -42,7 +42,9 @@
 //! assert!(s.handle(cell).header().in_entangled_space());
 //!
 //! // Once nothing references it, the concurrent mark-sweep reclaims it.
-//! let out = collect_entangled(&s, &CgcState::new(), Vec::<ObjRef>::new());
+//! // Roots are supplied as a closure returning per-task packets, read
+//! // *after* the snapshot handshake.
+//! let out = collect_entangled(&s, &CgcState::new(), Vec::new);
 //! assert_eq!(out.swept_objects, 1);
 //! ```
 
@@ -58,7 +60,7 @@ pub mod stall;
 pub mod validate;
 
 pub use audit::{audit_phase, check_dead_reachability, check_shield_closure, AuditCounters};
-pub use cgc::{cgc_begin, cgc_step, collect_entangled, CgcOutcome, CgcState};
+pub use cgc::{cgc_begin, cgc_step, collect_entangled, CgcOutcome, CgcState, SatbShard};
 pub use graveyard::Graveyard;
 pub use lgc::{collect_local, LgcOutcome};
 pub use policy::GcPolicy;

@@ -97,6 +97,20 @@ pub fn current() -> Option<(&'static str, u64)> {
     GLOBAL.current()
 }
 
+static REPORTS: AtomicU64 = AtomicU64::new(0);
+
+/// Records that the watchdog flagged a stalled phase and dumped state.
+/// Called by the runtime's watchdog thread; tests use [`reports`] to
+/// assert sliced/packetized cycles under load do *not* trip it.
+pub fn note_report() {
+    REPORTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of stall reports the watchdog has emitted, process-wide.
+pub fn reports() -> u64 {
+    REPORTS.load(Ordering::Relaxed)
+}
+
 /// RAII wrapper around [`enter`]/[`exit`] for phases with multiple exit
 /// paths.
 #[derive(Debug)]

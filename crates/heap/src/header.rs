@@ -88,7 +88,7 @@ impl fmt::Display for ObjKind {
 const KIND_MASK: u64 = 0b111;
 const PINNED: u64 = 1 << 3;
 const FORWARDED: u64 = 1 << 4;
-const MARK: u64 = 1 << 5;
+pub(crate) const MARK: u64 = 1 << 5;
 const DEAD: u64 = 1 << 6;
 const ENTANGLED_SPACE: u64 = 1 << 7;
 const LEVEL_SHIFT: u32 = 8;

@@ -269,30 +269,18 @@ impl Object {
     }
 
     /// Sets the concurrent-collector mark bit; returns true if this call
-    /// marked it (false if already marked).
+    /// marked it (false if already marked). A single `fetch_or` — racing
+    /// tracers are benign and exactly one of them wins the mark, which is
+    /// what lets CGC trace packets share objects without coordination.
     pub fn try_mark(&self) -> bool {
-        loop {
-            let cur = self.header();
-            if cur.is_marked() {
-                return false;
-            }
-            if self.cas_header(cur, cur.with_mark(true)) {
-                return true;
-            }
-        }
+        let prev = self.header.fetch_or(crate::header::MARK, Ordering::AcqRel);
+        prev & crate::header::MARK == 0
     }
 
     /// Clears the mark bit (between concurrent-collection cycles).
     pub fn clear_mark(&self) {
-        loop {
-            let cur = self.header();
-            if !cur.is_marked() {
-                return;
-            }
-            if self.cas_header(cur, cur.with_mark(false)) {
-                return;
-            }
-        }
+        self.header
+            .fetch_and(!crate::header::MARK, Ordering::AcqRel);
     }
 
     /// Marks the object dead (swept). The slot's memory is reclaimed when

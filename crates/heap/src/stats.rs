@@ -44,6 +44,9 @@ pub struct StoreStats {
     pub(crate) cgc_swept_bytes: AtomicU64,
     pub(crate) cgc_pause_ns_total: AtomicU64,
     pub(crate) cgc_pause_ns_max: AtomicU64,
+    // Parallel CGC work-packet machinery.
+    pub(crate) cgc_packets: AtomicU64,
+    pub(crate) cgc_packet_retries: AtomicU64,
     // Corruption canary: a trace reached a dead-marked object. Always-on
     // (release builds included) because the matching debug assertion
     // vanishes under `--release`; any nonzero value is a collector bug.
@@ -110,6 +113,10 @@ pub struct StatsSnapshot {
     pub cgc_swept_bytes: u64,
     pub cgc_pause_ns_total: u64,
     pub cgc_pause_ns_max: u64,
+    /// CGC work packets executed (trace, sweep, and epilogue units).
+    pub cgc_packets: u64,
+    /// CGC packets re-enqueued after an injected or real packet panic.
+    pub cgc_packet_retries: u64,
     /// Corruption canary: traces that reached a dead-marked object.
     /// Counted in every build profile; any nonzero value is a collector
     /// soundness bug (see `mpl-gc`'s audit layer).
@@ -185,6 +192,8 @@ impl StoreStats {
             cgc_swept_bytes: self.cgc_swept_bytes.load(Ordering::Relaxed),
             cgc_pause_ns_total: self.cgc_pause_ns_total.load(Ordering::Relaxed),
             cgc_pause_ns_max: self.cgc_pause_ns_max.load(Ordering::Relaxed),
+            cgc_packets: self.cgc_packets.load(Ordering::Relaxed),
+            cgc_packet_retries: self.cgc_packet_retries.load(Ordering::Relaxed),
             lgc_dead_traced: self.lgc_dead_traced.load(Ordering::Relaxed),
             gc_forced_by_pressure: self.gc_forced_by_pressure.load(Ordering::Relaxed),
             alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
@@ -361,6 +370,13 @@ impl StoreStats {
         self.sub_live_bytes(swept_bytes as usize);
     }
 
+    /// Records CGC work-packet executions (and any panic-retry
+    /// re-enqueues) from a finished cycle.
+    pub fn on_cgc_packets(&self, packets: u64, retries: u64) {
+        Self::count(&self.cgc_packets, packets);
+        Self::count(&self.cgc_packet_retries, retries);
+    }
+
     /// Records a concurrent-collection pause duration. Also feeds the
     /// telemetry pause histogram (a no-op unless telemetry is enabled).
     pub fn on_cgc_pause(&self, ns: u64) {
@@ -455,6 +471,8 @@ impl StatsSnapshot {
             cgc_swept_bytes: d(self.cgc_swept_bytes, earlier.cgc_swept_bytes),
             cgc_pause_ns_total: d(self.cgc_pause_ns_total, earlier.cgc_pause_ns_total),
             cgc_pause_ns_max: self.cgc_pause_ns_max,
+            cgc_packets: d(self.cgc_packets, earlier.cgc_packets),
+            cgc_packet_retries: d(self.cgc_packet_retries, earlier.cgc_packet_retries),
             lgc_dead_traced: d(self.lgc_dead_traced, earlier.lgc_dead_traced),
             gc_forced_by_pressure: d(self.gc_forced_by_pressure, earlier.gc_forced_by_pressure),
             alloc_retries: d(self.alloc_retries, earlier.alloc_retries),

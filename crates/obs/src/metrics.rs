@@ -39,10 +39,12 @@ pub enum Metric {
     SchedPark,
     /// One buffered remset flush (grouped publish to ancestor heaps).
     RemsetFlush,
+    /// One CGC work packet (trace, sweep, or epilogue unit on a worker).
+    CgcPacket,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 12;
+pub const METRIC_COUNT: usize = 13;
 
 /// All metrics, in discriminant order.
 pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
@@ -58,6 +60,7 @@ pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
     Metric::SchedRun,
     Metric::SchedPark,
     Metric::RemsetFlush,
+    Metric::CgcPacket,
 ];
 
 impl Metric {
@@ -77,6 +80,7 @@ impl Metric {
             Metric::SchedRun => "sched_run",
             Metric::SchedPark => "sched_park",
             Metric::RemsetFlush => "remset_flush",
+            Metric::CgcPacket => "cgc_packet",
         }
     }
 
@@ -95,6 +99,7 @@ impl Metric {
             Metric::SchedRun => "Job run time on a worker",
             Metric::SchedPark => "Idle worker park interval",
             Metric::RemsetFlush => "Buffered remset flush duration",
+            Metric::CgcPacket => "One CGC work packet on a scheduler worker",
         }
     }
 
@@ -104,7 +109,7 @@ impl Metric {
             Metric::LgcPause | Metric::LgcShield | Metric::LgcEvacuate | Metric::LgcReclaim => {
                 "gc.lgc"
             }
-            Metric::CgcPause | Metric::CgcMark | Metric::CgcSweep => "gc.cgc",
+            Metric::CgcPause | Metric::CgcMark | Metric::CgcSweep | Metric::CgcPacket => "gc.cgc",
             Metric::BarrierSlow | Metric::RemsetFlush => "barrier",
             Metric::SchedSteal | Metric::SchedRun | Metric::SchedPark => "sched",
         }

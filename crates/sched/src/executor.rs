@@ -278,6 +278,47 @@ mod tests {
         }
     }
 
+    /// The GC's work-packet fan-out shape: recursive binary `try_join`
+    /// splits over a shared slice of borrowed (non-`'static`) work
+    /// items, with every leaf writing through a shared atomic. This is
+    /// exactly how `mpl-gc` schedules trace/sweep packets, so the shape
+    /// gets its own coverage here.
+    #[test]
+    fn recursive_borrowed_fanout_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        fn fan(items: &[u64], sum: &AtomicU64) {
+            if items.len() <= 1 {
+                for &it in items {
+                    sum.fetch_add(it, Ordering::Relaxed);
+                }
+                return;
+            }
+            let (l, r) = items.split_at(items.len() / 2);
+            match try_join(|| fan(l, sum), || fan(r, sum)) {
+                Ok(_) => {}
+                Err((a, b)) => {
+                    a();
+                    b();
+                }
+            }
+        }
+
+        let items: Vec<u64> = (1..=512).collect();
+        let expect: u64 = items.iter().sum();
+        // On-pool: packets are pushed/stolen across 4 workers.
+        let ex = Executor::new(4);
+        let guard = ex.install_driver().expect("driver slot free");
+        let sum = AtomicU64::new(0);
+        fan(&items, &sum);
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+        drop(guard);
+        // Off-pool: the same fan-out degrades to a sequential walk.
+        let sum = AtomicU64::new(0);
+        fan(&items, &sum);
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
     #[test]
     fn panics_propagate_from_stolen_branch() {
         let ex = Executor::new(2);

@@ -114,6 +114,102 @@ fn disentangled_suite_under_seeded_delay_chaos() {
     }
 }
 
+/// CGC pressure variant of the chaos baseline: a low pinned trigger and
+/// (optionally) sliced cycles so the concurrent collector actually runs
+/// packets during the suite.
+fn cgc_chaos_config(threads: usize, slice: usize) -> RuntimeConfig {
+    let mut cfg = chaos_config(threads);
+    cfg.policy.cgc_trigger_pinned_bytes = 16 * 1024;
+    cfg.with_cgc_slice(slice)
+}
+
+/// Packet-level faults: a panic injected inside one CGC trace/sweep work
+/// packet mid-cycle (exercising packet crash-isolation, the repair pass,
+/// and the dirty-cycle epilogue), plus delays in the packet and
+/// modbuf-flush seams to stretch the windows between hand-offs. With
+/// audits on, the suite must still produce native checksums, trace no
+/// dead objects, and leak no pins.
+#[test]
+fn entangled_suite_under_cgc_packet_fault_chaos() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let (mut total_packets, mut total_retries) = (0u64, 0u64);
+    for (seed, slice) in [(1u64, 0usize), (2, 256), (3, 0), (4, 256)] {
+        for name in ["dedup", "msqueue", "bfs", "accounts"] {
+            let plan = FailPlan::new(seed)
+                .with("cgc/packet", FailAction::Panic, FailWhen::Nth(2))
+                .with("cgc/packet", FailAction::Delay(20_000), FailWhen::OneIn(5))
+                .with(
+                    "cgc/modbuf-flush",
+                    FailAction::Delay(10_000),
+                    FailWhen::OneIn(3),
+                )
+                .with("cgc/mark", FailAction::Yield, FailWhen::OneIn(4))
+                .with("cgc/sweep", FailAction::Delay(15_000), FailWhen::OneIn(4));
+            let bench = mpl_bench_suite::by_name(name).unwrap();
+            let n = bench.small_n() / 2;
+            let rt = Runtime::new(cgc_chaos_config(4, slice).with_failpoints(plan));
+            let got = quietly(|| rt.run(|m| Value::Int(bench.run_mpl(m, n))))
+                .unwrap_or_else(|_| panic!("{name} seed {seed}: packet fault escaped the cycle"));
+            assert_eq!(
+                got,
+                Value::Int(bench.run_native(n)),
+                "{name} seed {seed} slice {slice}"
+            );
+            let s = rt.stats();
+            assert_eq!(
+                s.lgc_dead_traced, 0,
+                "{name} seed {seed}: corruption canary"
+            );
+            assert_eq!(s.pinned_bytes, 0, "{name} seed {seed}: leaked pins");
+            total_packets += s.cgc_packets;
+            total_retries += s.cgc_packet_retries;
+            drop(rt);
+        }
+        let audit = mpl_gc::audit::counters();
+        assert_eq!(audit.failures, 0, "seed {seed}: audit failures");
+    }
+    // The low trigger guarantees the concurrent collector actually ran,
+    // and with a Nth(2) panic armed per runtime at least one packet must
+    // have crashed and been re-enqueued somewhere across the matrix.
+    assert!(total_packets > 0, "CGC never packetized under pressure");
+    assert!(
+        total_retries > 0,
+        "injected packet panics never exercised the retry path \
+         ({total_packets} packets ran)"
+    );
+}
+
+/// Watchdog false-positive regression: a sliced CGC cycle under load
+/// spans many `cgc_step` calls, and before the per-packet/per-slice
+/// re-arm the phase clock treated the whole span as one ever-aging
+/// phase, producing stall dumps for healthy cycles. With benign delays
+/// stretching the mark phase and a deadline much shorter than the full
+/// cycle, the watchdog must stay quiet — every packet re-arms the clock.
+#[test]
+fn sliced_cgc_under_load_does_not_false_stall() {
+    let _guard = CHAOS_LOCK.lock().unwrap();
+    let before = mpl_gc::stall::reports();
+    let plan = FailPlan::new(5)
+        .with("cgc/mark", FailAction::Delay(3_000_000), FailWhen::OneIn(2))
+        .with("cgc/packet", FailAction::Delay(500_000), FailWhen::OneIn(3));
+    let bench = mpl_bench_suite::by_name("msqueue").unwrap();
+    let n = bench.small_n() / 2;
+    let rt = Runtime::new(
+        cgc_chaos_config(2, 128)
+            .with_failpoints(plan)
+            .with_gc_watchdog(Duration::from_millis(50)),
+    );
+    let got = rt.run(|m| Value::Int(bench.run_mpl(m, n)));
+    assert_eq!(got, Value::Int(bench.run_native(n)));
+    assert_eq!(rt.stats().lgc_dead_traced, 0);
+    drop(rt);
+    assert_eq!(
+        mpl_gc::stall::reports(),
+        before,
+        "healthy sliced cycle must not trip the stall watchdog"
+    );
+}
+
 #[test]
 fn injected_panic_then_fresh_runtime_matches_uninjected_run() {
     let _guard = CHAOS_LOCK.lock().unwrap();

@@ -243,6 +243,43 @@ fn entangled_suite_with_phase_audits() {
 }
 
 #[test]
+fn entangled_suite_with_audits_at_env_worker_count() {
+    // CI's `cgc-parallel` job runs this at 2, 4, and 8 workers
+    // (`MPL_CGC_WORKERS`, matrix-driven); locally it defaults to 4.
+    // Same invariants as the audit sweep above, plus proof that the
+    // concurrent collector actually ran packets under pressure. The run
+    // is telemetered and its Chrome trace written *before* the asserts,
+    // so a CI failure uploads the exact packet interleaving that broke.
+    let workers: usize = std::env::var("MPL_CGC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut total_packets = 0u64;
+    for name in ["dedup", "msqueue", "bfs", "accounts", "unionfind"] {
+        let bench = mpl_bench_suite::by_name(name).unwrap();
+        let n = bench.small_n() / 2;
+        let rt = Runtime::new(threaded_pressure(workers).with_audit().with_telemetry());
+        let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run(|m| Value::Int(bench.run_mpl(m, n)))
+        }));
+        let trace = rt.telemetry_report().chrome_trace;
+        std::fs::create_dir_all("results").ok();
+        std::fs::write(format!("results/cgc_parallel_trace_{workers}.json"), trace).ok();
+        let got = got.unwrap_or_else(|p| std::panic::resume_unwind(p));
+        assert_eq!(got, Value::Int(bench.run_native(n)), "{name} @ {workers}w");
+        let s = rt.stats();
+        assert_eq!(s.pinned_bytes, 0, "{name} @ {workers}w: leaked pins");
+        assert_eq!(s.lgc_dead_traced, 0, "{name} @ {workers}w: dead traced");
+        assert!(s.audit_runs > 0, "{name} @ {workers}w: audits must run");
+        total_packets += s.cgc_packets;
+    }
+    assert!(
+        total_packets > 0,
+        "CGC never packetized across the suite at {workers} workers"
+    );
+}
+
+#[test]
 fn buffered_remsets_flush_at_joins_under_audit() {
     // Down-pointer remembered-set entries are buffered task-privately
     // and published at safepoints (forks, joins, collections, task

@@ -23,32 +23,32 @@ struct Row {
 }
 
 fn main() {
-    println!("E9: ablations (chunk size, LGC trigger, CGC trigger)\n");
+    println!("E9: ablations (block size, LGC trigger, CGC trigger)\n");
     let mut rows = Vec::new();
 
-    // Chunk-size sweep on msort (allocation-heavy, disentangled).
-    let mut t1 = Table::new(&["chunk slots", "wall", "R_1", "LGC runs"]);
+    // Block-size sweep on msort (allocation-heavy, disentangled).
+    let mut t1 = Table::new(&["block words", "wall", "R_1", "LGC runs"]);
     let msort = mpl_bench_suite::by_name("msort").unwrap();
     let n = scaled(msort.default_n()) / 2;
-    for slots in [64usize, 256, 1024] {
+    for words in [128usize, 512, 2048] {
         let cfg = RuntimeConfig {
             store: StoreConfig {
-                chunk_slots: slots,
+                block_words: words,
                 ..Default::default()
             },
             ..RuntimeConfig::managed()
         };
         let run = run_mpl(msort.as_ref(), n, cfg);
         t1.row(vec![
-            slots.to_string(),
+            words.to_string(),
             fmt_dur(run.wall),
             fmt_bytes(run.stats.max_live_bytes),
             run.stats.lgc_runs.to_string(),
         ]);
         rows.push(Row {
-            ablation: "chunk_slots".into(),
+            ablation: "block_words".into(),
             benchmark: "msort".into(),
-            setting: slots.to_string(),
+            setting: words.to_string(),
             wall_us: run.wall.as_micros(),
             max_live: run.stats.max_live_bytes,
             lgc_runs: run.stats.lgc_runs,

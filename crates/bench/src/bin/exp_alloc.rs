@@ -1,0 +1,237 @@
+//! E14 — Allocation-throughput microbenchmark: the cost of one object
+//! allocation through the block allocator's bump-pointer fast path, in
+//! ns/object and MB/s, per size class:
+//!
+//! * 2-field tuple (class 0), 6-field tuple (class 1), 14-field tuple
+//!   (class 2), 24-field tuple (overflow class), `ref` cell, raw array
+//! * a sustained churn loop with LGC enabled (allocation + reclamation
+//!   steady state, the rate real programs see)
+//!
+//! Each row reports how many of the timed allocations overflowed to the
+//! store slow path (`store_allocs`, derived from the blocks-allocated
+//! counter): the fast-path claim is measurable as a block-refill rate of
+//! roughly one per `block_words / object-size` allocations.
+//!
+//! With `--check <baseline.json>` the binary compares its measured
+//! ns/op against a committed baseline and exits non-zero if any row
+//! regressed by more than 5% (override with `MPL_BENCH_TOLERANCE`, a
+//! fraction). CI pins the baseline under `results/baselines/`.
+
+use std::time::Instant;
+
+use mpl_bench::{write_json, Table};
+use mpl_runtime::{GcPolicy, Mutator, Runtime, RuntimeConfig, Value};
+use serde::Serialize;
+
+const ITERS: usize = 1_000_000;
+/// Timed batches per row; the reported ns/op is the fastest batch
+/// (min-of-N damps page-fault and scheduler noise on shared machines).
+const BATCHES: usize = 10;
+
+#[derive(Serialize)]
+struct Row {
+    op: String,
+    ns_per_op: f64,
+    mb_per_s: f64,
+    /// Store-path (block refill / oversized) allocations during the
+    /// timed loop; the remainder ran on the task-local bump pointer.
+    store_allocs: u64,
+}
+
+fn bench_alloc(
+    name: &str,
+    bytes_per_op: usize,
+    rows: &mut Vec<Row>,
+    table: &mut Table,
+    m: &mut Mutator<'_>,
+    mut f: impl FnMut(&mut Mutator<'_>),
+) {
+    for _ in 0..1000 {
+        f(m);
+    }
+    m.sync_stats();
+    let before = m.runtime().stats();
+    let per_batch = ITERS / BATCHES;
+    let mut ns = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..per_batch {
+            f(m);
+        }
+        ns = ns.min(start.elapsed().as_nanos() as f64 / per_batch as f64);
+    }
+    m.sync_stats();
+    let d = m.runtime().stats().delta(&before);
+    let mb_per_s = bytes_per_op as f64 / ns * 1e9 / (1024.0 * 1024.0);
+    table.row(vec![
+        name.to_string(),
+        format!("{ns:.1}"),
+        format!("{mb_per_s:.0}"),
+        d.blocks_allocated.to_string(),
+    ]);
+    rows.push(Row {
+        op: name.to_string(),
+        ns_per_op: ns,
+        mb_per_s,
+        store_allocs: d.blocks_allocated,
+    });
+}
+
+fn check(rows: &[Row], baseline_path: &str) -> bool {
+    let tolerance: f64 = std::env::var("MPL_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("cannot parse baseline {baseline_path}: no rows found");
+        return false;
+    }
+    let mut ok = true;
+    for (op, base_ns) in &baseline {
+        let Some(now) = rows.iter().find(|r| &r.op == op) else {
+            eprintln!("FAIL {op}: missing from this run");
+            ok = false;
+            continue;
+        };
+        let ratio = now.ns_per_op / base_ns;
+        if ratio > 1.0 + tolerance {
+            eprintln!(
+                "FAIL {op}: {:.1} ns/op vs baseline {base_ns:.1} ({:+.1}%, tolerance {:.0}%)",
+                now.ns_per_op,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            );
+            ok = false;
+        } else {
+            println!(
+                "ok   {op}: {:.1} ns/op vs baseline {base_ns:.1} ({:+.1}%)",
+                now.ns_per_op,
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    ok
+}
+
+/// Minimal parse of our own pretty-printed output: pairs every
+/// `"op": "..."` with the following `"ns_per_op": <float>`. (The
+/// vendored serde is serialize-only, and the format is ours.)
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut op: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(rest) = line.strip_prefix("\"op\": \"") {
+            op = rest.strip_suffix('\"').map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"ns_per_op\": ") {
+            if let (Some(o), Ok(ns)) = (op.take(), rest.parse::<f64>()) {
+                out.push((o, ns));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("E14: allocation throughput ({ITERS} allocations per row)\n");
+    let mut table = Table::new(&["operation", "ns/op", "MB/s", "block refills"]);
+    let mut rows = Vec::new();
+
+    // Pure allocator cost: GC off so nothing but the bump path and its
+    // block refills is measured.
+    let rt = Runtime::new(RuntimeConfig::managed().with_policy(GcPolicy::disabled()));
+    rt.run(|m| {
+        let obj_bytes = |fields: usize| mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields;
+        bench_alloc(
+            "alloc_tuple/2 (class 0)",
+            obj_bytes(2),
+            &mut rows,
+            &mut table,
+            m,
+            |m| {
+                std::hint::black_box(m.alloc_tuple(&[Value::Int(1), Value::Int(2)]));
+            },
+        );
+        let f6 = [Value::Int(0); 6];
+        bench_alloc(
+            "alloc_tuple/6 (class 1)",
+            obj_bytes(6),
+            &mut rows,
+            &mut table,
+            m,
+            |m| {
+                std::hint::black_box(m.alloc_tuple(&f6));
+            },
+        );
+        let f14 = [Value::Int(0); 14];
+        bench_alloc(
+            "alloc_tuple/14 (class 2)",
+            obj_bytes(14),
+            &mut rows,
+            &mut table,
+            m,
+            |m| {
+                std::hint::black_box(m.alloc_tuple(&f14));
+            },
+        );
+        let f24 = [Value::Int(0); 24];
+        bench_alloc(
+            "alloc_tuple/24 (overflow)",
+            obj_bytes(24),
+            &mut rows,
+            &mut table,
+            m,
+            |m| {
+                std::hint::black_box(m.alloc_tuple(&f24));
+            },
+        );
+        bench_alloc("alloc_ref", obj_bytes(1), &mut rows, &mut table, m, |m| {
+            std::hint::black_box(m.alloc_ref(Value::Int(7)));
+        });
+        bench_alloc("alloc_raw/8", obj_bytes(8), &mut rows, &mut table, m, |m| {
+            std::hint::black_box(m.alloc_raw(8));
+        });
+        Value::Unit
+    });
+
+    // Sustained churn with the local collector running: allocation rate
+    // at the steady state where reclamation keeps residency flat.
+    let rt = Runtime::new(RuntimeConfig::managed());
+    rt.run(|m| {
+        bench_alloc(
+            "alloc_tuple/2 + LGC churn",
+            mpl_heap::OBJECT_OVERHEAD_BYTES + 16,
+            &mut rows,
+            &mut table,
+            m,
+            |m| {
+                std::hint::black_box(m.alloc_tuple(&[Value::Int(1), Value::Int(2)]));
+            },
+        );
+        Value::Unit
+    });
+
+    print!("{}", table.render());
+    write_json("e14_alloc", &rows);
+    println!("\nwrote results/e14_alloc.json");
+
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("--check") {
+        let baseline = args
+            .next()
+            .unwrap_or_else(|| "results/baselines/e14_alloc_baseline.json".into());
+        println!("\nchecking against {baseline}");
+        if !check(&rows, &baseline) {
+            std::process::exit(1);
+        }
+        println!("all rows within tolerance");
+    }
+}

@@ -73,7 +73,7 @@ fn armed_idle_plan() -> FailPlan {
     let never = FailWhen::Nth(u64::MAX);
     FailPlan::new(0)
         .with("heap/alloc", FailAction::Yield, never)
-        .with("heap/chunk_map", FailAction::Yield, never)
+        .with("heap/block_map", FailAction::Yield, never)
         .with("alloc/words", FailAction::Yield, never)
         .with("lgc/shield", FailAction::Yield, never)
         .with("lgc/evacuate", FailAction::Yield, never)

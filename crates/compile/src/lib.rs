@@ -235,10 +235,10 @@ mod tests {
             policy: mpl_runtime::GcPolicy {
                 lgc_trigger_bytes: 1024,
                 cgc_trigger_pinned_bytes: 8192,
-                immediate_chunk_free: true,
+                immediate_block_free: true,
             },
             store: mpl_runtime::StoreConfig {
-                chunk_slots: 8,
+                block_words: 32,
                 ..Default::default()
             },
             ..RuntimeConfig::managed()

@@ -19,10 +19,10 @@ fn configs() -> Vec<(&'static str, RuntimeConfig)> {
                 policy: GcPolicy {
                     lgc_trigger_bytes: 8 * 1024,
                     cgc_trigger_pinned_bytes: 16 * 1024,
-                    immediate_chunk_free: true,
+                    immediate_block_free: true,
                 },
                 store: StoreConfig {
-                    chunk_slots: 16,
+                    block_words: 64,
                     ..Default::default()
                 },
                 ..RuntimeConfig::managed()
@@ -96,10 +96,10 @@ fn histogram_program_entangles() {
             policy: GcPolicy {
                 lgc_trigger_bytes: 8 * 1024,
                 cgc_trigger_pinned_bytes: 16 * 1024,
-                immediate_chunk_free: true,
+                immediate_block_free: true,
             },
             store: StoreConfig {
-                chunk_slots: 16,
+                block_words: 64,
                 ..Default::default()
             },
             ..RuntimeConfig::managed()

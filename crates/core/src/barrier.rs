@@ -8,17 +8,20 @@
 //! counted separately in [`mpl_heap::StatsSnapshot`]:
 //!
 //! * **Fast tier** (`barrier_read_fast` / `barrier_write_fast`): the
-//!   access completed using only the object header and the task-local
-//!   chunk cache — **zero lock acquisitions, zero `Arc` clones, zero
-//!   heap-table queries**. The read fast path is the paper's
-//!   entanglement-candidates check: a header-bit test (`SUSPECT` /
-//!   `PINNED`) on an object already resident in the chunk cache. The
-//!   write fast paths are (1) storing an immediate under managed
-//!   semantics, and (2) a pointer store where source and target both
-//!   provably live in this task's own leaf heap (chunk-owner identity —
-//!   heap ids are globally unique and a leaf stays canonical while its
-//!   task runs), which can neither create entanglement nor a
-//!   down-pointer.
+//!   access completed using only per-block side metadata and the
+//!   task-local block cache — **zero lock acquisitions, zero `Arc`
+//!   clones, zero heap-table or registry queries**. The read fast path
+//!   is the paper's entanglement-candidates check: one load of the
+//!   block's `slow` bitmap (suspect ∪ pinned, maintained by
+//!   `mark_suspect`/`try_pin`) for an object already resident in the
+//!   block cache. The write fast paths are (1) storing an immediate
+//!   under managed semantics, and (2) a pointer store where source and
+//!   target both provably live in this task's own leaf heap — the
+//!   target classified by the SFT-style block table
+//!   ([`mpl_heap::SftTable::owner_of`], one shifted load), the source by
+//!   cached block owner; heap ids are globally unique and a leaf stays
+//!   canonical while its task runs, so locality can neither create
+//!   entanglement nor a down-pointer.
 //!
 //! * **Slow tier** (`barrier_read_slow` / `barrier_write_slow`): the
 //!   full machinery — locate the target, query the heap table for the
@@ -60,22 +63,22 @@ impl Mutator<'_> {
         // task may hold raw remote pointers, so its allocations must be
         // scanned (see `alloc_pin_remote`).
         self.ctx.saw_remote = true;
-        let chunk = self.cached_chunk(r);
-        let obj = chunk.get(r.slot());
+        let block = self.cached_block(r);
+        let obj = block.get(r.word());
         // Steady state: already pinned at (or below) this level — a single
         // header load, no CAS.
         let hdr = obj.header();
         if hdr.is_pinned() && hdr.pin_level() <= level && !hdr.is_forwarded() {
             return r;
         }
-        let owner = chunk.owner();
+        let owner = block.owner();
         let size = obj.size_bytes();
         match obj.try_pin(level) {
             PinOutcome::AlreadyPinned { .. } => r,
             PinOutcome::NewlyPinned => {
                 let store = self.rt.store();
                 store.heaps().register_entangled(owner, r, level);
-                self.cached_chunk(r).add_pinned(1);
+                self.cached_block(r).add_pinned(1);
                 store.stats().on_pin(size);
                 events::emit_obj(EventKind::Pin, r, u32::from(level));
                 self.rt.cgc_state().satb_log_shard(&self.ctx.satb, r);
@@ -105,7 +108,7 @@ impl Mutator<'_> {
             let raw = *slot;
             let Value::Obj(_) = raw else { continue };
             let t = self.locate_ref(raw, "allocation barrier");
-            let owner = self.cached_chunk(t).owner();
+            let owner = self.cached_block(t).owner();
             let (_, _, lca) = self.rt.store().heaps().path_relation(&self.ctx.path, owner);
             if let Some(level) = lca {
                 self.ctx.pending.entangled_writes += 1;
@@ -121,14 +124,14 @@ impl Mutator<'_> {
     pub(crate) fn mut_read(&mut self, objv: Value, idx: usize) -> Value {
         self.ctx.work += self.rt.config().work.read;
         let src = self.locate_ref(objv, "mutable read");
-        let obj = self.cached_chunk(src).get(src.slot());
+        let obj = self.cached_block(src).get(src.word());
         debug_assert!(
             obj.kind().is_mutable_boxed(),
             "mutable read on {:?}",
             obj.kind()
         );
         let raw = obj.field(idx);
-        let hdr = obj.header();
+        let slow = obj.is_slow();
         let cfg = self.rt.config();
         if cfg.mode == Mode::NoEntanglementBarrier {
             return self.fix_stale(raw);
@@ -138,9 +141,10 @@ impl Mutator<'_> {
         // that never received a down-pointer write and is not pinned can
         // only hold pointers up its own path — no remote check needed.
         // Every remote acquisition necessarily flows through a suspect or
-        // pinned object, so nothing is missed. Two header-bit tests on
-        // the already-loaded header; no table, no lock, no Arc clone.
-        if !cfg.force_slow_path && cfg.suspects && !hdr.is_suspect() && !hdr.is_pinned() {
+        // pinned object, so nothing is missed. One shifted load of the
+        // block's `slow` side-metadata bitmap (suspect ∪ pinned); no
+        // table, no lock, no Arc clone, no header traffic.
+        if !cfg.force_slow_path && cfg.suspects && !slow {
             self.ctx.pending.read_fast += 1;
             return raw;
         }
@@ -168,15 +172,15 @@ impl Mutator<'_> {
             .rt
             .store()
             .heaps()
-            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+            .path_relation(&self.ctx.path, self.cached_block(t).owner());
         let Some(level) = lca else {
             // Local target: repair a stale source field if we chased
             // forwarding (rare; re-locating the source is fine).
             if Value::Obj(t) != raw {
                 let src = self.locate_ref(objv, "mutable read");
                 let _ = self
-                    .cached_chunk(src)
-                    .get(src.slot())
+                    .cached_block(src)
+                    .get(src.word())
                     .cas_field(idx, raw, Value::Obj(t));
             }
             return Value::Obj(t);
@@ -190,8 +194,8 @@ impl Mutator<'_> {
         if Value::Obj(pinned) != raw {
             let src = self.locate_ref(objv, "mutable read");
             let _ = self
-                .cached_chunk(src)
-                .get(src.slot())
+                .cached_block(src)
+                .get(src.word())
                 .cas_field(idx, raw, Value::Obj(pinned));
         }
         Value::Obj(pinned)
@@ -199,7 +203,7 @@ impl Mutator<'_> {
 
     pub(crate) fn mut_write(&mut self, objv: Value, idx: usize, v: Value) {
         let r = self.write_barrier(objv, idx, v);
-        let obj = self.cached_chunk(r).get(r.slot());
+        let obj = self.cached_block(r).get(r.word());
         // Deletion barrier: log the overwritten pointer *before* the
         // store. `is_marking` is an Acquire load of the flag the
         // collector raises before its snapshot handshake; a mutator that
@@ -223,7 +227,7 @@ impl Mutator<'_> {
         new: Value,
     ) -> Result<(), Value> {
         let r = self.write_barrier(objv, idx, new);
-        let obj = self.cached_chunk(r).get(r.slot());
+        let obj = self.cached_block(r).get(r.word());
         if self.rt.cgc_state().is_marking() {
             if let Value::Obj(old) = expected {
                 self.rt.cgc_state().satb_log_shard(&self.ctx.satb, old);
@@ -244,8 +248,8 @@ impl Mutator<'_> {
         self.ctx.work += self.rt.config().work.write;
         let src = self.locate_ref(objv, "mutable write");
         debug_assert!(
-            self.cached_chunk(src)
-                .get(src.slot())
+            self.cached_block(src)
+                .get(src.word())
                 .kind()
                 .is_mutable_boxed(),
             "mutable write on immutable object"
@@ -264,28 +268,25 @@ impl Mutator<'_> {
             return src;
         }
         // FAST TIER exit 2: a pointer store where source and target both
-        // live in this task's own leaf heap. Chunk owner ids are written
-        // once at chunk allocation and heap ids are never reused, so
+        // live in this task's own leaf heap. Block owner ids are written
+        // once at block allocation and heap ids are never reused, so
         // `owner == leaf` proves leaf-heap residency without touching the
         // heap table; equal depths mean no down-pointer and locality
         // means no entanglement, in every mode. (Forwarding never leaves
         // a heap, so the check holds even for a stale target ref — and
         // the slow tier stores the caller's `v` unresolved in the local
-        // case too.) The target's chunk is only *peeked* in the cache,
-        // never installed: installing could evict the source's slot,
-        // which callers need resident. A peek miss falls to the slow
-        // tier — the registry lookup it would need is exactly what
-        // distinguishes the tiers.
+        // case too.) The target is classified by the SFT block table —
+        // one shifted load into the side-metadata segment array, no
+        // registry lock, and no cache traffic that could evict the
+        // source's slot (which callers need resident).
         if !cfg.force_slow_path && matches!(v, Value::Obj(_)) {
             let leaf = self.leaf_heap();
             if let Value::Obj(t) = v {
-                if self.cached_chunk(src).owner() == leaf {
-                    if let Some((cid, c)) = &self.ctx.chunk_cache[(t.chunk() & 3) as usize] {
-                        if *cid == t.chunk() && c.owner() == leaf {
-                            self.ctx.pending.write_fast += 1;
-                            return src;
-                        }
-                    }
+                if self.cached_block(src).owner() == leaf
+                    && store.sft().owner_of(t.block()) == Some(leaf)
+                {
+                    self.ctx.pending.write_fast += 1;
+                    return src;
                 }
             }
         }
@@ -299,7 +300,7 @@ impl Mutator<'_> {
         let src = self.locate_ref(objv, "mutable write");
         let (o_heap, o_depth, o_lca) = store
             .heaps()
-            .path_relation(&self.ctx.path, self.cached_chunk(src).owner());
+            .path_relation(&self.ctx.path, self.cached_block(src).owner());
         let o_local = o_lca.is_none();
         if !o_local {
             match mode {
@@ -311,7 +312,7 @@ impl Mutator<'_> {
                         let t = self.locate_ref(v, "written value");
                         // The written pointer becomes visible to the
                         // remote object's owner: pin at the heaps' LCA.
-                        let t_heap = store.heaps().find(self.cached_chunk(t).owner());
+                        let t_heap = store.heaps().find(self.cached_block(t).owner());
                         let level = store.heaps().lca_of(o_heap, t_heap);
                         let _ = self.pin_cached(t, level);
                     }
@@ -323,7 +324,7 @@ impl Mutator<'_> {
             let t = self.locate_ref(v, "written value");
             let (t_heap, t_depth, t_lca) = store
                 .heaps()
-                .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+                .path_relation(&self.ctx.path, self.cached_block(t).owner());
             let t_local = t_lca.is_none();
             if t_local {
                 if t_depth > o_depth {
@@ -334,7 +335,7 @@ impl Mutator<'_> {
                     // cache slot.) The entry goes to the task-private
                     // buffer, published at the next safepoint flush.
                     let src = self.locate_ref(objv, "mutable write");
-                    self.cached_chunk(src).get(src.slot()).mark_suspect();
+                    self.cached_block(src).get(src.word()).mark_suspect();
                     self.buffer_remset(
                         t_heap,
                         RemsetEntry {
@@ -351,7 +352,7 @@ impl Mutator<'_> {
                 let level = store.heaps().lca_of(o_heap, t_heap);
                 let _ = self.pin_cached(t, level);
                 let src = self.locate_ref(objv, "mutable write");
-                self.cached_chunk(src).get(src.slot()).mark_suspect();
+                self.cached_block(src).get(src.word()).mark_suspect();
                 return src;
             } else if mode == Mode::DetectOnly {
                 panic!("{ENTANGLEMENT_PANIC}");
@@ -374,7 +375,7 @@ impl Mutator<'_> {
             .rt
             .store()
             .heaps()
-            .path_relation(&self.ctx.path, self.cached_chunk(t).owner());
+            .path_relation(&self.ctx.path, self.cached_block(t).owner());
         let Some(level) = lca else {
             return Value::Obj(t);
         };

@@ -62,7 +62,7 @@ pub struct RuntimeConfig {
     pub mode: Mode,
     /// Collection thresholds.
     pub policy: GcPolicy,
-    /// Store parameters (chunk sizing).
+    /// Store parameters (block sizing).
     pub store: StoreConfig,
     /// Record the computation DAG for scheduler simulation.
     pub record_dag: bool,
@@ -306,7 +306,7 @@ impl RuntimeConfig {
         self.threads = threads;
         self.policy = if threads > 1 {
             GcPolicy {
-                immediate_chunk_free: false,
+                immediate_block_free: false,
                 ..self.policy
             }
         } else {
@@ -321,11 +321,11 @@ impl RuntimeConfig {
         self
     }
 
-    /// Replaces the GC policy (preserving thread-safety of chunk freeing).
+    /// Replaces the GC policy (preserving thread-safety of block freeing).
     pub fn with_policy(mut self, policy: GcPolicy) -> RuntimeConfig {
         self.policy = policy;
         if self.threads > 1 {
-            self.policy.immediate_chunk_free = false;
+            self.policy.immediate_block_free = false;
         }
         self
     }
@@ -346,13 +346,13 @@ mod tests {
     }
 
     #[test]
-    fn threaded_config_defers_chunk_freeing() {
+    fn threaded_config_defers_block_freeing() {
         let c = RuntimeConfig::managed().with_threads_exact(4);
         assert_eq!(c.threads, 4);
-        assert!(!c.policy.immediate_chunk_free);
+        assert!(!c.policy.immediate_block_free);
         let c = c.with_policy(GcPolicy::default());
         assert!(
-            !c.policy.immediate_chunk_free,
+            !c.policy.immediate_block_free,
             "preserved across policy set"
         );
     }

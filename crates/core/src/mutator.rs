@@ -18,9 +18,11 @@
 //!
 //! Mutator operations are the compiled program's inner loop, so each op
 //! touches global structures as little as possible: a four-entry
-//! task-local chunk cache short-circuits the chunk registry for repeated
+//! task-local block cache short-circuits the block registry for repeated
 //! accesses to the same object/array, the allocation fast path is a
-//! single bump in a cached chunk, and rooting is a push onto the task's
+//! single bump-pointer reservation in a cached size-class block (no lock,
+//! no `Arc` clone, no per-object `Vec` — field words are staged in a
+//! reused task scratch buffer), and rooting is a push onto the task's
 //! private lock-free [`crate::roots::RootStack`]. Down-pointer
 //! remembered-set entries are buffered task-locally (with per-object
 //! dedup) and published in batches at safepoints — see
@@ -31,7 +33,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use mpl_gc::collect_local;
-use mpl_heap::{Chunk, ObjKind, ObjRef, Object, RemsetEntry, TenantBudget, Value, Word};
+use mpl_heap::{
+    size_class, Block, ObjKind, ObjRef, RemsetEntry, TenantBudget, Value, Word, NUM_SIZE_CLASSES,
+    OBJECT_HEADER_WORDS,
+};
 use mpl_sched::{DagBuilder, StrandId};
 
 use crate::config::Mode;
@@ -138,10 +143,10 @@ impl Drop for SafeWindow<'_> {
     }
 }
 
-/// A resolved object location: current address plus its (cached) chunk.
+/// A resolved object location: current address plus its (cached) block.
 struct Located {
     r: ObjRef,
-    chunk: Arc<Chunk>,
+    block: Arc<Block>,
 }
 
 /// Per-task execution state.
@@ -153,8 +158,15 @@ pub(crate) struct TaskCtx {
     pub(crate) dag: Option<Arc<DagBuilder>>,
     pub(crate) strand: StrandId,
     pub(crate) work: u64,
-    pub(crate) chunk_cache: [Option<(u32, Arc<Chunk>)>; 4],
-    pub(crate) alloc_cache: Option<Arc<Chunk>>,
+    pub(crate) block_cache: [Option<(u32, Arc<Block>)>; 4],
+    /// Per-size-class bump targets: the task's current allocation block
+    /// for each class, refreshed from the heap after every store-path
+    /// (overflow) allocation and dropped at collections.
+    pub(crate) alloc_cache: [Option<Arc<Block>>; NUM_SIZE_CLASSES],
+    /// Reused field staging buffers so the allocation paths never build
+    /// a per-object `Vec` (taken/restored around each allocation).
+    pub(crate) scratch_vals: Vec<Value>,
+    pub(crate) scratch_words: Vec<Word>,
     pub(crate) pending: PendingStats,
     /// Size-proportional collection budget: collect once `alloc_since`
     /// exceeds `max(policy trigger, 2 × last survivors)`. Keeps total
@@ -251,8 +263,10 @@ impl TaskCtx {
             dag,
             strand,
             work: 0,
-            chunk_cache: [None, None, None, None],
-            alloc_cache: None,
+            block_cache: [None, None, None, None],
+            alloc_cache: std::array::from_fn(|_| None),
+            scratch_vals: Vec::new(),
+            scratch_words: Vec::new(),
             pending: PendingStats::default(),
             lgc_budget: rt.config().policy.lgc_trigger_bytes,
             saw_remote: false,
@@ -288,8 +302,10 @@ impl TaskCtx {
             dag,
             strand,
             work: 0,
-            chunk_cache: [None, None, None, None],
-            alloc_cache: None,
+            block_cache: [None, None, None, None],
+            alloc_cache: std::array::from_fn(|_| None),
+            scratch_vals: Vec::new(),
+            scratch_words: Vec::new(),
             pending: PendingStats::default(),
             lgc_budget: lgc_budget.max(rt.config().policy.lgc_trigger_bytes),
             saw_remote: false,
@@ -462,48 +478,48 @@ impl<'rt> Mutator<'rt> {
 
     // ---- hot-path plumbing ----------------------------------------------
 
-    fn chunk(&mut self, id: u32) -> Arc<Chunk> {
+    fn block(&mut self, id: u32) -> Arc<Block> {
         let slot = (id & 3) as usize;
-        if let Some((cid, c)) = &self.ctx.chunk_cache[slot] {
-            if *cid == id {
-                return Arc::clone(c);
+        if let Some((bid, b)) = &self.ctx.block_cache[slot] {
+            if *bid == id {
+                return Arc::clone(b);
             }
         }
-        let c = self.rt.store().chunks().get(id);
-        self.ctx.chunk_cache[slot] = Some((id, Arc::clone(&c)));
-        c
+        let b = self.rt.store().blocks().get(id);
+        self.ctx.block_cache[slot] = Some((id, Arc::clone(&b)));
+        b
     }
 
     /// Like [`Mutator::locate`], but returns only the reference and leaves
-    /// the chunk in the cache — callers borrow it with
-    /// [`Mutator::cached_chunk`], avoiding an `Arc` clone per operation.
+    /// the block in the cache — callers borrow it with
+    /// [`Mutator::cached_block`], avoiding an `Arc` clone per operation.
     pub(crate) fn locate_ref(&mut self, v: Value, what: &str) -> ObjRef {
         let mut r = match v {
             Value::Obj(r) => r,
             other => panic!("{what} expects an object, found {other:?}"),
         };
         loop {
-            let slot = (r.chunk() & 3) as usize;
-            let hit = matches!(&self.ctx.chunk_cache[slot], Some((cid, _)) if *cid == r.chunk());
+            let slot = (r.block() & 3) as usize;
+            let hit = matches!(&self.ctx.block_cache[slot], Some((bid, _)) if *bid == r.block());
             if !hit {
-                let c = self.rt.store().chunks().get(r.chunk());
-                self.ctx.chunk_cache[slot] = Some((r.chunk(), c));
+                let b = self.rt.store().blocks().get(r.block());
+                self.ctx.block_cache[slot] = Some((r.block(), b));
             }
-            let (_, chunk) = self.ctx.chunk_cache[slot].as_ref().unwrap();
-            match chunk.get(r.slot()).forward_ref() {
+            let (_, block) = self.ctx.block_cache[slot].as_ref().unwrap();
+            match block.get(r.word()).forward_ref() {
                 Some(next) => r = next,
                 None => return r,
             }
         }
     }
 
-    /// Borrows the cached chunk for `r` (must have been located by
+    /// Borrows the cached block for `r` (must have been located by
     /// [`Mutator::locate_ref`] in the same operation, with no intervening
     /// cache traffic).
-    pub(crate) fn cached_chunk(&self, r: ObjRef) -> &Chunk {
-        match &self.ctx.chunk_cache[(r.chunk() & 3) as usize] {
-            Some((cid, c)) if *cid == r.chunk() => c,
-            _ => unreachable!("cached_chunk without a preceding locate_ref"),
+    pub(crate) fn cached_block(&self, r: ObjRef) -> &Block {
+        match &self.ctx.block_cache[(r.block() & 3) as usize] {
+            Some((bid, b)) if *bid == r.block() => b,
+            _ => unreachable!("cached_block without a preceding locate_ref"),
         }
     }
 
@@ -516,10 +532,10 @@ impl<'rt> Mutator<'rt> {
             other => panic!("{what} expects an object, found {other:?}"),
         };
         loop {
-            let chunk = self.chunk(r.chunk());
-            match chunk.get(r.slot()).forward_ref() {
+            let block = self.block(r.block());
+            match block.get(r.word()).forward_ref() {
                 Some(next) => r = next,
-                None => return Located { r, chunk },
+                None => return Located { r, block },
             }
         }
     }
@@ -600,21 +616,37 @@ impl<'rt> Mutator<'rt> {
 
     // ---- allocation ------------------------------------------------------
 
-    fn alloc_object(&mut self, kind: ObjKind, mut fields: Vec<Value>) -> Value {
+    fn alloc_object(&mut self, kind: ObjKind, fields: &[Value]) -> Value {
+        let mut vals = std::mem::take(&mut self.ctx.scratch_vals);
+        vals.clear();
+        vals.extend_from_slice(fields);
+        let v = self.alloc_staged(kind, &mut vals);
+        self.ctx.scratch_vals = vals;
+        v
+    }
+
+    /// The allocation midsection, operating on the staged (scratch) field
+    /// buffer so collections can treat the pending fields as movable
+    /// roots.
+    fn alloc_staged(&mut self, kind: ObjKind, fields: &mut [Value]) -> Value {
         self.charge_alloc(fields.len());
         // Allocation barrier: only tasks that have already acquired a
         // remote pointer (`saw_remote`) can be holding one to store, so
         // disentangled tasks pay exactly this one predictable branch.
         if self.ctx.saw_remote && self.rt.config().mode == Mode::Managed {
-            self.alloc_pin_remote(&mut fields);
+            self.alloc_pin_remote(fields);
         }
         let size = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields.len();
-        self.ensure_heap_budget(size, &mut fields);
+        self.ensure_heap_budget(size, fields);
         if self.ctx.alloc_since >= self.ctx.lgc_budget {
-            self.run_lgc(&mut fields);
+            self.run_lgc(fields);
         }
-        let words: Vec<Word> = fields.iter().map(|&v| Word::encode(v)).collect();
-        Value::Obj(self.alloc_words(kind, words))
+        let mut words = std::mem::take(&mut self.ctx.scratch_words);
+        words.clear();
+        words.extend(fields.iter().map(|&v| Word::encode(v)));
+        let r = self.alloc_words(kind, &words);
+        self.ctx.scratch_words = words;
+        Value::Obj(r)
     }
 
     fn charge_alloc(&mut self, fields: usize) {
@@ -623,21 +655,25 @@ impl<'rt> Mutator<'rt> {
         self.ctx.alloc_since += mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields;
     }
 
-    /// The shared tail of every allocation: bump the pre-encoded words
-    /// into the cached allocation chunk, falling back to the store when
-    /// the chunk is full. Counters are task-buffered and flushed at
+    /// The shared tail of every allocation: a bump-pointer reservation of
+    /// the pre-encoded words in the cached block for the object's size
+    /// class, falling back to the store when the block is full (or the
+    /// object is oversized). Counters are task-buffered and flushed at
     /// safepoints.
-    fn alloc_words(&mut self, kind: ObjKind, words: Vec<Word>) -> ObjRef {
+    fn alloc_words(&mut self, kind: ObjKind, words: &[Word]) -> ObjRef {
         // Every allocation is a handshake poll point: two relaxed loads
         // unless the collector is mid-snapshot. (A pure compute loop with
         // no allocations or barriered writes can still delay a handshake
         // — the same liveness caveat as MPL's safepoint scheme.)
         self.rt.cgc_state().poll_handshake(&self.ctx.satb);
-        let mut obj = Object::new(kind, words);
-        let size = obj.size_bytes();
-        if let Some(chunk) = &self.ctx.alloc_cache {
-            match chunk.try_alloc(obj) {
-                Ok(r) => {
+        let size = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * words.len();
+        // FAST PATH: one bump in the task's cached size-class block — no
+        // lock, no registry, no `Arc` clone, no per-object `Vec`.
+        let nwords = OBJECT_HEADER_WORDS + words.len();
+        if nwords <= self.rt.store().config().block_words {
+            let class = size_class(nwords);
+            if let Some(block) = &self.ctx.alloc_cache[class] {
+                if let Some(r) = block.try_alloc(kind, words) {
                     self.ctx.pending.allocs += 1;
                     self.ctx.pending.alloc_bytes += size;
                     if self.ctx.pending.alloc_bytes >= 16 * 1024 || self.rt.cgc_poll_requested() {
@@ -650,7 +686,6 @@ impl<'rt> Mutator<'rt> {
                     }
                     return r;
                 }
-                Err(back) => obj = back,
             }
         }
         if mpl_fail::hit("alloc/words").is_err() {
@@ -663,17 +698,12 @@ impl<'rt> Mutator<'rt> {
         }
         // The store path bumps the global gauge immediately (bypassing the
         // pending batch), so tenant accounting must follow suit here or
-        // chunk-overflowing (large) allocations escape their budget.
+        // block-overflowing (large) allocations escape their budget.
         if let Some(budget) = &self.ctx.budget {
             budget.charge(size);
         }
-        let r = self.rt.store().alloc_object(self.leaf_heap(), obj);
-        self.ctx.alloc_cache = self
-            .rt
-            .store()
-            .heaps()
-            .info(self.rt.store().heaps().find(self.leaf_heap()))
-            .alloc_chunk();
+        let r = self.rt.store().alloc(self.leaf_heap(), kind, words);
+        self.refresh_alloc_cache();
         {
             let _safe = self.safe_window();
             self.rt.maybe_cgc();
@@ -681,24 +711,40 @@ impl<'rt> Mutator<'rt> {
         r
     }
 
+    /// Re-adopts the leaf heap's current per-class allocation blocks as
+    /// this task's bump targets (after a store-path allocation installed
+    /// fresh ones).
+    fn refresh_alloc_cache(&mut self) {
+        let store = self.rt.store();
+        let info = store.heaps().info(store.heaps().find(self.leaf_heap()));
+        for (class, slot) in self.ctx.alloc_cache.iter_mut().enumerate() {
+            *slot = info.alloc_block(class);
+        }
+    }
+
     /// Allocates an immutable tuple (also used for immutable arrays).
     pub fn alloc_tuple(&mut self, fields: &[Value]) -> Value {
-        self.alloc_object(ObjKind::Tuple, fields.to_vec())
+        self.alloc_object(ObjKind::Tuple, fields)
     }
 
     /// Allocates a mutable cell (`ref v` in ML).
     pub fn alloc_ref(&mut self, v: Value) -> Value {
-        self.alloc_object(ObjKind::Ref, vec![v])
+        self.alloc_object(ObjKind::Ref, &[v])
     }
 
     /// Allocates a mutable array of `len` copies of `init`.
     pub fn alloc_array(&mut self, len: usize, init: Value) -> Value {
-        self.alloc_object(ObjKind::MutArr, vec![init; len])
+        let mut vals = std::mem::take(&mut self.ctx.scratch_vals);
+        vals.clear();
+        vals.resize(len, init);
+        let v = self.alloc_staged(ObjKind::MutArr, &mut vals);
+        self.ctx.scratch_vals = vals;
+        v
     }
 
     /// Allocates a mutable array from the given values.
     pub fn alloc_array_from(&mut self, vals: &[Value]) -> Value {
-        self.alloc_object(ObjKind::MutArr, vals.to_vec())
+        self.alloc_object(ObjKind::MutArr, vals)
     }
 
     /// Allocates a raw (unboxed, barrier-free) 64-bit word array,
@@ -715,7 +761,12 @@ impl<'rt> Mutator<'rt> {
         if self.ctx.alloc_since >= self.ctx.lgc_budget {
             self.run_lgc(&mut []);
         }
-        Value::Obj(self.alloc_words(ObjKind::RawArr, vec![Word::from_bits(0); len]))
+        let mut words = std::mem::take(&mut self.ctx.scratch_words);
+        words.clear();
+        words.resize(len, Word::from_bits(0));
+        let r = self.alloc_words(ObjKind::RawArr, &words);
+        self.ctx.scratch_words = words;
+        Value::Obj(r)
     }
 
     /// Allocates a string as a raw array (`word0 = byte length`, bytes
@@ -725,11 +776,11 @@ impl<'rt> Mutator<'rt> {
         let nwords = bytes.len().div_ceil(8);
         let v = self.alloc_raw(1 + nwords);
         let loc = self.locate(v, "string");
-        let obj = loc.chunk.get(loc.r.slot());
+        let obj = loc.block.get(loc.r.word());
         obj.store_raw(0, bytes.len() as u64);
-        for (w, chunk) in bytes.chunks(8).enumerate() {
+        for (w, piece) in bytes.chunks(8).enumerate() {
             let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
+            buf[..piece.len()].copy_from_slice(piece);
             obj.store_raw(1 + w, u64::from_le_bytes(buf));
         }
         v
@@ -743,7 +794,7 @@ impl<'rt> Mutator<'rt> {
     pub fn read_str(&mut self, v: Value) -> String {
         self.ctx.work += self.rt.config().work.read;
         let loc = self.locate(v, "string");
-        let obj = loc.chunk.get(loc.r.slot());
+        let obj = loc.block.get(loc.r.word());
         let len = obj.load_raw(0) as usize;
         self.ctx.work += (len as u64) / 8;
         let mut bytes = Vec::with_capacity(len);
@@ -759,7 +810,7 @@ impl<'rt> Mutator<'rt> {
     pub fn len(&mut self, v: Value) -> usize {
         self.ctx.work += self.rt.config().work.read;
         let r = self.locate_ref(v, "length query");
-        self.cached_chunk(r).get(r.slot()).len()
+        self.cached_block(r).get(r.word()).len()
     }
 
     // ---- immutable reads (no barrier) ------------------------------------
@@ -770,7 +821,7 @@ impl<'rt> Mutator<'rt> {
     pub fn tuple_get(&mut self, t: Value, i: usize) -> Value {
         self.ctx.work += self.rt.config().work.read;
         let r = self.locate_ref(t, "tuple read");
-        let obj = self.cached_chunk(r).get(r.slot());
+        let obj = self.cached_block(r).get(r.word());
         debug_assert_eq!(obj.kind(), ObjKind::Tuple, "tuple_get on {:?}", obj.kind());
         let v = obj.field(i);
         self.fix_stale(v)
@@ -824,22 +875,22 @@ impl<'rt> Mutator<'rt> {
     pub fn raw_get(&mut self, a: Value, i: usize) -> u64 {
         self.ctx.work += self.rt.config().work.read;
         let r = self.locate_ref(a, "raw read");
-        self.cached_chunk(r).get(r.slot()).load_raw(i)
+        self.cached_block(r).get(r.word()).load_raw(i)
     }
 
     /// Writes a raw 64-bit word.
     pub fn raw_set(&mut self, a: Value, i: usize, bits: u64) {
         self.ctx.work += self.rt.config().work.write;
         let r = self.locate_ref(a, "raw write");
-        self.cached_chunk(r).get(r.slot()).store_raw(i, bits);
+        self.cached_block(r).get(r.word()).store_raw(i, bits);
     }
 
     /// Compare-and-swap on a raw word; true on success.
     pub fn raw_cas(&mut self, a: Value, i: usize, expected: u64, new: u64) -> bool {
         self.ctx.work += self.rt.config().work.write;
         let r = self.locate_ref(a, "raw cas");
-        self.cached_chunk(r)
-            .get(r.slot())
+        self.cached_block(r)
+            .get(r.word())
             .cas_raw(i, expected, new)
             .is_ok()
     }
@@ -848,7 +899,7 @@ impl<'rt> Mutator<'rt> {
     pub fn raw_fetch_add(&mut self, a: Value, i: usize, delta: u64) -> u64 {
         self.ctx.work += self.rt.config().work.write;
         let r = self.locate_ref(a, "raw fetch_add");
-        self.cached_chunk(r).get(r.slot()).fetch_add_raw(i, delta)
+        self.cached_block(r).get(r.word()).fetch_add_raw(i, delta)
     }
 
     // ---- fork-join ---------------------------------------------------------
@@ -973,7 +1024,7 @@ impl<'rt> Mutator<'rt> {
         };
         if self.ctx.path.len() == 1 {
             // Root-level join: every other task has completed, so retired
-            // chunks are unreachable by construction.
+            // blocks are unreachable by construction.
             self.rt.graveyard().drain(self.rt.store());
         }
         // Merged data counts toward this task's collection debt: garbage
@@ -1118,10 +1169,10 @@ impl<'rt> Mutator<'rt> {
         // for the same reason concurrent CGC marking is sound against
         // LGC at all — entangled-space objects are never moved or freed
         // locally, and a CGC tracer racing the move of a *local* object
-        // resolves through forwarding (retired chunks are graveyard-held
+        // resolves through forwarding (retired blocks are graveyard-held
         // until quiescence).
         let _safe = self.safe_window();
-        // A local collection moves objects and (eagerly) frees chunks; a
+        // A local collection moves objects and (eagerly) frees blocks; a
         // paused incremental CGC holds object refs in its mark stack, so
         // finish that cycle first. (Full MPL repairs the marker's state
         // instead; serializing keeps the interaction sound here.)
@@ -1133,7 +1184,7 @@ impl<'rt> Mutator<'rt> {
         // pushes), collect, then write the updated locations back with
         // atomic slot stores. A concurrent CGC root scan may interleave
         // and read a pre-collection reference; that is sound — the old
-        // location forwards to the new one, and retired fromspace chunks
+        // location forwards to the new one, and retired fromspace blocks
         // outlive the cycle (the graveyard drains only at quiescence).
         let nroots = self.ctx.roots.len();
         let mut roots: Vec<ObjRef> = Vec::with_capacity(nroots + extra.len());
@@ -1150,7 +1201,7 @@ impl<'rt> Mutator<'rt> {
             heap,
             &mut roots,
             self.rt.graveyard(),
-            self.rt.config().policy.immediate_chunk_free,
+            self.rt.config().policy.immediate_block_free,
         );
         for (i, r) in roots[..nroots].iter().enumerate() {
             self.ctx.roots.set(i, *r);
@@ -1163,10 +1214,10 @@ impl<'rt> Mutator<'rt> {
         // about as much as survived this one.
         let survivors = (out.copied_bytes + out.retained_entangled_bytes) as usize;
         self.ctx.lgc_budget = self.rt.config().policy.lgc_trigger_bytes.max(2 * survivors);
-        // The collection replaced the allocation chunk and may have freed
-        // cached chunks.
-        self.ctx.alloc_cache = None;
-        self.ctx.chunk_cache = [None, None, None, None];
+        // The collection replaced the per-class allocation blocks and may
+        // have freed cached blocks.
+        self.ctx.alloc_cache = std::array::from_fn(|_| None);
+        self.ctx.block_cache = [None, None, None, None];
         // Collection work is deliberately NOT charged to the strand: in
         // MPL, local collections are distributed across (otherwise idle)
         // processors, so they do not serialize the computation the way

@@ -49,7 +49,7 @@ const SEG0_BITS: u32 = SEG0.trailing_zeros();
 const NSEGS: usize = 26;
 
 fn pack(r: ObjRef) -> u64 {
-    (u64::from(r.chunk()) << 32) | u64::from(r.slot())
+    (u64::from(r.block()) << 32) | u64::from(r.word())
 }
 
 fn unpack(bits: u64) -> ObjRef {
@@ -219,7 +219,7 @@ mod tests {
                             // Writer pushes ObjRef::new(i, i+1): a reader
                             // below the published length must never see
                             // an uninitialized slot.
-                            assert_eq!(r.chunk() + 1, r.slot(), "slot {i} of {n}");
+                            assert_eq!(r.block() + 1, r.word(), "slot {i} of {n}");
                         }
                     }
                 })

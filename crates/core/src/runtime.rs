@@ -484,7 +484,7 @@ impl Runtime {
     /// Lock-free with respect to the mutators: each stack is snapshot by
     /// atomic slot reads ([`RootStack::extend_snapshot`]) while its owner
     /// keeps pushing — only the small registry mutex is held. A stale
-    /// beyond-`len` slot resolves safely because retired chunks are
+    /// beyond-`len` slot resolves safely because retired blocks are
     /// graveyard-held until quiescence. Invoked by the collector *after*
     /// the snapshot handshake, which is what makes the per-stack
     /// snapshots sound against a mutator moving a value between a shared
@@ -854,6 +854,21 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
             s.cgc_packet_retries,
         ),
         (
+            "mpl_blocks_allocated_total",
+            "Size-class blocks handed out by the registry",
+            s.blocks_allocated,
+        ),
+        (
+            "mpl_blocks_freed_total",
+            "Blocks returned to the registry (LGC, CGC, joins)",
+            s.blocks_freed,
+        ),
+        (
+            "mpl_lines_swept_total",
+            "Lines reclaimed by line-mark sweeps",
+            s.lines_swept,
+        ),
+        (
             "mpl_lgc_dead_traced_total",
             "Corruption canary: traces reaching dead objects",
             s.lgc_dead_traced,
@@ -968,6 +983,11 @@ fn build_json(s: &StatsSnapshot, samples: &[mpl_obs::Sample]) -> String {
         ("lgc_reclaimed_bytes", s.lgc_reclaimed_bytes),
         ("cgc_runs", s.cgc_runs),
         ("cgc_swept_bytes", s.cgc_swept_bytes),
+        ("cgc_packets", s.cgc_packets),
+        ("cgc_packet_retries", s.cgc_packet_retries),
+        ("blocks_allocated", s.blocks_allocated),
+        ("blocks_freed", s.blocks_freed),
+        ("lines_swept", s.lines_swept),
         ("lgc_dead_traced", s.lgc_dead_traced),
         ("sched_pushes", s.sched_pushes),
         ("sched_steals", s.sched_steals),

@@ -116,10 +116,10 @@ fn configs() -> Vec<(&'static str, RuntimeConfig)> {
                 policy: GcPolicy {
                     lgc_trigger_bytes: 512,
                     cgc_trigger_pinned_bytes: 2048,
-                    immediate_chunk_free: true,
+                    immediate_block_free: true,
                 },
                 store: StoreConfig {
-                    chunk_slots: 8,
+                    block_words: 32,
                     ..Default::default()
                 },
                 ..RuntimeConfig::managed()

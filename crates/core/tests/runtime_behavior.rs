@@ -7,7 +7,7 @@ fn tiny_gc() -> GcPolicy {
     GcPolicy {
         lgc_trigger_bytes: 2048,
         cgc_trigger_pinned_bytes: usize::MAX,
-        immediate_chunk_free: true,
+        immediate_block_free: true,
     }
 }
 
@@ -148,7 +148,7 @@ fn lgc_triggers_and_preserves_data() {
     let cfg = RuntimeConfig {
         policy: tiny_gc(),
         store: StoreConfig {
-            chunk_slots: 16,
+            block_words: 64,
             ..Default::default()
         },
         ..RuntimeConfig::managed()
@@ -190,10 +190,10 @@ fn cgc_reclaims_dropped_entangled_objects() {
         policy: GcPolicy {
             lgc_trigger_bytes: 1024,
             cgc_trigger_pinned_bytes: usize::MAX, // manual only
-            immediate_chunk_free: true,
+            immediate_block_free: true,
         },
         store: StoreConfig {
-            chunk_slots: 8,
+            block_words: 32,
             ..Default::default()
         },
         ..RuntimeConfig::managed()
@@ -237,7 +237,7 @@ fn handles_track_moving_objects() {
             ..tiny_gc()
         },
         store: StoreConfig {
-            chunk_slots: 8,
+            block_words: 32,
             ..Default::default()
         },
         ..RuntimeConfig::managed()
@@ -265,7 +265,7 @@ fn down_pointer_remset_keeps_child_data_alive() {
             ..tiny_gc()
         },
         store: StoreConfig {
-            chunk_slots: 8,
+            block_words: 32,
             ..Default::default()
         },
         ..RuntimeConfig::managed()

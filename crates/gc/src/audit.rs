@@ -45,9 +45,9 @@ struct Slot {
     /// Global sequence number, 0 = empty. Written last (release) so a
     /// racing dump sees either the old event or the complete new one.
     seq: AtomicU64,
-    /// `kind << 32 | chunk`.
+    /// `kind << 32 | block`.
     a: AtomicU64,
-    /// `aux << 32 | slot`.
+    /// `aux << 32 | word`.
     b: AtomicU64,
 }
 
@@ -121,11 +121,11 @@ fn record(ev: Event) {
     let slot = &ring.slots[cur % RING_CAP];
     slot.seq.store(0, Ordering::Release);
     slot.a.store(
-        (u64::from(ev.kind as u8) << 32) | u64::from(ev.chunk),
+        (u64::from(ev.kind as u8) << 32) | u64::from(ev.block),
         Ordering::Relaxed,
     );
     slot.b.store(
-        (u64::from(ev.aux) << 32) | u64::from(ev.slot),
+        (u64::from(ev.aux) << 32) | u64::from(ev.word),
         Ordering::Relaxed,
     );
     slot.seq.store(seq, Ordering::Release);
@@ -224,11 +224,11 @@ pub fn dump_events() -> usize {
     );
     for (seq, ring, a, b) in &all {
         let kind = EventKind::from_bits((a >> 32) as u8);
-        let chunk = *a as u32;
-        let slot = *b as u32;
+        let block = *a as u32;
+        let word = *b as u32;
         let aux = (b >> 32) as u32;
         let name = kind.map_or("?", EventKind::name);
-        eprintln!("[seq {seq:08} ring {ring:02}] {name:<14} c{chunk}s{slot} aux={aux}");
+        eprintln!("[seq {seq:08} ring {ring:02}] {name:<14} b{block}w{word} aux={aux}");
     }
     eprintln!("=== end event trace ===");
     all.len()
@@ -243,12 +243,12 @@ pub fn check_shield_closure(store: &Store, closure: &HashSet<ObjRef>) -> Vec<Str
     let mut checked = 0u64;
     for &r in closure {
         checked += 1;
-        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
-            issues.push(format!("shield: member {r} sits in a freed chunk"));
+        let Some(block) = store.blocks().try_get(r.block()) else {
+            issues.push(format!("shield: member {r} sits in a freed block"));
             continue;
         };
-        let Some(obj) = chunk.try_get(r.slot()) else {
-            issues.push(format!("shield: member {r} names an empty slot"));
+        let Some(obj) = block.try_get(r.word()) else {
+            issues.push(format!("shield: member {r} names an empty word"));
             continue;
         };
         let h = obj.header();
@@ -285,14 +285,14 @@ pub fn check_dead_reachability(store: &Store) -> Vec<String> {
         std::collections::HashMap::new();
     // (parent, field index, target) — parent None for pinned roots.
     let mut stack: Vec<(Option<(ObjRef, usize)>, ObjRef)> = Vec::new();
-    for chunk in store.chunks().live_chunks() {
-        if chunk.pinned_count() == 0 {
+    for block in store.blocks().live_blocks() {
+        if block.pinned_count() == 0 {
             continue;
         }
-        for (slot, obj) in chunk.objects() {
+        for (off, obj) in block.objects() {
             let h = obj.header();
             if h.is_pinned() && !h.is_dead() && !h.is_forwarded() {
-                stack.push((None, ObjRef::new(chunk.id(), slot)));
+                stack.push((None, ObjRef::new(block.id(), off)));
             }
         }
     }
@@ -303,10 +303,10 @@ pub fn check_dead_reachability(store: &Store) -> Vec<String> {
         if let Some(edge) = from {
             came_from.insert(r, edge);
         }
-        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+        let Some(block) = store.blocks().try_get(r.block()) else {
             continue; // freed concurrently; dangling_fields owns that check
         };
-        let Some(obj) = chunk.try_get(r.slot()) else {
+        let Some(obj) = block.try_get(r.word()) else {
             continue;
         };
         let header = obj.header();
@@ -321,10 +321,10 @@ pub fn check_dead_reachability(store: &Store) -> Vec<String> {
             }
             issues.push(format!(
                 "dead-reachable: {r} is dead-marked but reachable from a pinned object \
-                 (kind {:?}, entspace {}, chunk owner {}, via {})\n  path: {}",
+                 (kind {:?}, entspace {}, block owner {}, via {})\n  path: {}",
                 header.kind(),
                 header.in_entangled_space(),
-                chunk.owner(),
+                block.owner(),
                 match from {
                     Some((src, field)) => format!("{src} field {field}"),
                     None => "pin root".to_string(),
@@ -355,7 +355,7 @@ pub fn check_dead_reachability(store: &Store) -> Vec<String> {
 }
 
 /// Renders the discovery path from a pinned root to `last` for a failure
-/// report: each hop with its chunk owner and header flags, root first.
+/// report: each hop with its block owner and header flags, root first.
 fn describe_path(
     store: &Store,
     came_from: &std::collections::HashMap<ObjRef, (ObjRef, usize)>,
@@ -367,9 +367,9 @@ fn describe_path(
     let mut edge = last_edge;
     for _ in 0..64 {
         let flags = match store
-            .chunks()
-            .try_get(cur.chunk())
-            .and_then(|c| c.try_get(cur.slot()).map(|o| (c.owner(), o.header())))
+            .blocks()
+            .try_get(cur.block())
+            .and_then(|b| b.try_get(cur.word()).map(|o| (b.owner(), o.header())))
         {
             Some((owner, h)) => format!(
                 "owner {owner}{}{}{}{}",
@@ -403,10 +403,10 @@ fn describe_path(
 /// `true` if `src.field` still points (possibly through forwarding) at
 /// `target`.
 fn edge_still_present(store: &Store, src: ObjRef, field: usize, target: ObjRef) -> bool {
-    let Some(chunk) = store.chunks().try_get(src.chunk()) else {
+    let Some(block) = store.blocks().try_get(src.block()) else {
         return false;
     };
-    let Some(obj) = chunk.try_get(src.slot()) else {
+    let Some(obj) = block.try_get(src.word()) else {
         return false;
     };
     let Some(w) = obj.field_words().nth(field) else {
@@ -420,9 +420,9 @@ fn edge_still_present(store: &Store, src: ObjRef, field: usize, target: ObjRef) 
             return true;
         }
         match store
-            .chunks()
-            .try_get(t.chunk())
-            .and_then(|c| c.try_get(t.slot()).and_then(|o| o.forward_ref()))
+            .blocks()
+            .try_get(t.block())
+            .and_then(|b| b.try_get(t.word()).and_then(|o| o.forward_ref()))
         {
             Some(next) => t = next,
             None => return false,

@@ -22,20 +22,27 @@
 //!   tracers run [`Trace` packets](self) with local mark stacks,
 //!   spilling half of an overgrown stack back to the shared grey queue
 //!   and handing packets off through `mpl_sched::try_join` binary
-//!   splits. Mark bits are a single atomic `fetch_or` (`mpl-heap`), so
-//!   racing tracers are benign. Mutators log overwritten pointers and
+//!   splits. Mark bits live in per-block **side-metadata bitmaps**
+//!   (`mpl-heap`), set with a single atomic `fetch_or` that also marks
+//!   the object's **lines**, so racing tracers are benign and the sweep
+//!   can consult line granularity. Mutators log overwritten pointers and
 //!   fresh pins into per-task **SATB shards** (modbuf-style buffers,
 //!   flushed at fork/join/capacity like the mutator remset buffers); the
 //!   collector drains shards to a fixpoint, re-handshakes, re-drains,
 //!   and only then declares mark termination.
-//! * **Sweep** — one packet per entangled chunk, each accumulating a
-//!   local [`CgcOutcome`] (including per-tenant budget credits) merged
-//!   by atomic adds. Disentangled data is never swept here (and never
-//!   pays): a program with no entanglement never triggers this
-//!   collector.
-//! * **Epilogue** — clear mark bits (packetized over chunks when a
-//!   packet panicked mid-cycle and the marked list may be incomplete),
-//!   prune entangled indexes, publish stats.
+//! * **Sweep** — one packet per entangled block, each a **line-mark
+//!   sweep**: only unmarked object starts (`obj_start & !mark`, one
+//!   bitmap AND per 64 objects) are visited; a block whose line map is
+//!   clean and holds no retainers is freed wholesale. Each packet
+//!   accumulates a local [`CgcOutcome`] (including per-tenant budget
+//!   credits) merged by atomic adds. Disentangled data is never swept
+//!   here (and never pays): a program with no entanglement never
+//!   triggers this collector.
+//! * **Epilogue** — clear mark and line bitmaps block-wise (the blocks
+//!   the marked list touched on a clean cycle; every live block when a
+//!   packet panicked and the marked list may be incomplete), prune
+//!   entangled indexes, publish stats. Clearing is a bitmap wipe, not an
+//!   object walk.
 //!
 //! Packet execution is crash-isolated: a panicking trace packet (real or
 //! injected via the `cgc/packet` failpoint) flags the cycle *dirty*, is
@@ -59,6 +66,7 @@
 //! runtime: objects can only *enter* a sweepable state (the entangled
 //! space) by being pinned, and the pin path logs them.
 
+use std::collections::HashSet;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -121,7 +129,7 @@ pub struct CgcState {
     /// objects' fields before declaring mark termination.
     needs_repair: AtomicBool,
     /// A packet panicked anywhere this cycle: the marked list may be
-    /// incomplete, so the epilogue clears marks by full chunk scan.
+    /// incomplete, so the epilogue clears bitmaps in every live block.
     dirty_cycle: AtomicBool,
     packet_panics: AtomicU64,
     packets: AtomicU64,
@@ -135,18 +143,15 @@ pub struct CgcState {
 enum Stage {
     Mark,
     Sweep {
-        chunks: Vec<u32>,
+        blocks: Vec<u32>,
         cursor: usize,
     },
-    /// Clean cycle: clear exactly the recorded marked refs.
-    EpilogueRefs {
-        marked: Vec<ObjRef>,
-        cursor: usize,
-    },
-    /// Dirty cycle: the marked list may be incomplete; clear every mark
-    /// in every live chunk instead.
-    EpilogueChunks {
-        chunks: Vec<u32>,
+    /// Clear mark/line bitmaps block-wise. On a clean cycle this holds
+    /// exactly the blocks the marked list touched; on a dirty cycle
+    /// (a packet panicked, the marked list may be incomplete) it holds
+    /// every live block.
+    Epilogue {
+        blocks: Vec<u32>,
         cursor: usize,
     },
 }
@@ -158,7 +163,7 @@ struct Cycle {
     stage: Stage,
     grey: Mutex<Vec<Vec<ObjRef>>>,
     marked: Mutex<Vec<ObjRef>>,
-    /// Chunks whose sweep packet panicked; re-swept before the epilogue
+    /// Blocks whose sweep packet panicked; re-swept before the epilogue
     /// (kills are idempotent CAS transitions, so re-sweeping is safe).
     resweep: Mutex<Vec<u32>>,
     out: OutcomeCells,
@@ -182,7 +187,7 @@ impl Cycle {
 struct OutcomeCells {
     swept_bytes: AtomicU64,
     swept_objects: AtomicUsize,
-    freed_chunks: AtomicUsize,
+    freed_blocks: AtomicUsize,
     marked_objects: AtomicUsize,
 }
 
@@ -191,8 +196,8 @@ impl OutcomeCells {
         self.swept_bytes.fetch_add(o.swept_bytes, Ordering::Relaxed);
         self.swept_objects
             .fetch_add(o.swept_objects, Ordering::Relaxed);
-        self.freed_chunks
-            .fetch_add(o.freed_chunks, Ordering::Relaxed);
+        self.freed_blocks
+            .fetch_add(o.freed_blocks, Ordering::Relaxed);
         self.marked_objects
             .fetch_add(o.marked_objects, Ordering::Relaxed);
     }
@@ -201,7 +206,7 @@ impl OutcomeCells {
         CgcOutcome {
             swept_bytes: self.swept_bytes.load(Ordering::Relaxed),
             swept_objects: self.swept_objects.load(Ordering::Relaxed),
-            freed_chunks: self.freed_chunks.load(Ordering::Relaxed),
+            freed_blocks: self.freed_blocks.load(Ordering::Relaxed),
             marked_objects: self.marked_objects.load(Ordering::Relaxed),
         }
     }
@@ -382,8 +387,8 @@ pub struct CgcOutcome {
     pub swept_bytes: u64,
     /// Number of entangled-space objects reclaimed.
     pub swept_objects: usize,
-    /// Entangled chunks freed outright (all contents dead).
-    pub freed_chunks: usize,
+    /// Entangled blocks freed outright (all contents dead).
+    pub freed_blocks: usize,
     /// Objects visited by the mark phase.
     pub marked_objects: usize,
 }
@@ -439,10 +444,10 @@ fn run_trace_packet(store: &Store, cycle: &Cycle, mut local: Vec<ObjRef>, remain
             break;
         }
         let r = store.resolve(r0);
-        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+        let Some(block) = store.blocks().try_get(r.block()) else {
             continue; // racing reclamation of a dead region
         };
-        let Some(obj) = chunk.try_get(r.slot()) else {
+        let Some(obj) = block.try_get(r.word()) else {
             continue;
         };
         if obj.header().is_dead() {
@@ -506,15 +511,14 @@ fn trace_packet(
     }
 }
 
-/// Field refs of every currently marked object in every live chunk —
+/// Field refs of every currently marked object in every live block —
 /// the repair seed after a packet panic (a dead tracer may have marked
 /// an object without pushing its fields).
 fn repair_refs(store: &Store) -> Vec<ObjRef> {
     let mut refs = Vec::new();
-    for chunk in store.chunks().live_chunks() {
-        for (_slot, obj) in chunk.objects() {
-            let h = obj.header();
-            if h.is_dead() || !h.is_marked() {
+    for block in store.blocks().live_blocks() {
+        for (off, obj) in block.objects() {
+            if obj.header().is_dead() || !block.is_marked(off) {
                 continue;
             }
             if obj.kind().is_traced() {
@@ -541,14 +545,13 @@ fn fresh_satb(store: &Store, drained: Vec<ObjRef>) -> Vec<ObjRef> {
     let mut fresh = Vec::new();
     for r0 in drained {
         let r = store.resolve(r0);
-        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+        let Some(block) = store.blocks().try_get(r.block()) else {
             continue;
         };
-        let Some(obj) = chunk.try_get(r.slot()) else {
+        let Some(obj) = block.try_get(r.word()) else {
             continue;
         };
-        let h = obj.header();
-        if h.is_dead() || h.is_marked() {
+        if obj.header().is_dead() || obj.is_marked() {
             continue;
         }
         fresh.push(r);
@@ -597,17 +600,17 @@ fn mark_slice(store: &Store, state: &CgcState, cycle: &Cycle, budget: usize) -> 
     }
 }
 
-/// One sweep packet: one entangled chunk, tallied locally and merged
+/// One sweep packet: one entangled block, tallied locally and merged
 /// atomically. A panicking packet is queued for a re-sweep (kills are
 /// idempotent CAS transitions).
-fn sweep_packet(store: &Store, state: &CgcState, cycle: &Cycle, cid: u32) {
+fn sweep_packet(store: &Store, state: &CgcState, cycle: &Cycle, bid: u32) {
     state.packets.fetch_add(1, Ordering::Relaxed);
     let _span = mpl_obs::span_guard(mpl_obs::Metric::CgcPacket);
     let _stall = crate::stall::guard(crate::stall::CGC_SWEEP);
     let res = catch_unwind(AssertUnwindSafe(|| {
         mpl_fail::hit_hard("cgc/packet");
         let mut local = CgcOutcome::default();
-        sweep_chunk(store, cid, &mut local);
+        sweep_block(store, bid, &mut local);
         local
     }));
     match res {
@@ -616,24 +619,22 @@ fn sweep_packet(store: &Store, state: &CgcState, cycle: &Cycle, cid: u32) {
             state.dirty_cycle.store(true, Ordering::SeqCst);
             state.packet_retries.fetch_add(1, Ordering::Relaxed);
             if state.packet_panics.fetch_add(1, Ordering::Relaxed) < MAX_PACKET_PANICS {
-                cycle.resweep.lock().push(cid);
+                cycle.resweep.lock().push(bid);
             }
-            // Past the cap: leave the chunk unswept (floating garbage
+            // Past the cap: leave the block unswept (floating garbage
             // for the next cycle) rather than spinning.
         }
     }
 }
 
-/// One epilogue packet: clear every mark bit in one chunk (dirty-cycle
-/// path, where the recorded marked list may be incomplete).
-fn clear_chunk_marks(store: &Store, state: &CgcState, cid: u32) {
+/// One epilogue packet: wipe one block's mark and line bitmaps. A bitmap
+/// store per 64 objects — no object walk.
+fn clear_block_marks(store: &Store, state: &CgcState, bid: u32) {
     state.packets.fetch_add(1, Ordering::Relaxed);
     let _span = mpl_obs::span_guard(mpl_obs::Metric::CgcPacket);
     let _stall = crate::stall::guard(crate::stall::CGC_SWEEP);
-    if let Some(chunk) = store.chunks().try_get(cid) {
-        for (_slot, obj) in chunk.objects() {
-            obj.clear_mark();
-        }
+    if let Some(block) = store.blocks().try_get(bid) {
+        block.clear_all_marks();
     }
 }
 
@@ -664,9 +665,9 @@ where
 }
 
 /// Advances the in-flight cycle by roughly `budget` units (marked
-/// objects while marking; chunks while sweeping; cleared refs or chunks
-/// in the epilogue). Returns the outcome when the cycle completes,
-/// `None` while work remains (or if no cycle is active).
+/// objects while marking; blocks while sweeping or clearing bitmaps in
+/// the epilogue). Returns the outcome when the cycle completes, `None`
+/// while work remains (or if no cycle is active).
 pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOutcome> {
     let mut guard = state.cycle.lock();
     let cycle = guard.as_mut()?;
@@ -693,89 +694,69 @@ pub fn cgc_step(store: &Store, state: &CgcState, budget: usize) -> Option<CgcOut
             // here (SATB covered every hide while the flag was up), so
             // the sweep may proceed in packets with the flag down.
             state.marking.store(false, Ordering::SeqCst);
-            let chunks: Vec<u32> = store
-                .chunks()
-                .live_chunks()
+            let blocks: Vec<u32> = store
+                .blocks()
+                .live_blocks()
                 .into_iter()
-                .filter(|c| c.is_entangled())
-                .map(|c| c.id())
+                .filter(|b| b.is_entangled())
+                .map(|b| b.id())
                 .collect();
-            cycle.stage = Stage::Sweep { chunks, cursor: 0 };
+            cycle.stage = Stage::Sweep { blocks, cursor: 0 };
             state.phase.store(PHASE_SWEEP, Ordering::Relaxed);
             None
         }
         Stage::Sweep { .. } => {
             let (batch, finished) = {
-                let Stage::Sweep { chunks, cursor } = &mut cycle.stage else {
+                let Stage::Sweep { blocks, cursor } = &mut cycle.stage else {
                     unreachable!()
                 };
-                let end = cursor.saturating_add(budget.max(1)).min(chunks.len());
-                let batch = chunks[*cursor..end].to_vec();
+                let end = cursor.saturating_add(budget.max(1)).min(blocks.len());
+                let batch = blocks[*cursor..end].to_vec();
                 *cursor = end;
-                (batch, end >= chunks.len())
+                (batch, end >= blocks.len())
             };
             let cref: &Cycle = cycle;
-            par_each(batch, &|cid: u32| sweep_packet(store, state, cref, cid));
+            par_each(batch, &|bid: u32| sweep_packet(store, state, cref, bid));
             if !finished {
                 return None;
             }
             let retry: Vec<u32> = std::mem::take(&mut *cycle.resweep.lock());
             if !retry.is_empty() {
                 cycle.stage = Stage::Sweep {
-                    chunks: retry,
+                    blocks: retry,
                     cursor: 0,
                 };
                 return None;
             }
             let marked = std::mem::take(&mut *cycle.marked.lock());
-            cycle.stage = if state.dirty_cycle.load(Ordering::SeqCst) {
-                Stage::EpilogueChunks {
-                    chunks: store
-                        .chunks()
-                        .live_chunks()
-                        .into_iter()
-                        .map(|c| c.id())
-                        .collect(),
-                    cursor: 0,
-                }
+            let blocks: Vec<u32> = if state.dirty_cycle.load(Ordering::SeqCst) {
+                store
+                    .blocks()
+                    .live_blocks()
+                    .into_iter()
+                    .map(|b| b.id())
+                    .collect()
             } else {
-                Stage::EpilogueRefs { marked, cursor: 0 }
+                // Clean cycle: only the blocks the mark phase touched
+                // carry set bits.
+                let touched: HashSet<u32> = marked.iter().map(|r| r.block()).collect();
+                touched.into_iter().collect()
             };
+            cycle.stage = Stage::Epilogue { blocks, cursor: 0 };
             state.phase.store(PHASE_EPILOGUE, Ordering::Relaxed);
             None
         }
-        Stage::EpilogueRefs { .. } => {
-            let finished = {
-                let Stage::EpilogueRefs { marked, cursor } = &mut cycle.stage else {
-                    unreachable!()
-                };
-                let end = cursor.saturating_add(budget.max(1)).min(marked.len());
-                for r in &marked[*cursor..end] {
-                    if let Some(chunk) = store.chunks().try_get(r.chunk()) {
-                        if let Some(obj) = chunk.try_get(r.slot()) {
-                            obj.clear_mark();
-                        }
-                    }
-                }
-                *cursor = end;
-                end >= marked.len()
-            };
-            if !finished {
-                return None;
-            }
-            Some(finish(store, state, &mut guard))
-        }
-        Stage::EpilogueChunks { .. } => {
+        Stage::Epilogue { .. } => {
             let (batch, finished) = {
-                let Stage::EpilogueChunks { chunks, cursor } = &mut cycle.stage else {
+                let Stage::Epilogue { blocks, cursor } = &mut cycle.stage else {
                     unreachable!()
                 };
-                let end = cursor.saturating_add(budget.max(1)).min(chunks.len());
-                let batch = chunks[*cursor..end].to_vec();
+                let end = cursor.saturating_add(budget.max(1)).min(blocks.len());
+                let batch = blocks[*cursor..end].to_vec();
                 *cursor = end;
-                (batch, end >= chunks.len())
+                (batch, end >= blocks.len())
             };
-            par_each(batch, &|cid: u32| clear_chunk_marks(store, state, cid));
+            par_each(batch, &|bid: u32| clear_block_marks(store, state, bid));
             if !finished {
                 return None;
             }
@@ -826,16 +807,23 @@ where
     }
 }
 
-/// Sweeps one entangled chunk: reclaims unmarked entangled-space objects
-/// and frees the chunk outright when everything in it is dead.
-fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
+/// Sweeps one entangled block by its line marks: only **unmarked** object
+/// starts (`obj_start & !mark`, one bitmap word per 64 slots) are
+/// visited; marked objects are never touched. Reclaims unmarked
+/// entangled-space objects and frees the block outright when its line
+/// map is clean and nothing retains it.
+fn sweep_block(store: &Store, bid: u32, out: &mut CgcOutcome) {
     mpl_fail::hit_hard("cgc/sweep");
-    let Some(chunk) = store.chunks().try_get(cid) else {
+    let Some(block) = store.blocks().try_get(bid) else {
         return; // freed between slices
     };
     let mut retainers = 0usize;
     let mut swept_here = 0usize;
-    for (slot, obj) in chunk.objects() {
+    let unmarked: Vec<u32> = block.unmarked_offsets().collect();
+    for off in unmarked {
+        let Some(obj) = block.try_get(off) else {
+            continue;
+        };
         let header = obj.header();
         if header.is_dead() {
             continue;
@@ -843,7 +831,7 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
         if header.is_forwarded() {
             // The forwarding word may still be needed by stale
             // references (the moving collector repairs what it can
-            // reach, but entangled readers resolve lazily): the chunk
+            // reach, but entangled readers resolve lazily): the block
             // must survive; the owner's next local collection retires
             // it once it proves full evacuation.
             retainers += 1;
@@ -856,12 +844,12 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
         // drifted the pinned-bytes gauge.
         if let Some(killed) = obj.try_kill_swept() {
             let size = obj.size_bytes();
-            chunk.sub_live_bytes(size);
+            block.sub_live_bytes(size);
             if killed.is_pinned() {
-                chunk.add_pinned(-1);
+                block.add_pinned(-1);
                 store.stats().sub_pinned_bytes(size);
             }
-            events::emit(EventKind::DeadMark, cid, slot, DEAD_BY_CGC);
+            events::emit(EventKind::DeadMark, bid, off, DEAD_BY_CGC);
             out.swept_bytes += size as u64;
             out.swept_objects += 1;
             swept_here += size;
@@ -869,19 +857,23 @@ fn sweep_chunk(store: &Store, cid: u32, out: &mut CgcOutcome) {
             retainers += 1;
         }
     }
+    // Lines reclaimed by this sweep: everything in use minus what the
+    // mark phase proved live.
+    let lines = block.lines_in_use().saturating_sub(block.marked_lines());
+    store.stats().on_lines_swept(lines as u64);
     if swept_here != 0 {
         // Mirror the global live-bytes adjustment onto the tenant budget
-        // of the chunk's (canonical) owning heap, if any.
-        let owner = store.heaps().find(chunk.owner());
+        // of the block's (canonical) owning heap, if any.
+        let owner = store.heaps().find(block.owner());
         if let Some(budget) = store.heaps().info(owner).budget() {
             budget.credit(swept_here);
         }
     }
-    if retainers == 0 && chunk.is_full() {
-        // Every object is dead (not merely moved): no reference can
-        // need this chunk again.
-        store.chunks().free(chunk.id());
-        out.freed_chunks += 1;
+    if retainers == 0 && block.line_map_clean() && block.is_full() {
+        // Clean line map, nothing moved or retained, and no bump space
+        // left: no reference can need this block again — freed wholesale.
+        store.blocks().free(block.id());
+        out.freed_blocks += 1;
     }
 }
 
@@ -895,9 +887,9 @@ fn prune_entangled_indexes(store: &Store) {
         let entries = info.take_entangled();
         for r in entries {
             let live = store
-                .chunks()
-                .try_get(r.chunk())
-                .and_then(|c| c.try_get(r.slot()).map(|o| !o.header().is_dead()))
+                .blocks()
+                .try_get(r.block())
+                .and_then(|b| b.try_get(r.word()).map(|o| !o.header().is_dead()))
                 .unwrap_or(false);
             if live {
                 // Re-register through the seal-chasing path: the heap may
@@ -917,7 +909,7 @@ mod tests {
 
     fn store() -> Store {
         Store::new(StoreConfig {
-            chunk_slots: 4,
+            block_words: 12,
             ..Default::default()
         })
     }
@@ -944,7 +936,11 @@ mod tests {
         let out = collect_entangled(&s, &state, || vec![vec![x]]);
         assert_eq!(out.swept_objects, 0);
         assert!(!s.handle(x).header().is_dead());
-        assert!(!s.handle(x).header().is_marked(), "marks cleared after");
+        assert!(!s.handle(x).obj().is_marked(), "marks cleared after");
+        assert!(
+            s.handle(x).block().line_map_clean(),
+            "line marks cleared after"
+        );
     }
 
     #[test]
@@ -957,12 +953,69 @@ mod tests {
         let out = collect_entangled(&s, &state, Vec::new);
         assert_eq!(out.swept_objects, 1);
         assert!(s
-            .chunks()
-            .try_get(x.chunk())
-            .map(|c| c.try_get(x.slot()).unwrap().header().is_dead())
+            .blocks()
+            .try_get(x.block())
+            .map(|b| b.try_get(x.word()).unwrap().header().is_dead())
             .unwrap_or(true));
         assert_eq!(s.stats().snapshot().pinned_bytes, 0);
         assert_eq!(s.stats().snapshot().cgc_runs, 1);
+    }
+
+    #[test]
+    fn clean_block_is_freed_wholesale_pinned_block_survives_by_line() {
+        // Two entangled blocks: one fully garbage (clean line map after
+        // mark), one with a single still-referenced object. The first is
+        // freed wholesale without a per-object walk; the second survives
+        // and is swept by line, keeping only the marked object.
+        let s = store();
+        let root = s.new_root_heap();
+        let (l, _r) = s.fork_heaps(root);
+        // Four 3-word objects fill one 12-word class-0 block exactly.
+        let garbage: Vec<ObjRef> = (0..4)
+            .map(|i| s.alloc_values(l, ObjKind::Ref, &[Value::Int(i)]))
+            .collect();
+        for &g in &garbage {
+            s.pin(g, 0);
+        }
+        let (l2, _r2) = s.fork_heaps(root);
+        let keepers: Vec<ObjRef> = (0..4)
+            .map(|i| s.alloc_values(l2, ObjKind::Ref, &[Value::Int(100 + i)]))
+            .collect();
+        for &k in &keepers {
+            s.pin(k, 0);
+        }
+        let g = Graveyard::new();
+        let mut no_roots: [ObjRef; 0] = [];
+        collect_local(&s, l, &mut no_roots, &g, true);
+        collect_local(&s, l2, &mut no_roots, &g, true);
+        let garbage_block = garbage[0].block();
+        let keeper_block = keepers[0].block();
+        assert_ne!(garbage_block, keeper_block);
+        assert!(s.blocks().get(garbage_block).is_full());
+
+        // Only keepers[0] is reachable.
+        let state = CgcState::new();
+        let live_root = keepers[0];
+        let out = collect_entangled(&s, &state, || vec![vec![live_root]]);
+
+        // The all-garbage block: freed wholesale.
+        assert!(
+            s.blocks().try_get(garbage_block).is_none(),
+            "clean block must be freed wholesale"
+        );
+        assert!(out.freed_blocks >= 1);
+        // The keeper block: survives, with only the marked object alive.
+        let kb = s.blocks().get(keeper_block);
+        assert!(!kb.try_get(keepers[0].word()).unwrap().header().is_dead());
+        for &k in &keepers[1..] {
+            assert!(kb.try_get(k.word()).unwrap().header().is_dead());
+        }
+        assert_eq!(out.swept_objects, 4 + 3);
+        assert!(
+            s.stats().snapshot().lines_swept > 0,
+            "line sweep telemetry recorded"
+        );
+        assert!(kb.line_map_clean(), "epilogue wiped the line marks");
     }
 
     #[test]
@@ -1038,7 +1091,7 @@ mod tests {
         let out = collect_entangled(&s, &state, || vec![vec![a]]);
         assert_eq!(out.swept_objects, 0);
         assert_eq!(out.swept_bytes, 0);
-        assert_eq!(out.freed_chunks, 0);
+        assert_eq!(out.freed_blocks, 0);
     }
 
     #[test]
@@ -1073,9 +1126,9 @@ mod tests {
         assert_eq!(out.swept_objects, 1, "exactly the unreferenced pin");
         assert!(!s.handle(live).header().is_dead());
         assert!(s
-            .chunks()
-            .try_get(dead.chunk())
-            .map(|c| c.try_get(dead.slot()).unwrap().header().is_dead())
+            .blocks()
+            .try_get(dead.block())
+            .map(|b| b.try_get(dead.word()).unwrap().header().is_dead())
             .unwrap_or(true));
     }
 
@@ -1179,9 +1232,9 @@ mod tests {
         assert!(!s2.handle(live2).header().is_dead());
         for (s, dead) in [(&s1, dead1), (&s2, dead2)] {
             assert!(s
-                .chunks()
-                .try_get(dead.chunk())
-                .map(|c| c.try_get(dead.slot()).unwrap().header().is_dead())
+                .blocks()
+                .try_get(dead.block())
+                .map(|b| b.try_get(dead.word()).unwrap().header().is_dead())
                 .unwrap_or(true));
         }
         assert!(
@@ -1211,12 +1264,12 @@ mod tests {
         assert_eq!(out.swept_objects, 1, "only the unreferenced pin");
         assert!(!s.handle(live).header().is_dead());
         assert!(s
-            .chunks()
-            .try_get(dead.chunk())
-            .map(|c| c.try_get(dead.slot()).unwrap().header().is_dead())
+            .blocks()
+            .try_get(dead.block())
+            .map(|b| b.try_get(dead.word()).unwrap().header().is_dead())
             .unwrap_or(true));
-        // Dirty cycle: marks still fully cleared (chunk-scan epilogue).
-        assert!(!s.handle(live).header().is_marked());
+        // Dirty cycle: marks still fully cleared (block-scan epilogue).
+        assert!(!s.handle(live).obj().is_marked());
         assert!(s.stats().snapshot().cgc_packet_retries >= 1);
     }
 }

@@ -31,18 +31,24 @@
 //!   tag its in-heap members `entangled_space`: non-moving, retained,
 //!   swept later by the CGC.
 //! * **Phase B (evacuate)** — Cheney-style copy of everything reachable
-//!   from the task's roots and the remembered set into fresh chunks,
-//!   leaving forwarding words behind; entangled-space objects are kept in
-//!   place and act as boundaries (their subgraph is already retained).
-//! * **Phase C (reclaim)** — from-space chunks that contain entangled
+//!   from the task's roots and the remembered set into fresh size-class
+//!   blocks, leaving forwarding words behind; entangled-space objects are
+//!   kept in place and act as boundaries (their subgraph is already
+//!   retained).
+//! * **Phase C (reclaim)** — from-space blocks that contain entangled
 //!   objects are retained (and flagged for the CGC); the rest are freed or
-//!   retired to the graveyard.
+//!   retired to the graveyard **wholesale** — no per-object walk is needed
+//!   to free a block, only the retained (entangled) minority is walked to
+//!   dead-mark unshielded garbage.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mpl_heap::events::{self, EventKind, DEAD_BY_ABANDON, DEAD_BY_LGC};
-use mpl_heap::{Chunk, ObjHandle, ObjRef, Object, RemsetEntry, Store, Value, Word};
+use mpl_heap::{
+    size_class, Block, ObjHandle, ObjKind, ObjRef, RemsetEntry, Store, Value, Word,
+    NUM_SIZE_CLASSES, OBJECT_HEADER_WORDS,
+};
 
 use crate::graveyard::Graveyard;
 
@@ -55,18 +61,21 @@ pub struct LgcOutcome {
     pub reclaimed_bytes: u64,
     /// Live bytes retained in place in the entangled space.
     pub retained_entangled_bytes: u64,
-    /// Number of from-space chunks freed or retired.
-    pub freed_chunks: usize,
-    /// Number of from-space chunks retained for the CGC.
-    pub retained_chunks: usize,
+    /// Number of from-space blocks freed or retired.
+    pub freed_blocks: usize,
+    /// Number of from-space blocks retained for the CGC.
+    pub retained_blocks: usize,
     /// Number of objects evacuated.
     pub copied_objects: usize,
 }
 
+/// To-space: per-size-class bump blocks owned by the collection, promoted
+/// to the heap's allocation blocks when the cycle installs them.
 struct ToSpace<'s> {
     store: &'s Store,
     heap: u32,
-    chunks: Vec<Arc<Chunk>>,
+    blocks: Vec<Arc<Block>>,
+    current: [Option<usize>; NUM_SIZE_CLASSES],
 }
 
 impl<'s> ToSpace<'s> {
@@ -74,26 +83,47 @@ impl<'s> ToSpace<'s> {
         ToSpace {
             store,
             heap,
-            chunks: Vec::new(),
+            blocks: Vec::new(),
+            current: [None; NUM_SIZE_CLASSES],
         }
     }
 
-    fn alloc(&mut self, obj: Object) -> ObjRef {
-        let mut obj = obj;
+    fn register(&mut self, capacity: usize, class: usize) -> Arc<Block> {
+        let heap = self.heap;
+        let sft = Arc::clone(self.store.sft());
+        let block = self
+            .store
+            .blocks()
+            .register(|id| Block::new(id, heap, capacity, class, sft));
+        self.blocks.push(Arc::clone(&block));
+        block
+    }
+
+    /// Copies an object image into to-space, preserving the suspect bit
+    /// (part of the object's identity for the read barrier).
+    fn alloc(&mut self, kind: ObjKind, fields: &[Word], suspect: bool) -> ObjRef {
+        let nwords = OBJECT_HEADER_WORDS + fields.len();
+        let block_words = self.store.config().block_words;
+        if nwords > block_words {
+            let block = self.register(nwords, NUM_SIZE_CLASSES - 1);
+            let r = block.try_alloc(kind, fields).expect("dedicated block fits");
+            if suspect {
+                block.set_suspect(r.word());
+            }
+            return r;
+        }
+        let class = size_class(nwords);
         loop {
-            if let Some(chunk) = self.chunks.last() {
-                match chunk.try_alloc(obj) {
-                    Ok(r) => return r,
-                    Err(back) => obj = back,
+            if let Some(i) = self.current[class] {
+                if let Some(r) = self.blocks[i].try_alloc(kind, fields) {
+                    if suspect {
+                        self.blocks[i].set_suspect(r.word());
+                    }
+                    return r;
                 }
             }
-            let heap = self.heap;
-            let slots = self.store.config().chunk_slots;
-            let chunk = self
-                .store
-                .chunks()
-                .register(|id| Chunk::new(id, heap, slots));
-            self.chunks.push(chunk);
+            self.register(block_words, class);
+            self.current[class] = Some(self.blocks.len() - 1);
         }
     }
 }
@@ -107,13 +137,13 @@ impl<'s> ToSpace<'s> {
 /// # Panics
 ///
 /// Panics on heap corruption (dangling references outside the collected
-/// heap's own chunks).
+/// heap's own blocks).
 pub fn collect_local(
     store: &Store,
     heap: u32,
     roots: &mut [ObjRef],
     graveyard: &Graveyard,
-    immediate_chunk_free: bool,
+    immediate_block_free: bool,
 ) -> LgcOutcome {
     // The whole call is the stop-the-task pause: timed here (not at call
     // sites) so allocation-triggered and forced collections are equally
@@ -126,22 +156,22 @@ pub fn collect_local(
 
     let h = store.heaps().find(heap);
     let info = store.heaps().info(h);
-    let from_chunks: Vec<u32> = info.chunk_ids();
-    let from_set: HashSet<u32> = from_chunks.iter().copied().collect();
-    let total_from_live: u64 = from_chunks
+    let from_blocks: Vec<u32> = info.block_ids();
+    let from_set: HashSet<u32> = from_blocks.iter().copied().collect();
+    let total_from_live: u64 = from_blocks
         .iter()
-        .filter_map(|&c| store.chunks().try_get(c))
-        .map(|c| c.live_bytes() as u64)
+        .filter_map(|&b| store.blocks().try_get(b))
+        .map(|b| b.live_bytes() as u64)
         .sum();
 
-    let in_heap = |r: ObjRef| from_set.contains(&r.chunk());
+    let in_heap = |r: ObjRef| from_set.contains(&r.block());
 
     let mut out = LgcOutcome::default();
 
     // ---- Phase A: shield the entangled region --------------------------
     let mut stall = crate::stall::enter(crate::stall::LGC_SHIELD);
     let mut entangled_closure: HashSet<ObjRef> = HashSet::new();
-    let mut retained_chunk_ids: HashSet<u32> = HashSet::new();
+    let mut retained_block_ids: HashSet<u32> = HashSet::new();
     {
         let entries = info.take_entangled();
         let mut kept = Vec::with_capacity(entries.len());
@@ -176,7 +206,7 @@ pub fn collect_local(
             &mut stack,
             &mut entangled_closure,
             &mut foreign_seen,
-            &mut retained_chunk_ids,
+            &mut retained_block_ids,
             &mut out,
         );
     }
@@ -203,18 +233,18 @@ pub fn collect_local(
                        forwarded: &mut HashMap<ObjRef, ObjRef>,
                        out: &mut LgcOutcome,
                        entangled_closure: &mut HashSet<ObjRef>,
-                       retained_chunk_ids: &mut HashSet<u32>,
+                       retained_block_ids: &mut HashSet<u32>,
                        r: ObjRef|
      -> ObjRef {
         let r = match store.try_resolve(r) {
             Some(r) => r,
             None => panic!(
-                "forward_one[{}]: unresolvable {r} (chunk {} freed) while collecting heap {h}",
+                "forward_one[{}]: unresolvable {r} (block {} freed) while collecting heap {h}",
                 phase.get(),
-                r.chunk()
+                r.block()
             ),
         };
-        if !from_set.contains(&r.chunk()) {
+        if !from_set.contains(&r.block()) {
             return r; // foreign pointer: not collected now
         }
         if let Some(&nr) = forwarded.get(&r) {
@@ -225,7 +255,7 @@ pub fn collect_local(
         // Shielding is per-collection: only THIS cycle's pin closure is
         // non-moving. A stale `entangled_space` bit from an earlier cycle
         // (whose pin has since been released at a join) must not exempt
-        // an object from evacuation — its chunk is about to be freed.
+        // an object from evacuation — its block is about to be freed.
         if entangled_closure.contains(&r) {
             return r; // shielded: non-moving
         }
@@ -240,29 +270,23 @@ pub fn collect_local(
             // the event trace, and die in debug builds.
             store.stats().on_dead_traced();
             eprintln!(
-                "mpl-gc ERROR: LGC({h})[{}] traced a dead object {r}: kind {:?} len {} suspect {} entspace {} chunk(owner {} entangled {} pinned_count {})",
+                "mpl-gc ERROR: LGC({h})[{}] traced a dead object {r}: kind {:?} len {} suspect {} entspace {} block(owner {} entangled {} pinned_count {})",
                 phase.get(),
                 header.kind(),
-                hd.obj().len(),
-                header.is_suspect(),
+                hd.len(),
+                hd.is_suspect(),
                 header.in_entangled_space(),
-                hd.chunk().owner(),
-                hd.chunk().is_entangled(),
-                hd.chunk().pinned_count(),
+                hd.block().owner(),
+                hd.block().is_entangled(),
+                hd.block().pinned_count(),
             );
             crate::audit::dump_events();
             debug_assert!(false, "traced a dead object {r} (details on stderr)");
         }
-        // Copy the payload and claim the original. The suspect bit is
-        // part of the object's identity for the read barrier and must
-        // survive the move.
-        let snapshot: Vec<Word> = hd.field_words().collect();
+        // Copy the payload and claim the original.
+        let snapshot: Vec<Word> = hd.obj().field_words().collect();
         let size = hd.size_bytes();
-        let copy = Object::new(header.kind(), snapshot);
-        if header.is_suspect() {
-            copy.mark_suspect();
-        }
-        let nr = tospace.alloc(copy);
+        let nr = tospace.alloc(header.kind(), &snapshot, hd.is_suspect());
         match hd.obj().try_forward(nr) {
             Ok(()) => {
                 forwarded.insert(r, nr);
@@ -284,10 +308,10 @@ pub fn collect_local(
                 // reachable closure once the scan settles (the reader may
                 // traverse its fields barrier-free).
                 abandon_copy(store, nr);
-                hd.set_entangled_space();
+                hd.obj().set_entangled_space();
                 events::emit_obj(EventKind::Entangle, r, h);
                 entangled_closure.insert(r);
-                retained_chunk_ids.insert(r.chunk());
+                retained_block_ids.insert(r.block());
                 out.retained_entangled_bytes += size as u64;
                 race_pinned.borrow_mut().push(r);
                 r
@@ -305,7 +329,7 @@ pub fn collect_local(
             &mut forwarded,
             &mut out,
             &mut entangled_closure,
-            &mut retained_chunk_ids,
+            &mut retained_block_ids,
             *root,
         );
     }
@@ -316,11 +340,11 @@ pub fn collect_local(
     let remset = info.take_remset();
     let mut kept_remset: Vec<RemsetEntry> = Vec::new();
     for entry in remset {
-        let Some(_chunk) = store.chunks().try_get(entry.src.chunk()) else {
-            continue; // source chunk reclaimed: entry is stale
+        let Some(_block) = store.blocks().try_get(entry.src.block()) else {
+            continue; // source block reclaimed: entry is stale
         };
         let src = store.resolve(entry.src);
-        if from_set.contains(&src.chunk()) {
+        if from_set.contains(&src.block()) {
             // The source merged into this very heap; the pointer is now
             // internal and ordinary tracing covers it.
             continue;
@@ -339,8 +363,8 @@ pub fn collect_local(
             // The raw target decides membership: a target already
             // evacuated through another path must still have its source
             // field repaired to the forwarded location, or the field
-            // dangles once from-space chunks are freed.
-            if !from_set.contains(&t.chunk()) {
+            // dangles once from-space blocks are freed.
+            if !from_set.contains(&t.block()) {
                 break; // points outside this heap: entry is stale
             }
             let nt = forward_one(
@@ -350,7 +374,7 @@ pub fn collect_local(
                 &mut forwarded,
                 &mut out,
                 &mut entangled_closure,
-                &mut retained_chunk_ids,
+                &mut retained_block_ids,
                 t,
             );
             if nt == t {
@@ -392,11 +416,11 @@ pub fn collect_local(
             if let Some(t) = w.pointer() {
                 if store.try_resolve(t).is_none() {
                     panic!(
-                        "scan: {nr} (kind {:?}, len {}, copied into chunk {} owner {}) field {i} -> dangling {t}",
+                        "scan: {nr} (kind {:?}, len {}, copied into block {} owner {}) field {i} -> dangling {t}",
                         hd.kind(),
                         hd.len(),
-                        nr.chunk(),
-                        store.chunks().get(nr.chunk()).owner(),
+                        nr.block(),
+                        store.blocks().get(nr.block()).owner(),
                     );
                 }
                 let nt = forward_one(
@@ -406,7 +430,7 @@ pub fn collect_local(
                     &mut forwarded,
                     &mut out,
                     &mut entangled_closure,
-                    &mut retained_chunk_ids,
+                    &mut retained_block_ids,
                     t,
                 );
                 if nt != t {
@@ -418,7 +442,7 @@ pub fn collect_local(
 
     // Late shield: expand the closure from objects pinned concurrently
     // during evacuation. Members already evacuated are fine (readers
-    // resolve forwarding; from-space chunks survive until quiescence via
+    // resolve forwarding; from-space blocks survive until quiescence via
     // the graveyard); members still in place must be retained and spared
     // from dead-marking, recursively.
     {
@@ -428,10 +452,10 @@ pub fn collect_local(
         let mut foreign_seen: HashSet<ObjRef> = HashSet::new();
         let mut stack = race_pinned.into_inner();
         while let Some(r) = stack.pop() {
-            let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+            let Some(block) = store.blocks().try_get(r.block()) else {
                 continue;
             };
-            let Some(obj) = chunk.try_get(r.slot()) else {
+            let Some(obj) = block.try_get(r.word()) else {
                 continue;
             };
             if obj.header().is_forwarded() {
@@ -440,22 +464,22 @@ pub fn collect_local(
             if !obj.header().kind().is_traced() {
                 continue;
             }
-            for w in obj.field_words() {
-                let Some(t) = w.pointer() else { continue };
+            let targets: Vec<ObjRef> = obj.field_words().filter_map(|w| w.pointer()).collect();
+            for t in targets {
                 let Some(t) = store.try_resolve(t) else {
                     continue;
                 };
-                let local = from_set.contains(&t.chunk());
+                let local = from_set.contains(&t.block());
                 if local && entangled_closure.contains(&t) {
                     continue;
                 }
                 if !local && !foreign_seen.insert(t) {
                     continue;
                 }
-                let Some(tch) = store.chunks().try_get(t.chunk()) else {
+                let Some(tbl) = store.blocks().try_get(t.block()) else {
                     continue;
                 };
-                let Some(tobj) = tch.try_get(t.slot()) else {
+                let Some(tobj) = tbl.try_get(t.word()) else {
                     continue;
                 };
                 if tobj.header().is_dead() || tobj.header().is_forwarded() {
@@ -465,10 +489,10 @@ pub fn collect_local(
                     tobj.set_entangled_space();
                     events::emit_obj(EventKind::Entangle, t, h);
                     entangled_closure.insert(t);
-                    retained_chunk_ids.insert(t.chunk());
+                    retained_block_ids.insert(t.block());
                     out.retained_entangled_bytes += tobj.size_bytes() as u64;
                 } else {
-                    events::emit_obj(EventKind::ShieldCross, t, r.chunk());
+                    events::emit_obj(EventKind::ShieldCross, t, r.block());
                 }
                 stack.push(t);
             }
@@ -524,7 +548,7 @@ pub fn collect_local(
                 &mut stack,
                 &mut entangled_closure,
                 &mut foreign_seen,
-                &mut retained_chunk_ids,
+                &mut retained_block_ids,
                 &mut out,
             );
             info.extend_entangled(kept);
@@ -541,16 +565,20 @@ pub fn collect_local(
     stall = crate::stall::enter(crate::stall::LGC_RECLAIM);
 
     // ---- Phase C: reclaim ------------------------------------------------
-    // Forwarding-chain path compression: retained chunks keep forwarded
-    // slots alive indefinitely (entangled readers resolve lazily), so
+    // Forwarding-chain path compression: retained blocks keep forwarded
+    // entries alive indefinitely (entangled readers resolve lazily), so
     // every forwarding word must point at the *final* location before the
-    // intermediate to-space chunks it may pass through are reclaimed —
-    // this or any future cycle.
-    for &cid in &from_chunks {
-        let Some(chunk) = store.chunks().try_get(cid) else {
+    // intermediate to-space blocks it may pass through are reclaimed —
+    // this or any future cycle. Blocks that forwarded nothing (the
+    // `forwarded_count` gauge is zero) are skipped without a walk.
+    for &bid in &from_blocks {
+        let Some(block) = store.blocks().try_get(bid) else {
             continue;
         };
-        for (_slot, obj) in chunk.objects() {
+        if block.forwarded_count() == 0 {
+            continue;
+        }
+        for (_off, obj) in block.objects() {
             if let Some(first) = obj.forward_ref() {
                 let fin = store.resolve(first);
                 if fin != first {
@@ -559,24 +587,24 @@ pub fn collect_local(
             }
         }
     }
-    for &cid in &from_chunks {
-        let Some(chunk) = store.chunks().try_get(cid) else {
+    for &bid in &from_blocks {
+        let Some(block) = store.blocks().try_get(bid) else {
             continue;
         };
-        if retained_chunk_ids.contains(&cid) || chunk.pinned_count() > 0 {
-            out.retained_chunks += 1;
-            chunk.set_entangled(true);
-            // Account garbage and evacuees out of the retained chunk.
-            for (slot, obj) in chunk.objects() {
+        if retained_block_ids.contains(&bid) || block.pinned_count() > 0 {
+            out.retained_blocks += 1;
+            block.set_entangled(true);
+            // Account garbage and evacuees out of the retained block.
+            for (off, obj) in block.objects() {
                 let header = obj.header();
                 if header.is_dead() {
                     continue;
                 }
                 if header.is_forwarded() {
-                    chunk.sub_live_bytes(obj.size_bytes());
-                } else if !entangled_closure.contains(&ObjRef::new(cid, slot)) {
+                    block.sub_live_bytes(obj.size_bytes());
+                } else if !entangled_closure.contains(&ObjRef::new(bid, off)) {
                     // Unreachable and unshielded: garbage in a retained
-                    // chunk; the CGC reclaims the slot later. Objects with
+                    // block; the CGC reclaims the space later. Objects with
                     // a pin (possibly acquired concurrently, after the
                     // shield phase) or a lingering entangled-space flag
                     // are spared — the concurrent collector decides their
@@ -584,42 +612,50 @@ pub fn collect_local(
                     // those conditions on its CAS, so a pin landing after
                     // this loop's header load cannot be overrun.
                     if obj.try_kill().is_some() {
-                        events::emit(EventKind::DeadMark, cid, slot, DEAD_BY_LGC);
-                        chunk.sub_live_bytes(obj.size_bytes());
+                        events::emit(EventKind::DeadMark, bid, off, DEAD_BY_LGC);
+                        block.sub_live_bytes(obj.size_bytes());
                     }
                 }
             }
         } else {
-            out.freed_chunks += 1;
-            if immediate_chunk_free {
-                store.chunks().free(cid);
+            // Clean line map (nothing pinned, nothing shielded): the whole
+            // block is garbage or evacuated — freed wholesale, no walk.
+            out.freed_blocks += 1;
+            if immediate_block_free {
+                store.blocks().free(bid);
             } else {
-                graveyard.retire(cid);
+                graveyard.retire(bid);
             }
         }
     }
 
-    let retained_live: u64 = retained_chunk_ids
+    let retained_live: u64 = retained_block_ids
         .iter()
-        .filter_map(|&c| store.chunks().try_get(c))
-        .map(|c| c.live_bytes() as u64)
+        .filter_map(|&b| store.blocks().try_get(b))
+        .map(|b| b.live_bytes() as u64)
         .sum();
     out.reclaimed_bytes = total_from_live
         .saturating_sub(out.copied_bytes)
         .saturating_sub(retained_live);
 
-    // Install the new chunk list: to-space first (the last one is the new
-    // allocation chunk), then retained entangled chunks.
-    let mut new_chunks: Vec<u32> = tospace.chunks.iter().map(|c| c.id()).collect();
-    new_chunks.extend(from_chunks.iter().copied().filter(|c| {
-        retained_chunk_ids.contains(c)
+    // Install the new block list: to-space first, then retained entangled
+    // blocks; the per-class to-space bump blocks become the heap's
+    // allocation blocks.
+    let mut new_blocks: Vec<u32> = tospace.blocks.iter().map(|b| b.id()).collect();
+    new_blocks.extend(from_blocks.iter().copied().filter(|b| {
+        retained_block_ids.contains(b)
             || store
-                .chunks()
-                .try_get(*c)
-                .is_some_and(|ch| ch.pinned_count() > 0)
+                .blocks()
+                .try_get(*b)
+                .is_some_and(|bl| bl.pinned_count() > 0)
     }));
-    info.set_chunks(new_chunks);
-    info.set_alloc_chunk(tospace.chunks.last().cloned());
+    info.set_blocks(new_blocks);
+    info.clear_alloc_blocks();
+    for class in 0..NUM_SIZE_CLASSES {
+        if let Some(i) = tospace.current[class] {
+            info.set_alloc_block(class, Some(Arc::clone(&tospace.blocks[i])));
+        }
+    }
 
     store.stats().on_lgc(
         out.copied_bytes,
@@ -653,8 +689,8 @@ pub fn collect_local(
 /// Expands `entangled_closure` with everything reachable from `stack`,
 /// crossing heap boundaries in both directions: foreign objects are
 /// traversed (tracked in `foreign_seen`) but never tagged or retained;
-/// in-heap members (chunks in `from_set`) are tagged entangled-space,
-/// their chunks retained, and their retained bytes accounted.
+/// in-heap members (blocks in `from_set`) are tagged entangled-space,
+/// their blocks retained, and their retained bytes accounted.
 #[allow(clippy::too_many_arguments)]
 fn shield_sweep(
     store: &Store,
@@ -663,11 +699,11 @@ fn shield_sweep(
     stack: &mut Vec<ObjRef>,
     entangled_closure: &mut HashSet<ObjRef>,
     foreign_seen: &mut HashSet<ObjRef>,
-    retained_chunk_ids: &mut HashSet<u32>,
+    retained_block_ids: &mut HashSet<u32>,
     out: &mut LgcOutcome,
 ) {
     while let Some(r) = stack.pop() {
-        let local = from_set.contains(&r.chunk());
+        let local = from_set.contains(&r.block());
         if local {
             if !entangled_closure.insert(r) {
                 continue;
@@ -675,29 +711,29 @@ fn shield_sweep(
         } else if !foreign_seen.insert(r) {
             continue;
         }
-        // Foreign chunks can be swept (and freed) by a concurrent
+        // Foreign blocks can be swept (and freed) by a concurrent
         // collection elsewhere; read them defensively.
-        let Some(chunk) = store.chunks().try_get(r.chunk()) else {
+        let Some(block) = store.blocks().try_get(r.block()) else {
             continue;
         };
-        let Some(obj) = chunk.try_get(r.slot()) else {
+        let Some(obj) = block.try_get(r.word()) else {
             continue;
         };
         if local {
             obj.set_entangled_space();
             events::emit_obj(EventKind::Entangle, r, h);
-            retained_chunk_ids.insert(r.chunk());
+            retained_block_ids.insert(r.block());
             out.retained_entangled_bytes += obj.size_bytes() as u64;
         }
         if !obj.header().kind().is_traced() {
             continue;
         }
-        for w in obj.field_words() {
-            let Some(t) = w.pointer() else { continue };
+        let targets: Vec<ObjRef> = obj.field_words().filter_map(|w| w.pointer()).collect();
+        for t in targets {
             let Some(t) = store.try_resolve(t) else {
                 continue;
             };
-            let t_local = from_set.contains(&t.chunk());
+            let t_local = from_set.contains(&t.block());
             let seen = if t_local {
                 entangled_closure.contains(&t)
             } else {
@@ -707,14 +743,14 @@ fn shield_sweep(
                 continue;
             }
             let dead = store
-                .chunks()
-                .try_get(t.chunk())
-                .and_then(|c| c.try_get(t.slot()).map(|o| o.header().is_dead()));
+                .blocks()
+                .try_get(t.block())
+                .and_then(|b| b.try_get(t.word()).map(|o| o.header().is_dead()));
             if dead != Some(false) {
                 continue;
             }
             if t_local != local {
-                events::emit_obj(EventKind::ShieldCross, t, r.chunk());
+                events::emit_obj(EventKind::ShieldCross, t, r.block());
             }
             stack.push(t);
         }
@@ -726,7 +762,7 @@ fn abandon_copy(store: &Store, r: ObjRef) {
     let size = hd.size_bytes();
     hd.obj().set_dead();
     events::emit_obj(EventKind::DeadMark, r, DEAD_BY_ABANDON);
-    hd.chunk().sub_live_bytes(size);
+    hd.block().sub_live_bytes(size);
 }
 
 #[cfg(test)]
@@ -736,7 +772,7 @@ mod tests {
 
     fn store() -> Store {
         Store::new(StoreConfig {
-            chunk_slots: 4,
+            block_words: 12,
             ..Default::default()
         })
     }
@@ -759,7 +795,7 @@ mod tests {
         assert!(out.reclaimed_bytes > 0);
         assert_eq!(out.copied_objects, 1);
         assert_eq!(s.handle(roots[0]).field(0), Value::Int(7));
-        assert!(out.freed_chunks > 0);
+        assert!(out.freed_blocks > 0);
     }
 
     #[test]
@@ -802,7 +838,7 @@ mod tests {
         let out = lgc(&s, h, &mut roots);
         assert_eq!(roots[0], pinned, "pinned object must stay in place");
         assert!(out.retained_entangled_bytes > 0);
-        assert!(out.retained_chunks >= 1);
+        assert!(out.retained_blocks >= 1);
         assert_eq!(s.handle(pinned).field(0), Value::Int(3));
     }
 
@@ -859,10 +895,10 @@ mod tests {
         let raw = s.alloc(
             h,
             ObjKind::RawArr,
-            vec![Word::encode(Value::Obj(ObjRef::new(12345, 1)))],
+            &[Word::encode(Value::Obj(ObjRef::new(12345, 1)))],
         );
         let mut roots = [raw];
-        lgc(&s, h, &mut roots); // would panic on dangling c12345s1 if traced
+        lgc(&s, h, &mut roots); // would panic on dangling b12345w1 if traced
         assert!(s.handle(roots[0]).field_word(0).is_pointer());
     }
 

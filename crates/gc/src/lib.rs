@@ -13,7 +13,7 @@
 //!   programs never trigger it.
 //! * [`policy`] — the triggers tying both to allocation volume and pinned
 //!   footprint.
-//! * [`graveyard`] — quiescence-deferred chunk reclamation for the
+//! * [`graveyard`] — quiescence-deferred block reclamation for the
 //!   real-thread executor.
 //!
 //! # Example

@@ -20,10 +20,10 @@ pub struct GcPolicy {
     /// Run a concurrent collection once the global pinned footprint
     /// exceeds this many bytes. `usize::MAX` disables the CGC.
     pub cgc_trigger_pinned_bytes: usize,
-    /// Free evacuated chunks immediately (safe under the sequential
+    /// Free evacuated blocks immediately (safe under the sequential
     /// executor) instead of retiring them to the graveyard for
     /// quiescence-deferred reclamation (required under real threads).
-    pub immediate_chunk_free: bool,
+    pub immediate_block_free: bool,
 }
 
 impl Default for GcPolicy {
@@ -31,7 +31,7 @@ impl Default for GcPolicy {
         GcPolicy {
             lgc_trigger_bytes: 256 * 1024,
             cgc_trigger_pinned_bytes: 1024 * 1024,
-            immediate_chunk_free: true,
+            immediate_block_free: true,
         }
     }
 }
@@ -43,15 +43,15 @@ impl GcPolicy {
         GcPolicy {
             lgc_trigger_bytes: usize::MAX,
             cgc_trigger_pinned_bytes: usize::MAX,
-            immediate_chunk_free: true,
+            immediate_block_free: true,
         }
     }
 
-    /// A policy suitable for the real-thread executor: deferred chunk
+    /// A policy suitable for the real-thread executor: deferred block
     /// reclamation.
     pub fn threaded() -> GcPolicy {
         GcPolicy {
-            immediate_chunk_free: false,
+            immediate_block_free: false,
             ..GcPolicy::default()
         }
     }
@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn threaded_defers_freeing() {
-        assert!(!GcPolicy::threaded().immediate_chunk_free);
-        assert!(GcPolicy::default().immediate_chunk_free);
+        assert!(!GcPolicy::threaded().immediate_block_free);
+        assert!(GcPolicy::default().immediate_block_free);
     }
 }

@@ -7,12 +7,12 @@
 use mpl_heap::Store;
 
 /// Scans every live, non-dead, traced object and reports pointer fields
-/// that cannot be resolved without touching a freed chunk. An empty
+/// that cannot be resolved without touching a freed block. An empty
 /// result certifies the heap.
 pub fn dangling_fields(store: &Store) -> Vec<String> {
     let mut issues = Vec::new();
-    for chunk in store.chunks().live_chunks() {
-        for (slot, obj) in chunk.objects() {
+    for block in store.blocks().live_blocks() {
+        for (off, obj) in block.objects() {
             let header = obj.header();
             if header.is_dead() || header.is_forwarded() || !header.kind().is_traced() {
                 continue;
@@ -20,18 +20,18 @@ pub fn dangling_fields(store: &Store) -> Vec<String> {
             for (i, w) in obj.field_words().enumerate() {
                 let Some(mut t) = w.pointer() else { continue };
                 loop {
-                    let Some(c) = store.chunks().try_get(t.chunk()) else {
+                    let Some(b) = store.blocks().try_get(t.block()) else {
                         issues.push(format!(
-                            "dangling: c{}s{} field {i} -> {t} (chunk {} freed; src owner {}, entangled {})",
-                            chunk.id(),
-                            slot,
-                            t.chunk(),
-                            chunk.owner(),
-                            chunk.is_entangled(),
+                            "dangling: b{}w{} field {i} -> {t} (block {} freed; src owner {}, entangled {})",
+                            block.id(),
+                            off,
+                            t.block(),
+                            block.owner(),
+                            block.is_entangled(),
                         ));
                         break;
                     };
-                    match c.try_get(t.slot()).and_then(|o| o.forward_ref()) {
+                    match b.try_get(t.word()).and_then(|o| o.forward_ref()) {
                         Some(next) => t = next,
                         None => break,
                     }
@@ -70,13 +70,16 @@ mod tests {
     #[test]
     fn detects_a_planted_dangle() {
         let s = Store::new(StoreConfig {
-            chunk_slots: 1,
+            block_words: 12,
             ..Default::default()
         });
         let h = s.new_root_heap();
-        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        // Five fields: a larger size class than the holder, so the two
+        // objects land in different blocks and only `a`'s gets freed.
+        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1); 5]);
         let _holder = s.alloc_values(h, ObjKind::Tuple, &[Value::Obj(a)]);
-        s.chunks().free(a.chunk()); // simulate a buggy collection
+        assert_ne!(a.block(), _holder.block());
+        s.blocks().free(a.block()); // simulate a buggy collection
         let issues = dangling_fields(&s);
         assert_eq!(issues.len(), 1, "{issues:?}");
         assert!(issues[0].contains("dangling"));

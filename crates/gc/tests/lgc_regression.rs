@@ -7,11 +7,11 @@ use mpl_heap::{ObjKind, ObjRef, RemsetEntry, Store, StoreConfig, Value};
 /// before the remset pass reaches it must still repair the source field.
 /// (The original code resolved the target first and concluded the entry
 /// "no longer points into this heap", leaving the ancestor's field
-/// dangling once from-space chunks were freed.)
+/// dangling once from-space blocks were freed.)
 #[test]
 fn remset_repairs_target_already_evacuated_via_roots() {
     let s = Store::new(StoreConfig {
-        chunk_slots: 4,
+        block_words: 12,
         ..Default::default()
     });
     let root_heap = s.new_root_heap();
@@ -35,7 +35,7 @@ fn remset_repairs_target_already_evacuated_via_roots() {
     collect_local(&s, l, &mut roots, &g, true);
 
     // The field must point at the new location, resolvable without
-    // touching freed chunks.
+    // touching freed blocks.
     let field = s.handle(cell).field(0).expect_obj();
     assert_eq!(field, roots[0], "field repaired to the evacuated location");
     assert_eq!(s.handle(field).field(0), Value::Int(5));
@@ -55,7 +55,7 @@ fn remset_repairs_target_already_evacuated_via_roots() {
 #[test]
 fn repeated_collections_with_bucket_rewrites() {
     let s = Store::new(StoreConfig {
-        chunk_slots: 4,
+        block_words: 12,
         ..Default::default()
     });
     let root_heap = s.new_root_heap();

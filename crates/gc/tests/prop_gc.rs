@@ -41,7 +41,7 @@ fn graph_spec(max_nodes: usize) -> impl Strategy<Value = GraphSpec> {
 /// child heap, objects).
 fn build(spec: &GraphSpec) -> (Store, u32, u32, Vec<ObjRef>) {
     let s = Store::new(StoreConfig {
-        chunk_slots: 8,
+        block_words: 24,
         ..Default::default()
     });
     let root_heap = s.new_root_heap();
@@ -51,7 +51,7 @@ fn build(spec: &GraphSpec) -> (Store, u32, u32, Vec<ObjRef>) {
         let mut fields: Vec<Value> = es.iter().map(|&e| Value::Obj(objs[e])).collect();
         fields.push(Value::Int(i as i64)); // identity payload, last field
         objs.push(s.alloc_values(l, ObjKind::Tuple, &fields));
-        // Interleave garbage to spread objects over chunks.
+        // Interleave garbage to spread objects over blocks.
         s.alloc_values(l, ObjKind::Tuple, &[Value::Unit]);
     }
     (s, root_heap, l, objs)
@@ -180,11 +180,11 @@ proptest! {
         let live = reachable_payloads(&spec, &keep);
         for &p in &spec.pins {
             let r = objs[p];
-            // The chunk may have been freed outright if everything in it
+            // The block may have been freed outright if everything in it
             // died — that counts as swept.
-            let dead = match s.chunks().try_get(r.chunk()) {
+            let dead = match s.blocks().try_get(r.block()) {
                 None => true,
-                Some(c) => c.try_get(r.slot()).is_none_or(|o| o.header().is_dead()),
+                Some(c) => c.try_get(r.word()).is_none_or(|o| o.header().is_dead()),
             };
             if live.contains(&(p as i64)) {
                 prop_assert!(!dead, "reachable pin survives");
@@ -231,10 +231,10 @@ proptest! {
         prop_assert_eq!(seq_out.swept_objects, par_out.swept_objects);
         prop_assert_eq!(seq_out.marked_objects, par_out.marked_objects);
         // Pinned objects never move, so the pre-collection refs are
-        // still the canonical addresses; a freed chunk counts as swept.
-        let dead_in = |s: &Store, r: ObjRef| match s.chunks().try_get(r.chunk()) {
+        // still the canonical addresses; a freed block counts as swept.
+        let dead_in = |s: &Store, r: ObjRef| match s.blocks().try_get(r.block()) {
             None => true,
-            Some(c) => c.try_get(r.slot()).is_none_or(|o| o.header().is_dead()),
+            Some(c) => c.try_get(r.word()).is_none_or(|o| o.header().is_dead()),
         };
         for &p in &spec.pins {
             prop_assert_eq!(
@@ -312,8 +312,8 @@ proptest! {
         let g = Graveyard::new();
         let alive = |r: ObjRef| {
             let r = s.try_resolve(r)?;
-            let chunk = s.chunks().try_get(r.chunk())?;
-            let dead = chunk.try_get(r.slot())?.header().is_dead();
+            let block = s.blocks().try_get(r.block())?;
+            let dead = block.try_get(r.word())?.header().is_dead();
             (!dead).then_some(r)
         };
         for op in ops {
@@ -362,7 +362,7 @@ proptest! {
 fn forced_reclaim_mismark_fails_the_phase_audit() {
     let _audit = AuditGuard::new();
     let s = Store::new(StoreConfig {
-        chunk_slots: 8,
+        block_words: 24,
         ..Default::default()
     });
     let h = s.new_root_heap();

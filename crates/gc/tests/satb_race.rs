@@ -70,7 +70,7 @@ fn entangled_pair(s: &Store) -> (ObjRef, ObjRef) {
 
 fn run_seed(seed: u64) {
     let s = Arc::new(Store::new(StoreConfig {
-        chunk_slots: 8,
+        block_words: 24,
         ..Default::default()
     }));
     let state = Arc::new(CgcState::new());
@@ -91,9 +91,9 @@ fn run_seed(seed: u64) {
         std::thread::spawn(move || {
             let shard = state.register_shard();
             let mut rng = Rng(seed | 1);
-            let obj = s.chunks().get(holder.chunk());
+            let blk = s.blocks().get(holder.block());
             while !stop.load(Ordering::Relaxed) {
-                let o = obj.get(holder.slot());
+                let o = blk.get(holder.word());
                 let in_hand = match o.field(0) {
                     Value::Obj(r) => r,
                     v => panic!("holder field corrupted: {v:?}"),
@@ -122,9 +122,9 @@ fn run_seed(seed: u64) {
         jitter(&mut rng);
         collect_entangled(&s, &state, || vec![vec![holder]]);
         let alive = s
-            .chunks()
-            .try_get(victim.chunk())
-            .and_then(|c| c.try_get(victim.slot()).map(|o| !o.header().is_dead()))
+            .blocks()
+            .try_get(victim.block())
+            .and_then(|b| b.try_get(victim.word()).map(|o| !o.header().is_dead()))
             .unwrap_or(false);
         assert!(
             alive,

@@ -16,7 +16,7 @@
 //!   the hot allocation path pays nothing for budgets);
 //! * **credit** — the local collector credits the bytes it reclaims from
 //!   a budgeted heap, and the concurrent collector credits swept bytes to
-//!   each swept chunk's owning heap's budget.
+//!   each swept block's owning heap's budget.
 //!
 //! Enforcement is the runtime's job (only it can run collectors): the
 //! pressure ladder checks [`TenantBudget::would_exceed`] alongside the

@@ -2,7 +2,7 @@
 //!
 //! The collectors, the store, and the runtime's barriers announce
 //! *events* — pin, unpin, remembered-set traffic, dead-marks, shield
-//! tagging and boundary crossings, chunk retire/free — through this
+//! tagging and boundary crossings, block retire/free — through this
 //! module. When tracing is off (the default) an emission is a single
 //! relaxed atomic load and a predicted-not-taken branch, so the
 //! disentangled fast path keeps the paper's near-zero-cost discipline.
@@ -27,7 +27,7 @@ pub const DEAD_BY_CGC: u32 = 1;
 /// (never published, killed by the copying collector's unwind path).
 pub const DEAD_BY_ABANDON: u32 = 2;
 
-/// What happened. Each variant documents how the generic `chunk`/`slot`
+/// What happened. Each variant documents how the generic `block`/`word`
 /// (the subject object, when there is one) and `aux` fields are used.
 #[repr(u8)]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,11 +36,11 @@ pub enum EventKind {
     Pin = 0,
     /// An object was unpinned at a join (`aux` = join depth).
     Unpin = 1,
-    /// A remembered-set entry was recorded (`chunk`/`slot` name the
+    /// A remembered-set entry was recorded (`block`/`word` name the
     /// *source* object, `aux` = field index).
     RemsetInsert = 2,
     /// A remembered-set source field was repaired after an evacuation
-    /// (`chunk`/`slot` name the source object, `aux` = field index).
+    /// (`block`/`word` name the source object, `aux` = field index).
     RemsetRepair = 3,
     /// An object was dead-marked (`aux` = one of [`DEAD_BY_LGC`],
     /// [`DEAD_BY_CGC`], [`DEAD_BY_ABANDON`]).
@@ -49,18 +49,18 @@ pub enum EventKind {
     /// space (`aux` = the collecting heap's id).
     Entangle = 5,
     /// The shield closure traversed *through* a foreign object — a
-    /// cross-heap hop on a path from a pinned root (`chunk`/`slot` name
-    /// the foreign object, `aux` = the chunk the edge came from).
+    /// cross-heap hop on a path from a pinned root (`block`/`word` name
+    /// the foreign object, `aux` = the block the edge came from).
     ShieldCross = 6,
-    /// A chunk was freed (`chunk` = its id, `aux` = its last owner).
-    ChunkFree = 7,
-    /// A chunk was retired to the graveyard (`chunk` = its id).
-    ChunkRetire = 8,
+    /// A block was freed (`block` = its id, `aux` = its last owner).
+    BlockFree = 7,
+    /// A block was retired to the graveyard (`block` = its id).
+    BlockRetire = 8,
     /// The allocation barrier pinned a remote pointee of a freshly
     /// allocated object (`aux` = pin level).
     AllocPin = 9,
     /// A mutator-private remembered-set buffer was flushed into a heap
-    /// (`chunk` = the destination heap id, `aux` = entries published).
+    /// (`block` = the destination heap id, `aux` = entries published).
     RemsetFlush = 10,
     /// A scheduler worker finished executing a job (`aux` = the worker's
     /// pool index). Task-boundary markers let event-ring dumps
@@ -79,8 +79,8 @@ impl EventKind {
             EventKind::DeadMark => "dead-mark",
             EventKind::Entangle => "entangle",
             EventKind::ShieldCross => "shield-cross",
-            EventKind::ChunkFree => "chunk-free",
-            EventKind::ChunkRetire => "chunk-retire",
+            EventKind::BlockFree => "block-free",
+            EventKind::BlockRetire => "block-retire",
             EventKind::AllocPin => "alloc-pin",
             EventKind::RemsetFlush => "remset-flush",
             EventKind::TaskBoundary => "task-boundary",
@@ -97,8 +97,8 @@ impl EventKind {
             4 => EventKind::DeadMark,
             5 => EventKind::Entangle,
             6 => EventKind::ShieldCross,
-            7 => EventKind::ChunkFree,
-            8 => EventKind::ChunkRetire,
+            7 => EventKind::BlockFree,
+            8 => EventKind::BlockRetire,
             9 => EventKind::AllocPin,
             10 => EventKind::RemsetFlush,
             11 => EventKind::TaskBoundary,
@@ -112,10 +112,10 @@ impl EventKind {
 pub struct Event {
     /// What happened.
     pub kind: EventKind,
-    /// Chunk id of the subject (or the chunk itself for chunk events).
-    pub chunk: u32,
-    /// Slot of the subject within its chunk (0 for chunk events).
-    pub slot: u32,
+    /// Block id of the subject (or the block itself for block events).
+    pub block: u32,
+    /// Word offset of the subject within its block (0 for block events).
+    pub word: u32,
     /// Kind-specific extra word (see [`EventKind`]).
     pub aux: u32,
 }
@@ -142,15 +142,15 @@ pub fn install_sink(sink: fn(Event)) {
 
 /// Emits one event if tracing is enabled and a sink is installed.
 #[inline]
-pub fn emit(kind: EventKind, chunk: u32, slot: u32, aux: u32) {
+pub fn emit(kind: EventKind, block: u32, word: u32, aux: u32) {
     if !TRACING.load(Ordering::Relaxed) {
         return;
     }
     if let Some(sink) = SINK.get() {
         sink(Event {
             kind,
-            chunk,
-            slot,
+            block,
+            word,
             aux,
         });
     }
@@ -159,7 +159,7 @@ pub fn emit(kind: EventKind, chunk: u32, slot: u32, aux: u32) {
 /// Emits one event about an object reference.
 #[inline]
 pub fn emit_obj(kind: EventKind, r: ObjRef, aux: u32) {
-    emit(kind, r.chunk(), r.slot(), aux);
+    emit(kind, r.block(), r.word(), aux);
 }
 
 #[cfg(test)]
@@ -176,8 +176,8 @@ mod tests {
             EventKind::DeadMark,
             EventKind::Entangle,
             EventKind::ShieldCross,
-            EventKind::ChunkFree,
-            EventKind::ChunkRetire,
+            EventKind::BlockFree,
+            EventKind::BlockRetire,
             EventKind::AllocPin,
             EventKind::RemsetFlush,
             EventKind::TaskBoundary,

@@ -1,20 +1,28 @@
-//! Object header words: kind, pin state, collector flags.
+//! Object header words: kind, length, pin state, collector flags.
 //!
-//! Every object carries one atomic header word manipulated with
+//! Every object's first inline word is an atomic header manipulated with
 //! compare-and-swap. The layout is:
 //!
 //! ```text
 //! bits 0..3   object kind (ObjKind)
 //! bit  3      PINNED      — entangled; local collector must not move it
-//! bit  4      FORWARDED   — object was evacuated; `fwd` holds new location
-//! bit  5      MARK        — concurrent-collector mark bit
+//! bit  4      FORWARDED   — object was evacuated; the `fwd` word holds
+//!             the new location
 //! bit  6      DEAD        — swept by the concurrent collector
 //! bit  7      ENTANGLED_SPACE — logically moved to the heap's entangled space
 //! bits 8..24  pin level (u16); NO_PIN_LEVEL when unpinned
-//! bit  24     SUSPECT     — received a down-pointer write; reads of this
-//!             object must run the full entanglement check (ICFP 2022's
-//!             "entanglement candidates" optimization)
+//! bits 32..56 field count (the object is self-describing inline)
 //! ```
+//!
+//! The concurrent collector's **mark** bit and the barrier's **suspect**
+//! bit used to live here too; both moved to per-block side-metadata
+//! bitmaps (see [`crate::block::Block`]) so the collectors can sweep and
+//! the barrier can classify without touching object headers. The bits
+//! that *remain* in the header are exactly the ones that must stay under
+//! one CAS: `try_kill`'s single-word recheck of
+//! `PINNED`/`FORWARDED`/`DEAD`/`ENTANGLED_SPACE` is what closes the
+//! pin-vs-kill race, and splitting any of those into side metadata would
+//! reopen it.
 //!
 //! The *pin level* is the depth of the least common ancestor heap of the
 //! entangling tasks, exactly the "entanglement level" the paper uses to
@@ -50,6 +58,7 @@ impl ObjKind {
     /// # Panics
     ///
     /// Panics on an invalid bit pattern, which indicates heap corruption.
+    #[inline]
     pub fn from_bits(bits: u8) -> ObjKind {
         match bits {
             0 => ObjKind::Tuple,
@@ -62,12 +71,14 @@ impl ObjKind {
 
     /// True for kinds whose fields may change after initialization *and*
     /// may contain pointers — exactly the kinds whose reads are barriered.
+    #[inline]
     pub fn is_mutable_boxed(self) -> bool {
         matches!(self, ObjKind::Ref | ObjKind::MutArr)
     }
 
     /// True for kinds whose payload words may be pointers and must be
     /// traced by the collectors.
+    #[inline]
     pub fn is_traced(self) -> bool {
         !matches!(self, ObjKind::RawArr)
     }
@@ -88,12 +99,15 @@ impl fmt::Display for ObjKind {
 const KIND_MASK: u64 = 0b111;
 const PINNED: u64 = 1 << 3;
 const FORWARDED: u64 = 1 << 4;
-pub(crate) const MARK: u64 = 1 << 5;
 const DEAD: u64 = 1 << 6;
 const ENTANGLED_SPACE: u64 = 1 << 7;
 const LEVEL_SHIFT: u32 = 8;
 const LEVEL_MASK: u64 = 0xFFFF << LEVEL_SHIFT;
-const SUSPECT: u64 = 1 << 24;
+const LEN_SHIFT: u32 = 32;
+const LEN_MASK: u64 = 0xFF_FFFF << LEN_SHIFT;
+
+/// Largest representable field count (24 bits of header).
+pub const MAX_OBJECT_FIELDS: usize = (LEN_MASK >> LEN_SHIFT) as usize;
 
 /// Sentinel pin level meaning "not pinned".
 pub const NO_PIN_LEVEL: u16 = u16::MAX;
@@ -106,106 +120,112 @@ pub const NO_PIN_LEVEL: u16 = u16::MAX;
 pub struct Header(u64);
 
 impl Header {
-    /// A fresh header for a newly allocated object of `kind`.
-    pub fn new(kind: ObjKind) -> Header {
-        Header((kind as u64) | ((NO_PIN_LEVEL as u64) << LEVEL_SHIFT))
+    /// A fresh header for a newly allocated object of `kind` with `len`
+    /// fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`MAX_OBJECT_FIELDS`].
+    #[inline]
+    pub fn new(kind: ObjKind, len: usize) -> Header {
+        assert!(len <= MAX_OBJECT_FIELDS, "object of {len} fields too large");
+        Header((kind as u64) | ((NO_PIN_LEVEL as u64) << LEVEL_SHIFT) | ((len as u64) << LEN_SHIFT))
     }
 
     /// Reconstructs a snapshot from raw bits.
+    #[inline]
     pub fn from_bits(bits: u64) -> Header {
         Header(bits)
     }
 
     /// Raw bits for atomic storage.
+    #[inline]
     pub fn bits(self) -> u64 {
         self.0
     }
 
     /// The object's kind.
+    #[inline]
     pub fn kind(self) -> ObjKind {
         ObjKind::from_bits((self.0 & KIND_MASK) as u8)
     }
 
+    /// The object's field count (inline layout is self-describing).
+    #[inline]
+    pub fn len(self) -> usize {
+        ((self.0 & LEN_MASK) >> LEN_SHIFT) as usize
+    }
+
+    /// True if the object has no fields.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
     /// True if the object is pinned (entangled).
+    #[inline]
     pub fn is_pinned(self) -> bool {
         self.0 & PINNED != 0
     }
 
     /// True if the object has been evacuated; its `fwd` word is valid.
+    #[inline]
     pub fn is_forwarded(self) -> bool {
         self.0 & FORWARDED != 0
     }
 
-    /// True if the concurrent collector has marked the object this cycle.
-    pub fn is_marked(self) -> bool {
-        self.0 & MARK != 0
-    }
-
     /// True if the object has been swept and must no longer be accessed.
+    #[inline]
     pub fn is_dead(self) -> bool {
         self.0 & DEAD != 0
     }
 
     /// True if the object lives in its heap's entangled (non-moving) space.
+    #[inline]
     pub fn in_entangled_space(self) -> bool {
         self.0 & ENTANGLED_SPACE != 0
     }
 
-    /// True if the object has received a down-pointer (or cross) write
-    /// and is therefore an entanglement candidate: reads must run the
-    /// full check. Unsuspected, unpinned objects can only hold pointers
-    /// up their own path.
-    pub fn is_suspect(self) -> bool {
-        self.0 & SUSPECT != 0
-    }
-
-    /// Returns a copy with the suspect bit set.
-    pub fn with_suspect(self) -> Header {
-        Header(self.0 | SUSPECT)
-    }
-
     /// The pin level, or [`NO_PIN_LEVEL`] if unpinned.
+    #[inline]
     pub fn pin_level(self) -> u16 {
         ((self.0 & LEVEL_MASK) >> LEVEL_SHIFT) as u16
     }
 
     /// Returns a copy with the pin bit set and the level lowered to
     /// `min(current, level)`.
+    #[inline]
     pub fn with_pin(self, level: u16) -> Header {
         let lvl = self.pin_level().min(level) as u64;
         Header((self.0 & !LEVEL_MASK) | PINNED | (lvl << LEVEL_SHIFT))
     }
 
     /// Returns a copy with the pin bit cleared and the level reset.
+    #[inline]
     pub fn without_pin(self) -> Header {
         Header((self.0 & !(PINNED | LEVEL_MASK)) | ((NO_PIN_LEVEL as u64) << LEVEL_SHIFT))
     }
 
     /// Returns a copy with the forwarded bit set.
+    #[inline]
     pub fn with_forwarded(self) -> Header {
         Header(self.0 | FORWARDED)
     }
 
-    /// Returns a copy with the mark bit set (or cleared).
-    pub fn with_mark(self, marked: bool) -> Header {
-        if marked {
-            Header(self.0 | MARK)
-        } else {
-            Header(self.0 & !MARK)
-        }
-    }
-
     /// Returns a copy with the dead bit set.
+    #[inline]
     pub fn with_dead(self) -> Header {
         Header(self.0 | DEAD)
     }
 
     /// Returns a copy with the entangled-space bit set.
+    #[inline]
     pub fn with_entangled_space(self) -> Header {
         Header(self.0 | ENTANGLED_SPACE)
     }
 
     /// Returns a copy with the entangled-space bit cleared.
+    #[inline]
     pub fn without_entangled_space(self) -> Header {
         Header(self.0 & !ENTANGLED_SPACE)
     }
@@ -215,10 +235,10 @@ impl fmt::Debug for Header {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Header")
             .field("kind", &self.kind())
+            .field("len", &self.len())
             .field("pinned", &self.is_pinned())
             .field("level", &self.pin_level())
             .field("forwarded", &self.is_forwarded())
-            .field("marked", &self.is_marked())
             .field("dead", &self.is_dead())
             .field("entangled_space", &self.in_entangled_space())
             .finish()
@@ -231,11 +251,11 @@ mod tests {
 
     #[test]
     fn fresh_header_defaults() {
-        let h = Header::new(ObjKind::Ref);
+        let h = Header::new(ObjKind::Ref, 3);
         assert_eq!(h.kind(), ObjKind::Ref);
+        assert_eq!(h.len(), 3);
         assert!(!h.is_pinned());
         assert!(!h.is_forwarded());
-        assert!(!h.is_marked());
         assert!(!h.is_dead());
         assert!(!h.in_entangled_space());
         assert_eq!(h.pin_level(), NO_PIN_LEVEL);
@@ -243,7 +263,7 @@ mod tests {
 
     #[test]
     fn pin_lowers_level_monotonically() {
-        let h = Header::new(ObjKind::Tuple).with_pin(7);
+        let h = Header::new(ObjKind::Tuple, 0).with_pin(7);
         assert!(h.is_pinned());
         assert_eq!(h.pin_level(), 7);
         let h2 = h.with_pin(12);
@@ -254,24 +274,25 @@ mod tests {
 
     #[test]
     fn unpin_resets_level() {
-        let h = Header::new(ObjKind::MutArr).with_pin(2).without_pin();
+        let h = Header::new(ObjKind::MutArr, 5).with_pin(2).without_pin();
         assert!(!h.is_pinned());
         assert_eq!(h.pin_level(), NO_PIN_LEVEL);
         assert_eq!(h.kind(), ObjKind::MutArr);
+        assert_eq!(h.len(), 5, "length survives pin state changes");
     }
 
     #[test]
     fn flags_are_independent() {
-        let h = Header::new(ObjKind::Tuple)
+        let h = Header::new(ObjKind::Tuple, 1)
             .with_pin(1)
             .with_forwarded()
-            .with_mark(true)
             .with_entangled_space();
-        assert!(h.is_pinned() && h.is_forwarded() && h.is_marked());
+        assert!(h.is_pinned() && h.is_forwarded());
         assert!(h.in_entangled_space());
         assert_eq!(h.kind(), ObjKind::Tuple);
-        let h = h.with_mark(false);
-        assert!(!h.is_marked());
+        assert_eq!(h.len(), 1);
+        let h = h.without_entangled_space();
+        assert!(!h.in_entangled_space());
         assert!(h.is_forwarded());
     }
 
@@ -287,7 +308,14 @@ mod tests {
 
     #[test]
     fn bits_roundtrip() {
-        let h = Header::new(ObjKind::RawArr).with_pin(9).with_mark(true);
+        let h = Header::new(ObjKind::RawArr, 9).with_pin(9).with_dead();
         assert_eq!(Header::from_bits(h.bits()), h);
+    }
+
+    #[test]
+    fn max_len_roundtrips() {
+        let h = Header::new(ObjKind::Tuple, MAX_OBJECT_FIELDS);
+        assert_eq!(h.len(), MAX_OBJECT_FIELDS);
+        assert_eq!(h.pin_level(), NO_PIN_LEVEL);
     }
 }

@@ -4,7 +4,7 @@
 //! the two subtasks fresh child heaps; a join merges both children into the
 //! parent. Merges are O(1) in the object graph: no objects are touched —
 //! the child's identity is *unioned* into the parent (a concurrent
-//! union-find over heap ids), and its chunk, remembered-set, and
+//! union-find over heap ids), and its block, remembered-set, and
 //! entangled-object lists are spliced onto the parent's.
 //!
 //! Disentanglement, remoteness, and entanglement levels are all phrased in
@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::block::{Block, NUM_SIZE_CLASSES};
 use crate::budget::TenantBudget;
-use crate::chunk::Chunk;
 use crate::value::ObjRef;
 
 /// A remembered-set entry: `src.field` holds a down-pointer into the heap
@@ -43,8 +43,9 @@ pub struct HeapInfo {
     parent: u32,
     depth: u16,
     merged_into: AtomicU32,
-    chunks: Mutex<Vec<u32>>,
-    alloc_chunk: Mutex<Option<Arc<Chunk>>>,
+    blocks: Mutex<Vec<u32>>,
+    /// The current bump-allocation block of each size class.
+    alloc_blocks: Mutex<[Option<Arc<Block>>; NUM_SIZE_CLASSES]>,
     remset: Mutex<Vec<RemsetEntry>>,
     /// Pinned objects homed here, bucketed by pin level so a join at
     /// depth `d` only touches entries with level `>= d` (entries whose
@@ -83,30 +84,35 @@ impl HeapInfo {
         self.parent
     }
 
-    /// Ids of chunks currently attributed to this heap.
-    pub fn chunk_ids(&self) -> Vec<u32> {
-        self.chunks.lock().clone()
+    /// Ids of blocks currently attributed to this heap.
+    pub fn block_ids(&self) -> Vec<u32> {
+        self.blocks.lock().clone()
     }
 
-    /// Appends a chunk id to this heap's chunk list.
-    pub fn add_chunk(&self, id: u32) {
-        self.chunks.lock().push(id);
+    /// Appends a block id to this heap's block list.
+    pub fn add_block(&self, id: u32) {
+        self.blocks.lock().push(id);
     }
 
-    /// Replaces the chunk list wholesale (used by the local collector after
+    /// Replaces the block list wholesale (used by the local collector after
     /// evacuation).
-    pub fn set_chunks(&self, ids: Vec<u32>) {
-        *self.chunks.lock() = ids;
+    pub fn set_blocks(&self, ids: Vec<u32>) {
+        *self.blocks.lock() = ids;
     }
 
-    /// The current bump-allocation chunk, if any.
-    pub fn alloc_chunk(&self) -> Option<Arc<Chunk>> {
-        self.alloc_chunk.lock().clone()
+    /// The current bump-allocation block for a size class, if any.
+    pub fn alloc_block(&self, class: usize) -> Option<Arc<Block>> {
+        self.alloc_blocks.lock()[class].clone()
     }
 
-    /// Installs a new bump-allocation chunk.
-    pub fn set_alloc_chunk(&self, c: Option<Arc<Chunk>>) {
-        *self.alloc_chunk.lock() = c;
+    /// Installs a new bump-allocation block for a size class.
+    pub fn set_alloc_block(&self, class: usize, b: Option<Arc<Block>>) {
+        self.alloc_blocks.lock()[class] = b;
+    }
+
+    /// Drops every per-class allocation block (joins and collections).
+    pub fn clear_alloc_blocks(&self) {
+        *self.alloc_blocks.lock() = Default::default();
     }
 
     /// Records a down-pointer into this heap.
@@ -232,8 +238,8 @@ impl HeapTable {
             parent,
             depth,
             merged_into: AtomicU32::new(id),
-            chunks: Mutex::new(Vec::new()),
-            alloc_chunk: Mutex::new(None),
+            blocks: Mutex::new(Vec::new()),
+            alloc_blocks: Mutex::new(Default::default()),
             remset: Mutex::new(Vec::new()),
             entangled: Mutex::new(EntangledIndex::default()),
             budget: Mutex::new(budget),
@@ -385,7 +391,7 @@ impl HeapTable {
         table[cur as usize].remset.lock().extend_from_slice(entries);
     }
 
-    /// Merges `child` into `parent`: unions the ids and splices the chunk
+    /// Merges `child` into `parent`: unions the ids and splices the block
     /// list. Remembered-set and entangled-list handling is done by the
     /// caller (it needs object access for the unpin-at-join rule).
     ///
@@ -402,12 +408,12 @@ impl HeapTable {
         );
         let child_info = self.info(child);
         let parent_info = self.info(parent);
-        // Splice chunk lists before publishing the union so a concurrent
+        // Splice block lists before publishing the union so a concurrent
         // observer never sees the child emptied but not yet unioned.
-        let mut moved = child_info.chunks.lock();
-        parent_info.chunks.lock().append(&mut moved);
+        let mut moved = child_info.blocks.lock();
+        parent_info.blocks.lock().append(&mut moved);
         drop(moved);
-        child_info.set_alloc_chunk(None);
+        child_info.clear_alloc_blocks();
         child_info.merged_into.store(parent, Ordering::Release);
     }
 
@@ -631,16 +637,16 @@ mod tests {
     }
 
     #[test]
-    fn merge_splices_chunk_lists() {
+    fn merge_splices_block_lists() {
         let t = HeapTable::new();
         let root = t.new_root();
         let (l, _r) = t.fork(root);
-        t.info(root).add_chunk(0);
-        t.info(l).add_chunk(1);
-        t.info(l).add_chunk(2);
+        t.info(root).add_block(0);
+        t.info(l).add_block(1);
+        t.info(l).add_block(2);
         t.merge_child(root, l);
-        assert_eq!(t.info(root).chunk_ids(), vec![0, 1, 2]);
-        assert!(t.info(l).chunk_ids().is_empty());
+        assert_eq!(t.info(root).block_ids(), vec![0, 1, 2]);
+        assert!(t.info(l).block_ids().is_empty());
     }
 
     #[test]

@@ -14,11 +14,11 @@ pub struct HeapReport {
     pub depth: u16,
     /// Canonical parent id (self for roots).
     pub parent: u32,
-    /// Chunks currently attributed to the heap.
-    pub chunks: usize,
-    /// Logical live bytes across those chunks.
+    /// Blocks currently attributed to the heap.
+    pub blocks: usize,
+    /// Logical live bytes across those blocks.
     pub live_bytes: usize,
-    /// Pinned objects attributed to those chunks.
+    /// Pinned objects attributed to those blocks.
     pub pinned: u32,
     /// Remembered-set entries.
     pub remset: usize,
@@ -31,10 +31,10 @@ pub struct HeapReport {
 pub struct StoreReport {
     /// Per-heap rows, ordered by id.
     pub heaps: Vec<HeapReport>,
-    /// Chunks ever created.
-    pub chunks_issued: usize,
-    /// Chunks currently live.
-    pub chunks_live: usize,
+    /// Blocks ever created.
+    pub blocks_issued: usize,
+    /// Blocks currently live.
+    pub blocks_live: usize,
     /// Total logical live bytes.
     pub live_bytes: usize,
 }
@@ -47,20 +47,20 @@ pub fn report(store: &Store) -> StoreReport {
             continue; // merged away
         }
         let info = store.heaps().info(id);
-        let chunk_ids = info.chunk_ids();
+        let block_ids = info.block_ids();
         let mut live = 0usize;
         let mut pinned = 0u32;
-        for cid in &chunk_ids {
-            if let Some(c) = store.chunks().try_get(*cid) {
-                live += c.live_bytes();
-                pinned += c.pinned_count();
+        for bid in &block_ids {
+            if let Some(b) = store.blocks().try_get(*bid) {
+                live += b.live_bytes();
+                pinned += b.pinned_count();
             }
         }
         heaps.push(HeapReport {
             id,
             depth: info.depth(),
             parent: store.heaps().parent_of(id),
-            chunks: chunk_ids.len(),
+            blocks: block_ids.len(),
             live_bytes: live,
             pinned,
             remset: info.remset_len(),
@@ -69,9 +69,9 @@ pub fn report(store: &Store) -> StoreReport {
     }
     StoreReport {
         heaps,
-        chunks_issued: store.chunks().issued(),
-        chunks_live: store.chunks().live(),
-        live_bytes: store.chunks().total_live_bytes(),
+        blocks_issued: store.blocks().issued(),
+        blocks_live: store.blocks().live(),
+        live_bytes: store.blocks().total_live_bytes(),
     }
 }
 
@@ -79,13 +79,13 @@ impl fmt::Display for StoreReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "store: {} live chunks ({} issued), {} live bytes",
-            self.chunks_live, self.chunks_issued, self.live_bytes
+            "store: {} live blocks ({} issued), {} live bytes",
+            self.blocks_live, self.blocks_issued, self.live_bytes
         )?;
         writeln!(
             f,
             "{:<6} {:<6} {:<7} {:<7} {:<10} {:<7} {:<7} {:<9}",
-            "heap", "depth", "parent", "chunks", "live", "pinned", "remset", "entangled"
+            "heap", "depth", "parent", "blocks", "live", "pinned", "remset", "entangled"
         )?;
         for h in &self.heaps {
             writeln!(
@@ -94,7 +94,7 @@ impl fmt::Display for StoreReport {
                 h.id,
                 h.depth,
                 h.parent,
-                h.chunks,
+                h.blocks,
                 h.live_bytes,
                 h.pinned,
                 h.remset,
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn report_tracks_hierarchy_shape() {
         let s = Store::new(StoreConfig {
-            chunk_slots: 8,
+            block_words: 24,
             ..Default::default()
         });
         let root = s.new_root_heap();
@@ -167,13 +167,13 @@ mod tests {
         let rep = report(&s);
         assert_eq!(rep.heaps.len(), 1, "only the root remains canonical");
         let display = rep.to_string();
-        assert!(display.contains("live chunks"));
+        assert!(display.contains("live blocks"));
     }
 
     #[test]
     fn dot_export_shape() {
         let s = Store::new(StoreConfig {
-            chunk_slots: 8,
+            block_words: 24,
             ..Default::default()
         });
         let root = s.new_root_heap();

@@ -6,7 +6,11 @@
 //!
 //! * a tagged-word object model ([`value`], [`object`], [`header`]) with
 //!   atomic headers carrying the **pin bit** and **entanglement level**;
-//! * chunked, synchronization-free allocation ([`chunk`], [`registry`]);
+//! * segregated size-class **blocks** with bump-pointer allocation,
+//!   Immix-style line marks, and per-block side-metadata bitmaps for the
+//!   GC bits ([`block`], [`registry`]);
+//! * an SFT-style block-classification table so the barriers map any
+//!   pointer to its heap with one shifted load ([`sft`]);
 //! * the **heap hierarchy** mirroring the fork-join task tree, with O(1)
 //!   joins via a concurrent union-find, per-heap remembered sets for
 //!   down-pointers, and per-heap entangled-object indexes ([`heap`]);
@@ -39,26 +43,31 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod block;
 pub mod budget;
-pub mod chunk;
 pub mod events;
 pub mod header;
 pub mod heap;
 pub mod inspect;
 pub mod object;
 pub mod registry;
+pub mod sft;
 pub mod stats;
 pub mod store;
 pub mod value;
 
+pub use block::{
+    size_class, Block, DEFAULT_BLOCK_WORDS, LINE_WORDS, NUM_SIZE_CLASSES, OBJECT_HEADER_WORDS,
+    SIZE_CLASS_WORDS,
+};
 pub use budget::{BudgetSnapshot, TenantBudget};
-pub use chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
 pub use events::{Event, EventKind};
 pub use header::{Header, ObjKind, NO_PIN_LEVEL};
 pub use heap::{HeapInfo, HeapTable, RemsetEntry};
 pub use inspect::{report, to_dot, HeapReport, StoreReport};
 pub use object::{Object, PinOutcome, OBJECT_OVERHEAD_BYTES};
-pub use registry::ChunkRegistry;
+pub use registry::BlockRegistry;
+pub use sft::{SftEntry, SftTable};
 pub use stats::{StatsSnapshot, StoreStats};
 pub use store::{JoinOutcome, ObjHandle, Store, StoreConfig};
 pub use value::{ObjRef, Value, Word, INT_MAX, INT_MIN};

@@ -1,0 +1,158 @@
+//! The space-function table (SFT): a lock-free block → space map the
+//! barrier fast tier classifies pointers through.
+//!
+//! Modeled on mmtk-core's `SFTMap`: a flat table indexed by block id
+//! whose entries are written through whenever a block's owner heap or
+//! entangled flag changes, so classifying an arbitrary `ObjRef` costs a
+//! couple of dependent loads — **no registry read-lock, no `Arc` clone,
+//! no heap-table query**. Block ids are dense (the registry issues them
+//! monotonically), so the table is a segmented array: a fixed spine of
+//! lazily-initialized fixed-size segments, giving lock-free O(1) lookup
+//! with bounded memory (`id >> SEG_SHIFT` picks the segment, the low bits
+//! pick the slot; the only synchronization is the `OnceLock` fill on
+//! first touch of a segment).
+//!
+//! Entries are packed `u64`s:
+//!
+//! ```text
+//! bit  63     PRESENT   — block is live (cleared when freed)
+//! bit  62     ENTANGLED — block was retained by a local collection and
+//!             is swept by the concurrent collector
+//! bits 0..32  owner heap id (as written at allocation/merge; not
+//!             canonicalized — exactly the same value `Block::owner`
+//!             holds, which is what the barrier's leaf-identity check
+//!             compares against)
+//! ```
+//!
+//! The entry is advisory for *classification only*: a stale read (e.g. a
+//! block freed between the load and the access) falls back to the slow
+//! tier or the registry's own freed-block panic, never to a wrong fast
+//! path — the fast tier only fires when the entry proves both sides
+//! local, and locality is stable while the owning task runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+const SEG_SHIFT: u32 = 12;
+const SEG_LEN: usize = 1 << SEG_SHIFT; // 4096 entries per segment
+const SEGMENTS: usize = 1 << 12; // spine for up to ~16.7M blocks
+
+const PRESENT: u64 = 1 << 63;
+const ENTANGLED: u64 = 1 << 62;
+const OWNER_MASK: u64 = 0xFFFF_FFFF;
+
+/// A decoded SFT entry for a live block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SftEntry {
+    /// The block's owner heap id (uncanonicalized, as stored on the block).
+    pub owner: u32,
+    /// Whether the block has been retained into the entangled space.
+    pub entangled: bool,
+}
+
+/// The segmented block-classification table. One per [`crate::Store`].
+pub struct SftTable {
+    segments: Box<[OnceLock<Box<[AtomicU64]>>]>,
+}
+
+impl std::fmt::Debug for SftTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let live = self.segments.iter().filter(|s| s.get().is_some()).count();
+        f.debug_struct("SftTable")
+            .field("segments_touched", &live)
+            .finish()
+    }
+}
+
+impl Default for SftTable {
+    fn default() -> Self {
+        SftTable::new()
+    }
+}
+
+impl SftTable {
+    /// Creates an empty table (no segments materialized).
+    pub fn new() -> SftTable {
+        let segments: Vec<OnceLock<Box<[AtomicU64]>>> =
+            (0..SEGMENTS).map(|_| OnceLock::new()).collect();
+        SftTable {
+            segments: segments.into_boxed_slice(),
+        }
+    }
+
+    fn segment(&self, id: u32) -> &[AtomicU64] {
+        let seg = (id >> SEG_SHIFT) as usize;
+        assert!(seg < SEGMENTS, "block id {id} beyond SFT capacity");
+        self.segments[seg].get_or_init(|| (0..SEG_LEN).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    fn slot(&self, id: u32) -> &AtomicU64 {
+        &self.segment(id)[(id as usize) & (SEG_LEN - 1)]
+    }
+
+    /// Publishes (or updates) the entry for a live block. Called by the
+    /// block on construction and on every owner/entangled transition.
+    pub fn publish(&self, id: u32, owner: u32, entangled: bool) {
+        let bits = PRESENT | u64::from(owner) | if entangled { ENTANGLED } else { 0 };
+        self.slot(id).store(bits, Ordering::Release);
+    }
+
+    /// Clears the entry when the block is freed.
+    pub fn retract(&self, id: u32) {
+        self.slot(id).store(0, Ordering::Release);
+    }
+
+    /// Classifies a block id: `None` for unknown/freed blocks. The fast
+    /// path the barrier takes: a shift, a segment load, an entry load.
+    #[inline]
+    pub fn classify(&self, id: u32) -> Option<SftEntry> {
+        let seg = (id >> SEG_SHIFT) as usize;
+        let table = self.segments.get(seg)?.get()?;
+        let bits = table[(id as usize) & (SEG_LEN - 1)].load(Ordering::Acquire);
+        if bits & PRESENT == 0 {
+            return None;
+        }
+        Some(SftEntry {
+            owner: (bits & OWNER_MASK) as u32,
+            entangled: bits & ENTANGLED != 0,
+        })
+    }
+
+    /// The owner heap of a live block, or `None` if freed/unknown.
+    #[inline]
+    pub fn owner_of(&self, id: u32) -> Option<u32> {
+        self.classify(id).map(|e| e.owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_classify_retract() {
+        let t = SftTable::new();
+        assert_eq!(t.classify(7), None);
+        t.publish(7, 3, false);
+        assert_eq!(
+            t.classify(7),
+            Some(SftEntry {
+                owner: 3,
+                entangled: false
+            })
+        );
+        t.publish(7, 3, true);
+        assert!(t.classify(7).unwrap().entangled);
+        t.retract(7);
+        assert_eq!(t.classify(7), None);
+    }
+
+    #[test]
+    fn cross_segment_ids() {
+        let t = SftTable::new();
+        let far = (SEG_LEN * 3 + 17) as u32;
+        t.publish(far, 99, false);
+        assert_eq!(t.owner_of(far), Some(99));
+        assert_eq!(t.owner_of(far + 1), None);
+    }
+}

@@ -47,6 +47,10 @@ pub struct StoreStats {
     // Parallel CGC work-packet machinery.
     pub(crate) cgc_packets: AtomicU64,
     pub(crate) cgc_packet_retries: AtomicU64,
+    // Block-grained allocator counters.
+    pub(crate) blocks_allocated: AtomicU64,
+    pub(crate) blocks_freed: AtomicU64,
+    pub(crate) lines_swept: AtomicU64,
     // Corruption canary: a trace reached a dead-marked object. Always-on
     // (release builds included) because the matching debug assertion
     // vanishes under `--release`; any nonzero value is a collector bug.
@@ -117,6 +121,13 @@ pub struct StatsSnapshot {
     pub cgc_packets: u64,
     /// CGC packets re-enqueued after an injected or real packet panic.
     pub cgc_packet_retries: u64,
+    /// Size-class blocks issued by the registry.
+    pub blocks_allocated: u64,
+    /// Blocks freed (wholesale or after a by-line sweep emptied them).
+    pub blocks_freed: u64,
+    /// Lines reclaimed by line-mark sweeps (lines in use minus marked
+    /// lines, summed over swept blocks).
+    pub lines_swept: u64,
     /// Corruption canary: traces that reached a dead-marked object.
     /// Counted in every build profile; any nonzero value is a collector
     /// soundness bug (see `mpl-gc`'s audit layer).
@@ -194,6 +205,9 @@ impl StoreStats {
             cgc_pause_ns_max: self.cgc_pause_ns_max.load(Ordering::Relaxed),
             cgc_packets: self.cgc_packets.load(Ordering::Relaxed),
             cgc_packet_retries: self.cgc_packet_retries.load(Ordering::Relaxed),
+            blocks_allocated: self.blocks_allocated.load(Ordering::Relaxed),
+            blocks_freed: self.blocks_freed.load(Ordering::Relaxed),
+            lines_swept: self.lines_swept.load(Ordering::Relaxed),
             lgc_dead_traced: self.lgc_dead_traced.load(Ordering::Relaxed),
             gc_forced_by_pressure: self.gc_forced_by_pressure.load(Ordering::Relaxed),
             alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
@@ -210,6 +224,14 @@ impl StoreStats {
 
     pub(crate) fn count(counter: &AtomicU64, delta: u64) {
         counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The live-bytes gauge, read directly (one atomic load). Pressure
+    /// checks on the allocation path use this instead of building a full
+    /// [`StatsSnapshot`].
+    #[inline]
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
     }
 
     /// Adds to the live-bytes gauge and updates the high-water mark.
@@ -377,6 +399,21 @@ impl StoreStats {
         Self::count(&self.cgc_packet_retries, retries);
     }
 
+    /// Records a block issued by the registry.
+    pub fn on_block_alloc(&self) {
+        Self::count(&self.blocks_allocated, 1);
+    }
+
+    /// Records a block freed back to the registry.
+    pub fn on_block_free(&self) {
+        Self::count(&self.blocks_freed, 1);
+    }
+
+    /// Records lines reclaimed by a line-mark sweep.
+    pub fn on_lines_swept(&self, lines: u64) {
+        Self::count(&self.lines_swept, lines);
+    }
+
     /// Records a concurrent-collection pause duration. Also feeds the
     /// telemetry pause histogram (a no-op unless telemetry is enabled).
     pub fn on_cgc_pause(&self, ns: u64) {
@@ -473,6 +510,9 @@ impl StatsSnapshot {
             cgc_pause_ns_max: self.cgc_pause_ns_max,
             cgc_packets: d(self.cgc_packets, earlier.cgc_packets),
             cgc_packet_retries: d(self.cgc_packet_retries, earlier.cgc_packet_retries),
+            blocks_allocated: d(self.blocks_allocated, earlier.blocks_allocated),
+            blocks_freed: d(self.blocks_freed, earlier.blocks_freed),
+            lines_swept: d(self.lines_swept, earlier.lines_swept),
             lgc_dead_traced: d(self.lgc_dead_traced, earlier.lgc_dead_traced),
             gc_forced_by_pressure: d(self.gc_forced_by_pressure, earlier.gc_forced_by_pressure),
             alloc_retries: d(self.alloc_retries, earlier.alloc_retries),

@@ -1,30 +1,31 @@
-//! The store: the facade over chunks, heaps, and statistics.
+//! The store: the facade over blocks, heaps, and statistics.
 //!
-//! A [`Store`] owns the global chunk registry and heap table and provides
-//! the operations the runtime and the collectors are built from:
-//! synchronization-free allocation into a heap, object access with
-//! forwarding resolution, remoteness and LCA queries against a task's heap
-//! path, the pin protocol, and the O(1) join.
+//! A [`Store`] owns the global block registry, the SFT classification
+//! table, and the heap table, and provides the operations the runtime and
+//! the collectors are built from: synchronization-free bump allocation
+//! into a heap's size-class blocks, object access with forwarding
+//! resolution, remoteness and LCA queries against a task's heap path, the
+//! pin protocol, and the O(1) join.
 
-use std::ops::Deref;
 use std::sync::Arc;
 
+use crate::block::{size_class, Block, DEFAULT_BLOCK_WORDS, NUM_SIZE_CLASSES, OBJECT_HEADER_WORDS};
 use crate::budget::TenantBudget;
-use crate::chunk::{Chunk, DEFAULT_CHUNK_SLOTS};
 use crate::events::{self, EventKind};
-use crate::header::ObjKind;
+use crate::header::{Header, ObjKind};
 use crate::heap::{HeapTable, RemsetEntry};
-use crate::object::{Object, PinOutcome};
-use crate::registry::ChunkRegistry;
+use crate::object::{Object, PinOutcome, OBJECT_OVERHEAD_BYTES};
+use crate::registry::BlockRegistry;
+use crate::sft::SftTable;
 use crate::stats::StoreStats;
 use crate::value::{ObjRef, Value, Word};
 
 /// Store configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
-    /// Object slots per chunk. Smaller chunks mean finer-grained
+    /// Words per size-class block. Smaller blocks mean finer-grained
     /// reclamation but more registry traffic (ablation experiment E9).
-    pub chunk_slots: usize,
+    pub block_words: usize,
     /// Soft heap budget in bytes; `0` means unlimited. The store only
     /// *reports* pressure ([`Store::over_limit`]) — enforcement (forcing
     /// collections, surfacing a recoverable error) is the runtime's job,
@@ -35,42 +36,113 @@ pub struct StoreConfig {
 impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
-            chunk_slots: DEFAULT_CHUNK_SLOTS,
+            block_words: DEFAULT_BLOCK_WORDS,
             heap_limit: 0,
         }
     }
 }
 
-/// A resolved handle to a live object: keeps the owning chunk alive while
-/// the object is inspected.
+/// A resolved handle to a live object: keeps the owning block alive while
+/// the object is inspected. Most of the [`Object`] view's API is
+/// re-exposed here by delegation, since the borrowed view cannot outlive
+/// a `Deref` call.
 #[derive(Clone, Debug)]
 pub struct ObjHandle {
-    chunk: Arc<Chunk>,
-    slot: u32,
+    block: Arc<Block>,
+    word: u32,
 }
 
 impl ObjHandle {
-    /// The referenced object.
-    pub fn obj(&self) -> &Object {
-        self.chunk.get(self.slot)
+    /// A view of the referenced object.
+    pub fn obj(&self) -> Object<'_> {
+        self.block.get(self.word)
     }
 
-    /// The chunk holding the object.
-    pub fn chunk(&self) -> &Arc<Chunk> {
-        &self.chunk
+    /// The block holding the object.
+    pub fn block(&self) -> &Arc<Block> {
+        &self.block
+    }
+
+    /// The object's word offset in its block.
+    pub fn word(&self) -> u32 {
+        self.word
     }
 
     /// The object's location.
     pub fn objref(&self) -> ObjRef {
-        ObjRef::new(self.chunk.id(), self.slot)
+        ObjRef::new(self.block.id(), self.word)
     }
-}
 
-impl Deref for ObjHandle {
-    type Target = Object;
+    // Delegation to the object view (see `Object` for docs).
 
-    fn deref(&self) -> &Object {
-        self.obj()
+    /// A snapshot of the object's header.
+    pub fn header(&self) -> Header {
+        self.obj().header()
+    }
+
+    /// The object's kind.
+    pub fn kind(&self) -> ObjKind {
+        self.obj().kind()
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.obj().len()
+    }
+
+    /// True if the object has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.obj().is_empty()
+    }
+
+    /// Size in bytes, for residency accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.obj().size_bytes()
+    }
+
+    /// Loads field `i` as a raw word.
+    pub fn field_word(&self, i: usize) -> Word {
+        self.obj().field_word(i)
+    }
+
+    /// Loads field `i` as a decoded value.
+    pub fn field(&self, i: usize) -> Value {
+        self.obj().field(i)
+    }
+
+    /// Stores a raw word into field `i`.
+    pub fn set_field_word(&self, i: usize, w: Word) {
+        self.obj().set_field_word(i, w)
+    }
+
+    /// Stores a value into field `i`.
+    pub fn set_field(&self, i: usize, v: Value) {
+        self.obj().set_field(i, v)
+    }
+
+    /// Atomically replaces field `i`, returning the previous value.
+    pub fn swap_field(&self, i: usize, v: Value) -> Value {
+        self.obj().swap_field(i, v)
+    }
+
+    /// Atomically compares-and-swaps field `i`.
+    pub fn cas_field(&self, i: usize, expected: Value, new: Value) -> Result<(), Value> {
+        self.obj().cas_field(i, expected, new)
+    }
+
+    /// The forwarding destination, if the object has been evacuated.
+    pub fn forward_ref(&self) -> Option<ObjRef> {
+        self.obj().forward_ref()
+    }
+
+    /// Whether the object is an entanglement suspect.
+    pub fn is_suspect(&self) -> bool {
+        self.obj().is_suspect()
+    }
+
+    /// Attempts to pin the object at `level`.
+    pub fn try_pin(&self, level: u16) -> PinOutcome {
+        self.obj().try_pin(level)
     }
 }
 
@@ -86,11 +158,14 @@ pub struct JoinOutcome {
 /// The global store.
 #[derive(Debug)]
 pub struct Store {
-    chunks: ChunkRegistry,
+    blocks: BlockRegistry,
     heaps: HeapTable,
     // Shared so long-lived observers (the telemetry sampler thread) can
     // hold the counters without borrowing the store.
     stats: Arc<StoreStats>,
+    // Shared with every block (write-through on owner/entangled changes)
+    // and with the barriers (lock-free classification).
+    sft: Arc<SftTable>,
     config: StoreConfig,
 }
 
@@ -103,18 +178,29 @@ impl Default for Store {
 impl Store {
     /// Creates an empty store.
     pub fn new(config: StoreConfig) -> Store {
-        assert!(config.chunk_slots > 0, "chunk_slots must be positive");
+        assert!(
+            config.block_words >= OBJECT_HEADER_WORDS,
+            "block_words must fit at least one header"
+        );
+        let stats = Arc::new(StoreStats::new());
         Store {
-            chunks: ChunkRegistry::new(),
+            blocks: BlockRegistry::new(Arc::clone(&stats)),
             heaps: HeapTable::new(),
-            stats: Arc::new(StoreStats::new()),
+            stats,
+            sft: Arc::new(SftTable::new()),
             config,
         }
     }
 
-    /// The chunk registry.
-    pub fn chunks(&self) -> &ChunkRegistry {
-        &self.chunks
+    /// The block registry.
+    pub fn blocks(&self) -> &BlockRegistry {
+        &self.blocks
+    }
+
+    /// The block-classification table (the barrier fast tier's O(1)
+    /// pointer → heap map).
+    pub fn sft(&self) -> &Arc<SftTable> {
+        &self.sft
     }
 
     /// The heap table.
@@ -140,57 +226,67 @@ impl Store {
 
     // ---- allocation ---------------------------------------------------
 
-    /// Allocates an object of `kind` with `fields` into `heap` (raw or
-    /// canonical id). Lock-free on the fast path: a single bump in the
-    /// heap's current allocation chunk.
-    pub fn alloc(&self, heap: u32, kind: ObjKind, fields: Vec<Word>) -> ObjRef {
-        self.alloc_object(heap, Object::new(kind, fields))
+    /// Registers a fresh block of `capacity` words for `heap`/`class` and
+    /// attributes it to the heap. The caller decides whether it becomes
+    /// the heap's allocation block for that class.
+    fn new_block(&self, heap: u32, class: usize, capacity: usize) -> Arc<Block> {
+        mpl_fail::hit_hard("heap/block_map");
+        let sft = Arc::clone(&self.sft);
+        let block = self
+            .blocks
+            .register(|id| Block::new(id, heap, capacity, class, sft));
+        self.heaps.info(heap).add_block(block.id());
+        block
     }
 
-    /// Allocates a pre-built object into `heap` (the slow path behind the
-    /// mutators' cached-chunk fast path).
-    pub fn alloc_object(&self, heap: u32, mut obj: Object) -> ObjRef {
+    /// Allocates an object of `kind` with `fields` into `heap` (raw or
+    /// canonical id). Lock-free on the fast path: one `fetch_add` on the
+    /// bump cursor of the heap's current block for the object's size
+    /// class, then plain word stores.
+    pub fn alloc(&self, heap: u32, kind: ObjKind, fields: &[Word]) -> ObjRef {
         mpl_fail::hit_hard("heap/alloc");
         let heap = self.heaps.find(heap);
         let info = self.heaps.info(heap);
-        let size = obj.size_bytes();
+        let nwords = OBJECT_HEADER_WORDS + fields.len();
+        let size = OBJECT_OVERHEAD_BYTES + 8 * fields.len();
+        if nwords > self.config.block_words {
+            // Oversized: a dedicated block, never shared with the bump path.
+            let block = self.new_block(heap, NUM_SIZE_CLASSES - 1, nwords);
+            let r = block
+                .try_alloc(kind, fields)
+                .expect("dedicated block fits its object");
+            self.stats.on_alloc(size);
+            return r;
+        }
+        let class = size_class(nwords);
         loop {
-            if let Some(chunk) = info.alloc_chunk() {
-                match chunk.try_alloc(obj) {
-                    Ok(r) => {
-                        self.stats.on_alloc(size);
-                        return r;
-                    }
-                    Err(back) => obj = back,
+            if let Some(block) = info.alloc_block(class) {
+                if let Some(r) = block.try_alloc(kind, fields) {
+                    self.stats.on_alloc(size);
+                    return r;
                 }
             }
-            // Need a fresh chunk; size arrays that exceed the default slot
-            // count still occupy one slot (slots hold whole objects).
-            mpl_fail::hit_hard("heap/chunk_map");
-            let chunk = self
-                .chunks
-                .register(|id| Chunk::new(id, heap, self.config.chunk_slots));
-            info.add_chunk(chunk.id());
-            info.set_alloc_chunk(Some(chunk));
+            let block = self.new_block(heap, class, self.config.block_words);
+            info.set_alloc_block(class, Some(block));
         }
     }
 
     /// True when a heap limit is configured and an allocation of `extra`
-    /// bytes would push the live-bytes gauge past it. Best-effort: the
+    /// bytes would push the live-bytes gauge past it. One atomic load of
+    /// the gauge — this runs on every pressure check in the allocation
+    /// path, so it must not snapshot every counter. Best-effort: the
     /// gauge is updated by batched mutator flushes, so enforcement
     /// granularity is a stats-flush window, not a single allocation.
+    #[inline]
     pub fn over_limit(&self, extra: usize) -> bool {
         self.config.heap_limit != 0
-            && self.stats.snapshot().live_bytes.saturating_add(extra) > self.config.heap_limit
+            && self.stats.live_bytes().saturating_add(extra) > self.config.heap_limit
     }
 
     /// Convenience: allocates with `Value` fields.
     pub fn alloc_values(&self, heap: u32, kind: ObjKind, fields: &[Value]) -> ObjRef {
-        self.alloc(
-            heap,
-            kind,
-            fields.iter().map(|&v| Word::encode(v)).collect(),
-        )
+        let words: Vec<Word> = fields.iter().map(|&v| Word::encode(v)).collect();
+        self.alloc(heap, kind, &words)
     }
 
     // ---- access -------------------------------------------------------
@@ -200,37 +296,69 @@ impl Store {
     ///
     /// # Panics
     ///
-    /// Panics on a dangling reference (freed chunk or unallocated slot).
+    /// Panics on a dangling reference (freed block or unpublished offset).
     pub fn handle(&self, r: ObjRef) -> ObjHandle {
-        let chunk = self.chunks.get(r.chunk());
+        let block = self.blocks.get(r.block());
         // Validate eagerly so errors point at the bad reference.
-        let _ = chunk.get(r.slot());
+        let _ = block.get(r.word());
         ObjHandle {
-            chunk,
-            slot: r.slot(),
+            block,
+            word: r.word(),
         }
     }
 
-    /// Follows forwarding pointers to the object's current location.
-    pub fn resolve(&self, mut r: ObjRef) -> ObjRef {
+    /// Follows forwarding pointers to the object's current location,
+    /// compressing multi-hop chains: once the final location is known,
+    /// the origin's forwarding word is repointed straight at it, so the
+    /// chains that build up across repeated evacuations (each hop a
+    /// registry query) are paid down to one hop on first traversal.
+    pub fn resolve(&self, r: ObjRef) -> ObjRef {
+        let mut cur = r;
+        let mut hops = 0u32;
         loop {
-            let h = self.handle(r);
+            let h = self.handle(cur);
             match h.obj().forward_ref() {
-                Some(next) => r = next,
-                None => return r,
+                Some(next) => {
+                    cur = next;
+                    hops += 1;
+                }
+                None => {
+                    if hops > 1 {
+                        self.handle(r).obj().compress_forward(cur);
+                    }
+                    return cur;
+                }
             }
         }
     }
 
     /// Fallible resolution for references derived from *indexes* (not the
     /// object graph): returns `None` if the chain touches a reclaimed
-    /// chunk, which for an index entry means "the object is gone".
-    pub fn try_resolve(&self, mut r: ObjRef) -> Option<ObjRef> {
+    /// block, which for an index entry means "the object is gone". Also
+    /// path-compresses surviving multi-hop chains (the origin must still
+    /// be live for that, so the repoint re-checks it).
+    pub fn try_resolve(&self, r: ObjRef) -> Option<ObjRef> {
+        let mut cur = r;
+        let mut hops = 0u32;
         loop {
-            let chunk = self.chunks.try_get(r.chunk())?;
-            match chunk.try_get(r.slot())?.forward_ref() {
-                Some(next) => r = next,
-                None => return Some(r),
+            let block = self.blocks.try_get(cur.block())?;
+            match block.try_get(cur.word())?.forward_ref() {
+                Some(next) => {
+                    cur = next;
+                    hops += 1;
+                }
+                None => {
+                    if hops > 1 {
+                        if let Some(b) = self.blocks.try_get(r.block()) {
+                            if let Some(o) = b.try_get(r.word()) {
+                                if o.header().is_forwarded() {
+                                    o.compress_forward(cur);
+                                }
+                            }
+                        }
+                    }
+                    return Some(cur);
+                }
             }
         }
     }
@@ -242,7 +370,7 @@ impl Store {
 
     /// The canonical heap owning the object at `r`.
     pub fn heap_of(&self, r: ObjRef) -> u32 {
-        self.heaps.find(self.chunks.get(r.chunk()).owner())
+        self.heaps.find(self.blocks.get(r.block()).owner())
     }
 
     // ---- remoteness ---------------------------------------------------
@@ -258,7 +386,7 @@ impl Store {
     /// The entanglement level of an access from `path` to the object: the
     /// depth of the least common ancestor heap.
     pub fn entanglement_level(&self, path: &[u32], r: ObjRef) -> u16 {
-        let owner = self.chunks.get(r.chunk()).owner();
+        let owner = self.blocks.get(r.block()).owner();
         self.heaps.lca_depth_on_path(path, owner)
     }
 
@@ -274,8 +402,8 @@ impl Store {
             match h.obj().try_pin(level) {
                 PinOutcome::Forwarded(next) => cur = next,
                 PinOutcome::NewlyPinned => {
-                    self.heaps.register_entangled(h.chunk().owner(), cur, level);
-                    h.chunk().add_pinned(1);
+                    self.heaps.register_entangled(h.block().owner(), cur, level);
+                    h.block().add_pinned(1);
                     self.stats.on_pin(h.obj().size_bytes());
                     events::emit_obj(EventKind::Pin, cur, u32::from(level));
                     return (cur, true);
@@ -345,7 +473,7 @@ impl Store {
         self.heaps.fork(self.heaps.find(parent))
     }
 
-    /// Joins both children into `parent`: merges chunk lists, remembered
+    /// Joins both children into `parent`: merges block lists, remembered
     /// sets, and entangled indexes, and applies the unpin-at-join rule —
     /// every object pinned at a level `>=` the parent's depth is unpinned,
     /// because the tasks that entangled it are no longer concurrent.
@@ -360,9 +488,9 @@ impl Store {
         let mut merged_bytes: usize = 0;
         for child in [left, right] {
             let child = self.heaps.find(child);
-            for cid in self.heaps.info(child).chunk_ids() {
-                if let Some(c) = self.chunks.try_get(cid) {
-                    merged_bytes += c.live_bytes();
+            for bid in self.heaps.info(child).block_ids() {
+                if let Some(b) = self.blocks.try_get(bid) {
+                    merged_bytes += b.live_bytes();
                 }
             }
         }
@@ -414,7 +542,7 @@ impl Store {
                 continue;
             }
             if h.obj().try_unpin_at_join(join_depth) {
-                h.chunk().add_pinned(-1);
+                h.block().add_pinned(-1);
                 self.stats.on_unpin(h.obj().size_bytes());
                 events::emit_obj(EventKind::Unpin, r, u32::from(join_depth));
                 unpinned += 1;
@@ -436,13 +564,13 @@ mod tests {
 
     fn store() -> Store {
         Store::new(StoreConfig {
-            chunk_slots: 4,
+            block_words: 12,
             ..Default::default()
         })
     }
 
     #[test]
-    fn alloc_spills_to_new_chunks() {
+    fn alloc_spills_to_new_blocks() {
         let s = store();
         let h = s.new_root_heap();
         let refs: Vec<ObjRef> = (0..10)
@@ -452,8 +580,39 @@ mod tests {
             assert_eq!(s.handle(*r).field(0), Value::Int(i as i64));
             assert_eq!(s.heap_of(*r), h);
         }
-        assert!(s.chunks().issued() >= 3, "4-slot chunks must spill");
+        assert!(s.blocks().issued() >= 3, "12-word blocks must spill");
         assert_eq!(s.stats().snapshot().allocs, 10);
+        assert!(s.stats().snapshot().blocks_allocated >= 3);
+    }
+
+    #[test]
+    fn size_classes_segregate_blocks() {
+        let s = store();
+        let h = s.new_root_heap();
+        let small = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]); // 3 words: class 0
+        let mid = s.alloc_values(h, ObjKind::Tuple, &[Value::Unit; 5]); // 7 words: class 1
+        assert_ne!(
+            small.block(),
+            mid.block(),
+            "different size classes bump different blocks"
+        );
+        let small2 = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(2)]);
+        assert_eq!(small.block(), small2.block(), "same class shares a block");
+    }
+
+    #[test]
+    fn oversized_objects_get_dedicated_blocks() {
+        let s = store();
+        let h = s.new_root_heap();
+        // 34 words > block_words (12): dedicated block.
+        let big = s.alloc_values(h, ObjKind::MutArr, &[Value::Unit; 32]);
+        let hd = s.handle(big);
+        assert_eq!(hd.len(), 32);
+        assert!(hd.block().capacity() >= 34);
+        assert!(
+            hd.block().is_full(),
+            "a dedicated block holds only its object"
+        );
     }
 
     #[test]
@@ -563,5 +722,20 @@ mod tests {
         s.handle(a).obj().try_forward(b).unwrap();
         assert_eq!(s.resolve(a), b);
         assert_eq!(s.resolved_handle(a).field(0), Value::Int(2));
+    }
+
+    #[test]
+    fn resolve_compresses_multi_hop_chains() {
+        let s = store();
+        let h = s.new_root_heap();
+        let a = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(1)]);
+        let b = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(2)]);
+        let c = s.alloc_values(h, ObjKind::Tuple, &[Value::Int(3)]);
+        s.handle(a).obj().try_forward(b).unwrap();
+        s.handle(b).obj().try_forward(c).unwrap();
+        assert_eq!(s.resolve(a), c);
+        // The chain was compressed: a now forwards straight to c.
+        assert_eq!(s.handle(a).obj().forward_ref(), Some(c));
+        assert_eq!(s.try_resolve(a), Some(c));
     }
 }

@@ -3,12 +3,12 @@
 //! Every field of a heap object is stored as a single 64-bit [`Word`].
 //! The low two bits carry the tag:
 //!
-//! | tag  | payload                                  |
-//! |------|------------------------------------------|
-//! | `00` | small integer, 62-bit two's complement   |
-//! | `01` | object reference: 31-bit chunk, 31-bit slot |
-//! | `10` | unit                                     |
-//! | `11` | boolean (bit 2)                          |
+//! | tag  | payload                                        |
+//! |------|------------------------------------------------|
+//! | `00` | small integer, 62-bit two's complement         |
+//! | `01` | object reference: 31-bit block, 31-bit offset  |
+//! | `10` | unit                                           |
+//! | `11` | boolean (bit 2)                                |
 //!
 //! The API-level type is [`Value`]; [`Word`] is the storage form. Keeping
 //! the encoding in one module lets the collectors scan fields without
@@ -17,8 +17,8 @@
 
 use std::fmt;
 
-/// A reference to a heap object: an index into the global chunk registry
-/// plus a slot within that chunk.
+/// A reference to a heap object: an index into the global block registry
+/// plus the object's header word offset within that block.
 ///
 /// `ObjRef` is a *location*, not a stable identity: the local collector may
 /// move an object, leaving a forwarding entry at the old location. Code that
@@ -26,42 +26,45 @@ use std::fmt;
 /// `Store::resolve`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjRef {
-    chunk: u32,
-    slot: u32,
+    block: u32,
+    word: u32,
 }
 
 impl ObjRef {
-    /// Maximum representable chunk or slot index (31 bits).
+    /// Maximum representable block id or word offset (31 bits).
     pub const MAX_INDEX: u32 = (1 << 31) - 1;
 
-    /// Creates a reference to `slot` within `chunk`.
+    /// Creates a reference to the object at word offset `word` of `block`.
     ///
     /// # Panics
     ///
     /// Panics if either index exceeds [`ObjRef::MAX_INDEX`]; the tagged
     /// encoding reserves two bits of the word for the tag.
-    pub fn new(chunk: u32, slot: u32) -> Self {
+    #[inline]
+    pub fn new(block: u32, word: u32) -> Self {
         assert!(
-            chunk <= Self::MAX_INDEX && slot <= Self::MAX_INDEX,
+            block <= Self::MAX_INDEX && word <= Self::MAX_INDEX,
             "object reference index out of encodable range"
         );
-        ObjRef { chunk, slot }
+        ObjRef { block, word }
     }
 
-    /// The chunk index.
-    pub fn chunk(self) -> u32 {
-        self.chunk
+    /// The block id.
+    #[inline]
+    pub fn block(self) -> u32 {
+        self.block
     }
 
-    /// The slot index within the chunk.
-    pub fn slot(self) -> u32 {
-        self.slot
+    /// The header's word offset within the block.
+    #[inline]
+    pub fn word(self) -> u32 {
+        self.word
     }
 }
 
 impl fmt::Debug for ObjRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "c{}s{}", self.chunk, self.slot)
+        write!(f, "b{}w{}", self.block, self.word)
     }
 }
 
@@ -91,6 +94,7 @@ pub enum Value {
 
 impl Value {
     /// Returns the object reference if this is a pointer value.
+    #[inline]
     pub fn as_obj(self) -> Option<ObjRef> {
         match self {
             Value::Obj(r) => Some(r),
@@ -99,6 +103,7 @@ impl Value {
     }
 
     /// Returns the integer payload if this is an integer value.
+    #[inline]
     pub fn as_int(self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(i),
@@ -107,6 +112,7 @@ impl Value {
     }
 
     /// Returns the boolean payload if this is a boolean value.
+    #[inline]
     pub fn as_bool(self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(b),
@@ -181,6 +187,7 @@ impl Word {
     /// # Panics
     ///
     /// Panics if an integer falls outside `[INT_MIN, INT_MAX]`.
+    #[inline]
     pub fn encode(v: Value) -> Word {
         match v {
             Value::Unit => Word(TAG_UNIT),
@@ -192,18 +199,19 @@ impl Word {
                 );
                 Word(((i as u64) << 2) | TAG_INT)
             }
-            Value::Obj(r) => Word(((r.chunk() as u64) << 33) | ((r.slot() as u64) << 2) | TAG_OBJ),
+            Value::Obj(r) => Word(((r.block() as u64) << 33) | ((r.word() as u64) << 2) | TAG_OBJ),
         }
     }
 
     /// Decodes the word back into a value.
+    #[inline]
     pub fn decode(self) -> Value {
         match self.0 & TAG_MASK {
             TAG_INT => Value::Int((self.0 as i64) >> 2),
             TAG_OBJ => {
-                let slot = ((self.0 >> 2) & (ObjRef::MAX_INDEX as u64)) as u32;
-                let chunk = (self.0 >> 33) as u32;
-                Value::Obj(ObjRef::new(chunk, slot))
+                let word = ((self.0 >> 2) & (ObjRef::MAX_INDEX as u64)) as u32;
+                let block = (self.0 >> 33) as u32;
+                Value::Obj(ObjRef::new(block, word))
             }
             TAG_UNIT => Value::Unit,
             _ => Value::Bool((self.0 >> 2) & 1 == 1),
@@ -211,11 +219,13 @@ impl Word {
     }
 
     /// True if the word encodes an object reference (a pointer).
+    #[inline]
     pub fn is_pointer(self) -> bool {
         self.0 & TAG_MASK == TAG_OBJ
     }
 
     /// Returns the pointer payload without fully decoding, if present.
+    #[inline]
     pub fn pointer(self) -> Option<ObjRef> {
         if self.is_pointer() {
             match self.decode() {
@@ -228,11 +238,13 @@ impl Word {
     }
 
     /// The raw 64-bit representation, for atomic storage.
+    #[inline]
     pub fn bits(self) -> u64 {
         self.0
     }
 
     /// Reconstructs a word from raw bits previously produced by [`Word::bits`].
+    #[inline]
     pub fn from_bits(bits: u64) -> Word {
         Word(bits)
     }
@@ -263,12 +275,12 @@ mod tests {
 
     #[test]
     fn obj_roundtrip() {
-        for (c, s) in [(0u32, 0u32), (1, 2), (ObjRef::MAX_INDEX, ObjRef::MAX_INDEX)] {
-            let r = ObjRef::new(c, s);
-            let w = Word::encode(Value::Obj(r));
-            assert!(w.is_pointer());
-            assert_eq!(w.decode(), Value::Obj(r));
-            assert_eq!(w.pointer(), Some(r));
+        for (b, w) in [(0u32, 0u32), (1, 2), (ObjRef::MAX_INDEX, ObjRef::MAX_INDEX)] {
+            let r = ObjRef::new(b, w);
+            let word = Word::encode(Value::Obj(r));
+            assert!(word.is_pointer());
+            assert_eq!(word.decode(), Value::Obj(r));
+            assert_eq!(word.pointer(), Some(r));
         }
     }
 
@@ -314,6 +326,6 @@ mod tests {
 
     #[test]
     fn objref_display() {
-        assert_eq!(format!("{}", ObjRef::new(3, 17)), "c3s17");
+        assert_eq!(format!("{}", ObjRef::new(3, 17)), "b3w17");
     }
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use mpl_heap::{HeapTable, ObjRef, Value, Word, INT_MAX, INT_MIN};
+use mpl_heap::{HeapTable, ObjKind, ObjRef, Store, StoreConfig, Value, Word, INT_MAX, INT_MIN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -14,7 +14,7 @@ proptest! {
         prop_assert_eq!(Word::encode(Value::Int(i)).decode(), Value::Int(i));
     }
 
-    /// Every (chunk, slot) pair survives the roundtrip and registers as a
+    /// Every (block, word) pair survives the roundtrip and registers as a
     /// pointer.
     #[test]
     fn obj_word_roundtrip(c in 0u32..=ObjRef::MAX_INDEX, s in 0u32..=ObjRef::MAX_INDEX) {
@@ -182,6 +182,87 @@ proptest! {
                     prop_assert_eq!(d, oracle.lca_depth(h as usize, leaf as usize));
                 }
             }
+        }
+    }
+}
+
+/// Strategies for the inline-layout round-trip: every kind and a spread
+/// of field shapes crossing every size class (including the overflow
+/// class and the oversized dedicated-block path under a small
+/// `block_words`).
+fn boxed_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        (INT_MIN..=INT_MAX).prop_map(Value::Int),
+    ]
+}
+
+fn shapes() -> impl Strategy<Value = Vec<(ObjKind, Vec<Value>)>> {
+    let one = prop_oneof![
+        proptest::collection::vec(boxed_value(), 0..=40).prop_map(|f| (ObjKind::Tuple, f)),
+        boxed_value().prop_map(|v| (ObjKind::Ref, vec![v])),
+        proptest::collection::vec(boxed_value(), 0..=40).prop_map(|f| (ObjKind::MutArr, f)),
+    ];
+    proptest::collection::vec(one, 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tentpole invariant: objects are laid out inline in raw block
+    /// words, and every kind/field-shape combination round-trips through
+    /// the bump allocator — header, kind, length, and every field —
+    /// with all earlier objects still intact (no overlapping layouts).
+    #[test]
+    fn inline_layout_roundtrip(shapes in shapes()) {
+        let s = Store::new(StoreConfig {
+            block_words: 32, // small: forces overflow + oversized paths
+            ..Default::default()
+        });
+        let h = s.new_root_heap();
+        let mut allocated = Vec::new();
+        for (kind, fields) in &shapes {
+            let r = s.alloc_values(h, *kind, fields);
+            allocated.push((r, *kind, fields.clone()));
+        }
+        // Read everything back only after all allocations: a layout bug
+        // that overlaps a later object onto an earlier one shows up here.
+        for (r, kind, fields) in &allocated {
+            let block = s.blocks().get(r.block());
+            let obj = block.get(r.word());
+            let hdr = obj.header();
+            prop_assert!(!hdr.is_dead() && !hdr.is_forwarded());
+            prop_assert_eq!(obj.kind(), *kind);
+            prop_assert_eq!(obj.len(), fields.len());
+            prop_assert_eq!(
+                obj.size_bytes(),
+                mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * fields.len()
+            );
+            let nwords = mpl_heap::OBJECT_HEADER_WORDS + fields.len();
+            if nwords <= 32 {
+                prop_assert_eq!(block.size_class(), mpl_heap::size_class(nwords));
+            }
+            for (i, want) in fields.iter().enumerate() {
+                prop_assert_eq!(obj.field(i), *want, "field {} of {:?}", i, r);
+            }
+            // The publication bitmap knows exactly this object start.
+            prop_assert!(
+                block.objects().any(|(off, _)| off == r.word()),
+                "obj_start bit missing for {:?}", r
+            );
+        }
+
+        // Raw arrays round-trip bit-exactly through the same layout.
+        let bits: Vec<Word> = (0..5u64)
+            .map(|i| Word::from_bits(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect();
+        let r = s.alloc(h, ObjKind::RawArr, &bits);
+        let block = s.blocks().get(r.block());
+        let obj = block.get(r.word());
+        prop_assert_eq!(obj.kind(), ObjKind::RawArr);
+        for (i, w) in bits.iter().enumerate() {
+            prop_assert_eq!(obj.load_raw(i), w.bits());
         }
     }
 }

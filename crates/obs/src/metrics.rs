@@ -23,7 +23,7 @@ pub enum Metric {
     LgcShield,
     /// LGC Phase B: evacuate — copy live objects and fix references.
     LgcEvacuate,
-    /// LGC Phase C: reclaim — return dead chunks.
+    /// LGC Phase C: reclaim — return dead blocks.
     LgcReclaim,
     /// CGC mark phase (SATB trace over the entangled space).
     CgcMark,

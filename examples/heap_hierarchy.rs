@@ -9,7 +9,7 @@ use mpl_heap::{ObjKind, ObjRef, Store, StoreConfig, Value};
 
 fn main() {
     let store = Store::new(StoreConfig {
-        chunk_slots: 8,
+        block_words: 32,
         ..Default::default()
     });
     let root = store.new_root_heap();

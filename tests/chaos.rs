@@ -31,10 +31,10 @@ fn chaos_config(threads: usize) -> RuntimeConfig {
         policy: GcPolicy {
             lgc_trigger_bytes: 16 * 1024,
             cgc_trigger_pinned_bytes: 32 * 1024,
-            immediate_chunk_free: false,
+            immediate_block_free: false,
         },
         store: StoreConfig {
-            chunk_slots: 32,
+            block_words: 128,
             ..Default::default()
         },
         ..RuntimeConfig::managed()
@@ -63,7 +63,7 @@ fn benign_plan(seed: u64) -> FailPlan {
         .with("barrier/write_slow", FailAction::Yield, FailWhen::OneIn(7))
         .with("sched/steal", FailAction::Yield, FailWhen::OneIn(6))
         .with(
-            "heap/chunk_map",
+            "heap/block_map",
             FailAction::Delay(2_000),
             FailWhen::OneIn(9),
         )

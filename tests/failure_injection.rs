@@ -154,7 +154,7 @@ fn sequential_store_remains_inspectable_after_a_panic() {
     let stats = rt.stats();
     assert!(stats.live_bytes <= stats.alloc_bytes as usize);
     let report = rt.heap_report();
-    assert!(report.chunks_live > 0, "the torn heaps are still accounted");
+    assert!(report.blocks_live > 0, "the torn heaps are still accounted");
     // The pinned object was never unpinned (its join never happened) —
     // that is the documented consequence of unwinding past a join.
     assert!(stats.pins >= 1);

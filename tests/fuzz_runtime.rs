@@ -205,10 +205,10 @@ fn pressure() -> RuntimeConfig {
         policy: GcPolicy {
             lgc_trigger_bytes: 2 * 1024,
             cgc_trigger_pinned_bytes: 4 * 1024,
-            immediate_chunk_free: true,
+            immediate_block_free: true,
         },
         store: StoreConfig {
-            chunk_slots: 8,
+            block_words: 32,
             ..Default::default()
         },
         ..RuntimeConfig::managed()

@@ -168,6 +168,10 @@ fn json_reports_are_machine_readable() {
         "\"samples\"",
         "\"live_bytes\"",
         "\"lgc_dead_traced\"",
+        "\"blocks_allocated\"",
+        "\"blocks_freed\"",
+        "\"lines_swept\"",
+        "\"cgc_packets\"",
     ] {
         assert!(t.json.contains(key), "telemetry JSON missing {key}");
     }

@@ -13,10 +13,10 @@ fn gc_pressure() -> RuntimeConfig {
         policy: GcPolicy {
             lgc_trigger_bytes: 32 * 1024,
             cgc_trigger_pinned_bytes: 64 * 1024,
-            immediate_chunk_free: true,
+            immediate_block_free: true,
         },
         store: StoreConfig {
-            chunk_slots: 64,
+            block_words: 256,
             ..Default::default()
         },
         ..RuntimeConfig::managed()

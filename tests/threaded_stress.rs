@@ -13,10 +13,10 @@ fn threaded_pressure(threads: usize) -> RuntimeConfig {
         policy: GcPolicy {
             lgc_trigger_bytes: 16 * 1024,
             cgc_trigger_pinned_bytes: 32 * 1024,
-            immediate_chunk_free: false,
+            immediate_block_free: false,
         },
         store: StoreConfig {
-            chunk_slots: 32,
+            block_words: 128,
             ..Default::default()
         },
         ..RuntimeConfig::managed()
@@ -325,10 +325,10 @@ fn buffered_remsets_flush_at_joins_under_audit() {
             policy: GcPolicy {
                 lgc_trigger_bytes: 2048,
                 cgc_trigger_pinned_bytes: 16 * 1024,
-                immediate_chunk_free: false,
+                immediate_block_free: false,
             },
             store: StoreConfig {
-                chunk_slots: 16,
+                block_words: 64,
                 ..Default::default()
             },
             ..RuntimeConfig::managed()

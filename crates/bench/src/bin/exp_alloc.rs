@@ -28,6 +28,19 @@ const ITERS: usize = 1_000_000;
 /// (min-of-N damps page-fault and scheduler noise on shared machines).
 const BATCHES: usize = 10;
 
+/// Percentile summary of the `alloc_refill` latency histogram, written
+/// alongside the throughput rows as `results/e14_refill.json`.
+#[derive(Serialize)]
+struct RefillSummary {
+    count: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+    mean_ns: f64,
+}
+
 #[derive(Serialize)]
 struct Row {
     op: String,
@@ -222,6 +235,50 @@ fn main() {
     print!("{}", table.render());
     write_json("e14_alloc", &rows);
     println!("\nwrote results/e14_alloc.json");
+
+    // Refill *latency* (the rows above only count refills): a telemetered
+    // runtime with tiny blocks so the bump path overflows constantly, and
+    // the `alloc_refill` histogram times each store-path fallback (budget
+    // charge + store allocation + cache re-adoption).
+    mpl_obs::reset_metrics();
+    let mut cfg = RuntimeConfig::managed()
+        .with_telemetry()
+        .with_policy(GcPolicy::disabled());
+    cfg.store.block_words = 128;
+    let rt = Runtime::new(cfg);
+    rt.run(|m| {
+        for _ in 0..200_000 {
+            std::hint::black_box(m.alloc_tuple(&[Value::Int(1), Value::Int(2)]));
+        }
+        Value::Unit
+    });
+    let refill = mpl_obs::metric_snapshots()
+        .into_iter()
+        .find(|(m, _)| *m == mpl_obs::Metric::AllocRefill)
+        .map(|(_, s)| s)
+        .expect("alloc_refill metric registered");
+    drop(rt);
+    println!(
+        "\nrefill latency (store-path fallback, {} refills): \
+         p50 {} ns  p90 {} ns  p99 {} ns  max {} ns  mean {:.0} ns",
+        refill.count,
+        refill.percentile(0.50),
+        refill.percentile(0.90),
+        refill.percentile(0.99),
+        refill.max,
+        refill.mean(),
+    );
+    let refill_row = RefillSummary {
+        count: refill.count,
+        p50_ns: refill.percentile(0.50),
+        p90_ns: refill.percentile(0.90),
+        p99_ns: refill.percentile(0.99),
+        p999_ns: refill.percentile(0.999),
+        max_ns: refill.max,
+        mean_ns: refill.mean(),
+    };
+    write_json("e14_refill", &refill_row);
+    println!("wrote results/e14_refill.json");
 
     let mut args = std::env::args().skip(1);
     if args.next().as_deref() == Some("--check") {

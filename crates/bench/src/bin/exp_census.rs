@@ -1,0 +1,273 @@
+//! E15 — Heap census: cost and fidelity of the on-demand side-metadata
+//! walk, plus the flight-recorder artifact CI decodes.
+//!
+//! Four measurements:
+//!
+//! * **Census cost** — build an entangled heap of ≥100k live objects
+//!   (rooted cons list + a fork publish/read loop that pins), then time
+//!   `Runtime::heap_census()`. The walk reads only per-block bitmaps and
+//!   gauges, so it must complete in well under a second at this scale
+//!   (asserted).
+//! * **Fidelity** — after the run quiesces and a forced concurrent
+//!   collection, the census's summed per-block live bytes must equal the
+//!   runtime's live-bytes gauge exactly (the same invariant the census
+//!   proptest checks on random graphs).
+//! * **Suite overhead** — the disentangled suite, telemetry off vs on,
+//!   interleaved medians. Telemetry now carries the census piggybacks
+//!   (GC-epilogue deltas), provenance sampling, and the flight-recorder
+//!   span feed; the claim is the suite still runs within ~2% of the
+//!   untelemetered build, and the disabled cost stays one relaxed load
+//!   per site.
+//! * **Artifacts** — `results/e15_census_snapshot.json` (the census
+//!   document CI schema-validates), `results/e15_census.prom` (the
+//!   `mpl_census_*` families for the promtool-style check), and
+//!   `results/e15_flight.bin` (a flight-recorder dump CI decodes with
+//!   `examples/flight_decode`).
+//!
+//! `--smoke` runs single repetitions; the census heap keeps its ≥100k
+//! objects either way (the walk is the thing under test and it is cheap).
+
+use std::time::{Duration, Instant};
+
+use mpl_bench::{fmt_dur, run_mpl, scale_bench, write_json, Table};
+use mpl_runtime::{Runtime, RuntimeConfig, Value};
+use serde::Serialize;
+
+/// Live objects in the census heap (the acceptance floor is 100k).
+const CENSUS_OBJECTS: usize = 120_000;
+/// Entangled reads performed by the reader branch: enough that the
+/// 1-in-64 provenance sampler retains a meaningful population.
+const ENTANGLED_READS: usize = 10_000;
+
+#[derive(Serialize)]
+struct OverheadRow {
+    name: String,
+    t_disabled_us: u128,
+    t_enabled_us: u128,
+    overhead: f64,
+}
+
+#[derive(Serialize)]
+struct E15 {
+    smoke: bool,
+    reps: usize,
+    /// Objects the census counted in the big heap.
+    census_objects: u64,
+    /// Wall time of one on-demand census of that heap, ns.
+    census_ns: u64,
+    /// Census live bytes vs the runtime gauge at the quiescent check.
+    census_live_bytes: u64,
+    gauge_live_bytes: u64,
+    /// Pinned objects observed while the entangled reader ran.
+    pinned_at_capture: u64,
+    /// Whole-heap fragmentation at capture.
+    fragmentation: f64,
+    /// Provenance ring population at capture.
+    provenance_recorded: u64,
+    provenance_retained: u64,
+    provenance_mean_depth_gap: f64,
+    /// Suite overhead rows (telemetry off vs on) and their median.
+    overhead: Vec<OverheadRow>,
+    median_overhead: f64,
+    /// Flight-recorder events in the dumped artifact.
+    flight_events: usize,
+}
+
+fn median(xs: &mut [Duration]) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 5 };
+    println!(
+        "E15: heap census — cost, fidelity, overhead, flight artifacts{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // ------------------------------------------------------------------
+    // 1. Census cost + capture on a ≥100k-object entangled heap.
+    // ------------------------------------------------------------------
+    mpl_obs::reset_provenance();
+    mpl_obs::clear_flight();
+    let rt = Runtime::new(RuntimeConfig::managed().with_telemetry());
+    let mut census_ns = 0u64;
+    let mut captured: Option<mpl_obs::HeapCensus> = None;
+    rt.run(|m| {
+        // The bulk heap: a rooted cons list the collectors must retain.
+        let mut list = Value::Unit;
+        for i in 0..CENSUS_OBJECTS as i64 {
+            list = m.alloc_tuple(&[Value::Int(i), list]);
+        }
+        let _keep = m.root(list);
+        // Entangle: the left branch publishes a pair into the parent's
+        // cell; the right branch reads it repeatedly. Each read crosses
+        // into the sibling's heap (slow tier, pin), feeding the
+        // provenance sampler. The census is taken *inside* the reader,
+        // after its read loop but before the join releases the pin, so
+        // the capture sees the entangled block and the pinned object.
+        let cell = m.alloc_ref(Value::Unit);
+        let c = m.root(cell);
+        let (_, reads) = m.fork(
+            |m| {
+                let pair = m.alloc_tuple(&[Value::Int(40), Value::Int(2)]);
+                m.write_ref(m.get(&c), pair);
+                Value::Int(0)
+            },
+            |m| {
+                let mut seen = 0i64;
+                let mut done = 0usize;
+                while done < ENTANGLED_READS {
+                    let v = m.read_ref(m.get(&c));
+                    if let Value::Obj(_) = v {
+                        seen += m.tuple_get(v, 0).expect_int();
+                        done += 1;
+                    }
+                }
+                m.sync_stats();
+                let t = Instant::now();
+                let census = m.runtime().heap_census();
+                census_ns = t.elapsed().as_nanos() as u64;
+                captured = Some(census);
+                Value::Int(seen)
+            },
+        );
+        std::hint::black_box(reads);
+        Value::Unit
+    });
+    let census = captured.expect("census captured");
+    println!(
+        "census of {} objects in {} blocks: {} ({} live KiB, frag {:.1}%, {} pinned)",
+        census.objects(),
+        census.blocks,
+        fmt_dur(Duration::from_nanos(census_ns)),
+        census.live_bytes / 1024,
+        census.fragmentation() * 100.0,
+        census.pinned_objects(),
+    );
+    assert!(
+        census.objects() >= 100_000,
+        "census heap too small: {} objects",
+        census.objects()
+    );
+    assert!(
+        census_ns < 1_000_000_000,
+        "census of a ~100k-object heap took {census_ns} ns — the walk is not bounded"
+    );
+    assert!(
+        census.pinned_objects() >= 1,
+        "the capture ran under a live entangled pin, so it must see it"
+    );
+    let prov = mpl_obs::provenance_summary();
+    println!(
+        "provenance: {} recorded, {} retained, mean depth gap {:.2}, {} pinned-at-sample",
+        prov.recorded, prov.retained, prov.mean_depth_gap, prov.pinned
+    );
+    assert!(
+        prov.recorded > 0,
+        "1-in-64 sampling over {ENTANGLED_READS} entangled reads recorded nothing"
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Fidelity: quiescent census vs the live-bytes gauge.
+    // ------------------------------------------------------------------
+    rt.force_cgc();
+    let quiet = rt.heap_census();
+    let gauge = rt.stats().live_bytes as u64;
+    println!(
+        "quiescent cross-check: census {} B vs gauge {} B",
+        quiet.live_bytes, gauge
+    );
+    assert_eq!(
+        quiet.live_bytes, gauge,
+        "census side-metadata total disagrees with the live-bytes gauge"
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Artifacts: census JSON + Prometheus, flight-recorder dump.
+    // ------------------------------------------------------------------
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join("e15_census_snapshot.json"), quiet.to_json());
+    let mut prom = mpl_obs::PromWriter::new();
+    quiet.write_prometheus(&mut prom);
+    let _ = std::fs::write(dir.join("e15_census.prom"), prom.finish());
+    let flight = mpl_obs::flight_snapshot();
+    let _ = std::fs::write(dir.join("e15_flight.bin"), mpl_obs::flight_encode(&flight));
+    println!(
+        "artifacts: census snapshot + prom families, flight dump with {} events",
+        flight.len()
+    );
+    assert!(
+        !flight.is_empty(),
+        "the run's GC epilogues and spans must have fed the flight ring"
+    );
+    drop(rt);
+
+    // ------------------------------------------------------------------
+    // 4. Suite overhead with the census-era telemetry enabled.
+    // ------------------------------------------------------------------
+    let mut overhead_table = Table::new(&["benchmark", "T off", "T on", "overhead"]);
+    let mut overhead_rows = Vec::new();
+    let mut overheads = Vec::new();
+    for bench in mpl_bench_suite::all() {
+        if bench.entangled() {
+            continue;
+        }
+        let n = scale_bench(bench.as_ref());
+        let mut off = Vec::with_capacity(reps);
+        let mut on = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let base = run_mpl(bench.as_ref(), n, RuntimeConfig::managed());
+            let tele = run_mpl(bench.as_ref(), n, RuntimeConfig::managed().with_telemetry());
+            assert_eq!(base.checksum, tele.checksum, "{}", bench.name());
+            off.push(base.wall);
+            on.push(tele.wall);
+        }
+        let (t_off, t_on) = (median(&mut off), median(&mut on));
+        let ovh = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+        overheads.push(ovh);
+        overhead_table.row(vec![
+            bench.name().into(),
+            fmt_dur(t_off),
+            fmt_dur(t_on),
+            format!("{:+.1}%", ovh * 100.0),
+        ]);
+        overhead_rows.push(OverheadRow {
+            name: bench.name().into(),
+            t_disabled_us: t_off.as_micros(),
+            t_enabled_us: t_on.as_micros(),
+            overhead: ovh,
+        });
+    }
+    overheads.sort_by(f64::total_cmp);
+    let median_overhead = overheads[overheads.len() / 2];
+    println!("\nsuite overhead, telemetry+census off vs on (median of {reps} reps):");
+    print!("{}", overhead_table.render());
+    println!("suite median overhead: {:+.1}%", median_overhead * 100.0);
+
+    write_json(
+        "e15_census",
+        &E15 {
+            smoke,
+            reps,
+            census_objects: census.objects(),
+            census_ns,
+            census_live_bytes: quiet.live_bytes,
+            gauge_live_bytes: gauge,
+            pinned_at_capture: census.pinned_objects(),
+            fragmentation: census.fragmentation(),
+            provenance_recorded: prov.recorded,
+            provenance_retained: prov.retained,
+            provenance_mean_depth_gap: prov.mean_depth_gap,
+            overhead: overhead_rows,
+            median_overhead,
+            flight_events: flight.len(),
+        },
+    );
+    println!(
+        "wrote results/e15_census.json, results/e15_census_snapshot.json, \
+         results/e15_census.prom, results/e15_flight.bin"
+    );
+}

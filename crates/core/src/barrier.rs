@@ -43,7 +43,50 @@ use mpl_heap::{ObjRef, RemsetEntry, Value};
 use crate::config::Mode;
 use crate::mutator::{Mutator, ENTANGLEMENT_PANIC};
 
+/// 1-in-k sampling rate for entanglement-provenance recording: at the
+/// slow tier's cost (heap-table queries, possible pin CAS) a 1/64 sample
+/// adds under one ring write per 64 entangled accesses while still
+/// filling the 2048-slot ring within milliseconds on entanglement-heavy
+/// workloads.
+const PROVENANCE_ONE_IN: u64 = 64;
+
+/// Seed feeding the pure `mpl_fail::decides` hash for the provenance
+/// sampling decision — fixed (not plan-derived) so the sample stream is
+/// reproducible for a given access ordinal sequence whether or not a
+/// chaos plan is armed.
+const PROVENANCE_SEED: u64 = 0x70726f76;
+
 impl Mutator<'_> {
+    /// Entanglement provenance (sampled): records a
+    /// `(reader depth, owner depth, size class, newly pinned?)` tuple
+    /// into the `mpl-obs` provenance ring for roughly 1 in
+    /// [`PROVENANCE_ONE_IN`] slow-tier entangled accesses. The decision
+    /// reuses `mpl-fail`'s seeded `decides` hash over a process-global
+    /// access ordinal, so which accesses get sampled is deterministic in
+    /// the ordinal sequence; with telemetry disabled the whole thing is
+    /// one relaxed load.
+    fn provenance_sample(&mut self, target: ObjRef, owner_depth: u16, newly_pinned: bool) {
+        if !mpl_obs::enabled() {
+            return;
+        }
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static ORDINAL: AtomicU64 = AtomicU64::new(0);
+        let n = ORDINAL.fetch_add(1, Ordering::Relaxed);
+        if !mpl_fail::decides(
+            PROVENANCE_SEED,
+            "barrier/provenance",
+            mpl_fail::FailWhen::OneIn(PROVENANCE_ONE_IN),
+            n,
+        ) {
+            return;
+        }
+        mpl_obs::provenance_record(mpl_obs::ProvenanceSample {
+            reader_depth: self.ctx.path.len() as u16,
+            owner_depth,
+            size_class: self.cached_block(target).size_class() as u8,
+            pinned: newly_pinned,
+        });
+    }
     /// Re-resolves a possibly stale (forwarded) object value.
     pub(crate) fn fix_stale(&mut self, v: Value) -> Value {
         match v {
@@ -168,7 +211,7 @@ impl Mutator<'_> {
         mpl_fail::hit_hard("barrier/read_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);
         let t = self.locate_ref(raw, "read target");
-        let (_, _, lca) = self
+        let (_, t_depth, lca) = self
             .rt
             .store()
             .heaps()
@@ -190,7 +233,9 @@ impl Mutator<'_> {
             panic!("{ENTANGLEMENT_PANIC}");
         }
         self.ctx.pending.entangled_reads += 1;
+        let newly = mpl_obs::enabled() && !self.cached_block(t).get(t.word()).header().is_pinned();
         let pinned = self.pin_cached(t, level);
+        self.provenance_sample(pinned, t_depth, newly);
         if Value::Obj(pinned) != raw {
             let src = self.locate_ref(objv, "mutable read");
             let _ = self
@@ -350,7 +395,10 @@ impl Mutator<'_> {
                 // and mark the holder a candidate.
                 self.ctx.pending.entangled_writes += 1;
                 let level = store.heaps().lca_of(o_heap, t_heap);
-                let _ = self.pin_cached(t, level);
+                let newly =
+                    mpl_obs::enabled() && !self.cached_block(t).get(t.word()).header().is_pinned();
+                let pinned = self.pin_cached(t, level);
+                self.provenance_sample(pinned, t_depth, newly);
                 let src = self.locate_ref(objv, "mutable write");
                 self.cached_block(src).get(src.word()).mark_suspect();
                 return src;
@@ -371,7 +419,7 @@ impl Mutator<'_> {
         }
         let Value::Obj(_) = actual else { return actual };
         let t = self.locate_ref(actual, "cas observation");
-        let (_, _, lca) = self
+        let (_, t_depth, lca) = self
             .rt
             .store()
             .heaps()
@@ -383,6 +431,9 @@ impl Mutator<'_> {
             panic!("{ENTANGLEMENT_PANIC}");
         }
         self.ctx.pending.entangled_reads += 1;
-        Value::Obj(self.pin_cached(t, level))
+        let newly = mpl_obs::enabled() && !self.cached_block(t).get(t.word()).header().is_pinned();
+        let pinned = self.pin_cached(t, level);
+        self.provenance_sample(pinned, t_depth, newly);
+        Value::Obj(pinned)
     }
 }

@@ -699,11 +699,19 @@ impl<'rt> Mutator<'rt> {
         // The store path bumps the global gauge immediately (bypassing the
         // pending batch), so tenant accounting must follow suit here or
         // block-overflowing (large) allocations escape their budget.
-        if let Some(budget) = &self.ctx.budget {
-            budget.charge(size);
-        }
-        let r = self.rt.store().alloc(self.leaf_heap(), kind, words);
-        self.refresh_alloc_cache();
+        // The refill timer covers exactly the fallback work (budget
+        // charge, store allocation, cache re-adoption) and not the
+        // collection a safepoint may run after it — a CGC pause has its
+        // own histogram and would drown the refill signal.
+        let r = {
+            let _t = mpl_obs::timer(mpl_obs::Metric::AllocRefill);
+            if let Some(budget) = &self.ctx.budget {
+                budget.charge(size);
+            }
+            let r = self.rt.store().alloc(self.leaf_heap(), kind, words);
+            self.refresh_alloc_cache();
+            r
+        };
         {
             let _safe = self.safe_window();
             self.rt.maybe_cgc();

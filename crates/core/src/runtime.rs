@@ -17,10 +17,6 @@ use crate::config::RuntimeConfig;
 use crate::mutator::{Mutator, TaskCtx};
 use crate::roots::RootStack;
 
-/// How often the telemetry sampler thread ticks. Short enough that even
-/// sub-second benchmark runs collect a useful gauge series.
-const SAMPLE_INTERVAL: Duration = Duration::from_millis(25);
-
 thread_local! {
     /// True while this thread holds `cgc_gate` and is driving a
     /// collection. A worker driving CGC packets can help-steal an
@@ -165,9 +161,14 @@ impl Runtime {
             None
         };
         let store = Store::new(config.store);
-        let sampler = config
-            .telemetry
-            .then(|| spawn_sampler(&store, executor.clone(), config.threads.max(1)));
+        let sampler = config.telemetry.then(|| {
+            spawn_sampler(
+                &store,
+                executor.clone(),
+                config.threads.max(1),
+                Duration::from_nanos(config.sampler_interval_ns.max(1)),
+            )
+        });
         let watchdog = (config.gc_stall_deadline_ns > 0).then(|| spawn_watchdog(&store, config));
         Runtime {
             store,
@@ -343,7 +344,10 @@ impl Runtime {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(f))) {
             Ok(v) => Ok(v),
             Err(payload) => match payload.downcast::<crate::mutator::AllocError>() {
-                Ok(e) => Err(*e),
+                Ok(e) => {
+                    note_alloc_error(&e);
+                    Err(*e)
+                }
                 Err(other) => std::panic::resume_unwind(other),
             },
         }
@@ -415,7 +419,10 @@ impl Runtime {
         })) {
             Ok(v) => Ok(v),
             Err(payload) => match payload.downcast::<crate::mutator::AllocError>() {
-                Ok(e) => Err(*e),
+                Ok(e) => {
+                    note_alloc_error(&e);
+                    Err(*e)
+                }
                 Err(other) => std::panic::resume_unwind(other),
             },
         }
@@ -611,6 +618,21 @@ impl Runtime {
         mpl_heap::report(&self.store)
     }
 
+    /// Takes an on-demand heap census: a lock-free walk over the block
+    /// registry's side metadata (obj-start/mark/line bitmaps and the
+    /// per-block gauges) rolled up into per-size-class occupancy and
+    /// fragmentation, per-tenant live-bytes attribution, and an
+    /// aggregation of the sampled entanglement-provenance ring. Safe to
+    /// call while mutators run — each block's rows are individually
+    /// consistent but the whole is a racing snapshot, so totals can drift
+    /// from the live-bytes gauge by in-flight allocation; on a quiescent
+    /// runtime they agree exactly (the census proptest pins this down).
+    /// Works with telemetry disabled; only the provenance section needs
+    /// [`RuntimeConfig::telemetry`] to have samples in it.
+    pub fn heap_census(&self) -> mpl_obs::HeapCensus {
+        self.store.census()
+    }
+
     /// Forces a concurrent collection (tests and experiments).
     pub fn force_cgc(&self) {
         // Re-entrant force from a help-stolen mutator job on the
@@ -658,11 +680,34 @@ impl Runtime {
         let samples = self.telemetry_samples();
         let spans = mpl_obs::snapshot_spans();
         let stats = self.stats();
+        let census = self.heap_census();
         TelemetryReport {
             chrome_trace: mpl_obs::chrome_trace(&spans, &samples),
-            prometheus: build_prometheus(&stats, samples.last()),
-            json: build_json(&stats, &samples),
+            prometheus: build_prometheus(&stats, samples.last(), Some(&census)),
+            json: build_json(
+                &stats,
+                &samples,
+                Some(&census),
+                self.config.sampler_interval_ns,
+            ),
         }
+    }
+}
+
+/// Flight-recorder hook for a surfaced [`AllocError`]: records the event
+/// and dumps the ring. An `AllocError` reaching `try_run` is an
+/// admission-control outcome (a serving layer sheds on it constantly),
+/// so both calls are no-ops with telemetry disabled and the dump count
+/// is bounded per process (`mpl_obs::dump_flight`).
+fn note_alloc_error(e: &crate::mutator::AllocError) {
+    mpl_obs::flight_record(
+        mpl_obs::FlightKind::Event,
+        mpl_obs::EV_ALLOC_ERROR,
+        e.requested as u64,
+        e.limit as u64,
+    );
+    if let Some(path) = mpl_obs::dump_flight("alloc-error") {
+        eprintln!("mpl-runtime: flight recorder dumped to {}", path.display());
     }
 }
 
@@ -716,7 +761,36 @@ fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
                             mpl_gc::audit::dump_events();
                             let mut snap = stats.snapshot();
                             snap.failpoint_fires = mpl_fail::fires();
-                            eprintln!("{}", build_prometheus(&snap, None));
+                            eprintln!("{}", build_prometheus(&snap, None, None));
+                            // Post-mortem artifacts behind the same
+                            // stderr report: a stall event in the flight
+                            // ring, the ring as a binary dump, and a
+                            // Chrome-trace snapshot of recent spans. All
+                            // no-ops with telemetry disabled, and dumps
+                            // are bounded per process (`dump_flight`).
+                            mpl_obs::flight_record(
+                                mpl_obs::FlightKind::Event,
+                                mpl_obs::EV_WATCHDOG_STALL,
+                                age_ns,
+                                deadline_ns,
+                            );
+                            if let Some(path) = mpl_obs::dump_flight("watchdog-stall") {
+                                eprintln!(
+                                    "mpl-gc-watchdog: flight recorder dumped to {}",
+                                    path.display()
+                                );
+                                let trace = mpl_obs::chrome_trace(&mpl_obs::snapshot_spans(), &[]);
+                                let trace_path = path.with_extension("trace.json");
+                                match std::fs::write(&trace_path, trace) {
+                                    Ok(()) => eprintln!(
+                                        "mpl-gc-watchdog: chrome trace written to {}",
+                                        trace_path.display()
+                                    ),
+                                    Err(e) => {
+                                        eprintln!("mpl-gc-watchdog: chrome trace write failed: {e}")
+                                    }
+                                }
+                            }
                         }
                     }
                     _ => flagged = false,
@@ -730,7 +804,8 @@ fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
     }
 }
 
-/// Spawns the telemetry sampler: every tick diffs the runtime counters
+/// Spawns the telemetry sampler: every tick (the configured
+/// [`RuntimeConfig::sampler_interval_ns`]) diffs the runtime counters
 /// (`StatsSnapshot::delta`) into allocation rates and combines the
 /// scheduler's park counter with [`mpl_sched::PARK_INTERVAL`] into a
 /// worker-utilization estimate (time not spent parked).
@@ -738,11 +813,12 @@ fn spawn_sampler(
     store: &Store,
     executor: Option<Arc<Executor>>,
     threads: usize,
+    interval: Duration,
 ) -> mpl_obs::Sampler {
     let stats = store.stats_shared();
     let mut prev = stats.snapshot();
     let mut prev_parks = executor.as_deref().map(|e| e.stats().parks).unwrap_or(0);
-    mpl_obs::Sampler::spawn(SAMPLE_INTERVAL, move |dt| {
+    mpl_obs::Sampler::spawn(interval, move |dt| {
         let cur = stats.snapshot();
         let d = cur.delta(&prev);
         prev = cur;
@@ -769,7 +845,11 @@ fn spawn_sampler(
 /// Assembles the Prometheus document: every `StatsSnapshot` counter and
 /// gauge under the `mpl_` prefix, the duration histograms from the
 /// telemetry registry, and the latest sampler rates.
-fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) -> String {
+fn build_prometheus(
+    s: &StatsSnapshot,
+    last_sample: Option<&mpl_obs::Sample>,
+    census: Option<&mpl_obs::HeapCensus>,
+) -> String {
     let mut w = mpl_obs::PromWriter::new();
     for (name, help, v) in [
         ("mpl_allocs_total", "Objects allocated", s.allocs),
@@ -944,6 +1024,9 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
             sample.worker_utilization,
         );
     }
+    if let Some(census) = census {
+        census.write_prometheus(&mut w);
+    }
     for (metric, snap) in mpl_obs::metric_snapshots() {
         w.histogram_ns_as_seconds(
             &format!("mpl_{}_seconds", metric.name()),
@@ -959,9 +1042,15 @@ fn build_prometheus(s: &StatsSnapshot, last_sample: Option<&mpl_obs::Sample>) ->
 /// the sampler's gauge series. Consumed by the E12 SLO reporter and CI
 /// assertions (live-bytes slope, pause percentiles) instead of scraping
 /// the Prometheus text.
-fn build_json(s: &StatsSnapshot, samples: &[mpl_obs::Sample]) -> String {
+fn build_json(
+    s: &StatsSnapshot,
+    samples: &[mpl_obs::Sample],
+    census: Option<&mpl_obs::HeapCensus>,
+    sampler_interval_ns: u64,
+) -> String {
     let mut w = mpl_obs::JsonWriter::new();
     w.begin_object();
+    w.field_u64("sampler_interval_ns", sampler_interval_ns);
     w.key("counters").begin_object();
     for (name, v) in [
         ("allocs", s.allocs),
@@ -1022,6 +1111,11 @@ fn build_json(s: &StatsSnapshot, samples: &[mpl_obs::Sample]) -> String {
         w.end_object();
     }
     w.end_object();
+    if let Some(census) = census {
+        // Rendered by the census itself; spliced in verbatim so the
+        // schema stays owned by one place (`HeapCensus::to_json`).
+        w.key("census").value_raw(&census.to_json());
+    }
     w.key("samples").begin_array();
     for sample in samples {
         w.begin_object();

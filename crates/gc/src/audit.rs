@@ -458,6 +458,17 @@ pub fn audit_phase(store: &Store, phase: &str, heap: u32, closure: Option<&HashS
 fn audit_failure(phase: &str, heap: u32, issues: &[String]) -> ! {
     FAILURES.fetch_add(1, Ordering::Relaxed);
     dump_events();
+    // Post-mortem: an audit failure is exactly what the flight recorder
+    // exists for — dump the recent-telemetry ring next to the event trace.
+    mpl_obs::flight_record(
+        mpl_obs::FlightKind::Event,
+        mpl_obs::EV_AUDIT_FAILURE,
+        issues.len() as u64,
+        u64::from(heap),
+    );
+    if let Some(path) = mpl_obs::dump_flight("audit-failure") {
+        eprintln!("flight recorder dumped to {}", path.display());
+    }
     panic!(
         "GC phase audit failed at {phase} (heap {heap}), {} issue(s):\n{}",
         issues.len(),

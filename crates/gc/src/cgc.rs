@@ -777,6 +777,16 @@ fn finish(store: &Store, state: &CgcState, guard: &mut Option<Cycle>) -> CgcOutc
         state.packets.swap(0, Ordering::Relaxed),
         state.packet_retries.swap(0, Ordering::Relaxed),
     );
+    // Census piggyback: the sweep packets already walked every entangled
+    // block's bitmaps; the cycle-end delta is two gauge reads.
+    if mpl_obs::enabled() {
+        mpl_obs::note_gc_census(
+            mpl_obs::GcCensusKind::Cgc,
+            store.stats().live_bytes() as u64,
+            store.blocks().live() as u64,
+            out.swept_bytes,
+        );
+    }
     crate::audit::audit_phase(store, "cgc/sweep", 0, None);
     state.needs_repair.store(false, Ordering::SeqCst);
     state.dirty_cycle.store(false, Ordering::SeqCst);

@@ -667,6 +667,17 @@ pub fn collect_local(
     if let Some(budget) = info.budget() {
         budget.credit(out.reclaimed_bytes as usize);
     }
+    // Census piggyback: the reclaim already computed this collection's
+    // live/reclaimed totals, so a post-GC census delta costs two gauge
+    // reads. Feeds the flight recorder and the `last_gc` census row.
+    if mpl_obs::enabled() {
+        mpl_obs::note_gc_census(
+            mpl_obs::GcCensusKind::Lgc,
+            store.stats().live_bytes() as u64,
+            store.blocks().live() as u64,
+            out.reclaimed_bytes,
+        );
+    }
     // Phase-boundary audit (formerly an ad-hoc MPL_DEBUG_LGC_VALIDATE
     // dangling-field scan printed to stderr): the reclaim-class audit
     // re-validates the shield, cross-checks reachability against dead

@@ -119,6 +119,14 @@ impl Bitmap {
             w.store(0, Ordering::Release);
         }
     }
+
+    /// Number of set bits (64 offsets per load; no per-object walk).
+    fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
 }
 
 /// A size-class allocation block: raw words, a bump cursor, and the
@@ -371,6 +379,21 @@ impl Block {
     }
 
     // ---- accounting -----------------------------------------------------
+
+    /// Number of published objects (census: popcount of `obj_start`).
+    pub fn object_count(&self) -> usize {
+        self.obj_start.count()
+    }
+
+    /// Number of objects carrying this cycle's concurrent mark bit.
+    pub fn marked_count(&self) -> usize {
+        self.mark.count()
+    }
+
+    /// Number of sticky entanglement suspects in this block.
+    pub fn suspect_count(&self) -> usize {
+        self.suspect.count()
+    }
 
     /// Logical live bytes currently attributed to this block.
     #[inline]

@@ -446,6 +446,89 @@ impl Store {
         }
     }
 
+    // ---- census ---------------------------------------------------------
+
+    /// A lock-free census of the heap's side metadata: per-size-class
+    /// block/line occupancy, fragmentation inputs, pinned/suspect
+    /// populations, and a per-tenant live-bytes breakdown keyed off
+    /// `TenantBudget` heap ownership.
+    ///
+    /// The walk takes one registry snapshot ([`BlockRegistry::live_blocks`])
+    /// and then reads each block's counters and bitmaps with plain atomic
+    /// loads — no lock is held while blocks are examined, and mutators
+    /// keep allocating throughout. The snapshot is therefore *consistent
+    /// per block* but only approximately consistent across blocks, the
+    /// same contract every gauge in `StoreStats` already has.
+    pub fn census(&self) -> mpl_obs::HeapCensus {
+        let blocks = self.blocks.live_blocks();
+        let mut classes: Vec<mpl_obs::ClassCensus> = (0..NUM_SIZE_CLASSES)
+            .map(|class| mpl_obs::ClassCensus {
+                class,
+                ..Default::default()
+            })
+            .collect();
+        let mut tenants: std::collections::BTreeMap<String, mpl_obs::TenantCensus> =
+            std::collections::BTreeMap::new();
+        let mut unattributed_blocks = 0u64;
+        let mut unattributed_live_bytes = 0u64;
+        for b in &blocks {
+            let live = b.live_bytes() as u64;
+            let pinned = u64::from(b.pinned_count());
+            let entangled = b.is_entangled();
+            let c = &mut classes[b.size_class().min(NUM_SIZE_CLASSES - 1)];
+            c.blocks += 1;
+            c.entangled_blocks += u64::from(entangled);
+            c.full_blocks += u64::from(b.is_full());
+            c.clean_blocks += u64::from(b.line_map_clean());
+            c.capacity_words += b.capacity() as u64;
+            c.allocated_words += b.allocated() as u64;
+            c.lines_total += b.line_count() as u64;
+            c.lines_in_use += b.lines_in_use() as u64;
+            c.lines_marked += b.marked_lines() as u64;
+            c.objects += b.object_count() as u64;
+            c.pinned_objects += pinned;
+            c.suspect_objects += b.suspect_count() as u64;
+            c.live_bytes += live;
+            // Attribution: the block's (canonicalized) owner heap either
+            // sits under a tenant budget or counts as runtime-internal.
+            match self.budget_of(b.owner()) {
+                Some(budget) => {
+                    let row = tenants.entry(budget.name().to_string()).or_insert_with(|| {
+                        mpl_obs::TenantCensus {
+                            name: budget.name().to_string(),
+                            blocks: 0,
+                            entangled_blocks: 0,
+                            live_bytes: 0,
+                            pinned_objects: 0,
+                            budget_live_bytes: budget.live_bytes() as u64,
+                            budget_limit: budget.limit() as u64,
+                        }
+                    });
+                    row.blocks += 1;
+                    row.entangled_blocks += u64::from(entangled);
+                    row.live_bytes += live;
+                    row.pinned_objects += pinned;
+                }
+                None => {
+                    unattributed_blocks += 1;
+                    unattributed_live_bytes += live;
+                }
+            }
+        }
+        mpl_obs::HeapCensus {
+            at_ns: mpl_obs::now_ns(),
+            heaps: self.heaps.len() as u64,
+            blocks: blocks.len() as u64,
+            blocks_issued: self.blocks.issued() as u64,
+            live_bytes: classes.iter().map(|c| c.live_bytes).sum(),
+            classes,
+            tenants: tenants.into_values().collect(),
+            unattributed_blocks,
+            unattributed_live_bytes,
+            provenance: mpl_obs::provenance_summary(),
+        }
+    }
+
     // ---- fork / join -----------------------------------------------------
 
     /// Creates a root heap and returns its id.
@@ -722,6 +805,39 @@ mod tests {
         s.handle(a).obj().try_forward(b).unwrap();
         assert_eq!(s.resolve(a), b);
         assert_eq!(s.resolved_handle(a).field(0), Value::Int(2));
+    }
+
+    #[test]
+    fn census_counts_blocks_objects_and_tenants() {
+        let s = store();
+        let root = s.new_root_heap();
+        s.set_heap_budget(root, TenantBudget::new("acme", 0));
+        let other = s.new_root_heap(); // no budget: unattributed
+        for i in 0..10 {
+            s.alloc_values(root, ObjKind::Tuple, &[Value::Int(i)]);
+        }
+        s.alloc_values(other, ObjKind::Tuple, &[Value::Unit; 5]);
+        let census = s.census();
+        assert_eq!(census.blocks as usize, s.blocks().live());
+        assert_eq!(census.live_bytes as usize, s.blocks().total_live_bytes());
+        assert_eq!(census.objects(), 11);
+        assert_eq!(census.classes.len(), NUM_SIZE_CLASSES);
+        assert_eq!(census.classes[0].objects, 10, "3-word tuples are class 0");
+        assert_eq!(census.classes[1].objects, 1, "7-word tuple is class 1");
+        assert_eq!(census.tenants.len(), 1);
+        let t = &census.tenants[0];
+        assert_eq!(t.name, "acme");
+        assert!(t.blocks >= 1);
+        assert!(t.live_bytes > 0);
+        assert!(census.unattributed_blocks >= 1);
+        assert_eq!(
+            t.live_bytes + census.unattributed_live_bytes,
+            census.live_bytes
+        );
+        // Pin an object: the census sees it in the pinned population.
+        let r = s.alloc_values(root, ObjKind::Ref, &[Value::Unit]);
+        s.pin(r, 0);
+        assert_eq!(s.census().pinned_objects(), 1);
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! The GC flight recorder: a bounded binary ring of recent telemetry.
+//!
+//! Aviation-style black box for the runtime: while telemetry is enabled,
+//! every closed span, every GC census delta, and every anomaly event
+//! (allocation failure, watchdog stall, audit failure) lands in a fixed
+//! global ring. When something goes wrong the ring is **dumped** to a
+//! compact binary file — automatically on a GC-watchdog stall, an
+//! `AllocError`, or a chaos-detected audit failure — so a post-mortem
+//! has the last few thousand things the runtime did, in order, without
+//! anyone having had to arrange tracing in advance.
+//!
+//! The ring reuses the span-ring publication idiom (seq written 0 first
+//! with `Release`, payload relaxed, final seq `Release` last), so a
+//! racing dump sees either the old record or the complete new one,
+//! never a torn one. Recording costs a `fetch_add` and five stores;
+//! disabled cost is the usual one relaxed load upstream.
+//!
+//! The dump format is deliberately simple — a magic header, a record
+//! count, and fixed 32-byte little-endian records — decodable by
+//! [`flight_decode`] and renderable as Chrome-trace JSON by
+//! [`flight_chrome_trace`] (see `examples/flight_decode.rs`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::json::JsonWriter;
+use crate::metrics::Metric;
+use crate::{enabled, now_ns};
+
+/// Record kinds in the ring / dump format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A closed telemetry span: `code` = metric index, `a` = start ns,
+    /// `b` = end ns.
+    Span = 1,
+    /// A point anomaly event (`EV_*` code); `a`/`b` carry context.
+    Event = 2,
+    /// A GC census delta: `a` = live bytes after, `b` = reclaimed bytes.
+    Census = 3,
+}
+
+impl FlightKind {
+    fn from_u32(v: u32) -> Option<FlightKind> {
+        match v {
+            1 => Some(FlightKind::Span),
+            2 => Some(FlightKind::Event),
+            3 => Some(FlightKind::Census),
+            _ => None,
+        }
+    }
+}
+
+/// Event code: a recoverable allocation failure surfaced as `AllocError`
+/// (`a` = requested bytes, `b` = live bytes at failure).
+pub const EV_ALLOC_ERROR: u32 = 1;
+/// Event code: the GC watchdog declared a phase stalled (`a` = phase
+/// age ns, `b` = deadline ns).
+pub const EV_WATCHDOG_STALL: u32 = 2;
+/// Event code: a heap audit failed (`a` = issue count).
+pub const EV_AUDIT_FAILURE: u32 = 3;
+/// Census code: LGC reclaim epilogue.
+pub const EV_LGC_CENSUS: u32 = 4;
+/// Census code: CGC sweep/epilogue completion.
+pub const EV_CGC_CENSUS: u32 = 5;
+
+/// Human-readable name for an event/census code.
+pub fn event_name(kind: FlightKind, code: u32) -> &'static str {
+    match (kind, code) {
+        (FlightKind::Event, EV_ALLOC_ERROR) => "alloc_error",
+        (FlightKind::Event, EV_WATCHDOG_STALL) => "watchdog_stall",
+        (FlightKind::Event, EV_AUDIT_FAILURE) => "audit_failure",
+        (FlightKind::Census, EV_LGC_CENSUS) => "lgc_census",
+        (FlightKind::Census, EV_CGC_CENSUS) => "cgc_census",
+        (FlightKind::Span, _) => "span",
+        _ => "unknown",
+    }
+}
+
+/// One decoded flight record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Record timestamp, ns since the telemetry epoch.
+    pub t_ns: u64,
+    /// Record kind.
+    pub kind: FlightKind,
+    /// Kind-specific code (metric index for spans, `EV_*` otherwise).
+    pub code: u32,
+    /// First payload word (see the kind docs).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Records retained in the ring; older records are overwritten.
+const FLIGHT_CAP: usize = 4096;
+
+struct Slot {
+    /// Global sequence, 0 = empty. Written last (release).
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    /// `kind << 32 | code`.
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SLOT: Slot = Slot {
+    seq: AtomicU64::new(0),
+    t_ns: AtomicU64::new(0),
+    meta: AtomicU64::new(0),
+    a: AtomicU64::new(0),
+    b: AtomicU64::new(0),
+};
+static RING: [Slot; FLIGHT_CAP] = [EMPTY_SLOT; FLIGHT_CAP];
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static CURSOR: AtomicUsize = AtomicUsize::new(0);
+static DUMPS: AtomicU64 = AtomicU64::new(0);
+
+/// Per-process cap on automatic dumps: post-mortems want the first few
+/// incidents, not a disk full of rings when a chaos suite sheds
+/// thousands of requests.
+const MAX_DUMPS: u64 = 16;
+
+/// Append one record with an explicit timestamp (collectors pass the
+/// timestamp they already took). No enabled gate — callers apply it.
+pub fn flight_record_at(t_ns: u64, kind: FlightKind, code: u32, a: u64, b: u64) {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    let slot = &RING[CURSOR.fetch_add(1, Ordering::Relaxed) % FLIGHT_CAP];
+    slot.seq.store(0, Ordering::Release);
+    slot.t_ns.store(t_ns, Ordering::Relaxed);
+    slot.meta
+        .store((kind as u64) << 32 | u64::from(code), Ordering::Relaxed);
+    slot.a.store(a, Ordering::Relaxed);
+    slot.b.store(b, Ordering::Relaxed);
+    slot.seq.store(seq, Ordering::Release);
+}
+
+/// Append one record stamped now, if telemetry is enabled (the usual
+/// one-relaxed-load gate otherwise).
+#[inline]
+pub fn flight_record(kind: FlightKind, code: u32, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    flight_record_at(now_ns(), kind, code, a, b);
+}
+
+/// Feed from the span ring: called by `record_span`, which only runs for
+/// spans opened while telemetry was enabled.
+#[inline]
+pub(crate) fn note_span(metric: Metric, start_ns: u64, end_ns: u64) {
+    flight_record_at(end_ns, FlightKind::Span, metric as u32, start_ns, end_ns);
+}
+
+/// Snapshot the retained records in sequence (arrival) order. Torn
+/// slots mid-write are skipped.
+pub fn flight_snapshot() -> Vec<FlightEvent> {
+    let mut out: Vec<(u64, FlightEvent)> = Vec::new();
+    let filled = CURSOR.load(Ordering::Relaxed).min(FLIGHT_CAP);
+    for slot in &RING[..filled] {
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == 0 {
+            continue;
+        }
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let Some(kind) = FlightKind::from_u32((meta >> 32) as u32) else {
+            continue;
+        };
+        out.push((
+            seq,
+            FlightEvent {
+                t_ns: slot.t_ns.load(Ordering::Relaxed),
+                kind,
+                code: meta as u32,
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            },
+        ));
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    out.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Total records ever appended (retained or overwritten).
+pub fn flight_recorded() -> u64 {
+    SEQ.load(Ordering::Relaxed)
+}
+
+/// Clear the ring (bench-harness use; racy against writers by design).
+pub fn clear_flight() {
+    let filled = CURSOR.load(Ordering::Relaxed).min(FLIGHT_CAP);
+    for slot in &RING[..filled] {
+        slot.seq.store(0, Ordering::Release);
+    }
+    CURSOR.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Binary dump format.
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every flight dump (format version in the tail).
+pub const FLIGHT_MAGIC: &[u8; 8] = b"MPLFLT01";
+
+/// Encode records into the dump format: magic, little-endian u32 count,
+/// then fixed 32-byte records (`t_ns`, `kind`, `code`, `a`, `b`).
+pub fn flight_encode(events: &[FlightEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FLIGHT_MAGIC.len() + 4 + events.len() * 32);
+    out.extend_from_slice(FLIGHT_MAGIC);
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for e in events {
+        out.extend_from_slice(&e.t_ns.to_le_bytes());
+        out.extend_from_slice(&(e.kind as u32).to_le_bytes());
+        out.extend_from_slice(&e.code.to_le_bytes());
+        out.extend_from_slice(&e.a.to_le_bytes());
+        out.extend_from_slice(&e.b.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a dump produced by [`flight_encode`].
+pub fn flight_decode(bytes: &[u8]) -> Result<Vec<FlightEvent>, String> {
+    if bytes.len() < FLIGHT_MAGIC.len() + 4 {
+        return Err("truncated flight dump: missing header".to_string());
+    }
+    if &bytes[..FLIGHT_MAGIC.len()] != FLIGHT_MAGIC {
+        return Err("not a flight dump (bad magic)".to_string());
+    }
+    let mut off = FLIGHT_MAGIC.len();
+    let read_u32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    let read_u64 = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let count = read_u32(off) as usize;
+    off += 4;
+    if bytes.len() < off + count * 32 {
+        return Err(format!(
+            "truncated flight dump: header promises {count} records, payload holds {}",
+            (bytes.len() - off) / 32
+        ));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let base = off + i * 32;
+        let kind = FlightKind::from_u32(read_u32(base + 8))
+            .ok_or_else(|| format!("record {i}: unknown kind"))?;
+        out.push(FlightEvent {
+            t_ns: read_u64(base),
+            kind,
+            code: read_u32(base + 12),
+            a: read_u64(base + 16),
+            b: read_u64(base + 24),
+        });
+    }
+    Ok(out)
+}
+
+/// Dump the current ring to a file and return its path.
+///
+/// The dump lands in `MPL_FLIGHT_DIR` if set, else the OS temp dir, as
+/// `mpl-flight-<reason>-<pid>-<n>.bin`. Returns `None` when telemetry
+/// is disabled, the per-process dump cap is exhausted, or the write
+/// fails — automatic dumping must never take down the process it is
+/// trying to explain.
+pub fn dump_flight(reason: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let n = DUMPS.fetch_add(1, Ordering::Relaxed);
+    if n >= MAX_DUMPS {
+        return None;
+    }
+    let dir = std::env::var_os("MPL_FLIGHT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let path = dir.join(format!(
+        "mpl-flight-{reason}-{}-{n}.bin",
+        std::process::id()
+    ));
+    let events = flight_snapshot();
+    std::fs::write(&path, flight_encode(&events)).ok()?;
+    Some(path)
+}
+
+/// Number of automatic dumps attempted since process start.
+pub fn flight_dumps() -> u64 {
+    DUMPS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace rendering (the decoder example's output format).
+// ---------------------------------------------------------------------------
+
+/// Render decoded flight records as `chrome://tracing`-loadable JSON:
+/// spans become complete (`"X"`) events on their metric's category
+/// track; anomaly events and census deltas become global instants.
+pub fn flight_chrome_trace(events: &[FlightEvent]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    for e in events {
+        w.begin_object();
+        match e.kind {
+            FlightKind::Span => {
+                let metric = Metric::from_index(e.code as usize);
+                w.field_str("name", metric.map_or("span", |m| m.name()));
+                w.field_str("cat", metric.map_or("flight", |m| m.category()));
+                w.field_str("ph", "X");
+                w.field_f64("ts", e.a as f64 / 1e3);
+                w.field_f64("dur", e.b.saturating_sub(e.a) as f64 / 1e3);
+            }
+            FlightKind::Event | FlightKind::Census => {
+                w.field_str("name", event_name(e.kind, e.code));
+                w.field_str("cat", "flight");
+                w.field_str("ph", "i");
+                w.field_str("s", "g");
+                w.field_f64("ts", e.t_ns as f64 / 1e3);
+                w.key("args");
+                w.begin_object();
+                w.field_u64("a", e.a);
+                w.field_u64("b", e.b);
+                w.end_object();
+            }
+        }
+        w.field_u64("pid", 1);
+        w.field_u64("tid", 0);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let events = vec![
+            FlightEvent {
+                t_ns: 10,
+                kind: FlightKind::Span,
+                code: 0,
+                a: 5,
+                b: 10,
+            },
+            FlightEvent {
+                t_ns: 20,
+                kind: FlightKind::Event,
+                code: EV_ALLOC_ERROR,
+                a: 4096,
+                b: 1 << 20,
+            },
+            FlightEvent {
+                t_ns: 30,
+                kind: FlightKind::Census,
+                code: EV_LGC_CENSUS,
+                a: 12345,
+                b: 678,
+            },
+        ];
+        let bytes = flight_encode(&events);
+        assert_eq!(flight_decode(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(flight_decode(b"short").is_err());
+        assert!(flight_decode(b"NOTMAGIC\x00\x00\x00\x00").is_err());
+        // Count promising more records than the payload holds.
+        let mut bytes = FLIGHT_MAGIC.to_vec();
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        assert!(flight_decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_dump_is_parseable() {
+        let bytes = flight_encode(&[]);
+        assert_eq!(flight_decode(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn ring_records_in_order_and_survives_wrap() {
+        // Direct `flight_record_at` bypasses the enabled gate, so this
+        // test is independent of other tests' telemetry refs.
+        clear_flight();
+        for i in 0..(FLIGHT_CAP as u64 + 10) {
+            flight_record_at(i, FlightKind::Event, EV_WATCHDOG_STALL, i, 0);
+        }
+        let snap = flight_snapshot();
+        assert_eq!(snap.len(), FLIGHT_CAP);
+        // In arrival order, and only the newest CAP retained.
+        assert!(snap.windows(2).all(|w| w[0].a < w[1].a));
+        assert_eq!(snap.last().unwrap().a, FLIGHT_CAP as u64 + 9);
+        clear_flight();
+        assert!(flight_snapshot().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_renders_all_kinds() {
+        let events = vec![
+            FlightEvent {
+                t_ns: 10_000,
+                kind: FlightKind::Span,
+                code: 0,
+                a: 5_000,
+                b: 10_000,
+            },
+            FlightEvent {
+                t_ns: 20_000,
+                kind: FlightKind::Event,
+                code: EV_WATCHDOG_STALL,
+                a: 1,
+                b: 2,
+            },
+        ];
+        let json = flight_chrome_trace(&events);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"lgc_pause\""), "{json}");
+        assert!(json.contains("\"watchdog_stall\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -134,6 +134,16 @@ impl JsonWriter {
         self
     }
 
+    /// Splices a pre-rendered JSON value in verbatim. The caller owns its
+    /// well-formedness — this exists so a document rendered by one
+    /// component (e.g. a census snapshot) can nest inside another without
+    /// re-walking the data through the writer API.
+    pub fn value_raw(&mut self, raw_json: &str) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(raw_json);
+        self
+    }
+
     /// `"k": <u64>` in one call.
     pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
         self.key(k).value_u64(v)
@@ -217,6 +227,17 @@ mod tests {
         w.key("b").begin_object().end_object();
         w.end_object();
         assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+
+    #[test]
+    fn raw_values_splice_with_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("a", 1);
+        w.key("census").value_raw(r#"{"blocks":3}"#);
+        w.field_u64("b", 2);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"census":{"blocks":3},"b":2}"#);
     }
 
     #[test]

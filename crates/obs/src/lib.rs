@@ -33,8 +33,10 @@
 //! compose, mirroring the audit layer; the `MPL_TELEMETRY` environment
 //! variable force-enables collection for a whole process.
 
+pub mod census;
 pub mod chrome;
 pub mod family;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -42,10 +44,20 @@ pub mod prom;
 pub mod sampler;
 pub mod span;
 
+pub use census::{
+    gc_censuses, last_gc_census, note_gc_census, provenance_record, provenance_recorded,
+    provenance_samples, provenance_summary, reset_provenance, ClassCensus, GcCensus, GcCensusKind,
+    HeapCensus, ProvenanceSample, ProvenanceSummary, TenantCensus, CENSUS_MAX_CLASSES,
+};
 pub use chrome::chrome_trace;
 pub use family::{
     family_counter, family_counter_add, family_counters, family_histogram, family_snapshots,
     reset_families,
+};
+pub use flight::{
+    clear_flight, dump_flight, event_name, flight_chrome_trace, flight_decode, flight_dumps,
+    flight_encode, flight_record, flight_recorded, flight_snapshot, FlightEvent, FlightKind,
+    EV_ALLOC_ERROR, EV_AUDIT_FAILURE, EV_CGC_CENSUS, EV_LGC_CENSUS, EV_WATCHDOG_STALL,
 };
 pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, BUCKETS};
 pub use json::JsonWriter;

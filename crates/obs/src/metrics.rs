@@ -41,10 +41,14 @@ pub enum Metric {
     RemsetFlush,
     /// One CGC work packet (trace, sweep, or epilogue unit on a worker).
     CgcPacket,
+    /// Allocation-cache refill: the store-path fallback taken when a
+    /// task's cached size-class block overflows (or the object is
+    /// oversized) — block acquisition plus cache re-adoption.
+    AllocRefill,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 13;
+pub const METRIC_COUNT: usize = 14;
 
 /// All metrics, in discriminant order.
 pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
@@ -61,6 +65,7 @@ pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
     Metric::SchedPark,
     Metric::RemsetFlush,
     Metric::CgcPacket,
+    Metric::AllocRefill,
 ];
 
 impl Metric {
@@ -81,6 +86,7 @@ impl Metric {
             Metric::SchedPark => "sched_park",
             Metric::RemsetFlush => "remset_flush",
             Metric::CgcPacket => "cgc_packet",
+            Metric::AllocRefill => "alloc_refill",
         }
     }
 
@@ -100,6 +106,7 @@ impl Metric {
             Metric::SchedPark => "Idle worker park interval",
             Metric::RemsetFlush => "Buffered remset flush duration",
             Metric::CgcPacket => "One CGC work packet on a scheduler worker",
+            Metric::AllocRefill => "Allocation-cache refill (store-path block overflow fallback)",
         }
     }
 
@@ -112,6 +119,7 @@ impl Metric {
             Metric::CgcPause | Metric::CgcMark | Metric::CgcSweep | Metric::CgcPacket => "gc.cgc",
             Metric::BarrierSlow | Metric::RemsetFlush => "barrier",
             Metric::SchedSteal | Metric::SchedRun | Metric::SchedPark => "sched",
+            Metric::AllocRefill => "alloc",
         }
     }
 

@@ -55,6 +55,32 @@ impl PromWriter {
         let _ = writeln!(self.out, "{name} {}", format_f64(value));
     }
 
+    /// A gauge family with one label dimension: one sample per
+    /// `(label value, sample value)` pair under a single HELP/TYPE
+    /// header. Label values are escaped per the exposition format.
+    pub fn labeled_gauge(&mut self, name: &str, help: &str, label: &str, series: &[(&str, f64)]) {
+        if series.is_empty() {
+            return;
+        }
+        self.header(name, help, "gauge");
+        for (value, sample) in series {
+            let escaped: String = value
+                .chars()
+                .flat_map(|c| match c {
+                    '\\' => vec!['\\', '\\'],
+                    '"' => vec!['\\', '"'],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect();
+            let _ = writeln!(
+                self.out,
+                "{name}{{{label}=\"{escaped}\"}} {}",
+                format_f64(*sample)
+            );
+        }
+    }
+
     /// A histogram family from a snapshot of nanosecond durations,
     /// exported in seconds. `name` should end in `_seconds`. Empty
     /// buckets between populated ones are skipped (cumulative values stay

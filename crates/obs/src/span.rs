@@ -133,6 +133,9 @@ pub fn span_only(kind: Metric, start: Option<u64>) {
 }
 
 fn record_span(kind: Metric, start: u64, end: u64) {
+    // Feed the flight recorder too: spans only reach here when telemetry
+    // was on at open, so no second gate is needed.
+    crate::flight::note_span(kind, start, end);
     let worker = worker_id();
     let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
     let ring = &RINGBUF[worker % RINGS];

@@ -33,6 +33,11 @@ pub struct TenantReport {
     pub goodput_rps: f64,
     /// Budget state at end of run (`None` if unbudgeted).
     pub budget: Option<BudgetSnapshot>,
+    /// End-of-run heap-census attribution for this tenant — block count
+    /// and side-metadata live bytes keyed off the tenant's budget heap
+    /// ownership (`None` when the server ran without telemetry or the
+    /// census had no row for the tenant).
+    pub census: Option<mpl_obs::TenantCensus>,
 }
 
 /// Runtime/GC activity during the run (deltas over the run window).
@@ -88,6 +93,9 @@ pub struct ServerReport {
     /// Telemetry samples the slope was fit over (0 ⇒ sampler off, slope
     /// trivially 0 — CI requires this to be nonzero).
     pub live_samples: usize,
+    /// End-of-run heap census (occupancy, fragmentation, per-tenant
+    /// attribution); `None` when the server ran without telemetry.
+    pub census: Option<mpl_obs::HeapCensus>,
 }
 
 /// Least-squares slope of `live_bytes` against time, in bytes/second.
@@ -165,9 +173,22 @@ impl ServerReport {
                     .field_u64("forced_gcs", b.forced_gcs);
                 w.end_object();
             }
+            if let Some(c) = &t.census {
+                w.key("census").begin_object();
+                w.field_u64("blocks", c.blocks)
+                    .field_u64("entangled_blocks", c.entangled_blocks)
+                    .field_u64("live_bytes", c.live_bytes)
+                    .field_u64("pinned_objects", c.pinned_objects);
+                w.end_object();
+            }
             w.end_object();
         }
         w.end_array();
+        if let Some(census) = &self.census {
+            // Spliced verbatim: the census renders itself so the schema
+            // stays owned by `mpl_obs::HeapCensus::to_json`.
+            w.key("census").value_raw(&census.to_json());
+        }
         w.end_object();
         w.finish()
     }
@@ -225,6 +246,27 @@ impl ServerReport {
                     ));
                 }
             }
+            if let Some(c) = &t.census {
+                out.push_str(&format!(
+                    "{:<10}   census {} blocks ({} entangled)  {} KiB live  {} pinned\n",
+                    "",
+                    c.blocks,
+                    c.entangled_blocks,
+                    c.live_bytes / 1024,
+                    c.pinned_objects,
+                ));
+            }
+        }
+        if let Some(census) = &self.census {
+            out.push_str(&format!(
+                "census: {} blocks  {} objects  frag {:.1}%  clean-blocks {:.1}%  \
+                 provenance {} samples\n",
+                census.blocks,
+                census.objects(),
+                census.fragmentation() * 100.0,
+                census.clean_block_ratio() * 100.0,
+                census.provenance.recorded,
+            ));
         }
         out
     }
@@ -298,18 +340,36 @@ mod tests {
                     sheds: 1,
                     forced_gcs: 3,
                 }),
+                census: Some(mpl_obs::TenantCensus {
+                    name: "a\"b".into(),
+                    blocks: 4,
+                    entangled_blocks: 1,
+                    live_bytes: 2048,
+                    pinned_objects: 2,
+                    budget_live_bytes: 512,
+                    budget_limit: 1024,
+                }),
             }],
             gc: GcReport::default(),
             live_slope_bytes_per_s: -1.5,
             live_samples: 7,
+            census: Some(mpl_obs::HeapCensus {
+                blocks: 4,
+                live_bytes: 2048,
+                ..mpl_obs::HeapCensus::default()
+            }),
         };
         let j = rep.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"schedule_digest\":42"));
         assert!(j.contains("\"a\\\"b\""));
         assert!(j.contains("\"sheds\":1"));
+        assert!(j.contains("\"census\""));
+        assert!(j.contains("\"clean_block_ratio\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
         let table = rep.render_table();
         assert!(table.contains("tenant"));
         assert!(table.contains("budget"));
+        assert!(table.contains("census"));
     }
 }

@@ -158,6 +158,10 @@ impl<'rt> Server<'rt> {
         } else {
             Vec::new()
         };
+        // End-of-run heap census: only when the runtime is telemetered —
+        // the walk is cheap but the report should stay byte-identical to
+        // earlier runs for untelemetered configurations.
+        let census = self.rt.config().telemetry.then(|| self.rt.heap_census());
         let tenants = self
             .tenants
             .iter()
@@ -182,6 +186,9 @@ impl<'rt> Server<'rt> {
                     mean_ns: lat.mean(),
                     goodput_rps: (t.completed - c0[1]) as f64 / wall_s,
                     budget: t.session.budget().map(|b| b.snapshot()),
+                    census: census
+                        .as_ref()
+                        .and_then(|c| c.tenants.iter().find(|r| r.name == t.spec.name).cloned()),
                 }
             })
             .collect::<Vec<_>>();
@@ -217,6 +224,7 @@ impl<'rt> Server<'rt> {
             // leak. The witness E12 wants is the long-run trend.
             live_slope_bytes_per_s: live_slope(&samples[samples.len() / 2..]),
             live_samples: samples.len(),
+            census,
         }
     }
 

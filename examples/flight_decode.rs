@@ -1,0 +1,49 @@
+//! Decode a flight-recorder dump into Chrome-trace JSON.
+//!
+//! The runtime dumps its bounded in-memory ring of spans, anomaly
+//! events, and GC census deltas (`mpl-flight-<reason>-<pid>-<n>.bin`,
+//! see `MPL_FLIGHT_DIR`) when a GC watchdog stall, an `AllocError`, or
+//! a heap audit failure is detected. This decoder turns such a dump
+//! into JSON loadable at `chrome://tracing` / <https://ui.perfetto.dev>:
+//!
+//! ```text
+//! cargo run --example flight_decode -- /tmp/mpl-flight-watchdog-stall-1234-0.bin > trace.json
+//! ```
+//!
+//! With no argument it prints a summary of the current process's (empty)
+//! ring, which doubles as a format self-check.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let events = match args.next() {
+        Some(path) => {
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("flight_decode: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match mpl_obs::flight_decode(&bytes) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    eprintln!("flight_decode: {path} is not a flight dump: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => mpl_obs::flight_snapshot(),
+    };
+    eprintln!("flight_decode: {} records", events.len());
+    for e in &events {
+        eprintln!(
+            "  {:>12} ns  {:?}/{} a={} b={}",
+            e.t_ns,
+            e.kind,
+            mpl_obs::event_name(e.kind, e.code),
+            e.a,
+            e.b
+        );
+    }
+    println!("{}", mpl_obs::flight_chrome_trace(&events));
+}

@@ -80,6 +80,7 @@ fn armed_idle_plan() -> FailPlan {
         .with("lgc/reclaim", FailAction::Yield, never)
         .with("sched/steal", FailAction::Yield, never)
         .with("sched/park", FailAction::Yield, never)
+        .with("cancel/unwind", FailAction::Yield, never)
 }
 
 /// A seeded benign-fault schedule: delay/yield frequencies are drawn
@@ -107,6 +108,13 @@ fn chaos_plan(seed: u64) -> FailPlan {
             FailWhen::OneIn(k(6)),
         )
         .with("sched/steal", FailAction::Yield, FailWhen::OneIn(k(7)))
+        // Armed on every run; only fires if something actually cancels
+        // (the suite sweeps run to completion, so this prices the site).
+        .with(
+            "cancel/unwind",
+            FailAction::Delay(5_000),
+            FailWhen::OneIn(k(8)),
+        )
 }
 
 fn chaos_config(seed: u64, entangled: bool) -> RuntimeConfig {

@@ -205,8 +205,10 @@ impl Mutator<'_> {
         };
         // SLOW TIER: locate the target and query the heap table. Slow
         // tiers are handshake poll points: a read-heavy entangled loop
-        // may not allocate for a long stretch.
+        // may not allocate for a long stretch. The same argument makes
+        // them cancellation poll points.
         self.rt.cgc_state().poll_handshake(&self.ctx.satb);
+        self.poll_cancel();
         self.ctx.pending.read_slow += 1;
         mpl_fail::hit_hard("barrier/read_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);
@@ -337,8 +339,10 @@ impl Mutator<'_> {
         }
         // SLOW TIER: full locate + path-relation machinery. (Re-locate
         // the source: fast-exit-2 probing may have evicted it.) Also a
-        // handshake poll point, like the read slow tier.
+        // handshake — and cancellation — poll point, like the read slow
+        // tier.
         self.rt.cgc_state().poll_handshake(&self.ctx.satb);
+        self.poll_cancel();
         self.ctx.pending.write_slow += 1;
         mpl_fail::hit_hard("barrier/write_slow");
         let _t = mpl_obs::timer(mpl_obs::Metric::BarrierSlow);

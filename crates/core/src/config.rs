@@ -120,6 +120,16 @@ pub struct RuntimeConfig {
     /// the audit event rings plus the telemetry report — the chaos
     /// harness's answer to "a fault injection wedged a collection".
     pub gc_stall_deadline_ns: u64,
+    /// Escalate a GC-stall watchdog fire into cancellation: when set
+    /// (and a watchdog is configured), a stalled collector phase trips
+    /// the runtime's root [`CancelToken`](crate::CancelToken), so every
+    /// in-flight *and future* run on this runtime unwinds with
+    /// [`RunError::Cancelled`](crate::RunError) instead of hanging
+    /// behind the wedged collection. Off by default because tripping
+    /// the root is permanent — it turns a liveness bug into a loud,
+    /// recoverable failure, which is what a serving deployment wants
+    /// and an interactive debugging session may not.
+    pub watchdog_cancels: bool,
     /// Telemetry sampler tick in nanoseconds (only meaningful with
     /// `telemetry` set). The default 25 ms is short enough that even
     /// sub-second benchmark runs collect a useful gauge series; serving
@@ -148,6 +158,7 @@ impl Default for RuntimeConfig {
             telemetry: false,
             failpoints: FailPlan::default(),
             gc_stall_deadline_ns: 0,
+            watchdog_cancels: false,
             sampler_interval_ns: 25_000_000,
         }
     }
@@ -277,6 +288,14 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::gc_stall_deadline_ns`]).
     pub fn with_gc_watchdog(mut self, deadline: std::time::Duration) -> RuntimeConfig {
         self.gc_stall_deadline_ns = deadline.as_nanos() as u64;
+        self
+    }
+
+    /// Makes a watchdog fire trip the runtime's root cancel token (see
+    /// [`RuntimeConfig::watchdog_cancels`]). Only meaningful together
+    /// with [`RuntimeConfig::with_gc_watchdog`].
+    pub fn with_watchdog_cancels(mut self) -> RuntimeConfig {
+        self.watchdog_cancels = true;
         self
     }
 
@@ -463,5 +482,14 @@ mod tests {
         let c = RuntimeConfig::managed().with_gc_watchdog(std::time::Duration::from_millis(50));
         assert_eq!(c.gc_stall_deadline_ns, 50_000_000);
         assert_eq!(RuntimeConfig::managed().gc_stall_deadline_ns, 0);
+    }
+
+    #[test]
+    fn watchdog_cancels_flag() {
+        assert!(!RuntimeConfig::managed().watchdog_cancels, "off by default");
+        let c = RuntimeConfig::managed().with_watchdog_cancels();
+        assert!(c.watchdog_cancels);
+        let copied = c; // stays Copy
+        assert!(copied.watchdog_cancels);
     }
 }

@@ -52,11 +52,13 @@
 #![warn(rust_2018_idioms)]
 
 mod barrier;
+pub mod cancel;
 pub mod config;
 pub mod mutator;
 mod roots;
 pub mod runtime;
 
+pub use cancel::{CancelReason, CancelToken, Cancelled, RunError};
 pub use config::{Mode, RuntimeConfig, WorkModel};
 pub use mutator::{AllocError, Handle, Mutator, RootMark, ENTANGLEMENT_PANIC};
 pub use runtime::{Runtime, TelemetryReport, TenantSession};

@@ -39,6 +39,7 @@ use mpl_heap::{
 };
 use mpl_sched::{DagBuilder, StrandId};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::Mode;
 use crate::roots::RootStack;
 use crate::runtime::Runtime;
@@ -207,6 +208,14 @@ pub(crate) struct TaskCtx {
     /// stalls; `finish_task` deregisters unconditionally (the shard,
     /// unlike a persistent session's root stack, is per-task state).
     pub(crate) satb: Arc<mpl_gc::SatbShard>,
+    /// Cooperative-cancellation token, inherited at fork (like the
+    /// tenant budget). Polled at the sites that already ack SATB
+    /// handshakes — every allocation and both barrier slow tiers — plus
+    /// fork entry, so a tripped token unwinds within one poll interval.
+    /// `None` only for contexts built outside a `Runtime::run*` entry
+    /// point; runs always carry a per-run child of the runtime's root
+    /// token.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// Task-buffered counters, flushed to the global [`mpl_heap::StoreStats`]
@@ -250,6 +259,7 @@ impl TaskCtx {
         dag: Option<Arc<DagBuilder>>,
         strand: StrandId,
         rt: &Runtime,
+        cancel: Option<CancelToken>,
     ) -> TaskCtx {
         let roots = Arc::new(RootStack::new());
         rt.register_roots(&roots);
@@ -275,6 +285,7 @@ impl TaskCtx {
             budget,
             persistent: false,
             satb: rt.cgc_state().register_shard(),
+            cancel,
         }
     }
 
@@ -283,6 +294,7 @@ impl TaskCtx {
     /// earlier requests stay valid) and restores the session's carried
     /// collection debt, so garbage accumulated across requests still
     /// triggers the root heap's local collections.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn resume(
         path: Vec<u32>,
         dag: Option<Arc<DagBuilder>>,
@@ -291,6 +303,7 @@ impl TaskCtx {
         roots: Arc<RootStack>,
         alloc_since: usize,
         lgc_budget: usize,
+        cancel: Option<CancelToken>,
     ) -> TaskCtx {
         let budget = rt
             .store()
@@ -314,6 +327,7 @@ impl TaskCtx {
             budget,
             persistent: true,
             satb: rt.cgc_state().register_shard(),
+            cancel,
         }
     }
 }
@@ -352,6 +366,30 @@ impl<'rt> Mutator<'rt> {
     /// [`Runtime::stats`] so per-tier deltas are exact.
     pub fn sync_stats(&mut self) {
         self.flush_stats();
+    }
+
+    /// The cooperative-cancellation poll point: if this task's token (or
+    /// an ancestor's) has tripped, begin unwinding with a [`Cancelled`]
+    /// payload. The unwind rides the exact path an [`AllocError`] takes
+    /// — caught per branch in `run_branch`, re-raised by the parent's
+    /// join after heap merge and sibling-result release, and caught at
+    /// the top by `Runtime::try_run*` — so every pin, SATB shard, remset
+    /// buffer, and registry entry is released on the way out. Disabled
+    /// cost (token live, no deadline): one branch plus one atomic load
+    /// per token on the (two-deep) chain, on paths that already load the
+    /// handshake atomics.
+    #[inline]
+    pub(crate) fn poll_cancel(&mut self) {
+        let Some(token) = &self.ctx.cancel else {
+            return;
+        };
+        if let Some(reason) = token.poll() {
+            // One count per task that starts a cancellation unwind (the
+            // root and each live branch of the cancelled tree).
+            self.rt.store().stats().on_cancel_requested();
+            mpl_fail::hit_hard("cancel/unwind");
+            std::panic::panic_any(Cancelled { reason });
+        }
     }
 
     pub(crate) fn finish_task(&mut self) {
@@ -666,6 +704,8 @@ impl<'rt> Mutator<'rt> {
         // no allocations or barriered writes can still delay a handshake
         // — the same liveness caveat as MPL's safepoint scheme.)
         self.rt.cgc_state().poll_handshake(&self.ctx.satb);
+        // ...and a cancellation poll point, for the same liveness reason.
+        self.poll_cancel();
         let size = mpl_heap::OBJECT_OVERHEAD_BYTES + 8 * words.len();
         // FAST PATH: one bump in the task's cached size-class block — no
         // lock, no registry, no `Arc` clone, no per-object `Vec`.
@@ -690,7 +730,7 @@ impl<'rt> Mutator<'rt> {
         }
         if mpl_fail::hit("alloc/words").is_err() {
             self.rt.store().stats().on_alloc_failure();
-            std::panic::panic_any(AllocError {
+            self.raise_alloc_error(AllocError {
                 requested: size,
                 limit: 0,
                 live_bytes: self.rt.store().stats().snapshot().live_bytes,
@@ -940,6 +980,9 @@ impl<'rt> Mutator<'rt> {
         G: FnOnce(&mut Mutator<'_>) -> Value + Send,
     {
         self.ctx.work += self.rt.config().work.fork;
+        // Fork entry is a poll point: a tripped tree stops spawning new
+        // branches and unwinds here instead of fanning out doomed work.
+        self.poll_cancel();
         self.flush_work();
         // Publish buffered remembered-set entries before suspending:
         // forks and joins are this task's natural safepoints.
@@ -956,6 +999,10 @@ impl<'rt> Mutator<'rt> {
         let mut rpath = self.ctx.path.clone();
         rpath.push(rh);
         let dag = self.ctx.dag.clone();
+        // Branches inherit the cancellation token (like the tenant
+        // budget): one tripped token unwinds the whole tree.
+        let lcancel = self.ctx.cancel.clone();
+        let rcancel = self.ctx.cancel.clone();
 
         let threads = self.rt.config().threads;
         let sched = self.rt.config().sched;
@@ -976,8 +1023,8 @@ impl<'rt> Mutator<'rt> {
                 // hierarchy.
                 let rt = self.rt;
                 let ldag = dag.clone();
-                let left = move || run_branch(rt, lpath, ldag, ls, f);
-                let right = move || run_branch(rt, rpath, dag, rs, g);
+                let left = move || run_branch(rt, lpath, ldag, ls, lcancel, f);
+                let right = move || run_branch(rt, rpath, dag, rs, rcancel, g);
                 match mpl_sched::try_join(left, right) {
                     Ok(pair) => pair,
                     // Not on a pool worker (e.g. a second concurrent `run`
@@ -994,8 +1041,8 @@ impl<'rt> Mutator<'rt> {
                     let rt = self.rt;
                     let ldag = dag.clone();
                     std::thread::scope(|scope| {
-                        let lj = scope.spawn(move || run_branch(rt, lpath, ldag, ls, f));
-                        let right = run_branch(rt, rpath, dag, rs, g);
+                        let lj = scope.spawn(move || run_branch(rt, lpath, ldag, ls, lcancel, f));
+                        let right = run_branch(rt, rpath, dag, rs, rcancel, g);
                         let left = match lj.join() {
                             Ok(v) => v,
                             Err(p) => std::panic::resume_unwind(p),
@@ -1003,8 +1050,8 @@ impl<'rt> Mutator<'rt> {
                         (left, right)
                     })
                 } else {
-                    let left = run_branch(self.rt, lpath, dag.clone(), ls, f);
-                    let right = run_branch(self.rt, rpath, dag, rs, g);
+                    let left = run_branch(self.rt, lpath, dag.clone(), ls, lcancel, f);
+                    let right = run_branch(self.rt, rpath, dag, rs, rcancel, g);
                     (left, right)
                 };
                 drop(token);
@@ -1150,7 +1197,7 @@ impl<'rt> Mutator<'rt> {
         if let Some(b) = self.ctx.budget.clone() {
             if b.would_exceed(size) {
                 b.on_shed();
-                std::panic::panic_any(AllocError {
+                self.raise_alloc_error(AllocError {
                     requested: size,
                     limit: b.limit(),
                     live_bytes: b.live_bytes(),
@@ -1158,11 +1205,25 @@ impl<'rt> Mutator<'rt> {
             }
         }
         let live = rt.store().stats().snapshot().live_bytes;
-        std::panic::panic_any(AllocError {
+        self.raise_alloc_error(AllocError {
             requested: size,
             limit: rt.store().config().heap_limit,
             live_bytes: live,
         });
+    }
+
+    /// Raises a recoverable allocation failure, first escalating it to
+    /// this run's cancellation token so sibling branches stop at their
+    /// next poll point instead of computing work the doomed join will
+    /// discard. `Runtime::try_run*` maps both the original payload and
+    /// any sibling's `Cancelled`-with-alloc-reason back to
+    /// [`crate::RunError::Alloc`], so callers see one deterministic
+    /// outcome regardless of which branch's payload wins the join race.
+    fn raise_alloc_error(&self, e: AllocError) -> ! {
+        if let Some(t) = &self.ctx.cancel {
+            t.trip_alloc(e.clone());
+        }
+        std::panic::panic_any(e)
     }
 
     pub(crate) fn run_lgc(&mut self, extra: &mut [Value]) {
@@ -1252,19 +1313,24 @@ fn run_branch<F>(
     path: Vec<u32>,
     dag: Option<Arc<DagBuilder>>,
     strand: StrandId,
+    cancel: Option<CancelToken>,
     body: F,
 ) -> (std::thread::Result<Value>, StrandId, Option<usize>)
 where
     F: FnOnce(&mut Mutator<'_>) -> Value,
 {
-    let ctx = TaskCtx::new(path, dag, strand, rt);
+    let ctx = TaskCtx::new(path, dag, strand, rt, cancel);
     let mut m = Mutator::new(rt, ctx);
     // A panicking branch (entanglement abort, AllocError, injected
-    // fault) is caught here and re-raised by the parent's join *after*
-    // both child heaps merged and the sibling's parked result was
-    // released — the caught payload rides back as a value so the fork
-    // can run its cleanup unconditionally.
-    let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut m)));
+    // fault, cancellation) is caught here and re-raised by the parent's
+    // join *after* both child heaps merged and the sibling's parked
+    // result was released — the caught payload rides back as a value so
+    // the fork can run its cleanup unconditionally. Branch entry is a
+    // poll point, so a branch stolen after the trip unwinds immediately.
+    let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.poll_cancel();
+        body(&mut m)
+    }));
     // Park the result before dropping the task's roots so a concurrent
     // collection between branch completion and the join still sees it.
     let slot = match &v {

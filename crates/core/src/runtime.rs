@@ -9,10 +9,11 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use mpl_gc::{CgcState, Graveyard};
+use mpl_gc::{collect_local, CgcState, Graveyard};
 use mpl_heap::{ObjRef, StatsSnapshot, Store, TenantBudget, Value};
 use mpl_sched::{Dag, DagBuilder, Executor, SchedMode, SchedSnapshot, StrandId, TokenPool};
 
+use crate::cancel::{CancelReason, CancelToken, Cancelled, RunError};
 use crate::config::RuntimeConfig;
 use crate::mutator::{Mutator, TaskCtx};
 use crate::roots::RootStack;
@@ -122,6 +123,14 @@ pub struct Runtime {
     /// The GC stall watchdog thread (present iff
     /// `config.gc_stall_deadline_ns > 0`).
     watchdog: Option<Watchdog>,
+    /// The runtime's root cancellation token. Every `run*` entry point
+    /// threads a fresh *child* of this token through its task tree —
+    /// never the root itself — so a per-run trip (deadline expiry,
+    /// alloc-error escalation) can't poison later runs, while
+    /// cancelling the root still reaches every run in flight. The
+    /// token's kick unparks the worker pool so parked workers notice a
+    /// trip immediately.
+    root_cancel: CancelToken,
     /// The persistent work-stealing pool; present iff `threads > 1` and
     /// `sched == SchedMode::WorkStealing`. Workers live as long as the
     /// runtime and are re-used across `run` calls. Shared (`Arc`) so the
@@ -161,6 +170,21 @@ impl Runtime {
             None
         };
         let store = Store::new(config.store);
+        // Root cancellation token: the kick wakes the pool's parked
+        // workers so a trip is noticed within one steal probe instead of
+        // a full park interval. `Weak` so the token never extends the
+        // pool's lifetime past the runtime's.
+        let root_cancel = match &executor {
+            Some(e) => {
+                let weak = Arc::downgrade(e);
+                CancelToken::with_kick(move || {
+                    if let Some(e) = weak.upgrade() {
+                        e.unpark_all();
+                    }
+                })
+            }
+            None => CancelToken::new(),
+        };
         let sampler = config.telemetry.then(|| {
             spawn_sampler(
                 &store,
@@ -169,7 +193,10 @@ impl Runtime {
                 Duration::from_nanos(config.sampler_interval_ns.max(1)),
             )
         });
-        let watchdog = (config.gc_stall_deadline_ns > 0).then(|| spawn_watchdog(&store, config));
+        let watchdog = (config.gc_stall_deadline_ns > 0).then(|| {
+            let cancel = config.watchdog_cancels.then(|| root_cancel.clone());
+            spawn_watchdog(&store, config, cancel)
+        });
         Runtime {
             store,
             cgc_state: CgcState::new(),
@@ -186,6 +213,7 @@ impl Runtime {
             failpoint_owner,
             watchdog,
             executor,
+            root_cancel,
             config,
         }
     }
@@ -198,6 +226,47 @@ impl Runtime {
     /// The configuration.
     pub fn config(&self) -> &RuntimeConfig {
         &self.config
+    }
+
+    /// The runtime's root cancellation token. Cancelling it cancels
+    /// every run currently in flight (each run polls a child of this
+    /// token) and makes every *future* run on this runtime fail
+    /// immediately with [`RunError::Cancelled`] — it is the shutdown
+    /// switch, not a per-request knob. For per-request deadlines use
+    /// [`Runtime::try_run_deadline`] /
+    /// [`Runtime::try_run_session_deadline`].
+    pub fn root_cancel(&self) -> &CancelToken {
+        &self.root_cancel
+    }
+
+    /// Number of times this runtime's GC stall watchdog has fired
+    /// (zero when no watchdog is configured). Per-runtime — unlike
+    /// `mpl_gc::stall::reports()`, which is process-global and
+    /// accumulates across runtimes.
+    pub fn watchdog_reports(&self) -> u64 {
+        self.watchdog
+            .as_ref()
+            .map(|w| w.reports.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records a server request whose deadline expired (exported as
+    /// `requests_timed_out`). Called by dispatchers layered on top of
+    /// the runtime, so the counter lives next to the GC/cancel counters
+    /// it correlates with.
+    pub fn note_request_timeout(&self) {
+        self.store.stats().on_request_timeout();
+    }
+
+    /// Records a server retry attempt launched after a timeout
+    /// (exported as `request_retries`).
+    pub fn note_request_retry(&self) {
+        self.store.stats().on_request_retry();
+    }
+
+    /// Records a circuit breaker opening (exported as `breaker_open`).
+    pub fn note_breaker_open(&self) {
+        self.store.stats().on_breaker_open();
     }
 
     /// A snapshot of the cost-metric counters, with the scheduler's
@@ -253,7 +322,7 @@ impl Runtime {
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
         let root_heap = self.store.new_root_heap();
-        self.run_root(root_heap, None, f)
+        self.run_root(root_heap, None, self.root_cancel.child(), f)
     }
 
     /// The shared body of [`Runtime::run`] and [`Runtime::run_session`]:
@@ -265,7 +334,13 @@ impl Runtime {
     /// time a panic reaches here every fork inside `f` has already
     /// joined (joins complete both branches and merge their heaps before
     /// re-raising), so the program is quiescent and draining is safe.
-    fn run_root<F>(&self, root_heap: u32, session: Option<&TenantSession>, f: F) -> Value
+    fn run_root<F>(
+        &self,
+        root_heap: u32,
+        session: Option<&TenantSession>,
+        cancel: CancelToken,
+        f: F,
+    ) -> Value
     where
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
@@ -297,8 +372,9 @@ impl Runtime {
                 Arc::clone(&s.roots),
                 s.alloc_debt.load(Ordering::Relaxed),
                 s.lgc_budget.load(Ordering::Relaxed),
+                Some(cancel),
             ),
-            None => TaskCtx::new(vec![root_heap], dag_arc, strand, self),
+            None => TaskCtx::new(vec![root_heap], dag_arc, strand, self, Some(cancel)),
         };
         let mut m = Mutator::new(self, ctx);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut m)));
@@ -310,6 +386,22 @@ impl Runtime {
         }
         m.finish_task();
         drop(m);
+        // An anonymous run's root heap dies with the run: collect it now,
+        // rooting only the escaping result value, so repeated runs (and
+        // cancellation storms) don't strand their garbage forever.
+        // Session heaps persist by design — their sessions' maintenance
+        // collections own them.
+        let result = if session.is_none() {
+            match result {
+                Ok(v) => Ok(self.reclaim_root_heap(root_heap, v)),
+                Err(p) => {
+                    let _ = self.reclaim_root_heap(root_heap, Value::Unit);
+                    Err(p)
+                }
+            }
+        } else {
+            result
+        };
         self.graveyard.drain(&self.store);
         if let Some(builder) = self.dag.lock().take() {
             match Arc::try_unwrap(builder) {
@@ -326,30 +418,137 @@ impl Runtime {
         }
     }
 
-    /// Like [`Runtime::run`], but catches an [`AllocError`] unwinding out
-    /// of the program — a heap-budget rejection
-    /// ([`RuntimeConfig::with_heap_limit`]) or an injected `alloc/words`
-    /// failure — and returns it as a value. Every other panic payload is
-    /// re-raised unchanged.
+    /// The end-of-run collection of an anonymous run's root heap: the
+    /// returned value (if it is an object) is the only root, so exactly
+    /// the escaping result graph survives — everything else the run
+    /// allocated is reclaimed, and entangled leftovers are deferred to
+    /// the concurrent collector's next cycle via the shield phase.
+    /// Returns the (possibly moved) result value.
+    fn reclaim_root_heap(&self, root_heap: u32, v: Value) -> Value {
+        // A paused sliced CGC cycle holds object refs in its mark stack;
+        // finish it before moving objects (same serialization force_lgc
+        // performs).
+        if self.config.cgc_slice_objects > 0 && self.cgc_state.cycle_active() {
+            self.force_cgc();
+        }
+        let mut roots: Vec<ObjRef> = Vec::new();
+        if let Value::Obj(r) = v {
+            roots.push(r);
+        }
+        collect_local(
+            &self.store,
+            root_heap,
+            &mut roots,
+            &self.graveyard,
+            self.config.policy.immediate_block_free,
+        );
+        match v {
+            Value::Obj(_) => Value::Obj(roots[0]),
+            other => other,
+        }
+    }
+
+    /// Like [`Runtime::run`], but returns failures as a typed
+    /// [`RunError`] value instead of unwinding:
+    ///
+    /// - [`RunError::Alloc`] — a heap-budget rejection
+    ///   ([`RuntimeConfig::with_heap_limit`], a tenant budget) or an
+    ///   injected `alloc/words` failure.
+    /// - [`RunError::Cancelled`] — the run's cancel token tripped
+    ///   (deadline, explicit [`Runtime::root_cancel`] cancel, watchdog
+    ///   escalation) and the tree unwound at a poll point.
+    /// - [`RunError::Panic`] — the closure panicked with an ordinary
+    ///   string payload; the message is preserved. Exotic non-string
+    ///   payloads are re-raised unchanged.
     ///
     /// The runtime remains fully usable after an `Err`: the failing
     /// task's [`Mutator`] drop already flushed its buffers and removed
     /// its root-stack registration, and joins re-raise the error only
     /// after the sibling branch parks, so no worker or registry entry
     /// leaks.
-    pub fn try_run<F>(&self, f: F) -> Result<Value, crate::mutator::AllocError>
+    pub fn try_run<F>(&self, f: F) -> Result<Value, RunError>
     where
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run(f))) {
-            Ok(v) => Ok(v),
-            Err(payload) => match payload.downcast::<crate::mutator::AllocError>() {
-                Ok(e) => {
-                    note_alloc_error(&e);
-                    Err(*e)
+        self.try_run_with(self.root_cancel.child(), None, f)
+    }
+
+    /// Like [`Runtime::try_run`], but the run's cancel token trips
+    /// `deadline` from now (tightened by any ancestor deadline). A run
+    /// that outlives the deadline unwinds at its next poll point —
+    /// allocation, slow-tier barrier, fork — and comes back as
+    /// [`RunError::Cancelled`] with [`CancelReason::Deadline`].
+    pub fn try_run_deadline<F>(&self, deadline: Duration, f: F) -> Result<Value, RunError>
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        self.try_run_with(self.root_cancel.child_with_deadline(deadline), None, f)
+    }
+
+    /// The shared body of every `try_run*` variant: runs `f` under
+    /// `token`, catches the unwind, and classifies the payload into a
+    /// [`RunError`]. Cancellation outcomes close the
+    /// cancellation-latency window (`cancel_unwind` histogram: token
+    /// trip → run fully unwound) and bump the `cancel_unwound` counter.
+    fn try_run_with<F>(
+        &self,
+        token: CancelToken,
+        session: Option<&TenantSession>,
+        f: F,
+    ) -> Result<Value, RunError>
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match session {
+            Some(s) => self.run_root(s.root_heap, Some(s), token.clone(), f),
+            None => {
+                let root_heap = self.store.new_root_heap();
+                self.run_root(root_heap, None, token.clone(), f)
+            }
+        }));
+        let payload = match run {
+            Ok(v) => return Ok(v),
+            Err(payload) => payload,
+        };
+        let payload = match payload.downcast::<crate::mutator::AllocError>() {
+            Ok(e) => {
+                note_alloc_error(&e);
+                return Err(RunError::Alloc(*e));
+            }
+            Err(other) => other,
+        };
+        let payload = match payload.downcast::<Cancelled>() {
+            Ok(c) => {
+                self.store.stats().on_cancel_unwound();
+                if let Some((_, trip_ns)) = token.trip_info() {
+                    mpl_obs::record_duration(
+                        mpl_obs::Metric::CancelUnwind,
+                        mpl_obs::now_ns().saturating_sub(trip_ns),
+                    );
                 }
-                Err(other) => std::panic::resume_unwind(other),
-            },
+                // A sibling of the branch that actually hit the
+                // allocation failure can reach the join first and
+                // surface the escalated trip instead of the original
+                // payload; fold both races into the same outcome so
+                // callers see one deterministic error kind.
+                return Err(match c.reason {
+                    CancelReason::Alloc(e) => {
+                        note_alloc_error(&e);
+                        RunError::Alloc(e)
+                    }
+                    reason => RunError::Cancelled(Cancelled { reason }),
+                });
+            }
+            Err(other) => other,
+        };
+        let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            Some((*s).to_string())
+        } else {
+            payload.downcast_ref::<String>().cloned()
+        };
+        match msg {
+            Some(msg) => Err(RunError::Panic(msg)),
+            None => std::panic::resume_unwind(payload),
         }
     }
 
@@ -396,36 +595,47 @@ impl Runtime {
     where
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
-        self.run_root(session.root_heap, Some(session), f)
+        self.run_root(
+            session.root_heap,
+            Some(session),
+            self.root_cancel.child(),
+            f,
+        )
     }
 
-    /// Like [`Runtime::run_session`], but catches an [`AllocError`]
-    /// (tenant budget exhausted, global limit hit, or an injected
-    /// allocation fault) and returns it as a value — the admission
-    /// control path a serving layer sheds requests on. The session
-    /// remains usable afterwards.
-    ///
-    /// [`AllocError`]: crate::mutator::AllocError
-    pub fn try_run_session<F>(
-        &self,
-        session: &TenantSession,
-        f: F,
-    ) -> Result<Value, crate::mutator::AllocError>
+    /// Like [`Runtime::run_session`], but returns failures as a typed
+    /// [`RunError`] — the admission-control path a serving layer sheds
+    /// requests on ([`RunError::Alloc`]: tenant budget exhausted,
+    /// global limit hit, or an injected allocation fault) and the
+    /// timeout path it bounds request latency with
+    /// ([`RunError::Cancelled`]). The session remains usable
+    /// afterwards.
+    pub fn try_run_session<F>(&self, session: &TenantSession, f: F) -> Result<Value, RunError>
     where
         F: FnOnce(&mut Mutator<'_>) -> Value,
     {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_session(session, f)
-        })) {
-            Ok(v) => Ok(v),
-            Err(payload) => match payload.downcast::<crate::mutator::AllocError>() {
-                Ok(e) => {
-                    note_alloc_error(&e);
-                    Err(*e)
-                }
-                Err(other) => std::panic::resume_unwind(other),
-            },
-        }
+        self.try_run_with(self.root_cancel.child(), Some(session), f)
+    }
+
+    /// Like [`Runtime::try_run_session`], but the request's cancel
+    /// token trips `deadline` from now — the per-request timeout a
+    /// serving layer puts on tenant work. A request that outlives the
+    /// deadline unwinds at its next poll point with the session's heap
+    /// coherent and its carried collection debt intact.
+    pub fn try_run_session_deadline<F>(
+        &self,
+        session: &TenantSession,
+        deadline: Duration,
+        f: F,
+    ) -> Result<Value, RunError>
+    where
+        F: FnOnce(&mut Mutator<'_>) -> Value,
+    {
+        self.try_run_with(
+            self.root_cancel.child_with_deadline(deadline),
+            Some(session),
+            f,
+        )
     }
 
     /// Retires a tenant session: deregisters its persistent root stack,
@@ -719,6 +929,10 @@ fn note_alloc_error(e: &crate::mutator::AllocError) {
 #[derive(Debug)]
 struct Watchdog {
     stop: Arc<std::sync::atomic::AtomicBool>,
+    /// Stalls this runtime's watchdog flagged (one per stalled phase,
+    /// like the process-global `mpl_gc::stall::reports()` — but scoped
+    /// to this runtime so tests and operators can attribute a report).
+    reports: Arc<std::sync::atomic::AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -731,11 +945,13 @@ impl Watchdog {
     }
 }
 
-fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
+fn spawn_watchdog(store: &Store, config: RuntimeConfig, cancel: Option<CancelToken>) -> Watchdog {
     let deadline_ns = config.gc_stall_deadline_ns;
     let stats = store.stats_shared();
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    let reports = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let reports2 = Arc::clone(&reports);
     // Poll a few times per deadline; clamp so a tiny deadline doesn't
     // spin and a huge one still notices `stop` promptly.
     let tick = Duration::from_nanos((deadline_ns / 4).clamp(1_000_000, 100_000_000));
@@ -752,6 +968,15 @@ fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
                         if !flagged {
                             flagged = true;
                             mpl_gc::stall::note_report();
+                            reports2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // Opt-in escalation: a stalled collector
+                            // means in-flight runs are likely wedged
+                            // behind it — trip the runtime root so
+                            // every run unwinds at its next poll point
+                            // instead of hanging forever.
+                            if let Some(token) = &cancel {
+                                token.trip_watchdog();
+                            }
                             eprintln!(
                                 "mpl-gc-watchdog: phase '{phase}' in flight for {:.3}s \
                                  (deadline {:.3}s); dumping audit rings + telemetry",
@@ -800,6 +1025,7 @@ fn spawn_watchdog(store: &Store, config: RuntimeConfig) -> Watchdog {
         .expect("spawn mpl-gc-watchdog");
     Watchdog {
         stop,
+        reports,
         handle: Some(handle),
     }
 }
@@ -993,6 +1219,31 @@ fn build_prometheus(
             "Fault-injection failpoint fires (process-global)",
             s.failpoint_fires,
         ),
+        (
+            "mpl_cancel_requested_total",
+            "Tasks that observed a cancel-token trip and began unwinding",
+            s.cancel_requested,
+        ),
+        (
+            "mpl_cancel_unwound_total",
+            "Runs that fully unwound as cancelled",
+            s.cancel_unwound,
+        ),
+        (
+            "mpl_requests_timed_out_total",
+            "Serve requests that exhausted their deadline",
+            s.requests_timed_out,
+        ),
+        (
+            "mpl_request_retries_total",
+            "Serve request retry attempts after a timeout",
+            s.request_retries,
+        ),
+        (
+            "mpl_breaker_open_total",
+            "Per-tenant circuit-breaker open transitions",
+            s.breaker_open,
+        ),
     ] {
         w.counter(name, help, v);
     }
@@ -1088,6 +1339,11 @@ fn build_json(
         ("failpoint_fires", s.failpoint_fires),
         ("audit_runs", s.audit_runs),
         ("audit_objects_checked", s.audit_objects_checked),
+        ("cancel_requested", s.cancel_requested),
+        ("cancel_unwound", s.cancel_unwound),
+        ("requests_timed_out", s.requests_timed_out),
+        ("request_retries", s.request_retries),
+        ("breaker_open", s.breaker_open),
     ] {
         w.field_u64(name, v);
     }

@@ -59,6 +59,15 @@ pub struct StoreStats {
     pub(crate) gc_forced_by_pressure: AtomicU64,
     pub(crate) alloc_retries: AtomicU64,
     pub(crate) alloc_failures: AtomicU64,
+    // Cooperative cancellation (deadlines, explicit cancel, watchdog,
+    // alloc escalation).
+    pub(crate) cancel_requested: AtomicU64,
+    pub(crate) cancel_unwound: AtomicU64,
+    // Serving-layer robustness counters (recorded by mpl-serve through
+    // the runtime, kept here so one snapshot covers the whole stack).
+    pub(crate) requests_timed_out: AtomicU64,
+    pub(crate) request_retries: AtomicU64,
+    pub(crate) breaker_open: AtomicU64,
     // Gauges.
     pub(crate) live_bytes: AtomicUsize,
     pub(crate) max_live_bytes: AtomicUsize,
@@ -140,6 +149,18 @@ pub struct StatsSnapshot {
     /// Allocations that still exceeded the heap limit after every forced
     /// collection and surfaced a recoverable `AllocError`.
     pub alloc_failures: u64,
+    /// Tasks that observed a tripped cancellation token and began a
+    /// cancellation unwind (one per live task of the cancelled tree).
+    pub cancel_requested: u64,
+    /// Runs that finished unwinding and surfaced `RunError::Cancelled`
+    /// (one per cancelled `Runtime::try_run*` call).
+    pub cancel_unwound: u64,
+    /// Server requests whose deadline expired (before any retry).
+    pub requests_timed_out: u64,
+    /// Server retry attempts after a timed-out request (with backoff).
+    pub request_retries: u64,
+    /// Per-tenant circuit-breaker open transitions in the server.
+    pub breaker_open: u64,
     pub live_bytes: usize,
     pub max_live_bytes: usize,
     pub pinned_bytes: usize,
@@ -212,6 +233,11 @@ impl StoreStats {
             gc_forced_by_pressure: self.gc_forced_by_pressure.load(Ordering::Relaxed),
             alloc_retries: self.alloc_retries.load(Ordering::Relaxed),
             alloc_failures: self.alloc_failures.load(Ordering::Relaxed),
+            cancel_requested: self.cancel_requested.load(Ordering::Relaxed),
+            cancel_unwound: self.cancel_unwound.load(Ordering::Relaxed),
+            requests_timed_out: self.requests_timed_out.load(Ordering::Relaxed),
+            request_retries: self.request_retries.load(Ordering::Relaxed),
+            breaker_open: self.breaker_open.load(Ordering::Relaxed),
             live_bytes: self.live_bytes.load(Ordering::Relaxed),
             max_live_bytes: self.max_live_bytes.load(Ordering::Relaxed),
             pinned_bytes: self.pinned_bytes.load(Ordering::Relaxed),
@@ -376,6 +402,32 @@ impl StoreStats {
         Self::count(&self.alloc_failures, 1);
     }
 
+    /// Records a task starting a cancellation unwind (it observed a
+    /// tripped token at a poll point).
+    pub fn on_cancel_requested(&self) {
+        Self::count(&self.cancel_requested, 1);
+    }
+
+    /// Records a run that finished unwinding after cancellation.
+    pub fn on_cancel_unwound(&self) {
+        Self::count(&self.cancel_unwound, 1);
+    }
+
+    /// Records a server request whose deadline expired.
+    pub fn on_request_timeout(&self) {
+        Self::count(&self.requests_timed_out, 1);
+    }
+
+    /// Records a server retry attempt after a timeout.
+    pub fn on_request_retry(&self) {
+        Self::count(&self.request_retries, 1);
+    }
+
+    /// Records a circuit breaker transitioning to open.
+    pub fn on_breaker_open(&self) {
+        Self::count(&self.breaker_open, 1);
+    }
+
     /// Records a completed local collection.
     pub fn on_lgc(&self, copied_bytes: u64, reclaimed_bytes: u64, retained_entangled_bytes: u64) {
         Self::count(&self.lgc_runs, 1);
@@ -517,6 +569,11 @@ impl StatsSnapshot {
             gc_forced_by_pressure: d(self.gc_forced_by_pressure, earlier.gc_forced_by_pressure),
             alloc_retries: d(self.alloc_retries, earlier.alloc_retries),
             alloc_failures: d(self.alloc_failures, earlier.alloc_failures),
+            cancel_requested: d(self.cancel_requested, earlier.cancel_requested),
+            cancel_unwound: d(self.cancel_unwound, earlier.cancel_unwound),
+            requests_timed_out: d(self.requests_timed_out, earlier.requests_timed_out),
+            request_retries: d(self.request_retries, earlier.request_retries),
+            breaker_open: d(self.breaker_open, earlier.breaker_open),
             live_bytes: self.live_bytes,
             max_live_bytes: self.max_live_bytes,
             pinned_bytes: self.pinned_bytes,

@@ -62,6 +62,13 @@ pub const EV_AUDIT_FAILURE: u32 = 3;
 pub const EV_LGC_CENSUS: u32 = 4;
 /// Census code: CGC sweep/epilogue completion.
 pub const EV_CGC_CENSUS: u32 = 5;
+/// Event code: a server tenant's circuit breaker opened (`a` = tenant
+/// index, `b` = consecutive failures that tripped it).
+pub const EV_BREAKER_OPEN: u32 = 6;
+/// Event code: a deadline storm — a burst of request timeouts in one
+/// observation window (`a` = timeouts in the window, `b` = window
+/// length in requests).
+pub const EV_DEADLINE_STORM: u32 = 7;
 
 /// Human-readable name for an event/census code.
 pub fn event_name(kind: FlightKind, code: u32) -> &'static str {
@@ -69,6 +76,8 @@ pub fn event_name(kind: FlightKind, code: u32) -> &'static str {
         (FlightKind::Event, EV_ALLOC_ERROR) => "alloc_error",
         (FlightKind::Event, EV_WATCHDOG_STALL) => "watchdog_stall",
         (FlightKind::Event, EV_AUDIT_FAILURE) => "audit_failure",
+        (FlightKind::Event, EV_BREAKER_OPEN) => "breaker_open",
+        (FlightKind::Event, EV_DEADLINE_STORM) => "deadline_storm",
         (FlightKind::Census, EV_LGC_CENSUS) => "lgc_census",
         (FlightKind::Census, EV_CGC_CENSUS) => "cgc_census",
         (FlightKind::Span, _) => "span",

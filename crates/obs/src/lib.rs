@@ -57,7 +57,8 @@ pub use family::{
 pub use flight::{
     clear_flight, dump_flight, event_name, flight_chrome_trace, flight_decode, flight_dumps,
     flight_encode, flight_record, flight_recorded, flight_snapshot, FlightEvent, FlightKind,
-    EV_ALLOC_ERROR, EV_AUDIT_FAILURE, EV_CGC_CENSUS, EV_LGC_CENSUS, EV_WATCHDOG_STALL,
+    EV_ALLOC_ERROR, EV_AUDIT_FAILURE, EV_BREAKER_OPEN, EV_CGC_CENSUS, EV_DEADLINE_STORM,
+    EV_LGC_CENSUS, EV_WATCHDOG_STALL,
 };
 pub use hist::{bucket_bound, bucket_index, HistSnapshot, Histogram, BUCKETS};
 pub use json::JsonWriter;

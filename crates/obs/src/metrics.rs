@@ -45,10 +45,13 @@ pub enum Metric {
     /// task's cached size-class block overflows (or the object is
     /// oversized) — block acquisition plus cache re-adoption.
     AllocRefill,
+    /// Cancellation latency: token trip to the run fully unwound
+    /// (`Runtime::try_run*` catching the `Cancelled` payload).
+    CancelUnwind,
 }
 
 /// Number of [`Metric`] variants.
-pub const METRIC_COUNT: usize = 14;
+pub const METRIC_COUNT: usize = 15;
 
 /// All metrics, in discriminant order.
 pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
@@ -66,6 +69,7 @@ pub const ALL_METRICS: [Metric; METRIC_COUNT] = [
     Metric::RemsetFlush,
     Metric::CgcPacket,
     Metric::AllocRefill,
+    Metric::CancelUnwind,
 ];
 
 impl Metric {
@@ -87,6 +91,7 @@ impl Metric {
             Metric::RemsetFlush => "remset_flush",
             Metric::CgcPacket => "cgc_packet",
             Metric::AllocRefill => "alloc_refill",
+            Metric::CancelUnwind => "cancel_unwind",
         }
     }
 
@@ -107,6 +112,7 @@ impl Metric {
             Metric::RemsetFlush => "Buffered remset flush duration",
             Metric::CgcPacket => "One CGC work packet on a scheduler worker",
             Metric::AllocRefill => "Allocation-cache refill (store-path block overflow fallback)",
+            Metric::CancelUnwind => "Cancellation latency (token trip to run fully unwound)",
         }
     }
 
@@ -120,6 +126,7 @@ impl Metric {
             Metric::BarrierSlow | Metric::RemsetFlush => "barrier",
             Metric::SchedSteal | Metric::SchedRun | Metric::SchedPark => "sched",
             Metric::AllocRefill => "alloc",
+            Metric::CancelUnwind => "cancel",
         }
     }
 

@@ -175,6 +175,16 @@ impl Executor {
         self.shared.stats.snapshot()
     }
 
+    /// Wakes every parked worker. The runtime's cancellation machinery
+    /// installs this as the token-trip kick: the steal/park loops are
+    /// cancellation poll points only in the sense that a woken worker
+    /// immediately re-probes for work, so a trip shortens the park
+    /// latency from a full park interval to one unpark — the branch
+    /// bodies themselves unwind at their first in-task poll point.
+    pub fn unpark_all(&self) {
+        self.shared.notify_all();
+    }
+
     /// Installs the calling thread as worker 0 until the guard drops.
     /// Returns `None` if another thread currently holds the driver slot
     /// (callers then fall back to sequential forks).

@@ -13,9 +13,12 @@
 //!   Poisson or uniform arrivals, a weighted request mix, and a schedule
 //!   digest for same-seed/any-worker-count reproducibility checks.
 //! * [`server`] — the dispatcher: admission control against per-tenant
-//!   budgets (shed or retry-after-collection), [`mpl_fail`] failpoints on
-//!   the admit/shed paths, and per-request latency measured from the
-//!   *scheduled* arrival (open loop: no coordinated omission).
+//!   budgets (shed or retry-after-collection), per-request deadlines with
+//!   seeded-jitter retry/backoff, per-tenant circuit breakers, a brownout
+//!   ladder driven by timeout rate + census fragmentation + GC pause
+//!   histograms, [`mpl_fail`] failpoints on the admit/shed paths, and
+//!   per-request latency measured from the *scheduled* arrival (open
+//!   loop: no coordinated omission).
 //! * [`report`] — the SLO reporter: per-tenant p50/p99/p999 latency,
 //!   goodput, shed counts, GC pause overlap from
 //!   [`StatsSnapshot::delta`](mpl_heap::StatsSnapshot::delta), and the
@@ -47,8 +50,8 @@ pub mod traffic;
 pub mod workload;
 
 pub use report::{GcReport, ServerReport, TenantReport};
-pub use server::Server;
-pub use tenant::{Tenant, TenantSpec};
+pub use server::{Brownout, Server};
+pub use tenant::{Breaker, BreakerState, Tenant, TenantSpec};
 pub use traffic::{
     schedule, schedule_digest, Arrival, ArrivalProcess, RequestKind, RequestMix, SplitMix64,
     TrafficConfig,

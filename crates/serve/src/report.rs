@@ -19,6 +19,19 @@ pub struct TenantReport {
     pub shed_injected: u64,
     /// Maintenance collections triggered by the admission gate.
     pub maintenance_gcs: u64,
+    /// Request attempts that exhausted their deadline (including ones
+    /// that later succeeded on retry).
+    pub timed_out: u64,
+    /// Retry attempts launched after a timeout.
+    pub retried: u64,
+    /// Times the tenant's circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Requests shed at the door by an open breaker.
+    pub breaker_shed: u64,
+    /// Requests shed by the brownout ladder.
+    pub brownout_shed: u64,
+    /// Requests served degraded (cheap read) under brownout.
+    pub degraded: u64,
     /// Median request latency, ns (from scheduled arrival).
     pub p50_ns: u64,
     /// 99th percentile latency, ns.
@@ -158,6 +171,12 @@ impl ServerReport {
                 .field_u64("shed_budget", t.shed_budget)
                 .field_u64("shed_injected", t.shed_injected)
                 .field_u64("maintenance_gcs", t.maintenance_gcs)
+                .field_u64("timed_out", t.timed_out)
+                .field_u64("retried", t.retried)
+                .field_u64("breaker_opens", t.breaker_opens)
+                .field_u64("breaker_shed", t.breaker_shed)
+                .field_u64("brownout_shed", t.brownout_shed)
+                .field_u64("degraded", t.degraded)
                 .field_u64("p50_ns", t.p50_ns)
                 .field_u64("p99_ns", t.p99_ns)
                 .field_u64("p999_ns", t.p999_ns)
@@ -226,13 +245,26 @@ impl ServerReport {
                 t.name,
                 t.admitted,
                 t.completed,
-                t.shed_budget + t.shed_injected,
+                t.shed_budget + t.shed_injected + t.breaker_shed + t.brownout_shed,
                 t.p50_ns as f64 / 1e3,
                 t.p99_ns as f64 / 1e3,
                 t.p999_ns as f64 / 1e3,
                 t.max_ns as f64 / 1e3,
                 t.goodput_rps,
             ));
+            if t.timed_out + t.breaker_opens + t.brownout_shed + t.degraded > 0 {
+                out.push_str(&format!(
+                    "{:<10}   timeouts {}  retries {}  breaker-opens {}  breaker-shed {}  \
+                     brownout-shed {}  degraded {}\n",
+                    "",
+                    t.timed_out,
+                    t.retried,
+                    t.breaker_opens,
+                    t.breaker_shed,
+                    t.brownout_shed,
+                    t.degraded,
+                ));
+            }
             if let Some(b) = &t.budget {
                 if b.limit != 0 {
                     out.push_str(&format!(
@@ -326,6 +358,12 @@ mod tests {
                 shed_budget: 1,
                 shed_injected: 0,
                 maintenance_gcs: 2,
+                timed_out: 3,
+                retried: 2,
+                breaker_opens: 1,
+                breaker_shed: 4,
+                brownout_shed: 5,
+                degraded: 6,
                 p50_ns: 100,
                 p99_ns: 500,
                 p999_ns: 900,

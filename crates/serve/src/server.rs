@@ -1,14 +1,17 @@
-//! The open-loop dispatcher: admission control, shed/retry, SLO capture.
+//! The open-loop dispatcher: admission control, timeouts with
+//! retry/backoff, per-tenant circuit breaking, brownout shedding, SLO
+//! capture.
 
 use std::time::{Duration, Instant};
 
 use mpl_heap::Value;
-use mpl_runtime::Runtime;
+use mpl_obs::{flight_record, histogram, FlightKind, Metric, EV_BREAKER_OPEN, EV_DEADLINE_STORM};
+use mpl_runtime::{CancelReason, RunError, Runtime};
 
 use crate::report::{live_slope, GcReport, ServerReport, TenantReport};
 use crate::tenant::{Tenant, TenantSpec};
-use crate::traffic::{schedule, schedule_digest, TrafficConfig};
-use crate::workload::run_request;
+use crate::traffic::{schedule, schedule_digest, RequestKind, SplitMix64, TrafficConfig};
+use crate::workload::{run_request, Profile};
 
 /// Failpoint site on the admission path: an injected `Error` here sheds
 /// the request before it touches the runtime (simulating an upstream
@@ -24,6 +27,44 @@ pub const FP_SHED: &str = "serve/shed";
 /// collection). Coarse on purpose — admission is a gate, not a meter.
 pub const DEFAULT_ADMIT_ESTIMATE: usize = 32 * 1024;
 
+/// Consecutive run failures (timeouts after retries, panics) before a
+/// tenant's circuit breaker opens.
+pub const BREAKER_THRESHOLD: u32 = 4;
+
+/// Dispatched-arrival window over which the brownout ladder and the
+/// deadline-storm detector are recomputed.
+pub const BROWNOUT_WINDOW: u64 = 64;
+
+/// The server's brownout ladder: graduated load shedding under memory
+/// or latency pressure, recomputed every [`BROWNOUT_WINDOW`] arrivals
+/// from the window's timeout rate plus (when the runtime is
+/// telemetered) heap-census fragmentation and GC pause-histogram
+/// deltas. Each rung keeps the previous rung's behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Brownout {
+    /// No pressure: all requests run as scheduled.
+    Normal,
+    /// Shed entangled-profile tenants' requests at the door: entangled
+    /// work is what pins objects, fragments the entangled space, and
+    /// feeds CGC pauses, so it goes first.
+    ShedEntangled,
+    /// Additionally degrade every remaining request to a cheap
+    /// read-only response (minimum payload), trading fidelity for
+    /// bounded latency.
+    Degraded,
+}
+
+/// Why one admitted request ultimately failed (dispatcher-internal).
+enum Failure {
+    /// Deadline exhausted on the final attempt.
+    Timeout,
+    /// Mid-flight budget `AllocError` — ordinary shed, not a breaker
+    /// failure.
+    Budget,
+    /// Unexpected panic or non-deadline cancellation.
+    Fatal,
+}
+
 /// A multi-tenant server bound to one persistent [`Runtime`].
 pub struct Server<'rt> {
     rt: &'rt Runtime,
@@ -31,6 +72,8 @@ pub struct Server<'rt> {
     pub tenants: Vec<Tenant>,
     /// Admission headroom estimate in bytes (see [`DEFAULT_ADMIT_ESTIMATE`]).
     pub admit_estimate: usize,
+    /// Current brownout rung (recomputed during [`Server::run`]).
+    pub brownout: Brownout,
 }
 
 impl<'rt> Server<'rt> {
@@ -41,6 +84,7 @@ impl<'rt> Server<'rt> {
             rt,
             tenants,
             admit_estimate: DEFAULT_ADMIT_ESTIMATE,
+            brownout: Brownout::Normal,
         }
     }
 
@@ -53,12 +97,25 @@ impl<'rt> Server<'rt> {
     /// SLO (no coordinated omission). Admission control:
     ///
     /// 1. the `serve/admit` failpoint may shed it (injected fault);
-    /// 2. if the tenant budget lacks [`Self::admit_estimate`] headroom,
+    /// 2. the brownout ladder may shed it (entangled-profile tenants
+    ///    first) or degrade it to a cheap read — see [`Brownout`];
+    /// 3. the tenant's circuit breaker may shed it while open after a
+    ///    streak of run failures — see [`crate::tenant::Breaker`];
+    /// 4. if the tenant budget lacks [`Self::admit_estimate`] headroom,
     ///    one maintenance collection runs on the tenant's root heap and
     ///    the check retries — still over means shed (`serve/shed` fires,
     ///    the budget records it);
-    /// 3. admitted requests that still exhaust the budget mid-flight are
-    ///    shed by the `AllocError` backstop, leaving the session intact.
+    /// 5. admitted requests run under the tenant's deadline (when
+    ///    `timeout_ns > 0`) via `try_run_session_deadline`; a timed-out
+    ///    attempt unwinds coherently and retries up to `retries` times
+    ///    with seeded-jitter exponential backoff before counting as a
+    ///    run failure;
+    /// 6. requests that exhaust the budget mid-flight are shed by the
+    ///    `AllocError` backstop, leaving the session intact.
+    ///
+    /// Every [`BROWNOUT_WINDOW`] arrivals the dispatcher recomputes the
+    /// brownout rung and, when ≥ 1/4 of the window timed out, records a
+    /// deadline-storm flight event for post-mortems.
     pub fn run(&mut self, traffic: &TrafficConfig) -> ServerReport {
         let sched = schedule(traffic);
         let digest = schedule_digest(&sched);
@@ -69,7 +126,7 @@ impl<'rt> Server<'rt> {
         let lat0: Vec<_> = self.tenants.iter().map(|t| t.latency.snapshot()).collect();
         // Tenant counters accumulate for the server's lifetime; the
         // report covers this run only.
-        let counts0: Vec<[u64; 5]> = self
+        let counts0: Vec<[u64; 11]> = self
             .tenants
             .iter()
             .map(|t| {
@@ -79,9 +136,24 @@ impl<'rt> Server<'rt> {
                     t.shed_budget,
                     t.shed_injected,
                     t.maintenance_gcs,
+                    t.timed_out,
+                    t.retried,
+                    t.breaker_opens,
+                    t.breaker_shed,
+                    t.brownout_shed,
+                    t.degraded,
                 ]
             })
             .collect();
+        // Retry jitter is seeded from the traffic seed so overload runs
+        // replay deterministically.
+        let mut rng = SplitMix64::new(traffic.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut window_total: u64 = 0;
+        let mut window_timeouts: u64 = 0;
+        let mut pause0 = (
+            histogram(Metric::LgcPause).snapshot(),
+            histogram(Metric::CgcPause).snapshot(),
+        );
         let t0 = Instant::now();
         for a in &sched {
             // Open loop: wait out the gap to the scheduled instant.
@@ -98,13 +170,45 @@ impl<'rt> Server<'rt> {
                     std::hint::spin_loop();
                 }
             }
+            // Window bookkeeping: recompute the brownout rung and check
+            // for a deadline storm every BROWNOUT_WINDOW arrivals.
+            window_total += 1;
+            if window_total >= BROWNOUT_WINDOW {
+                if window_timeouts * 4 >= window_total {
+                    flight_record(
+                        FlightKind::Event,
+                        EV_DEADLINE_STORM,
+                        window_timeouts,
+                        window_total,
+                    );
+                }
+                let frac = window_timeouts as f64 / window_total as f64;
+                self.brownout = brownout_level(self.rt, frac, &mut pause0);
+                window_total = 0;
+                window_timeouts = 0;
+            }
+            let brownout = self.brownout;
             let tn = &mut self.tenants[a.tenant % ntenants];
             // 1. Injected admission fault.
             if mpl_fail::hit(FP_ADMIT).is_err() {
                 tn.shed_injected += 1;
                 continue;
             }
-            // 2. Budget admission gate, with one collect-and-retry. A
+            // 2. Brownout ladder: entangled-profile work (the pin and
+            //    CGC feeder) is shed at the door under pressure.
+            if brownout >= Brownout::ShedEntangled && tn.spec.profile == Profile::Entangled {
+                mpl_fail::hit_hard(FP_SHED);
+                tn.brownout_shed += 1;
+                continue;
+            }
+            // 3. Circuit breaker: a tenant with a streak of run failures
+            //    is shed without touching the runtime until its breaker
+            //    half-opens for a probe.
+            if !tn.breaker.admit(t0.elapsed().as_nanos() as u64) {
+                tn.breaker_shed += 1;
+                continue;
+            }
+            // 4. Budget admission gate, with one collect-and-retry. A
             //    collection that created no headroom is not repeated
             //    until the budget reading moves (sheds allocate nothing,
             //    so re-collecting the same retained set is futile).
@@ -127,24 +231,82 @@ impl<'rt> Server<'rt> {
                     tn.futile_at = None;
                 }
             }
-            // 3. Run it; the AllocError backstop sheds mid-flight
-            //    exhaustion without poisoning the session.
+            // 5. Run it, under the tenant deadline when one is set; the
+            //    AllocError backstop sheds mid-flight exhaustion without
+            //    poisoning the session.
             tn.admitted += 1;
-            let st = tn.states[a.session % tn.states.len()].clone();
-            let kind = a.kind;
-            let size = a.size * tn.spec.payload_scale;
+            let mut kind = a.kind;
+            let mut size = a.size * tn.spec.payload_scale;
+            if brownout >= Brownout::Degraded && kind != RequestKind::Read {
+                kind = RequestKind::Read;
+                size = 1;
+                tn.degraded += 1;
+            }
             let profile = tn.spec.profile;
-            match self.rt.try_run_session(&tn.session, move |m| {
-                run_request(m, &st, kind, size, profile)
-            }) {
-                Ok(_) => {
+            let timeout_ns = tn.spec.timeout_ns;
+            let mut attempt: u32 = 0;
+            let outcome: Result<(), Failure> = loop {
+                attempt += 1;
+                let st = tn.states[a.session % tn.states.len()].clone();
+                let res = if timeout_ns > 0 {
+                    self.rt.try_run_session_deadline(
+                        &tn.session,
+                        Duration::from_nanos(timeout_ns),
+                        move |m| run_request(m, &st, kind, size, profile),
+                    )
+                } else {
+                    self.rt.try_run_session(&tn.session, move |m| {
+                        run_request(m, &st, kind, size, profile)
+                    })
+                };
+                match res {
+                    Ok(_) => break Ok(()),
+                    Err(RunError::Cancelled(c)) if matches!(c.reason, CancelReason::Deadline) => {
+                        tn.timed_out += 1;
+                        window_timeouts += 1;
+                        self.rt.note_request_timeout();
+                        if attempt <= tn.spec.retries {
+                            tn.retried += 1;
+                            self.rt.note_request_retry();
+                            // Exponential backoff jittered into [½, 1]×
+                            // so a storm's retries decorrelate.
+                            let base = tn.spec.backoff_ns.max(1) << (attempt - 1).min(16);
+                            let sleep = base / 2 + rng.next_u64() % (base / 2 + 1);
+                            std::thread::sleep(Duration::from_nanos(sleep));
+                            continue;
+                        }
+                        break Err(Failure::Timeout);
+                    }
+                    Err(RunError::Alloc(_)) => break Err(Failure::Budget),
+                    Err(_) => break Err(Failure::Fatal),
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    tn.breaker.on_success();
                     tn.completed += 1;
                     let done_ns = t0.elapsed().as_nanos() as u64;
                     tn.latency.record(done_ns.saturating_sub(a.at_ns));
                 }
-                Err(_) => {
+                Err(Failure::Budget) => {
+                    // Ordinary budget shed: not a breaker failure (the
+                    // budget gate, not the tenant's latency, is at fault).
                     mpl_fail::hit_hard(FP_SHED);
                     tn.shed_budget += 1;
+                }
+                Err(Failure::Timeout) | Err(Failure::Fatal) => {
+                    let now_ns = t0.elapsed().as_nanos() as u64;
+                    let open_ns = (4 * timeout_ns.max(500_000)).max(2_000_000);
+                    if tn.breaker.on_failure(now_ns, BREAKER_THRESHOLD, open_ns) {
+                        tn.breaker_opens += 1;
+                        self.rt.note_breaker_open();
+                        flight_record(
+                            FlightKind::Event,
+                            EV_BREAKER_OPEN,
+                            (a.tenant % ntenants) as u64,
+                            tn.breaker.consecutive_failures as u64,
+                        );
+                    }
                 }
             }
         }
@@ -179,6 +341,12 @@ impl<'rt> Server<'rt> {
                     shed_budget: t.shed_budget - c0[2],
                     shed_injected: t.shed_injected - c0[3],
                     maintenance_gcs: t.maintenance_gcs - c0[4],
+                    timed_out: t.timed_out - c0[5],
+                    retried: t.retried - c0[6],
+                    breaker_opens: t.breaker_opens - c0[7],
+                    breaker_shed: t.breaker_shed - c0[8],
+                    brownout_shed: t.brownout_shed - c0[9],
+                    degraded: t.degraded - c0[10],
                     p50_ns: lat.percentile(0.50),
                     p99_ns: lat.percentile(0.99),
                     p999_ns: lat.percentile(0.999),
@@ -195,7 +363,7 @@ impl<'rt> Server<'rt> {
         let completed_total: u64 = tenants.iter().map(|t| t.completed).sum();
         let shed_total: u64 = tenants
             .iter()
-            .map(|t| t.shed_budget + t.shed_injected)
+            .map(|t| t.shed_budget + t.shed_injected + t.breaker_shed + t.brownout_shed)
             .sum();
         ServerReport {
             digest,
@@ -234,6 +402,53 @@ impl<'rt> Server<'rt> {
             self.rt.retire_session(&t.session);
         }
     }
+}
+
+/// Computes the brownout rung from this window's timeout fraction plus,
+/// when the runtime is telemetered, heap-census fragmentation and the
+/// window's GC pause-histogram p99 delta. Takes the worst rung any
+/// signal demands; `pause0` is advanced to the current pause snapshots
+/// so the next window measures only its own pauses.
+fn brownout_level(
+    rt: &Runtime,
+    timeout_frac: f64,
+    pause0: &mut (mpl_obs::HistSnapshot, mpl_obs::HistSnapshot),
+) -> Brownout {
+    let mut level = if timeout_frac >= 0.5 {
+        Brownout::Degraded
+    } else if timeout_frac >= 0.25 {
+        Brownout::ShedEntangled
+    } else {
+        Brownout::Normal
+    };
+    if rt.config().telemetry {
+        // Memory pressure: fragmentation of the allocated blocks. A
+        // heavily fragmented heap means evacuation/sweep work is about
+        // to get expensive, so back off before pauses spike.
+        let frag = rt.heap_census().fragmentation();
+        level = level.max(if frag >= 0.75 {
+            Brownout::Degraded
+        } else if frag >= 0.55 {
+            Brownout::ShedEntangled
+        } else {
+            Brownout::Normal
+        });
+        // Latency pressure: the pause p99 over this window only.
+        let lgc = histogram(Metric::LgcPause).snapshot();
+        let cgc = histogram(Metric::CgcPause).snapshot();
+        let p99 = diff_hist(&lgc, &pause0.0)
+            .percentile(0.99)
+            .max(diff_hist(&cgc, &pause0.1).percentile(0.99));
+        level = level.max(if p99 >= 20_000_000 {
+            Brownout::Degraded
+        } else if p99 >= 5_000_000 {
+            Brownout::ShedEntangled
+        } else {
+            Brownout::Normal
+        });
+        *pause0 = (lgc, cgc);
+    }
+    level
 }
 
 /// Bucket-wise difference of two snapshots of one (monotone) histogram:
@@ -279,6 +494,147 @@ mod tests {
         srv.shutdown();
         assert_eq!(rt.live_root_stacks(), 0);
         rt.assert_heap_sound();
+    }
+
+    #[test]
+    fn deadline_timeouts_retry_and_open_the_breaker() {
+        use crate::traffic::RequestMix;
+        let rt = Runtime::new(RuntimeConfig::managed().with_threads_exact(2));
+        // A 1 ns deadline is expired by the first poll point of every
+        // insert, so each attempt unwinds; one retry per request, then
+        // the breaker opens after BREAKER_THRESHOLD final failures and
+        // sheds the rest of the burst at the door.
+        let mut srv = Server::new(
+            &rt,
+            vec![TenantSpec::new("storm", 0)
+                .timeout(Duration::from_nanos(1))
+                .retries(1)
+                .backoff(Duration::from_micros(1))],
+        );
+        let rep = srv.run(&TrafficConfig {
+            requests: 40,
+            rate_hz: 50_000.0,
+            mix: RequestMix {
+                read: 0,
+                insert: 100,
+                feed: 0,
+                scan: 0,
+            },
+            ..TrafficConfig::default()
+        });
+        let t = &rep.tenants[0];
+        assert!(t.timed_out > 0, "1ns deadline never timed out: {t:?}");
+        assert!(t.retried > 0, "timeouts must retry: {t:?}");
+        assert!(
+            t.breaker_opens >= 1,
+            "failure streak must open breaker: {t:?}"
+        );
+        assert!(
+            t.breaker_shed > 0,
+            "open breaker must shed at the door: {t:?}"
+        );
+        assert!(
+            rep.shed_total >= t.breaker_shed,
+            "breaker sheds count as sheds"
+        );
+        let s = rt.stats();
+        assert!(s.requests_timed_out > 0, "runtime timeout counter");
+        assert!(s.request_retries > 0, "runtime retry counter");
+        assert!(s.breaker_open > 0, "runtime breaker counter");
+        assert!(s.cancel_unwound > 0, "each timeout is a cancelled unwind");
+        // Storms of mid-request unwinds leave the sessions coherent.
+        srv.shutdown();
+        rt.assert_heap_sound();
+        assert_eq!(rt.parked_results(), 0);
+        assert_eq!(rt.live_root_stacks(), 0);
+    }
+
+    #[test]
+    fn brownout_sheds_entangled_and_degrades_the_rest() {
+        use crate::traffic::RequestMix;
+        let rt = Runtime::new(RuntimeConfig::managed().with_threads_exact(2));
+        let mut srv = Server::new(
+            &rt,
+            vec![
+                TenantSpec::new("pin", 0).profile(Profile::Entangled),
+                TenantSpec::new("plain", 0),
+            ],
+        );
+        // Pin the ladder at its last rung; with fewer arrivals than
+        // BROWNOUT_WINDOW the dispatcher never recomputes it, so the
+        // rung's behavior is observed in isolation.
+        srv.brownout = Brownout::Degraded;
+        let rep = srv.run(&TrafficConfig {
+            requests: 60,
+            rate_hz: 20_000.0,
+            tenants: 2,
+            mix: RequestMix {
+                read: 0,
+                insert: 100,
+                feed: 0,
+                scan: 0,
+            },
+            ..TrafficConfig::default()
+        });
+        let pin = &rep.tenants[0];
+        let plain = &rep.tenants[1];
+        assert!(pin.brownout_shed > 0, "entangled tenant must shed: {pin:?}");
+        assert_eq!(pin.completed, 0, "shed at the door, never admitted");
+        assert!(plain.completed > 0, "disentangled tenant keeps serving");
+        assert_eq!(
+            plain.degraded, plain.admitted,
+            "at Degraded every insert is rewritten to a cheap read"
+        );
+        assert_eq!(
+            rep.completed_total + rep.shed_total,
+            rep.offered as u64,
+            "every arrival either completed or shed"
+        );
+        srv.shutdown();
+        rt.assert_heap_sound();
+    }
+
+    #[test]
+    fn timeout_storm_raises_the_brownout_ladder() {
+        use crate::traffic::RequestMix;
+        let rt = Runtime::new(RuntimeConfig::managed().with_threads_exact(2));
+        // Tenant 0 times out every attempt (4 retries keeps the window's
+        // timeout fraction over the ShedEntangled threshold even after
+        // its breaker opens); tenant 1 is the entangled victim the
+        // ladder sheds once the rung rises.
+        let mut srv = Server::new(
+            &rt,
+            vec![
+                TenantSpec::new("storm", 0)
+                    .timeout(Duration::from_nanos(1))
+                    .retries(4)
+                    .backoff(Duration::from_micros(1)),
+                TenantSpec::new("victim", 0).profile(Profile::Entangled),
+            ],
+        );
+        let rep = srv.run(&TrafficConfig {
+            requests: 256,
+            rate_hz: 50_000.0,
+            tenants: 2,
+            mix: RequestMix {
+                read: 0,
+                insert: 100,
+                feed: 0,
+                scan: 0,
+            },
+            ..TrafficConfig::default()
+        });
+        // The rung itself may have relaxed again by the end of the run
+        // (an open breaker silences the storm), so the witness is the
+        // victim's shed count, not the final rung.
+        let victim = &rep.tenants[1];
+        assert!(
+            victim.brownout_shed > 0,
+            "entangled victim must be shed under brownout: {victim:?}"
+        );
+        srv.shutdown();
+        rt.assert_heap_sound();
+        assert_eq!(rt.parked_results(), 0);
     }
 
     #[test]

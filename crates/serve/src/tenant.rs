@@ -25,6 +25,21 @@ pub struct TenantSpec {
     /// Multiplier on every request's payload size — the adversarial
     /// tenant in E12 sets this high to blow through its budget.
     pub payload_scale: usize,
+    /// Per-request timeout in nanoseconds; `0` (the default) runs
+    /// requests without a deadline. Timed-out requests unwind at the
+    /// runtime's next cancellation poll point
+    /// (`Runtime::try_run_session_deadline`) with the session heap
+    /// coherent, then retry per [`TenantSpec::retries`].
+    pub timeout_ns: u64,
+    /// Retry attempts after a timed-out request (exponential backoff
+    /// with seeded jitter between attempts; see
+    /// [`TenantSpec::backoff_ns`]).
+    pub retries: u32,
+    /// Base backoff in nanoseconds before a retry. Attempt `k` sleeps
+    /// `backoff · 2^(k-1)` jittered in `[½, 1]×` by the dispatcher's
+    /// seeded PRNG, so a deadline storm's retries decorrelate
+    /// deterministically.
+    pub backoff_ns: u64,
 }
 
 impl TenantSpec {
@@ -37,6 +52,9 @@ impl TenantSpec {
             sessions: 2,
             cache_slots: 64,
             payload_scale: 1,
+            timeout_ns: 0,
+            retries: 0,
+            backoff_ns: 200_000,
         }
     }
 
@@ -62,6 +80,99 @@ impl TenantSpec {
     pub fn payload_scale(mut self, n: usize) -> TenantSpec {
         self.payload_scale = n.max(1);
         self
+    }
+
+    /// Sets the per-request timeout (see [`TenantSpec::timeout_ns`]).
+    pub fn timeout(mut self, d: std::time::Duration) -> TenantSpec {
+        self.timeout_ns = d.as_nanos() as u64;
+        self
+    }
+
+    /// Sets the retry budget for timed-out requests.
+    pub fn retries(mut self, n: u32) -> TenantSpec {
+        self.retries = n;
+        self
+    }
+
+    /// Sets the base retry backoff (see [`TenantSpec::backoff_ns`]).
+    pub fn backoff(mut self, d: std::time::Duration) -> TenantSpec {
+        self.backoff_ns = d.as_nanos() as u64;
+        self
+    }
+}
+
+/// Circuit-breaker state for one tenant (see [`Breaker`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are shed without touching the runtime until `until_ns`
+    /// (dispatcher clock), then one probe is allowed through.
+    Open {
+        /// Dispatcher-clock instant the breaker half-opens.
+        until_ns: u64,
+    },
+    /// One probe request is in flight; success closes the breaker,
+    /// failure re-opens it.
+    HalfOpen,
+}
+
+/// A per-tenant circuit breaker over *run failures* (timeouts after all
+/// retries, panics — not budget sheds, which are ordinary admission
+/// control). A tenant whose requests keep burning their full deadline
+/// gets its traffic shed at the door, protecting every other tenant's
+/// latency from the doomed work.
+#[derive(Clone, Copy, Debug)]
+pub struct Breaker {
+    /// Current state.
+    pub state: BreakerState,
+    /// Run failures since the last success.
+    pub consecutive_failures: u32,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+}
+
+impl Breaker {
+    /// Whether a request may proceed at dispatcher-clock `now_ns`. An
+    /// expired `Open` transitions to `HalfOpen` and admits the probe.
+    pub fn admit(&mut self, now_ns: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_ns } if now_ns >= until_ns => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Records a completed request: resets the failure streak and closes
+    /// a half-open breaker.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a run failure; once `threshold` consecutive failures
+    /// accumulate (or a half-open probe fails) the breaker opens until
+    /// `now_ns + open_ns`. Returns true iff this call opened it.
+    pub fn on_failure(&mut self, now_ns: u64, threshold: u32, open_ns: u64) -> bool {
+        self.consecutive_failures += 1;
+        let reopen = matches!(self.state, BreakerState::HalfOpen);
+        if reopen || self.consecutive_failures >= threshold {
+            self.state = BreakerState::Open {
+                until_ns: now_ns.saturating_add(open_ns),
+            };
+            return true;
+        }
+        false
     }
 }
 
@@ -91,6 +202,23 @@ pub struct Tenant {
     /// Maintenance collections run when admission found the tenant over
     /// budget (the retry-after-collection path).
     pub maintenance_gcs: u64,
+    /// Request attempts that exhausted their deadline (every timed-out
+    /// attempt counts, including ones that later succeeded on retry).
+    pub timed_out: u64,
+    /// Retry attempts launched after a timeout.
+    pub retried: u64,
+    /// Times this tenant's circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Requests shed at the door by an open breaker.
+    pub breaker_shed: u64,
+    /// Requests shed by the server's brownout ladder (entangled-profile
+    /// load shedding under memory/pause pressure).
+    pub brownout_shed: u64,
+    /// Requests served degraded (cheap read instead of the scheduled
+    /// kind) while the server was at the brownout ladder's last rung.
+    pub degraded: u64,
+    /// Circuit-breaker state over this tenant's run failures.
+    pub breaker: Breaker,
     /// Budget live-bytes after the last maintenance collection that
     /// failed to create headroom. While the reading is unchanged (shed
     /// requests allocate nothing), re-collecting is provably futile and
@@ -126,13 +254,21 @@ impl Tenant {
             shed_budget: 0,
             shed_injected: 0,
             maintenance_gcs: 0,
+            timed_out: 0,
+            retried: 0,
+            breaker_opens: 0,
+            breaker_shed: 0,
+            brownout_shed: 0,
+            degraded: 0,
+            breaker: Breaker::default(),
             futile_at: None,
         }
     }
 
-    /// Total requests shed for any reason.
+    /// Total requests shed for any reason (budget, injected fault, open
+    /// breaker, brownout).
     pub fn shed_total(&self) -> u64 {
-        self.shed_budget + self.shed_injected
+        self.shed_budget + self.shed_injected + self.breaker_shed + self.brownout_shed
     }
 }
 
@@ -150,5 +286,38 @@ mod tests {
         assert_eq!(b.limit(), 1 << 20);
         assert!(b.live_bytes() > 0, "session state must be charged");
         rt.retire_session(&t.session);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_half_open() {
+        let mut b = Breaker::default();
+        assert!(b.admit(0));
+        assert!(!b.on_failure(100, 3, 1_000), "1 failure: still closed");
+        assert!(!b.on_failure(200, 3, 1_000));
+        assert!(b.on_failure(300, 3, 1_000), "3rd failure opens");
+        assert_eq!(b.state, BreakerState::Open { until_ns: 1_300 });
+        assert!(!b.admit(500), "open: shed");
+        assert!(b.admit(1_300), "expired: probe admitted");
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        assert!(b.on_failure(1_400, 3, 1_000), "failed probe re-opens");
+        assert!(b.admit(3_000));
+        b.on_success();
+        assert_eq!(b.state, BreakerState::Closed);
+        assert_eq!(b.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn spec_timeout_retry_backoff_builders() {
+        use std::time::Duration;
+        let s = TenantSpec::new("t", 0)
+            .timeout(Duration::from_millis(2))
+            .retries(3)
+            .backoff(Duration::from_micros(50));
+        assert_eq!(s.timeout_ns, 2_000_000);
+        assert_eq!(s.retries, 3);
+        assert_eq!(s.backoff_ns, 50_000);
+        let d = TenantSpec::new("d", 0);
+        assert_eq!(d.timeout_ns, 0, "no deadline by default");
+        assert_eq!(d.retries, 0);
     }
 }

@@ -282,6 +282,7 @@ fn heap_limit_alloc_error_dumps_a_parseable_flight_recording() {
             }
         })
         .expect_err("an unbounded retained allocation must exhaust the budget");
+    let err = err.alloc_error().expect("typed outcome is an alloc error");
     assert_eq!(err.limit, limit);
     let path = wait_for_dump(&dir, "alloc-error");
     let events = mpl_obs::flight_decode(&std::fs::read(&path).unwrap())

@@ -256,6 +256,7 @@ fn injected_alloc_error_surfaces_via_try_run() {
             v
         })
         .expect_err("the injected allocation error must surface");
+    let err = err.alloc_error().expect("typed outcome is an alloc error");
     assert_eq!(err.limit, 0, "limit==0 flags an injected failure");
     assert!(rt.stats().alloc_failures >= 1);
     assert!(rt.stats().failpoint_fires >= 1);
@@ -287,6 +288,7 @@ fn heap_limit_pressure_is_recoverable_and_fresh_runtime_passes_suite() {
             }
         })
         .expect_err("an unbounded retained allocation must exhaust the budget");
+    let err = err.alloc_error().expect("typed outcome is an alloc error");
     assert_eq!(err.limit, 64 * 1024);
     assert!(err.live_bytes > 0, "the failure reports the live footprint");
     let s = rt.stats();
